@@ -1,0 +1,38 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every benchmark regenerates one table/figure of the paper: it runs the
+experiment once under pytest-benchmark (``rounds=1`` — these are
+simulations, not microbenchmarks), prints the same rows/series the
+paper plots, and writes them to ``benchmarks/results/<name>.txt`` so the
+artifacts survive pytest's output capture.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Print an experiment's table and persist it under results/."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _once(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _once

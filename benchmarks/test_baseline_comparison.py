@@ -1,0 +1,121 @@
+"""Baseline comparison (paper sections 1, 4.2.1 and 5).
+
+Pits FreeRider's OFDM codeword translation against the two prior-work
+baselines it is contrasted with:
+
+* **HitchHike [25]** — codeword translation on 802.11b DSSS.  Faster
+  per unit airtime (1 us symbols vs 4 us), but only works where 11b
+  traffic exists.
+* **Wi-Fi Backscatter [15]** — incoherent amplitude modulation.  Needs
+  no codebook, but requires much higher SNR (energy detection) and its
+  amplitude states break QAM codeword validity (Figure 2).
+
+Plus the equation-5 quaternary extension that doubles FreeRider's rate.
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn_at_snr
+from repro.core.decoder import EnergyTagDecoder
+from repro.core.session import (
+    DsssBackscatterSession,
+    QuaternaryWifiSession,
+    WifiBackscatterSession,
+)
+from repro.core.translation import AmplitudeTranslator
+from repro.sim.results import format_table
+from repro.tag.tag import FreeRiderTag
+
+
+def scheme_rate_and_ber(session, snr_db, packets=4):
+    sent = errors = 0
+    airtime = 0.0
+    for _ in range(packets):
+        r = session.run_packet(snr_db=snr_db)
+        airtime += r.duration_us
+        if r.delivered:
+            sent += r.tag_bits_sent
+            errors += r.tag_bit_errors
+    rate = sent / airtime * 1e3 if airtime else 0.0
+    ber = errors / sent if sent else 1.0
+    return rate, ber
+
+
+def amplitude_rate_and_ber(snr_db, packets=4, seed=190,
+                           reflection_db=-22.0):
+    """Wi-Fi Backscatter [15]-style: amplitude tag + energy detector.
+
+    Crucially, [15]'s receiver shares the channel with the excitation
+    signal: it hears the full direct WiFi signal *plus* the tag's tiny
+    reflection (here -22 dB below it, with a random carrier phase), and
+    must detect the reflection's amplitude toggling in the combined
+    envelope.  FreeRider's frequency-shifted receiver never faces this —
+    the whole reason [15] tops out at ~1 kb/s and sub-metre range.
+    """
+    rng = np.random.default_rng(seed)
+    session = WifiBackscatterSession(seed=seed, payload_bytes=512)
+    tag = FreeRiderTag(AmplitudeTranslator(high=1.0, low=0.5), repetition=4)
+    eps = 10 ** (reflection_db / 20)
+    sent = errors = 0
+    airtime = 0.0
+    for _ in range(packets):
+        frame = session.transmitter.build(
+            session.transmitter.random_psdu(512))
+        info = session._info(frame)
+        bits = rng.integers(0, 2, tag.capacity_bits(info)).astype(np.uint8)
+        out = tag.backscatter(frame.samples, info, bits)
+        phase = np.exp(1j * rng.uniform(0, 2 * np.pi))
+        combined = frame.samples + eps * phase * out.samples
+        noisy = awgn_at_snr(combined, snr_db, rng)
+        plan = out.plan
+        dec = EnergyTagDecoder(
+            span_samples=plan.unit_samples * plan.repetition,
+            start_sample=plan.start_sample)
+        decoded = dec.decode(noisy, n_tag_bits=out.bits_sent)
+        sent += out.bits_sent
+        errors += decoded.errors_against(bits[:out.bits_sent])
+        airtime += frame.duration_us
+    return sent / airtime * 1e3, errors / sent if sent else 1.0
+
+
+def run_experiment():
+    rows = []
+    for snr in (15.0, 5.0):
+        rate, ber = scheme_rate_and_ber(
+            WifiBackscatterSession(seed=191, payload_bytes=512), snr)
+        rows.append(["FreeRider OFDM (binary)", snr, rate, ber])
+        rate, ber = scheme_rate_and_ber(
+            QuaternaryWifiSession(seed=192, payload_bytes=512), snr)
+        rows.append(["FreeRider OFDM (quaternary)", snr, rate, ber])
+        rate, ber = scheme_rate_and_ber(
+            DsssBackscatterSession(seed=193, payload_bytes=500), snr)
+        rows.append(["HitchHike 802.11b [25]", snr, rate, ber])
+        rate, ber = amplitude_rate_and_ber(snr)
+        rows.append(["Wi-Fi Backscatter [15] (amplitude)", snr, rate, ber])
+    return rows
+
+
+def test_baseline_comparison(once, emit):
+    rows = once(run_experiment)
+    table = format_table(
+        ["scheme", "SNR (dB)", "tag rate (kb/s)", "tag BER"], rows,
+        title="Baseline comparison: codeword translation vs prior schemes")
+    emit("baseline_comparison", table)
+
+    by_key = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    ofdm15 = by_key[("FreeRider OFDM (binary)", 15.0)]
+    quat15 = by_key[("FreeRider OFDM (quaternary)", 15.0)]
+    dsss15 = by_key[("HitchHike 802.11b [25]", 15.0)]
+    amp5 = by_key[("Wi-Fi Backscatter [15] (amplitude)", 5.0)]
+    ofdm5 = by_key[("FreeRider OFDM (binary)", 5.0)]
+
+    # Paper 4.2.1: DSSS symbols are shorter -> HitchHike rate is higher.
+    assert dsss15[0] > 1.2 * ofdm15[0]
+    # Equation 5 doubles the binary rate.
+    assert quat15[0] > 1.7 * ofdm15[0]
+    # All codeword-translation schemes are clean at 15 dB.
+    assert ofdm15[1] < 1e-2 and quat15[1] < 1e-2 and dsss15[1] < 1e-2
+    # The incoherent amplitude baseline degrades at low SNR while
+    # coherent translation holds.
+    assert ofdm5[1] < 1e-2
+    assert amp5[1] > 10 * max(ofdm5[1], 1e-3)

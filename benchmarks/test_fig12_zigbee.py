@@ -1,0 +1,50 @@
+"""Figure 12: ZigBee LOS deployment — throughput/BER/RSSI vs distance.
+
+Paper anchors: ~14 kb/s inside 12 m, ~12 kb/s still at 20 m, link ends
+near 22 m where RSSI approaches the CC2650's noise floor; tag BER is
+noticeably higher than WiFi's (~5e-2) because the phase-flipped PN
+codeword sits far from every valid codeword (reduced decision margin).
+"""
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import ZIGBEE_CONFIG
+from repro.sim.linksim import LinkSimulator
+from repro.sim.results import format_table
+
+DISTANCES = (1, 4, 8, 12, 16, 20, 22, 26)
+
+
+def run_experiment(packets_per_point=12, seed=120):
+    sim = LinkSimulator(ZIGBEE_CONFIG, Deployment.los(1.0),
+                        packets_per_point=packets_per_point, seed=seed)
+    return sim.sweep(DISTANCES)
+
+
+def test_fig12_zigbee(once, emit):
+    points = once(run_experiment)
+    rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
+             p.delivery_ratio] for p in points]
+    table = format_table(
+        ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
+         "delivery"], rows,
+        title="Figure 12: ZigBee LOS backscatter vs distance "
+              "(5 dBm 802.15.4 exciter, tag 1 m away)")
+    from repro.sim.charts import ascii_chart
+    from repro.sim.results import Series
+    curve = Series("throughput", x_label="distance (m)",
+                   y_label="kb/s")
+    for p in points:
+        curve.append(p.distance_m, p.throughput_kbps)
+    table += "\n\n" + ascii_chart(curve, title="ZigBee LOS throughput vs distance")
+    emit("fig12_zigbee", table)
+
+    by_d = {p.distance_m: p for p in points}
+    # (a) ~14 kb/s inside 12 m.
+    assert 11.0 < by_d[4].throughput_kbps < 16.0
+    assert by_d[12].throughput_kbps > 9.0
+    # Link fading out past 22 m (our cliff is softer than the paper's
+    # hard 22 m stop; see EXPERIMENTS.md).
+    assert by_d[26].delivery_ratio < 0.75
+    assert by_d[26].throughput_kbps < 0.7 * by_d[4].throughput_kbps
+    # (c) RSSI approaches the noise region at the edge.
+    assert by_d[22].rssi_dbm < -92.0

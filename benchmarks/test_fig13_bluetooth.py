@@ -1,0 +1,47 @@
+"""Figure 13: Bluetooth LOS deployment — throughput/BER/RSSI vs distance.
+
+Paper anchors: ~50 kb/s inside 10 m, throughput collapsing at 12 m
+where the backscattered signal reaches about -100 dBm (the CC2541's
+sensitivity region), with the edge-of-range BER rising sharply.
+"""
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import BLE_CONFIG
+from repro.sim.linksim import LinkSimulator
+from repro.sim.results import format_table
+
+DISTANCES = (1, 2, 4, 6, 8, 10, 12, 14)
+
+
+def run_experiment(packets_per_point=12, seed=130):
+    sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                        packets_per_point=packets_per_point, seed=seed)
+    return sim.sweep(DISTANCES)
+
+
+def test_fig13_bluetooth(once, emit):
+    points = once(run_experiment)
+    rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
+             p.delivery_ratio] for p in points]
+    table = format_table(
+        ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
+         "delivery"], rows,
+        title="Figure 13: Bluetooth LOS backscatter vs distance "
+              "(0 dBm FSK exciter, tag 1 m away)")
+    from repro.sim.charts import ascii_chart
+    from repro.sim.results import Series
+    curve = Series("throughput", x_label="distance (m)",
+                   y_label="kb/s")
+    for p in points:
+        curve.append(p.distance_m, p.throughput_kbps)
+    table += "\n\n" + ascii_chart(curve, title="Bluetooth LOS throughput vs distance")
+    emit("fig13_bluetooth", table)
+
+    by_d = {p.distance_m: p for p in points}
+    # (a) ~50 kb/s inside 10 m, degrading at 12 m.
+    assert 46.0 < by_d[4].throughput_kbps < 55.0
+    assert by_d[10].throughput_kbps > 35.0
+    assert by_d[12].throughput_kbps < by_d[10].throughput_kbps + 1.0
+    assert by_d[14].delivery_ratio < 0.8
+    # Ordering across radios: Bluetooth range < ZigBee range < WiFi range
+    # is enforced in test_fig14_regime.

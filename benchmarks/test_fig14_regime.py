@@ -1,0 +1,49 @@
+"""Figure 14: the operational regime — maximum receiver-to-tag distance
+as a function of transmitter-to-tag distance, for all three radios.
+
+Paper anchors: at 1 m TX-to-tag, WiFi reaches ~42 m, ZigBee ~22 m,
+Bluetooth ~12 m; at 4 m TX-to-tag the WiFi range collapses to ~8 m; the
+maximum workable TX-to-tag distances are ~4.5 m (WiFi), ~2 m (ZigBee),
+~1.5 m (Bluetooth).
+"""
+
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.results import format_table
+
+TX_DISTANCES = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5)
+CONFIGS = (WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG)
+
+
+def run_experiment():
+    rows = []
+    for d_tx in TX_DISTANCES:
+        row = [d_tx]
+        for cfg in CONFIGS:
+            row.append(cfg.budget().max_range_m(d_tx, cfg.sensitivity_dbm()))
+        rows.append(row)
+    return rows
+
+
+def test_fig14_regime(once, emit):
+    rows = once(run_experiment)
+    table = format_table(
+        ["tx-to-tag (m)"] + [c.name for c in CONFIGS], rows,
+        title="Figure 14: operational regime — max RX-to-tag distance (m)")
+    emit("fig14_regime", table)
+
+    regime = {row[0]: dict(zip((c.name for c in CONFIGS), row[1:]))
+              for row in rows}
+    # Anchors at TX-to-tag = 1 m.
+    assert abs(regime[1.0]["wifi"] - 42.0) < 5.0
+    assert abs(regime[1.0]["zigbee"] - 22.0) < 3.0
+    assert abs(regime[1.0]["bluetooth"] - 12.0) < 2.0
+    # WiFi at 4 m collapses to single digits (paper: ~8 m).
+    assert regime[4.0]["wifi"] < 13.0
+    # Radio ordering holds everywhere in the regime.
+    for row in rows:
+        _, wifi, zigbee, ble = row
+        assert wifi > zigbee > ble
+    # Ranges shrink monotonically as the exciter moves away.
+    for cfg in CONFIGS:
+        ranges = [regime[d][cfg.name] for d in TX_DISTANCES]
+        assert ranges == sorted(ranges, reverse=True)

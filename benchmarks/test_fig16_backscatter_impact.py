@@ -1,0 +1,57 @@
+"""Figure 16: backscatter throughput CDFs with WiFi traffic present or
+absent, for all three excitation radios.
+
+Paper anchors: WiFi backscatter keeps its 61.8 kb/s median but gains a
+lower tail (degrading to ~35 kb/s for ~10 % of the time) when channel-6
+traffic runs; ZigBee and Bluetooth backscatter shift by only ~1-2 kb/s
+because their narrowband receivers filter the out-of-band interference.
+"""
+
+import numpy as np
+
+from repro.net.coexistence import CoexistenceSimulator
+from repro.sim.results import format_table
+
+SCENARIOS = (
+    ("wifi", 61.8, 20e6),
+    ("zigbee", 15.0, 2e6),
+    ("bluetooth", 55.0, 1e6),
+)
+
+
+def run_experiment(n=250, seed=160):
+    sim = CoexistenceSimulator(seed=seed)
+    out = {}
+    for radio, base, bw in SCENARIOS:
+        out[(radio, "absent")] = sim.backscatter_throughput_samples(
+            n, base_kbps=base, receiver_bandwidth_hz=bw, wifi_present=False)
+        out[(radio, "present")] = sim.backscatter_throughput_samples(
+            n, base_kbps=base, receiver_bandwidth_hz=bw, wifi_present=True)
+    return out
+
+
+def test_fig16_backscatter_impact(once, emit):
+    samples = once(run_experiment)
+    rows = []
+    for (radio, wifi_state), s in samples.items():
+        rows.append([radio, wifi_state, float(np.median(s)),
+                     float(np.percentile(s, 10))])
+    table = format_table(
+        ["backscattered radio", "wifi traffic", "median (kb/s)",
+         "p10 (kb/s)"], rows,
+        title="Figure 16: backscatter throughput with WiFi present/absent")
+    emit("fig16_backscatter_impact", table)
+
+    def med(radio, state):
+        return float(np.median(samples[(radio, state)]))
+
+    def p10(radio, state):
+        return float(np.percentile(samples[(radio, state)], 10))
+
+    # (a) WiFi backscatter: median stable, tail visibly degraded.
+    assert abs(med("wifi", "present") - med("wifi", "absent")) < 3.0
+    assert p10("wifi", "present") < p10("wifi", "absent") - 5.0
+    # (b)/(c) narrowband radios: ~1-2 kb/s shift only.
+    for radio in ("zigbee", "bluetooth"):
+        assert abs(med(radio, "present") - med(radio, "absent")) < 2.0
+        assert abs(p10(radio, "present") - p10(radio, "absent")) < 3.0

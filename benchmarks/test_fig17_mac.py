@@ -1,0 +1,58 @@
+"""Figure 17: multi-tag MAC — aggregate throughput (a, measured and
+simulated) and Jain's fairness index (b) for 4/8/12/16/20 tags, plus
+the section 4.5 asymptotes (~18 kb/s framed slotted Aloha vs ~40 kb/s
+for the collision-free TDM extension).
+"""
+
+import numpy as np
+
+from repro.sim.macsim import MacExperiment
+from repro.sim.results import format_table
+
+TAG_COUNTS = (4, 8, 12, 16, 20)
+
+
+def run_experiment(seed=170):
+    exp = MacExperiment(measured_rounds=12, simulated_rounds=300, seed=seed)
+    points = exp.sweep(TAG_COUNTS)
+    aloha_asym = exp.asymptote_kbps(n_tags=120, scheme="aloha")
+    tdm_asym = exp.asymptote_kbps(n_tags=120, scheme="tdm")
+    fairness_avg20 = float(np.mean([exp.run_point(20).fairness
+                                    for _ in range(6)]))
+    return points, aloha_asym, tdm_asym, fairness_avg20
+
+
+def test_fig17_mac(once, emit):
+    points, aloha_asym, tdm_asym, fairness20 = once(run_experiment)
+    rows = [[p.n_tags, p.measured_kbps, p.simulated_kbps, p.tdm_kbps,
+             p.fairness] for p in points]
+    table = format_table(
+        ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
+         "Jain fairness"], rows,
+        title="Figure 17: multi-tag MAC throughput and fairness")
+    table += (f"\n>20-tag asymptotes: Aloha {aloha_asym:.1f} kb/s "
+              f"(paper ~18), TDM {tdm_asym:.1f} kb/s (paper ~40)"
+              f"\naveraged 20-tag fairness: {fairness20:.2f} (paper ~0.85)")
+    from repro.sim.charts import ascii_chart
+    from repro.sim.results import Series
+
+    curve = Series("aloha", x_label="tags", y_label="kb/s")
+    for p in points:
+        curve.append(p.n_tags, p.simulated_kbps)
+    table += "\n\n" + ascii_chart(curve, height=10,
+                                  title="FSA throughput vs tag count")
+    emit("fig17_mac", table)
+
+    by_n = {p.n_tags: p for p in points}
+    # (a) throughput grows with tag count toward the asymptote.
+    assert by_n[20].simulated_kbps > by_n[4].simulated_kbps
+    assert 12.0 < by_n[20].simulated_kbps < 18.0
+    assert 14.0 < aloha_asym < 23.0
+    assert 33.0 < tdm_asym < 46.0
+    # (b) fairness stays high and roughly flat (paper: ~0.85 at 20 tags).
+    for p in points:
+        assert p.fairness > 0.6
+    assert abs(fairness20 - 0.85) < 0.12
+    # Measured (short window) and simulated (long run) agree in shape.
+    for p in points:
+        assert abs(p.measured_kbps - p.simulated_kbps) < 6.0

@@ -1,0 +1,39 @@
+"""Figure 3: PDF of ambient packet durations on channel 6, and the
+caption's claim that ~0.03 % of ambient packets forge a PLM bit."""
+
+import numpy as np
+
+from repro.net.traffic import AmbientTrafficModel
+from repro.sim.results import format_table
+
+
+def run_experiment(n_packets=300_000, seed=30):
+    model = AmbientTrafficModel(rng=np.random.default_rng(seed))
+    durations = model.sample_durations(n_packets)
+    edges_ms = np.arange(0.0, 3.2, 0.2)
+    hist, _ = np.histogram(durations / 1e3, bins=edges_ms)
+    pdf = hist / n_packets
+    forge = model.forge_probability(700.0, 1100.0, 25.0, n_probe=n_packets)
+    short = float(np.mean(durations < 500))
+    long = float(np.mean((durations >= 1500) & (durations <= 2700)))
+    return edges_ms, pdf, forge, short, long
+
+
+def test_fig3(once, emit):
+    edges, pdf, forge, short, long = once(run_experiment)
+    rows = [[f"{edges[i]:.1f}-{edges[i + 1]:.1f}", float(p)]
+            for i, p in enumerate(pdf)]
+    table = format_table(["duration (ms)", "PDF"], rows,
+                         title="Figure 3: ambient packet-duration PDF "
+                               "(30 M-packet lecture-hall model)")
+    table += (f"\n<500us mass: {short:.3f} (paper ~0.78)   "
+              f"1.5-2.7ms mass: {long:.3f} (paper ~0.18)"
+              f"\nP(ambient forges a PLM bit, 25us bound): {100 * forge:.3f} %"
+              f" (paper ~0.03 %)")
+    emit("fig3_traffic", table)
+    assert abs(short - 0.78) < 0.02
+    assert abs(long - 0.18) < 0.02
+    assert 0.0001 < forge < 0.0007
+    # Bimodal: the quiet zone (0.6-1.4 ms) is nearly empty.
+    quiet = sum(p for (lo, p) in zip(edges, pdf) if 0.6 <= lo < 1.4)
+    assert quiet < 0.01

@@ -1,0 +1,122 @@
+"""Impairment ablation: how much of the paper's measured tag BER do
+commodity-radio front-end imperfections explain?
+
+EXPERIMENTS.md notes our AWGN-only tag BER sits below the paper's
+(ZigBee ~5e-2, Bluetooth up to 0.23 at the range edge).  This bench
+injects CFO and phase noise between tag and receiver and shows the BER
+climbing into the paper's band — supporting the attribution.
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn_at_snr
+from repro.channel.impairments import ImpairmentChain
+from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
+from repro.core.session import BleBackscatterSession, ZigbeeBackscatterSession
+from repro.sim.results import format_table
+
+
+def zigbee_ber_under(chain, snr_db=10.0, packets=5, seed=200):
+    from repro.phy.zigbee import ZigbeeReceiver
+
+    rng = np.random.default_rng(seed)
+    session = ZigbeeBackscatterSession(seed=seed, repetition=4)
+    # Radios with real frequency offsets run their CFO estimator.
+    session.receiver = ZigbeeReceiver(sps=session.sps, cfo_correction=True)
+    sent = errors = 0
+    for _ in range(packets):
+        frame = session.transmitter.build(
+            session.transmitter.random_payload(session.payload_bytes))
+        info = session._info(frame)
+        bits = rng.integers(0, 2, session.tag.capacity_bits(info)) \
+            .astype(np.uint8)
+        out = session.tag.backscatter(frame.samples, info, bits)
+        impaired = chain.apply(out.samples, session.sample_rate_hz, rng)
+        noisy = awgn_at_snr(impaired, snr_db, rng)
+        result = session.receiver.decode(noisy, frame.n_symbols)
+        decoder = SymbolDiffTagDecoder(
+            repetition=4, offset_symbols=session._header_symbols)
+        decoded = decoder.decode(frame.symbols, result.symbols,
+                                 n_tag_bits=out.bits_sent)
+        sent += out.bits_sent
+        errors += decoded.errors_against(bits[:out.bits_sent])
+    return errors / sent if sent else 1.0
+
+
+def ble_ber_under(chain, snr_db=16.0, packets=4, seed=201):
+    rng = np.random.default_rng(seed)
+    session = BleBackscatterSession(seed=seed)
+    sent = errors = 0
+    for _ in range(packets):
+        frame = session.transmitter.build(
+            session.transmitter.random_payload(session.payload_bytes))
+        info = session._info(frame)
+        bits = rng.integers(0, 2, session.tag.capacity_bits(info)) \
+            .astype(np.uint8)
+        out = session.tag.backscatter(frame.samples, info, bits)
+        impaired = chain.apply(out.samples, session.sample_rate_hz, rng)
+        noisy = awgn_at_snr(impaired, snr_db, rng)
+        rx_bits = session.receiver.decode_bits(noisy, frame.n_bits)
+        decoder = XorTagDecoder(bits_per_unit=1,
+                                repetition=session.repetition,
+                                offset_bits=session._header_bits,
+                                guard_bits=2)
+        decoded = decoder.decode(frame.bits, rx_bits,
+                                 n_tag_bits=out.bits_sent)
+        sent += out.bits_sent
+        errors += decoded.errors_against(bits[:out.bits_sent])
+    return errors / sent if sent else 1.0
+
+
+ZIGBEE_CHAINS = (
+    ("clean", ImpairmentChain()),
+    ("cfo 10 kHz (corrected)", ImpairmentChain(cfo_hz=10e3)),
+    ("cfo 25 kHz (corrected)", ImpairmentChain(cfo_hz=25e3)),
+    ("cfo 25 kHz + 50 Hz phase noise",
+     ImpairmentChain(cfo_hz=25e3, phase_noise_linewidth_hz=50.0)),
+    ("cfo 25 kHz + 150 Hz phase noise",
+     ImpairmentChain(cfo_hz=25e3, phase_noise_linewidth_hz=150.0)),
+    ("cfo 40 kHz (beyond pull-in)", ImpairmentChain(cfo_hz=40e3)),
+)
+
+BLE_CHAINS = (
+    ("clean", ImpairmentChain()),
+    ("cfo 40 kHz", ImpairmentChain(cfo_hz=40e3)),
+    ("cfo 150 kHz", ImpairmentChain(cfo_hz=150e3)),
+    ("cfo 250 kHz (= deviation)", ImpairmentChain(cfo_hz=250e3)),
+)
+
+
+def run_experiment():
+    rows = []
+    for label, chain in ZIGBEE_CHAINS:
+        rows.append(["zigbee", label, zigbee_ber_under(chain)])
+    for label, chain in BLE_CHAINS:
+        rows.append(["bluetooth", label, ble_ber_under(chain)])
+    return rows
+
+
+def test_impairment_ablation(once, emit):
+    rows = once(run_experiment)
+    table = format_table(["radio", "impairment", "tag BER"], rows,
+                         title="Impairment ablation: front-end dirt vs "
+                               "tag BER (see EXPERIMENTS.md deviations)")
+    emit("impairment_ablation", table)
+
+    zig = {r[1]: r[2] for r in rows if r[0] == "zigbee"}
+    ble = {r[1]: r[2] for r in rows if r[0] == "bluetooth"}
+    # Clean links are near error-free; CFO inside the estimator's
+    # pull-in range is corrected away.
+    assert zig["clean"] < 1e-2
+    assert zig["cfo 25 kHz (corrected)"] < 1e-2
+    # Untracked phase noise accumulates over the frame and pushes the
+    # BER into (and past) the paper's ~5e-2 band.
+    assert zig["cfo 25 kHz + 50 Hz phase noise"] > zig["clean"]
+    assert zig["cfo 25 kHz + 150 Hz phase noise"] \
+        >= zig["cfo 25 kHz + 50 Hz phase noise"] - 0.02
+    # Beyond pull-in the coherent correlator collapses.
+    assert zig["cfo 40 kHz (beyond pull-in)"] > 0.3
+    # Bluetooth's differential discriminator shrugs off CFO until the
+    # offset reaches the FSK deviation itself.
+    assert ble["cfo 150 kHz"] < 1e-2
+    assert ble["cfo 250 kHz (= deviation)"] > 0.3

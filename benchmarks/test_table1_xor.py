@@ -1,0 +1,35 @@
+"""Table 1: the XOR decoding logic between backscattered codeword,
+excitation codeword, and tag bits — exercised through the real
+end-to-end WiFi chain rather than as a truth table."""
+
+import numpy as np
+
+from repro.core.session import WifiBackscatterSession
+from repro.sim.results import format_table
+from repro.utils.bits import xor_bits
+
+
+def run_experiment():
+    rows = []
+    # The abstract logic table.
+    for decoded, original in ((1, 0), (0, 1), (0, 0), (1, 1)):
+        tag_bit = int(xor_bits([decoded], [original])[0])
+        rows.append([f"C{decoded + 1}", f"C{original + 1}", tag_bit])
+    # End-to-end confirmation: known tag bits recovered through the
+    # full scramble/encode/interleave/OFDM chain.
+    session = WifiBackscatterSession(seed=101, payload_bytes=256)
+    tag_bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+    result = session.run_packet(snr_db=20.0, tag_bits=tag_bits)
+    return rows, result
+
+
+def test_table1(once, emit):
+    rows, result = once(run_experiment)
+    table = format_table(
+        ["decoded codeword", "excitation codeword", "tag bit"], rows,
+        title="Table 1: codeword-translation decoding logic (tag = XOR)")
+    table += (f"\nend-to-end over 802.11g chain: {result.tag_bits_sent} tag "
+              f"bits sent, {result.tag_bit_errors} errors")
+    emit("table1_xor", table)
+    assert [r[2] for r in rows] == [1, 1, 0, 0]
+    assert result.delivered and result.tag_bit_errors == 0

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Link-budget explorer: where can you deploy a FreeRider tag?
+
+Prints the operational regime (Figure 14 style) for each radio — the
+maximum receiver distance as a function of exciter-to-tag distance —
+plus a waterfall of the dB budget for one example deployment.  Useful
+for answering "will a tag work on this shelf?" before placing hardware.
+
+Run:  python examples/link_budget_explorer.py
+"""
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.channel.pathloss import LOS_HALLWAY
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+
+
+
+
+def main() -> None:
+    tx_distances = (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5)
+
+    print("operational regime: max RX-to-tag distance (m) vs TX-to-tag")
+    print(f"{'tx->tag (m)':>12s}", end="")
+    for cfg in (WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG):
+        print(f"{cfg.name:>12s}", end="")
+    print()
+    for d_tx in tx_distances:
+        print(f"{d_tx:12.1f}", end="")
+        for cfg in (WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG):
+            r = cfg.budget().max_range_m(d_tx, cfg.sensitivity_dbm())
+            print(f"{r:12.1f}", end="")
+        print()
+
+    # dB waterfall for the paper's standard WiFi deployment.
+    cfg = WIFI_CONFIG
+    budget = cfg.budget()
+    dep = Deployment.los(tag_to_rx_m=18.0)
+    print("\nbudget waterfall (WiFi, tag 1 m from TX, RX 18 m away):")
+    incident = budget.tag_incident_dbm(dep)
+    print(f"  TX power                 {cfg.tx_power_dbm:+7.1f} dBm")
+    print(f"  path loss TX->tag (1 m)  {-LOS_HALLWAY.loss_db(1.0):+7.1f} dB")
+    print(f"  incident at tag          {incident:+7.1f} dBm")
+    print(f"  tag conversion loss      {-budget.tag_loss_db:+7.1f} dB")
+    print(f"  path loss tag->RX (18 m) {-LOS_HALLWAY.loss_db(18.0):+7.1f} dB")
+    print(f"  RSSI at receiver         {budget.rssi_dbm(dep):+7.1f} dBm")
+    print(f"  noise floor (20 MHz)     {budget.noise_dbm:+7.1f} dBm")
+    print(f"  SNR                      {budget.snr_db(dep):+7.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: one FreeRider tag riding a productive 802.11g/n packet.
+
+A WiFi transmitter sends a normal 1500-byte frame; the tag embeds a
+short message by codeword translation (180-degree phase flips spanning
+four OFDM symbols each); a second commodity WiFi receiver on the
+adjacent channel decodes the backscattered frame; XOR-ing the two
+decoded bit streams recovers the tag message.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.channel.awgn import awgn_at_snr
+from repro.core.decoder import XorTagDecoder
+from repro.core.translation import PhaseTranslator
+from repro.phy.wifi import WifiReceiver, WifiTransmitter
+from repro.tag.tag import ExcitationInfo, FreeRiderTag
+from repro.utils.bits import bits_to_bytes, bytes_to_bits
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. Productive WiFi traffic: a 6 Mb/s frame with a random payload.
+    transmitter = WifiTransmitter(rate_mbps=6.0, seed=rng)
+    psdu = transmitter.random_psdu(1500)
+    frame = transmitter.build(psdu)
+    print(f"excitation: 802.11g {frame.rate.mbps:.0f} Mb/s, "
+          f"{len(psdu)} B payload, {frame.duration_us:.0f} us airtime")
+
+    # 2. The tag embeds its message (here: the ASCII bytes "IoT!").
+    message = b"IoT!"
+    tag_bits = bytes_to_bits(message)
+    tag = FreeRiderTag(PhaseTranslator(n_levels=2), repetition=4)
+    info = ExcitationInfo(
+        sample_rate_hz=20e6, unit_samples=80,
+        data_start_sample=frame.data_start + 80,  # skip the SERVICE symbol
+        total_samples=frame.n_samples)
+    print(f"tag: capacity {tag.capacity_bits(info)} bits/packet, "
+          f"sending {tag_bits.size} bits, "
+          f"power {tag.power_budget(20e6).total_uw:.0f} uW")
+    reflected = tag.backscatter(frame.samples, info, tag_bits)
+
+    # 3. Channel to the backscatter receiver (20 dB SNR here).
+    received = awgn_at_snr(reflected.samples, snr_db=20.0, rng=rng)
+
+    # 4. A commodity receiver decodes the backscattered frame (its FCS
+    #    fails -- monitor mode still delivers the bits).
+    result = WifiReceiver().decode(received)
+    assert result.header_ok, "backscattered header lost"
+    print(f"receiver: header ok, FCS {'ok' if result.fcs_ok else 'bad '}"
+          f"(expected bad: the tag re-wrote the payload)")
+
+    # 5. XOR against the original stream, majority-vote each 4-symbol span.
+    decoder = XorTagDecoder(bits_per_unit=frame.rate.n_dbps, repetition=4,
+                            offset_bits=frame.rate.n_dbps, guard_bits=2)
+    decoded = decoder.decode(frame.data_bits, result.data_field_bits,
+                             n_tag_bits=tag_bits.size)
+    recovered = bits_to_bytes(decoded.bits)
+    print(f"tag message: sent {message!r}, recovered {recovered!r}, "
+          f"bit errors {decoded.errors_against(tag_bits)}")
+
+
+if __name__ == "__main__":
+    main()

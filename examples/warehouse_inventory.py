@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Warehouse inventory: twenty battery-free tags share one WiFi exciter.
+
+The intro's motivating IoT scenario: item-tracking tags that cannot
+afford radios of their own.  The transmitter coordinates them with
+packet-length-modulation start messages and a framed-slotted-Aloha
+frame whose size adapts to the (unknown, changing) tag population —
+tags join and leave mid-run with no association step.
+
+Run:  python examples/warehouse_inventory.py
+"""
+
+import numpy as np
+
+from repro.mac.aloha import AlohaConfig, FramedSlottedAloha
+from repro.mac.controller import SlotController
+from repro.mac.fairness import jain_index
+from repro.mac.plm import PlmConfig, PlmTransmitter
+
+
+def main() -> None:
+    cfg = AlohaConfig()
+    plm = PlmTransmitter(PlmConfig())
+    print("MAC configuration:")
+    print(f"  slot: {cfg.slot_bits} bits = {cfg.slot_airtime_us/1e3:.1f} ms "
+          f"at {cfg.tag_rate_kbps} kb/s tag rate")
+    print(f"  start message: {cfg.control_payload_bits} bits over PLM = "
+          f"{plm.message_airtime_us(cfg.control_payload_bits)/1e3:.0f} ms "
+          f"({plm.config.bit_rate_bps:.0f} b/s downlink)")
+
+    # Phase 1: 8 tags on shift.
+    print("\nphase 1: 8 tags, 40 rounds")
+    sim = FramedSlottedAloha(cfg, seed=42)
+    res = sim.simulate(8, n_rounds=40)
+    report(res)
+
+    # Phase 2: a pallet of 12 more tagged items arrives -- no
+    # re-association, the frame size simply adapts.
+    print("\nphase 2: 20 tags, 40 rounds (12 new arrivals)")
+    ctrl = SlotController(res.rounds[-1].n_slots, cfg.min_slots,
+                          cfg.max_slots)
+    res2 = FramedSlottedAloha(cfg, seed=43).simulate(20, n_rounds=40,
+                                                     controller=ctrl)
+    report(res2)
+
+    slots = [r.n_slots for r in res.rounds] + [r.n_slots for r in res2.rounds]
+    print(f"\nframe-size trajectory (first->last): {slots[0]} -> {slots[-1]} "
+          f"slots (controller tracked the population)")
+
+
+def report(res) -> None:
+    bits = list(res.per_tag_bits.values())
+    heard = sum(1 for b in bits if b > 0)
+    print(f"  aggregate throughput: {res.aggregate_throughput_kbps:5.1f} kb/s")
+    print(f"  tags heard: {heard}/{res.n_tags}")
+    print(f"  Jain fairness: {jain_index(bits):.2f}")
+    print(f"  collision rate: {res.collision_rate:.2f}")
+
+
+if __name__ == "__main__":
+    main()

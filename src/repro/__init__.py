@@ -1,0 +1,25 @@
+"""FreeRider reproduction: backscatter communication using commodity
+radios (Zhang, Josephson, Bharadia, Katti — CoNEXT 2017).
+
+Quick start
+-----------
+>>> from repro.core.session import WifiBackscatterSession
+>>> session = WifiBackscatterSession(seed=7)
+>>> result = session.run_packet(snr_db=20)
+>>> result.delivered, result.tag_ber
+(True, 0.0)
+
+Package layout
+--------------
+``repro.phy``      bit-exact 802.11g/n, 802.15.4 and Bluetooth PHYs
+``repro.core``     codeword translation, tag-data decoding, sessions
+``repro.tag``      tag hardware models (envelope detector, switch, power)
+``repro.channel``  path loss, AWGN, fading, backscatter link budgets
+``repro.mac``      PLM downlink + framed slotted Aloha uplink
+``repro.net``      ambient traffic and coexistence models
+``repro.sim``      calibrated configs and experiment drivers
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,34 @@
+"""Wireless channel models: log-distance path loss (LOS/NLOS), AWGN,
+flat fading, and the two-hop backscatter link budget that drives every
+range/throughput/BER figure of the paper."""
+
+from repro.channel.pathloss import (
+    PathLossModel,
+    LOS_HALLWAY,
+    NLOS_OFFICE,
+    free_space_path_loss_db,
+)
+from repro.channel.awgn import awgn, awgn_at_snr, snr_from_powers
+from repro.channel.fading import RayleighFading, RicianFading
+from repro.channel.impairments import ImpairmentChain
+from repro.channel.link import BackscatterLinkBudget, DirectLinkBudget
+from repro.channel.geometry import Deployment
+from repro.channel.multipath import TappedDelayLine, indoor_office_channel
+
+__all__ = [
+    "PathLossModel",
+    "LOS_HALLWAY",
+    "NLOS_OFFICE",
+    "free_space_path_loss_db",
+    "awgn",
+    "awgn_at_snr",
+    "snr_from_powers",
+    "RayleighFading",
+    "RicianFading",
+    "ImpairmentChain",
+    "BackscatterLinkBudget",
+    "DirectLinkBudget",
+    "Deployment",
+    "TappedDelayLine",
+    "indoor_office_channel",
+]

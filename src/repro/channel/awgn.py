@@ -1,0 +1,44 @@
+"""Additive white Gaussian noise with explicit SNR accounting."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.measure import signal_power
+from repro.utils.rng import make_rng
+
+__all__ = ["awgn", "awgn_at_snr", "snr_from_powers", "noise_for_floor"]
+
+
+def awgn(signal: np.ndarray, noise_power: float,
+         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Add complex AWGN of total power *noise_power* (linear)."""
+    if noise_power < 0:
+        raise ValueError("noise power must be non-negative")
+    gen = make_rng(rng)
+    sigma = np.sqrt(noise_power / 2)
+    noise = gen.normal(0, sigma, len(signal)) + 1j * gen.normal(0, sigma, len(signal))
+    return signal + noise
+
+
+def awgn_at_snr(signal: np.ndarray, snr_db: float,
+                rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Add noise so that the output SNR (w.r.t. the input's measured
+    power) equals *snr_db*."""
+    p = signal_power(signal)
+    noise_power = p / 10 ** (snr_db / 10)
+    return awgn(signal, noise_power, rng)
+
+
+def snr_from_powers(signal_dbm: float, noise_dbm: float) -> float:
+    """SNR in dB from absolute powers."""
+    return signal_dbm - noise_dbm
+
+
+def noise_for_floor(n_samples: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Unit-power complex noise vector (scale externally)."""
+    gen = make_rng(rng)
+    return (gen.normal(0, np.sqrt(0.5), n_samples)
+            + 1j * gen.normal(0, np.sqrt(0.5), n_samples))

@@ -1,0 +1,52 @@
+"""Flat small-scale fading: Rayleigh (NLOS) and Rician (LOS).
+
+Applied as a single complex gain per packet — appropriate because one
+FreeRider packet (hundreds of microseconds) is far shorter than the
+coherence time of a static indoor deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+__all__ = ["RayleighFading", "RicianFading"]
+
+
+class RayleighFading:
+    """Unit-mean-power Rayleigh block fading."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None):
+        self._rng = make_rng(rng)
+
+    def gain(self) -> complex:
+        """Draw one complex channel gain (E[|h|^2] = 1)."""
+        return complex(self._rng.normal(0, np.sqrt(0.5))
+                       + 1j * self._rng.normal(0, np.sqrt(0.5)))
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Scale the whole packet by one fading realisation."""
+        return signal * self.gain()
+
+
+class RicianFading:
+    """Unit-mean-power Rician block fading with K-factor (dB)."""
+
+    def __init__(self, k_db: float = 6.0,
+                 rng: Optional[np.random.Generator] = None):
+        self.k = 10 ** (k_db / 10)
+        self._rng = make_rng(rng)
+
+    def gain(self) -> complex:
+        los = np.sqrt(self.k / (self.k + 1))
+        scatter_sigma = np.sqrt(1 / (2 * (self.k + 1)))
+        return complex(los
+                       + self._rng.normal(0, scatter_sigma)
+                       + 1j * self._rng.normal(0, scatter_sigma))
+
+    def apply(self, signal: np.ndarray) -> np.ndarray:
+        """Scale the whole packet by one fading realisation."""
+        return signal * self.gain()

@@ -1,0 +1,51 @@
+"""Deployment geometry: where the exciter, tag and receiver sit.
+
+The paper's standard setup (section 4.1) fixes the tag 1 m from the
+exciting transmitter and sweeps the receiver away from the tag, in
+either the hallway (LOS) or room-to-hallway (NLOS) floor plan of
+Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.channel.pathloss import PathLossModel, LOS_HALLWAY, NLOS_OFFICE
+
+__all__ = ["Deployment"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """One physical arrangement of exciter, tag and backscatter receiver."""
+
+    tx_to_tag_m: float
+    tag_to_rx_m: float
+    forward_path: PathLossModel = LOS_HALLWAY
+    backscatter_path: PathLossModel = LOS_HALLWAY
+    name: str = "deployment"
+
+    def __post_init__(self):
+        if self.tx_to_tag_m <= 0 or self.tag_to_rx_m <= 0:
+            raise ValueError("distances must be positive")
+
+    @classmethod
+    def los(cls, tag_to_rx_m: float, tx_to_tag_m: float = 1.0) -> "Deployment":
+        """The hallway deployment of Figure 9(a)."""
+        return cls(tx_to_tag_m, tag_to_rx_m, LOS_HALLWAY, LOS_HALLWAY,
+                   name="los-hallway")
+
+    @classmethod
+    def nlos(cls, tag_to_rx_m: float, tx_to_tag_m: float = 1.0) -> "Deployment":
+        """The room-to-hallway deployment of Figure 9(b): forward path is
+        in-room LOS, the backscatter path crosses walls."""
+        return cls(tx_to_tag_m, tag_to_rx_m, LOS_HALLWAY, NLOS_OFFICE,
+                   name="nlos-office")
+
+    def with_rx_distance(self, tag_to_rx_m: float) -> "Deployment":
+        """Copy with a new receiver distance (for sweep loops)."""
+        return replace(self, tag_to_rx_m=tag_to_rx_m)
+
+    def with_tx_distance(self, tx_to_tag_m: float) -> "Deployment":
+        """Copy with a new exciter distance (Figure 14 sweeps)."""
+        return replace(self, tx_to_tag_m=tx_to_tag_m)

@@ -1,0 +1,124 @@
+"""Link budgets: the dB arithmetic behind every range figure.
+
+A backscatter link is the cascade
+
+    P_rx = P_tx - PL(tx->tag) - L_tag - PL(tag->rx)
+
+where ``L_tag`` bundles the RF switch insertion loss and the square-wave
+mixing conversion loss (the 2/pi fundamental of the toggle waveform,
+-3.9 dB per sideband — see ``repro.dsp.mixing``).  Because the loss is a
+*product* of two path losses, range shrinks dramatically as the exciter
+moves away from the tag — the effect Figure 14 maps out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.dsp.measure import noise_floor_dbm
+from repro.dsp.mixing import SQUARE_WAVE_FUNDAMENTAL_LOSS_DB
+
+__all__ = ["DirectLinkBudget", "BackscatterLinkBudget", "DEFAULT_TAG_LOSS_DB"]
+
+# Square-wave conversion loss (3.9 dB) + RF switch insertion and
+# impedance-mismatch losses (~4.5 dB for the ADG902-class switch).
+DEFAULT_TAG_LOSS_DB = SQUARE_WAVE_FUNDAMENTAL_LOSS_DB + 4.5
+
+
+@dataclass(frozen=True)
+class DirectLinkBudget:
+    """Ordinary one-hop radio link (the productive communication path)."""
+
+    tx_power_dbm: float
+    bandwidth_hz: float
+    noise_figure_db: float = 5.0
+
+    @property
+    def noise_dbm(self) -> float:
+        return noise_floor_dbm(self.bandwidth_hz, self.noise_figure_db)
+
+    def rx_power_dbm(self, deployment: Deployment,
+                     rng: Optional[np.random.Generator] = None) -> float:
+        """Received power at the tag's position from the exciter."""
+        loss = deployment.forward_path.loss_db(deployment.tx_to_tag_m, rng)
+        return self.tx_power_dbm - loss
+
+    def snr_db(self, deployment: Deployment,
+               rng: Optional[np.random.Generator] = None) -> float:
+        return self.rx_power_dbm(deployment, rng) - self.noise_dbm
+
+
+@dataclass(frozen=True)
+class BackscatterLinkBudget:
+    """Two-hop exciter -> tag -> receiver budget.
+
+    Parameters
+    ----------
+    tx_power_dbm:
+        Exciter transmit power (15 dBm WiFi, 5 dBm ZigBee, 0 dBm
+        Bluetooth in the paper).
+    bandwidth_hz:
+        Backscatter receiver bandwidth (20 MHz WiFi, 2 MHz ZigBee,
+        1 MHz Bluetooth).
+    tag_loss_db:
+        Conversion + insertion loss at the tag.
+    noise_figure_db:
+        Receiver noise figure.
+    """
+
+    tx_power_dbm: float
+    bandwidth_hz: float
+    tag_loss_db: float = DEFAULT_TAG_LOSS_DB
+    noise_figure_db: float = 5.0
+
+    @property
+    def noise_dbm(self) -> float:
+        return noise_floor_dbm(self.bandwidth_hz, self.noise_figure_db)
+
+    def tag_incident_dbm(self, deployment: Deployment,
+                         rng: Optional[np.random.Generator] = None) -> float:
+        """Power arriving at the tag antenna."""
+        loss = deployment.forward_path.loss_db(deployment.tx_to_tag_m, rng)
+        return self.tx_power_dbm - loss
+
+    def rssi_dbm(self, deployment: Deployment,
+                 rng: Optional[np.random.Generator] = None) -> float:
+        """Backscattered signal strength at the receiver — the quantity
+        plotted in Figures 10(c)-13(c)."""
+        incident = self.tag_incident_dbm(deployment, rng)
+        back_loss = deployment.backscatter_path.loss_db(deployment.tag_to_rx_m, rng)
+        return incident - self.tag_loss_db - back_loss
+
+    def snr_db(self, deployment: Deployment,
+               rng: Optional[np.random.Generator] = None) -> float:
+        """SNR of the backscattered signal at the receiver."""
+        return self.rssi_dbm(deployment, rng) - self.noise_dbm
+
+    def max_range_m(self, tx_to_tag_m: float, sensitivity_dbm: float,
+                    forward_path=None, backscatter_path=None,
+                    d_max: float = 200.0) -> float:
+        """Largest tag->rx distance where RSSI stays above *sensitivity*.
+
+        Solved by bisection over the monotone path-loss law; returns 0
+        when even the closest distance fails (exciter too far — the
+        regime boundary of Figure 14).
+        """
+        dep0 = Deployment(tx_to_tag_m, 0.1,
+                          forward_path or Deployment.los(1.0).forward_path,
+                          backscatter_path or Deployment.los(1.0).backscatter_path)
+        if self.rssi_dbm(dep0) < sensitivity_dbm:
+            return 0.0
+        lo, hi = 0.1, d_max
+        if self.rssi_dbm(dep0.with_rx_distance(hi)) >= sensitivity_dbm:
+            return hi
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if self.rssi_dbm(dep0.with_rx_distance(mid)) >= sensitivity_dbm:
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,173 @@
+"""Command-line interface: run FreeRider experiments without writing code.
+
+    python -m repro sweep  --radio wifi --deployment los --distances 1,10,20
+    python -m repro packet --radio zigbee --snr 15
+    python -m repro mac    --tags 4,8,12,16,20 --rounds 100
+    python -m repro regime
+    python -m repro power
+
+Each subcommand prints the same tables the benchmark harness writes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import config_by_name
+from repro.sim.results import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_floats(text: str) -> List[float]:
+    try:
+        values = [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad number list: {text!r}")
+    if not values:
+        raise argparse.ArgumentTypeError("empty list")
+    return values
+
+
+def _parse_ints(text: str) -> List[int]:
+    return [int(v) for v in _parse_floats(text)]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FreeRider (CoNEXT'17) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="distance sweep (Figures 10-13)")
+    sweep.add_argument("--radio", default="wifi",
+                       choices=["wifi", "zigbee", "bluetooth"])
+    sweep.add_argument("--deployment", default="los",
+                       choices=["los", "nlos"])
+    sweep.add_argument("--distances", type=_parse_floats,
+                       default=[1, 5, 10, 20, 30, 40])
+    sweep.add_argument("--packets", type=int, default=6)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    packet = sub.add_parser("packet", help="one end-to-end packet")
+    packet.add_argument("--radio", default="wifi",
+                        choices=["wifi", "zigbee", "bluetooth", "dsss",
+                                 "wifi-quaternary"])
+    packet.add_argument("--snr", type=float, default=20.0)
+    packet.add_argument("--seed", type=int, default=0)
+
+    mac = sub.add_parser("mac", help="multi-tag MAC (Figure 17)")
+    mac.add_argument("--tags", type=_parse_ints, default=[4, 8, 12, 16, 20])
+    mac.add_argument("--rounds", type=int, default=100)
+    mac.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("regime", help="operational regime (Figure 14)")
+    sub.add_parser("power", help="tag power budget (section 3.3)")
+    return parser
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sim.linksim import LinkSimulator
+
+    cfg = config_by_name(args.radio)
+    dep = (Deployment.los(1.0) if args.deployment == "los"
+           else Deployment.nlos(1.0))
+    sim = LinkSimulator(cfg, dep, packets_per_point=args.packets,
+                        seed=args.seed)
+    rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
+             p.delivery_ratio] for p in sim.sweep(args.distances)]
+    print(format_table(
+        ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
+         "delivery"], rows,
+        title=f"{args.radio} backscatter, {args.deployment} deployment"))
+    return 0
+
+
+def _cmd_packet(args) -> int:
+    from repro.core.session import (
+        BleBackscatterSession,
+        DsssBackscatterSession,
+        QuaternaryWifiSession,
+        WifiBackscatterSession,
+        ZigbeeBackscatterSession,
+    )
+
+    sessions = {
+        "wifi": WifiBackscatterSession,
+        "zigbee": ZigbeeBackscatterSession,
+        "bluetooth": BleBackscatterSession,
+        "dsss": DsssBackscatterSession,
+        "wifi-quaternary": QuaternaryWifiSession,
+    }
+    session = sessions[args.radio](seed=args.seed)
+    result = session.run_packet(snr_db=args.snr)
+    print(f"radio={args.radio} snr={args.snr:.1f} dB: "
+          f"delivered={result.delivered} "
+          f"tag_bits={result.tag_bits_sent} "
+          f"errors={result.tag_bit_errors} "
+          f"ber={result.tag_ber:.2e} "
+          f"airtime={result.duration_us:.0f} us")
+    return 0 if result.delivered else 1
+
+
+def _cmd_mac(args) -> int:
+    from repro.sim.macsim import MacExperiment
+
+    exp = MacExperiment(measured_rounds=12, simulated_rounds=args.rounds,
+                        seed=args.seed)
+    rows = [[p.n_tags, p.measured_kbps, p.simulated_kbps, p.tdm_kbps,
+             p.fairness] for p in exp.sweep(args.tags)]
+    print(format_table(
+        ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
+         "fairness"], rows, title="multi-tag MAC"))
+    return 0
+
+
+def _cmd_regime(_args) -> int:
+    configs = [config_by_name(r) for r in ("wifi", "zigbee", "bluetooth")]
+    rows = []
+    for d_tx in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5):
+        rows.append([d_tx] + [c.budget().max_range_m(d_tx, c.sensitivity_dbm())
+                              for c in configs])
+    print(format_table(["tx-to-tag (m)"] + [c.name for c in configs], rows,
+                       title="operational regime: max RX-to-tag distance (m)"))
+    return 0
+
+
+def _cmd_power(_args) -> int:
+    from repro.tag.power import TagPowerModel
+
+    model = TagPowerModel()
+    rows = []
+    for radio, shift in (("wifi", 20e6), ("zigbee", 5e6),
+                         ("bluetooth", 2e6)):
+        b = model.breakdown(radio, shift)
+        rows.append([radio, shift / 1e6, b.clock_uw, b.rf_switch_uw,
+                     b.control_uw, b.total_uw])
+    print(format_table(
+        ["radio", "shift (MHz)", "clock (uW)", "switch (uW)",
+         "control (uW)", "total (uW)"], rows, title="tag power budget"))
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "packet": _cmd_packet,
+    "mac": _cmd_mac,
+    "regime": _cmd_regime,
+    "power": _cmd_power,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

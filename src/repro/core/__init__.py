@@ -1,0 +1,63 @@
+"""FreeRider's primary contribution: codeword translation.
+
+* :mod:`repro.core.codebook` — formal codeword/codebook abstractions
+  (section 2.2.1 of the paper).
+* :mod:`repro.core.translation` — the per-radio signal transformations a
+  tag applies (phase offsets for OFDM/OQPSK, frequency shift for FSK).
+* :mod:`repro.core.decoder` — XOR / symbol-difference extraction of tag
+  bits from the two receivers' decoded streams (Table 1).
+* :mod:`repro.core.session` — end-to-end single-tag backscatter links
+  for each of the three radios.
+"""
+
+from repro.core.codebook import Codebook, Codeword, bluetooth_codebook, zigbee_codebook
+from repro.core.translation import (
+    PhaseTranslator,
+    FskShiftTranslator,
+    TranslationPlan,
+    bits_per_symbol_for_phase_levels,
+)
+from repro.core.decoder import (
+    XorTagDecoder,
+    SymbolDiffTagDecoder,
+    TagDecodeResult,
+)
+from repro.core.tagframe import TagDeframer, TagFramer, TagMessage
+
+_SESSION_EXPORTS = (
+    "WifiBackscatterSession",
+    "ZigbeeBackscatterSession",
+    "BleBackscatterSession",
+    "SessionResult",
+)
+
+
+def __getattr__(name):
+    # Sessions import the tag package, which imports repro.core.translation;
+    # resolving them lazily keeps that chain acyclic.
+    if name in _SESSION_EXPORTS:
+        from repro.core import session
+
+        return getattr(session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "Codebook",
+    "Codeword",
+    "bluetooth_codebook",
+    "zigbee_codebook",
+    "PhaseTranslator",
+    "FskShiftTranslator",
+    "TranslationPlan",
+    "bits_per_symbol_for_phase_levels",
+    "XorTagDecoder",
+    "SymbolDiffTagDecoder",
+    "TagDecodeResult",
+    "TagFramer",
+    "TagDeframer",
+    "TagMessage",
+    "WifiBackscatterSession",
+    "ZigbeeBackscatterSession",
+    "BleBackscatterSession",
+    "SessionResult",
+]

@@ -1,0 +1,127 @@
+"""Codewords and codebooks (paper section 2.2.1).
+
+A *codeword* is a physical-layer symbol; a *codebook* is the set of
+valid codewords a radio uses.  Codeword translation maps a codeword to
+another codeword **of the same codebook** by shifting amplitude, phase
+or frequency.  This module gives those notions a concrete, testable
+form and can answer the central validity question: does a given signal
+modification keep every codeword inside the codebook?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Codeword", "Codebook", "bluetooth_codebook", "zigbee_codebook",
+           "psk_codebook"]
+
+
+@dataclass(frozen=True)
+class Codeword:
+    """One codeword: a label plus its baseband template."""
+
+    label: str
+    template: np.ndarray
+
+    def distance(self, signal: np.ndarray) -> float:
+        """Normalised Euclidean distance of *signal* to this codeword."""
+        t = self.template
+        if signal.size != t.size:
+            raise ValueError("length mismatch")
+        scale = np.sqrt(np.mean(np.abs(t) ** 2))
+        if scale == 0:
+            raise ValueError("degenerate codeword")
+        return float(np.sqrt(np.mean(np.abs(signal - t) ** 2)) / scale)
+
+
+class Codebook:
+    """A finite set of codewords with nearest-codeword classification."""
+
+    def __init__(self, codewords: Dict[str, Codeword]):
+        if len(codewords) < 2:
+            raise ValueError("a codebook needs at least two codewords")
+        sizes = {cw.template.size for cw in codewords.values()}
+        if len(sizes) != 1:
+            raise ValueError("codewords must share one template length")
+        self._codewords = dict(codewords)
+
+    def __len__(self) -> int:
+        return len(self._codewords)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._codewords
+
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(self._codewords)
+
+    def get(self, label: str) -> Codeword:
+        return self._codewords[label]
+
+    def classify(self, signal: np.ndarray) -> Tuple[str, float]:
+        """Nearest codeword label and its distance."""
+        best_label, best_d = None, np.inf
+        for label, cw in self._codewords.items():
+            d = cw.distance(signal)
+            if d < best_d:
+                best_label, best_d = label, d
+        return best_label, best_d
+
+    def is_valid(self, signal: np.ndarray, tolerance: float = 0.35) -> bool:
+        """Is *signal* within *tolerance* of some codeword?  Figure 2's
+        broken-OFDM example fails this check after a naive amplitude
+        edit."""
+        _, d = self.classify(signal)
+        return d <= tolerance
+
+    def translation_map(self, transform: Callable[[np.ndarray], np.ndarray],
+                        tolerance: float = 0.35) -> Optional[Dict[str, str]]:
+        """Apply *transform* to every codeword and classify the result.
+
+        Returns the label->label map when every transformed codeword
+        stays valid, else None.  A non-None, non-identity map is exactly
+        a usable codeword translation.
+        """
+        mapping: Dict[str, str] = {}
+        for label, cw in self._codewords.items():
+            out = transform(cw.template)
+            target, d = self.classify(out)
+            if d > tolerance:
+                return None
+            mapping[label] = target
+        return mapping
+
+
+def bluetooth_codebook(n_samples: int = 64, fs: float = 8e6,
+                       deviation_hz: float = 250e3) -> Codebook:
+    """The two-tone FSK codebook B = {e^{j2pi f1 t}, e^{j2pi f0 t}}."""
+    t = np.arange(n_samples) / fs
+    one = Codeword("1", np.exp(1j * 2 * np.pi * deviation_hz * t))
+    zero = Codeword("0", np.exp(-1j * 2 * np.pi * deviation_hz * t))
+    return Codebook({"1": one, "0": zero})
+
+
+def zigbee_codebook(sps: int = 4) -> Codebook:
+    """The sixteen 32-chip OQPSK codewords of 802.15.4."""
+    from repro.phy.zigbee.chips import CHIP_SEQUENCES
+    from repro.phy.zigbee.oqpsk import OqpskModem
+
+    modem = OqpskModem(sps=sps)
+    words = {}
+    for s in range(16):
+        wav = modem.modulate(CHIP_SEQUENCES[s])
+        words[str(s)] = Codeword(str(s), wav)
+    return Codebook(words)
+
+
+def psk_codebook(n_phases: int, n_samples: int = 64) -> Codebook:
+    """An n-PSK single-carrier codebook (used in tests/ablations)."""
+    if n_phases < 2:
+        raise ValueError("need at least 2 phases")
+    base = np.ones(n_samples, dtype=complex)
+    words = {}
+    for k in range(n_phases):
+        words[str(k)] = Codeword(str(k), base * np.exp(2j * np.pi * k / n_phases))
+    return Codebook(words)

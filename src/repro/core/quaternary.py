@@ -1,0 +1,143 @@
+"""Quaternary codeword translation (equation 5): 90-degree phase steps
+carrying two tag bits per step — the paper's "higher data rate" option.
+
+A 90-degree rotation is a valid translation only when every subcarrier
+constellation is closed under it (QPSK and denser QAMs are; BPSK is
+not — see ``tests/core/test_codebook.py``).  Unlike the binary scheme,
+the rotated *coded* bits are a Gray-remap rather than a complement, so
+the plain XOR-of-decoded-bits trick cannot recover the level.  The
+FreeRider backhaul, which holds both receivers' outputs anyway
+(Figure 1), instead estimates each span's rotation directly on the
+equalised constellation:
+
+    level_k = argmax_l  Re( sum_span rx2 * conj(rx1_ref) * e^{-j l pi/2} )
+
+which is the maximum-likelihood detector for a common rotation over a
+span and degrades gracefully with SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.wifi.convolutional import CODE_802_11
+from repro.phy.wifi.interleaver import interleave
+from repro.phy.wifi.scrambler import Scrambler
+from repro.phy.wifi.plcp import TAIL_BITS
+from repro.utils.bits import as_bits
+
+__all__ = ["reference_symbol_matrix", "RotationTagDecoder",
+           "QuaternaryTagDecoder", "levels_to_bits", "bits_to_levels"]
+
+
+def reference_symbol_matrix(frame) -> np.ndarray:
+    """Re-derive the (n_symbols, 48) TX constellation matrix of a
+    :class:`~repro.phy.wifi.transmitter.WifiFrame` from its ground
+    truth (data bits + scrambler seed)."""
+    rate = frame.rate
+    scrambled = Scrambler(frame.scrambler_seed).process(frame.data_bits)
+    tail_start = 16 + 8 * len(frame.psdu)
+    scrambled[tail_start:tail_start + TAIL_BITS] = 0
+    coded = CODE_802_11.encode(scrambled, rate.coding_rate)
+    interleaved = interleave(coded, rate.n_cbps, rate.n_bpsc)
+    symbols = rate.constellation.modulate(interleaved)
+    return symbols.reshape(frame.n_data_symbols, -1)
+
+
+def bits_to_levels(tag_bits) -> np.ndarray:
+    """Pair tag bits MSB-first into phase levels 0..3 (equation 5)."""
+    bits = as_bits(tag_bits)
+    if bits.size % 2:
+        raise ValueError("quaternary scheme needs an even bit count")
+    pairs = bits.reshape(-1, 2)
+    return (2 * pairs[:, 0] + pairs[:, 1]).astype(np.int64)
+
+
+def levels_to_bits(levels) -> np.ndarray:
+    """Inverse of :func:`bits_to_levels`."""
+    lv = np.asarray(levels, dtype=np.int64).ravel()
+    if lv.size and (lv.min() < 0 or lv.max() > 3):
+        raise ValueError("levels must be 0..3")
+    out = np.empty(2 * lv.size, dtype=np.uint8)
+    out[0::2] = (lv >> 1) & 1
+    out[1::2] = lv & 1
+    return out
+
+
+@dataclass
+class RotationTagDecoder:
+    """Span-rotation estimator over the equalised constellation.
+
+    Works for any phase-step alphabet: ``n_levels=2`` decodes the
+    binary 180-degree scheme (needed on 16/64-QAM excitations, where a
+    flip is a valid translation but only complements the MSBs per axis,
+    so the XOR-of-decoded-bits decoder cannot see it), ``n_levels=4``
+    the quaternary scheme of equation (5).
+
+    Parameters
+    ----------
+    repetition:
+        OFDM symbols per tag symbol (phase step).
+    offset_symbols:
+        First OFDM symbol index the tag modulates (1 with the
+        SERVICE-symbol deferral).
+    n_levels:
+        Phase alphabet size (2 or 4).
+    """
+
+    repetition: int = 4
+    offset_symbols: int = 1
+    n_levels: int = 4
+
+    def __post_init__(self):
+        if self.n_levels not in (2, 4):
+            raise ValueError("n_levels must be 2 or 4")
+
+    @property
+    def bits_per_symbol(self) -> int:
+        return 1 if self.n_levels == 2 else 2
+
+    def decode_levels(self, reference: np.ndarray, received: np.ndarray,
+                      n_tag_symbols: Optional[int] = None) -> np.ndarray:
+        """Estimate the phase level of each tag symbol.
+
+        *reference* and *received* are (n_symbols, 48) matrices; rows
+        beyond either matrix are ignored.
+        """
+        n_rows = min(reference.shape[0], received.shape[0])
+        usable = (n_rows - self.offset_symbols) // self.repetition
+        if n_tag_symbols is not None:
+            usable = min(usable, n_tag_symbols)
+        step = 2 * np.pi / self.n_levels
+        levels = np.zeros(max(usable, 0), dtype=np.int64)
+        for k in range(usable):
+            a = self.offset_symbols + k * self.repetition
+            b = a + self.repetition
+            corr = np.sum(received[a:b] * np.conj(reference[a:b]))
+            levels[k] = int(np.round(np.angle(corr) / step)) % self.n_levels
+        return levels
+
+    def decode_bits(self, reference: np.ndarray, received: np.ndarray,
+                    n_tag_bits: Optional[int] = None) -> np.ndarray:
+        """Tag bits from the rotation estimates."""
+        bps = self.bits_per_symbol
+        n_syms = None if n_tag_bits is None else -(-n_tag_bits // bps)
+        levels = self.decode_levels(reference, received, n_syms)
+        if bps == 1:
+            bits = levels.astype(np.uint8)
+        else:
+            bits = levels_to_bits(levels)
+        if n_tag_bits is not None:
+            bits = bits[:n_tag_bits]
+        return bits
+
+
+class QuaternaryTagDecoder(RotationTagDecoder):
+    """Equation-(5) decoder: :class:`RotationTagDecoder` at 4 levels."""
+
+    def __init__(self, repetition: int = 4, offset_symbols: int = 1):
+        super().__init__(repetition=repetition,
+                         offset_symbols=offset_symbols, n_levels=4)

@@ -1,0 +1,496 @@
+"""End-to-end single-tag backscatter links for the three radios.
+
+Each session wires together: excitation transmitter -> FreeRider tag ->
+AWGN channel at a given SNR -> commodity receiver -> tag-data decoder.
+The link simulator (:mod:`repro.sim.linksim`) drives these sessions over
+distance sweeps by converting the link budget's SNR into the AWGN level.
+
+Throughput accounting follows the paper: tag bits ride on excitation
+packets, so goodput = bits-per-packet x packet rate x delivery ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.awgn import awgn_at_snr
+from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
+from repro.core.translation import (
+    AlternatingPhaseTranslator,
+    FskShiftTranslator,
+    PhaseTranslator,
+)
+from repro.tag.tag import ExcitationInfo, FreeRiderTag
+from repro.utils.bits import random_bits
+from repro.utils.rng import make_rng
+
+__all__ = ["SessionResult", "WifiBackscatterSession",
+           "ZigbeeBackscatterSession", "BleBackscatterSession",
+           "DsssBackscatterSession"]
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one excitation packet's worth of backscatter."""
+
+    delivered: bool            # backscattered packet header decoded
+    tag_bits_sent: int
+    tag_bit_errors: int
+    duration_us: float         # excitation packet airtime
+
+    @property
+    def tag_ber(self) -> float:
+        if self.tag_bits_sent == 0:
+            return 0.0
+        return self.tag_bit_errors / self.tag_bits_sent
+
+    @property
+    def tag_bits_ok(self) -> int:
+        return self.tag_bits_sent - self.tag_bit_errors
+
+
+class WifiBackscatterSession:
+    """802.11g/n OFDM backscatter link (paper sections 2.3.1, 3.2.1).
+
+    Parameters
+    ----------
+    rate_mbps:
+        Excitation bit rate (the paper evaluates at 6 Mb/s).
+    repetition:
+        OFDM symbols per tag bit (4 at 6 Mb/s).
+    payload_bytes:
+        Excitation PSDU size per packet.
+    """
+
+    sample_rate_hz = 20e6
+    unit_samples = 80  # one OFDM symbol at 20 MS/s
+    oversample_factor = 1  # sample rate equals channel bandwidth
+    # Real 802.11 sync (STF detection, AGC, CFO) fails near 0 dB SNR even
+    # though an ideal-timing Viterbi would still decode; model it as a
+    # soft detection gate.  Keeps the range cliff at the paper's ~42 m.
+    sync_threshold_db = 2.0
+    sync_slope_db = 0.8
+
+    def __init__(self, rate_mbps: float = 6.0, repetition: int = 4,
+                 payload_bytes: int = 512, seed: Optional[int] = None,
+                 pilot_correction: bool = False):
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+
+        self._rng = make_rng(seed)
+        self.transmitter = WifiTransmitter(rate_mbps, seed=self._rng)
+        self.receiver = WifiReceiver(pilot_correction=pilot_correction)
+        self.tag = FreeRiderTag(PhaseTranslator(n_levels=2),
+                                repetition=repetition)
+        self.payload_bytes = payload_bytes
+        self.repetition = repetition
+
+    def capacity_bits(self) -> int:
+        """Tag bits per excitation packet (at the configured payload)."""
+        frame = self.transmitter.build(bytes(self.payload_bytes))
+        info = self._info(frame)
+        return self.tag.capacity_bits(info)
+
+    def _info(self, frame) -> ExcitationInfo:
+        # The tag defers one extra OFDM symbol: the first DATA symbol
+        # carries the SERVICE field, whose scrambled bits the receiver
+        # uses to recover the (additive) descrambler seed.  Translating
+        # that symbol would desynchronise the descrambler for the whole
+        # frame, so it must pass through untouched.
+        return ExcitationInfo(
+            sample_rate_hz=self.sample_rate_hz,
+            unit_samples=self.unit_samples,
+            data_start_sample=frame.data_start + self.unit_samples,
+            total_samples=frame.n_samples,
+            radio="wifi",
+        )
+
+    def run_packet(self, snr_db: float, tag_bits=None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        gen = make_rng(rng if rng is not None else self._rng)
+        psdu = self.transmitter.random_psdu(self.payload_bytes)
+        frame = self.transmitter.build(psdu)
+        info = self._info(frame)
+
+        if tag_bits is None:
+            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
+        out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                   incident_power_dbm=incident_power_dbm,
+                                   rng=gen)
+        if not out.detected:
+            return SessionResult(False, len(tag_bits), len(tag_bits),
+                                 frame.duration_us)
+
+        p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
+                                     / self.sync_slope_db))
+        if gen.random() > p_sync:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        noise_var = 10 ** (-snr_db / 10)
+        result = self.receiver.decode(noisy, noise_var=max(noise_var, 1e-4))
+        if not result.header_ok or result.data_field_bits is None:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        rate = self.transmitter.rate
+        if rate.n_bpsc <= 2:
+            # BPSK/QPSK: a 180-degree flip complements every coded bit,
+            # so the paper's XOR-of-decoded-streams decoder applies.
+            decoder = XorTagDecoder(bits_per_unit=rate.n_dbps,
+                                    repetition=self.repetition,
+                                    offset_bits=rate.n_dbps,  # symbol 0
+                                    guard_bits=2)
+            decoded = decoder.decode(frame.data_bits,
+                                     result.data_field_bits,
+                                     n_tag_bits=out.bits_sent)
+            errors = decoded.errors_against(tag_bits[:out.bits_sent])
+        else:
+            # 16/64-QAM: the flip is a valid codeword translation but
+            # only complements the MSB of each axis, so XOR decoding is
+            # blind to it — estimate the span rotation instead.
+            from repro.core.quaternary import (
+                RotationTagDecoder,
+                reference_symbol_matrix,
+            )
+
+            reference = reference_symbol_matrix(frame)
+            rot = RotationTagDecoder(repetition=self.repetition,
+                                     offset_symbols=1, n_levels=2)
+            bits = rot.decode_bits(reference, result.equalized_symbols,
+                                   n_tag_bits=out.bits_sent)
+            sent_bits = np.asarray(tag_bits[:out.bits_sent], dtype=np.uint8)
+            n = min(sent_bits.size, bits.size)
+            errors = int(np.sum(sent_bits[:n] != bits[:n])) \
+                + (sent_bits.size - n)
+        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+
+
+class ZigbeeBackscatterSession:
+    """ZigBee OQPSK backscatter link (paper sections 2.3.2, 3.2.2)."""
+
+    def __init__(self, repetition: int = 8, payload_bytes: int = 60,
+                 sps: int = 4, seed: Optional[int] = None):
+        from repro.phy.zigbee import ZigbeeReceiver, ZigbeeTransmitter
+        from repro.phy.zigbee.frame import HEADER_SYMBOLS
+
+        self._rng = make_rng(seed)
+        self.transmitter = ZigbeeTransmitter(sps=sps, seed=self._rng)
+        self.receiver = ZigbeeReceiver(sps=sps)
+        self.tag = FreeRiderTag(PhaseTranslator(n_levels=2),
+                                repetition=repetition)
+        self.payload_bytes = payload_bytes
+        self.repetition = repetition
+        self.sps = sps
+        self._header_symbols = HEADER_SYMBOLS
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return 2e6 * self.sps
+
+    @property
+    def oversample_factor(self) -> int:
+        """Sample rate over channel bandwidth (2 MHz)."""
+        return self.sps
+
+    @property
+    def unit_samples(self) -> int:
+        return 32 * self.sps  # one 4-bit symbol = 32 chips
+
+    def _info(self, frame) -> ExcitationInfo:
+        return ExcitationInfo(
+            sample_rate_hz=self.sample_rate_hz,
+            unit_samples=self.unit_samples,
+            data_start_sample=self._header_symbols * self.unit_samples,
+            total_samples=frame.samples.size,
+            radio="zigbee",
+        )
+
+    def capacity_bits(self) -> int:
+        frame = self.transmitter.build(bytes(self.payload_bytes))
+        return self.tag.capacity_bits(self._info(frame))
+
+    def run_packet(self, snr_db: float, tag_bits=None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        gen = make_rng(rng if rng is not None else self._rng)
+        payload = self.transmitter.random_payload(self.payload_bytes)
+        frame = self.transmitter.build(payload)
+        info = self._info(frame)
+
+        if tag_bits is None:
+            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
+        out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                   incident_power_dbm=incident_power_dbm,
+                                   rng=gen)
+        if not out.detected:
+            return SessionResult(False, len(tag_bits), len(tag_bits),
+                                 frame.duration_us)
+
+        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        result = self.receiver.decode(noisy, frame.n_symbols)
+        if not result.sfd_found:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        decoder = SymbolDiffTagDecoder(
+            repetition=self.repetition,
+            offset_symbols=self._header_symbols)
+        decoded = decoder.decode(frame.symbols, result.symbols,
+                                 n_tag_bits=out.bits_sent)
+        errors = decoded.errors_against(tag_bits[:out.bits_sent])
+        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+
+
+class BleBackscatterSession:
+    """Bluetooth FSK backscatter link (paper sections 2.3.3, 3.2.3)."""
+
+    def __init__(self, repetition: int = 18, payload_bytes: int = 120,
+                 sps: int = 8, delta_f: float = 500e3,
+                 seed: Optional[int] = None):
+        from repro.phy.ble import BleReceiver, BleTransmitter
+
+        self._rng = make_rng(seed)
+        self.transmitter = BleTransmitter(sps=sps, seed=self._rng)
+        self.receiver = BleReceiver(sps=sps)
+        translator = FskShiftTranslator(delta_f=delta_f,
+                                        sample_rate_hz=1e6 * sps)
+        self.tag = FreeRiderTag(translator, repetition=repetition)
+        self.payload_bytes = payload_bytes
+        self.repetition = repetition
+        self.sps = sps
+        self._header_bits = 8 * 5  # preamble + access address
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return 1e6 * self.sps
+
+    @property
+    def oversample_factor(self) -> int:
+        """Sample rate over channel bandwidth (1 MHz)."""
+        return self.sps
+
+    def _info(self, frame) -> ExcitationInfo:
+        return ExcitationInfo(
+            sample_rate_hz=self.sample_rate_hz,
+            unit_samples=self.sps,  # one Bluetooth bit
+            data_start_sample=self._header_bits * self.sps,
+            total_samples=frame.samples.size,
+            radio="bluetooth",
+        )
+
+    def capacity_bits(self) -> int:
+        frame = self.transmitter.build(bytes(self.payload_bytes))
+        return self.tag.capacity_bits(self._info(frame))
+
+    def run_packet(self, snr_db: float, tag_bits=None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        gen = make_rng(rng if rng is not None else self._rng)
+        payload = self.transmitter.random_payload(self.payload_bytes)
+        frame = self.transmitter.build(payload)
+        info = self._info(frame)
+
+        if tag_bits is None:
+            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
+        out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                   incident_power_dbm=incident_power_dbm,
+                                   rng=gen)
+        if not out.detected:
+            return SessionResult(False, len(tag_bits), len(tag_bits),
+                                 frame.duration_us)
+
+        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        rx_bits = self.receiver.decode_bits(noisy, frame.n_bits)
+        # Sync check: the unmodulated header must have survived.
+        sync_ok = bool(np.array_equal(rx_bits[:self._header_bits],
+                                      frame.bits[:self._header_bits]))
+        if not sync_ok:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        decoder = XorTagDecoder(bits_per_unit=1,
+                                repetition=self.repetition,
+                                offset_bits=self._header_bits,
+                                guard_bits=2)
+        decoded = decoder.decode(frame.bits, rx_bits,
+                                 n_tag_bits=out.bits_sent)
+        errors = decoded.errors_against(tag_bits[:out.bits_sent])
+        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+
+
+class DsssBackscatterSession:
+    """802.11b DSSS backscatter link — the HitchHike [25] baseline.
+
+    One tag bit spans *repetition* 1 us DBPSK symbols, modulated in the
+    differential domain (:class:`AlternatingPhaseTranslator`).  With the
+    default repetition of 11 the instantaneous tag rate is ~91 kb/s —
+    faster than FreeRider's 62.5 kb/s on OFDM because DSSS symbols are
+    shorter (paper section 4.2.1) — but the scheme only works where
+    802.11b traffic exists, which is FreeRider's whole motivation.
+    """
+
+    sample_rate_hz = 11e6
+    unit_samples = 11  # one Barker-spread DBPSK symbol
+    oversample_factor = 1
+
+    def __init__(self, repetition: int = 11, payload_bytes: int = 500,
+                 seed: Optional[int] = None):
+        from repro.phy.dsss import DsssReceiver, DsssTransmitter
+
+        self._rng = make_rng(seed)
+        self.transmitter = DsssTransmitter(seed=self._rng)
+        self.receiver = DsssReceiver()
+        self.tag = FreeRiderTag(AlternatingPhaseTranslator(),
+                                repetition=repetition)
+        self.payload_bytes = payload_bytes
+        self.repetition = repetition
+
+    def _info(self, frame) -> ExcitationInfo:
+        return ExcitationInfo(
+            sample_rate_hz=self.sample_rate_hz,
+            unit_samples=self.unit_samples,
+            data_start_sample=frame.payload_offset_bits * self.unit_samples,
+            total_samples=frame.samples.size,
+            radio="dsss",
+        )
+
+    def capacity_bits(self) -> int:
+        """Tag bits per excitation packet."""
+        frame = self.transmitter.build(bytes(self.payload_bytes))
+        return self.tag.capacity_bits(self._info(frame))
+
+    def run_packet(self, snr_db: float, tag_bits=None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        gen = make_rng(rng if rng is not None else self._rng)
+        psdu = self.transmitter.random_psdu(self.payload_bytes)
+        frame = self.transmitter.build(psdu)
+        info = self._info(frame)
+
+        if tag_bits is None:
+            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
+        out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                   incident_power_dbm=incident_power_dbm,
+                                   rng=gen)
+        if not out.detected:
+            return SessionResult(False, len(tag_bits), len(tag_bits),
+                                 frame.duration_us)
+
+        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        result = self.receiver.decode(noisy, frame.n_bits)
+        if not result.header_ok or result.bits is None:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        # The self-sync descrambler smears 7 bits forward into each span.
+        decoder = XorTagDecoder(bits_per_unit=1,
+                                repetition=self.repetition,
+                                offset_bits=frame.payload_offset_bits,
+                                guard_front=7, guard_back=1)
+        decoded = decoder.decode(frame.bits, result.bits,
+                                 n_tag_bits=out.bits_sent)
+        errors = decoded.errors_against(tag_bits[:out.bits_sent])
+        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+
+
+class QuaternaryWifiSession:
+    """Higher-rate WiFi backscatter using equation (5): 90-degree phase
+    steps carrying 2 tag bits per step on a QPSK (12 Mb/s) excitation.
+
+    Decoding estimates each span's constellation rotation at the
+    backhaul (see :mod:`repro.core.quaternary`) instead of XOR-ing
+    decoded bits — the price of doubling the tag rate to ~125 kb/s.
+    """
+
+    sample_rate_hz = 20e6
+    unit_samples = 80
+    oversample_factor = 1
+    sync_threshold_db = 2.0
+    sync_slope_db = 0.8
+
+    def __init__(self, rate_mbps: float = 12.0, repetition: int = 4,
+                 payload_bytes: int = 512, seed: Optional[int] = None):
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+
+        if rate_mbps < 12.0:
+            raise ValueError("quaternary translation needs QPSK or denser "
+                             "subcarriers (>= 12 Mb/s)")
+        self._rng = make_rng(seed)
+        self.transmitter = WifiTransmitter(rate_mbps, seed=self._rng)
+        self.receiver = WifiReceiver()
+        self.tag = FreeRiderTag(PhaseTranslator(n_levels=4),
+                                repetition=repetition)
+        self.payload_bytes = payload_bytes
+        self.repetition = repetition
+
+    def _info(self, frame) -> ExcitationInfo:
+        # Same SERVICE-symbol deferral as the binary session.
+        return ExcitationInfo(
+            sample_rate_hz=self.sample_rate_hz,
+            unit_samples=self.unit_samples,
+            data_start_sample=frame.data_start + self.unit_samples,
+            total_samples=frame.n_samples,
+            radio="wifi",
+        )
+
+    def capacity_bits(self) -> int:
+        """Tag bits per excitation packet (2 per phase step)."""
+        frame = self.transmitter.build(bytes(self.payload_bytes))
+        return self.tag.capacity_bits(self._info(frame))
+
+    def run_packet(self, snr_db: float, tag_bits=None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        from repro.core.quaternary import (
+            QuaternaryTagDecoder,
+            reference_symbol_matrix,
+        )
+
+        gen = make_rng(rng if rng is not None else self._rng)
+        psdu = self.transmitter.random_psdu(self.payload_bytes)
+        frame = self.transmitter.build(psdu)
+        info = self._info(frame)
+
+        if tag_bits is None:
+            capacity = self.tag.capacity_bits(info)
+            tag_bits = random_bits(capacity - capacity % 2, gen)
+        out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                   incident_power_dbm=incident_power_dbm,
+                                   rng=gen)
+        if not out.detected:
+            return SessionResult(False, len(tag_bits), len(tag_bits),
+                                 frame.duration_us)
+
+        p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
+                                     / self.sync_slope_db))
+        if gen.random() > p_sync:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        result = self.receiver.decode(noisy,
+                                      noise_var=max(10 ** (-snr_db / 10),
+                                                    1e-4))
+        if not result.header_ok or result.equalized_symbols is None:
+            return SessionResult(False, out.bits_sent, out.bits_sent,
+                                 frame.duration_us)
+
+        reference = reference_symbol_matrix(frame)
+        decoder = QuaternaryTagDecoder(repetition=self.repetition,
+                                       offset_symbols=1)
+        decoded = decoder.decode_bits(reference, result.equalized_symbols,
+                                      n_tag_bits=out.bits_sent)
+        sent = np.asarray(tag_bits[:out.bits_sent], dtype=np.uint8)
+        n = min(sent.size, decoded.size)
+        errors = int(np.sum(sent[:n] != decoded[:n])) + (sent.size - n)
+        return SessionResult(True, out.bits_sent, errors, frame.duration_us)

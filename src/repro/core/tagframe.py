@@ -1,0 +1,177 @@
+"""Tag-data link layer: reliable messages over raw backscatter bits.
+
+The paper's system delivers a raw tag bit-stream; a deployment needs
+message boundaries, integrity and reassembly — a tag's reading rarely
+fits one excitation packet, and packets get lost.  This thin link layer
+frames tag payloads as
+
+    [ preamble 8 | length 8 | payload ... | CRC-8 ]
+
+streams the frame bits across as many excitation packets as needed
+(each packet carries whatever its `capacity_bits` allows), and
+reassembles on the decoder side by scanning the concatenated stream for
+the preamble.  Lost excitation packets surface as CRC failures, never
+as silent corruption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.bits import as_bits, bits_to_bytes, bytes_to_bits, int_to_bits, bits_to_int
+from repro.utils.crc import Crc
+
+__all__ = ["TagFramer", "TagDeframer", "TagMessage"]
+
+PREAMBLE = (1, 0, 1, 1, 1, 0, 0, 1)
+MAX_PAYLOAD_BYTES = 255
+
+# CRC-8/MAXIM — cheap enough for a tag's control logic.
+CRC8 = Crc(width=8, poly=0x31, init=0x00, refin=True, refout=True,
+           xorout=0x00, name="crc8/maxim")
+
+
+@dataclass(frozen=True)
+class TagMessage:
+    """One reassembled tag message."""
+
+    payload: bytes
+    crc_ok: bool
+    start_bit: int  # position in the concatenated tag bit-stream
+
+
+class TagFramer:
+    """Tag-side: wrap payloads into frame bits and chunk them to
+    excitation-packet capacities."""
+
+    def frame_bits(self, payload: bytes) -> np.ndarray:
+        """[preamble | length | payload | crc8] as a bit array."""
+        if not 1 <= len(payload) <= MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload must be 1..{MAX_PAYLOAD_BYTES} bytes")
+        head = np.array(PREAMBLE, dtype=np.uint8)
+        length = int_to_bits(len(payload), 8)
+        body = bytes_to_bits(payload)
+        crc = bytes_to_bits(bytes([CRC8.compute(payload)]))
+        return np.concatenate([head, length, body, crc])
+
+    def chunk(self, frame_bits: np.ndarray,
+              capacities: List[int]) -> List[np.ndarray]:
+        """Split frame bits across packets with the given capacities.
+
+        Raises when total capacity is insufficient (the MAC schedules
+        more packets in that case).
+        """
+        if any(c < 0 for c in capacities):
+            raise ValueError("capacities must be non-negative")
+        if sum(capacities) < frame_bits.size:
+            raise ValueError("insufficient capacity for the frame")
+        out: List[np.ndarray] = []
+        at = 0
+        for cap in capacities:
+            take = min(cap, frame_bits.size - at)
+            out.append(frame_bits[at:at + take])
+            at += take
+            if at >= frame_bits.size:
+                break
+        return out
+
+
+class TagDeframer:
+    """Decoder-side: accumulate decoded tag bits, emit messages.
+
+    Bits arrive in per-packet pieces (possibly with garbage from lost
+    packets interleaved); `push()` returns any complete messages found.
+    """
+
+    def __init__(self):
+        self._buffer: List[int] = []
+        self._consumed = 0
+
+    def push(self, bits) -> List[TagMessage]:
+        """Feed decoded tag bits; return newly completed messages."""
+        self._buffer.extend(int(b) for b in as_bits(bits))
+        return self._drain()
+
+    def _drain(self) -> List[TagMessage]:
+        pre = list(PREAMBLE)
+        npre = len(pre)
+        messages: List[TagMessage] = []
+        while True:
+            buf = self._buffer
+            # Find the preamble.
+            found = -1
+            for i in range(len(buf) - npre + 1):
+                if buf[i:i + npre] == pre:
+                    found = i
+                    break
+            if found < 0:
+                # Keep a preamble-sized tail; drop leading garbage.
+                drop = max(0, len(buf) - npre + 1)
+                del buf[:drop]
+                self._consumed += drop
+                return messages
+            header_end = found + npre + 8
+            if len(buf) < header_end:
+                return messages
+            length = bits_to_int(np.array(buf[found + npre:header_end],
+                                          dtype=np.uint8))
+            total = npre + 8 + 8 * length + 8
+            if length == 0 or length > MAX_PAYLOAD_BYTES:
+                # Bogus header (garbage matched the preamble): skip it.
+                del buf[:found + 1]
+                self._consumed += found + 1
+                continue
+            if len(buf) < found + total:
+                return messages
+            bits = np.array(buf[header_end:found + total], dtype=np.uint8)
+            payload = bits_to_bytes(bits[: 8 * length])
+            crc_rx = bits_to_bytes(bits[8 * length:])[0]
+            ok = CRC8.verify(payload, crc_rx)
+            messages.append(TagMessage(payload=payload, crc_ok=ok,
+                                       start_bit=self._consumed + found))
+            if ok:
+                del buf[:found + total]
+                self._consumed += found + total
+            else:
+                # A garbage bit-pattern can fake a preamble whose bogus
+                # length field swallows a real frame behind it.  On CRC
+                # failure, resynchronise just past the suspect preamble
+                # instead of consuming the whole bogus frame.
+                del buf[:found + 1]
+                self._consumed += found + 1
+
+    def flush(self) -> List[TagMessage]:
+        """End-of-stream resynchronisation.
+
+        A garbage preamble with a large bogus length can leave the
+        deframer waiting for bits that will never arrive, with a real
+        frame buried behind it.  ``flush()`` declares the stream
+        complete: while an incomplete frame candidate blocks the head
+        of the buffer, skip past its preamble and rescan.  Returns any
+        messages recovered.
+        """
+        pre = list(PREAMBLE)
+        npre = len(pre)
+        messages: List[TagMessage] = []
+        while True:
+            messages.extend(self._drain())
+            buf = self._buffer
+            found = -1
+            for i in range(len(buf) - npre + 1):
+                if buf[i:i + npre] == pre:
+                    found = i
+                    break
+            if found < 0:
+                return messages
+            # _drain() left this candidate pending (not enough bits to
+            # complete it) — it can never complete now, so skip it.
+            del buf[:found + 1]
+            self._consumed += found + 1
+
+    def reset(self) -> None:
+        """Discard buffered bits."""
+        self._buffer.clear()
+        self._consumed = 0

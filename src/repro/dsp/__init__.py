@@ -1,0 +1,40 @@
+"""Shared signal-processing primitives (pulse shaping, mixing, metrics)."""
+
+from repro.dsp.filters import gaussian_taps, half_sine_pulse, rrc_taps, moving_average
+from repro.dsp.mixing import (
+    frequency_shift,
+    phase_offset,
+    time_delay,
+    square_wave,
+    square_wave_mix,
+    SQUARE_WAVE_FUNDAMENTAL_LOSS_DB,
+)
+from repro.dsp.measure import (
+    signal_power,
+    power_dbm,
+    dbm_to_watts,
+    watts_to_dbm,
+    bit_error_rate,
+    evm,
+    papr_db,
+)
+
+__all__ = [
+    "gaussian_taps",
+    "half_sine_pulse",
+    "rrc_taps",
+    "moving_average",
+    "frequency_shift",
+    "phase_offset",
+    "time_delay",
+    "square_wave",
+    "square_wave_mix",
+    "SQUARE_WAVE_FUNDAMENTAL_LOSS_DB",
+    "signal_power",
+    "power_dbm",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "bit_error_rate",
+    "evm",
+    "papr_db",
+]

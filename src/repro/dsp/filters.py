@@ -1,0 +1,86 @@
+"""Pulse-shaping filters used by the three PHY implementations.
+
+* :func:`gaussian_taps` — the Gaussian low-pass that turns binary FSK into
+  Bluetooth's GFSK (BT product 0.5 for classic BR, per the CC2541 datasheet
+  behaviour the paper's transceiver exhibits).
+* :func:`half_sine_pulse` — the half-sine chip shape of 802.15.4 OQPSK.
+* :func:`rrc_taps` — root-raised-cosine, available for single-carrier
+  experiments and test fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["gaussian_taps", "half_sine_pulse", "rrc_taps", "moving_average"]
+
+
+def gaussian_taps(bt: float, sps: int, span: int = 4) -> np.ndarray:
+    """FIR taps of a Gaussian pulse filter.
+
+    Parameters
+    ----------
+    bt:
+        Bandwidth-time product (0.5 for Bluetooth BR GFSK).
+    sps:
+        Samples per symbol.
+    span:
+        Filter length in symbols (total taps = span * sps + 1).
+
+    The taps are normalised to unit DC gain so a long run of identical
+    symbols settles at full deviation.
+    """
+    if bt <= 0:
+        raise ValueError("BT product must be positive")
+    if sps < 1:
+        raise ValueError("sps must be >= 1")
+    n = span * sps
+    t = (np.arange(n + 1) - n / 2) / sps
+    # Standard Gaussian filter impulse response parameterised by BT.
+    alpha = np.sqrt(np.log(2) / 2) / bt
+    h = (np.sqrt(np.pi) / alpha) * np.exp(-((np.pi * t / alpha) ** 2))
+    return h / h.sum()
+
+
+def half_sine_pulse(sps: int) -> np.ndarray:
+    """Half-sine chip-shaping pulse of 802.15.4 OQPSK (one chip long)."""
+    if sps < 1:
+        raise ValueError("sps must be >= 1")
+    t = np.arange(sps)
+    return np.sin(np.pi * (t + 0.5) / sps)
+
+
+def rrc_taps(beta: float, sps: int, span: int = 8) -> np.ndarray:
+    """Root-raised-cosine taps with roll-off *beta*, unit peak at t=0."""
+    if not 0 < beta <= 1:
+        raise ValueError("beta must be in (0, 1]")
+    if sps < 1:
+        raise ValueError("sps must be >= 1")
+    n = span * sps
+    t = (np.arange(n + 1) - n / 2) / sps
+    taps = np.zeros_like(t)
+    for i, ti in enumerate(t):
+        if abs(ti) < 1e-12:
+            taps[i] = 1.0 - beta + 4 * beta / np.pi
+        elif abs(abs(4 * beta * ti) - 1.0) < 1e-9:
+            taps[i] = (beta / np.sqrt(2)) * (
+                (1 + 2 / np.pi) * np.sin(np.pi / (4 * beta))
+                + (1 - 2 / np.pi) * np.cos(np.pi / (4 * beta))
+            )
+        else:
+            num = np.sin(np.pi * ti * (1 - beta)) + 4 * beta * ti * np.cos(np.pi * ti * (1 + beta))
+            den = np.pi * ti * (1 - (4 * beta * ti) ** 2)
+            taps[i] = num / den
+    return taps / np.sqrt(np.sum(taps**2))
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Causal moving average, same length as input (leading ramp-in).
+
+    Used by the envelope-detector model to smooth the rectified RF
+    amplitude before threshold comparison.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    kernel = np.ones(window) / window
+    return np.convolve(x, kernel)[: len(x)]

@@ -1,0 +1,108 @@
+"""Measurement helpers: power, RSSI, BER, EVM, PAPR.
+
+The evaluation section of the paper reports throughput, bit error rate,
+and RSSI for every deployment (Figures 10-13); these are the common
+definitions used by the link simulator and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "signal_power",
+    "power_dbm",
+    "dbm_to_watts",
+    "watts_to_dbm",
+    "db_to_linear",
+    "linear_to_db",
+    "bit_error_rate",
+    "evm",
+    "papr_db",
+    "THERMAL_NOISE_DBM_PER_HZ",
+    "noise_floor_dbm",
+]
+
+# kTB at 290 K expressed per hertz.
+THERMAL_NOISE_DBM_PER_HZ = -173.8
+
+
+def signal_power(x: np.ndarray) -> float:
+    """Mean power of a complex-baseband signal (linear units)."""
+    if len(x) == 0:
+        return 0.0
+    return float(np.mean(np.abs(x) ** 2))
+
+
+def watts_to_dbm(p_watts: float) -> float:
+    """Convert watts to dBm; zero/negative power maps to -inf."""
+    if p_watts <= 0:
+        return float("-inf")
+    return 10 * np.log10(p_watts * 1e3)
+
+
+def dbm_to_watts(p_dbm: float) -> float:
+    """Convert dBm to watts."""
+    return 10 ** (p_dbm / 10) / 1e3
+
+
+def db_to_linear(db: float) -> float:
+    """Power ratio from decibels."""
+    return 10 ** (db / 10)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Decibels from a power ratio; zero/negative maps to -inf."""
+    if ratio <= 0:
+        return float("-inf")
+    return 10 * np.log10(ratio)
+
+
+def power_dbm(x: np.ndarray, ref_power_watts: float = 1.0) -> float:
+    """Signal power in dBm given the scale where |x|^2 == 1 is *ref* watts."""
+    return watts_to_dbm(signal_power(x) * ref_power_watts)
+
+
+def noise_floor_dbm(bandwidth_hz: float, noise_figure_db: float = 6.0) -> float:
+    """Receiver noise floor: kTB plus receiver noise figure."""
+    if bandwidth_hz <= 0:
+        raise ValueError("bandwidth must be positive")
+    return THERMAL_NOISE_DBM_PER_HZ + 10 * np.log10(bandwidth_hz) + noise_figure_db
+
+
+def bit_error_rate(tx: Union[Sequence[int], np.ndarray],
+                   rx: Union[Sequence[int], np.ndarray]) -> float:
+    """Fraction of differing bits; compares the overlapping prefix when
+    lengths differ and counts missing tail bits as errors."""
+    a = np.asarray(tx, dtype=np.uint8).ravel()
+    b = np.asarray(rx, dtype=np.uint8).ravel()
+    if a.size == 0:
+        return 0.0
+    n = min(a.size, b.size)
+    errors = int(np.sum(a[:n] != b[:n])) + (a.size - n)
+    return errors / a.size
+
+
+def evm(reference: np.ndarray, received: np.ndarray) -> float:
+    """Root-mean-square error-vector magnitude, normalised to the
+    reference constellation RMS."""
+    ref = np.asarray(reference)
+    rx = np.asarray(received)
+    if ref.size != rx.size:
+        raise ValueError("EVM requires equal-length vectors")
+    ref_rms = np.sqrt(np.mean(np.abs(ref) ** 2))
+    if ref_rms == 0:
+        raise ValueError("reference power is zero")
+    return float(np.sqrt(np.mean(np.abs(rx - ref) ** 2)) / ref_rms)
+
+
+def papr_db(x: np.ndarray) -> float:
+    """Peak-to-average power ratio in dB (the scrambler exists to keep
+    this bounded; see paper Figure 7 discussion)."""
+    p = signal_power(x)
+    if p == 0:
+        return 0.0
+    peak = float(np.max(np.abs(x) ** 2))
+    return 10 * np.log10(peak / p)

@@ -1,0 +1,33 @@
+"""MAC layer (paper section 2.4): packet-length-modulation downlink,
+framed-slotted-Aloha uplink with dynamic slot adjustment, and the
+transmitter-side controller that ties them together."""
+
+from repro.mac.events import EventScheduler
+from repro.mac.fairness import jain_index
+from repro.mac.plm import PlmConfig, PlmTransmitter, PlmReceiver, PlmLink
+from repro.mac.aloha import (
+    AlohaConfig,
+    FramedSlottedAloha,
+    TdmScheme,
+    MacRoundStats,
+    MacResult,
+)
+from repro.mac.controller import SlotController
+from repro.mac.shaper import PlmTrafficShaper, ShapedPacket
+
+__all__ = [
+    "EventScheduler",
+    "jain_index",
+    "PlmConfig",
+    "PlmTransmitter",
+    "PlmReceiver",
+    "PlmLink",
+    "AlohaConfig",
+    "FramedSlottedAloha",
+    "TdmScheme",
+    "MacRoundStats",
+    "MacResult",
+    "SlotController",
+    "PlmTrafficShaper",
+    "ShapedPacket",
+]

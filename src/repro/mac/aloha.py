@@ -1,0 +1,183 @@
+"""Framed Slotted Aloha uplink with dynamic slot adjustment
+(paper section 2.4.1) plus the TDM upper-bound baseline.
+
+Communication proceeds in rounds.  Each round the transmitter
+broadcasts a start message over PLM announcing the slot count; every
+tag picks a uniform random slot and backscatters its data there.  Two
+tags in one slot collide and deliver nothing.  After the round the
+receiver infers collisions/empties and the controller resizes the
+frame (section 2.4.1: "If the transmitter sees many collisions, it
+adds slots. It decreases the number of slots if there are many
+un-utilized").
+
+Throughput accounting matches the paper's Figure 17: the asymptote of
+the random-access scheme is the Aloha efficiency (1/e) of the raw
+~62.5 kb/s tag rate less control overhead (~18 kb/s), while a TDM
+frame of the same machinery tops out near 40 kb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.mac.controller import SlotController
+from repro.mac.fairness import jain_index
+from repro.mac.plm import PlmConfig, PlmTransmitter
+from repro.utils.rng import make_rng
+
+__all__ = ["AlohaConfig", "MacRoundStats", "MacResult",
+           "FramedSlottedAloha", "TdmScheme"]
+
+
+@dataclass(frozen=True)
+class AlohaConfig:
+    """MAC-layer constants.
+
+    ``slot_bits`` at ``tag_rate_kbps`` sets the slot airtime; the start
+    message (slot count + round id) rides the ~500 b/s PLM downlink.
+    ``inter_round_gap_us`` is the deliberate idle time that keeps the
+    backscatter system from hogging the channel (section 2.4.1).
+    """
+
+    slot_bits: int = 256
+    tag_rate_kbps: float = 62.5
+    control_payload_bits: int = 16
+    initial_slots: int = 8
+    min_slots: int = 2
+    max_slots: int = 64
+    inter_round_gap_us: float = 2000.0
+    slot_delivery_prob: float = 1.0  # per-slot PHY delivery (range effect)
+    # TDM needs an explicit per-tag grant over the ~500 b/s PLM downlink
+    # each round (random access avoids this — section 2.4.1); this is
+    # what caps the paper's TDM asymptote near 40 kb/s instead of the
+    # raw 62.5 kb/s tag rate.
+    tdm_per_slot_overhead_us: float = 2200.0
+    plm: PlmConfig = field(default_factory=PlmConfig)
+
+    @property
+    def slot_airtime_us(self) -> float:
+        return self.slot_bits / self.tag_rate_kbps * 1e3
+
+    def control_airtime_us(self) -> float:
+        return PlmTransmitter(self.plm).message_airtime_us(
+            self.control_payload_bits)
+
+
+@dataclass
+class MacRoundStats:
+    """Outcome of one round."""
+
+    n_slots: int
+    singles: int
+    collisions: int
+    empties: int
+    duration_us: float
+
+
+@dataclass
+class MacResult:
+    """Aggregate outcome of a multi-round simulation."""
+
+    n_tags: int
+    rounds: List[MacRoundStats]
+    per_tag_bits: Dict[int, int]
+
+    @property
+    def total_time_us(self) -> float:
+        return sum(r.duration_us for r in self.rounds)
+
+    @property
+    def delivered_bits(self) -> int:
+        return sum(self.per_tag_bits.values())
+
+    @property
+    def aggregate_throughput_kbps(self) -> float:
+        t = self.total_time_us
+        return self.delivered_bits / t * 1e3 if t else 0.0
+
+    @property
+    def fairness(self) -> float:
+        return jain_index([self.per_tag_bits.get(i, 0)
+                           for i in range(self.n_tags)])
+
+    @property
+    def collision_rate(self) -> float:
+        slots = sum(r.n_slots for r in self.rounds)
+        return sum(r.collisions for r in self.rounds) / slots if slots else 0.0
+
+
+class FramedSlottedAloha:
+    """Round-based FSA simulator with a dynamic slot controller."""
+
+    def __init__(self, config: Optional[AlohaConfig] = None,
+                 seed: Optional[int] = None):
+        self.config = config or AlohaConfig()
+        self._rng = make_rng(seed)
+
+    def simulate(self, n_tags: int, n_rounds: int = 50,
+                 controller: Optional[SlotController] = None) -> MacResult:
+        """Run *n_rounds* rounds with *n_tags* always-backlogged tags."""
+        if n_tags < 1:
+            raise ValueError("need at least one tag")
+        cfg = self.config
+        ctrl = controller or SlotController(cfg.initial_slots,
+                                            cfg.min_slots, cfg.max_slots)
+        per_tag: Dict[int, int] = {i: 0 for i in range(n_tags)}
+        rounds: List[MacRoundStats] = []
+        for _ in range(n_rounds):
+            n_slots = ctrl.n_slots
+            choices = self._rng.integers(0, n_slots, size=n_tags)
+            counts = np.bincount(choices, minlength=n_slots)
+            singles = 0
+            collisions = int(np.sum(counts >= 2))
+            empties = int(np.sum(counts == 0))
+            for slot in np.flatnonzero(counts == 1):
+                tag = int(np.flatnonzero(choices == slot)[0])
+                if self._rng.random() < cfg.slot_delivery_prob:
+                    per_tag[tag] += cfg.slot_bits
+                    singles += 1
+            duration = (cfg.control_airtime_us()
+                        + n_slots * cfg.slot_airtime_us
+                        + cfg.inter_round_gap_us)
+            rounds.append(MacRoundStats(n_slots, singles, collisions,
+                                        empties, duration))
+            ctrl.observe(singles=singles, collisions=collisions,
+                         empties=empties)
+        return MacResult(n_tags=n_tags, rounds=rounds, per_tag_bits=per_tag)
+
+
+class TdmScheme:
+    """Idealised time-division baseline: one dedicated slot per tag.
+
+    This is the "no collisions" curve the paper reports asymptoting at
+    ~40 kb/s — same control overhead and slot machinery, zero contention.
+    """
+
+    def __init__(self, config: Optional[AlohaConfig] = None,
+                 seed: Optional[int] = None):
+        self.config = config or AlohaConfig()
+        self._rng = make_rng(seed)
+
+    def simulate(self, n_tags: int, n_rounds: int = 50) -> MacResult:
+        """Every tag transmits once per round in its own slot."""
+        if n_tags < 1:
+            raise ValueError("need at least one tag")
+        cfg = self.config
+        per_tag: Dict[int, int] = {i: 0 for i in range(n_tags)}
+        rounds: List[MacRoundStats] = []
+        for _ in range(n_rounds):
+            singles = 0
+            for tag in range(n_tags):
+                if self._rng.random() < cfg.slot_delivery_prob:
+                    per_tag[tag] += cfg.slot_bits
+                    singles += 1
+            duration = (cfg.control_airtime_us()
+                        + n_tags * (cfg.slot_airtime_us
+                                    + cfg.tdm_per_slot_overhead_us)
+                        + cfg.inter_round_gap_us)
+            rounds.append(MacRoundStats(n_tags, singles, 0,
+                                        n_tags - singles, duration))
+        return MacResult(n_tags=n_tags, rounds=rounds, per_tag_bits=per_tag)

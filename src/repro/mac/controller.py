@@ -1,0 +1,46 @@
+"""Dynamic frame-size controller (paper section 2.4.1).
+
+The receiver tells the transmitter how many slots held exactly one
+transmission, how many collided, and how many went unused; the
+controller grows the frame under congestion and shrinks it when slots
+idle.  The policy is the classic additive estimate used by RFID
+readers: steer the frame size toward the estimated tag population
+(collisions ~ 2.39 tags each on average for Poisson occupancy).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SlotController"]
+
+# Expected number of tags involved in one colliding slot under Poisson
+# occupancy at the Aloha operating point (Schoute's estimate).
+TAGS_PER_COLLISION = 2.39
+
+
+class SlotController:
+    """Steers the FSA frame size toward the inferred tag count."""
+
+    def __init__(self, initial_slots: int, min_slots: int = 2,
+                 max_slots: int = 64, smoothing: float = 0.5):
+        if not min_slots <= initial_slots <= max_slots:
+            raise ValueError("initial_slots outside [min_slots, max_slots]")
+        if not 0 < smoothing <= 1:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.min_slots = min_slots
+        self.max_slots = max_slots
+        self.smoothing = smoothing
+        self._slots = float(initial_slots)
+
+    @property
+    def n_slots(self) -> int:
+        return int(round(self._slots))
+
+    def observe(self, singles: int, collisions: int, empties: int) -> None:
+        """Update the frame size from one round's outcome."""
+        if min(singles, collisions, empties) < 0:
+            raise ValueError("counts must be non-negative")
+        estimated_tags = singles + TAGS_PER_COLLISION * collisions
+        target = max(self.min_slots,
+                     min(self.max_slots, estimated_tags))
+        self._slots += self.smoothing * (target - self._slots)
+        self._slots = min(max(self._slots, self.min_slots), self.max_slots)

@@ -1,0 +1,72 @@
+"""A minimal discrete-event scheduler.
+
+Used by the coexistence simulator to interleave excitation packets,
+ambient WiFi bursts and backscatter rounds on a common timeline.
+Events fire in (time, insertion-order) order; callbacks may schedule
+further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler"]
+
+
+class EventScheduler:
+    """Time-ordered callback executor.
+
+    >>> sched = EventScheduler()
+    >>> hits = []
+    >>> sched.schedule(2.0, lambda: hits.append("b"))
+    >>> sched.schedule(1.0, lambda: hits.append("a"))
+    >>> sched.run()
+    >>> hits
+    ['a', 'b']
+    """
+
+    def __init__(self):
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def schedule(self, at: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* at absolute time *at* (>= now)."""
+        if at < self._now:
+            raise ValueError(f"cannot schedule in the past ({at} < {self._now})")
+        heapq.heappush(self._heap, (at, next(self._counter), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule *callback* after *delay* time units."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drain the event queue, optionally stopping at time *until*."""
+        self._running = True
+        while self._heap and self._running:
+            at, _, cb = self._heap[0]
+            if until is not None and at > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = at
+            cb()
+        if until is not None and self._now < until:
+            self._now = until
+        self._running = False
+
+    def stop(self) -> None:
+        """Halt a running :meth:`run` after the current event."""
+        self._running = False
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,28 @@
+"""Jain's fairness index [Jain, Durresi, Babic 1999] — Figure 17(b)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["jain_index"]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means perfectly equal allocations; 1/n means one user holds
+    everything.  All-zero allocations are defined here as perfectly
+    fair (everyone got the same nothing).
+    """
+    x = np.asarray(allocations, dtype=float)
+    if x.size == 0:
+        raise ValueError("need at least one allocation")
+    if np.any(x < 0):
+        raise ValueError("allocations must be non-negative")
+    total_sq = float(x.sum()) ** 2
+    denom = x.size * float((x ** 2).sum())
+    if denom == 0:
+        return 1.0
+    return total_sq / denom

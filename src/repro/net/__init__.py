@@ -1,0 +1,17 @@
+"""Network-level models: the ambient-traffic duration distribution of
+Figure 3 and the coexistence experiments of Figures 15-16."""
+
+from repro.net.traffic import AmbientTrafficModel, TrafficMix
+from repro.net.coexistence import (
+    CoexistenceSimulator,
+    WifiThroughputModel,
+    adjacent_channel_rejection_db,
+)
+
+__all__ = [
+    "AmbientTrafficModel",
+    "TrafficMix",
+    "CoexistenceSimulator",
+    "WifiThroughputModel",
+    "adjacent_channel_rejection_db",
+]

@@ -1,0 +1,158 @@
+"""Coexistence experiments (paper section 4.4, Figures 15 and 16).
+
+Two questions, answered with airtime/interference models layered on the
+event scheduler:
+
+1. *Does backscatter impact WiFi?* (Figure 15)  The tag reflects
+   microwatts onto channel 13; a WiFi link on channel 6 sees only the
+   tag's out-of-channel leakage attenuated by adjacent-channel
+   rejection — immeasurably small, so the throughput CDF is unchanged.
+
+2. *Does WiFi impact backscatter?* (Figure 16)  Ambient WiFi bursts on
+   channel 6 leak into the backscatter receiver on channel 13 / at
+   2.48 GHz.  A wideband (20 MHz) WiFi backscatter receiver admits more
+   of that leakage than narrowband ZigBee/Bluetooth receivers, so WiFi
+   backscatter shows a visible lower tail while ZigBee/Bluetooth shift
+   by only ~1-2 kb/s — exactly the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.net.traffic import AmbientTrafficModel
+from repro.utils.rng import make_rng
+
+__all__ = ["adjacent_channel_rejection_db", "WifiThroughputModel",
+           "CoexistenceSimulator"]
+
+
+def adjacent_channel_rejection_db(channel_separation: int,
+                                  receiver_bandwidth_hz: float) -> float:
+    """How much a receiver attenuates a signal *channel_separation*
+    2.4 GHz WiFi channels (5 MHz each) away.
+
+    Narrowband receivers (ZigBee 2 MHz, Bluetooth 1 MHz) reject
+    out-of-band energy much harder than a 20 MHz WiFi front-end — the
+    paper's explanation for Figure 16(b)/(c) being nearly unaffected.
+    """
+    if channel_separation < 0:
+        raise ValueError("separation must be non-negative")
+    if channel_separation == 0:
+        return 0.0
+    offset_hz = channel_separation * 5e6
+    edge = receiver_bandwidth_hz / 2
+    if offset_hz <= edge:
+        return 0.0
+    # ~35 dB at the first 5 MHz beyond the filter edge, +15 dB/5 MHz after.
+    excess = offset_hz - edge
+    return 35.0 + 15.0 * (excess / 5e6 - 1.0)
+
+
+@dataclass
+class WifiThroughputModel:
+    """Productive-WiFi TCP throughput under interference.
+
+    Baseline matches the paper's file transfer: ~37.4 Mb/s median with
+    run-to-run spread.  Interference above the carrier-sense threshold
+    steals airtime; sub-threshold leakage raises the noise floor and
+    trims the MCS margin.
+    """
+
+    baseline_mbps: float = 37.4
+    spread_mbps: float = 1.6
+    noise_floor_dbm: float = -95.0
+
+    def sample(self, n: int, interference_dbm: float = float("-inf"),
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Draw *n* one-second throughput samples."""
+        gen = make_rng(rng)
+        base = gen.normal(self.baseline_mbps, self.spread_mbps, size=n)
+        if np.isfinite(interference_dbm):
+            # SINR-driven degradation: harmless below the noise floor,
+            # sharp once the interferer rises above it.
+            excess = interference_dbm - self.noise_floor_dbm
+            if excess > 0:
+                base *= float(np.clip(1.0 - excess / 25.0, 0.05, 1.0))
+        return np.clip(base, 0.1, None)
+
+
+class CoexistenceSimulator:
+    """Monte-Carlo generator of the CDFs in Figures 15 and 16."""
+
+    def __init__(self, seed: Optional[int] = None):
+        self._rng = make_rng(seed)
+
+    # -- Figure 15: backscatter's impact on WiFi -------------------------
+
+    def wifi_throughput_samples(self, n: int = 200,
+                                tag_present: bool = False,
+                                tag_radio: str = "wifi",
+                                tag_rssi_dbm: float = -60.0) -> np.ndarray:
+        """WiFi throughput with/without a tag 1 m from the receiver.
+
+        The tag's emission at the WiFi receiver is its backscatter RSSI
+        minus the receiver's rejection of the tag's channel.
+        """
+        model = WifiThroughputModel()
+        if not tag_present:
+            return model.sample(n, rng=self._rng)
+        separation = {"wifi": 7, "zigbee": 8, "bluetooth": 8}[tag_radio]
+        rejection = adjacent_channel_rejection_db(separation, 20e6)
+        interference = tag_rssi_dbm - rejection
+        return model.sample(n, interference_dbm=interference, rng=self._rng)
+
+    # -- Figure 16: WiFi's impact on backscatter --------------------------
+
+    def backscatter_throughput_samples(
+            self, n: int = 200, base_kbps: float = 61.8,
+            receiver_bandwidth_hz: float = 20e6,
+            wifi_present: bool = False,
+            wifi_load: float = 0.6,
+            wifi_power_dbm: float = -40.0,
+            backscatter_rssi_dbm: float = -75.0,
+            window_us: float = 100_000.0,
+            rts_cts: bool = False) -> np.ndarray:
+        """Per-window backscatter throughput samples.
+
+        Each window, ambient WiFi bursts overlap a fraction of the
+        excitation packets; an overlapped packet is lost when the
+        leaked interference rivals the backscattered signal.
+
+        With ``rts_cts`` the exciter reserves the medium before each
+        backscatter burst (paper section 4.4.2, following [25]): overlap
+        losses vanish, at the price of the RTS/CTS/SIFS exchange's
+        airtime (~3.5 % at the paper's packet sizes).
+        """
+        # RTS(20B@24Mb/s)+SIFS+CTS(14B)+SIFS before each ~2 ms burst.
+        reservation_overhead = 0.035 if rts_cts else 0.0
+        effective_base = base_kbps * (1.0 - reservation_overhead)
+        if not wifi_present:
+            # Residual variation: exciter backoff jitter and fading.
+            return np.clip(self._rng.normal(effective_base,
+                                            base_kbps * 0.03, size=n),
+                           0, effective_base * 1.12)
+        # Interference into the backscatter channel is bounded by the
+        # interferer's spectral-mask regrowth (~45 dB down at 35 MHz for
+        # OFDM); narrowband receivers filter a further ~17 dB of it.
+        isolation_db = 45.0 if receiver_bandwidth_hz >= 10e6 else 62.0
+        traffic = AmbientTrafficModel(load=wifi_load, rng=self._rng)
+        out = np.empty(n)
+        for i in range(n):
+            # The interferer's strength at the backscatter receiver
+            # varies window to window (mobility, rate control, fading).
+            power = self._rng.normal(wifi_power_dbm, 8.0)
+            sir_db = backscatter_rssi_dbm - (power - isolation_db)
+            # Overlapped packets survive when the backscatter signal
+            # clears the leaked interference by a capture margin.
+            loss_prob_when_hit = float(np.clip((8.0 - sir_db) / 16.0,
+                                               0.0, 1.0))
+            hit_fraction = 0.0 if rts_cts \
+                else traffic.busy_fraction(window_us / 10)
+            lost = hit_fraction * loss_prob_when_hit
+            jitter = self._rng.normal(0, base_kbps * 0.03)
+            out[i] = max(0.0, effective_base * (1.0 - lost) + jitter)
+        return out

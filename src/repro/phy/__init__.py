@@ -1,0 +1,4 @@
+"""Physical-layer implementations of the three commodity radios FreeRider
+rides on: 802.11g/n OFDM WiFi, 802.15.4 ZigBee (OQPSK), and Bluetooth
+(GFSK).  Each subpackage provides a bit-exact transmitter chain and a
+matching receiver so codeword translation can be exercised end-to-end."""

@@ -1,0 +1,27 @@
+"""Bluetooth PHY: 1 Mb/s Gaussian FSK, modulation index 0.5, 1 MHz
+channel — the CC2541 configuration of the paper (section 3.1).
+
+The two FSK tones f0/f1 are the entire Bluetooth codebook
+B = {e^{j2pi f0 t}, e^{j2pi f1 t}}; a FreeRider tag translates between
+them with a square-wave frequency shift of |f1 - f0| (paper section
+2.3.3 and equation 10).
+"""
+
+from repro.phy.ble.whitening import Whitener, whiten, dewhiten
+from repro.phy.ble.gfsk import GfskModem
+from repro.phy.ble.frame import BleFrameBuilder, BLE_ACCESS_ADDRESS
+from repro.phy.ble.transmitter import BleTransmitter, BleFrame
+from repro.phy.ble.receiver import BleReceiver, BleDecodeResult
+
+__all__ = [
+    "Whitener",
+    "whiten",
+    "dewhiten",
+    "GfskModem",
+    "BleFrameBuilder",
+    "BLE_ACCESS_ADDRESS",
+    "BleTransmitter",
+    "BleFrame",
+    "BleReceiver",
+    "BleDecodeResult",
+]

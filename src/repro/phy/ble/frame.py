@@ -1,0 +1,73 @@
+"""Bluetooth LE style air frame: preamble | access address | PDU | CRC24.
+
+PDU here is a simple [length][payload] container; PDU+CRC are whitened
+with the channel-index LFSR.  Octets are serialised LSB-first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.bits import bytes_to_bits, bits_to_bytes
+from repro.utils.crc import CRC24_BLE
+from repro.phy.ble.whitening import Whitener
+
+__all__ = ["BleFrameBuilder", "BLE_ACCESS_ADDRESS", "BLE_PREAMBLE_BYTE",
+           "MAX_PAYLOAD_BYTES"]
+
+BLE_ACCESS_ADDRESS = 0x8E89BED6
+BLE_PREAMBLE_BYTE = 0xAA
+MAX_PAYLOAD_BYTES = 255
+HEADER_BYTES = 1 + 4 + 1  # preamble + access address + length octet
+CRC_BYTES = 3
+
+
+class BleFrameBuilder:
+    """Builds and parses the on-air bit stream of one BLE-style packet."""
+
+    def __init__(self, access_address: int = BLE_ACCESS_ADDRESS,
+                 channel: int = 37):
+        if not 0 <= access_address < 2**32:
+            raise ValueError("access address must be a 32-bit value")
+        self.access_address = access_address
+        self.channel = channel
+
+    def n_bits(self, payload_len: int) -> int:
+        """On-air bit count for a payload of *payload_len* bytes."""
+        return 8 * (HEADER_BYTES + payload_len + CRC_BYTES)
+
+    def build_bits(self, payload: bytes) -> np.ndarray:
+        """Assemble the whitened on-air bit stream for *payload*."""
+        if not 1 <= len(payload) <= MAX_PAYLOAD_BYTES:
+            raise ValueError(f"payload must be 1..{MAX_PAYLOAD_BYTES} bytes")
+        pdu = bytes([len(payload)]) + payload
+        crc = CRC24_BLE.digest(pdu)
+        plain = bytes_to_bits(pdu + crc)
+        whitened = Whitener(self.channel).process(plain)
+        head = bytes([BLE_PREAMBLE_BYTE]) + self.access_address.to_bytes(4, "little")
+        return np.concatenate([bytes_to_bits(head), whitened])
+
+    def parse_bits(self, bits: np.ndarray) -> Tuple[Optional[bytes], bool]:
+        """Parse received on-air bits into ``(payload, crc_ok)``.
+
+        Returns ``(None, False)`` when the access address does not match
+        (modelling sync failure / packet loss).
+        """
+        if bits.size < 8 * HEADER_BYTES + 8 * CRC_BYTES:
+            return None, False
+        head = bits_to_bytes(bits[: 8 * HEADER_BYTES])
+        aa = int.from_bytes(head[1:5], "little")
+        if aa != self.access_address:
+            return None, False
+        body_bits = bits[8 * (HEADER_BYTES - 1):]  # length octet onwards
+        plain = Whitener(self.channel).process(body_bits)
+        body = bits_to_bytes(plain)
+        length = body[0]
+        if len(body) < 1 + length + CRC_BYTES:
+            return None, False
+        payload = body[1: 1 + length]
+        crc_rx = int.from_bytes(body[1 + length: 1 + length + CRC_BYTES], "little")
+        crc_ok = CRC24_BLE.verify(bytes([length]) + payload, crc_rx)
+        return payload, crc_ok

@@ -1,0 +1,63 @@
+"""BLE data whitening (Bluetooth Core spec Vol 6 Part B section 3.2).
+
+7-bit LFSR with polynomial x^7 + x^4 + 1, seeded with the channel index
+(bit 6 forced to 1).  Like the 802.11 scrambler this is a linear XOR
+stream, so complementing a window of input bits complements the outputs
+— the property codeword translation relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["Whitener", "whiten", "dewhiten"]
+
+
+class Whitener:
+    """Stateful BLE whitening LFSR.
+
+    Parameters
+    ----------
+    channel:
+        RF channel index 0..39 used as the seed (bit 6 set to 1 per the
+        spec, so the register is never zero).
+    """
+
+    def __init__(self, channel: int = 37):
+        if not 0 <= channel <= 39:
+            raise ValueError("BLE channel index must be 0..39")
+        self._state = 0x40 | channel
+
+    @property
+    def state(self) -> int:
+        return self._state
+
+    def next_bit(self) -> int:
+        """Advance one position; output is register bit 6 (x^7 tap)."""
+        s = self._state
+        out = (s >> 6) & 1
+        s = ((s << 1) & 0x7F)
+        if out:
+            s ^= 0x11  # feed back into positions 0 and 4
+        self._state = s
+        return out
+
+    def keystream(self, n: int) -> np.ndarray:
+        return np.array([self.next_bit() for _ in range(n)], dtype=np.uint8)
+
+    def process(self, bits) -> np.ndarray:
+        """Whiten (or de-whiten — XOR is an involution) a bit array."""
+        arr = as_bits(bits)
+        return np.bitwise_xor(arr, self.keystream(arr.size))
+
+
+def whiten(bits, channel: int = 37) -> np.ndarray:
+    """One-shot whitening of *bits* for *channel*."""
+    return Whitener(channel).process(bits)
+
+
+def dewhiten(bits, channel: int = 37) -> np.ndarray:
+    """Inverse of :func:`whiten` (same operation)."""
+    return Whitener(channel).process(bits)

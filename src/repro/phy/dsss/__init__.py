@@ -1,0 +1,41 @@
+"""802.11b DSSS PHY (1/2 Mb/s, Barker-11 spreading, D(B/Q)PSK).
+
+This is the substrate HitchHike [25] rides on — the baseline FreeRider
+is compared against (sections 1 and 5).  Two structural differences
+from 802.11g/n OFDM matter for backscatter:
+
+* the scrambler is **self-synchronising** (multiplicative), so a tag's
+  phase edits survive descrambling with only 7-bit boundary smear — no
+  seed to desynchronise;
+* a DSSS symbol lasts 1 us versus OFDM's 4 us, so one tag bit costs
+  less airtime — why HitchHike's rate exceeds FreeRider's on WiFi
+  (paper section 4.2.1: "This is a lower data rate than [25] because
+  OFDM symbols are longer in duration than DSSS symbols").
+"""
+
+from repro.phy.dsss.barker import BARKER_11, despread_symbols, spread_symbols
+from repro.phy.dsss.cck import cck_codebook_matrix, cck_demodulate, cck_modulate
+from repro.phy.dsss.dqpsk import dqpsk_decode, dqpsk_encode
+from repro.phy.dsss.scrambler import SelfSyncScrambler, dsss_descramble, dsss_scramble
+from repro.phy.dsss.frame import DsssFrameBuilder
+from repro.phy.dsss.transmitter import DsssFrame, DsssTransmitter
+from repro.phy.dsss.receiver import DsssDecodeResult, DsssReceiver
+
+__all__ = [
+    "BARKER_11",
+    "spread_symbols",
+    "despread_symbols",
+    "cck_modulate",
+    "cck_demodulate",
+    "cck_codebook_matrix",
+    "dqpsk_encode",
+    "dqpsk_decode",
+    "SelfSyncScrambler",
+    "dsss_scramble",
+    "dsss_descramble",
+    "DsssFrameBuilder",
+    "DsssFrame",
+    "DsssTransmitter",
+    "DsssDecodeResult",
+    "DsssReceiver",
+]

@@ -1,0 +1,133 @@
+"""Complementary Code Keying — the 5.5/11 Mb/s modes of 802.11b.
+
+At 11 Mb/s each symbol carries 8 bits: (d0,d1) pick the DQPSK phase
+phi1 of the whole codeword, and (d2,d3), (d4,d5), (d6,d7) pick phi2,
+phi3, phi4 of the 8-chip complementary codeword
+
+    c = ( e^{j(p1+p2+p3+p4)}, e^{j(p1+p3+p4)}, e^{j(p1+p2+p4)},
+         -e^{j(p1+p4)},       e^{j(p1+p2+p3)}, e^{j(p1+p3)},
+         -e^{j(p1+p2)},       e^{j(p1)} )
+
+The 256 on-air codewords form a codebook **closed under 90-degree
+rotation** (a rotation only shifts phi1), so FreeRider's quaternary
+phase translation is valid on CCK excitations too — each 90-degree tag
+step deterministically remaps the two DQPSK bits.  This module provides
+the modem and that codebook; see ``tests/phy/test_cck.py`` for the
+translation demonstration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["cck_codeword", "cck_modulate", "cck_demodulate",
+           "cck_codebook_matrix", "CHIPS_PER_SYMBOL", "BITS_PER_SYMBOL"]
+
+CHIPS_PER_SYMBOL = 8
+BITS_PER_SYMBOL = 8
+
+# QPSK mapping for the (d_even, d_odd) pairs of phi2..phi4
+# (IEEE 802.11-2012 Table 17-10).
+_PAIR_PHASE = {(0, 0): 0.0, (0, 1): np.pi / 2,
+               (1, 0): np.pi, (1, 1): 3 * np.pi / 2}
+
+
+def _pair(bits, i) -> Tuple[int, int]:
+    return int(bits[i]), int(bits[i + 1])
+
+
+def cck_codeword(phi1: float, phi2: float, phi3: float,
+                 phi4: float) -> np.ndarray:
+    """The 8-chip CCK codeword for the four phases."""
+    p1, p2, p3, p4 = phi1, phi2, phi3, phi4
+    return np.array([
+        np.exp(1j * (p1 + p2 + p3 + p4)),
+        np.exp(1j * (p1 + p3 + p4)),
+        np.exp(1j * (p1 + p2 + p4)),
+        -np.exp(1j * (p1 + p4)),
+        np.exp(1j * (p1 + p2 + p3)),
+        np.exp(1j * (p1 + p3)),
+        -np.exp(1j * (p1 + p2)),
+        np.exp(1j * p1),
+    ])
+
+
+def cck_codebook_matrix() -> np.ndarray:
+    """All 64 base codewords (phi1 = 0) as a (64, 8) matrix.
+
+    Row index encodes (phi2, phi3, phi4) as base-4 digits (two bits
+    each, matching the (d2,d3)(d4,d5)(d6,d7) pairs).
+    """
+    phases = [0.0, np.pi / 2, np.pi, 3 * np.pi / 2]
+    rows = np.empty((64, CHIPS_PER_SYMBOL), dtype=complex)
+    for i2, p2 in enumerate(phases):
+        for i3, p3 in enumerate(phases):
+            for i4, p4 in enumerate(phases):
+                rows[16 * i2 + 4 * i3 + i4] = cck_codeword(0.0, p2, p3, p4)
+    return rows
+
+
+_CODEBOOK = cck_codebook_matrix()
+_PHASES = np.array([0.0, np.pi / 2, np.pi, 3 * np.pi / 2])
+
+
+def cck_modulate(bits, phi_ref: float = 0.0) -> Tuple[np.ndarray, float]:
+    """Modulate a bit array (multiple of 8) into CCK chips.
+
+    phi1 is differentially encoded from *phi_ref*; returns
+    ``(chips, final_phi1)`` so streams can be chained.  (The standard's
+    extra pi offset on odd symbols is omitted — it cancels in any
+    differential decoder and keeps this module self-contained.)
+    """
+    arr = as_bits(bits)
+    if arr.size % BITS_PER_SYMBOL:
+        raise ValueError("CCK needs a multiple of 8 bits")
+    chips = np.empty((arr.size // 8) * CHIPS_PER_SYMBOL, dtype=complex)
+    phi1 = phi_ref
+    for s in range(arr.size // 8):
+        b = arr[8 * s: 8 * s + 8]
+        dphi = _PAIR_PHASE[_pair(b, 0)]
+        phi1 = (phi1 + dphi) % (2 * np.pi)
+        p2 = _PAIR_PHASE[_pair(b, 2)]
+        p3 = _PAIR_PHASE[_pair(b, 4)]
+        p4 = _PAIR_PHASE[_pair(b, 6)]
+        chips[8 * s: 8 * s + 8] = cck_codeword(phi1, p2, p3, p4)
+    return chips, phi1
+
+
+def cck_demodulate(chips: np.ndarray, phi_ref: float = 0.0) -> np.ndarray:
+    """Maximum-likelihood CCK demodulation.
+
+    For each 8-chip block, correlate against the 64 base codewords; the
+    best row gives (d2..d7) and the correlation's phase, quantised to
+    90 degrees and differentially decoded, gives (d0,d1).
+    """
+    wav = np.asarray(chips, dtype=complex)
+    if wav.size % CHIPS_PER_SYMBOL:
+        raise ValueError("chip count must be a multiple of 8")
+    n_sym = wav.size // CHIPS_PER_SYMBOL
+    out = np.empty(n_sym * BITS_PER_SYMBOL, dtype=np.uint8)
+    prev_phi1 = phi_ref
+    inv_pair = {v: k for k, v in _PAIR_PHASE.items()}
+    for s in range(n_sym):
+        block = wav[8 * s: 8 * s + 8]
+        corr = _CODEBOOK.conj() @ block  # (64,)
+        row = int(np.argmax(np.abs(corr)))
+        phi1 = np.angle(corr[row])
+        level = int(np.round(phi1 / (np.pi / 2))) % 4
+        phi1_q = _PHASES[level]
+        dphi = (phi1_q - prev_phi1) % (2 * np.pi)
+        d01 = inv_pair[min(_PAIR_PHASE.values(),
+                           key=lambda p: abs((dphi - p + np.pi)
+                                             % (2 * np.pi) - np.pi))]
+        prev_phi1 = phi1_q
+        i2, i3, i4 = row // 16, (row // 4) % 4, row % 4
+        bits = list(d01)
+        for idx in (i2, i3, i4):
+            bits.extend(inv_pair[_PHASES[idx]])
+        out[8 * s: 8 * s + 8] = bits
+    return out

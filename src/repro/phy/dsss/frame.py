@@ -1,0 +1,85 @@
+"""802.11b PPDU framing (long-preamble format, simplified).
+
+Layout (all DBPSK at 1 Mb/s):
+
+    SYNC: 128 one-bits | SFD: 0xF3A0 | PLCP header: SIGNAL(8) SERVICE(8)
+    LENGTH(16, microseconds) CRC-16(16) | PSDU
+
+Everything is scrambled with the self-synchronising scrambler before
+differential encoding.  The 2 Mb/s DQPSK payload mode of full 802.11b
+is out of scope — the paper's comparison point ([25]) runs DBPSK.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.bits import as_bits, bits_to_bytes, bits_to_int, bytes_to_bits, int_to_bits
+from repro.utils.crc import CRC16_CCITT
+
+__all__ = ["DsssFrameBuilder", "SYNC_BITS", "SFD", "HEADER_BITS"]
+
+SYNC_BITS = 128
+SFD = 0xF3A0
+HEADER_BITS = 48
+SIGNAL_1MBPS = 0x0A  # 1 Mb/s in 100 kb/s units
+
+
+class DsssFrameBuilder:
+    """Builds and parses the (unscrambled) PPDU bit stream."""
+
+    def preamble_header_bits(self, psdu_len_bytes: int) -> np.ndarray:
+        """SYNC + SFD + PLCP header for a PSDU of the given size."""
+        if not 1 <= psdu_len_bytes <= 4095:
+            raise ValueError("PSDU length out of range")
+        sync = np.ones(SYNC_BITS, dtype=np.uint8)
+        sfd = bytes_to_bits(SFD.to_bytes(2, "little"))
+        length_us = 8 * psdu_len_bytes  # airtime at 1 Mb/s
+        head = bytes([SIGNAL_1MBPS, 0x00]) + length_us.to_bytes(2, "little")
+        crc = CRC16_CCITT.digest(head)
+        header = bytes_to_bits(head + crc)
+        return np.concatenate([sync, sfd, header])
+
+    def build_bits(self, psdu: bytes) -> np.ndarray:
+        """Full unscrambled PPDU bit stream."""
+        if not psdu:
+            raise ValueError("PSDU must be non-empty")
+        return np.concatenate([self.preamble_header_bits(len(psdu)),
+                               bytes_to_bits(psdu)])
+
+    @property
+    def payload_offset_bits(self) -> int:
+        """Bit index where the PSDU starts."""
+        return SYNC_BITS + 16 + HEADER_BITS
+
+    def n_bits(self, psdu_len_bytes: int) -> int:
+        return self.payload_offset_bits + 8 * psdu_len_bytes
+
+    def parse_bits(self, bits: np.ndarray) -> Tuple[Optional[bytes], bool]:
+        """Parse a descrambled PPDU stream into ``(psdu, header_ok)``.
+
+        Sync tolerance: the 128 SYNC bits must be mostly ones and the
+        SFD must match exactly; the header must pass its CRC.
+        """
+        arr = as_bits(bits)
+        if arr.size < self.payload_offset_bits:
+            return None, False
+        if int(arr[:SYNC_BITS].sum()) < SYNC_BITS - 12:
+            return None, False
+        sfd = int.from_bytes(bits_to_bytes(arr[SYNC_BITS:SYNC_BITS + 16]),
+                             "little")
+        if sfd != SFD:
+            return None, False
+        header = bits_to_bytes(arr[SYNC_BITS + 16:self.payload_offset_bits])
+        body, crc = header[:4], int.from_bytes(header[4:6], "little")
+        if not CRC16_CCITT.verify(body, crc):
+            return None, False
+        length_us = int.from_bytes(body[2:4], "little")
+        n_bytes = length_us // 8
+        payload_bits = arr[self.payload_offset_bits:
+                           self.payload_offset_bits + 8 * n_bytes]
+        if payload_bits.size < 8 * n_bytes:
+            return None, False
+        return bits_to_bytes(payload_bits), True

@@ -1,0 +1,52 @@
+"""802.11b receive chain: Barker despread -> differential decode ->
+self-sync descramble -> PPDU parse."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.dsss.barker import despread_symbols
+from repro.phy.dsss.frame import DsssFrameBuilder
+from repro.phy.dsss.scrambler import SelfSyncScrambler
+
+__all__ = ["DsssDecodeResult", "DsssReceiver"]
+
+
+@dataclass
+class DsssDecodeResult:
+    """Outcome of decoding one PPDU waveform."""
+
+    psdu: Optional[bytes]
+    bits: Optional[np.ndarray]   # descrambled PPDU bit stream
+    header_ok: bool
+
+    @property
+    def ok(self) -> bool:
+        return self.header_ok and self.psdu is not None
+
+
+class DsssReceiver:
+    """Decode Barker/DBPSK waveforms from :class:`DsssTransmitter`."""
+
+    def __init__(self, monitor_mode: bool = True):
+        self._builder = DsssFrameBuilder()
+        self.monitor_mode = monitor_mode
+
+    def decode_bits(self, waveform: np.ndarray, n_bits: int) -> np.ndarray:
+        """Despread, differentially decode and descramble *n_bits*."""
+        symbols = despread_symbols(waveform, n_bits)
+        prev = np.concatenate([[1.0 + 0j], symbols[:-1]])
+        diffs = symbols * np.conj(prev)
+        scrambled = (diffs.real < 0).astype(np.uint8)
+        return SelfSyncScrambler(0).descramble(scrambled)
+
+    def decode(self, waveform: np.ndarray, n_bits: int) -> DsssDecodeResult:
+        """Full decode of one frame aligned at sample 0."""
+        bits = self.decode_bits(waveform, n_bits)
+        psdu, ok = self._builder.parse_bits(bits)
+        if not ok:
+            return DsssDecodeResult(None, bits, False)
+        return DsssDecodeResult(psdu, bits, True)

@@ -1,0 +1,76 @@
+"""802.11b self-synchronising scrambler (IEEE 802.11-2012 17.2.4).
+
+Same polynomial as the OFDM scrambler (x^7 + x^4 + 1) but wired
+*multiplicatively*: the transmitter feeds its own **output** back into
+the shift register, so the receiver can descramble with a feed-forward
+FIR over the received bits —
+
+    descrambled[k] = rx[k] ^ rx[k-4] ^ rx[k-7]
+
+— with no seed exchange.  This is the formulation of the FreeRider
+paper's equation (8), and the reason HitchHike-style codeword
+translation is easy on 802.11b: complementing a window of on-air bits
+complements the descrambled window, corrupting only the 7-bit memory
+at each edge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["SelfSyncScrambler", "dsss_scramble", "dsss_descramble"]
+
+
+class SelfSyncScrambler:
+    """Stateful multiplicative scrambler/descrambler.
+
+    Parameters
+    ----------
+    seed:
+        Initial 7-bit register contents (any value; the receiver needs
+        none of it — that is the point of self-synchronisation).
+    """
+
+    def __init__(self, seed: int = 0x1B):
+        if not 0 <= seed <= 0x7F:
+            raise ValueError("seed must fit in 7 bits")
+        self._state = seed
+
+    def scramble(self, bits) -> np.ndarray:
+        """TX direction: s[k] = b[k] ^ s[k-4] ^ s[k-7] (output feedback)."""
+        arr = as_bits(bits)
+        out = np.empty_like(arr)
+        state = self._state
+        for i, b in enumerate(arr):
+            fb = ((state >> 3) ^ (state >> 6)) & 1
+            s = b ^ fb
+            out[i] = s
+            state = ((state << 1) | s) & 0x7F
+        self._state = state
+        return out
+
+    def descramble(self, bits) -> np.ndarray:
+        """RX direction: b[k] = s[k] ^ s[k-4] ^ s[k-7] (input feedforward)."""
+        arr = as_bits(bits)
+        out = np.empty_like(arr)
+        state = self._state
+        for i, s in enumerate(arr):
+            fb = ((state >> 3) ^ (state >> 6)) & 1
+            out[i] = s ^ fb
+            state = ((state << 1) | int(s)) & 0x7F
+        self._state = state
+        return out
+
+
+def dsss_scramble(bits, seed: int = 0x1B) -> np.ndarray:
+    """One-shot multiplicative scramble."""
+    return SelfSyncScrambler(seed).scramble(bits)
+
+
+def dsss_descramble(bits, seed: int = 0x00) -> np.ndarray:
+    """One-shot descramble; synchronises itself within 7 bits, so the
+    *seed* only affects the first 7 outputs (which 802.11b covers with
+    the known preamble)."""
+    return SelfSyncScrambler(seed).descramble(bits)

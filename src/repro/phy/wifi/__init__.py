@@ -1,0 +1,41 @@
+"""802.11g/n OFDM PHY (ERP-OFDM, 20 MHz, 64 subcarriers).
+
+The chain follows IEEE 802.11-2012 clause 18 exactly where the paper's
+decoding argument depends on it: scrambler x^7 + x^4 + 1 (Figure 7 /
+equation 8), rate-1/2 K=7 convolutional coder with punctured variants
+(equation 9), per-OFDM-symbol block interleaver, and BPSK/QPSK/16-QAM/
+64-QAM subcarrier mapping.
+"""
+
+from repro.phy.wifi.scrambler import Scrambler, scramble, descramble
+from repro.phy.wifi.convolutional import ConvolutionalCode, CODE_802_11
+from repro.phy.wifi.interleaver import interleave, deinterleave
+from repro.phy.wifi.constellation import Constellation, CONSTELLATIONS
+from repro.phy.wifi.rates import WifiRate, WIFI_RATES, rate_by_mbps
+from repro.phy.wifi.ofdm import OfdmModulator
+from repro.phy.wifi.plcp import PlcpHeader, build_ppdu_bits, parse_signal_field
+from repro.phy.wifi.transmitter import WifiTransmitter, WifiFrame
+from repro.phy.wifi.receiver import WifiReceiver, WifiDecodeResult
+
+__all__ = [
+    "Scrambler",
+    "scramble",
+    "descramble",
+    "ConvolutionalCode",
+    "CODE_802_11",
+    "interleave",
+    "deinterleave",
+    "Constellation",
+    "CONSTELLATIONS",
+    "WifiRate",
+    "WIFI_RATES",
+    "rate_by_mbps",
+    "OfdmModulator",
+    "PlcpHeader",
+    "build_ppdu_bits",
+    "parse_signal_field",
+    "WifiTransmitter",
+    "WifiFrame",
+    "WifiReceiver",
+    "WifiDecodeResult",
+]

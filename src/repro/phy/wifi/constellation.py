@@ -1,0 +1,109 @@
+"""Gray-coded subcarrier constellations of 802.11 OFDM.
+
+BPSK, QPSK, 16-QAM, 64-QAM with the normalisation factors of IEEE
+802.11-2012 Table 18-7 so all constellations have unit average power.
+These are the per-subcarrier "codewords" in the paper's sense: valid
+points a tag-modified symbol must still land on (Figure 2 shows how a
+naive amplitude edit leaves the codebook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["Constellation", "CONSTELLATIONS"]
+
+
+def _gray_axis(n_bits: int) -> np.ndarray:
+    """Gray-coded PAM levels for one axis: n_bits -> 2^n_bits levels."""
+    n_levels = 1 << n_bits
+    levels = np.arange(n_levels)
+    gray = levels ^ (levels >> 1)
+    # Map gray code g to amplitude: position of g in gray sequence.
+    amplitude = np.empty(n_levels)
+    for pos, g in enumerate(gray):
+        amplitude[g] = 2 * pos - (n_levels - 1)
+    return amplitude
+
+
+@dataclass(frozen=True)
+class Constellation:
+    """A Gray-mapped QAM/PSK constellation with hard-decision demapping."""
+
+    name: str
+    bits_per_symbol: int
+    points: np.ndarray  # indexed by the integer value of the bit group (MSB first)
+
+    def modulate(self, bits) -> np.ndarray:
+        """Map a bit array (length divisible by bits_per_symbol) to
+        complex points."""
+        arr = as_bits(bits)
+        if arr.size % self.bits_per_symbol:
+            raise ValueError(
+                f"bit count {arr.size} not divisible by {self.bits_per_symbol}")
+        groups = arr.reshape(-1, self.bits_per_symbol)
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        idx = groups @ weights
+        return self.points[idx]
+
+    def demodulate(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point hard decision back to bits."""
+        sym = np.asarray(symbols).ravel()
+        d = np.abs(sym[:, None] - self.points[None, :])
+        idx = np.argmin(d, axis=1)
+        n = self.bits_per_symbol
+        out = np.empty((sym.size, n), dtype=np.uint8)
+        for b in range(n):
+            out[:, b] = (idx >> (n - 1 - b)) & 1
+        return out.ravel()
+
+    def demodulate_soft(self, symbols: np.ndarray, noise_var: float = 0.1) -> np.ndarray:
+        """Max-log LLRs per bit; positive favours bit 0."""
+        sym = np.asarray(symbols).ravel()
+        d2 = np.abs(sym[:, None] - self.points[None, :]) ** 2  # (N, M)
+        n = self.bits_per_symbol
+        idx = np.arange(self.points.size)
+        llrs = np.empty((sym.size, n))
+        for b in range(n):
+            bit_of_point = (idx >> (n - 1 - b)) & 1
+            d0 = d2[:, bit_of_point == 0].min(axis=1)
+            d1 = d2[:, bit_of_point == 1].min(axis=1)
+            llrs[:, b] = (d1 - d0) / max(noise_var, 1e-12)
+        return llrs.ravel()
+
+    def min_distance(self) -> float:
+        """Minimum Euclidean distance between constellation points."""
+        p = self.points
+        d = np.abs(p[:, None] - p[None, :])
+        d[d == 0] = np.inf
+        return float(d.min())
+
+
+def _make_bpsk() -> Constellation:
+    return Constellation("BPSK", 1, np.array([-1.0 + 0j, 1.0 + 0j]))
+
+
+def _make_qam(bits_per_symbol: int, name: str) -> Constellation:
+    half = bits_per_symbol // 2
+    axis = _gray_axis(half)
+    norm = {2: 1 / np.sqrt(2), 4: 1 / np.sqrt(10), 6: 1 / np.sqrt(42)}[bits_per_symbol]
+    n_points = 1 << bits_per_symbol
+    points = np.empty(n_points, dtype=complex)
+    for v in range(n_points):
+        i_bits = v >> half
+        q_bits = v & ((1 << half) - 1)
+        points[v] = (axis[i_bits] + 1j * axis[q_bits]) * norm
+    return Constellation(name, bits_per_symbol, points)
+
+
+CONSTELLATIONS: Dict[str, Constellation] = {
+    "BPSK": _make_bpsk(),
+    "QPSK": _make_qam(2, "QPSK"),
+    "16-QAM": _make_qam(4, "16-QAM"),
+    "64-QAM": _make_qam(6, "64-QAM"),
+}

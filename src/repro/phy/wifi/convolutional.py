@@ -1,0 +1,193 @@
+"""Rate-1/2, constraint-length-7 convolutional code of 802.11 with
+puncturing to rates 2/3 and 3/4, plus a hard/soft-decision Viterbi decoder.
+
+Generator polynomials g0 = 133 (octal), g1 = 171 (octal) — equation (9)
+of the FreeRider paper written out:
+
+    C1[k] = b[k] ^ b[k-2] ^ b[k-3] ^ b[k-5] ^ b[k-6]
+    C2[k] = b[k] ^ b[k-1] ^ b[k-2] ^ b[k-3] ^ b[k-6]
+
+Like the scrambler, the coder is linear over GF(2): complementing an
+all-ones input window complements the outputs, which is what lets a
+FreeRider tag's phase-flip translation map decoded bits to their
+complement (paper section 3.2.1).
+
+The Viterbi decoder is vectorised over states with numpy and supports
+both hard bits and soft LLR inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["ConvolutionalCode", "CODE_802_11", "PUNCTURE_PATTERNS"]
+
+# Puncture patterns indexed by (numerator, denominator) of the coding rate.
+# Pattern arrays mark which of the rate-1/2 output bits are transmitted.
+PUNCTURE_PATTERNS: Dict[Tuple[int, int], np.ndarray] = {
+    (1, 2): np.array([1, 1], dtype=np.uint8),
+    (2, 3): np.array([1, 1, 1, 0], dtype=np.uint8),
+    (3, 4): np.array([1, 1, 1, 0, 0, 1], dtype=np.uint8),
+}
+
+
+@dataclass
+class ConvolutionalCode:
+    """K=7 convolutional code with numpy Viterbi decoding.
+
+    The instance precomputes the state-transition tables once; encode and
+    decode are then pure-numpy loops over time steps.
+    """
+
+    g0: int = 0o133
+    g1: int = 0o171
+    constraint_length: int = 7
+    _tables: Optional[tuple] = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_states(self) -> int:
+        return 1 << (self.constraint_length - 1)
+
+    def _parity(self, x: int) -> int:
+        return bin(x).count("1") & 1
+
+    def _build_tables(self):
+        """next_state[s, b], out0[s, b], out1[s, b] for all 64 states."""
+        if self._tables is not None:
+            return self._tables
+        n = self.n_states
+        next_state = np.zeros((n, 2), dtype=np.int64)
+        out0 = np.zeros((n, 2), dtype=np.uint8)
+        out1 = np.zeros((n, 2), dtype=np.uint8)
+        for s in range(n):
+            for b in range(2):
+                # Shift register: newest bit on the left (MSB side of the
+                # K-bit window), matching the 802.11 convention where
+                # state holds the previous K-1 input bits.
+                reg = (b << (self.constraint_length - 1)) | s
+                out0[s, b] = self._parity(reg & self.g0)
+                out1[s, b] = self._parity(reg & self.g1)
+                next_state[s, b] = reg >> 1
+        self._tables = (next_state, out0, out1)
+        return self._tables
+
+    def encode(self, bits, rate: Tuple[int, int] = (1, 2)) -> np.ndarray:
+        """Encode *bits*; output is punctured to *rate*.
+
+        The encoder starts in the all-zero state (the 802.11 SERVICE
+        field's leading zeros flush it at the receiver).
+        """
+        if rate not in PUNCTURE_PATTERNS:
+            raise ValueError(f"unsupported coding rate {rate}")
+        arr = as_bits(bits)
+        next_state, out0, out1 = self._build_tables()
+        coded = np.empty(2 * arr.size, dtype=np.uint8)
+        s = 0
+        for i, b in enumerate(arr):
+            coded[2 * i] = out0[s, b]
+            coded[2 * i + 1] = out1[s, b]
+            s = next_state[s, b]
+        return self._puncture(coded, rate)
+
+    def _puncture(self, coded: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+        pattern = PUNCTURE_PATTERNS[rate]
+        if pattern.size == 2:  # rate 1/2: nothing removed
+            return coded
+        reps = int(np.ceil(coded.size / pattern.size))
+        mask = np.tile(pattern, reps)[: coded.size].astype(bool)
+        return coded[mask]
+
+    def _depuncture(self, llrs: np.ndarray, rate: Tuple[int, int]) -> np.ndarray:
+        """Re-insert zeros (erasures) at punctured positions of an LLR
+        stream; returns a multiple-of-2-length array."""
+        pattern = PUNCTURE_PATTERNS[rate]
+        if pattern.size == 2:
+            out = llrs.astype(float)
+        else:
+            kept_per_period = int(pattern.sum())
+            n_periods = int(np.ceil(llrs.size / kept_per_period))
+            out = np.zeros(n_periods * pattern.size, dtype=float)
+            mask = np.tile(pattern, n_periods).astype(bool)
+            padded = np.zeros(int(mask.sum()), dtype=float)
+            padded[: llrs.size] = llrs
+            out[mask] = padded
+        if out.size % 2:
+            out = np.concatenate([out, [0.0]])
+        return out
+
+    def decode(self, received, rate: Tuple[int, int] = (1, 2),
+               soft: bool = False) -> np.ndarray:
+        """Viterbi-decode *received* back to information bits.
+
+        Parameters
+        ----------
+        received:
+            Hard bits (0/1) when ``soft`` is False, else LLRs where
+            positive means "bit 0 more likely" (matched-filter sign
+            convention ``llr = +1`` for 0, ``-1`` for 1).
+        rate:
+            The puncturing rate the encoder used.
+        soft:
+            Select soft-metric decoding.
+        """
+        if rate not in PUNCTURE_PATTERNS:
+            raise ValueError(f"unsupported coding rate {rate}")
+        if soft:
+            llr = np.asarray(received, dtype=float)
+        else:
+            llr = 1.0 - 2.0 * as_bits(received).astype(float)
+        llr = self._depuncture(llr, rate)
+        n_steps = llr.size // 2
+        if n_steps == 0:
+            return np.zeros(0, dtype=np.uint8)
+
+        next_state, out0, out1 = self._build_tables()
+        n = self.n_states
+        # Branch metric of transition (s, b) at time t:
+        # correlation of expected symbols (+1 for bit 0) with LLRs.
+        exp0 = 1.0 - 2.0 * out0.astype(float)  # (n,2)
+        exp1 = 1.0 - 2.0 * out1.astype(float)
+
+        path_metric = np.full(n, -np.inf)
+        path_metric[0] = 0.0
+        survivors = np.zeros((n_steps, n), dtype=np.uint8)
+        prev_state_tbl = np.zeros((n_steps, n), dtype=np.int64)
+
+        # Each target state has exactly two (predecessor, input-bit) pairs;
+        # precompute them so the add-compare-select is fully vectorised.
+        pred = np.zeros((n, 2), dtype=np.int64)
+        pbit = np.zeros((n, 2), dtype=np.int64)
+        fill = np.zeros(n, dtype=np.int64)
+        for s in range(n):
+            for b in range(2):
+                tgt = next_state[s, b]
+                pred[tgt, fill[tgt]] = s
+                pbit[tgt, fill[tgt]] = b
+                fill[tgt] += 1
+        exp0_pred = exp0[pred, pbit]  # (n,2) expected first output symbol
+        exp1_pred = exp1[pred, pbit]
+
+        for t in range(n_steps):
+            l0, l1 = llr[2 * t], llr[2 * t + 1]
+            cand = path_metric[pred] + exp0_pred * l0 + exp1_pred * l1  # (n,2)
+            choice = np.argmax(cand, axis=1)
+            rows = np.arange(n)
+            path_metric = cand[rows, choice]
+            survivors[t] = pbit[rows, choice].astype(np.uint8)
+            prev_state_tbl[t] = pred[rows, choice]
+
+        # Traceback from the best final state.
+        state = int(np.argmax(path_metric))
+        decoded = np.zeros(n_steps, dtype=np.uint8)
+        for t in range(n_steps - 1, -1, -1):
+            decoded[t] = survivors[t, state]
+            state = int(prev_state_tbl[t, state])
+        return decoded
+
+
+CODE_802_11 = ConvolutionalCode()

@@ -1,0 +1,71 @@
+"""802.11 OFDM block interleaver (IEEE 802.11-2012 section 18.3.5.7).
+
+Interleaving operates on one OFDM symbol's worth of coded bits at a time
+(N_CBPS bits) and never crosses symbol boundaries — the property the
+FreeRider paper leans on in section 3.2.1: as long as one tag bit spans
+at least one whole OFDM symbol, the interleaver cannot smear a tag bit's
+edits across two tag bits.
+
+Two permutations are applied:
+    first:  i = (N_CBPS/16) * (k mod 16) + floor(k/16)
+    second: j = s * floor(i/s) + (i + N_CBPS - floor(16*i/N_CBPS)) mod s
+with s = max(N_BPSC/2, 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import as_bits
+
+__all__ = ["interleave", "deinterleave", "interleave_permutation"]
+
+
+def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Return the permutation ``perm`` such that output[perm[k]] = input[k].
+
+    *n_cbps* is coded bits per OFDM symbol, *n_bpsc* bits per subcarrier.
+    """
+    if n_cbps % 16:
+        raise ValueError("N_CBPS must be a multiple of 16")
+    if n_bpsc not in (1, 2, 4, 6):
+        raise ValueError("N_BPSC must be 1, 2, 4 or 6")
+    s = max(n_bpsc // 2, 1)
+    k = np.arange(n_cbps)
+    i = (n_cbps // 16) * (k % 16) + k // 16
+    j = s * (i // s) + (i + n_cbps - (16 * i // n_cbps)) % s
+    return j
+
+
+def _apply_blockwise(bits: np.ndarray, perm: np.ndarray, inverse: bool) -> np.ndarray:
+    n_cbps = perm.size
+    if bits.size % n_cbps:
+        raise ValueError(
+            f"bit count {bits.size} is not a multiple of N_CBPS={n_cbps}")
+    blocks = bits.reshape(-1, n_cbps)
+    out = np.empty_like(blocks)
+    if inverse:
+        out = blocks[:, perm]
+    else:
+        out[:, perm] = blocks
+    return out.ravel()
+
+
+def interleave(bits, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave coded bits, one N_CBPS block per OFDM symbol."""
+    return _apply_blockwise(as_bits(bits), interleave_permutation(n_cbps, n_bpsc), False)
+
+
+def deinterleave(bits, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Invert :func:`interleave`."""
+    return _apply_blockwise(as_bits(bits), interleave_permutation(n_cbps, n_bpsc), True)
+
+
+def deinterleave_soft(llrs: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """De-interleave a soft-value (float) stream block-by-block."""
+    arr = np.asarray(llrs, dtype=float)
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    if arr.size % n_cbps:
+        raise ValueError(
+            f"LLR count {arr.size} is not a multiple of N_CBPS={n_cbps}")
+    return arr.reshape(-1, n_cbps)[:, perm].ravel()

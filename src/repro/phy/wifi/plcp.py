@@ -1,0 +1,133 @@
+"""PLCP framing for ERP-OFDM: preamble, SIGNAL field, SERVICE/tail/pad.
+
+The PPDU layout (802.11-2012 Figure 18-1):
+
+    [STF 8us][LTF 8us][SIGNAL 4us][DATA symbols ...]
+
+SIGNAL is one BPSK rate-1/2 OFDM symbol carrying RATE(4) R(1) LENGTH(12)
+PARITY(1) TAIL(6).  DATA starts with the 16-bit SERVICE field (7 zero
+bits that reveal the scrambler seed, then 9 reserved zeros), ends with 6
+zero tail bits, and is padded to a whole number of OFDM symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.bits import as_bits, int_to_bits, bits_to_int
+from repro.phy.wifi.rates import WifiRate, SIGNAL_RATE_BITS, rate_by_mbps
+
+__all__ = ["PlcpHeader", "build_signal_bits", "parse_signal_field",
+           "build_ppdu_bits", "strip_service_and_tail",
+           "short_training_field", "long_training_field",
+           "SERVICE_BITS", "TAIL_BITS"]
+
+SERVICE_BITS = 16
+TAIL_BITS = 6
+
+
+@dataclass(frozen=True)
+class PlcpHeader:
+    """Decoded SIGNAL-field contents."""
+
+    rate: WifiRate
+    length_bytes: int
+
+    @property
+    def n_data_symbols(self) -> int:
+        n_bits = SERVICE_BITS + 8 * self.length_bytes + TAIL_BITS
+        return self.rate.symbols_for_bits(n_bits)
+
+
+def build_signal_bits(rate: WifiRate, length_bytes: int) -> np.ndarray:
+    """The 24 SIGNAL bits: RATE, reserved, LENGTH (LSB first), parity, tail."""
+    if not 0 < length_bytes <= 4095:
+        raise ValueError("PSDU length must be 1..4095 bytes")
+    rate_bits = int_to_bits(rate.signal_rate_bits, 4)  # MSB first per spec R1-R4
+    length_bits = int_to_bits(length_bytes, 12, msb_first=False)  # LSB first
+    head = np.concatenate([rate_bits, [0], length_bits]).astype(np.uint8)
+    parity = np.array([head.sum() % 2], dtype=np.uint8)
+    tail = np.zeros(TAIL_BITS, dtype=np.uint8)
+    return np.concatenate([head, parity, tail])
+
+
+def parse_signal_field(bits) -> Optional[PlcpHeader]:
+    """Parse 24 SIGNAL bits; returns None on bad parity / unknown rate.
+
+    A None here models the "packet header not detected" failure mode the
+    paper observes at long range (section 4.2.1: when the header itself
+    is not decoded, the packet is lost entirely).
+    """
+    arr = as_bits(bits)
+    if arr.size != 24:
+        raise ValueError("SIGNAL field is exactly 24 bits")
+    if arr[:17].sum() % 2 != arr[17]:
+        return None
+    rate_val = bits_to_int(arr[:4])
+    if rate_val not in SIGNAL_RATE_BITS:
+        return None
+    if arr[18:].any():  # tail must be zero
+        return None
+    length = bits_to_int(arr[5:17], msb_first=False)
+    if length == 0:
+        return None
+    return PlcpHeader(rate_by_mbps(SIGNAL_RATE_BITS[rate_val]), length)
+
+
+def build_ppdu_bits(psdu: bytes, rate: WifiRate,
+                    from_bits: Optional[np.ndarray] = None) -> Tuple[np.ndarray, int]:
+    """Assemble the unscrambled DATA-field bit stream.
+
+    Returns ``(bits, n_symbols)`` where *bits* is SERVICE + PSDU + tail +
+    pad, sized to fill *n_symbols* OFDM symbols at *rate*.  *from_bits*
+    substitutes an arbitrary pre-built PSDU bit array (used by tests).
+    """
+    from repro.utils.bits import bytes_to_bits
+
+    psdu_bits = from_bits if from_bits is not None else bytes_to_bits(psdu)
+    n_bits = SERVICE_BITS + psdu_bits.size + TAIL_BITS
+    n_symbols = rate.symbols_for_bits(n_bits)
+    total = n_symbols * rate.n_dbps
+    out = np.zeros(total, dtype=np.uint8)
+    out[SERVICE_BITS:SERVICE_BITS + psdu_bits.size] = psdu_bits
+    return out, n_symbols
+
+
+def strip_service_and_tail(bits: np.ndarray, length_bytes: int) -> np.ndarray:
+    """Extract the PSDU bits from a decoded DATA-field stream."""
+    start = SERVICE_BITS
+    end = start + 8 * length_bytes
+    if bits.size < end:
+        raise ValueError("decoded stream shorter than PSDU length")
+    return bits[start:end]
+
+
+def short_training_field(oversample: int = 1) -> np.ndarray:
+    """The 8 us STF waveform (ten repetitions of a 16-sample pattern)."""
+    s = np.zeros(64, dtype=complex)
+    scale = np.sqrt(13 / 6)
+    pattern = {
+        -24: 1 + 1j, -20: -1 - 1j, -16: 1 + 1j, -12: -1 - 1j, -8: -1 - 1j,
+        -4: 1 + 1j, 4: -1 - 1j, 8: -1 - 1j, 12: 1 + 1j, 16: 1 + 1j,
+        20: 1 + 1j, 24: 1 + 1j,
+    }
+    for k, v in pattern.items():
+        s[k % 64] = scale * v
+    one_period = np.fft.ifft(s) * np.sqrt(64)
+    return np.tile(one_period[:16], 10)
+
+
+def long_training_field() -> np.ndarray:
+    """The 8 us LTF waveform (32-sample CP + two 64-sample symbols)."""
+    ltf_seq = np.array(
+        [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+         1, -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1,
+         -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1], dtype=complex)
+    grid = np.zeros(64, dtype=complex)
+    for i, k in enumerate(range(-26, 27)):
+        grid[k % 64] = ltf_seq[i]
+    sym = np.fft.ifft(grid) * np.sqrt(64)
+    return np.concatenate([sym[-32:], sym, sym])

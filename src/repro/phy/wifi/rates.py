@@ -1,0 +1,80 @@
+"""The eight ERP-OFDM rate configurations of 802.11g (Table 18-4).
+
+Each rate fixes the subcarrier constellation, coding rate, and the
+derived per-symbol bit counts used by the interleaver and the padding
+logic.  The paper's experiments run at 6 Mb/s (BPSK, rate 1/2), where one
+tag bit spans four OFDM symbols = 96 coded... = 96 data bits of air time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.phy.wifi.constellation import CONSTELLATIONS, Constellation
+
+__all__ = ["WifiRate", "WIFI_RATES", "rate_by_mbps", "SIGNAL_RATE_BITS"]
+
+N_DATA_SUBCARRIERS = 48
+SYMBOL_DURATION_US = 4.0
+
+
+@dataclass(frozen=True)
+class WifiRate:
+    """One 802.11g/n modulation-and-coding configuration."""
+
+    mbps: float
+    modulation: str
+    coding_rate: Tuple[int, int]
+    signal_rate_bits: int  # 4-bit RATE field value of the SIGNAL symbol
+
+    @property
+    def constellation(self) -> Constellation:
+        return CONSTELLATIONS[self.modulation]
+
+    @property
+    def n_bpsc(self) -> int:
+        """Coded bits per subcarrier."""
+        return self.constellation.bits_per_symbol
+
+    @property
+    def n_cbps(self) -> int:
+        """Coded bits per OFDM symbol."""
+        return self.n_bpsc * N_DATA_SUBCARRIERS
+
+    @property
+    def n_dbps(self) -> int:
+        """Data bits per OFDM symbol."""
+        num, den = self.coding_rate
+        return self.n_cbps * num // den
+
+    def symbols_for_bits(self, n_data_bits: int) -> int:
+        """OFDM symbols needed to carry *n_data_bits* (before padding)."""
+        return -(-n_data_bits // self.n_dbps)
+
+    def duration_us(self, n_data_bits: int) -> float:
+        """Airtime of the DATA portion in microseconds."""
+        return self.symbols_for_bits(n_data_bits) * SYMBOL_DURATION_US
+
+
+# IEEE 802.11-2012 Table 18-4 & 18-6 (RATE field encodings).
+WIFI_RATES: Dict[float, WifiRate] = {
+    6.0: WifiRate(6.0, "BPSK", (1, 2), 0b1101),
+    9.0: WifiRate(9.0, "BPSK", (3, 4), 0b1111),
+    12.0: WifiRate(12.0, "QPSK", (1, 2), 0b0101),
+    18.0: WifiRate(18.0, "QPSK", (3, 4), 0b0111),
+    24.0: WifiRate(24.0, "16-QAM", (1, 2), 0b1001),
+    36.0: WifiRate(36.0, "16-QAM", (3, 4), 0b1011),
+    48.0: WifiRate(48.0, "64-QAM", (2, 3), 0b0001),
+    54.0: WifiRate(54.0, "64-QAM", (3, 4), 0b0011),
+}
+
+SIGNAL_RATE_BITS: Dict[int, float] = {r.signal_rate_bits: r.mbps for r in WIFI_RATES.values()}
+
+
+def rate_by_mbps(mbps: float) -> WifiRate:
+    """Look up a rate configuration; raises for non-802.11g rates."""
+    try:
+        return WIFI_RATES[float(mbps)]
+    except KeyError:
+        raise ValueError(f"{mbps} Mb/s is not an 802.11g OFDM rate") from None

@@ -1,0 +1,27 @@
+"""802.15.4 (ZigBee) 2.4 GHz PHY: 4-bit symbols spread to 32-chip PN
+sequences, half-sine-shaped OQPSK at 2 Mchip/s (250 kb/s).
+
+The offset-quadrature structure is what makes naive tag phase flips
+corrupt a symbol boundary (paper section 3.2.2), motivating FreeRider's
+N=8 symbol repetition.
+"""
+
+from repro.phy.zigbee.chips import CHIP_SEQUENCES, symbols_to_chips, nearest_symbol
+from repro.phy.zigbee.oqpsk import OqpskModem
+from repro.phy.zigbee.frame import ZigbeeFrameBuilder, ZIGBEE_PREAMBLE, ZIGBEE_SFD
+from repro.phy.zigbee.transmitter import ZigbeeTransmitter, ZigbeeFrame
+from repro.phy.zigbee.receiver import ZigbeeReceiver, ZigbeeDecodeResult
+
+__all__ = [
+    "CHIP_SEQUENCES",
+    "symbols_to_chips",
+    "nearest_symbol",
+    "OqpskModem",
+    "ZigbeeFrameBuilder",
+    "ZIGBEE_PREAMBLE",
+    "ZIGBEE_SFD",
+    "ZigbeeTransmitter",
+    "ZigbeeFrame",
+    "ZigbeeReceiver",
+    "ZigbeeDecodeResult",
+]

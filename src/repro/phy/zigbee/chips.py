@@ -1,0 +1,88 @@
+"""802.15.4 symbol-to-chip spreading (IEEE 802.15.4-2011 Table 73).
+
+Sixteen quasi-orthogonal 32-chip PN sequences.  Symbols 1..7 are 4-chip
+right-rotations of symbol 0; symbols 8..15 invert the odd-indexed chips
+(the "conjugated" half of the codebook).  These sequences are the ZigBee
+*codebook* in FreeRider's terminology: any tag modification must land
+the received chips close to one of these 16 codewords.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["CHIP_SEQUENCES", "symbols_to_chips", "chips_to_symbols",
+           "nearest_symbol", "correlation_table"]
+
+_SYMBOL0 = np.array([1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
+                     0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
+                    dtype=np.uint8)
+
+
+def _build_sequences() -> np.ndarray:
+    table = np.zeros((16, 32), dtype=np.uint8)
+    for s in range(8):
+        table[s] = np.roll(_SYMBOL0, 4 * s)
+    conj_mask = np.zeros(32, dtype=np.uint8)
+    conj_mask[1::2] = 1  # invert odd-indexed chips
+    for s in range(8):
+        table[s + 8] = np.bitwise_xor(table[s], conj_mask)
+    return table
+
+
+CHIP_SEQUENCES: np.ndarray = _build_sequences()
+CHIP_SEQUENCES.setflags(write=False)
+
+# +/-1 form used for correlation decoding (chip 1 -> +1, chip 0 -> -1,
+# matching the OQPSK modulator's amplitude map).
+_BIPOLAR = (2.0 * CHIP_SEQUENCES.astype(float) - 1.0)
+
+
+def symbols_to_chips(symbols) -> np.ndarray:
+    """Spread a sequence of 4-bit symbols (ints 0..15) to chips."""
+    arr = np.asarray(symbols, dtype=np.int64).ravel()
+    if arr.size and (arr.min() < 0 or arr.max() > 15):
+        raise ValueError("802.15.4 symbols are 0..15")
+    return CHIP_SEQUENCES[arr].ravel().copy()
+
+
+def chips_to_symbols(chips) -> np.ndarray:
+    """Hard-decision despread: nearest codeword per 32-chip group.
+
+    Trailing chips that do not fill a group are dropped.
+    """
+    arr = np.asarray(chips, dtype=np.uint8).ravel()
+    n = arr.size // 32
+    out = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = nearest_symbol(arr[i * 32:(i + 1) * 32])
+    return out
+
+
+def nearest_symbol(chips: np.ndarray) -> int:
+    """The symbol whose PN sequence has minimum Hamming distance to
+    *chips* (32 hard chips)."""
+    arr = np.asarray(chips, dtype=np.uint8).ravel()
+    if arr.size != 32:
+        raise ValueError("need exactly 32 chips")
+    distances = np.bitwise_xor(CHIP_SEQUENCES, arr[None, :]).sum(axis=1)
+    return int(np.argmin(distances))
+
+
+def nearest_symbol_soft(chip_metrics: np.ndarray) -> int:
+    """Soft despread: argmax correlation of +/-1 metrics (positive means
+    chip 1) against the bipolar codebook."""
+    m = np.asarray(chip_metrics, dtype=float).ravel()
+    if m.size != 32:
+        raise ValueError("need exactly 32 chip metrics")
+    return int(np.argmax(_BIPOLAR @ m))
+
+
+def correlation_table() -> np.ndarray:
+    """16x16 normalised cross-correlations of the bipolar codebook —
+    useful for reasoning about which symbol an inverted (tag-flipped)
+    codeword decodes to."""
+    c = _BIPOLAR @ _BIPOLAR.T / 32.0
+    return c

@@ -1,0 +1,28 @@
+"""Experiment layer: calibrated radio configurations, the distance-sweep
+link simulator behind Figures 10-14, the MAC simulator behind Figure 17,
+and result-table formatting."""
+
+from repro.sim.config import RadioConfig, WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG
+from repro.sim.linksim import LinkSimulator, LinkPoint
+from repro.sim.macsim import MacExperiment, MacExperimentPoint
+from repro.sim.charts import ascii_chart, ascii_cdf
+from repro.sim.netsim import NetworkSimulator, NetworkResult, TagNode
+from repro.sim.results import Series, format_table
+
+__all__ = [
+    "RadioConfig",
+    "WIFI_CONFIG",
+    "ZIGBEE_CONFIG",
+    "BLE_CONFIG",
+    "LinkSimulator",
+    "LinkPoint",
+    "MacExperiment",
+    "MacExperimentPoint",
+    "NetworkSimulator",
+    "NetworkResult",
+    "TagNode",
+    "Series",
+    "format_table",
+    "ascii_chart",
+    "ascii_cdf",
+]

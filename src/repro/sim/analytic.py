@@ -1,0 +1,109 @@
+"""Closed-form performance models, for sanity-checking the simulators.
+
+Every number the simulation stack produces has a back-of-envelope
+counterpart; this module collects them so tests (and users) can verify
+that the machinery agrees with the math:
+
+* tag goodput per excitation packet (airtime accounting);
+* framed-slotted-Aloha slot statistics and the 1/e efficiency point;
+* the TDM bound under per-slot grant overhead;
+* backscatter range from the two-hop budget (log-distance inversion).
+"""
+
+from __future__ import annotations
+
+from math import exp, log
+from typing import Tuple
+
+import numpy as np
+
+from repro.mac.aloha import AlohaConfig
+from repro.sim.config import RadioConfig
+
+__all__ = [
+    "wifi_tag_bits_per_packet",
+    "tag_goodput_kbps",
+    "aloha_success_probability",
+    "aloha_throughput_kbps",
+    "tdm_throughput_kbps",
+    "backscatter_range_m",
+]
+
+
+def wifi_tag_bits_per_packet(payload_bytes: int, n_dbps: int = 24,
+                             repetition: int = 4,
+                             skipped_symbols: int = 1) -> int:
+    """Tag bits riding one 802.11g packet (binary scheme).
+
+    Mirrors the session arithmetic: data symbols = ceil((16 + 8L + 6)
+    / N_DBPS); the SERVICE symbol is skipped and the envelope latency
+    trims one more partial unit.
+    """
+    n_sym = -(-(16 + 8 * payload_bytes + 6) // n_dbps)
+    usable = n_sym - skipped_symbols - 1  # latency trims a partial unit
+    return max(0, usable // repetition)
+
+
+def tag_goodput_kbps(bits_per_packet: int, packet_airtime_us: float,
+                     gap_us: float, delivery_ratio: float = 1.0) -> float:
+    """Average tag rate under saturating excitation traffic."""
+    if packet_airtime_us <= 0:
+        raise ValueError("airtime must be positive")
+    cycle = packet_airtime_us + gap_us
+    return bits_per_packet * delivery_ratio / cycle * 1e3
+
+
+def aloha_success_probability(n_tags: int, n_slots: int) -> float:
+    """P(a given slot holds exactly one tag) under uniform choice."""
+    if n_tags < 0 or n_slots < 1:
+        raise ValueError("need n_tags >= 0 and n_slots >= 1")
+    if n_tags == 0:
+        return 0.0
+    p = 1.0 / n_slots
+    return n_tags * p * (1 - p) ** (n_tags - 1)
+
+
+def aloha_throughput_kbps(n_tags: int, config: AlohaConfig = None,
+                          n_slots: int = None) -> float:
+    """Expected FSA throughput at a given (or matched) frame size.
+
+    With ``n_slots = n_tags`` (the controller's target) the per-slot
+    success probability approaches 1/e for large populations.
+    """
+    cfg = config or AlohaConfig()
+    slots = n_slots if n_slots is not None else max(cfg.min_slots, n_tags)
+    p_single = aloha_success_probability(n_tags, slots)
+    bits = slots * p_single * cfg.slot_bits
+    duration = (cfg.control_airtime_us() + slots * cfg.slot_airtime_us
+                + cfg.inter_round_gap_us)
+    return bits / duration * 1e3
+
+
+def tdm_throughput_kbps(n_tags: int, config: AlohaConfig = None) -> float:
+    """Collision-free bound with per-slot grant overhead."""
+    cfg = config or AlohaConfig()
+    bits = n_tags * cfg.slot_bits
+    duration = (cfg.control_airtime_us()
+                + n_tags * (cfg.slot_airtime_us + cfg.tdm_per_slot_overhead_us)
+                + cfg.inter_round_gap_us)
+    return bits / duration * 1e3
+
+
+def backscatter_range_m(config: RadioConfig, tx_to_tag_m: float = 1.0,
+                        pl0_db: float = 30.0,
+                        exponent: float = 2.6) -> float:
+    """Closed-form inversion of the two-hop budget for the LOS model:
+
+        RSSI(d) = Ptx - PL(d_tx) - L_tag - PL0 - 10 n log10(d)
+
+    solved for RSSI = sensitivity.  Matches
+    ``BackscatterLinkBudget.max_range_m`` (which bisects the same law).
+    """
+    budget = config.budget()
+    incident = (config.tx_power_dbm - pl0_db
+                - 10 * exponent * np.log10(max(tx_to_tag_m, 0.1)))
+    headroom = (incident - budget.tag_loss_db - pl0_db
+                - config.sensitivity_dbm())
+    if headroom <= 0:
+        return 0.0
+    return float(10 ** (headroom / (10 * exponent)))

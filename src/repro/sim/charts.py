@@ -1,0 +1,86 @@
+"""Plain-text chart rendering for benchmark outputs.
+
+The harness is headless (no matplotlib), but curve *shapes* are the
+deliverable — an ASCII line chart in each results file lets a reader
+eyeball the Figure 10 cliff or the Figure 17 saturation without
+plotting anything.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.results import Series
+
+__all__ = ["ascii_chart", "ascii_cdf"]
+
+
+def ascii_chart(series: Series, width: int = 60, height: int = 14,
+                title: Optional[str] = None) -> str:
+    """Render a Series as an ASCII scatter/line chart.
+
+    Points are marked with '*'; axes are labelled with min/max values.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart too small")
+    if len(series.x) < 2:
+        return f"{title or series.name}: (not enough points)"
+    x = np.asarray(series.x, dtype=float)
+    y = np.asarray(series.y, dtype=float)
+    x_min, x_max = float(x.min()), float(x.max())
+    y_min, y_max = float(y.min()), float(y.max())
+    if x_max == x_min or y_max == y_min:
+        y_max = y_min + 1.0 if y_max == y_min else y_max
+        x_max = x_min + 1.0 if x_max == x_min else x_max
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((x - x_min) / (x_max - x_min) * (width - 1)).round()
+                   .astype(int), 0, width - 1)
+    rows = np.clip(((y - y_min) / (y_max - y_min) * (height - 1)).round()
+                   .astype(int), 0, height - 1)
+    # Connect consecutive points with interpolated marks.
+    for i in range(len(x) - 1):
+        c0, r0, c1, r1 = cols[i], rows[i], cols[i + 1], rows[i + 1]
+        steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+        for s in range(steps + 1):
+            c = int(round(c0 + (c1 - c0) * s / steps))
+            r = int(round(r0 + (r1 - r0) * s / steps))
+            grid[height - 1 - r][c] = "."
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = "*"
+
+    y_lo, y_hi = _fmt(y_min), _fmt(y_max)
+    label_w = max(len(y_lo), len(y_hi))
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = y_hi if i == 0 else y_lo if i == height - 1 else ""
+        lines.append(f"{label.rjust(label_w)} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    x_lo, x_hi = _fmt(x_min), _fmt(x_max)
+    pad = width - len(x_lo) - len(x_hi)
+    lines.append(" " * (label_w + 2) + x_lo + " " * max(pad, 1) + x_hi)
+    lines.append(" " * (label_w + 2)
+                 + f"{series.x_label} -> (y: {series.y_label})")
+    return "\n".join(lines)
+
+
+def ascii_cdf(samples: Sequence[float], width: int = 60, height: int = 12,
+              title: Optional[str] = None,
+              value_label: str = "value") -> str:
+    """Render an empirical CDF of *samples* as an ASCII chart."""
+    from repro.sim.results import cdf_points
+
+    series = cdf_points(list(samples))
+    series.x_label = value_label
+    series.y_label = "P(X<=x)"
+    return ascii_chart(series, width=width, height=height, title=title)
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e6:
+        return str(int(v))
+    return f"{v:.3g}"

@@ -1,0 +1,85 @@
+"""Result-series containers and plain-text table formatting.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and easy to diff against
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Series", "format_table", "cdf_points"]
+
+
+@dataclass
+class Series:
+    """A named x/y series, e.g. 'throughput vs distance'."""
+
+    name: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def append(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_rows(self) -> List[Sequence[float]]:
+        return list(zip(self.x, self.y))
+
+    def y_at(self, x: float) -> float:
+        """Linear interpolation of the series at *x*."""
+        if not self.x:
+            raise ValueError("empty series")
+        return float(np.interp(x, self.x, self.y))
+
+    def summary(self) -> str:
+        if not self.y:
+            return f"{self.name}: (empty)"
+        return (f"{self.name}: n={len(self.y)} "
+                f"min={min(self.y):.3g} max={max(self.y):.3g}")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned plain-text table."""
+    cols = len(headers)
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != cols:
+            raise ValueError("row width disagrees with headers")
+    widths = [max(len(headers[c]), *(len(r[c]) for r in text_rows))
+              if text_rows else len(headers[c]) for c in range(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e5):
+            return f"{value:.2e}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def cdf_points(samples: Sequence[float]) -> Series:
+    """Empirical CDF of *samples* as a Series (x sorted, y in [0,1])."""
+    s = Series("cdf", x_label="value", y_label="P(X<=x)")
+    if not len(samples):
+        return s
+    xs = np.sort(np.asarray(samples, dtype=float))
+    n = xs.size
+    for i, x in enumerate(xs, start=1):
+        s.append(x, i / n)
+    return s

@@ -1,0 +1,22 @@
+"""FreeRider tag hardware models: envelope detector, RF switch, ring
+oscillator, micro-watt power budget, and the assembled tag (Figure 5)."""
+
+from repro.tag.envelope import EnvelopeDetector, PulseEvent
+from repro.tag.rf_switch import RfSwitch
+from repro.tag.oscillator import RingOscillator
+from repro.tag.power import TagPowerModel, PowerBreakdown
+from repro.tag.energy import RfHarvester, EnergyBudget
+from repro.tag.tag import FreeRiderTag, ExcitationInfo
+
+__all__ = [
+    "EnvelopeDetector",
+    "PulseEvent",
+    "RfSwitch",
+    "RingOscillator",
+    "TagPowerModel",
+    "PowerBreakdown",
+    "RfHarvester",
+    "EnergyBudget",
+    "FreeRiderTag",
+    "ExcitationInfo",
+]

@@ -1,0 +1,130 @@
+"""RF energy harvesting: can a FreeRider tag run battery-free?
+
+The paper's motivation is battery-free IoT; its power analysis
+(section 3.3) stops at the ~30 uW consumption figure.  This module
+closes the loop with a rectifier model so deployments can ask where the
+excitation signal itself can *power* the tag:
+
+* :class:`RfHarvester` — rectifier efficiency vs input power, the
+  standard logistic-shaped curve of CMOS RF-DC converters (zero below
+  the turn-on threshold, ~45 % peak at strong input);
+* :class:`EnergyBudget` — harvested-vs-consumed accounting giving the
+  sustainable backscatter duty cycle and the battery-free range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.pathloss import LOS_HALLWAY, PathLossModel
+from repro.dsp.measure import dbm_to_watts
+from repro.tag.power import TagPowerModel
+
+__all__ = ["RfHarvester", "EnergyBudget"]
+
+
+@dataclass(frozen=True)
+class RfHarvester:
+    """CMOS rectifier model.
+
+    Parameters
+    ----------
+    sensitivity_dbm:
+        Turn-on threshold; below it the rectifier outputs ~nothing
+        (state-of-the-art research rectifiers reach about -20 dBm).
+    peak_efficiency:
+        RF-to-DC conversion efficiency at strong input.
+    knee_db:
+        Width of the transition from threshold to peak efficiency.
+    """
+
+    sensitivity_dbm: float = -18.0
+    peak_efficiency: float = 0.45
+    knee_db: float = 8.0
+
+    def efficiency(self, p_in_dbm: float) -> float:
+        """Conversion efficiency at the given input power."""
+        if self.knee_db <= 0:
+            raise ValueError("knee width must be positive")
+        x = (p_in_dbm - self.sensitivity_dbm) / self.knee_db
+        return float(self.peak_efficiency / (1.0 + np.exp(-4.0 * (x - 0.5))))
+
+    def harvested_uw(self, p_in_dbm: float) -> float:
+        """DC power harvested from *p_in_dbm* of incident RF."""
+        return self.efficiency(p_in_dbm) * dbm_to_watts(p_in_dbm) * 1e6
+
+
+@dataclass
+class EnergyBudget:
+    """Harvest-vs-consume accounting for one tag.
+
+    Parameters
+    ----------
+    harvester:
+        Rectifier model.
+    power_model:
+        Consumption model (paper section 3.3 numbers).
+    sleep_uw:
+        Leakage + wake-up receiver draw while not backscattering.
+    """
+
+    harvester: RfHarvester = None
+    power_model: TagPowerModel = None
+    sleep_uw: float = 1.0
+
+    def __post_init__(self):
+        if self.harvester is None:
+            self.harvester = RfHarvester()
+        if self.power_model is None:
+            self.power_model = TagPowerModel()
+
+    def sustainable_duty_cycle(self, p_in_dbm: float, radio: str = "wifi",
+                               shift_hz: float = 20e6,
+                               excitation_duty: float = 1.0) -> float:
+        """Largest backscatter duty cycle d with
+        harvest * excitation_duty >= d * active + (1 - d) * sleep.
+
+        Returns a value clipped to [0, 1]; zero means the tag cannot
+        even idle on harvested power at this input level.
+        """
+        if not 0 < excitation_duty <= 1:
+            raise ValueError("excitation duty must be in (0, 1]")
+        harvest = self.harvester.harvested_uw(p_in_dbm) * excitation_duty
+        active = self.power_model.breakdown(radio, shift_hz).total_uw
+        if harvest <= self.sleep_uw:
+            return 0.0
+        d = (harvest - self.sleep_uw) / (active - self.sleep_uw)
+        return float(np.clip(d, 0.0, 1.0))
+
+    def battery_free_range_m(self, tx_power_dbm: float, radio: str = "wifi",
+                             shift_hz: float = 20e6,
+                             min_duty: float = 0.01,
+                             path: Optional[PathLossModel] = None,
+                             d_max: float = 30.0) -> float:
+        """Largest exciter-to-tag distance sustaining *min_duty*.
+
+        Bisection over the monotone path-loss law; 0.0 when even the
+        closest allowed distance (0.1 m) cannot sustain it.
+        """
+        model = path or LOS_HALLWAY
+
+        def ok(d_m: float) -> bool:
+            p_in = tx_power_dbm - model.loss_db(d_m)
+            return self.sustainable_duty_cycle(p_in, radio,
+                                               shift_hz) >= min_duty
+
+        if not ok(0.1):
+            return 0.0
+        if ok(d_max):
+            return d_max
+        lo, hi = 0.1, d_max
+        for _ in range(50):
+            mid = 0.5 * (lo + hi)
+            if ok(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo

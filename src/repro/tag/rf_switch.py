@@ -1,0 +1,75 @@
+"""ADG902-class RF switch / multi-impedance reflection network.
+
+A backscatter tag modulates its antenna's reflection coefficient
+Gamma = (Z_T - Z_A*) / (Z_T + Z_A).  Classic tags toggle between a
+matched load (absorb, Gamma ~ 0) and a short (reflect, |Gamma| ~ 1);
+FreeRider's tag additionally supports *multiple* impedances for fine
+amplitude control and a delayed toggle waveform for phase control
+(paper section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["RfSwitch", "reflection_coefficient"]
+
+
+def reflection_coefficient(z_load: complex, z_antenna: complex = 50 + 0j) -> complex:
+    """Gamma for a load impedance against the antenna impedance."""
+    denom = z_load + z_antenna
+    if denom == 0:
+        raise ValueError("degenerate impedance pair")
+    return (z_load - np.conj(z_antenna)) / denom
+
+
+@dataclass
+class RfSwitch:
+    """A switch across a bank of termination impedances.
+
+    Parameters
+    ----------
+    impedances:
+        Selectable terminations (ohms).  Defaults to the classic
+        (short, matched) pair; FreeRider adds intermediate values.
+    insertion_loss_db:
+        Loss through the switch itself, applied to the reflected wave.
+    z_antenna:
+        Antenna impedance.
+    """
+
+    impedances: Tuple[complex, ...] = (0.0 + 0j, 50.0 + 0j)
+    insertion_loss_db: float = 1.0
+    z_antenna: complex = 50.0 + 0j
+    _gammas: np.ndarray = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if len(self.impedances) < 2:
+            raise ValueError("need at least two impedance states")
+        loss = 10 ** (-self.insertion_loss_db / 20)
+        self._gammas = np.array(
+            [reflection_coefficient(z, self.z_antenna) * loss
+             for z in self.impedances])
+
+    @property
+    def gammas(self) -> np.ndarray:
+        """Reflection coefficient of each switch state."""
+        return self._gammas
+
+    def reflect(self, incident: np.ndarray, state_per_sample: np.ndarray) -> np.ndarray:
+        """Reflected wave given an incident wave and a per-sample state
+        index sequence."""
+        states = np.asarray(state_per_sample, dtype=np.int64)
+        if states.size != len(incident):
+            raise ValueError("state sequence must match signal length")
+        if states.size and (states.min() < 0 or states.max() >= len(self._gammas)):
+            raise ValueError("state index out of range")
+        return incident * self._gammas[states]
+
+    def amplitude_levels(self) -> np.ndarray:
+        """|Gamma| of each state — the amplitude codebook a tag could use
+        (and which Figure 2 shows is unsafe for OFDM)."""
+        return np.abs(self._gammas)

@@ -1,0 +1,149 @@
+"""The assembled FreeRider tag (paper Figure 5).
+
+Signal path: the reception antenna feeds an envelope detector that
+flags the start of an excitation packet; after the measured 0.35 us
+latency the codeword-translation logic drives the RF switch on the
+second antenna, multiplying the passing signal by the translator's
+control waveform.  Frequency shifting to the adjacent channel (20 MHz
+for WiFi channel 6 -> 13) is a constant toggle whose conversion loss is
+accounted in :class:`repro.channel.link.BackscatterLinkBudget`; the
+baseband simulation is carried out directly in the shifted channel's
+frame of reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.translation import TranslationPlan
+from repro.tag.envelope import EnvelopeDetector
+from repro.tag.oscillator import RingOscillator
+from repro.tag.power import TagPowerModel, PowerBreakdown
+from repro.tag.rf_switch import RfSwitch
+from repro.utils.bits import as_bits
+from repro.utils.rng import make_rng
+
+__all__ = ["ExcitationInfo", "FreeRiderTag", "TagOutput"]
+
+
+@dataclass(frozen=True)
+class ExcitationInfo:
+    """What a tag needs to know about the excitation waveform's timing.
+
+    In hardware this knowledge is a pre-programmed per-radio schedule
+    (unit duration, preamble length) plus the envelope detector's onset
+    event; in simulation we hand it over explicitly.
+    """
+
+    sample_rate_hz: float
+    unit_samples: int
+    data_start_sample: int
+    total_samples: int
+    radio: str = "wifi"
+
+    def __post_init__(self):
+        if self.sample_rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        if not 0 <= self.data_start_sample <= self.total_samples:
+            raise ValueError("data_start_sample out of range")
+        if self.unit_samples < 1:
+            raise ValueError("unit_samples must be >= 1")
+
+    def units_available(self, start_sample: int) -> int:
+        """PHY units fully contained between *start_sample* and the end."""
+        return max(0, (self.total_samples - start_sample) // self.unit_samples)
+
+
+@dataclass
+class TagOutput:
+    """Result of one backscatter operation."""
+
+    samples: Optional[np.ndarray]
+    detected: bool
+    bits_sent: int
+    plan: Optional[TranslationPlan] = None
+
+
+class FreeRiderTag:
+    """A single FreeRider tag.
+
+    Parameters
+    ----------
+    translator:
+        A :class:`~repro.core.translation.PhaseTranslator` or
+        :class:`~repro.core.translation.FskShiftTranslator`.
+    repetition:
+        PHY units per tag symbol (the redundancy of section 3.2.1/3.2.2).
+    envelope:
+        Envelope-detector model used for packet onset detection.
+    """
+
+    def __init__(self, translator, repetition: int,
+                 envelope: Optional[EnvelopeDetector] = None,
+                 switch: Optional[RfSwitch] = None,
+                 oscillator: Optional[RingOscillator] = None,
+                 power_model: Optional[TagPowerModel] = None,
+                 name: str = "tag"):
+        if repetition < 1:
+            raise ValueError("repetition must be >= 1")
+        self.translator = translator
+        self.repetition = repetition
+        self.envelope = envelope or EnvelopeDetector()
+        self.switch = switch or RfSwitch()
+        self.oscillator = oscillator or RingOscillator()
+        self.power_model = power_model or TagPowerModel()
+        self.name = name
+
+    # -- timing ---------------------------------------------------------
+
+    def plan_for(self, info: ExcitationInfo) -> TranslationPlan:
+        """Translation plan: start after the PHY header plus the envelope
+        detector's onset latency (which lands within an OFDM cyclic
+        prefix, hence harmless — paper section 3.1)."""
+        latency_samples = int(round(self.envelope.latency_us * 1e-6
+                                    * info.sample_rate_hz))
+        start = info.data_start_sample + latency_samples
+        return TranslationPlan(
+            unit_samples=info.unit_samples,
+            repetition=self.repetition,
+            start_sample=start,
+            n_units=info.units_available(start),
+        )
+
+    def capacity_bits(self, info: ExcitationInfo) -> int:
+        """Tag bits that fit in one excitation packet."""
+        return self.plan_for(info).capacity_bits(self.translator.bits_per_symbol)
+
+    # -- the backscatter operation ---------------------------------------
+
+    def backscatter(self, excitation: np.ndarray, info: ExcitationInfo,
+                    tag_bits, incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None) -> TagOutput:
+        """Reflect *excitation* while embedding *tag_bits*.
+
+        When *incident_power_dbm* is given, the envelope detector gates
+        the whole operation: an undetected packet is not backscattered
+        (the tag never learns it happened).
+        """
+        bits = as_bits(tag_bits)
+        if incident_power_dbm is not None:
+            gen = make_rng(rng)
+            if not self.envelope.detects(incident_power_dbm, gen):
+                return TagOutput(None, False, 0)
+        plan = self.plan_for(info)
+        capacity = plan.capacity_bits(self.translator.bits_per_symbol)
+        send = bits[:capacity]
+        ctrl = self.translator.control_waveform(send, plan, info.total_samples)
+        if excitation.size != info.total_samples:
+            raise ValueError("excitation length disagrees with info")
+        return TagOutput(excitation * ctrl, True, int(send.size), plan)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def power_budget(self, shift_hz: float = 20e6,
+                     radio: Optional[str] = None) -> PowerBreakdown:
+        """Micro-watt budget while backscattering (section 3.3)."""
+        return self.power_model.breakdown(radio or "wifi", shift_hz)

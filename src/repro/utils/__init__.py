@@ -1,0 +1,30 @@
+"""Shared low-level utilities: bit manipulation, CRCs, deterministic RNG."""
+
+from repro.utils.bits import (
+    bits_to_bytes,
+    bytes_to_bits,
+    bits_to_int,
+    int_to_bits,
+    xor_bits,
+    hamming_distance,
+    repeat_bits,
+    majority_vote,
+)
+from repro.utils.crc import Crc, CRC32, CRC16_CCITT, CRC24_BLE
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "bits_to_int",
+    "int_to_bits",
+    "xor_bits",
+    "hamming_distance",
+    "repeat_bits",
+    "majority_vote",
+    "Crc",
+    "CRC32",
+    "CRC16_CCITT",
+    "CRC24_BLE",
+    "make_rng",
+]

@@ -1,0 +1,78 @@
+"""Table-driven CRC engines for the three PHY frame formats.
+
+* 802.11 frames carry a 32-bit FCS (CRC-32, reflected, poly 0x04C11DB7).
+* 802.15.4 (ZigBee) frames carry a 16-bit FCS (CRC-16/CCITT, poly 0x1021,
+  reflected, zero init).
+* BLE packets carry a 24-bit CRC (poly 0x00065B, LFSR seeded per link;
+  the advertising-channel seed 0x555555 is the default).
+
+Each engine is bit-exact against the published reference vectors (see
+``tests/utils/test_crc.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Crc", "CRC32", "CRC16_CCITT", "CRC24_BLE"]
+
+
+@dataclass(frozen=True)
+class Crc:
+    """A generic reflected-or-normal CRC defined by its classic parameters."""
+
+    width: int
+    poly: int
+    init: int
+    refin: bool
+    refout: bool
+    xorout: int
+    name: str = "crc"
+
+    def _reflect(self, value: int, width: int) -> int:
+        out = 0
+        for _ in range(width):
+            out = (out << 1) | (value & 1)
+            value >>= 1
+        return out
+
+    def compute(self, data: bytes, init: int = None) -> int:
+        """Return the CRC of *data* as an unsigned integer.
+
+        *init* overrides the register seed (used by BLE, where the seed
+        depends on the connection).
+        """
+        topbit = 1 << (self.width - 1)
+        mask = (1 << self.width) - 1
+        reg = self.init if init is None else init
+        for byte in data:
+            b = self._reflect(byte, 8) if self.refin else byte
+            reg ^= b << (self.width - 8)
+            reg &= mask
+            for _ in range(8):
+                if reg & topbit:
+                    reg = ((reg << 1) ^ self.poly) & mask
+                else:
+                    reg = (reg << 1) & mask
+        if self.refout:
+            reg = self._reflect(reg, self.width)
+        return (reg ^ self.xorout) & mask
+
+    def digest(self, data: bytes, init: int = None) -> bytes:
+        """CRC as little-endian bytes, the on-air order for all three PHYs."""
+        value = self.compute(data, init=init)
+        return value.to_bytes(self.width // 8, "little")
+
+    def verify(self, data: bytes, received: int, init: int = None) -> bool:
+        """True when *received* equals the CRC of *data*."""
+        return self.compute(data, init=init) == received
+
+
+CRC32 = Crc(width=32, poly=0x04C11DB7, init=0xFFFFFFFF, refin=True,
+            refout=True, xorout=0xFFFFFFFF, name="crc32/802.11-fcs")
+
+CRC16_CCITT = Crc(width=16, poly=0x1021, init=0x0000, refin=True,
+                  refout=True, xorout=0x0000, name="crc16/802.15.4-fcs")
+
+CRC24_BLE = Crc(width=24, poly=0x00065B, init=0x555555, refin=True,
+                refout=True, xorout=0x000000, name="crc24/ble")

@@ -1,0 +1,31 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component in the simulator (channel noise, traffic
+arrivals, Aloha slot choices, payload generation) takes an explicit
+``numpy.random.Generator``.  :func:`make_rng` is the single place seeds
+are minted so that experiments are reproducible run-to-run and components
+can be given independent streams derived from one experiment seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn"]
+
+
+def make_rng(seed: Optional[Union[int, np.random.Generator]] = None) -> np.random.Generator:
+    """Return a ``Generator``; pass a Generator through, or seed a new one."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list:
+    """Derive *n* statistically independent child generators from *rng*."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=n)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,108 @@
+"""Tests for AWGN, fading, and the backscatter link budget."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn, awgn_at_snr, snr_from_powers
+from repro.channel.fading import RayleighFading, RicianFading
+from repro.channel.geometry import Deployment
+from repro.channel.link import (
+    DEFAULT_TAG_LOSS_DB,
+    BackscatterLinkBudget,
+    DirectLinkBudget,
+)
+from repro.dsp.measure import signal_power
+
+
+class TestAwgn:
+    def test_snr_is_calibrated(self, rng):
+        x = np.exp(1j * np.linspace(0, 300, 40000))
+        y = awgn_at_snr(x, 10.0, rng)
+        noise = y - x
+        snr = 10 * np.log10(signal_power(x) / signal_power(noise))
+        assert snr == pytest.approx(10.0, abs=0.3)
+
+    def test_zero_noise_power(self, rng):
+        x = np.ones(100, dtype=complex)
+        assert np.array_equal(awgn(x, 0.0, rng), x)
+
+    def test_negative_power_raises(self, rng):
+        with pytest.raises(ValueError):
+            awgn(np.ones(4, complex), -1.0, rng)
+
+    def test_snr_from_powers(self):
+        assert snr_from_powers(-70.0, -95.0) == 25.0
+
+
+class TestFading:
+    def test_rayleigh_unit_mean_power(self, rng):
+        f = RayleighFading(rng)
+        gains = np.array([f.gain() for _ in range(20000)])
+        assert np.mean(np.abs(gains) ** 2) == pytest.approx(1.0, rel=0.05)
+
+    def test_rician_k_concentration(self, rng, rng2):
+        weak = RicianFading(k_db=0.0, rng=rng)
+        strong = RicianFading(k_db=12.0, rng=rng2)
+        sw = np.std([abs(weak.gain()) for _ in range(4000)])
+        ss = np.std([abs(strong.gain()) for _ in range(4000)])
+        assert ss < sw
+
+    def test_apply_scales_packet(self, rng):
+        f = RicianFading(k_db=20.0, rng=rng)
+        x = np.ones(16, dtype=complex)
+        y = f.apply(x)
+        assert np.allclose(y / y[0], 1.0)
+
+
+class TestBackscatterBudget:
+    def setup_method(self):
+        self.budget = BackscatterLinkBudget(tx_power_dbm=15.0,
+                                            bandwidth_hz=20e6)
+
+    def test_cascade_arithmetic(self):
+        dep = Deployment.los(10.0)
+        incident = self.budget.tag_incident_dbm(dep)
+        rssi = self.budget.rssi_dbm(dep)
+        back = dep.backscatter_path.loss_db(10.0)
+        assert rssi == pytest.approx(incident - self.budget.tag_loss_db - back)
+
+    def test_tag_loss_includes_square_wave(self):
+        assert DEFAULT_TAG_LOSS_DB == pytest.approx(3.92 + 4.5, abs=0.05)
+
+    def test_monotone_in_distance(self):
+        r = [self.budget.rssi_dbm(Deployment.los(d)) for d in (1, 5, 20, 40)]
+        assert r == sorted(r, reverse=True)
+
+    def test_snr_definition(self):
+        dep = Deployment.los(10.0)
+        assert (self.budget.snr_db(dep)
+                == pytest.approx(self.budget.rssi_dbm(dep)
+                                 - self.budget.noise_dbm))
+
+    def test_max_range_bisection(self):
+        r = self.budget.max_range_m(tx_to_tag_m=1.0, sensitivity_dbm=-95.0)
+        rssi_there = self.budget.rssi_dbm(Deployment.los(r))
+        assert rssi_there == pytest.approx(-95.0, abs=0.1)
+
+    def test_max_range_zero_when_exciter_too_far(self):
+        r = self.budget.max_range_m(tx_to_tag_m=100.0, sensitivity_dbm=-75.0)
+        assert r == 0.0
+
+    def test_range_shrinks_with_tx_distance(self):
+        """The Figure 14 regime: moving the exciter from 1 m to 4 m
+        collapses the receiver range."""
+        r1 = self.budget.max_range_m(1.0, -95.0)
+        r4 = self.budget.max_range_m(4.0, -95.0)
+        assert r4 < r1 / 2.5
+
+
+class TestDirectBudget:
+    def test_rx_power(self):
+        budget = DirectLinkBudget(tx_power_dbm=15.0, bandwidth_hz=20e6)
+        dep = Deployment.los(10.0)
+        expected = 15.0 - dep.forward_path.loss_db(1.0)
+        assert budget.rx_power_dbm(dep) == pytest.approx(expected)
+
+    def test_snr_positive_at_close_range(self):
+        budget = DirectLinkBudget(tx_power_dbm=15.0, bandwidth_hz=20e6)
+        assert budget.snr_db(Deployment.los(5.0)) > 40

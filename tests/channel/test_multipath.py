@@ -1,0 +1,125 @@
+"""Tests for the tapped-delay-line multipath channel."""
+
+import numpy as np
+import pytest
+
+from repro.channel.multipath import TappedDelayLine, indoor_office_channel
+
+
+class TestProfile:
+    def test_unit_energy_profile(self):
+        tdl = TappedDelayLine(tau_rms_ns=50.0, sample_rate_hz=20e6)
+        assert tdl.tap_powers().sum() == pytest.approx(1.0)
+
+    def test_exponential_decay(self):
+        tdl = TappedDelayLine(tau_rms_ns=50.0, sample_rate_hz=20e6)
+        p = tdl.tap_powers()
+        assert np.all(np.diff(p) < 0)
+
+    def test_tap_count_scales_with_spread(self):
+        short = TappedDelayLine(tau_rms_ns=20.0, sample_rate_hz=20e6)
+        long = TappedDelayLine(tau_rms_ns=120.0, sample_rate_hz=20e6)
+        assert long.n_taps > short.n_taps
+
+    def test_mean_energy_unit(self, rng):
+        tdl = TappedDelayLine(tau_rms_ns=50.0, sample_rate_hz=20e6,
+                              los_k_db=None)
+        energies = [np.sum(np.abs(tdl.realize(rng)) ** 2)
+                    for _ in range(3000)]
+        assert np.mean(energies) == pytest.approx(1.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TappedDelayLine(tau_rms_ns=0.0)
+        with pytest.raises(ValueError):
+            TappedDelayLine(n_taps=0)
+        with pytest.raises(ValueError):
+            indoor_office_channel(severity="apocalyptic")
+
+
+class TestApply:
+    def test_length_preserved(self, rng):
+        tdl = indoor_office_channel()
+        x = np.ones(500, dtype=complex)
+        assert tdl.apply(x, rng).size == 500
+
+    def test_identity_for_single_tap(self, rng):
+        tdl = TappedDelayLine(tau_rms_ns=1.0, sample_rate_hz=20e6,
+                              n_taps=1, los_k_db=40.0)
+        x = np.exp(1j * np.linspace(0, 10, 200))
+        y = tdl.apply(x, rng)
+        # Nearly pure LOS single tap: output is a scaled copy.
+        assert np.allclose(np.abs(y / x), np.abs(y[0] / x[0]), atol=1e-6)
+
+    def test_frequency_selectivity(self, rng):
+        """A 120 ns spread channel has nulls across 20 MHz."""
+        tdl = TappedDelayLine(tau_rms_ns=120.0, sample_rate_hz=20e6,
+                              los_k_db=None)
+        h = tdl.realize(rng)
+        response = np.abs(np.fft.fft(h, 64))
+        assert response.max() / max(response.min(), 1e-9) > 2.0
+
+    def test_coherence_bandwidth(self):
+        tdl = TappedDelayLine(tau_rms_ns=50.0, sample_rate_hz=20e6)
+        assert tdl.coherence_bandwidth_hz() == pytest.approx(4e6, rel=0.01)
+
+
+class TestPhyResilience:
+    def test_ofdm_survives_multipath(self, rng):
+        """The CP + LTF equaliser absorb a typical office channel —
+        why OFDM WiFi is such a robust excitation carrier."""
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+
+        tx = WifiTransmitter(6.0, seed=20)
+        psdu = tx.random_psdu(200)
+        frame = tx.build(psdu)
+        tdl = indoor_office_channel(severity="typical")
+        ok = 0
+        for _ in range(5):
+            faded = tdl.apply(frame.samples, rng)
+            res = WifiReceiver().decode(faded, noise_var=1e-3)
+            if res.header_ok and res.psdu == psdu:
+                ok += 1
+        assert ok >= 4
+
+    def test_backscatter_survives_multipath(self, rng):
+        """Tag data decodes through a dispersive backscatter path."""
+        from repro.core.decoder import XorTagDecoder
+        from repro.core.translation import PhaseTranslator
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+        from repro.tag.tag import ExcitationInfo, FreeRiderTag
+
+        tx = WifiTransmitter(6.0, seed=21)
+        frame = tx.build(tx.random_psdu(300))
+        info = ExcitationInfo(20e6, 80, frame.data_start + 80,
+                              frame.n_samples)
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        bits = rng.integers(0, 2, tag.capacity_bits(info)).astype(np.uint8)
+        out = tag.backscatter(frame.samples, info, bits)
+        tdl = indoor_office_channel(severity="typical")
+        faded = tdl.apply(out.samples, rng)
+        res = WifiReceiver().decode(faded, noise_var=1e-3)
+        assert res.header_ok
+        dec = XorTagDecoder(bits_per_unit=frame.rate.n_dbps, repetition=4,
+                            offset_bits=frame.rate.n_dbps, guard_bits=2)
+        decoded = dec.decode(frame.data_bits, res.data_field_bits,
+                             n_tag_bits=out.bits_sent)
+        assert decoded.errors_against(bits[:out.bits_sent]) == 0
+
+    def test_zigbee_tolerates_mild_dispersion(self, rng):
+        """At 8 MS/s a 20 ns spread is essentially flat for ZigBee."""
+        from repro.phy.zigbee import ZigbeeReceiver, ZigbeeTransmitter
+
+        tx = ZigbeeTransmitter(seed=22)
+        payload = tx.random_payload(30)
+        frame = tx.build(payload)
+        tdl = TappedDelayLine(tau_rms_ns=20.0,
+                              sample_rate_hz=frame.sample_rate_hz,
+                              los_k_db=12.0)
+        ok = 0
+        for _ in range(5):
+            faded = tdl.apply(frame.samples, rng)
+            res = ZigbeeReceiver().decode(faded, frame.n_symbols)
+            if res.ok and res.payload == payload:
+                ok += 1
+        assert ok >= 4

@@ -1,0 +1,103 @@
+"""Tests for path-loss models and deployment geometry."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.channel.pathloss import (
+    LOS_HALLWAY,
+    NLOS_OFFICE,
+    PathLossModel,
+    free_space_path_loss_db,
+)
+
+
+class TestFreeSpace:
+    def test_one_meter_2_4ghz(self):
+        assert free_space_path_loss_db(1.0) == pytest.approx(40.2, abs=0.3)
+
+    def test_doubling_distance_adds_6db(self):
+        assert (free_space_path_loss_db(20.0) - free_space_path_loss_db(10.0)
+                == pytest.approx(6.02, abs=0.01))
+
+    def test_bad_distance_raises(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0)
+
+
+class TestLogDistance:
+    def test_reference_loss(self):
+        model = PathLossModel(exponent=2.0, pl_d0_db=40.0)
+        assert model.loss_db(1.0) == pytest.approx(40.0)
+
+    def test_exponent_slope(self):
+        model = PathLossModel(exponent=3.0, pl_d0_db=40.0)
+        assert model.loss_db(10.0) - model.loss_db(1.0) == pytest.approx(30.0)
+
+    def test_minimum_distance_clamped(self):
+        model = PathLossModel(exponent=2.0, pl_d0_db=40.0)
+        assert model.loss_db(0.0) == model.loss_db(0.1)
+
+    def test_walls_add_once_crossed(self):
+        model = PathLossModel(exponent=2.0, pl_d0_db=40.0,
+                              walls=((5.0, 7.0),))
+        below = model.loss_db(4.9)
+        above = model.loss_db(5.1)
+        assert above - below > 6.5
+
+    def test_shadowing_is_random_but_seeded(self):
+        model = PathLossModel(exponent=2.0, pl_d0_db=40.0,
+                              shadowing_sigma_db=4.0)
+        a = model.loss_db(10.0, np.random.default_rng(1))
+        b = model.loss_db(10.0, np.random.default_rng(1))
+        c = model.loss_db(10.0, np.random.default_rng(2))
+        assert a == b and a != c
+
+    def test_received_power(self):
+        model = PathLossModel(exponent=2.0, pl_d0_db=40.0)
+        assert model.received_power_dbm(15.0, 1.0) == pytest.approx(-25.0)
+
+
+class TestCalibratedModels:
+    def test_nlos_has_two_walls(self):
+        assert len(NLOS_OFFICE.walls) == 2
+
+    def test_nlos_lossier_beyond_wall(self):
+        assert NLOS_OFFICE.loss_db(25.0) > LOS_HALLWAY.loss_db(25.0) + 15
+
+    def test_los_rssi_span_matches_figure_10c(self):
+        """RSSI from ~-70 dBm near the tag to ~-95 dBm at 42 m (15 dBm
+        TX 1 m from the tag)."""
+        from repro.channel.link import BackscatterLinkBudget
+
+        budget = BackscatterLinkBudget(tx_power_dbm=15.0, bandwidth_hz=20e6)
+        near = budget.rssi_dbm(Deployment.los(5.0))
+        far = budget.rssi_dbm(Deployment.los(42.0))
+        assert -76 < near < -66
+        assert -99 < far < -91
+
+
+class TestDeployment:
+    def test_los_factory(self):
+        dep = Deployment.los(10.0)
+        assert dep.forward_path is LOS_HALLWAY
+        assert dep.backscatter_path is LOS_HALLWAY
+
+    def test_nlos_factory_walls_only_backward(self):
+        dep = Deployment.nlos(10.0)
+        assert dep.forward_path is LOS_HALLWAY
+        assert dep.backscatter_path is NLOS_OFFICE
+
+    def test_with_rx_distance(self):
+        dep = Deployment.los(10.0).with_rx_distance(20.0)
+        assert dep.tag_to_rx_m == 20.0 and dep.tx_to_tag_m == 1.0
+
+    def test_with_tx_distance(self):
+        dep = Deployment.los(10.0).with_tx_distance(3.0)
+        assert dep.tx_to_tag_m == 3.0
+
+    def test_invalid_distances_raise(self):
+        with pytest.raises(ValueError):
+            Deployment(0.0, 5.0)
+        with pytest.raises(ValueError):
+            Deployment(1.0, -2.0)

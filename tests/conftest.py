@@ -1,0 +1,16 @@
+"""Shared fixtures for the FreeRider reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(0xF4EE)
+
+
+@pytest.fixture
+def rng2():
+    """A second, independent generator."""
+    return np.random.default_rng(0x51DE)

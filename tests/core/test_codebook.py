@@ -1,0 +1,108 @@
+"""Tests for the codeword/codebook abstraction (paper section 2.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codebook import (
+    Codebook,
+    Codeword,
+    bluetooth_codebook,
+    psk_codebook,
+    zigbee_codebook,
+)
+from repro.dsp.mixing import frequency_shift, phase_offset
+
+
+class TestCodeword:
+    def test_distance_zero_to_self(self):
+        cw = Codeword("a", np.ones(8, dtype=complex))
+        assert cw.distance(cw.template) == 0.0
+
+    def test_distance_normalised(self):
+        cw = Codeword("a", 2 * np.ones(8, dtype=complex))
+        assert cw.distance(np.zeros(8, dtype=complex)) == pytest.approx(1.0)
+
+    def test_length_mismatch_raises(self):
+        cw = Codeword("a", np.ones(8, dtype=complex))
+        with pytest.raises(ValueError):
+            cw.distance(np.ones(4, dtype=complex))
+
+
+class TestCodebook:
+    def test_classify_exact(self):
+        book = psk_codebook(4)
+        label, d = book.classify(book.get("2").template)
+        assert label == "2" and d == pytest.approx(0.0)
+
+    def test_is_valid_tolerance(self):
+        book = psk_codebook(2)
+        noisy = book.get("0").template + 0.1
+        assert book.is_valid(noisy)
+        assert not book.is_valid(book.get("0").template * 1j, tolerance=0.3)
+
+    def test_needs_two_codewords(self):
+        with pytest.raises(ValueError):
+            Codebook({"a": Codeword("a", np.ones(4, complex))})
+
+    def test_mixed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Codebook({
+                "a": Codeword("a", np.ones(4, complex)),
+                "b": Codeword("b", np.ones(8, complex)),
+            })
+
+
+class TestTranslationMaps:
+    def test_bluetooth_tone_one_maps_to_zero(self):
+        fs = 8e6
+        book = bluetooth_codebook(n_samples=2048, fs=fs)
+        shifted = frequency_shift(book.get("1").template, -500e3, fs)
+        label, d = book.classify(shifted)
+        assert label == "0" and d < 0.1
+
+    def test_phase_flip_preserves_psk_codebook(self):
+        """A 180-degree offset is a valid translation for BPSK."""
+        book = psk_codebook(2)
+        mapping = book.translation_map(lambda s: phase_offset(s, np.pi),
+                                       tolerance=0.1)
+        assert mapping == {"0": "1", "1": "0"}
+
+    def test_quarter_phase_invalid_for_bpsk(self):
+        """A 90-degree offset leaves the BPSK codebook — why binary
+        phase translation must use 180 degrees on BPSK excitation."""
+        book = psk_codebook(2)
+        mapping = book.translation_map(lambda s: phase_offset(s, np.pi / 2),
+                                       tolerance=0.3)
+        assert mapping is None
+
+    def test_quarter_phase_valid_for_qpsk(self):
+        """...but is valid on QPSK (equation 5's quaternary scheme)."""
+        book = psk_codebook(4)
+        mapping = book.translation_map(lambda s: phase_offset(s, np.pi / 2),
+                                       tolerance=0.1)
+        assert mapping is not None
+        assert sorted(mapping.values()) == ["0", "1", "2", "3"]
+
+    def test_zigbee_phase_flip_decodes_to_different_symbol(self):
+        """Flipping a ZigBee codeword's phase inverts all 32 chips.  The
+        result is a valid OQPSK *waveform* but not a PN codeword, so a
+        commodity despreader snaps it to the nearest (different) symbol
+        — deterministic inequality is all the section 2.3.2 decoder
+        needs, and the reduced margin explains the paper's higher
+        ZigBee tag BER (~5e-2 in Figure 12(b))."""
+        book = zigbee_codebook(sps=4)
+        for label in book.labels():
+            flipped = -book.get(label).template
+            target, _ = book.classify(flipped)
+            assert target != label
+
+    def test_zigbee_phase_flip_not_strictly_valid(self):
+        """The strict codeword-validity check fails for the flip —
+        distance to the nearest codeword exceeds the noise tolerance."""
+        book = zigbee_codebook(sps=4)
+        assert book.translation_map(lambda s: -s, tolerance=0.35) is None
+
+    def test_amplitude_scaling_invalid_for_zigbee(self):
+        book = zigbee_codebook(sps=4)
+        mapping = book.translation_map(lambda s: 0.4 * s, tolerance=0.35)
+        assert mapping is None

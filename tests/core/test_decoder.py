@@ -1,0 +1,102 @@
+"""Tests for XOR / symbol-difference tag-data decoders (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
+from repro.utils.bits import random_bits
+
+
+class TestXorDecoder:
+    def test_clean_recovery(self, rng):
+        original = random_bits(240, rng)
+        tag_bits = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        received = original.copy()
+        for k, b in enumerate(tag_bits):
+            if b:
+                received[k * 48:(k + 1) * 48] ^= 1
+        dec = XorTagDecoder(bits_per_unit=24, repetition=2)
+        out = dec.decode(original, received)
+        assert np.array_equal(out.bits, tag_bits)
+        assert out.ber_against(tag_bits) == 0.0
+
+    def test_majority_absorbs_boundary_errors(self, rng):
+        original = random_bits(192, rng)
+        received = original.copy()
+        received[0:96] ^= 1       # tag bit 1
+        received[90:99] ^= 1      # 9-bit boundary smear
+        dec = XorTagDecoder(bits_per_unit=24, repetition=4)
+        out = dec.decode(original, received)
+        assert list(out.bits) == [1, 0]
+
+    def test_guard_bits_sharpen_vote(self, rng):
+        original = random_bits(40, rng)
+        received = original.copy()
+        received[0:10] ^= 1
+        received[8:12] ^= 1  # boundary garbage
+        plain = XorTagDecoder(bits_per_unit=1, repetition=10)
+        guarded = XorTagDecoder(bits_per_unit=1, repetition=10, guard_bits=2)
+        assert guarded.decode(original, received).bits[0] == 1
+        assert plain.decode(original, received).bits.size == 4
+
+    def test_offset(self, rng):
+        original = random_bits(100, rng)
+        received = original.copy()
+        received[20:60] ^= 1
+        dec = XorTagDecoder(bits_per_unit=40, repetition=1, offset_bits=20)
+        out = dec.decode(original, received)
+        assert out.bits[0] == 1 and out.bits[1] == 0
+
+    def test_n_tag_bits_limits_output(self, rng):
+        original = random_bits(100, rng)
+        dec = XorTagDecoder(bits_per_unit=10, repetition=1)
+        out = dec.decode(original, original, n_tag_bits=3)
+        assert out.bits.size == 3
+
+    def test_length_mismatch_uses_overlap(self, rng):
+        original = random_bits(100, rng)
+        dec = XorTagDecoder(bits_per_unit=10, repetition=1)
+        out = dec.decode(original, original[:55])
+        assert out.bits.size == 5
+
+    def test_errors_against_counts_missing(self, rng):
+        original = random_bits(20, rng)
+        dec = XorTagDecoder(bits_per_unit=10, repetition=1)
+        out = dec.decode(original, original)
+        assert out.errors_against([0, 0, 1]) == 1  # third bit missing
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            XorTagDecoder(0, 1)
+        with pytest.raises(ValueError):
+            XorTagDecoder(1, 1, offset_bits=-1)
+
+
+class TestSymbolDiffDecoder:
+    def test_clean_recovery(self, rng):
+        original = rng.integers(0, 16, 48)
+        received = original.copy()
+        tag_bits = [1, 0, 1]
+        for k, b in enumerate(tag_bits):
+            if b:
+                sl = slice(8 + k * 8, 8 + (k + 1) * 8)
+                received[sl] = (received[sl] + 5) % 16
+        dec = SymbolDiffTagDecoder(repetition=8, offset_symbols=8)
+        out = dec.decode(original, received, n_tag_bits=3)
+        assert list(out.bits) == tag_bits
+
+    def test_boundary_symbol_error_absorbed(self, rng):
+        original = rng.integers(0, 16, 16)
+        received = original.copy()
+        received[0:8] = (received[0:8] + 3) % 16   # tag bit 1
+        received[8] = (received[8] + 1) % 16       # stray corruption
+        dec = SymbolDiffTagDecoder(repetition=8)
+        assert list(dec.decode(original, received).bits) == [1, 0]
+
+    def test_capacity(self):
+        dec = SymbolDiffTagDecoder(repetition=8, offset_symbols=12)
+        assert dec.capacity(100) == 11
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            SymbolDiffTagDecoder(0)

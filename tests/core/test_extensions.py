@@ -1,0 +1,264 @@
+"""Tests for the extension schemes: DSSS session, quaternary scheme,
+amplitude baseline, energy decoder, alternating-phase translator."""
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import EnergyTagDecoder
+from repro.core.quaternary import (
+    QuaternaryTagDecoder,
+    bits_to_levels,
+    levels_to_bits,
+    reference_symbol_matrix,
+)
+from repro.core.session import (
+    DsssBackscatterSession,
+    QuaternaryWifiSession,
+    WifiBackscatterSession,
+)
+from repro.core.translation import (
+    AlternatingPhaseTranslator,
+    AmplitudeTranslator,
+    TranslationPlan,
+)
+
+
+class TestAlternatingPhaseTranslator:
+    def test_zero_bits_hold_state(self):
+        t = AlternatingPhaseTranslator()
+        plan = TranslationPlan(4, 2, 0, 4)
+        ctrl = t.control_waveform([0, 0], plan, 16)
+        assert np.allclose(ctrl, 1.0)
+
+    def test_one_bits_toggle_every_unit(self):
+        t = AlternatingPhaseTranslator()
+        plan = TranslationPlan(2, 3, 0, 6)
+        ctrl = t.control_waveform([1, 0], plan, 12)
+        # Span 0: toggles each of the 3 units: -1, +1, -1.
+        assert np.allclose(ctrl[0:2], -1)
+        assert np.allclose(ctrl[2:4], 1)
+        assert np.allclose(ctrl[4:6], -1)
+        # Span 1 (bit 0): holds the final state.
+        assert np.allclose(ctrl[6:12], -1)
+
+    def test_capacity_enforced(self):
+        t = AlternatingPhaseTranslator()
+        plan = TranslationPlan(2, 2, 0, 2)
+        with pytest.raises(ValueError):
+            t.control_waveform([1, 1], plan, 100)
+
+
+class TestDsssSession:
+    def test_round_trip(self):
+        s = DsssBackscatterSession(seed=5)
+        r = s.run_packet(snr_db=15)
+        assert r.delivered and r.tag_bit_errors == 0
+
+    def test_known_bits(self, rng):
+        s = DsssBackscatterSession(seed=6, payload_bytes=200)
+        bits = rng.integers(0, 2, 30).astype(np.uint8)
+        r = s.run_packet(snr_db=15, tag_bits=bits)
+        assert r.delivered and r.tag_bit_errors == 0
+
+    def test_rate_exceeds_ofdm(self):
+        """Paper section 4.2.1: the DSSS tag rate beats FreeRider's
+        OFDM rate because DSSS symbols are shorter."""
+        dsss = DsssBackscatterSession(seed=7, payload_bytes=500)
+        ofdm = WifiBackscatterSession(seed=7, payload_bytes=500)
+        f_d = dsss.transmitter.build(bytes(500))
+        f_o = ofdm.transmitter.build(bytes(500))
+        rate_d = dsss.capacity_bits() / f_d.duration_us
+        rate_o = ofdm.capacity_bits() / f_o.duration_us
+        assert rate_d > 1.2 * rate_o
+
+    def test_low_snr_fails(self):
+        s = DsssBackscatterSession(seed=8)
+        r = s.run_packet(snr_db=-12)
+        assert not r.delivered or r.tag_ber > 0.05
+
+
+class TestQuaternaryHelpers:
+    def test_levels_round_trip(self, rng):
+        bits = rng.integers(0, 2, 40).astype(np.uint8)
+        assert np.array_equal(levels_to_bits(bits_to_levels(bits)), bits)
+
+    def test_odd_bits_raise(self):
+        with pytest.raises(ValueError):
+            bits_to_levels([1, 0, 1])
+
+    def test_bad_levels_raise(self):
+        with pytest.raises(ValueError):
+            levels_to_bits([4])
+
+    def test_reference_matrix_matches_receiver(self):
+        """The re-derived TX constellation equals what a receiver sees
+        on a clean channel."""
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+
+        tx = WifiTransmitter(12.0, seed=9)
+        frame = tx.build(tx.random_psdu(100))
+        ref = reference_symbol_matrix(frame)
+        res = WifiReceiver().decode(frame.samples, noise_var=1e-4)
+        assert np.allclose(ref, res.equalized_symbols, atol=1e-6)
+
+
+class TestQuaternarySession:
+    def test_error_free_at_moderate_snr(self):
+        s = QuaternaryWifiSession(seed=10)
+        for snr in (15.0, 8.0):
+            r = s.run_packet(snr_db=snr)
+            assert r.delivered and r.tag_bit_errors == 0
+
+    def test_doubles_instantaneous_rate(self):
+        quat = QuaternaryWifiSession(seed=11, payload_bytes=512)
+        binary = WifiBackscatterSession(seed=11, payload_bytes=512)
+        f_q = quat.transmitter.build(bytes(512))
+        f_b = binary.transmitter.build(bytes(512))
+        rate_q = quat.capacity_bits() / f_q.duration_us
+        rate_b = binary.capacity_bits() / f_b.duration_us
+        assert rate_q > 1.7 * rate_b
+
+    def test_needs_qpsk(self):
+        with pytest.raises(ValueError):
+            QuaternaryWifiSession(rate_mbps=6.0)
+
+    def test_decoder_handles_all_levels(self, rng):
+        """Each of the four rotations is recovered."""
+        dec = QuaternaryTagDecoder(repetition=2, offset_symbols=0)
+        ref = (rng.normal(size=(8, 48)) + 1j * rng.normal(size=(8, 48)))
+        rx = ref.copy()
+        for k, level in enumerate((0, 1, 2, 3)):
+            rx[2 * k:2 * k + 2] *= np.exp(1j * np.pi / 2 * level)
+        assert list(dec.decode_levels(ref, rx)) == [0, 1, 2, 3]
+
+
+class TestAmplitudeBaseline:
+    def test_translator_levels(self):
+        t = AmplitudeTranslator(high=1.0, low=0.4)
+        plan = TranslationPlan(4, 1, 0, 3)
+        ctrl = t.control_waveform([1, 0, 1], plan, 12)
+        assert np.allclose(ctrl[0:4], 0.4)
+        assert np.allclose(ctrl[4:8], 1.0)
+
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            AmplitudeTranslator(high=0.5, low=0.5)
+
+    def test_energy_decoder_clean(self, rng):
+        t = AmplitudeTranslator(high=1.0, low=0.5)
+        plan = TranslationPlan(40, 1, 0, 8)
+        bits = rng.integers(0, 2, 8).astype(np.uint8)
+        x = np.ones(320, dtype=complex)
+        y = x * t.control_waveform(bits, plan, 320)
+        dec = EnergyTagDecoder(span_samples=40)
+        out = dec.decode(y, n_tag_bits=8)
+        assert np.array_equal(out.bits, bits)
+
+    def test_energy_decoder_needs_snr(self, rng):
+        """The incoherent baseline fails where coherent translation
+        still works — the Figure 2 / [15] contrast."""
+        from repro.channel.awgn import awgn_at_snr
+
+        t = AmplitudeTranslator(high=1.0, low=0.5)
+        plan = TranslationPlan(40, 1, 0, 16)
+        bits = rng.integers(0, 2, 16).astype(np.uint8)
+        x = np.ones(640, dtype=complex)
+        y = x * t.control_waveform(bits, plan, 640)
+        noisy = awgn_at_snr(y, -6.0, rng)
+        dec = EnergyTagDecoder(span_samples=40)
+        out = dec.decode(noisy, n_tag_bits=16)
+        assert out.errors_against(bits) > 0
+
+    def test_amplitude_breaks_qam_validity(self):
+        """Scaling 16-QAM subcarriers leaves the codebook (Figure 2)."""
+        from repro.phy.wifi.constellation import CONSTELLATIONS
+
+        c = CONSTELLATIONS["16-QAM"]
+        scaled = 0.5 * c.points
+        dmin = c.min_distance()
+        off_grid = sum(1 for p in scaled
+                       if np.min(np.abs(c.points - p)) > dmin / 4)
+        assert off_grid > len(scaled) / 2
+
+    def test_energy_decoder_validation(self):
+        with pytest.raises(ValueError):
+            EnergyTagDecoder(span_samples=0)
+        with pytest.raises(ValueError):
+            EnergyTagDecoder(span_samples=4, start_sample=-1)
+
+
+class TestRotationDecoderBinary:
+    def test_binary_levels(self, rng):
+        from repro.core.quaternary import RotationTagDecoder
+
+        dec = RotationTagDecoder(repetition=2, offset_symbols=0, n_levels=2)
+        ref = (rng.normal(size=(6, 48)) + 1j * rng.normal(size=(6, 48)))
+        rx = ref.copy()
+        rx[2:4] *= -1.0  # 180-degree span
+        assert list(dec.decode_bits(ref, rx)) == [0, 1, 0]
+
+    def test_invalid_levels_raise(self):
+        from repro.core.quaternary import RotationTagDecoder
+
+        with pytest.raises(ValueError):
+            RotationTagDecoder(n_levels=3)
+
+    def test_noise_tolerance(self, rng):
+        from repro.core.quaternary import RotationTagDecoder
+
+        dec = RotationTagDecoder(repetition=4, offset_symbols=0, n_levels=2)
+        ref = (rng.normal(size=(16, 48)) + 1j * rng.normal(size=(16, 48)))
+        bits = rng.integers(0, 2, 4).astype(np.uint8)
+        rx = ref.copy()
+        for k, b in enumerate(bits):
+            if b:
+                rx[4 * k:4 * k + 4] *= -1.0
+        rx += 0.7 * (rng.normal(size=rx.shape) + 1j * rng.normal(size=rx.shape))
+        assert np.array_equal(dec.decode_bits(ref, rx), bits)
+
+
+class TestQamExcitation:
+    """DESIGN.md finding 5: QAM MCSs need the rotation decoder, and the
+    session switches automatically."""
+
+    @pytest.mark.parametrize("mbps", [24.0, 54.0])
+    def test_qam_sessions_error_free(self, mbps):
+        s = WifiBackscatterSession(rate_mbps=mbps, seed=60,
+                                   payload_bytes=512)
+        r = s.run_packet(snr_db=20.0)
+        assert r.delivered and r.tag_bit_errors == 0
+
+    def test_qam_xor_decoder_would_fail(self, rng):
+        """Directly confirm the finding: XOR decoding on 16-QAM garbles."""
+        from repro.channel.awgn import awgn_at_snr
+        from repro.core.decoder import XorTagDecoder
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+        from repro.tag.tag import ExcitationInfo, FreeRiderTag
+        from repro.core.translation import PhaseTranslator
+
+        tx = WifiTransmitter(24.0, seed=61)
+        frame = tx.build(tx.random_psdu(512))
+        info = ExcitationInfo(20e6, 80, frame.data_start + 80,
+                              frame.n_samples)
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        bits = rng.integers(0, 2, tag.capacity_bits(info)).astype(np.uint8)
+        out = tag.backscatter(frame.samples, info, bits)
+        noisy = awgn_at_snr(out.samples, 25.0, rng)
+        result = WifiReceiver().decode(noisy, noise_var=1e-2)
+        rate = frame.rate
+        dec = XorTagDecoder(bits_per_unit=rate.n_dbps, repetition=4,
+                            offset_bits=rate.n_dbps, guard_bits=2)
+        decoded = dec.decode(frame.data_bits, result.data_field_bits,
+                             n_tag_bits=out.bits_sent)
+        # On QAM the flip complements only the axis MSBs, so a flipped
+        # span's XOR-diff density sits at ~0.5 — exactly on the majority
+        # threshold, with zero noise margin (on BPSK/QPSK it is ~1.0).
+        span = rate.n_dbps * 4
+        densities = []
+        for k, b in enumerate(bits[:out.bits_sent]):
+            if not b:
+                continue
+            lo = rate.n_dbps + k * span
+            densities.append(float(decoded.diff_stream[lo:lo + span].mean()))
+        assert densities, "need at least one tag 1-bit in the sample"
+        assert max(densities) < 0.75  # never the clean ~1.0 of BPSK/QPSK

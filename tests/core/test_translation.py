@@ -1,0 +1,117 @@
+"""Tests for the tag-side translation waveform builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.translation import (
+    FskShiftTranslator,
+    PhaseTranslator,
+    TranslationPlan,
+    bits_per_symbol_for_phase_levels,
+)
+
+
+class TestTranslationPlan:
+    def test_capacity(self):
+        plan = TranslationPlan(unit_samples=80, repetition=4,
+                               start_sample=100, n_units=17)
+        assert plan.symbols_capacity == 4
+        assert plan.capacity_bits(2) == 8
+
+    def test_spans_tile_contiguously(self):
+        plan = TranslationPlan(unit_samples=10, repetition=2,
+                               start_sample=5, n_units=6)
+        s0, s1 = plan.tag_symbol_span(0), plan.tag_symbol_span(1)
+        assert s0 == slice(5, 25)
+        assert s1 == slice(25, 45)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TranslationPlan(0, 1, 0, 4)
+        with pytest.raises(ValueError):
+            TranslationPlan(10, 0, 0, 4)
+        with pytest.raises(ValueError):
+            TranslationPlan(10, 1, -1, 4)
+
+
+class TestPhaseTranslator:
+    def test_binary_default_is_pi(self):
+        t = PhaseTranslator(2)
+        assert t.delta_theta == pytest.approx(np.pi)
+        assert t.bits_per_symbol == 1
+
+    def test_quaternary_default_is_half_pi(self):
+        t = PhaseTranslator(4)
+        assert t.delta_theta == pytest.approx(np.pi / 2)
+        assert t.bits_per_symbol == 2
+
+    def test_invalid_levels_raise(self):
+        with pytest.raises(ValueError):
+            bits_per_symbol_for_phase_levels(3)
+
+    def test_binary_control_waveform(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 2, 3)
+        ctrl = t.control_waveform([1, 0, 1], plan, 16)
+        assert np.allclose(ctrl[:2], 1.0)          # before start
+        assert np.allclose(ctrl[2:6], -1.0)        # bit 1 -> e^{j pi}
+        assert np.allclose(ctrl[6:10], 1.0)        # bit 0
+        assert np.allclose(ctrl[10:14], -1.0)      # bit 1
+        assert np.allclose(ctrl[14:], 1.0)         # after last symbol
+
+    def test_quaternary_levels(self):
+        """Equation (5): 00 -> 0, 01 -> 90, 10 -> 180, 11 -> 270 deg."""
+        t = PhaseTranslator(4)
+        plan = TranslationPlan(1, 1, 0, 4)
+        ctrl = t.control_waveform([0, 0, 0, 1, 1, 0, 1, 1], plan, 4)
+        expect = np.exp(1j * np.pi / 2 * np.array([0, 1, 2, 3]))
+        assert np.allclose(ctrl, expect)
+
+    def test_pair_grouping_requires_even_bits(self):
+        t = PhaseTranslator(4)
+        with pytest.raises(ValueError):
+            t.symbols_from_bits([1, 0, 1])
+
+    def test_capacity_enforced(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 0, 2)
+        with pytest.raises(ValueError):
+            t.control_waveform([1, 1, 1], plan, 100)
+
+    def test_overrun_detected(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 0, 3)
+        with pytest.raises(ValueError):
+            t.control_waveform([1, 1, 1], plan, 8)  # 3rd span needs 12
+
+
+class TestFskShiftTranslator:
+    def test_bit_one_toggles(self):
+        t = FskShiftTranslator(delta_f=1e6, sample_rate_hz=8e6)
+        plan = TranslationPlan(8, 1, 0, 2)
+        ctrl = t.control_waveform([1, 0], plan, 16)
+        assert set(np.unique(ctrl[:8])) == {-1.0, 1.0}
+        assert np.allclose(ctrl[8:], 1.0)
+
+    def test_phase_continuous_across_adjacent_ones(self):
+        t = FskShiftTranslator(delta_f=5e5, sample_rate_hz=8e6)
+        plan = TranslationPlan(8, 1, 0, 4)
+        two_bits = t.control_waveform([1, 1, 0, 0], plan, 32)
+        one_run = t.control_waveform([1] * 2 + [0] * 2, plan, 32)
+        assert np.array_equal(two_bits, one_run)
+
+    def test_sideband_condition_equation_10(self):
+        # i = 0.5, w = 1 MHz: need delta_f > 250 kHz.
+        ok = FskShiftTranslator.satisfies_sideband_condition
+        assert ok(500e3, 0.5, 1e6)
+        assert not ok(200e3, 0.5, 1e6)
+
+    def test_nyquist_enforced(self):
+        with pytest.raises(ValueError):
+            FskShiftTranslator(delta_f=5e6, sample_rate_hz=8e6)
+
+    def test_capacity_enforced(self):
+        t = FskShiftTranslator(delta_f=1e6, sample_rate_hz=8e6)
+        plan = TranslationPlan(8, 1, 0, 1)
+        with pytest.raises(ValueError):
+            t.control_waveform([1, 1], plan, 64)

@@ -1,0 +1,91 @@
+"""Unit tests for repro.dsp.filters."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.filters import (
+    gaussian_taps,
+    half_sine_pulse,
+    moving_average,
+    rrc_taps,
+)
+
+
+class TestGaussianTaps:
+    def test_unit_dc_gain(self):
+        taps = gaussian_taps(bt=0.5, sps=8)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = gaussian_taps(bt=0.5, sps=8)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_narrower_bt_is_wider_pulse(self):
+        wide = gaussian_taps(bt=0.3, sps=8)
+        narrow = gaussian_taps(bt=1.0, sps=8)
+        # A lower BT spreads energy further from the centre tap.
+        assert wide.max() < narrow.max()
+
+    def test_invalid_bt_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_taps(bt=0.0, sps=8)
+
+    def test_invalid_sps_raises(self):
+        with pytest.raises(ValueError):
+            gaussian_taps(bt=0.5, sps=0)
+
+
+class TestHalfSine:
+    def test_length(self):
+        assert half_sine_pulse(8).size == 8
+
+    def test_positive_and_peaked_in_middle(self):
+        p = half_sine_pulse(16)
+        assert np.all(p > 0)
+        assert p.argmax() in (7, 8)
+
+    def test_symmetric(self):
+        p = half_sine_pulse(10)
+        assert np.allclose(p, p[::-1])
+
+    def test_invalid_sps_raises(self):
+        with pytest.raises(ValueError):
+            half_sine_pulse(0)
+
+
+class TestRrc:
+    def test_unit_energy(self):
+        taps = rrc_taps(beta=0.35, sps=4)
+        assert np.sum(taps**2) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = rrc_taps(beta=0.5, sps=4)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(ValueError):
+            rrc_taps(beta=0.0, sps=4)
+        with pytest.raises(ValueError):
+            rrc_taps(beta=1.5, sps=4)
+
+    def test_special_point_handled(self):
+        # t = 1/(4 beta) hits the removable singularity.
+        taps = rrc_taps(beta=0.25, sps=4)
+        assert np.all(np.isfinite(taps))
+
+
+class TestMovingAverage:
+    def test_constant_input(self):
+        out = moving_average(np.ones(10), 4)
+        assert out[-1] == pytest.approx(1.0)
+
+    def test_length_preserved(self):
+        assert moving_average(np.arange(7.0), 3).size == 7
+
+    def test_window_one_is_identity(self):
+        x = np.arange(5.0)
+        assert np.allclose(moving_average(x, 1), x)
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(3), 0)

@@ -1,0 +1,104 @@
+"""Unit tests for repro.dsp.measure."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.measure import (
+    THERMAL_NOISE_DBM_PER_HZ,
+    bit_error_rate,
+    db_to_linear,
+    dbm_to_watts,
+    evm,
+    linear_to_db,
+    noise_floor_dbm,
+    papr_db,
+    signal_power,
+    watts_to_dbm,
+)
+
+
+class TestPowerConversions:
+    def test_one_milliwatt_is_zero_dbm(self):
+        assert watts_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_round_trip(self):
+        for dbm in (-90.0, -30.0, 0.0, 15.0):
+            assert watts_to_dbm(dbm_to_watts(dbm)) == pytest.approx(dbm)
+
+    def test_zero_power_is_minus_inf(self):
+        assert watts_to_dbm(0.0) == float("-inf")
+
+    def test_db_linear_round_trip(self):
+        assert linear_to_db(db_to_linear(13.0)) == pytest.approx(13.0)
+
+    def test_linear_to_db_zero(self):
+        assert linear_to_db(0.0) == float("-inf")
+
+
+class TestSignalPower:
+    def test_unit_tone(self):
+        x = np.exp(1j * np.linspace(0, 20, 1000))
+        assert signal_power(x) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert signal_power(np.zeros(0)) == 0.0
+
+
+class TestNoiseFloor:
+    def test_20mhz_floor(self):
+        # kTB for 20 MHz is about -100.8 dBm; +5 dB NF ~ -95.8 dBm.
+        assert noise_floor_dbm(20e6, 5.0) == pytest.approx(-95.8, abs=0.3)
+
+    def test_narrower_band_is_quieter(self):
+        assert noise_floor_dbm(1e6) < noise_floor_dbm(20e6)
+
+    def test_bad_bandwidth_raises(self):
+        with pytest.raises(ValueError):
+            noise_floor_dbm(0.0)
+
+    def test_constant(self):
+        assert THERMAL_NOISE_DBM_PER_HZ == pytest.approx(-173.8)
+
+
+class TestBer:
+    def test_zero_for_identical(self):
+        assert bit_error_rate([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_counts_fraction(self):
+        assert bit_error_rate([1, 1, 1, 1], [0, 1, 0, 1]) == 0.5
+
+    def test_short_rx_counts_missing_as_errors(self):
+        assert bit_error_rate([1, 1, 1, 1], [1, 1]) == 0.5
+
+    def test_empty_tx(self):
+        assert bit_error_rate([], [1, 0]) == 0.0
+
+
+class TestEvm:
+    def test_zero_for_perfect(self):
+        ref = np.array([1 + 1j, -1 - 1j])
+        assert evm(ref, ref.copy()) == pytest.approx(0.0)
+
+    def test_scales_with_error(self):
+        ref = np.ones(4, dtype=complex)
+        rx = ref + 0.1
+        assert evm(ref, rx) == pytest.approx(0.1, rel=1e-6)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            evm(np.ones(3, complex), np.ones(2, complex))
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            evm(np.zeros(3, complex), np.ones(3, complex))
+
+
+class TestPapr:
+    def test_constant_envelope_is_zero_db(self):
+        x = np.exp(1j * np.linspace(0, 50, 512))
+        assert papr_db(x) == pytest.approx(0.0, abs=1e-9)
+
+    def test_peaky_signal_positive(self):
+        x = np.zeros(64, dtype=complex)
+        x[0] = 8.0
+        assert papr_db(x) > 10

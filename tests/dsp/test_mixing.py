@@ -1,0 +1,124 @@
+"""Unit tests for repro.dsp.mixing — the tag's physical operations."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.mixing import (
+    SQUARE_WAVE_FUNDAMENTAL_LOSS_DB,
+    frequency_shift,
+    phase_offset,
+    square_wave,
+    square_wave_mix,
+    time_delay,
+)
+
+
+def tone(freq, fs, n):
+    return np.exp(2j * np.pi * freq * np.arange(n) / fs)
+
+
+def dominant_freq(x, fs):
+    spec = np.abs(np.fft.fft(x))
+    k = int(np.argmax(spec))
+    freqs = np.fft.fftfreq(len(x), 1 / fs)
+    return freqs[k]
+
+
+class TestFrequencyShift:
+    def test_shifts_a_tone(self):
+        fs = 8e6
+        x = tone(250e3, fs, 4096)
+        y = frequency_shift(x, 500e3, fs)
+        assert dominant_freq(y, fs) == pytest.approx(750e3, abs=fs / 4096)
+
+    def test_negative_shift(self):
+        fs = 8e6
+        x = tone(250e3, fs, 4096)
+        y = frequency_shift(x, -500e3, fs)
+        assert dominant_freq(y, fs) == pytest.approx(-250e3, abs=fs / 4096)
+
+    def test_preserves_power(self):
+        x = tone(1e5, 1e6, 1000)
+        y = frequency_shift(x, 2e5, 1e6)
+        assert np.mean(np.abs(y) ** 2) == pytest.approx(np.mean(np.abs(x) ** 2))
+
+    def test_bad_fs_raises(self):
+        with pytest.raises(ValueError):
+            frequency_shift(np.ones(4, complex), 1.0, 0.0)
+
+
+class TestPhaseOffset:
+    def test_rotates(self):
+        x = np.ones(8, dtype=complex)
+        y = phase_offset(x, np.pi)
+        assert np.allclose(y, -1.0)
+
+    def test_pi_offset_is_sign_flip(self):
+        # Equation (4): data 1 <-> 180 degree offset on the whole signal.
+        x = tone(1e5, 1e6, 64)
+        assert np.allclose(phase_offset(x, np.pi), -x)
+
+
+class TestTimeDelay:
+    def test_zero_delay_copies(self):
+        x = np.arange(5, dtype=complex)
+        y = time_delay(x, 0)
+        assert np.array_equal(y, x)
+        assert y is not x
+
+    def test_shifts_content(self):
+        x = np.array([1, 2, 3, 4], dtype=complex)
+        assert np.array_equal(time_delay(x, 2), [0, 0, 1, 2])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            time_delay(np.ones(3, complex), -1)
+
+
+class TestSquareWave:
+    def test_levels(self):
+        sq = square_wave(1000, 1e5, 1e6)
+        assert set(np.unique(sq)) == {-1.0, 1.0}
+
+    def test_duty_cycle_half(self):
+        sq = square_wave(10000, 1e5, 1e6)
+        assert abs(sq.mean()) < 0.05
+
+    def test_custom_levels(self):
+        sq = square_wave(100, 1e5, 1e6, levels=(1.0, 0.0))
+        assert set(np.unique(sq)) == {0.0, 1.0}
+
+    def test_bad_freq_raises(self):
+        with pytest.raises(ValueError):
+            square_wave(10, 0.0, 1e6)
+
+
+class TestSquareWaveMix:
+    def test_double_sideband(self):
+        """Toggling at df produces images at f+df AND f-df (Figure 8)."""
+        fs, f, df, n = 8e6, 250e3, 500e3, 8192
+        y = square_wave_mix(tone(f, fs, n), df, fs)
+        spec = np.abs(np.fft.fft(y))
+        freqs = np.fft.fftfreq(n, 1 / fs)
+
+        def power_at(target):
+            k = int(np.argmin(np.abs(freqs - target)))
+            return spec[k]
+
+        upper = power_at(f + df)
+        lower = power_at(f - df)
+        carrier = power_at(f)
+        assert upper > 10 * carrier  # carrier suppressed
+        assert lower == pytest.approx(upper, rel=0.05)  # symmetric sidebands
+
+    def test_fundamental_loss_close_to_3_9_db(self):
+        assert SQUARE_WAVE_FUNDAMENTAL_LOSS_DB == pytest.approx(3.92, abs=0.02)
+
+    def test_sideband_amplitude_matches_two_over_pi(self):
+        fs, f, df, n = 8e6, 0.0, 1e6, 8192
+        x = np.ones(n, dtype=complex)
+        y = square_wave_mix(x, df, fs)
+        spec = np.fft.fft(y) / n
+        freqs = np.fft.fftfreq(n, 1 / fs)
+        k = int(np.argmin(np.abs(freqs - df)))
+        assert abs(spec[k]) == pytest.approx(2 / np.pi, rel=0.02)

@@ -1,0 +1,113 @@
+"""Hardware-realism integration tests: ring-oscillator inaccuracy,
+envelope-detector latency, multi-impedance amplitude control — the tag
+imperfections the paper's prototype had to live with."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.core.session import BleBackscatterSession
+from repro.core.translation import FskShiftTranslator
+from repro.tag.oscillator import RingOscillator
+from repro.tag.rf_switch import RfSwitch
+from repro.tag.tag import ExcitationInfo, FreeRiderTag
+
+
+class TestOscillatorDriftOnBluetooth:
+    """The tag's ring oscillator sets the Bluetooth delta_f toggle; its
+    static inaccuracy shifts the swapped tone off-centre.  Within the
+    receiver's channel filter the swap still decodes — the codeword
+    translation is tolerant of the cheap clock."""
+
+    def _run_with_delta_f(self, delta_f, snr_db=20.0, seed=70):
+        session = BleBackscatterSession(seed=seed, delta_f=delta_f)
+        result = session.run_packet(snr_db=snr_db)
+        return result.tag_ber if result.delivered else 1.0
+
+    def test_nominal_clock(self):
+        assert self._run_with_delta_f(500e3) < 0.02
+
+    def test_200ppm_ring_oscillator_error_harmless(self, rng):
+        osc = RingOscillator(nominal_hz=500e3, accuracy_ppm=200.0)
+        actual = osc.actual_hz(rng)
+        assert self._run_with_delta_f(actual) < 0.02
+
+    def test_five_percent_error_still_decodes(self):
+        # 5 % off 500 kHz = 25 kHz tone offset, well inside the 1 MHz
+        # channel and far from the discriminator threshold.
+        assert self._run_with_delta_f(525e3) < 0.05
+
+    def test_gross_error_breaks_the_swap(self):
+        # Near equation (10)'s boundary ((1-i)w/2 = 250 kHz) the swap
+        # stops being a valid translation: toggling at 280 kHz leaves
+        # the shifted tone barely past DC and the discriminator's sign
+        # becomes unreliable.
+        ber_bad = self._run_with_delta_f(280e3)
+        ber_good = self._run_with_delta_f(500e3)
+        assert ber_bad > 5 * max(ber_good, 1e-2)
+
+
+class TestEnvelopeLatencyOnWifi:
+    """The 0.35 us onset latency lands inside the OFDM cyclic prefix,
+    so tag spans stay symbol-aligned (paper section 3.1).  A detector
+    slower than the 0.8 us CP would smear symbol boundaries."""
+
+    def _errors_with_latency(self, latency_us, seed=71):
+        from repro.core.decoder import XorTagDecoder
+        from repro.core.translation import PhaseTranslator
+        from repro.phy.wifi import WifiReceiver, WifiTransmitter
+        from repro.tag.envelope import EnvelopeDetector
+
+        rng = np.random.default_rng(seed)
+        tx = WifiTransmitter(6.0, seed=seed)
+        frame = tx.build(tx.random_psdu(300))
+        info = ExcitationInfo(20e6, 80, frame.data_start + 80,
+                              frame.n_samples)
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4,
+                           envelope=EnvelopeDetector(latency_us=latency_us))
+        bits = rng.integers(0, 2, tag.capacity_bits(info)).astype(np.uint8)
+        out = tag.backscatter(frame.samples, info, bits)
+        noisy = awgn_at_snr(out.samples, 12.0, rng)
+        res = WifiReceiver().decode(noisy, noise_var=0.06)
+        if not res.header_ok:
+            return 1.0
+        dec = XorTagDecoder(bits_per_unit=frame.rate.n_dbps, repetition=4,
+                            offset_bits=frame.rate.n_dbps, guard_bits=2)
+        decoded = dec.decode(frame.data_bits, res.data_field_bits,
+                             n_tag_bits=out.bits_sent)
+        return decoded.errors_against(bits[:out.bits_sent]) / out.bits_sent
+
+    def test_measured_latency_harmless(self):
+        assert self._errors_with_latency(0.35) == 0.0
+
+    def test_latency_within_cp_harmless(self):
+        assert self._errors_with_latency(0.7) == 0.0
+
+    def test_repetition_absorbs_slow_detector(self):
+        """Even a 2 us detector (past the CP) decodes: the corrupted
+        boundary symbol is outvoted by the other three in each span."""
+        assert self._errors_with_latency(2.0) < 0.1
+
+
+class TestMultiImpedanceAmplitudes:
+    """Section 2.1: FreeRider's switch selects among multiple
+    impedances for fine amplitude control (vs the classic two-state
+    tag)."""
+
+    def test_four_state_bank_gives_four_levels(self):
+        sw = RfSwitch(impedances=(0j, 15 + 0j, 30 + 0j, 50 + 0j),
+                      insertion_loss_db=0.0)
+        levels = sorted(sw.amplitude_levels())
+        assert len(levels) == 4
+        assert levels[0] == pytest.approx(0.0)
+        assert levels[-1] == pytest.approx(1.0)
+        # Interior levels are strictly between the extremes.
+        assert 0.05 < levels[1] < levels[2] < 0.95
+
+    def test_reflection_sequence_tracks_states(self, rng):
+        sw = RfSwitch(impedances=(0j, 25 + 0j, 50 + 0j),
+                      insertion_loss_db=0.0)
+        states = rng.integers(0, 3, 64)
+        out = sw.reflect(np.ones(64, dtype=complex), states)
+        mags = np.abs(sw.gammas[states])
+        assert np.allclose(np.abs(out), mags)

@@ -1,0 +1,134 @@
+"""Integration tests pinning the paper's headline claims.
+
+Each test exercises the full stack (PHY + tag + channel + decoder or
+MAC) and asserts the *shape* anchors of the evaluation section.  These
+are the same quantities the benchmarks print; here they run with small
+batches for speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.core.session import (
+    BleBackscatterSession,
+    WifiBackscatterSession,
+    ZigbeeBackscatterSession,
+)
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.linksim import LinkSimulator
+from repro.sim.macsim import MacExperiment
+
+
+class TestHeadlineRates:
+    """Abstract: ~60 kb/s single-tag WiFi, 15 kb/s multi-tag, 42 m."""
+
+    def test_wifi_60kbps_at_close_range(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=11)
+        assert sim.simulate_point(5.0).throughput_kbps == pytest.approx(
+            60.0, abs=4.0)
+
+    def test_wifi_alive_at_40m_dead_at_80m(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=12, seed=12)
+        assert sim.simulate_point(36.0).delivery_ratio > 0.15
+        assert sim.simulate_point(80.0).delivery_ratio == 0.0
+
+    def test_zigbee_14kbps_within_12m(self):
+        sim = LinkSimulator(ZIGBEE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=13)
+        assert sim.simulate_point(6.0).throughput_kbps == pytest.approx(
+            14.0, abs=2.0)
+
+    def test_bluetooth_50kbps_within_10m(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=14)
+        assert sim.simulate_point(4.0).throughput_kbps == pytest.approx(
+            50.0, abs=4.0)
+
+
+class TestBerConditionedOnDelivery:
+    """Section 4.2.1: when the header decodes, tag BER stays low even
+    at long range (the ~1e-3 observation)."""
+
+    def test_wifi_ber_low_at_30m(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=8, seed=15)
+        p = sim.simulate_point(30.0)
+        if p.delivery_ratio > 0:
+            assert p.ber < 2e-2
+
+
+class TestRedundancyClaim:
+    """Section 3.2.1: one tag bit per four OFDM symbols at 6 Mb/s gives
+    ~1e-3 tag BER; fewer symbols per bit degrade sharply."""
+
+    def _ber(self, repetition, snr_db, packets=4):
+        s = WifiBackscatterSession(seed=16, payload_bytes=300,
+                                   repetition=repetition)
+        sent = errs = 0
+        for _ in range(packets):
+            r = s.run_packet(snr_db=snr_db)
+            if r.delivered:
+                sent += r.tag_bits_sent
+                errs += r.tag_bit_errors
+        return errs / sent if sent else 1.0
+
+    def test_four_symbol_redundancy_near_1e_3(self):
+        assert self._ber(4, snr_db=6.0) < 5e-3
+
+    def test_single_symbol_much_worse(self):
+        assert self._ber(1, snr_db=6.0) > 5 * max(self._ber(4, 6.0), 1e-4)
+
+
+class TestZigbeeRepetition:
+    """Section 3.2.2: N=8 OQPSK symbols per tag bit decode reliably; the
+    boundary-violation errors hurt N=1."""
+
+    def _errors(self, repetition):
+        s = ZigbeeBackscatterSession(seed=17, repetition=repetition)
+        r = s.run_packet(snr_db=15)
+        return r.tag_bit_errors / max(r.tag_bits_sent, 1)
+
+    def test_n8_clean(self):
+        assert self._errors(8) == 0.0
+
+    def test_n4_clean(self):
+        assert self._errors(4) < 0.05
+
+
+class TestMultiTagClaims:
+    """Section 4.5: 20 tags work; Aloha ~18 kb/s asymptote vs TDM
+    ~40 kb/s; fairness ~0.85 over a measurement window."""
+
+    def test_20_tags_all_heard(self):
+        from repro.mac.aloha import FramedSlottedAloha
+
+        res = FramedSlottedAloha(seed=18).simulate(20, n_rounds=60)
+        assert all(bits > 0 for bits in res.per_tag_bits.values())
+
+    def test_asymptotes(self):
+        exp = MacExperiment(seed=19)
+        aloha = exp.asymptote_kbps(n_tags=100, scheme="aloha")
+        tdm = exp.asymptote_kbps(n_tags=100, scheme="tdm")
+        assert aloha == pytest.approx(18.0, abs=4.0)
+        assert tdm == pytest.approx(40.0, abs=14.0)
+
+    def test_window_fairness_near_085(self):
+        exp = MacExperiment(measured_rounds=12, seed=20)
+        fairness = [exp.run_point(20).fairness for _ in range(5)]
+        assert np.mean(fairness) == pytest.approx(0.85, abs=0.1)
+
+
+class TestBluetoothEdge:
+    """Figure 13: Bluetooth throughput ~50 kb/s inside 10 m and a sharp
+    collapse past 12 m."""
+
+    def test_cliff(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=6, seed=21)
+        near = sim.simulate_point(8.0)
+        far = sim.simulate_point(20.0)
+        assert near.delivery_ratio > 0.8
+        assert far.delivery_ratio < 0.35

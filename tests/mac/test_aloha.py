@@ -1,0 +1,129 @@
+"""Tests for framed slotted Aloha, the TDM baseline and the controller."""
+
+import pytest
+
+from repro.mac.aloha import AlohaConfig, FramedSlottedAloha, TdmScheme
+from repro.mac.controller import SlotController
+from repro.mac.fairness import jain_index
+
+
+class TestJain:
+    def test_equal_allocations(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_fair(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestSlotController:
+    def test_grows_under_collisions(self):
+        c = SlotController(8)
+        before = c.n_slots
+        for _ in range(5):
+            c.observe(singles=1, collisions=7, empties=0)
+        assert c.n_slots > before
+
+    def test_shrinks_when_idle(self):
+        c = SlotController(32)
+        for _ in range(5):
+            c.observe(singles=2, collisions=0, empties=30)
+        assert c.n_slots < 32
+
+    def test_bounds_respected(self):
+        c = SlotController(8, min_slots=4, max_slots=16)
+        for _ in range(20):
+            c.observe(singles=0, collisions=16, empties=0)
+        assert c.n_slots <= 16
+        for _ in range(20):
+            c.observe(singles=0, collisions=0, empties=16)
+        assert c.n_slots >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlotController(1, min_slots=2, max_slots=8)
+        with pytest.raises(ValueError):
+            SlotController(4, smoothing=0.0)
+        c = SlotController(4)
+        with pytest.raises(ValueError):
+            c.observe(singles=-1, collisions=0, empties=0)
+
+
+class TestAlohaConfig:
+    def test_slot_airtime(self):
+        cfg = AlohaConfig(slot_bits=256, tag_rate_kbps=62.5)
+        assert cfg.slot_airtime_us == pytest.approx(4096)
+
+    def test_control_airtime_dominated_by_plm(self):
+        cfg = AlohaConfig()
+        assert cfg.control_airtime_us() > 10 * cfg.slot_airtime_us
+
+
+class TestFramedSlottedAloha:
+    def test_single_tag_never_collides(self):
+        res = FramedSlottedAloha(seed=1).simulate(1, n_rounds=50)
+        assert res.collision_rate == 0.0
+        assert res.delivered_bits == 50 * 256
+
+    def test_throughput_increases_with_tags(self):
+        sim = FramedSlottedAloha(seed=2)
+        t4 = sim.simulate(4, n_rounds=150).aggregate_throughput_kbps
+        t20 = FramedSlottedAloha(seed=2).simulate(20, n_rounds=150) \
+            .aggregate_throughput_kbps
+        assert t20 > t4
+
+    def test_asymptote_near_18kbps(self):
+        """Section 4.5: beyond 20 tags the FSA throughput flattens at
+        about 18 kb/s."""
+        res = FramedSlottedAloha(seed=3).simulate(120, n_rounds=120)
+        assert 14.0 < res.aggregate_throughput_kbps < 22.0
+
+    def test_fairness_high_over_long_runs(self):
+        res = FramedSlottedAloha(seed=4).simulate(20, n_rounds=300)
+        assert res.fairness > 0.95
+
+    def test_fairness_lower_over_short_windows(self):
+        res = FramedSlottedAloha(seed=5).simulate(20, n_rounds=10)
+        assert res.fairness < 0.98
+
+    def test_delivery_prob_scales_throughput(self):
+        lossy_cfg = AlohaConfig(slot_delivery_prob=0.5)
+        clean = FramedSlottedAloha(seed=6).simulate(10, n_rounds=150)
+        lossy = FramedSlottedAloha(lossy_cfg, seed=6).simulate(10, n_rounds=150)
+        ratio = (lossy.aggregate_throughput_kbps
+                 / clean.aggregate_throughput_kbps)
+        assert 0.35 < ratio < 0.65
+
+    def test_zero_tags_raises(self):
+        with pytest.raises(ValueError):
+            FramedSlottedAloha(seed=1).simulate(0)
+
+
+class TestTdm:
+    def test_no_collisions_ever(self):
+        res = TdmScheme(seed=1).simulate(20, n_rounds=100)
+        assert all(r.collisions == 0 for r in res.rounds)
+        assert res.fairness == pytest.approx(1.0)
+
+    def test_asymptote_near_40kbps(self):
+        """Section 4.5: the collision-free TDM bound asymptotes at about
+        40 kb/s — capped by the per-slot grant overhead, not by the raw
+        62.5 kb/s tag rate."""
+        res = TdmScheme(seed=2).simulate(120, n_rounds=80)
+        assert 34.0 < res.aggregate_throughput_kbps < 46.0
+
+    def test_beats_aloha(self):
+        tdm = TdmScheme(seed=3).simulate(16, n_rounds=150)
+        fsa = FramedSlottedAloha(seed=3).simulate(16, n_rounds=150)
+        assert (tdm.aggregate_throughput_kbps
+                > 1.8 * fsa.aggregate_throughput_kbps)

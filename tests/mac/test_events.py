@@ -1,0 +1,76 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.mac.events import EventScheduler
+
+
+class TestOrdering:
+    def test_time_order(self):
+        s = EventScheduler()
+        hits = []
+        s.schedule(3.0, lambda: hits.append(3))
+        s.schedule(1.0, lambda: hits.append(1))
+        s.schedule(2.0, lambda: hits.append(2))
+        s.run()
+        assert hits == [1, 2, 3]
+
+    def test_fifo_for_ties(self):
+        s = EventScheduler()
+        hits = []
+        s.schedule(1.0, lambda: hits.append("a"))
+        s.schedule(1.0, lambda: hits.append("b"))
+        s.run()
+        assert hits == ["a", "b"]
+
+    def test_now_advances(self):
+        s = EventScheduler()
+        seen = []
+        s.schedule(5.0, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [5.0]
+
+
+class TestScheduling:
+    def test_callbacks_can_schedule(self):
+        s = EventScheduler()
+        hits = []
+
+        def first():
+            hits.append("first")
+            s.schedule_in(1.0, lambda: hits.append("second"))
+
+        s.schedule(0.0, first)
+        s.run()
+        assert hits == ["first", "second"]
+
+    def test_past_scheduling_raises(self):
+        s = EventScheduler()
+        s.schedule(1.0, lambda: None)
+        s.run()
+        with pytest.raises(ValueError):
+            s.schedule(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_in(-1.0, lambda: None)
+
+
+class TestRunControl:
+    def test_until_limits_execution(self):
+        s = EventScheduler()
+        hits = []
+        s.schedule(1.0, lambda: hits.append(1))
+        s.schedule(10.0, lambda: hits.append(10))
+        s.run(until=5.0)
+        assert hits == [1]
+        assert s.now == 5.0
+        assert len(s) == 1
+
+    def test_stop_halts(self):
+        s = EventScheduler()
+        hits = []
+        s.schedule(1.0, lambda: (hits.append(1), s.stop()))
+        s.schedule(2.0, lambda: hits.append(2))
+        s.run()
+        assert hits == [1]

@@ -1,0 +1,71 @@
+"""Tests for MAC result containers and round bookkeeping."""
+
+import pytest
+
+from repro.mac.aloha import (
+    AlohaConfig,
+    FramedSlottedAloha,
+    MacResult,
+    MacRoundStats,
+)
+
+
+class TestMacRoundStats:
+    def test_fields(self):
+        r = MacRoundStats(n_slots=8, singles=3, collisions=2, empties=3,
+                          duration_us=1e5)
+        assert r.n_slots == r.singles + r.collisions + r.empties
+
+
+class TestMacResult:
+    def make(self):
+        rounds = [MacRoundStats(8, 4, 2, 2, 1e5),
+                  MacRoundStats(10, 5, 1, 4, 1.2e5)]
+        return MacResult(n_tags=4, rounds=rounds,
+                         per_tag_bits={0: 512, 1: 256, 2: 256, 3: 0})
+
+    def test_totals(self):
+        res = self.make()
+        assert res.total_time_us == pytest.approx(2.2e5)
+        assert res.delivered_bits == 1024
+
+    def test_throughput(self):
+        res = self.make()
+        assert res.aggregate_throughput_kbps == pytest.approx(
+            1024 / 2.2e5 * 1e3)
+
+    def test_fairness_counts_silent_tags(self):
+        res = self.make()
+        # Tag 3 delivered nothing; fairness must reflect that.
+        assert res.fairness < 1.0
+
+    def test_collision_rate(self):
+        res = self.make()
+        assert res.collision_rate == pytest.approx(3 / 18)
+
+    def test_empty_result(self):
+        res = MacResult(n_tags=2, rounds=[], per_tag_bits={0: 0, 1: 0})
+        assert res.aggregate_throughput_kbps == 0.0
+        assert res.collision_rate == 0.0
+
+
+class TestRoundBookkeeping:
+    def test_counts_are_consistent(self):
+        sim = FramedSlottedAloha(seed=42)
+        res = sim.simulate(10, n_rounds=30)
+        for r in res.rounds:
+            assert r.singles + r.collisions + r.empties <= r.n_slots
+            assert r.duration_us > 0
+
+    def test_slots_track_controller(self):
+        cfg = AlohaConfig(initial_slots=4, min_slots=2, max_slots=64)
+        sim = FramedSlottedAloha(cfg, seed=43)
+        res = sim.simulate(30, n_rounds=40)
+        # Under heavy contention the frame must have grown.
+        assert res.rounds[-1].n_slots > res.rounds[0].n_slots
+
+    def test_delivered_bits_bounded_by_singles(self):
+        sim = FramedSlottedAloha(seed=44)
+        res = sim.simulate(6, n_rounds=25)
+        max_bits = sum(r.singles for r in res.rounds) * 256
+        assert res.delivered_bits <= max_bits

@@ -1,0 +1,105 @@
+"""Tests for packet length modulation (paper section 2.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.plm import PlmConfig, PlmLink, PlmReceiver, PlmTransmitter
+from repro.net.traffic import AmbientTrafficModel
+from repro.tag.envelope import EnvelopeDetector
+
+
+class TestConfig:
+    def test_default_rate_near_500bps(self):
+        assert PlmConfig().bit_rate_bps == pytest.approx(500, rel=0.1)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(ValueError):
+            PlmConfig(l0_us=700.0, l1_us=730.0, bound_us=25.0)
+
+    def test_durations_positive(self):
+        with pytest.raises(ValueError):
+            PlmConfig(l0_us=0.0)
+
+
+class TestTransmitter:
+    def test_pulse_durations_encode_bits(self):
+        tx = PlmTransmitter()
+        pulses = tx.pulses_for([0, 1, 0])
+        assert pulses[0][1] == tx.config.l0_us
+        assert pulses[1][1] == tx.config.l1_us
+
+    def test_pulses_do_not_overlap(self):
+        tx = PlmTransmitter()
+        pulses = tx.pulses_for([1] * 10)
+        for (t0, d0), (t1, _) in zip(pulses, pulses[1:]):
+            assert t1 >= t0 + d0 + tx.config.gap_us - 1e-9
+
+    def test_frame_prepends_preamble(self):
+        tx = PlmTransmitter()
+        framed = tx.frame([1, 1])
+        assert list(framed[:len(tx.config.preamble)]) == list(tx.config.preamble)
+
+    def test_message_airtime(self):
+        tx = PlmTransmitter()
+        t = tx.message_airtime_us(8)
+        assert t == pytest.approx((8 + 8) * tx.config.mean_bit_period_us)
+
+
+class TestReceiver:
+    def test_classify_within_bound(self):
+        rx = PlmReceiver()
+        assert rx.classify(710.0) == 0
+        assert rx.classify(1090.0) == 1
+        assert rx.classify(900.0) is None
+        assert rx.classify(5000.0) is None
+
+    def test_preamble_match_extracts_payload(self):
+        cfg = PlmConfig()
+        tx, rx = PlmTransmitter(cfg), PlmReceiver(cfg)
+        payload = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=np.uint8)
+        rx.set_payload_length(8)
+        pulses = tx.pulses_for(tx.frame(payload))
+        from repro.tag.envelope import PulseEvent
+
+        events = [PulseEvent(t, d) for t, d in pulses]
+        msgs = rx.push_events(events)
+        assert len(msgs) == 1
+        assert np.array_equal(msgs[0], payload)
+
+    def test_ambient_pulses_ignored(self):
+        rx = PlmReceiver()
+        rx.set_payload_length(4)
+        from repro.tag.envelope import PulseEvent
+
+        noise = [PulseEvent(float(i) * 3000, 300.0) for i in range(20)]
+        assert rx.push_events(noise) == []
+
+    def test_bad_payload_length_raises(self):
+        with pytest.raises(ValueError):
+            PlmReceiver().set_payload_length(0)
+
+
+class TestEndToEndLink:
+    def test_strong_signal_delivers(self, rng):
+        link = PlmLink()
+        ok = link.send_message([1, 0, 1, 1], incident_power_dbm=-30.0,
+                               rng=rng)
+        assert ok
+
+    def test_weak_signal_fails(self, rng):
+        link = PlmLink()
+        ok = link.send_message([1, 0, 1, 1], incident_power_dbm=-85.0,
+                               rng=rng)
+        assert not ok
+
+    def test_survives_ambient_traffic(self, rng):
+        link = PlmLink(detector=EnvelopeDetector(edge_jitter_us=2.0))
+        traffic = AmbientTrafficModel(load=0.3, rng=rng)
+        horizon = link.transmitter.message_airtime_us(8) * 1.2
+        delivered = 0
+        for _ in range(10):
+            ambient = traffic.pulse_train(horizon)
+            if link.send_message([1, 0, 1, 1, 0, 1, 0, 0], -30.0,
+                                 ambient_pulses=ambient, rng=rng):
+                delivered += 1
+        assert delivered >= 7

@@ -1,0 +1,74 @@
+"""Tests for the PLM traffic shaper (section 2.4.2's re-packetisation)."""
+
+import numpy as np
+import pytest
+
+from repro.mac.plm import PlmConfig
+from repro.mac.shaper import PlmTrafficShaper
+
+
+class TestByteSizing:
+    def test_duration_to_bytes_at_6mbps(self):
+        shaper = PlmTrafficShaper(phy_rate_mbps=6.0)
+        # 700 us at 6 Mb/s = 525 bytes.
+        assert shaper.bytes_for_duration(700.0) == 525
+
+    def test_rate_scales_size(self):
+        slow = PlmTrafficShaper(phy_rate_mbps=6.0)
+        fast = PlmTrafficShaper(phy_rate_mbps=54.0)
+        assert fast.bytes_for_duration(700.0) == 9 * slow.bytes_for_duration(700.0)
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ValueError):
+            PlmTrafficShaper(phy_rate_mbps=0.0)
+
+
+class TestShaping:
+    def test_busy_network_zero_overhead(self):
+        """The headline claim: with enough backlog, PLM costs nothing."""
+        shaper = PlmTrafficShaper()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert shaper.overhead_fraction(bits, backlog_bytes=100_000) == 0.0
+
+    def test_idle_network_pays_padding(self):
+        shaper = PlmTrafficShaper()
+        frac = shaper.overhead_fraction([1, 0, 1, 1], backlog_bytes=0)
+        assert frac == 1.0
+
+    def test_partial_backlog(self):
+        shaper = PlmTrafficShaper()
+        packets, remaining = shaper.shape([0, 1], backlog_bytes=600)
+        assert remaining == 0
+        assert packets[0].payload_bytes == 525  # first packet filled
+        assert packets[1].padding_bytes > 0     # second partly padded
+
+    def test_durations_encode_bits(self):
+        cfg = PlmConfig()
+        shaper = PlmTrafficShaper(cfg)
+        packets, _ = shaper.shape([1, 0], backlog_bytes=10_000)
+        assert packets[0].duration_us == cfg.l1_us
+        assert packets[1].duration_us == cfg.l0_us
+
+    def test_backlog_conservation(self):
+        shaper = PlmTrafficShaper()
+        backlog = 1500
+        packets, remaining = shaper.shape([1, 1, 1], backlog)
+        consumed = sum(p.payload_bytes for p in packets)
+        assert consumed + remaining == backlog
+
+    def test_negative_backlog_raises(self):
+        with pytest.raises(ValueError):
+            PlmTrafficShaper().shape([1], -1)
+
+
+class TestAirtime:
+    def test_matches_plm_config(self):
+        cfg = PlmConfig()
+        shaper = PlmTrafficShaper(cfg)
+        t = shaper.airtime_us([1, 0])
+        assert t == pytest.approx(cfg.l1_us + cfg.l0_us + 2 * cfg.gap_us)
+
+    def test_scales_linearly(self):
+        shaper = PlmTrafficShaper()
+        assert shaper.airtime_us([1] * 10) == pytest.approx(
+            10 * shaper.airtime_us([1]))

@@ -1,0 +1,115 @@
+"""Tests for the coexistence models (Figures 15 and 16)."""
+
+import numpy as np
+import pytest
+
+from repro.net.coexistence import (
+    CoexistenceSimulator,
+    WifiThroughputModel,
+    adjacent_channel_rejection_db,
+)
+
+
+class TestRejection:
+    def test_cochannel_no_rejection(self):
+        assert adjacent_channel_rejection_db(0, 20e6) == 0.0
+
+    def test_inside_passband_no_rejection(self):
+        assert adjacent_channel_rejection_db(1, 20e6) == 0.0
+
+    def test_narrowband_rejects_harder(self):
+        wide = adjacent_channel_rejection_db(7, 20e6)
+        narrow = adjacent_channel_rejection_db(7, 1e6)
+        assert narrow > wide > 0
+
+    def test_monotone_in_separation(self):
+        vals = [adjacent_channel_rejection_db(s, 2e6) for s in range(1, 9)]
+        assert vals == sorted(vals)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            adjacent_channel_rejection_db(-1, 2e6)
+
+
+class TestWifiThroughputModel:
+    def test_baseline_median(self, rng):
+        model = WifiThroughputModel()
+        s = model.sample(3000, rng=rng)
+        assert float(np.median(s)) == pytest.approx(37.4, abs=0.3)
+
+    def test_subfloor_interference_harmless(self, rng, rng2):
+        model = WifiThroughputModel()
+        clean = model.sample(3000, rng=rng)
+        interfered = model.sample(3000, interference_dbm=-120.0, rng=rng2)
+        assert float(np.median(interfered)) == pytest.approx(
+            float(np.median(clean)), abs=0.5)
+
+    def test_strong_interference_hurts(self, rng, rng2):
+        model = WifiThroughputModel()
+        clean = model.sample(2000, rng=rng)
+        jammed = model.sample(2000, interference_dbm=-80.0, rng=rng2)
+        assert float(np.median(jammed)) < float(np.median(clean)) * 0.7
+
+
+class TestFigure15:
+    """Does backscatter impact WiFi?  It must not (section 4.4.1)."""
+
+    @pytest.mark.parametrize("radio", ["wifi", "zigbee", "bluetooth"])
+    def test_tag_presence_invisible(self, radio):
+        sim = CoexistenceSimulator(seed=10)
+        absent = sim.wifi_throughput_samples(2000, tag_present=False)
+        present = sim.wifi_throughput_samples(2000, tag_present=True,
+                                              tag_radio=radio)
+        assert float(np.median(present)) == pytest.approx(
+            float(np.median(absent)), abs=0.5)
+
+
+class TestFigure16:
+    """Does WiFi impact backscatter?  Median no, tail yes (WiFi RX)."""
+
+    def test_wifi_backscatter_median_stable_but_tail_degrades(self):
+        sim = CoexistenceSimulator(seed=11)
+        absent = sim.backscatter_throughput_samples(400, wifi_present=False)
+        present = sim.backscatter_throughput_samples(400, wifi_present=True)
+        med_a, med_p = float(np.median(absent)), float(np.median(present))
+        assert med_p == pytest.approx(med_a, abs=3.0)
+        p10_a = float(np.percentile(absent, 10))
+        p10_p = float(np.percentile(present, 10))
+        assert p10_p < p10_a - 5.0  # visible lower tail
+
+    @pytest.mark.parametrize("base,bw", [(15.0, 2e6), (55.0, 1e6)])
+    def test_narrowband_barely_affected(self, base, bw):
+        """Figure 16(b)/(c): ZigBee and Bluetooth backscatter shift by
+        only ~1-2 kb/s when WiFi traffic appears."""
+        sim = CoexistenceSimulator(seed=12)
+        absent = sim.backscatter_throughput_samples(
+            300, base_kbps=base, receiver_bandwidth_hz=bw,
+            wifi_present=False)
+        present = sim.backscatter_throughput_samples(
+            300, base_kbps=base, receiver_bandwidth_hz=bw,
+            wifi_present=True)
+        assert abs(float(np.median(present)) - float(np.median(absent))) < 2.0
+
+
+class TestRtsCts:
+    """Section 4.4.2: RTS-CTS reservation removes overlap losses at a
+    small airtime cost."""
+
+    def test_removes_lower_tail(self):
+        sim = CoexistenceSimulator(seed=20)
+        plain = sim.backscatter_throughput_samples(300, wifi_present=True)
+        sim2 = CoexistenceSimulator(seed=20)
+        reserved = sim2.backscatter_throughput_samples(300, wifi_present=True,
+                                                       rts_cts=True)
+        assert (float(np.percentile(reserved, 10))
+                > float(np.percentile(plain, 10)))
+
+    def test_costs_a_little_median(self):
+        sim = CoexistenceSimulator(seed=21)
+        free = sim.backscatter_throughput_samples(300, wifi_present=False)
+        sim2 = CoexistenceSimulator(seed=21)
+        reserved = sim2.backscatter_throughput_samples(300,
+                                                       wifi_present=False,
+                                                       rts_cts=True)
+        cost = float(np.median(free)) - float(np.median(reserved))
+        assert 0.5 < cost < 4.0  # ~3.5 % of 61.8 kb/s

@@ -1,0 +1,65 @@
+"""Tests for the ambient-traffic duration model (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.net.traffic import AmbientTrafficModel, TrafficMix
+
+
+class TestMixture:
+    def test_default_weights_sum_below_one(self):
+        mix = TrafficMix()
+        assert mix.tail_weight > 0
+        assert (mix.short_weight + mix.long_weight + mix.quiet_weight
+                + mix.tail_weight) == pytest.approx(1.0)
+
+    def test_invalid_weights_raise(self):
+        with pytest.raises(ValueError):
+            TrafficMix(short_weight=0.9, long_weight=0.2)
+
+
+class TestSampling:
+    def test_figure_3_bimodal_shape(self, rng):
+        model = AmbientTrafficModel(rng=rng)
+        d = model.sample_durations(60_000)
+        short = float(np.mean(d < 500))
+        long = float(np.mean((d >= 1500) & (d <= 2700)))
+        assert short == pytest.approx(0.78, abs=0.02)
+        assert long == pytest.approx(0.18, abs=0.02)
+
+    def test_quiet_zone_nearly_empty(self, rng):
+        model = AmbientTrafficModel(rng=rng)
+        d = model.sample_durations(60_000)
+        quiet = float(np.mean((d > 500) & (d < 1500)))
+        assert quiet < 0.01
+
+    def test_forge_probability_near_paper_claim(self, rng):
+        """Figure 3 caption: ~0.03 % of ambient packets fall inside a
+        PLM bit window with the 25 us bound."""
+        model = AmbientTrafficModel(rng=rng)
+        p = model.forge_probability(700.0, 1100.0, 25.0)
+        assert 0.0001 < p < 0.0007
+
+
+class TestPulseTrain:
+    def test_load_respected(self, rng):
+        model = AmbientTrafficModel(load=0.4, rng=rng)
+        assert model.busy_fraction(3e5) == pytest.approx(0.4, abs=0.12)
+
+    def test_zero_load_empty(self, rng):
+        model = AmbientTrafficModel(load=0.0, rng=rng)
+        assert model.pulse_train(1e5) == []
+
+    def test_pulses_sorted_and_disjoint(self, rng):
+        model = AmbientTrafficModel(load=0.3, rng=rng)
+        pulses = model.pulse_train(2e5)
+        for (t0, d0, _), (t1, _, _) in zip(pulses, pulses[1:]):
+            assert t1 > t0 + d0
+
+    def test_invalid_load_raises(self):
+        with pytest.raises(ValueError):
+            AmbientTrafficModel(load=1.0)
+
+    def test_invalid_horizon_raises(self, rng):
+        with pytest.raises(ValueError):
+            AmbientTrafficModel(rng=rng).pulse_train(0.0)

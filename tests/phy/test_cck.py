@@ -1,0 +1,110 @@
+"""Tests for the CCK (802.11b 11 Mb/s) modem and its codebook."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.phy.dsss.cck import (
+    BITS_PER_SYMBOL,
+    cck_codebook_matrix,
+    cck_codeword,
+    cck_demodulate,
+    cck_modulate,
+)
+from repro.utils.bits import random_bits
+
+
+class TestCodebook:
+    def test_64_distinct_base_codewords(self):
+        book = cck_codebook_matrix()
+        assert book.shape == (64, 8)
+        # All rows distinct.
+        for i in range(64):
+            for j in range(i + 1, 64):
+                assert not np.allclose(book[i], book[j])
+
+    def test_unit_modulus_chips(self):
+        book = cck_codebook_matrix()
+        assert np.allclose(np.abs(book), 1.0)
+
+    def test_complementary_autocorrelation(self):
+        """CCK codewords have good aperiodic autocorrelation — the
+        property that gives 802.11b its multipath resilience."""
+        c = cck_codeword(0.0, np.pi / 2, np.pi, 0.0)
+        full = np.correlate(c, c, mode="full")
+        peak = np.abs(full[7])
+        off = np.abs(np.delete(full, 7)).max()
+        assert peak == pytest.approx(8.0)
+        assert off < peak  # never rivals the main peak
+
+    def test_closed_under_90_degree_rotation(self):
+        """Rotating any codeword by 90 degrees yields another valid
+        on-air codeword (phi1 shift) — quaternary codeword translation
+        is valid on CCK."""
+        book = cck_codebook_matrix()
+        rotated = book * np.exp(1j * np.pi / 2)
+        # Each rotated base codeword equals a valid on-air word: same
+        # base row with phi1 = 90 deg.  Verify via ML demod round trip:
+        for row in (0, 17, 42, 63):
+            corr = book.conj() @ rotated[row]
+            best = int(np.argmax(np.abs(corr)))
+            assert best == row  # same data chips
+            assert np.angle(corr[best]) == pytest.approx(np.pi / 2)
+
+
+class TestModem:
+    def test_round_trip(self, rng):
+        bits = random_bits(8 * 50, rng)
+        chips, _ = cck_modulate(bits)
+        assert np.array_equal(cck_demodulate(chips), bits)
+
+    def test_chip_rate(self, rng):
+        bits = random_bits(8 * 10, rng)
+        chips, _ = cck_modulate(bits)
+        # 8 bits ride 8 chips: 11 Mchip/s carries 11 Mb/s.
+        assert chips.size == bits.size
+
+    def test_noisy_round_trip(self, rng):
+        bits = random_bits(8 * 100, rng)
+        chips, _ = cck_modulate(bits)
+        noisy = awgn_at_snr(chips, 12.0, rng)
+        errors = int(np.sum(cck_demodulate(noisy) != bits))
+        assert errors < bits.size * 0.01
+
+    def test_phase_chaining(self, rng):
+        """Splitting a stream across two modulate calls with the carried
+        phi1 reference equals one call."""
+        bits = random_bits(8 * 8, rng)
+        whole, _ = cck_modulate(bits)
+        first, phi = cck_modulate(bits[:32])
+        second, _ = cck_modulate(bits[32:], phi_ref=phi)
+        assert np.allclose(np.concatenate([first, second]), whole)
+
+    def test_partial_symbol_raises(self, rng):
+        with pytest.raises(ValueError):
+            cck_modulate(random_bits(12, rng))
+        with pytest.raises(ValueError):
+            cck_demodulate(np.zeros(12, dtype=complex))
+
+
+class TestQuaternaryTranslationOnCck:
+    def test_tag_rotation_is_decodable(self, rng):
+        """A 90-degree tag rotation over a span of CCK symbols changes
+        only the first differential bit pair at the span edges — the
+        payload (d2..d7) decodes unchanged, and the rotation itself is
+        recoverable by comparing the two receivers' phi1 tracks."""
+        bits = random_bits(8 * 20, rng)
+        chips, _ = cck_modulate(bits)
+        rotated = chips.copy()
+        rotated[8 * 5: 8 * 15] *= np.exp(1j * np.pi / 2)  # tag span
+        out = cck_demodulate(rotated)
+        # d2..d7 of every symbol are untouched by the rotation.
+        for s in range(20):
+            assert np.array_equal(out[8 * s + 2: 8 * s + 8],
+                                  bits[8 * s + 2: 8 * s + 8])
+        # The differential (d0,d1) bits flip exactly at the two span
+        # edges (symbols 5 and 15) and nowhere else.
+        edges = [s for s in range(20)
+                 if not np.array_equal(out[8 * s: 8 * s + 2],
+                                       bits[8 * s: 8 * s + 2])]
+        assert edges == [5, 15]

@@ -1,0 +1,73 @@
+"""Tests for the 2 Mb/s DQPSK mode of 802.11b."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.phy.dsss.barker import despread_symbols, spread_symbols
+from repro.phy.dsss.dqpsk import PAIR_TO_PHASE, dqpsk_decode, dqpsk_encode
+from repro.utils.bits import random_bits
+
+
+class TestMapping:
+    def test_standard_phase_table(self):
+        assert PAIR_TO_PHASE[(0, 0)] == 0.0
+        assert PAIR_TO_PHASE[(1, 1)] == pytest.approx(np.pi)
+        assert PAIR_TO_PHASE[(1, 0)] == pytest.approx(3 * np.pi / 2)
+
+
+class TestRoundTrip:
+    def test_clean(self, rng):
+        bits = random_bits(200, rng)
+        syms, _ = dqpsk_encode(bits)
+        assert np.array_equal(dqpsk_decode(syms), bits)
+
+    def test_unit_envelope(self, rng):
+        syms, _ = dqpsk_encode(random_bits(64, rng))
+        assert np.allclose(np.abs(syms), 1.0)
+
+    def test_odd_bits_raise(self, rng):
+        with pytest.raises(ValueError):
+            dqpsk_encode(random_bits(7, rng))
+
+    def test_phase_chaining(self, rng):
+        bits = random_bits(80, rng)
+        whole, _ = dqpsk_encode(bits)
+        first, phi = dqpsk_encode(bits[:40])
+        second, _ = dqpsk_encode(bits[40:], phase_ref=phi)
+        assert np.allclose(np.concatenate([first, second]), whole)
+
+    def test_static_rotation_invariant(self, rng):
+        """Differential decoding ignores a constant channel phase."""
+        bits = random_bits(100, rng)
+        syms, _ = dqpsk_encode(bits)
+        rotated = syms * np.exp(1j * 1.234)
+        out = dqpsk_decode(rotated)
+        # Only the first pair (referenced to phase_ref) can differ.
+        assert np.array_equal(out[2:], bits[2:])
+
+
+class TestWithBarkerSpreading:
+    def test_2mbps_chain(self, rng):
+        """DQPSK symbols through Barker-11: 2 bits per 1 us symbol."""
+        bits = random_bits(400, rng)
+        syms, _ = dqpsk_encode(bits)
+        chips = spread_symbols(syms)
+        noisy = awgn_at_snr(chips, 5.0, rng)
+        rx_syms = despread_symbols(noisy, syms.size)
+        out = dqpsk_decode(rx_syms)
+        assert int(np.sum(out != bits)) == 0
+
+    def test_tag_rotation_is_a_codeword_shift(self, rng):
+        """A 90-degree tag rotation between two symbols decodes as a
+        differential-alphabet shift — the eq. (5) quaternary scheme
+        maps onto 802.11b's native DQPSK codebook."""
+        bits = np.zeros(40, dtype=np.uint8)  # all (0,0): no phase steps
+        syms, _ = dqpsk_encode(bits)
+        rotated = syms.copy()
+        rotated[10:] *= np.exp(1j * np.pi / 2)  # tag step at symbol 10
+        out = dqpsk_decode(rotated)
+        # Exactly one pair flips, to the +90deg codeword (0,1).
+        assert tuple(out[20:22]) == (0, 1)
+        assert np.array_equal(out[:20], bits[:20])
+        assert np.array_equal(out[22:], bits[22:])

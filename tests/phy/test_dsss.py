@@ -1,0 +1,155 @@
+"""Tests for the 802.11b DSSS PHY (the HitchHike-baseline substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.phy.dsss import (
+    BARKER_11,
+    DsssFrameBuilder,
+    DsssReceiver,
+    DsssTransmitter,
+    despread_symbols,
+    dsss_descramble,
+    dsss_scramble,
+    spread_symbols,
+)
+from repro.phy.dsss.barker import PROCESSING_GAIN_DB
+from repro.utils.bits import random_bits
+
+
+class TestBarker:
+    def test_length_and_alphabet(self):
+        assert BARKER_11.size == 11
+        assert set(np.unique(BARKER_11)) == {-1.0, 1.0}
+
+    def test_autocorrelation_peak(self):
+        """Barker property: off-peak aperiodic autocorrelation <= 1."""
+        full = np.correlate(BARKER_11, BARKER_11, mode="full")
+        peak = int(np.argmax(full))
+        assert full[peak] == pytest.approx(11.0)
+        off = np.delete(full, peak)
+        assert np.max(np.abs(off)) <= 1.0 + 1e-9
+
+    def test_processing_gain(self):
+        assert PROCESSING_GAIN_DB == pytest.approx(10.4, abs=0.1)
+
+    def test_spread_despread_round_trip(self, rng):
+        syms = np.exp(1j * np.pi * rng.integers(0, 2, 50))
+        chips = spread_symbols(syms)
+        assert chips.size == 550
+        out = despread_symbols(chips, 50)
+        assert np.allclose(out, syms)
+
+    def test_despread_suppresses_noise(self, rng):
+        syms = np.ones(200, dtype=complex)
+        chips = awgn_at_snr(spread_symbols(syms), 0.0, rng)
+        out = despread_symbols(chips, 200)
+        # Symbol SNR should be ~10.4 dB after despreading.
+        err = out - 1.0
+        snr = 10 * np.log10(1.0 / np.mean(np.abs(err) ** 2))
+        assert snr == pytest.approx(10.4, abs=1.5)
+
+
+class TestSelfSyncScrambler:
+    def test_round_trip_any_seeds(self, rng):
+        """Self-synchronisation: descrambler seed does not matter beyond
+        the first 7 bits."""
+        bits = random_bits(200, rng)
+        tx = dsss_scramble(bits, seed=0x55)
+        out = dsss_descramble(tx, seed=0x00)
+        assert np.array_equal(out[7:], bits[7:])
+
+    def test_matched_seed_exact(self, rng):
+        bits = random_bits(100, rng)
+        assert np.array_equal(dsss_descramble(dsss_scramble(bits, 0x1B),
+                                              0x1B), bits)
+
+    def test_whitens(self):
+        out = dsss_scramble(np.zeros(500, dtype=np.uint8))
+        assert 150 < int(out.sum()) < 350
+
+    def test_error_propagation_is_bounded(self, rng):
+        """A single on-air bit error corrupts at most 3 descrambled bits
+        (the three taps) — unlike the additive scrambler's unbounded
+        desynchronisation when its seed is wrong."""
+        bits = random_bits(300, rng)
+        tx = dsss_scramble(bits, 0x1B)
+        tx[150] ^= 1
+        out = dsss_descramble(tx, 0x1B)
+        errors = int(np.sum(out != bits))
+        assert errors <= 3
+
+    def test_window_complement_property(self, rng):
+        """Complementing a window of on-air bits complements the
+        descrambled window interior (the HitchHike enabler)."""
+        bits = random_bits(300, rng)
+        tx = dsss_scramble(bits, 0x1B)
+        tx[100:200] ^= 1
+        out = dsss_descramble(tx, 0x1B)
+        assert np.array_equal(out[107:200], bits[107:200] ^ 1)
+        assert np.array_equal(out[207:], bits[207:])
+
+    def test_bad_seed_raises(self):
+        from repro.phy.dsss.scrambler import SelfSyncScrambler
+
+        with pytest.raises(ValueError):
+            SelfSyncScrambler(0x80)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        builder = DsssFrameBuilder()
+        psdu = b"hitchhike-baseline"
+        out, ok = builder.parse_bits(builder.build_bits(psdu))
+        assert ok and out == psdu
+
+    def test_header_crc_rejects_corruption(self):
+        builder = DsssFrameBuilder()
+        bits = builder.build_bits(b"payload").copy()
+        bits[150] ^= 1  # inside the PLCP header
+        out, ok = builder.parse_bits(bits)
+        assert not ok
+
+    def test_sync_tolerates_some_errors(self, rng):
+        builder = DsssFrameBuilder()
+        bits = builder.build_bits(b"payload").copy()
+        flip = rng.choice(128, size=8, replace=False)
+        bits[flip] ^= 1
+        out, ok = builder.parse_bits(bits)
+        assert ok and out == b"payload"
+
+    def test_empty_psdu_raises(self):
+        with pytest.raises(ValueError):
+            DsssFrameBuilder().build_bits(b"")
+
+
+class TestChain:
+    def test_clean_round_trip(self):
+        tx = DsssTransmitter(seed=4)
+        psdu = tx.random_psdu(80)
+        frame = tx.build(psdu)
+        res = DsssReceiver().decode(frame.samples, frame.n_bits)
+        assert res.ok and res.psdu == psdu
+
+    def test_noisy_round_trip(self, rng):
+        tx = DsssTransmitter(seed=4)
+        psdu = tx.random_psdu(80)
+        frame = tx.build(psdu)
+        noisy = awgn_at_snr(frame.samples, 2.0, rng)
+        res = DsssReceiver().decode(noisy, frame.n_bits)
+        assert res.ok and res.psdu == psdu
+
+    def test_one_mbps_airtime(self):
+        tx = DsssTransmitter(seed=1)
+        frame = tx.build(bytes(100))
+        assert frame.duration_us == pytest.approx(frame.n_bits, rel=1e-6)
+
+    def test_channel_gain_tolerated(self, rng):
+        tx = DsssTransmitter(seed=2)
+        psdu = tx.random_psdu(40)
+        frame = tx.build(psdu)
+        res = DsssReceiver().decode(frame.samples * 0.3 * np.exp(1j * 0.8),
+                                    frame.n_bits)
+        # Differential decoding is insensitive to a static phase/gain.
+        assert res.ok and res.psdu == psdu

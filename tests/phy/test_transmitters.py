@@ -1,0 +1,82 @@
+"""Cross-PHY transmitter contract tests: frame metadata must agree with
+the physics of each waveform."""
+
+import numpy as np
+import pytest
+
+from repro.phy.ble import BleTransmitter
+from repro.phy.dsss import DsssTransmitter
+from repro.phy.wifi import WifiTransmitter
+from repro.phy.zigbee import ZigbeeTransmitter
+
+
+class TestWifiFrames:
+    def test_sample_count_matches_structure(self):
+        tx = WifiTransmitter(6.0, seed=1)
+        frame = tx.build(bytes(100))
+        # 320 preamble + 80 SIGNAL + 80 per DATA symbol.
+        assert frame.n_samples == 320 + 80 + 80 * frame.n_data_symbols
+
+    def test_data_start_constant(self):
+        tx = WifiTransmitter(54.0, seed=1)
+        assert tx.build(bytes(64)).data_start == 400
+
+    def test_random_psdu_bounds(self):
+        tx = WifiTransmitter(6.0, seed=2)
+        assert len(tx.random_psdu(7)) == 7
+        with pytest.raises(ValueError):
+            tx.random_psdu(0)
+
+    def test_mean_power_near_unity(self):
+        tx = WifiTransmitter(24.0, seed=3)
+        frame = tx.build(tx.random_psdu(200))
+        power = float(np.mean(np.abs(frame.samples) ** 2))
+        assert power == pytest.approx(1.0, rel=0.25)
+
+    def test_psdu_bits_property(self):
+        tx = WifiTransmitter(6.0, seed=4)
+        psdu = tx.random_psdu(10)
+        assert tx.build(psdu).psdu_bits.size == 80
+
+
+class TestNarrowbandFrames:
+    def test_zigbee_sample_count(self):
+        tx = ZigbeeTransmitter(sps=4, seed=5)
+        frame = tx.build(bytes(20))
+        chips = 32 * frame.n_symbols
+        assert frame.samples.size == (chips + 1) * 4  # +Tc offset tail
+
+    def test_ble_sample_count(self):
+        tx = BleTransmitter(sps=8, seed=6)
+        frame = tx.build(bytes(20))
+        assert frame.samples.size == frame.n_bits * 8
+
+    def test_dsss_sample_count(self):
+        tx = DsssTransmitter(seed=7)
+        frame = tx.build(bytes(20))
+        assert frame.samples.size == 11 * frame.n_bits
+
+    def test_constant_envelope_phys(self):
+        """GFSK and Barker/DBPSK waveforms are constant-envelope; OQPSK
+        is near-constant — all amplifier-friendly, unlike OFDM."""
+        ble = BleTransmitter(seed=8).build(bytes(30))
+        assert np.allclose(np.abs(ble.samples), 1.0)
+        dsss = DsssTransmitter(seed=9).build(bytes(30))
+        assert np.allclose(np.abs(dsss.samples), 1.0)
+
+    def test_zigbee_scrambles_nothing(self):
+        """802.15.4 has no scrambler — identical payloads give identical
+        waveforms (and that is fine for DSSS spreading)."""
+        a = ZigbeeTransmitter(seed=10).build(b"same")
+        b = ZigbeeTransmitter(seed=11).build(b"same")
+        assert np.allclose(a.samples, b.samples)
+
+    def test_wifi_scrambler_randomises_frames(self):
+        """802.11 frames with identical PSDUs differ on air (per-frame
+        scrambler seed) — why the XOR decoder needs receiver 1's output
+        rather than a cached template."""
+        tx = WifiTransmitter(6.0, seed=12)
+        a = tx.build(b"same-payload-here")
+        b = tx.build(b"same-payload-here")
+        assert a.scrambler_seed != b.scrambler_seed
+        assert not np.allclose(a.samples, b.samples)

@@ -1,0 +1,117 @@
+"""End-to-end 802.11g/n transmit/receive chain tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.phy.wifi import WifiReceiver, WifiTransmitter
+from repro.phy.wifi.rates import WIFI_RATES
+from repro.phy.wifi.receiver import recover_scrambler_state
+from repro.phy.wifi.scrambler import Scrambler
+from repro.utils.crc import CRC32
+
+
+def frame_with_fcs(tx, body: bytes):
+    return tx.build(body + CRC32.digest(body))
+
+
+class TestCleanChannel:
+    @pytest.mark.parametrize("mbps", sorted(WIFI_RATES))
+    def test_round_trip_all_rates(self, mbps):
+        tx = WifiTransmitter(mbps, seed=5)
+        psdu = tx.random_psdu(120)
+        res = WifiReceiver().decode(tx.build(psdu).samples)
+        assert res.header_ok
+        assert res.psdu == psdu
+
+    def test_fcs_verified(self):
+        tx = WifiTransmitter(6.0, seed=5)
+        res = WifiReceiver().decode(frame_with_fcs(tx, b"x" * 60).samples)
+        assert res.ok
+
+    def test_various_scrambler_seeds(self):
+        tx = WifiTransmitter(12.0, seed=0)
+        for seed in (1, 37, 64, 127):
+            psdu = tx.random_psdu(40)
+            frame = tx.build(psdu, scrambler_seed=seed)
+            assert WifiReceiver().decode(frame.samples).psdu == psdu
+
+    def test_duration_formula(self):
+        tx = WifiTransmitter(6.0, seed=1)
+        frame = tx.build(bytes(100))
+        # preamble 16us + SIGNAL 4us + ceil((16+800+6)/24) * 4us
+        assert frame.duration_us == pytest.approx(16 + 4 + 35 * 4)
+
+    def test_empty_psdu_raises(self):
+        with pytest.raises(ValueError):
+            WifiTransmitter(6.0).build(b"")
+
+
+class TestNoisyChannel:
+    def test_decodes_at_moderate_snr(self, rng):
+        tx = WifiTransmitter(6.0, seed=9)
+        psdu = tx.random_psdu(200)
+        noisy = awgn_at_snr(tx.build(psdu).samples, 8.0, rng)
+        res = WifiReceiver().decode(noisy, noise_var=10 ** (-0.8))
+        assert res.header_ok and res.psdu == psdu
+
+    def test_fails_at_very_low_snr(self, rng):
+        tx = WifiTransmitter(54.0, seed=9)
+        psdu = tx.random_psdu(200)
+        noisy = awgn_at_snr(tx.build(psdu).samples, -10.0, rng)
+        res = WifiReceiver().decode(noisy, noise_var=10.0)
+        assert not res.ok
+
+    def test_channel_gain_equalised(self, rng):
+        tx = WifiTransmitter(24.0, seed=11)
+        psdu = tx.random_psdu(80)
+        frame = tx.build(psdu)
+        faded = frame.samples * (0.5 * np.exp(1j * 1.1))
+        res = WifiReceiver().decode(faded)
+        assert res.psdu == psdu
+
+
+class TestMonitorMode:
+    def test_bad_fcs_still_delivered(self):
+        tx = WifiTransmitter(6.0, seed=3)
+        frame = frame_with_fcs(tx, b"q" * 50)
+        # Corrupt the payload region in a way the PHY decodes fine but the
+        # FCS rejects: rebuild with a different body, same length.
+        res = WifiReceiver(monitor_mode=True).decode(frame.samples)
+        assert res.fcs_ok
+        bad = tx.build(b"r" * 58)  # no FCS appended -> fcs check fails
+        res2 = WifiReceiver(monitor_mode=True).decode(bad.samples)
+        assert res2.header_ok and not res2.fcs_ok and res2.psdu is not None
+
+    def test_strict_mode_drops_bad_fcs(self):
+        tx = WifiTransmitter(6.0, seed=3)
+        bad = tx.build(b"r" * 58)
+        res = WifiReceiver(monitor_mode=False).decode(bad.samples)
+        assert res.psdu is None
+
+
+class TestSeedRecovery:
+    def test_recover_state_matches_scrambler(self):
+        for seed in (1, 64, 127, 93):
+            ks = Scrambler(seed).keystream(7)
+            state = recover_scrambler_state(ks)
+            # Continuing from the recovered state reproduces the stream.
+            cont = Scrambler(state if state else 1).keystream(20)
+            full = Scrambler(seed).keystream(27)[7:]
+            assert np.array_equal(cont, full)
+
+    def test_short_input_raises(self):
+        with pytest.raises(ValueError):
+            recover_scrambler_state(np.zeros(3, dtype=np.uint8))
+
+
+class TestTruncatedInput:
+    def test_too_short_for_preamble(self):
+        res = WifiReceiver().decode(np.zeros(100, dtype=complex))
+        assert not res.header_ok
+
+    def test_truncated_data_section(self):
+        tx = WifiTransmitter(6.0, seed=2)
+        frame = tx.build(tx.random_psdu(400))
+        res = WifiReceiver().decode(frame.samples[:1000])
+        assert res.header_ok and res.psdu is None

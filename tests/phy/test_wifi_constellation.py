@@ -1,0 +1,78 @@
+"""Tests for the 802.11 subcarrier constellations."""
+
+import numpy as np
+import pytest
+
+from repro.phy.wifi.constellation import CONSTELLATIONS
+from repro.utils.bits import random_bits
+
+
+@pytest.mark.parametrize("name", ["BPSK", "QPSK", "16-QAM", "64-QAM"])
+class TestAllConstellations:
+    def test_unit_average_power(self, name):
+        c = CONSTELLATIONS[name]
+        assert np.mean(np.abs(c.points) ** 2) == pytest.approx(1.0)
+
+    def test_round_trip(self, name, rng):
+        c = CONSTELLATIONS[name]
+        bits = random_bits(c.bits_per_symbol * 100, rng)
+        assert np.array_equal(c.demodulate(c.modulate(bits)), bits)
+
+    def test_soft_round_trip(self, name, rng):
+        c = CONSTELLATIONS[name]
+        bits = random_bits(c.bits_per_symbol * 50, rng)
+        llrs = c.demodulate_soft(c.modulate(bits))
+        assert np.array_equal((llrs < 0).astype(np.uint8), bits)
+
+    def test_gray_mapping(self, name):
+        """Nearest neighbours differ in exactly one bit (Gray property)."""
+        c = CONSTELLATIONS[name]
+        pts = c.points
+        dmin = c.min_distance()
+        n = c.bits_per_symbol
+        for i in range(len(pts)):
+            for j in range(len(pts)):
+                if i == j:
+                    continue
+                if abs(pts[i] - pts[j]) < dmin * 1.01:
+                    assert bin(i ^ j).count("1") == 1
+
+
+class TestSpecifics:
+    def test_bpsk_points(self):
+        c = CONSTELLATIONS["BPSK"]
+        assert c.points[0] == -1.0 and c.points[1] == 1.0
+
+    def test_qpsk_normalisation(self):
+        c = CONSTELLATIONS["QPSK"]
+        assert abs(c.points[0]) == pytest.approx(1.0)
+        assert abs(c.points[0].real) == pytest.approx(1 / np.sqrt(2))
+
+    def test_16qam_levels(self):
+        c = CONSTELLATIONS["16-QAM"]
+        levels = sorted(set(np.round(p.real, 6) for p in c.points))
+        expect = [x / np.sqrt(10) for x in (-3, -1, 1, 3)]
+        assert np.allclose(levels, expect)
+
+    def test_modulate_rejects_partial_group(self, rng):
+        with pytest.raises(ValueError):
+            CONSTELLATIONS["64-QAM"].modulate(random_bits(5, rng))
+
+    def test_phase_flip_maps_within_codebook(self):
+        """A 180-degree rotation maps every constellation point onto
+        another valid point — why phase translation is safe for OFDM
+        (section 2.3.1)."""
+        for name in ("BPSK", "QPSK", "16-QAM", "64-QAM"):
+            c = CONSTELLATIONS[name]
+            rotated = -c.points
+            for p in rotated:
+                assert np.min(np.abs(c.points - p)) < 1e-9
+
+    def test_amplitude_scale_leaves_codebook(self):
+        """Scaling 64-QAM points lands between valid points — the
+        Figure 2 invalid-codeword problem."""
+        c = CONSTELLATIONS["64-QAM"]
+        scaled = 0.7 * c.points
+        dmin = c.min_distance()
+        off = [np.min(np.abs(c.points - p)) for p in scaled]
+        assert max(off) > dmin / 2

@@ -1,0 +1,96 @@
+"""Tests for the 802.11 convolutional code + Viterbi (equation 9)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.wifi.convolutional import CODE_802_11, ConvolutionalCode
+from repro.utils.bits import random_bits
+
+
+class TestEncoder:
+    def test_rate_half_doubles_length(self, rng):
+        bits = random_bits(100, rng)
+        assert CODE_802_11.encode(bits).size == 200
+
+    def test_rate_two_thirds_length(self, rng):
+        bits = random_bits(100, rng)
+        assert CODE_802_11.encode(bits, (2, 3)).size == 150
+
+    def test_rate_three_quarters_length(self, rng):
+        bits = random_bits(99, rng)
+        assert CODE_802_11.encode(bits, (3, 4)).size == 132
+
+    def test_equation_9_of_paper(self, rng):
+        """C1[k] = b[k]^b[k-2]^b[k-3]^b[k-5]^b[k-6],
+        C2[k] = b[k]^b[k-1]^b[k-2]^b[k-3]^b[k-6]."""
+        b = random_bits(64, rng).astype(int)
+        coded = CODE_802_11.encode(b)
+
+        def bit(k):
+            return b[k] if k >= 0 else 0
+
+        for k in range(64):
+            c1 = (bit(k) ^ bit(k - 2) ^ bit(k - 3) ^ bit(k - 5) ^ bit(k - 6))
+            c2 = (bit(k) ^ bit(k - 1) ^ bit(k - 2) ^ bit(k - 3) ^ bit(k - 6))
+            assert coded[2 * k] == c1
+            assert coded[2 * k + 1] == c2
+
+    def test_unknown_rate_raises(self, rng):
+        with pytest.raises(ValueError):
+            CODE_802_11.encode(random_bits(8, rng), (5, 6))
+
+    def test_complement_property(self, rng):
+        """Complementing the input stream complements the steady-state
+        output (section 3.2.1: both generators have an odd tap count)."""
+        bits = random_bits(200, rng)
+        a = CODE_802_11.encode(bits)
+        b = CODE_802_11.encode(bits ^ 1)
+        # Skip the 6-bit memory fill at the start.
+        assert np.array_equal(a[12:] ^ 1, b[12:])
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("rate", [(1, 2), (2, 3), (3, 4)])
+    def test_noiseless_round_trip(self, rng, rate):
+        bits = random_bits(240, rng)
+        coded = CODE_802_11.encode(bits, rate)
+        assert np.array_equal(CODE_802_11.decode(coded, rate), bits)
+
+    def test_corrects_bit_errors(self, rng):
+        bits = random_bits(300, rng)
+        coded = CODE_802_11.encode(bits)
+        # ~2 % random coded-bit errors, spread out.
+        err_at = rng.choice(coded.size, size=coded.size // 50, replace=False)
+        coded[err_at] ^= 1
+        assert np.array_equal(CODE_802_11.decode(coded), bits)
+
+    def test_soft_decoding_round_trip(self, rng):
+        bits = random_bits(150, rng)
+        coded = CODE_802_11.encode(bits)
+        llrs = (1.0 - 2.0 * coded.astype(float))
+        llrs += rng.normal(0, 0.4, llrs.size)
+        assert np.array_equal(CODE_802_11.decode(llrs, soft=True), bits)
+
+    def test_soft_beats_hard_at_low_snr(self, rng):
+        bits = random_bits(800, rng)
+        coded = CODE_802_11.encode(bits)
+        symbols = 1.0 - 2.0 * coded.astype(float)
+        noisy = symbols + rng.normal(0, 0.9, symbols.size)
+        hard = (noisy < 0).astype(np.uint8)
+        err_soft = int(np.sum(CODE_802_11.decode(noisy, soft=True) != bits))
+        err_hard = int(np.sum(CODE_802_11.decode(hard) != bits))
+        assert err_soft <= err_hard
+
+    def test_empty_input(self):
+        assert CODE_802_11.decode(np.zeros(0)).size == 0
+
+
+class TestCustomCode:
+    def test_k3_code_round_trip(self, rng):
+        code = ConvolutionalCode(g0=0o5, g1=0o7, constraint_length=3)
+        bits = random_bits(64, rng)
+        assert np.array_equal(code.decode(code.encode(bits)), bits)
+
+    def test_n_states(self):
+        assert CODE_802_11.n_states == 64
+        assert ConvolutionalCode(0o5, 0o7, 3).n_states == 4

@@ -1,0 +1,76 @@
+"""Tests for STF-based packet detection (unaligned decoding)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn
+from repro.phy.wifi import WifiReceiver, WifiTransmitter
+
+
+def noisy_gap(n, rng, sigma=0.05):
+    return sigma * (rng.normal(size=n) + 1j * rng.normal(size=n))
+
+
+class TestDetectStart:
+    @pytest.mark.parametrize("gap", [0, 37, 500, 1911])
+    def test_exact_alignment(self, rng, gap):
+        tx = WifiTransmitter(6.0, seed=1)
+        frame = tx.build(tx.random_psdu(60))
+        sig = np.concatenate([noisy_gap(gap, rng), frame.samples])
+        sig = awgn(sig, 0.003, rng)
+        assert WifiReceiver().detect_start(sig) == gap
+
+    def test_noise_only_returns_none(self, rng):
+        sig = noisy_gap(4000, rng)
+        assert WifiReceiver().detect_start(sig) is None
+
+    def test_too_short_input(self, rng):
+        assert WifiReceiver().detect_start(noisy_gap(50, rng)) is None
+
+    def test_detection_survives_moderate_noise(self, rng):
+        tx = WifiTransmitter(6.0, seed=2)
+        frame = tx.build(tx.random_psdu(60))
+        sig = np.concatenate([noisy_gap(300, rng), frame.samples])
+        sig = awgn(sig, 0.1, rng)  # ~10 dB SNR
+        start = WifiReceiver().detect_start(sig)
+        assert start is not None
+        assert abs(start - 300) <= 2
+
+    def test_search_limit_respected(self, rng):
+        tx = WifiTransmitter(6.0, seed=3)
+        frame = tx.build(tx.random_psdu(60))
+        sig = np.concatenate([noisy_gap(1000, rng), frame.samples])
+        assert WifiReceiver().detect_start(sig, search_limit=500) is None
+
+
+class TestDecodeUnaligned:
+    def test_full_decode_after_detection(self, rng):
+        tx = WifiTransmitter(12.0, seed=4)
+        psdu = tx.random_psdu(150)
+        frame = tx.build(psdu)
+        sig = np.concatenate([noisy_gap(444, rng), frame.samples,
+                              noisy_gap(200, rng)])
+        sig = awgn(sig, 0.01, rng)
+        res = WifiReceiver().decode_unaligned(sig)
+        assert res.header_ok and res.psdu == psdu
+
+    def test_noise_only_fails_cleanly(self, rng):
+        res = WifiReceiver().decode_unaligned(noisy_gap(3000, rng))
+        assert not res.header_ok
+
+    def test_backscattered_frame_detected(self, rng):
+        """The tag's phase modulation does not break STF detection —
+        the preamble passes through untranslated."""
+        from repro.core.translation import PhaseTranslator
+        from repro.tag.tag import ExcitationInfo, FreeRiderTag
+
+        tx = WifiTransmitter(6.0, seed=5)
+        frame = tx.build(tx.random_psdu(100))
+        info = ExcitationInfo(20e6, 80, frame.data_start + 80,
+                              frame.n_samples)
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        out = tag.backscatter(frame.samples, info,
+                              rng.integers(0, 2, tag.capacity_bits(info)))
+        sig = np.concatenate([noisy_gap(250, rng), out.samples])
+        sig = awgn(sig, 0.01, rng)
+        assert WifiReceiver().detect_start(sig) == 250

@@ -1,0 +1,72 @@
+"""Tests for the 802.11 block interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.phy.wifi.interleaver import (
+    deinterleave,
+    deinterleave_soft,
+    interleave,
+    interleave_permutation,
+)
+from repro.utils.bits import random_bits
+
+
+class TestPermutation:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", [(48, 1), (96, 2), (192, 4),
+                                               (288, 6)])
+    def test_is_a_permutation(self, n_cbps, n_bpsc):
+        perm = interleave_permutation(n_cbps, n_bpsc)
+        assert sorted(perm) == list(range(n_cbps))
+
+    def test_bpsk_spec_example(self):
+        """For N_CBPS=48/BPSK, adjacent coded bits map 16 subcarriers
+        apart (first permutation only, since s=1)."""
+        perm = interleave_permutation(48, 1)
+        assert perm[0] == 0
+        assert perm[1] == 3  # k=1 -> i = 3*1 = 3
+        assert perm[16] == 1  # k=16 -> i = 3*0 + 1
+
+    def test_bad_cbps_raises(self):
+        with pytest.raises(ValueError):
+            interleave_permutation(50, 1)
+
+    def test_bad_bpsc_raises(self):
+        with pytest.raises(ValueError):
+            interleave_permutation(48, 3)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n_cbps,n_bpsc", [(48, 1), (96, 2), (192, 4),
+                                               (288, 6)])
+    def test_inverse(self, rng, n_cbps, n_bpsc):
+        bits = random_bits(n_cbps * 3, rng)
+        out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_blockwise_containment(self, rng):
+        """Interleaving never moves a bit across an OFDM-symbol boundary —
+        the property section 3.2.1 depends on."""
+        n_cbps = 48
+        bits = np.zeros(n_cbps * 2, dtype=np.uint8)
+        bits[:n_cbps] = 1  # first symbol all ones
+        out = interleave(bits, n_cbps, 1)
+        assert np.all(out[:n_cbps] == 1)
+        assert np.all(out[n_cbps:] == 0)
+
+    def test_partial_block_raises(self, rng):
+        with pytest.raises(ValueError):
+            interleave(random_bits(47, rng), 48, 1)
+
+
+class TestSoft:
+    def test_matches_hard_path(self, rng):
+        bits = random_bits(96, rng)
+        inter = interleave(bits, 96, 2)
+        llrs = 1.0 - 2.0 * inter.astype(float)
+        soft = deinterleave_soft(llrs, 96, 2)
+        assert np.array_equal((soft < 0).astype(np.uint8), bits)
+
+    def test_partial_block_raises(self):
+        with pytest.raises(ValueError):
+            deinterleave_soft(np.zeros(40), 48, 1)

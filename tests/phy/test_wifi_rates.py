@@ -1,0 +1,68 @@
+"""Tests for the 802.11g rate table and airtime arithmetic."""
+
+import pytest
+
+from repro.phy.wifi.rates import (
+    SIGNAL_RATE_BITS,
+    WIFI_RATES,
+    WifiRate,
+    rate_by_mbps,
+)
+
+
+class TestRateTable:
+    def test_eight_rates(self):
+        assert sorted(WIFI_RATES) == [6.0, 9.0, 12.0, 18.0, 24.0, 36.0,
+                                      48.0, 54.0]
+
+    def test_signal_field_codes_unique(self):
+        assert len(SIGNAL_RATE_BITS) == 8
+
+    @pytest.mark.parametrize("mbps,mod,code", [
+        (6.0, "BPSK", (1, 2)), (9.0, "BPSK", (3, 4)),
+        (12.0, "QPSK", (1, 2)), (18.0, "QPSK", (3, 4)),
+        (24.0, "16-QAM", (1, 2)), (36.0, "16-QAM", (3, 4)),
+        (48.0, "64-QAM", (2, 3)), (54.0, "64-QAM", (3, 4))])
+    def test_modulation_and_coding(self, mbps, mod, code):
+        r = rate_by_mbps(mbps)
+        assert r.modulation == mod
+        assert r.coding_rate == code
+
+    @pytest.mark.parametrize("mbps,n_dbps", [
+        (6.0, 24), (9.0, 36), (12.0, 48), (18.0, 72),
+        (24.0, 96), (36.0, 144), (48.0, 192), (54.0, 216)])
+    def test_data_bits_per_symbol(self, mbps, n_dbps):
+        """Table 18-4: N_DBPS values; the Mb/s figure is exactly
+        N_DBPS / 4 us."""
+        r = rate_by_mbps(mbps)
+        assert r.n_dbps == n_dbps
+        assert r.n_dbps / 4.0 == pytest.approx(mbps)
+
+    def test_n_cbps_is_48_times_bpsc(self):
+        for r in WIFI_RATES.values():
+            assert r.n_cbps == 48 * r.n_bpsc
+
+    def test_unknown_rate_raises(self):
+        with pytest.raises(ValueError):
+            rate_by_mbps(11.0)
+
+
+class TestAirtime:
+    def test_symbols_for_bits_ceiling(self):
+        r = rate_by_mbps(6.0)
+        assert r.symbols_for_bits(24) == 1
+        assert r.symbols_for_bits(25) == 2
+
+    def test_duration_scales_inverse_with_rate(self):
+        slow = rate_by_mbps(6.0).duration_us(9600)
+        fast = rate_by_mbps(54.0).duration_us(9600)
+        assert slow == pytest.approx(9 * fast, rel=0.05)
+
+    def test_1500_byte_frame_at_6mbps(self):
+        # (16 + 12000 + 6) / 24 = 500.9 -> 501 symbols -> 2004 us DATA.
+        r = rate_by_mbps(6.0)
+        assert r.symbols_for_bits(16 + 12000 + 6) == 501
+        assert r.duration_us(16 + 12000 + 6) == pytest.approx(2004.0)
+
+    def test_constellation_accessor(self):
+        assert rate_by_mbps(24.0).constellation.bits_per_symbol == 4

@@ -1,0 +1,202 @@
+"""Tests for the 802.15.4 ZigBee PHY."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import awgn_at_snr
+from repro.phy.zigbee import (
+    CHIP_SEQUENCES,
+    ZigbeeReceiver,
+    ZigbeeTransmitter,
+    nearest_symbol,
+    symbols_to_chips,
+)
+from repro.phy.zigbee.chips import (
+    chips_to_symbols,
+    correlation_table,
+    nearest_symbol_soft,
+)
+from repro.phy.zigbee.frame import (
+    HEADER_SYMBOLS,
+    MAX_PSDU_BYTES,
+    ZigbeeFrameBuilder,
+    bytes_to_symbols,
+    symbols_to_bytes,
+)
+from repro.phy.zigbee.oqpsk import OqpskModem
+
+
+class TestChipTable:
+    def test_shape_and_alphabet(self):
+        assert CHIP_SEQUENCES.shape == (16, 32)
+        assert set(np.unique(CHIP_SEQUENCES)) == {0, 1}
+
+    def test_standard_symbol_zero(self):
+        expect = "11011001110000110101001000101110"
+        assert "".join(map(str, CHIP_SEQUENCES[0])) == expect
+
+    def test_symbol_five_is_rotation(self):
+        assert np.array_equal(CHIP_SEQUENCES[5], np.roll(CHIP_SEQUENCES[0], 20))
+
+    def test_symbol_eight_is_conjugate(self):
+        diff = CHIP_SEQUENCES[0] ^ CHIP_SEQUENCES[8]
+        assert np.array_equal(diff[0::2], np.zeros(16, dtype=np.uint8))
+        assert np.array_equal(diff[1::2], np.ones(16, dtype=np.uint8))
+
+    def test_quasi_orthogonal(self):
+        c = correlation_table()
+        off_diag = c[~np.eye(16, dtype=bool)]
+        assert np.all(np.abs(off_diag) < 0.5)
+        assert np.allclose(np.diag(c), 1.0)
+
+
+class TestSpreading:
+    def test_round_trip(self, rng):
+        symbols = rng.integers(0, 16, 40)
+        assert np.array_equal(chips_to_symbols(symbols_to_chips(symbols)),
+                              symbols)
+
+    def test_nearest_symbol_corrects_chip_errors(self, rng):
+        chips = CHIP_SEQUENCES[11].copy()
+        err = rng.choice(32, size=6, replace=False)
+        chips[err] ^= 1
+        assert nearest_symbol(chips) == 11
+
+    def test_soft_despread(self):
+        metrics = 2.0 * CHIP_SEQUENCES[3].astype(float) - 1.0
+        assert nearest_symbol_soft(metrics) == 3
+
+    def test_invalid_symbol_raises(self):
+        with pytest.raises(ValueError):
+            symbols_to_chips([16])
+
+    def test_wrong_chip_count_raises(self):
+        with pytest.raises(ValueError):
+            nearest_symbol(np.zeros(31, dtype=np.uint8))
+
+
+class TestOqpsk:
+    def test_chip_round_trip(self, rng):
+        modem = OqpskModem(sps=4)
+        chips = rng.integers(0, 2, 256).astype(np.uint8)
+        wave = modem.modulate(chips)
+        assert np.array_equal(modem.demodulate(wave, 256), chips)
+
+    def test_output_length(self):
+        modem = OqpskModem(sps=4)
+        assert modem.modulate(np.zeros(64, dtype=np.uint8)).size == 65 * 4
+
+    def test_low_papr(self):
+        """The half-sine offset structure keeps the envelope near
+        constant (the reason for OQPSK; section 3.2.2)."""
+        modem = OqpskModem(sps=8)
+        chips = symbols_to_chips(np.arange(16))
+        wave = modem.modulate(chips)
+        mid = np.abs(wave[16:-16])
+        assert mid.max() / mid.mean() < 1.6
+
+    def test_odd_chip_count_raises(self):
+        with pytest.raises(ValueError):
+            OqpskModem().modulate(np.zeros(33, dtype=np.uint8))
+
+
+class TestFraming:
+    def test_nibble_order(self):
+        assert list(bytes_to_symbols(b"\xa7")) == [7, 10]
+
+    def test_bytes_round_trip(self):
+        data = bytes(range(48))
+        assert symbols_to_bytes(bytes_to_symbols(data)) == data
+
+    def test_build_parse_round_trip(self):
+        builder = ZigbeeFrameBuilder()
+        payload = b"freerider-zigbee"
+        syms = builder.build_symbols(payload)
+        out, fcs_ok = builder.parse_symbols(syms)
+        assert fcs_ok and out == payload
+
+    def test_symbol_count(self):
+        builder = ZigbeeFrameBuilder()
+        syms = builder.build_symbols(b"ab")
+        assert syms.size == builder.n_symbols(2) == HEADER_SYMBOLS + 8
+
+    def test_oversize_psdu_raises(self):
+        with pytest.raises(ValueError):
+            ZigbeeFrameBuilder().build_symbols(bytes(MAX_PSDU_BYTES))
+
+    def test_corrupt_preamble_rejected(self):
+        builder = ZigbeeFrameBuilder()
+        syms = builder.build_symbols(b"hello").copy()
+        syms[0:3] = 9  # break the preamble correlation
+        payload, ok = builder.parse_symbols(syms)
+        assert payload is None and not ok
+
+    def test_corrupt_payload_flagged_by_fcs(self):
+        builder = ZigbeeFrameBuilder()
+        syms = builder.build_symbols(b"hello").copy()
+        syms[HEADER_SYMBOLS + 1] = (syms[HEADER_SYMBOLS + 1] + 3) % 16
+        payload, ok = builder.parse_symbols(syms)
+        assert payload is not None and not ok
+
+
+class TestChain:
+    def test_clean_round_trip(self):
+        tx = ZigbeeTransmitter(seed=4)
+        payload = tx.random_payload(50)
+        frame = tx.build(payload)
+        res = ZigbeeReceiver().decode(frame.samples, frame.n_symbols)
+        assert res.ok and res.payload == payload
+
+    def test_noisy_round_trip(self, rng):
+        tx = ZigbeeTransmitter(seed=4)
+        payload = tx.random_payload(50)
+        frame = tx.build(payload)
+        noisy = awgn_at_snr(frame.samples, 0.0, rng)  # DSSS gain saves it
+        res = ZigbeeReceiver().decode(noisy, frame.n_symbols)
+        assert res.ok and res.payload == payload
+
+    def test_data_rate(self):
+        tx = ZigbeeTransmitter(seed=1)
+        frame = tx.build(bytes(100))
+        # 250 kb/s: (6 header + 102 PSDU) bytes = 108 * 32 us = 3456 us.
+        assert frame.duration_us == pytest.approx(3456, rel=0.01)
+
+    def test_empty_payload_raises(self):
+        with pytest.raises(ValueError):
+            ZigbeeTransmitter().build(b"")
+
+
+class TestCfoCorrection:
+    def test_estimator_accuracy(self, rng):
+        from repro.channel.impairments import apply_cfo
+        from repro.channel.awgn import awgn_at_snr
+
+        tx = ZigbeeTransmitter(seed=9)
+        frame = tx.build(tx.random_payload(30))
+        rx = ZigbeeReceiver(cfo_correction=True)
+        shifted = apply_cfo(frame.samples, 12e3, frame.sample_rate_hz)
+        noisy = awgn_at_snr(shifted, 15.0, rng)
+        est = rx.estimate_cfo_hz(noisy)
+        assert est == pytest.approx(12e3, abs=500)
+
+    def test_corrected_decode_under_cfo(self, rng):
+        from repro.channel.impairments import apply_cfo
+
+        tx = ZigbeeTransmitter(seed=10)
+        payload = tx.random_payload(40)
+        frame = tx.build(payload)
+        shifted = apply_cfo(frame.samples, 20e3, frame.sample_rate_hz)
+        plain = ZigbeeReceiver(cfo_correction=False).decode(
+            shifted, frame.n_symbols)
+        corrected = ZigbeeReceiver(cfo_correction=True).decode(
+            shifted, frame.n_symbols)
+        assert not plain.ok                      # uncorrected collapses
+        assert corrected.ok and corrected.payload == payload
+
+    def test_estimator_near_zero_without_cfo(self, rng):
+        tx = ZigbeeTransmitter(seed=11)
+        frame = tx.build(tx.random_payload(20))
+        rx = ZigbeeReceiver(cfo_correction=True)
+        from repro.channel.awgn import awgn_at_snr
+        noisy = awgn_at_snr(frame.samples, 15.0, rng)
+        assert abs(rx.estimate_cfo_hz(noisy)) < 400

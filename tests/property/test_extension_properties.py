@@ -1,0 +1,108 @@
+"""Property-based tests for the extension modules: DSSS scrambler and
+Barker spreading, PLM traffic shaping, rotation decoding, harvesting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.shaper import PlmTrafficShaper
+from repro.phy.dsss.barker import despread_symbols, spread_symbols
+from repro.phy.dsss.scrambler import SelfSyncScrambler
+from repro.tag.energy import EnergyBudget, RfHarvester
+from repro.utils.bits import as_bits
+
+bits_lists = st.lists(st.integers(0, 1), min_size=0, max_size=300)
+
+
+class TestSelfSyncScramblerProperties:
+    @given(bits_lists, st.integers(0, 127))
+    def test_matched_round_trip(self, bits, seed):
+        s = SelfSyncScrambler(seed)
+        d = SelfSyncScrambler(seed)
+        assert np.array_equal(d.descramble(s.scramble(bits)),
+                              as_bits(bits))
+
+    @given(bits_lists, st.integers(0, 127), st.integers(0, 127))
+    def test_self_synchronisation(self, bits, seed_tx, seed_rx):
+        """Any descrambler seed agrees after the 7-bit register fill."""
+        tx = SelfSyncScrambler(seed_tx).scramble(bits)
+        out = SelfSyncScrambler(seed_rx).descramble(tx)
+        ref = as_bits(bits)
+        assert np.array_equal(out[7:], ref[7:])
+
+    @given(bits_lists, st.integers(0, 127))
+    def test_scrambled_stream_balanced_for_long_inputs(self, bits, seed):
+        if len(bits) < 100:
+            return
+        out = SelfSyncScrambler(seed).scramble(bits)
+        # Maximal-length feedback keeps long outputs roughly balanced
+        # regardless of input bias.
+        density = float(out.mean())
+        assert 0.2 < density < 0.8
+
+
+class TestBarkerProperties:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=120))
+    def test_spread_despread_identity(self, bits):
+        syms = np.exp(1j * np.pi * np.array(bits))
+        out = despread_symbols(spread_symbols(syms), len(bits))
+        assert np.allclose(out, syms, atol=1e-9)
+
+    @given(st.floats(0.1, 3.0), st.floats(-np.pi, np.pi))
+    def test_gain_and_phase_pass_through(self, gain, phase):
+        syms = np.ones(10, dtype=complex)
+        chips = spread_symbols(syms) * gain * np.exp(1j * phase)
+        out = despread_symbols(chips, 10)
+        assert np.allclose(out, gain * np.exp(1j * phase), atol=1e-9)
+
+
+class TestShaperProperties:
+    @given(bits_lists, st.integers(0, 100_000))
+    def test_backlog_conserved(self, bits, backlog):
+        shaper = PlmTrafficShaper()
+        packets, remaining = shaper.shape(bits, backlog)
+        consumed = sum(p.payload_bytes for p in packets)
+        assert consumed + remaining == backlog
+        assert all(p.padding_bytes >= 0 for p in packets)
+
+    @given(bits_lists)
+    def test_overhead_zero_with_huge_backlog(self, bits):
+        shaper = PlmTrafficShaper()
+        assert shaper.overhead_fraction(bits, 10**9) == 0.0
+
+    @given(bits_lists, st.integers(0, 100_000))
+    def test_overhead_bounded(self, bits, backlog):
+        frac = PlmTrafficShaper().overhead_fraction(bits, backlog)
+        assert 0.0 <= frac <= 1.0
+
+
+class TestRotationDecoderProperties:
+    @settings(deadline=1000, max_examples=30)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=20),
+           st.integers(0, 2**31 - 1))
+    def test_levels_recovered_exactly(self, levels, seed):
+        from repro.core.quaternary import RotationTagDecoder
+
+        rng = np.random.default_rng(seed)
+        rep = 2
+        n_sym = len(levels) * rep
+        ref = rng.normal(size=(n_sym, 48)) + 1j * rng.normal(size=(n_sym, 48))
+        rx = ref.copy()
+        for k, lv in enumerate(levels):
+            rx[k * rep:(k + 1) * rep] *= np.exp(1j * np.pi / 2 * lv)
+        dec = RotationTagDecoder(repetition=rep, offset_symbols=0,
+                                 n_levels=4)
+        assert list(dec.decode_levels(ref, rx)) == levels
+
+
+class TestHarvesterProperties:
+    @given(st.floats(-60.0, 20.0), st.floats(-60.0, 20.0))
+    def test_efficiency_monotone(self, a, b):
+        h = RfHarvester()
+        lo, hi = min(a, b), max(a, b)
+        assert h.efficiency(lo) <= h.efficiency(hi) + 1e-12
+
+    @given(st.floats(-60.0, 20.0))
+    def test_duty_cycle_bounded(self, p):
+        d = EnergyBudget().sustainable_duty_cycle(p)
+        assert 0.0 <= d <= 1.0

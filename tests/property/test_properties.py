@@ -1,0 +1,166 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: bit algebra, CRCs, scrambler/whitener linearity, coding
+round trips, interleaver permutations, repetition coding, Jain's index,
+PLM classification, and the slot controller."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mac.controller import SlotController
+from repro.mac.fairness import jain_index
+from repro.mac.plm import PlmConfig, PlmReceiver
+from repro.phy.ble.whitening import dewhiten, whiten
+from repro.phy.wifi.convolutional import CODE_802_11
+from repro.phy.wifi.interleaver import deinterleave, interleave
+from repro.phy.wifi.scrambler import descramble, scramble
+from repro.phy.zigbee.chips import chips_to_symbols, symbols_to_chips
+from repro.utils.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    int_to_bits,
+    majority_vote,
+    repeat_bits,
+    xor_bits,
+)
+from repro.utils.crc import CRC16_CCITT, CRC24_BLE, CRC32
+
+bits_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=300)
+payloads = st.binary(min_size=0, max_size=200)
+
+
+class TestBitAlgebra:
+    @given(payloads)
+    def test_bytes_bits_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.integers(0, 2**20 - 1), st.integers(20, 32))
+    def test_int_bits_round_trip(self, value, width):
+        assert bits_to_int(int_to_bits(value, width)) == value
+
+    @given(bits_arrays, bits_arrays)
+    def test_xor_commutes(self, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert np.array_equal(xor_bits(a, b), xor_bits(b, a))
+
+    @given(bits_arrays)
+    def test_xor_self_is_zero(self, a):
+        assert not xor_bits(a, a).any()
+
+    @given(bits_arrays, st.integers(1, 9))
+    def test_repeat_majority_inverse(self, bits, factor):
+        out = majority_vote(repeat_bits(bits, factor), factor)
+        assert np.array_equal(out, np.asarray(bits, dtype=np.uint8))
+
+
+class TestCrcProperties:
+    @given(payloads, st.integers(0, 199), st.integers(0, 7))
+    def test_crc32_detects_single_bit_flip(self, data, byte_at, bit):
+        if not data:
+            return
+        byte_at %= len(data)
+        corrupted = bytearray(data)
+        corrupted[byte_at] ^= 1 << bit
+        assert CRC32.compute(data) != CRC32.compute(bytes(corrupted))
+
+    @given(payloads)
+    def test_crc_deterministic(self, data):
+        assert CRC16_CCITT.compute(data) == CRC16_CCITT.compute(data)
+        assert CRC24_BLE.compute(data) == CRC24_BLE.compute(data)
+
+
+class TestScramblerProperties:
+    @given(bits_arrays, st.integers(1, 127))
+    def test_involution(self, bits, seed):
+        assert np.array_equal(descramble(scramble(bits, seed), seed),
+                              np.asarray(bits, dtype=np.uint8))
+
+    @given(bits_arrays, bits_arrays, st.integers(1, 127))
+    def test_gf2_linearity(self, a, b, seed):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        lhs = scramble(xor_bits(a, b), seed)
+        rhs = xor_bits(scramble(a, seed), b)
+        assert np.array_equal(lhs, rhs)
+
+
+class TestWhitenerProperties:
+    @given(bits_arrays, st.integers(0, 39))
+    def test_involution(self, bits, channel):
+        assert np.array_equal(dewhiten(whiten(bits, channel), channel),
+                              np.asarray(bits, dtype=np.uint8))
+
+
+class TestCodingProperties:
+    @settings(deadline=2000, max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=12, max_size=120))
+    def test_viterbi_inverts_encoder(self, bits):
+        coded = CODE_802_11.encode(bits)
+        assert np.array_equal(CODE_802_11.decode(coded),
+                              np.asarray(bits, dtype=np.uint8))
+
+    @settings(deadline=2000, max_examples=20)
+    @given(st.lists(st.integers(0, 1), min_size=48, max_size=144))
+    def test_punctured_round_trip(self, bits):
+        bits = bits[: len(bits) - len(bits) % 3]  # multiple of 3 for 3/4
+        if not bits:
+            return
+        coded = CODE_802_11.encode(bits, (3, 4))
+        assert np.array_equal(CODE_802_11.decode(coded, (3, 4)),
+                              np.asarray(bits, dtype=np.uint8))
+
+
+class TestInterleaverProperties:
+    @given(st.sampled_from([(48, 1), (96, 2), (192, 4), (288, 6)]),
+           st.integers(1, 4), st.randoms(use_true_random=False))
+    def test_round_trip(self, params, n_blocks, rnd):
+        n_cbps, n_bpsc = params
+        bits = np.array([rnd.randint(0, 1) for _ in range(n_cbps * n_blocks)],
+                        dtype=np.uint8)
+        out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.array_equal(out, bits)
+
+
+class TestZigbeeSpreadProperties:
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    def test_spread_despread(self, symbols):
+        out = chips_to_symbols(symbols_to_chips(symbols))
+        assert list(out) == symbols
+
+
+class TestJainProperties:
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    def test_bounded(self, xs):
+        j = jain_index(xs)
+        assert 0.0 < j <= 1.0 + 1e-9
+
+    @given(st.floats(0.01, 1e6), st.integers(1, 40))
+    def test_equal_is_one(self, value, n):
+        assert jain_index([value] * n) == np.float64(1.0) or \
+            abs(jain_index([value] * n) - 1.0) < 1e-9
+
+
+class TestPlmProperties:
+    @given(st.floats(0.0, 6000.0))
+    def test_classification_partition(self, duration):
+        """Every duration maps to 0, 1, or noise — and the bit windows
+        never overlap."""
+        cfg = PlmConfig()
+        rx = PlmReceiver(cfg)
+        bit = rx.classify(duration)
+        in0 = abs(duration - cfg.l0_us) <= cfg.bound_us
+        in1 = abs(duration - cfg.l1_us) <= cfg.bound_us
+        assert not (in0 and in1)
+        assert bit == (0 if in0 else 1 if in1 else None)
+
+
+class TestControllerProperties:
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30),
+                              st.integers(0, 30)), max_size=40))
+    def test_slots_stay_bounded(self, observations):
+        ctrl = SlotController(8, min_slots=2, max_slots=64)
+        for singles, collisions, empties in observations:
+            ctrl.observe(singles, collisions, empties)
+            assert 2 <= ctrl.n_slots <= 64

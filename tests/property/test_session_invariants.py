@@ -1,0 +1,63 @@
+"""Property tests on session-level invariants: whatever the SNR, seeds
+or payloads, result accounting must stay internally consistent."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.session import (
+    BleBackscatterSession,
+    WifiBackscatterSession,
+    ZigbeeBackscatterSession,
+)
+
+
+def check_result(result):
+    assert result.tag_bits_sent >= 0
+    assert 0 <= result.tag_bit_errors <= result.tag_bits_sent
+    assert 0.0 <= result.tag_ber <= 1.0
+    assert result.tag_bits_ok + result.tag_bit_errors == result.tag_bits_sent
+    assert result.duration_us > 0
+    if not result.delivered:
+        # Lost packets charge every tag bit as an error.
+        assert result.tag_bit_errors == result.tag_bits_sent
+
+
+class TestWifiInvariants:
+    @settings(deadline=5000, max_examples=10)
+    @given(st.floats(-20.0, 35.0), st.integers(0, 2**31 - 1))
+    def test_accounting(self, snr, seed):
+        session = WifiBackscatterSession(seed=seed, payload_bytes=128)
+        check_result(session.run_packet(snr_db=snr))
+
+    @settings(deadline=5000, max_examples=8)
+    @given(st.integers(20, 400))
+    def test_capacity_monotone_in_payload(self, payload):
+        small = WifiBackscatterSession(seed=1, payload_bytes=payload)
+        big = WifiBackscatterSession(seed=1, payload_bytes=payload + 100)
+        assert big.capacity_bits() >= small.capacity_bits()
+
+
+class TestZigbeeInvariants:
+    @settings(deadline=5000, max_examples=10)
+    @given(st.floats(-20.0, 30.0), st.integers(0, 2**31 - 1))
+    def test_accounting(self, snr, seed):
+        session = ZigbeeBackscatterSession(seed=seed, payload_bytes=30)
+        check_result(session.run_packet(snr_db=snr))
+
+
+class TestBleInvariants:
+    @settings(deadline=5000, max_examples=10)
+    @given(st.floats(-20.0, 30.0), st.integers(0, 2**31 - 1))
+    def test_accounting(self, snr, seed):
+        session = BleBackscatterSession(seed=seed, payload_bytes=40)
+        check_result(session.run_packet(snr_db=snr))
+
+    @settings(deadline=5000, max_examples=6)
+    @given(st.integers(10, 200))
+    def test_capacity_formula(self, payload):
+        session = BleBackscatterSession(seed=2, payload_bytes=payload)
+        on_air_bits = 8 * (6 + payload + 3)
+        expected = (on_air_bits - 40) // 18  # minus header, /repetition
+        # The envelope latency may trim one unit.
+        assert abs(session.capacity_bits() - expected) <= 1

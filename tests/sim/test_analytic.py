@@ -1,0 +1,81 @@
+"""Cross-validation: the closed-form models agree with the simulators."""
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.core.session import WifiBackscatterSession
+from repro.mac.aloha import AlohaConfig, FramedSlottedAloha, TdmScheme
+from repro.sim.analytic import (
+    aloha_success_probability,
+    aloha_throughput_kbps,
+    backscatter_range_m,
+    tag_goodput_kbps,
+    tdm_throughput_kbps,
+    wifi_tag_bits_per_packet,
+)
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+
+
+class TestTagBitsFormula:
+    @pytest.mark.parametrize("payload", [100, 512, 1000, 1500])
+    def test_matches_session_capacity(self, payload):
+        session = WifiBackscatterSession(seed=1, payload_bytes=payload)
+        assert wifi_tag_bits_per_packet(payload) == session.capacity_bits()
+
+    def test_goodput_formula(self):
+        # 124 bits / (2024 + 50) us = 59.8 kb/s: the Figure 10 plateau.
+        thr = tag_goodput_kbps(124, 2024.0, 50.0)
+        assert thr == pytest.approx(59.8, abs=0.1)
+
+    def test_goodput_validation(self):
+        with pytest.raises(ValueError):
+            tag_goodput_kbps(10, 0.0, 50.0)
+
+
+class TestAlohaMath:
+    def test_single_tag_always_succeeds(self):
+        assert aloha_success_probability(1, 1) == 1.0
+
+    def test_matched_frame_approaches_1_over_e(self):
+        p = aloha_success_probability(100, 100)
+        assert p * 100 / 100 == pytest.approx(1 / 2.718, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            aloha_success_probability(-1, 4)
+        with pytest.raises(ValueError):
+            aloha_success_probability(4, 0)
+
+    def test_simulation_agrees_with_formula(self):
+        cfg = AlohaConfig(min_slots=20, max_slots=20, initial_slots=20)
+        sim = FramedSlottedAloha(cfg, seed=9).simulate(20, n_rounds=400)
+        predicted = aloha_throughput_kbps(20, cfg, n_slots=20)
+        assert sim.aggregate_throughput_kbps == pytest.approx(predicted,
+                                                              rel=0.1)
+
+    def test_tdm_simulation_agrees_with_formula(self):
+        cfg = AlohaConfig()
+        sim = TdmScheme(cfg, seed=10).simulate(16, n_rounds=100)
+        predicted = tdm_throughput_kbps(16, cfg)
+        assert sim.aggregate_throughput_kbps == pytest.approx(predicted,
+                                                              rel=0.02)
+
+    def test_tdm_asymptote_near_40(self):
+        assert tdm_throughput_kbps(10_000) == pytest.approx(40.6, abs=1.0)
+
+
+class TestRangeFormula:
+    @pytest.mark.parametrize("config,expected", [
+        (WIFI_CONFIG, 41.9), (ZIGBEE_CONFIG, 21.9), (BLE_CONFIG, 12.0)])
+    def test_matches_bisection(self, config, expected):
+        closed_form = backscatter_range_m(config)
+        bisected = config.budget().max_range_m(1.0, config.sensitivity_dbm())
+        assert closed_form == pytest.approx(bisected, rel=0.01)
+        assert closed_form == pytest.approx(expected, abs=0.5)
+
+    def test_zero_when_infeasible(self):
+        assert backscatter_range_m(BLE_CONFIG, tx_to_tag_m=50.0) == 0.0
+
+    def test_shrinks_with_exciter_distance(self):
+        assert (backscatter_range_m(WIFI_CONFIG, 4.0)
+                < backscatter_range_m(WIFI_CONFIG, 1.0) / 2)

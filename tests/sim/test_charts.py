@@ -1,0 +1,64 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.sim.charts import ascii_cdf, ascii_chart
+from repro.sim.results import Series
+
+
+def make_series(pairs, name="s"):
+    s = Series(name, x_label="d", y_label="thr")
+    for x, y in pairs:
+        s.append(x, y)
+    return s
+
+
+class TestAsciiChart:
+    def test_contains_all_points(self):
+        s = make_series([(0, 0), (5, 50), (10, 100)])
+        out = ascii_chart(s, width=40, height=10)
+        assert out.count("*") >= 3
+
+    def test_axis_labels(self):
+        s = make_series([(1, 10), (42, 95)])
+        out = ascii_chart(s, width=40, height=10, title="Fig X")
+        assert out.splitlines()[0] == "Fig X"
+        assert "42" in out and "95" in out and "10" in out
+
+    def test_monotone_series_renders_monotone(self):
+        s = make_series([(i, i * i) for i in range(8)])
+        out = ascii_chart(s, width=30, height=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        first_star_rows = {}
+        for r, line in enumerate(lines):
+            body = line.split("|", 1)[1]
+            for c, ch in enumerate(body):
+                if ch == "*":
+                    first_star_rows.setdefault(c, r)
+        cols = sorted(first_star_rows)
+        rows = [first_star_rows[c] for c in cols]
+        assert rows == sorted(rows, reverse=True)  # up and to the right
+
+    def test_flat_series_handled(self):
+        s = make_series([(0, 5), (10, 5)])
+        out = ascii_chart(s, width=20, height=6)
+        assert "*" in out
+
+    def test_single_point_degrades_gracefully(self):
+        s = make_series([(1, 1)])
+        assert "not enough points" in ascii_chart(s)
+
+    def test_too_small_raises(self):
+        s = make_series([(0, 0), (1, 1)])
+        with pytest.raises(ValueError):
+            ascii_chart(s, width=5, height=2)
+
+
+class TestAsciiCdf:
+    def test_reaches_one(self):
+        out = ascii_cdf([1.0, 2.0, 3.0, 4.0], width=30, height=8)
+        assert "1" in out  # the top axis label
+
+    def test_title(self):
+        out = ascii_cdf([1, 2, 3], title="throughput CDF")
+        assert out.splitlines()[0] == "throughput CDF"

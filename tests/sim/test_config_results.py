@@ -1,0 +1,82 @@
+"""Tests for the calibrated configs and result formatting."""
+
+import pytest
+
+from repro.sim.config import (
+    BLE_CONFIG,
+    WIFI_CONFIG,
+    ZIGBEE_CONFIG,
+    config_by_name,
+)
+from repro.sim.results import Series, cdf_points, format_table
+
+
+class TestConfigs:
+    def test_paper_tx_powers(self):
+        assert WIFI_CONFIG.tx_power_dbm == 15.0
+        assert ZIGBEE_CONFIG.tx_power_dbm == 5.0
+        assert BLE_CONFIG.tx_power_dbm == 0.0
+
+    def test_instantaneous_rates_match_paper(self):
+        # WiFi: 1 bit per 4 x 4 us OFDM symbols = 62.5 kb/s.
+        assert 1e3 / (WIFI_CONFIG.repetition * 4.0) == pytest.approx(62.5)
+        # ZigBee: 1 bit per 4 x 16 us symbols = 15.6 kb/s.
+        assert 1e3 / (ZIGBEE_CONFIG.repetition * 16.0) == pytest.approx(15.6,
+                                                                        abs=0.1)
+        # Bluetooth: 1 bit per 18 x 1 us bits = 55.6 kb/s.
+        assert 1e3 / (BLE_CONFIG.repetition * 1.0) == pytest.approx(55.6,
+                                                                    abs=0.1)
+
+    def test_budget_construction(self):
+        budget = WIFI_CONFIG.budget()
+        assert budget.bandwidth_hz == 20e6
+
+    def test_lookup(self):
+        assert config_by_name("WiFi") is WIFI_CONFIG
+        with pytest.raises(ValueError):
+            config_by_name("lora")
+
+
+class TestSeries:
+    def test_append_and_interp(self):
+        s = Series("thr")
+        s.append(0.0, 0.0)
+        s.append(10.0, 100.0)
+        assert s.y_at(5.0) == pytest.approx(50.0)
+
+    def test_empty_interp_raises(self):
+        with pytest.raises(ValueError):
+            Series("x").y_at(1.0)
+
+    def test_summary(self):
+        s = Series("thr")
+        s.append(1, 2)
+        assert "thr" in s.summary()
+        assert "(empty)" in Series("e").summary()
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["d", "thr"], [[1.0, 59.9], [42.0, 0.5]],
+                           title="Fig 10a")
+        lines = out.splitlines()
+        assert lines[0] == "Fig 10a"
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_scientific_for_small(self):
+        out = format_table(["ber"], [[1e-4]])
+        assert "e-04" in out
+
+
+class TestCdf:
+    def test_monotone_and_bounded(self):
+        s = cdf_points([3.0, 1.0, 2.0])
+        assert s.x == [1.0, 2.0, 3.0]
+        assert s.y == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_empty(self):
+        assert cdf_points([]).x == []

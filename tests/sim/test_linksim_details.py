@@ -1,0 +1,86 @@
+"""Detail-level tests for the link simulator's accounting."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.linksim import LinkPoint, LinkSimulator, _make_session
+
+
+class TestLinkPoint:
+    def test_row_formatting(self):
+        p = LinkPoint(distance_m=18.0, throughput_kbps=59.8, ber=1e-3,
+                      rssi_dbm=-86.1, delivery_ratio=1.0, snr_db=9.7)
+        row = p.row()
+        assert "18.0" in row and "59.8" in row and "1.0e-03" in row
+
+    def test_row_zero_ber_marker(self):
+        p = LinkPoint(1.0, 60.0, 0.0, -70.0, 1.0, 25.0)
+        assert "<1e-4" in p.row()
+
+
+class TestSessionFactory:
+    def test_each_radio_maps_to_its_session(self):
+        from repro.core.session import (
+            BleBackscatterSession,
+            WifiBackscatterSession,
+            ZigbeeBackscatterSession,
+        )
+
+        assert isinstance(_make_session(WIFI_CONFIG, 1),
+                          WifiBackscatterSession)
+        assert isinstance(_make_session(ZIGBEE_CONFIG, 1),
+                          ZigbeeBackscatterSession)
+        assert isinstance(_make_session(BLE_CONFIG, 1),
+                          BleBackscatterSession)
+
+    def test_unknown_radio_raises(self):
+        from dataclasses import replace
+
+        bad = replace(WIFI_CONFIG, name="lora")
+        with pytest.raises(ValueError):
+            _make_session(bad, 1)
+
+
+class TestSnrAccounting:
+    def test_penalty_includes_oversampling_and_impl_loss(self):
+        sim = LinkSimulator(ZIGBEE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=1, seed=1)
+        expected = (10 * np.log10(sim.session.oversample_factor)
+                    + ZIGBEE_CONFIG.implementation_loss_db)
+        # ZigBee: 6 dB oversampling + 14 dB implementation loss.
+        assert expected == pytest.approx(20.0, abs=0.1)
+
+    def test_wifi_penalty_is_zero(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=1, seed=1)
+        assert sim.session.oversample_factor == 1
+        assert WIFI_CONFIG.implementation_loss_db == 0.0
+
+    def test_snr_db_reports_mean_not_faded(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=2, seed=2)
+        p = sim.simulate_point(10.0)
+        budget = WIFI_CONFIG.budget()
+        expected = (budget.rssi_dbm(Deployment.los(10.0))
+                    - budget.noise_dbm)
+        assert p.snr_db == pytest.approx(expected)
+
+
+class TestThroughputAccounting:
+    def test_airtime_includes_gap(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=4, seed=3)
+        p = sim.simulate_point(2.0)
+        # 255 B packet = 2112 us + 150 us gap; 115 bits per packet.
+        expected = 115 / (2112 + 150) * 1e3
+        assert p.throughput_kbps == pytest.approx(expected, rel=0.02)
+
+    def test_zero_delivery_zero_throughput_ber_one(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=2, seed=4)
+        p = sim.simulate_point(200.0)
+        assert p.delivery_ratio == 0.0
+        assert p.throughput_kbps == 0.0
+        assert p.ber == 1.0

@@ -1,0 +1,78 @@
+"""Tests for the link and MAC experiment drivers (slow-ish; small batches)."""
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.linksim import LinkSimulator
+from repro.sim.macsim import MacExperiment
+
+
+class TestLinkSimulator:
+    def test_wifi_close_range_full_rate(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=1)
+        p = sim.simulate_point(2.0)
+        assert p.delivery_ratio == 1.0
+        assert p.throughput_kbps == pytest.approx(60.0, abs=3.0)
+        assert p.ber < 1e-3
+
+    def test_wifi_dead_beyond_range(self):
+        sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=2)
+        p = sim.simulate_point(120.0)
+        assert p.delivery_ratio == 0.0
+        assert p.throughput_kbps == 0.0
+
+    def test_rssi_declines_with_distance(self):
+        sim = LinkSimulator(ZIGBEE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=2, seed=3)
+        points = sim.sweep([2.0, 10.0, 20.0])
+        rssis = [p.rssi_dbm for p in points]
+        assert rssis == sorted(rssis, reverse=True)
+
+    def test_ble_close_range_rate(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=4)
+        p = sim.simulate_point(2.0)
+        assert p.throughput_kbps == pytest.approx(50.8, abs=3.0)
+
+    def test_nlos_shorter_than_los(self):
+        los = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=5)
+        nlos = LinkSimulator(WIFI_CONFIG, Deployment.nlos(1.0),
+                             packets_per_point=3, seed=5)
+        d = 30.0
+        assert (nlos.simulate_point(d).delivery_ratio
+                <= los.simulate_point(d).delivery_ratio)
+
+    def test_max_range_helper(self):
+        sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=3, seed=6)
+        r = sim.max_range_m([4.0, 10.0, 30.0])
+        assert r == 10.0
+
+
+class TestMacExperiment:
+    def test_point_metrics(self):
+        exp = MacExperiment(measured_rounds=8, simulated_rounds=60, seed=1)
+        p = exp.run_point(12)
+        assert p.simulated_kbps > 5.0
+        assert p.tdm_kbps > p.simulated_kbps
+        assert 0.3 < p.fairness <= 1.0
+
+    def test_sweep_monotone_simulated(self):
+        exp = MacExperiment(measured_rounds=8, simulated_rounds=80, seed=2)
+        pts = exp.sweep((4, 20))
+        assert pts[1].simulated_kbps > pts[0].simulated_kbps
+
+    def test_asymptotes(self):
+        exp = MacExperiment(seed=3)
+        aloha = exp.asymptote_kbps(n_tags=150, scheme="aloha")
+        tdm = exp.asymptote_kbps(n_tags=150, scheme="tdm")
+        assert 14.0 < aloha < 22.0
+        assert tdm > 1.6 * aloha
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ValueError):
+            MacExperiment(seed=1).asymptote_kbps(scheme="csma")

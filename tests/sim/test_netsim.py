@@ -1,0 +1,82 @@
+"""Tests for the whole-system network co-simulation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import WIFI_CONFIG
+from repro.sim.netsim import NetworkSimulator, TagNode
+
+
+def close_tags(n, rng=None):
+    return [TagNode(i, tx_to_tag_m=1.0, tag_to_rx_m=5.0) for i in range(n)]
+
+
+class TestPerTagPhysics:
+    def test_control_prob_high_near_exciter(self):
+        sim = NetworkSimulator(WIFI_CONFIG, close_tags(1), seed=1)
+        assert sim.control_decode_prob(sim.tags[0]) > 0.9
+
+    def test_control_prob_drops_with_distance(self):
+        far = TagNode(0, tx_to_tag_m=40.0, tag_to_rx_m=5.0)
+        near = TagNode(1, tx_to_tag_m=1.0, tag_to_rx_m=5.0)
+        sim = NetworkSimulator(WIFI_CONFIG, [far, near], seed=1)
+        assert sim.control_decode_prob(far) < sim.control_decode_prob(near)
+
+    def test_slot_delivery_prob_drops_with_rx_distance(self):
+        near = TagNode(0, 1.0, 5.0)
+        far = TagNode(1, 1.0, 60.0)
+        sim = NetworkSimulator(WIFI_CONFIG, [near, far], seed=1)
+        assert sim.slot_delivery_prob(near) > 0.95
+        assert sim.slot_delivery_prob(far) < sim.slot_delivery_prob(near)
+
+
+class TestRun:
+    def test_all_close_tags_heard(self):
+        sim = NetworkSimulator(WIFI_CONFIG, close_tags(8), seed=2)
+        res = sim.run(n_rounds=40)
+        assert res.coverage == 1.0
+        assert res.aggregate_throughput_kbps > 5.0
+
+    def test_throughput_comparable_to_mac_model(self):
+        """With ideal links the co-simulation reduces to the Figure 17
+        MAC model's numbers."""
+        sim = NetworkSimulator(WIFI_CONFIG, close_tags(20), seed=3)
+        res = sim.run(n_rounds=80)
+        assert 9.0 < res.aggregate_throughput_kbps < 19.0
+
+    def test_ambient_load_stretches_time(self):
+        quiet = NetworkSimulator(WIFI_CONFIG, close_tags(4), seed=4)
+        busy = NetworkSimulator(WIFI_CONFIG, close_tags(4),
+                                ambient_load=0.5, seed=4)
+        t_quiet = quiet.run(20).duration_us
+        t_busy = busy.run(20).duration_us
+        assert t_busy == pytest.approx(2 * t_quiet, rel=0.01)
+
+    def test_far_tag_starves_but_others_unaffected(self):
+        tags = close_tags(3) + [TagNode(3, tx_to_tag_m=1.0,
+                                        tag_to_rx_m=120.0)]
+        sim = NetworkSimulator(WIFI_CONFIG, tags, seed=5)
+        res = sim.run(n_rounds=60)
+        assert res.per_tag_bits[3] == 0          # out of range
+        assert all(res.per_tag_bits[i] > 0 for i in range(3))
+
+    def test_tag_that_cannot_hear_control_never_transmits(self):
+        tags = [TagNode(0, tx_to_tag_m=80.0, tag_to_rx_m=5.0)]
+        sim = NetworkSimulator(WIFI_CONFIG, tags, seed=6)
+        res = sim.run(n_rounds=30)
+        assert res.per_tag_heard_rounds[0] == 0
+        assert res.delivered_bits == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkSimulator(WIFI_CONFIG, [], seed=1)
+        with pytest.raises(ValueError):
+            NetworkSimulator(WIFI_CONFIG, close_tags(1), ambient_load=1.0)
+        with pytest.raises(ValueError):
+            NetworkSimulator(WIFI_CONFIG, close_tags(1), seed=1).run(0)
+
+    def test_deterministic_given_seed(self):
+        a = NetworkSimulator(WIFI_CONFIG, close_tags(6), seed=7).run(25)
+        b = NetworkSimulator(WIFI_CONFIG, close_tags(6), seed=7).run(25)
+        assert a.per_tag_bits == b.per_tag_bits
+        assert a.duration_us == b.duration_us

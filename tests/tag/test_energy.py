@@ -1,0 +1,87 @@
+"""Tests for the RF energy-harvesting model."""
+
+import pytest
+
+from repro.tag.energy import EnergyBudget, RfHarvester
+
+
+class TestHarvester:
+    def test_dead_below_sensitivity(self):
+        h = RfHarvester()
+        assert h.efficiency(-40.0) < 0.01
+        assert h.harvested_uw(-40.0) < 0.01
+
+    def test_efficiency_monotone(self):
+        h = RfHarvester()
+        effs = [h.efficiency(p) for p in (-30, -20, -10, 0, 10)]
+        assert effs == sorted(effs)
+
+    def test_peak_efficiency_approached(self):
+        h = RfHarvester(peak_efficiency=0.45)
+        assert h.efficiency(10.0) == pytest.approx(0.45, abs=0.02)
+
+    def test_strong_input_powers_the_tag(self):
+        """0 dBm incident (tag right next to the exciter) harvests far
+        more than the 34 uW the WiFi translator consumes."""
+        h = RfHarvester()
+        assert h.harvested_uw(0.0) > 100.0
+
+    def test_bad_knee_raises(self):
+        with pytest.raises(ValueError):
+            RfHarvester(knee_db=0.0).efficiency(-10.0)
+
+
+class TestEnergyBudget:
+    def test_no_power_no_duty(self):
+        budget = EnergyBudget()
+        assert budget.sustainable_duty_cycle(-50.0) == 0.0
+
+    def test_full_duty_when_flooded(self):
+        budget = EnergyBudget()
+        assert budget.sustainable_duty_cycle(5.0) == 1.0
+
+    def test_duty_monotone_in_power(self):
+        budget = EnergyBudget()
+        duties = [budget.sustainable_duty_cycle(p)
+                  for p in (-25, -18, -12, -6, 0)]
+        assert duties == sorted(duties)
+
+    def test_cheaper_radio_sustains_more_duty(self):
+        """Bluetooth translation (15 uW) runs at higher duty than WiFi
+        (34 uW) on the same harvest."""
+        budget = EnergyBudget()
+        p = -11.0
+        assert (budget.sustainable_duty_cycle(p, "bluetooth", 2e6)
+                >= budget.sustainable_duty_cycle(p, "wifi", 20e6))
+
+    def test_bad_excitation_duty_raises(self):
+        with pytest.raises(ValueError):
+            EnergyBudget().sustainable_duty_cycle(0.0, excitation_duty=0.0)
+
+
+class TestBatteryFreeRange:
+    def test_range_is_short(self):
+        """Battery-free operation needs the tag close to the exciter —
+        the known limitation of RF harvesting (and why the paper's tag
+        has a power source module, Figure 5)."""
+        budget = EnergyBudget()
+        r = budget.battery_free_range_m(tx_power_dbm=15.0)
+        assert 0.3 < r < 10.0
+
+    def test_range_grows_with_tx_power(self):
+        budget = EnergyBudget()
+        assert (budget.battery_free_range_m(30.0)
+                > budget.battery_free_range_m(15.0))
+
+    def test_zero_when_impossible(self):
+        budget = EnergyBudget()
+        assert budget.battery_free_range_m(-30.0) == 0.0
+
+    def test_range_boundary_is_consistent(self):
+        budget = EnergyBudget()
+        r = budget.battery_free_range_m(20.0, min_duty=0.05)
+        from repro.channel.pathloss import LOS_HALLWAY
+
+        p_at_r = 20.0 - LOS_HALLWAY.loss_db(r)
+        assert budget.sustainable_duty_cycle(p_at_r) == pytest.approx(
+            0.05, abs=0.01)

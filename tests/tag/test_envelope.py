@@ -1,0 +1,78 @@
+"""Tests for the envelope-detector model."""
+
+import numpy as np
+import pytest
+
+from repro.tag.envelope import EnvelopeDetector, PulseEvent
+
+
+class TestVoltageResponse:
+    def test_log_linear_region(self):
+        det = EnvelopeDetector()
+        v1 = det.output_voltage(-70.0)
+        v2 = det.output_voltage(-60.0)
+        assert v2 - v1 == pytest.approx(10 * det.slope_v_per_db)
+
+    def test_clamped_at_floor(self):
+        det = EnvelopeDetector()
+        assert det.output_voltage(det.p_min_dbm - 30) == 0.0
+
+    def test_clamped_at_ceiling(self):
+        det = EnvelopeDetector()
+        assert det.output_voltage(0.0) == det.v_max
+
+    def test_noise_perturbs(self, rng):
+        det = EnvelopeDetector()
+        vals = {det.output_voltage(-50.0, rng) for _ in range(5)}
+        assert len(vals) > 1
+
+
+class TestDetection:
+    def test_strong_signal_detected(self, rng):
+        det = EnvelopeDetector()
+        assert all(det.detects(-30.0, rng) for _ in range(20))
+
+    def test_weak_signal_missed(self, rng):
+        det = EnvelopeDetector()
+        assert not any(det.detects(-80.0, rng) for _ in range(20))
+
+    def test_probability_monotone(self):
+        det = EnvelopeDetector()
+        probs = [det.detection_probability(p) for p in (-75, -65, -55, -45)]
+        assert probs == sorted(probs)
+        assert probs[0] < 0.01 and probs[-1] > 0.99
+
+    def test_min_power_is_half_probability(self):
+        det = EnvelopeDetector()
+        assert det.detection_probability(det.min_power_dbm()) \
+            == pytest.approx(0.5, abs=0.02)
+
+    def test_higher_vref_needs_more_power(self):
+        low = EnvelopeDetector(v_ref=1.5)
+        high = EnvelopeDetector(v_ref=2.1)
+        assert high.min_power_dbm() > low.min_power_dbm()
+
+
+class TestPulseObservation:
+    def test_strong_pulses_measured(self, rng):
+        det = EnvelopeDetector(edge_jitter_us=0.0)
+        events = det.observe_pulses([(0.0, 700.0, -30.0),
+                                     (2000.0, 1100.0, -30.0)], rng)
+        assert len(events) == 2
+        assert events[0].duration_us == pytest.approx(700.0)
+        assert events[0].start_us == pytest.approx(det.latency_us)
+
+    def test_weak_pulses_dropped(self, rng):
+        det = EnvelopeDetector()
+        assert det.observe_pulses([(0.0, 700.0, -90.0)], rng) == []
+
+    def test_jitter_spreads_durations(self, rng):
+        det = EnvelopeDetector(edge_jitter_us=8.0)
+        events = det.observe_pulses([(i * 2000.0, 700.0, -30.0)
+                                     for i in range(60)], rng)
+        durations = [e.duration_us for e in events]
+        assert np.std(durations) > 2.0
+
+    def test_event_dataclass(self):
+        ev = PulseEvent(start_us=1.0, duration_us=2.0)
+        assert ev.start_us == 1.0 and ev.duration_us == 2.0

@@ -1,0 +1,107 @@
+"""Tests for RF switch, ring oscillator and the power model."""
+
+import numpy as np
+import pytest
+
+from repro.tag.oscillator import RingOscillator
+from repro.tag.power import PowerBreakdown, TagPowerModel
+from repro.tag.rf_switch import RfSwitch, reflection_coefficient
+
+
+class TestReflectionCoefficient:
+    def test_matched_load_absorbs(self):
+        assert abs(reflection_coefficient(50 + 0j)) == pytest.approx(0.0)
+
+    def test_short_reflects_fully(self):
+        assert abs(reflection_coefficient(0 + 0j)) == pytest.approx(1.0)
+
+    def test_open_reflects_fully(self):
+        assert abs(reflection_coefficient(1e9 + 0j)) == pytest.approx(1.0,
+                                                                      abs=1e-6)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            reflection_coefficient(-50 + 0j)
+
+
+class TestRfSwitch:
+    def test_classic_two_state_amplitudes(self):
+        sw = RfSwitch(insertion_loss_db=0.0)
+        amps = sw.amplitude_levels()
+        assert amps[0] == pytest.approx(1.0)   # short
+        assert amps[1] == pytest.approx(0.0)   # matched
+
+    def test_insertion_loss_scales(self):
+        sw = RfSwitch(insertion_loss_db=3.0)
+        assert sw.amplitude_levels()[0] == pytest.approx(10 ** (-3 / 20))
+
+    def test_multi_impedance_bank(self):
+        sw = RfSwitch(impedances=(0j, 10 + 0j, 25 + 0j, 50 + 0j),
+                      insertion_loss_db=0.0)
+        amps = sw.amplitude_levels()
+        assert len(set(np.round(amps, 3))) == 4  # four distinct levels
+
+    def test_reflect_applies_states(self):
+        sw = RfSwitch(insertion_loss_db=0.0)
+        x = np.ones(4, dtype=complex)
+        out = sw.reflect(x, [0, 1, 0, 1])
+        assert abs(out[0]) == pytest.approx(1.0)
+        assert abs(out[1]) == pytest.approx(0.0)
+
+    def test_bad_state_raises(self):
+        sw = RfSwitch()
+        with pytest.raises(ValueError):
+            sw.reflect(np.ones(2, complex), [0, 5])
+        with pytest.raises(ValueError):
+            sw.reflect(np.ones(2, complex), [0])
+
+    def test_needs_two_states(self):
+        with pytest.raises(ValueError):
+            RfSwitch(impedances=(50 + 0j,))
+
+
+class TestRingOscillator:
+    def test_power_at_20mhz(self):
+        osc = RingOscillator()
+        assert osc.power_uw == pytest.approx(19.0)
+
+    def test_frequency_inaccuracy_bounded(self, rng):
+        osc = RingOscillator(accuracy_ppm=200.0)
+        f = osc.actual_hz(rng)
+        assert abs(f - 20e6) / 20e6 < 2e-3
+
+
+class TestPowerModel:
+    def test_paper_budget_30uw(self):
+        """Section 3.3: ~30 uW total; 19 uW clock, 12 uW switch,
+        1-3 uW control."""
+        model = TagPowerModel()
+        b = model.breakdown("wifi", shift_hz=20e6)
+        assert b.clock_uw == pytest.approx(19.0)
+        assert b.rf_switch_uw == pytest.approx(12.0)
+        assert 1.0 <= b.control_uw <= 3.0
+        assert 30.0 <= b.total_uw <= 35.0
+
+    def test_clock_scales_with_shift(self):
+        model = TagPowerModel()
+        small = model.breakdown("zigbee", shift_hz=5e6)
+        large = model.breakdown("zigbee", shift_hz=20e6)
+        assert large.clock_uw == pytest.approx(4 * small.clock_uw)
+
+    def test_unknown_radio_raises(self):
+        with pytest.raises(ValueError):
+            TagPowerModel().breakdown("lora")
+
+    def test_battery_life_years(self):
+        model = TagPowerModel()
+        years = model.battery_life_years("bluetooth", shift_hz=2e6,
+                                         duty_cycle=0.01)
+        assert years > 10  # microwatt duty-cycled tag lasts decades
+
+    def test_bad_duty_cycle_raises(self):
+        with pytest.raises(ValueError):
+            TagPowerModel().battery_life_years("wifi", duty_cycle=0.0)
+
+    def test_breakdown_as_dict(self):
+        d = PowerBreakdown(19.0, 12.0, 2.0).as_dict()
+        assert d["total_uw"] == pytest.approx(33.0)

@@ -1,0 +1,95 @@
+"""Tests for the assembled FreeRider tag."""
+
+import numpy as np
+import pytest
+
+from repro.core.translation import PhaseTranslator
+from repro.tag.tag import ExcitationInfo, FreeRiderTag
+
+
+def make_info(total=8000, unit=80, start=480):
+    return ExcitationInfo(sample_rate_hz=20e6, unit_samples=unit,
+                          data_start_sample=start, total_samples=total)
+
+
+class TestExcitationInfo:
+    def test_units_available(self):
+        info = make_info(total=1280, unit=80, start=480)
+        assert info.units_available(480) == 10
+        assert info.units_available(481) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExcitationInfo(0.0, 80, 0, 100)
+        with pytest.raises(ValueError):
+            ExcitationInfo(1e6, 80, 200, 100)
+        with pytest.raises(ValueError):
+            ExcitationInfo(1e6, 0, 0, 100)
+
+
+class TestPlanning:
+    def test_plan_starts_after_latency(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        info = make_info()
+        plan = tag.plan_for(info)
+        # 0.35 us at 20 MS/s = 7 samples.
+        assert plan.start_sample == info.data_start_sample + 7
+
+    def test_capacity(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        info = make_info(total=480 + 7 + 80 * 16)
+        assert tag.capacity_bits(info) == 4
+
+    def test_bad_repetition_raises(self):
+        with pytest.raises(ValueError):
+            FreeRiderTag(PhaseTranslator(2), repetition=0)
+
+
+class TestBackscatter:
+    def test_phase_modulation_applied(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=1)
+        info = make_info(total=480 + 7 + 160 + 73)
+        x = np.ones(info.total_samples, dtype=complex)
+        out = tag.backscatter(x, info, [1, 0])
+        assert out.detected and out.bits_sent == 2
+        span0 = out.plan.tag_symbol_span(0)
+        span1 = out.plan.tag_symbol_span(1)
+        assert np.allclose(out.samples[span0], -1.0)   # 180 deg flip
+        assert np.allclose(out.samples[span1], 1.0)
+        # Preamble region untouched.
+        assert np.allclose(out.samples[:480], 1.0)
+
+    def test_excess_bits_truncated_to_capacity(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        info = make_info(total=480 + 7 + 80 * 8)
+        x = np.ones(info.total_samples, dtype=complex)
+        out = tag.backscatter(x, info, [1] * 100)
+        assert out.bits_sent == 2
+
+    def test_envelope_gates_operation(self, rng):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        info = make_info()
+        x = np.ones(info.total_samples, dtype=complex)
+        out = tag.backscatter(x, info, [1, 0], incident_power_dbm=-90.0,
+                              rng=rng)
+        assert not out.detected and out.samples is None
+
+    def test_strong_incident_power_detected(self, rng):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        info = make_info()
+        x = np.ones(info.total_samples, dtype=complex)
+        out = tag.backscatter(x, info, [1, 0], incident_power_dbm=-25.0,
+                              rng=rng)
+        assert out.detected
+
+    def test_length_mismatch_raises(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=1)
+        info = make_info()
+        with pytest.raises(ValueError):
+            tag.backscatter(np.ones(10, complex), info, [1])
+
+
+class TestPowerIntegration:
+    def test_power_budget_exposed(self):
+        tag = FreeRiderTag(PhaseTranslator(2), repetition=4)
+        assert 30.0 <= tag.power_budget(20e6, "wifi").total_uw <= 35.0

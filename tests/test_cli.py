@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.radio == "wifi"
+        assert args.deployment == "los"
+
+    def test_distance_list_parsing(self):
+        args = build_parser().parse_args(["sweep", "--distances", "1,5,10"])
+        assert args.distances == [1.0, 5.0, 10.0]
+
+    def test_bad_distance_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--distances", "a,b"])
+
+    def test_unknown_radio_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--radio", "lora"])
+
+
+class TestCommands:
+    def test_packet_wifi(self, capsys):
+        code = main(["packet", "--radio", "wifi", "--snr", "20",
+                     "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delivered=True" in out
+
+    def test_packet_exit_code_on_loss(self, capsys):
+        code = main(["packet", "--radio", "bluetooth", "--snr", "-15",
+                     "--seed", "1"])
+        assert code == 1
+
+    def test_power(self, capsys):
+        assert main(["power"]) == 0
+        out = capsys.readouterr().out
+        assert "19.00" in out and "12.00" in out
+
+    def test_regime(self, capsys):
+        assert main(["regime"]) == 0
+        out = capsys.readouterr().out
+        assert "wifi" in out and "bluetooth" in out
+
+    def test_mac(self, capsys):
+        assert main(["mac", "--tags", "4", "--rounds", "20",
+                     "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out
+
+    def test_sweep_zigbee(self, capsys):
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2,6",
+                     "--packets", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "zigbee backscatter" in out

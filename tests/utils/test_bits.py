@@ -1,0 +1,137 @@
+"""Unit tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bits import (
+    as_bits,
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    hamming_distance,
+    int_to_bits,
+    majority_vote,
+    random_bits,
+    repeat_bits,
+    xor_bits,
+)
+
+
+class TestAsBits:
+    def test_accepts_string(self):
+        assert list(as_bits("0110")) == [0, 1, 1, 0]
+
+    def test_accepts_list(self):
+        assert list(as_bits([1, 0, 1])) == [1, 0, 1]
+
+    def test_accepts_ndarray(self):
+        arr = np.array([0, 1], dtype=np.int64)
+        out = as_bits(arr)
+        assert out.dtype == np.uint8
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            as_bits([0, 2, 1])
+
+    def test_empty(self):
+        assert as_bits([]).size == 0
+
+
+class TestByteConversion:
+    def test_lsb_first_default(self):
+        # 0x01 -> LSB-first bit order: 1,0,0,0,0,0,0,0
+        assert list(bytes_to_bits(b"\x01")) == [1, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_msb_first(self):
+        assert list(bytes_to_bits(b"\x01", msb_first=True)) == [0] * 7 + [1]
+
+    def test_round_trip(self):
+        data = bytes(range(256))
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    def test_round_trip_msb(self):
+        data = b"\xa7\x00\xff\x13"
+        assert bits_to_bytes(bytes_to_bits(data, msb_first=True),
+                             msb_first=True) == data
+
+    def test_partial_byte_padded(self):
+        assert bits_to_bytes([1, 1, 1]) == b"\x07"  # LSB-first pad
+
+
+class TestIntConversion:
+    def test_round_trip(self):
+        for v in (0, 1, 5, 127, 4095):
+            assert bits_to_int(int_to_bits(v, 12)) == v
+
+    def test_lsb_first(self):
+        assert list(int_to_bits(1, 3, msb_first=False)) == [1, 0, 0]
+        assert bits_to_int([1, 0, 0], msb_first=False) == 1
+
+    def test_overflow_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(8, 3)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+
+class TestXor:
+    def test_table_1_of_paper(self):
+        # Table 1: tag bit = decoded codeword XOR excitation codeword.
+        decoded = [1, 0, 0, 1]   # C2 C1 C1 C2
+        original = [0, 1, 0, 1]  # C1 C2 C1 C2
+        assert list(xor_bits(decoded, original)) == [1, 1, 0, 0]
+
+    def test_self_inverse(self, rng):
+        a = random_bits(100, rng)
+        b = random_bits(100, rng)
+        assert np.array_equal(xor_bits(xor_bits(a, b), b), a)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            xor_bits([1, 0], [1])
+
+
+class TestHamming:
+    def test_zero_for_identical(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_counts_differences(self):
+        assert hamming_distance([1, 1, 1, 1], [0, 1, 0, 1]) == 2
+
+
+class TestRepetition:
+    def test_repeat(self):
+        assert list(repeat_bits([1, 0], 3)) == [1, 1, 1, 0, 0, 0]
+
+    def test_majority_inverts_repeat(self, rng):
+        bits = random_bits(64, rng)
+        assert np.array_equal(majority_vote(repeat_bits(bits, 5), 5), bits)
+
+    def test_majority_survives_errors(self):
+        coded = np.array([1, 1, 0, 1, 1], dtype=np.uint8)  # one flip
+        assert majority_vote(coded, 5)[0] == 1
+
+    def test_tie_decodes_one(self):
+        assert majority_vote([1, 0, 1, 0], 4)[0] == 1
+
+    def test_trailing_bits_dropped(self):
+        assert majority_vote([1, 1, 1, 0, 0], 3).size == 1
+
+    def test_bad_factor_raises(self):
+        with pytest.raises(ValueError):
+            repeat_bits([1], 0)
+        with pytest.raises(ValueError):
+            majority_vote([1], 0)
+
+
+class TestRandomBits:
+    def test_length_and_alphabet(self, rng):
+        bits = random_bits(1000, rng)
+        assert bits.size == 1000
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_bits(-1, rng)

@@ -1,0 +1,65 @@
+"""Unit tests for repro.utils.crc — reference vectors and properties."""
+
+import pytest
+
+from repro.utils.crc import CRC16_CCITT, CRC24_BLE, CRC32, Crc
+
+CHECK_INPUT = b"123456789"
+
+
+class TestReferenceVectors:
+    def test_crc32_check_value(self):
+        # CRC-32/ISO-HDLC check value.
+        assert CRC32.compute(CHECK_INPUT) == 0xCBF43926
+
+    def test_crc16_kermit_check_value(self):
+        # CRC-16/KERMIT (the 802.15.4 FCS) check value.
+        assert CRC16_CCITT.compute(CHECK_INPUT) == 0x2189
+
+    def test_crc32_empty(self):
+        assert CRC32.compute(b"") == 0x00000000
+
+
+class TestDigest:
+    def test_little_endian_bytes(self):
+        value = CRC32.compute(CHECK_INPUT)
+        assert CRC32.digest(CHECK_INPUT) == value.to_bytes(4, "little")
+
+    def test_crc24_width(self):
+        assert len(CRC24_BLE.digest(b"hello")) == 3
+
+
+class TestVerify:
+    def test_accepts_correct(self):
+        assert CRC16_CCITT.verify(b"abc", CRC16_CCITT.compute(b"abc"))
+
+    def test_rejects_corrupted(self):
+        good = CRC32.compute(b"payload")
+        assert not CRC32.verify(b"paYload", good)
+
+    def test_single_bit_error_detected(self):
+        data = bytearray(b"freerider-tag-data")
+        good = CRC24_BLE.compute(bytes(data))
+        for byte in range(len(data)):
+            for bit in range(8):
+                data[byte] ^= 1 << bit
+                assert CRC24_BLE.compute(bytes(data)) != good
+                data[byte] ^= 1 << bit
+
+
+class TestBleSeed:
+    def test_seed_changes_crc(self):
+        a = CRC24_BLE.compute(b"pdu", init=0x555555)
+        b = CRC24_BLE.compute(b"pdu", init=0x123456)
+        assert a != b
+
+    def test_default_seed_is_advertising(self):
+        assert CRC24_BLE.compute(b"pdu") == CRC24_BLE.compute(b"pdu",
+                                                              init=0x555555)
+
+
+class TestCustomCrc:
+    def test_crc8_smbus(self):
+        crc8 = Crc(width=8, poly=0x07, init=0x00, refin=False,
+                   refout=False, xorout=0x00)
+        assert crc8.compute(CHECK_INPUT) == 0xF4  # CRC-8 check value

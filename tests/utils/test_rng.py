@@ -1,0 +1,36 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(make_rng(7), 3)
+        streams = [c.integers(0, 10**9, 5).tolist() for c in children]
+        assert streams[0] != streams[1] != streams[2]
+
+    def test_deterministic(self):
+        a = [c.integers(0, 100, 3).tolist() for c in spawn(make_rng(7), 2)]
+        b = [c.integers(0, 100, 3).tolist() for c in spawn(make_rng(7), 2)]
+        assert a == b
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(make_rng(0), -1)
