@@ -7,11 +7,24 @@ paper plots, and writes them to ``benchmarks/results/<name>.txt`` so the
 artifacts survive pytest's output capture.
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def engine_jobs():
+    """Worker-process count for sweep benchmarks.
+
+    ``None`` (the default) keeps the historical serial path.  Set
+    ``REPRO_BENCH_JOBS=4`` to fan the figure sweeps out over the
+    experiment engine; results stay deterministic for any value.
+    """
+    value = os.environ.get("REPRO_BENCH_JOBS")
+    return int(value) if value else None
 
 
 @pytest.fixture

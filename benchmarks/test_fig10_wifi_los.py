@@ -14,14 +14,14 @@ from repro.sim.results import format_table
 DISTANCES = (1, 5, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46)
 
 
-def run_experiment(packets_per_point=10, seed=100):
+def run_experiment(packets_per_point=10, seed=100, n_jobs=None):
     sim = LinkSimulator(WIFI_CONFIG, Deployment.los(1.0),
                         packets_per_point=packets_per_point, seed=seed)
-    return sim.sweep(DISTANCES)
+    return sim.sweep(DISTANCES, n_jobs=n_jobs)
 
 
-def test_fig10_wifi_los(once, emit):
-    points = once(run_experiment)
+def test_fig10_wifi_los(once, emit, engine_jobs):
+    points = once(run_experiment, n_jobs=engine_jobs)
     rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
              p.delivery_ratio] for p in points]
     table = format_table(

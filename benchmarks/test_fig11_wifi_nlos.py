@@ -14,14 +14,14 @@ from repro.sim.results import format_table
 DISTANCES = (1, 4, 8, 12, 14, 18, 22, 25)
 
 
-def run_experiment(packets_per_point=10, seed=110):
+def run_experiment(packets_per_point=10, seed=110, n_jobs=None):
     sim = LinkSimulator(WIFI_CONFIG, Deployment.nlos(1.0),
                         packets_per_point=packets_per_point, seed=seed)
-    return sim.sweep(DISTANCES)
+    return sim.sweep(DISTANCES, n_jobs=n_jobs)
 
 
-def test_fig11_wifi_nlos(once, emit):
-    points = once(run_experiment)
+def test_fig11_wifi_nlos(once, emit, engine_jobs):
+    points = once(run_experiment, n_jobs=engine_jobs)
     rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
              p.delivery_ratio] for p in points]
     table = format_table(

@@ -13,14 +13,14 @@ from repro.sim.results import format_table
 DISTANCES = (1, 2, 4, 6, 8, 10, 12, 14)
 
 
-def run_experiment(packets_per_point=12, seed=130):
+def run_experiment(packets_per_point=12, seed=130, n_jobs=None):
     sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
                         packets_per_point=packets_per_point, seed=seed)
-    return sim.sweep(DISTANCES)
+    return sim.sweep(DISTANCES, n_jobs=n_jobs)
 
 
-def test_fig13_bluetooth(once, emit):
-    points = once(run_experiment)
+def test_fig13_bluetooth(once, emit, engine_jobs):
+    points = once(run_experiment, n_jobs=engine_jobs)
     rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
              p.delivery_ratio] for p in points]
     table = format_table(

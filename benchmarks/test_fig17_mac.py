@@ -12,9 +12,9 @@ from repro.sim.results import format_table
 TAG_COUNTS = (4, 8, 12, 16, 20)
 
 
-def run_experiment(seed=170):
+def run_experiment(seed=170, n_jobs=None):
     exp = MacExperiment(measured_rounds=12, simulated_rounds=300, seed=seed)
-    points = exp.sweep(TAG_COUNTS)
+    points = exp.sweep(TAG_COUNTS, n_jobs=n_jobs)
     aloha_asym = exp.asymptote_kbps(n_tags=120, scheme="aloha")
     tdm_asym = exp.asymptote_kbps(n_tags=120, scheme="tdm")
     fairness_avg20 = float(np.mean([exp.run_point(20).fairness
@@ -22,8 +22,9 @@ def run_experiment(seed=170):
     return points, aloha_asym, tdm_asym, fairness_avg20
 
 
-def test_fig17_mac(once, emit):
-    points, aloha_asym, tdm_asym, fairness20 = once(run_experiment)
+def test_fig17_mac(once, emit, engine_jobs):
+    points, aloha_asym, tdm_asym, fairness20 = once(run_experiment,
+                                                    n_jobs=engine_jobs)
     rows = [[p.n_tags, p.measured_kbps, p.simulated_kbps, p.tdm_kbps,
              p.fairness] for p in points]
     table = format_table(

@@ -1,12 +1,21 @@
 """Command-line interface: run FreeRider experiments without writing code.
 
     python -m repro sweep  --radio wifi --deployment los --distances 1,10,20
+    python -m repro sweep  --radio wifi --jobs 4 --json
     python -m repro packet --radio zigbee --snr 15
-    python -m repro mac    --tags 4,8,12,16,20 --rounds 100
+    python -m repro mac    --tags 4,8,12,16,20 --rounds 100 --jobs 2
     python -m repro regime
     python -m repro power
 
 Each subcommand prints the same tables the benchmark harness writes.
+``--jobs`` fans the experiment out over worker processes through
+:mod:`repro.sim.engine`; results are identical for any worker count.
+``--json`` swaps the table for a machine-readable record that includes
+timing metadata (wall time, packets/s).
+
+Radio choices come from the session registry
+(:mod:`repro.core.registry`) and the calibrated config table, so a
+newly registered radio appears here without touching this module.
 """
 
 from __future__ import annotations
@@ -16,7 +25,8 @@ import sys
 from typing import List, Optional
 
 from repro.channel.geometry import Deployment
-from repro.sim.config import config_by_name
+from repro.core.registry import create_session, registered_radios
+from repro.sim.config import config_by_name, config_names
 from repro.sim.results import format_table
 
 __all__ = ["main", "build_parser"]
@@ -36,6 +46,25 @@ def _parse_ints(text: str) -> List[int]:
     return [int(v) for v in _parse_floats(text)]
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes (results are identical "
+                             "for any value)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a JSON record (points + timing) "
+                             "instead of a table")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -44,19 +73,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sweep = sub.add_parser("sweep", help="distance sweep (Figures 10-13)")
-    sweep.add_argument("--radio", default="wifi",
-                       choices=["wifi", "zigbee", "bluetooth"])
+    sweep.add_argument("--radio", default="wifi", choices=config_names())
     sweep.add_argument("--deployment", default="los",
                        choices=["los", "nlos"])
     sweep.add_argument("--distances", type=_parse_floats,
                        default=[1, 5, 10, 20, 30, 40])
     sweep.add_argument("--packets", type=int, default=6)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--payload-bytes", type=int, default=None,
+                       help="override the calibrated excitation payload")
+    sweep.add_argument("--repetition", type=int, default=None,
+                       help="override the calibrated symbol repetition")
+    _add_engine_options(sweep)
 
     packet = sub.add_parser("packet", help="one end-to-end packet")
     packet.add_argument("--radio", default="wifi",
-                        choices=["wifi", "zigbee", "bluetooth", "dsss",
-                                 "wifi-quaternary"])
+                        choices=registered_radios())
     packet.add_argument("--snr", type=float, default=20.0)
     packet.add_argument("--seed", type=int, default=0)
 
@@ -64,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     mac.add_argument("--tags", type=_parse_ints, default=[4, 8, 12, 16, 20])
     mac.add_argument("--rounds", type=int, default=100)
     mac.add_argument("--seed", type=int, default=0)
+    _add_engine_options(mac)
 
     sub.add_parser("regime", help="operational regime (Figure 14)")
     sub.add_parser("power", help="tag power budget (section 3.3)")
@@ -71,15 +104,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.sim.linksim import LinkSimulator
+    from repro.sim.engine import ExperimentEngine, ExperimentSpec
 
     cfg = config_by_name(args.radio)
+    overrides = {}
+    if args.payload_bytes is not None:
+        overrides["payload_bytes"] = args.payload_bytes
+    if args.repetition is not None:
+        overrides["repetition"] = args.repetition
+    if overrides:
+        cfg = cfg.replace(**overrides)
     dep = (Deployment.los(1.0) if args.deployment == "los"
            else Deployment.nlos(1.0))
-    sim = LinkSimulator(cfg, dep, packets_per_point=args.packets,
-                        seed=args.seed)
-    rows = [[p.distance_m, p.throughput_kbps, p.ber, p.rssi_dbm,
-             p.delivery_ratio] for p in sim.sweep(args.distances)]
+    spec = ExperimentSpec(config=cfg, deployment=dep,
+                          distances_m=tuple(args.distances),
+                          packets_per_point=args.packets, seed=args.seed)
+    result = ExperimentEngine(n_jobs=args.jobs).run(spec)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
+    rows = [[p.distance_m, p.throughput_kbps,
+             p.ber if p.ber_valid else "n/a", p.rssi_dbm,
+             p.delivery_ratio] for p in result.points]
     print(format_table(
         ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
          "delivery"], rows,
@@ -88,22 +134,7 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_packet(args) -> int:
-    from repro.core.session import (
-        BleBackscatterSession,
-        DsssBackscatterSession,
-        QuaternaryWifiSession,
-        WifiBackscatterSession,
-        ZigbeeBackscatterSession,
-    )
-
-    sessions = {
-        "wifi": WifiBackscatterSession,
-        "zigbee": ZigbeeBackscatterSession,
-        "bluetooth": BleBackscatterSession,
-        "dsss": DsssBackscatterSession,
-        "wifi-quaternary": QuaternaryWifiSession,
-    }
-    session = sessions[args.radio](seed=args.seed)
+    session = create_session(args.radio, seed=args.seed)
     result = session.run_packet(snr_db=args.snr)
     print(f"radio={args.radio} snr={args.snr:.1f} dB: "
           f"delivered={result.delivered} "
@@ -115,12 +146,18 @@ def _cmd_packet(args) -> int:
 
 
 def _cmd_mac(args) -> int:
-    from repro.sim.macsim import MacExperiment
+    from repro.sim.engine import ExperimentEngine, MacExperimentSpec
 
-    exp = MacExperiment(measured_rounds=12, simulated_rounds=args.rounds,
-                        seed=args.seed)
+    spec = MacExperimentSpec(tag_counts=tuple(args.tags),
+                             measured_rounds=12,
+                             simulated_rounds=args.rounds,
+                             seed=args.seed)
+    result = ExperimentEngine(n_jobs=args.jobs).run(spec)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0
     rows = [[p.n_tags, p.measured_kbps, p.simulated_kbps, p.tdm_kbps,
-             p.fairness] for p in exp.sweep(args.tags)]
+             p.fairness] for p in result.points]
     print(format_table(
         ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
          "fairness"], rows, title="multi-tag MAC"))
@@ -128,7 +165,7 @@ def _cmd_mac(args) -> int:
 
 
 def _cmd_regime(_args) -> int:
-    configs = [config_by_name(r) for r in ("wifi", "zigbee", "bluetooth")]
+    configs = [config_by_name(r) for r in config_names()]
     rows = []
     for d_tx in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 4.5):
         rows.append([d_tx] + [c.budget().max_range_m(d_tx, c.sensitivity_dbm())

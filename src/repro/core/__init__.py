@@ -8,9 +8,18 @@
   bits from the two receivers' decoded streams (Table 1).
 * :mod:`repro.core.session` — end-to-end single-tag backscatter links
   for each of the three radios.
+* :mod:`repro.core.registry` — the unified session registry every
+  driver (CLI, link simulator, experiment engine) builds sessions from.
 """
 
 from repro.core.codebook import Codebook, Codeword, bluetooth_codebook, zigbee_codebook
+from repro.core.registry import (
+    BackscatterSession,
+    create_session,
+    register_session,
+    registered_radios,
+    session_from_config,
+)
 from repro.core.translation import (
     PhaseTranslator,
     FskShiftTranslator,
@@ -44,6 +53,11 @@ def __getattr__(name):
 __all__ = [
     "Codebook",
     "Codeword",
+    "BackscatterSession",
+    "create_session",
+    "register_session",
+    "registered_radios",
+    "session_from_config",
     "bluetooth_codebook",
     "zigbee_codebook",
     "PhaseTranslator",

@@ -11,8 +11,9 @@ packets, so goodput = bits-per-packet x packet rate x delivery ratio.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
@@ -27,9 +28,50 @@ from repro.tag.tag import ExcitationInfo, FreeRiderTag
 from repro.utils.bits import random_bits
 from repro.utils.rng import make_rng
 
-__all__ = ["SessionResult", "WifiBackscatterSession",
+__all__ = ["SessionResult", "Excitation", "WifiBackscatterSession",
            "ZigbeeBackscatterSession", "BleBackscatterSession",
            "DsssBackscatterSession"]
+
+
+@dataclass
+class Excitation:
+    """A ready-to-backscatter excitation packet (waveform + geometry).
+
+    Building the excitation waveform (OFDM modulation, chip spreading,
+    GFSK filtering) dominates ``run_packet``'s cost, yet the tag's BER
+    statistics only depend on the waveform through the noise — so the
+    experiment engine draws one excitation per distance point with
+    :meth:`~WifiBackscatterSession.make_excitation` and reuses it for
+    every packet at that point.
+    """
+
+    frame: Any                  # per-radio frame object (samples + bits)
+    info: ExcitationInfo
+
+
+class _FrameCache:
+    """Tiny LRU memo for ``transmitter.build`` keyed by payload.
+
+    Sessions funnel every build through this so repeated payloads (the
+    all-zeros probe of ``capacity_bits``, the engine's shared per-point
+    excitation) skip the full modulation chain.  Bounded so the legacy
+    random-payload path cannot grow it.
+    """
+
+    def __init__(self, max_entries: int = 4):
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._max = max_entries
+
+    def get_or_build(self, key, build):
+        frame = self._entries.get(key)
+        if frame is None:
+            frame = build()
+            self._entries[key] = frame
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return frame
 
 
 @dataclass
@@ -86,12 +128,40 @@ class WifiBackscatterSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
+        self._frames = _FrameCache()
 
     def capacity_bits(self) -> int:
         """Tag bits per excitation packet (at the configured payload)."""
-        frame = self.transmitter.build(bytes(self.payload_bytes))
+        psdu = bytes(self.payload_bytes)
+        frame = self._frames.get_or_build(
+            (psdu, None), lambda: self.transmitter.build(psdu))
         info = self._info(frame)
         return self.tag.capacity_bits(info)
+
+    def make_excitation(self,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Excitation:
+        """Draw one excitation packet (reusable across ``run_packet``\\ s).
+
+        With *rng* the whole draw — payload and scrambler seed — comes
+        from that generator, making the result independent of the
+        transmitter's stream state (the engine's determinism contract);
+        without it the transmitter's own stream is used, matching the
+        legacy per-packet behaviour.
+        """
+        if rng is None:
+            psdu = self.transmitter.random_psdu(self.payload_bytes)
+            frame = self._frames.get_or_build(
+                (psdu, None), lambda: self.transmitter.build(psdu))
+        else:
+            gen = make_rng(rng)
+            psdu = bytes(int(b) for b in gen.integers(
+                0, 256, size=self.payload_bytes))
+            seed = int(gen.integers(1, 128))
+            frame = self._frames.get_or_build(
+                (psdu, seed),
+                lambda: self.transmitter.build(psdu, scrambler_seed=seed))
+        return Excitation(frame=frame, info=self._info(frame))
 
     def _info(self, frame) -> ExcitationInfo:
         # The tag defers one extra OFDM symbol: the first DATA symbol
@@ -109,12 +179,13 @@ class WifiBackscatterSession:
 
     def run_packet(self, snr_db: float, tag_bits=None,
                    incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
         """One excitation packet end-to-end at the given backscatter SNR."""
         gen = make_rng(rng if rng is not None else self._rng)
-        psdu = self.transmitter.random_psdu(self.payload_bytes)
-        frame = self.transmitter.build(psdu)
-        info = self._info(frame)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
@@ -188,6 +259,7 @@ class ZigbeeBackscatterSession:
         self.repetition = repetition
         self.sps = sps
         self._header_symbols = HEADER_SYMBOLS
+        self._frames = _FrameCache()
 
     @property
     def sample_rate_hz(self) -> float:
@@ -212,17 +284,37 @@ class ZigbeeBackscatterSession:
         )
 
     def capacity_bits(self) -> int:
-        frame = self.transmitter.build(bytes(self.payload_bytes))
+        frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
+
+    def _build_frame(self, payload: bytes):
+        # ZigBee frame construction is deterministic per payload, so the
+        # memo key is just the payload itself.
+        return self._frames.get_or_build(
+            payload, lambda: self.transmitter.build(payload))
+
+    def make_excitation(self,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Excitation:
+        """Draw one excitation packet (reusable across ``run_packet``\\ s)."""
+        if rng is None:
+            payload = self.transmitter.random_payload(self.payload_bytes)
+        else:
+            gen = make_rng(rng)
+            payload = bytes(int(b) for b in gen.integers(
+                0, 256, size=self.payload_bytes))
+        frame = self._build_frame(payload)
+        return Excitation(frame=frame, info=self._info(frame))
 
     def run_packet(self, snr_db: float, tag_bits=None,
                    incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
         """One excitation packet end-to-end at the given backscatter SNR."""
         gen = make_rng(rng if rng is not None else self._rng)
-        payload = self.transmitter.random_payload(self.payload_bytes)
-        frame = self.transmitter.build(payload)
-        info = self._info(frame)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
@@ -266,6 +358,7 @@ class BleBackscatterSession:
         self.repetition = repetition
         self.sps = sps
         self._header_bits = 8 * 5  # preamble + access address
+        self._frames = _FrameCache()
 
     @property
     def sample_rate_hz(self) -> float:
@@ -286,17 +379,35 @@ class BleBackscatterSession:
         )
 
     def capacity_bits(self) -> int:
-        frame = self.transmitter.build(bytes(self.payload_bytes))
+        frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
+
+    def _build_frame(self, payload: bytes):
+        return self._frames.get_or_build(
+            payload, lambda: self.transmitter.build(payload))
+
+    def make_excitation(self,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Excitation:
+        """Draw one excitation packet (reusable across ``run_packet``\\ s)."""
+        if rng is None:
+            payload = self.transmitter.random_payload(self.payload_bytes)
+        else:
+            gen = make_rng(rng)
+            payload = bytes(int(b) for b in gen.integers(
+                0, 256, size=self.payload_bytes))
+        frame = self._build_frame(payload)
+        return Excitation(frame=frame, info=self._info(frame))
 
     def run_packet(self, snr_db: float, tag_bits=None,
                    incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
         """One excitation packet end-to-end at the given backscatter SNR."""
         gen = make_rng(rng if rng is not None else self._rng)
-        payload = self.transmitter.random_payload(self.payload_bytes)
-        frame = self.transmitter.build(payload)
-        info = self._info(frame)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
@@ -352,6 +463,7 @@ class DsssBackscatterSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
+        self._frames = _FrameCache()
 
     def _info(self, frame) -> ExcitationInfo:
         return ExcitationInfo(
@@ -364,17 +476,35 @@ class DsssBackscatterSession:
 
     def capacity_bits(self) -> int:
         """Tag bits per excitation packet."""
-        frame = self.transmitter.build(bytes(self.payload_bytes))
+        frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
+
+    def _build_frame(self, psdu: bytes):
+        return self._frames.get_or_build(
+            psdu, lambda: self.transmitter.build(psdu))
+
+    def make_excitation(self,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Excitation:
+        """Draw one excitation packet (reusable across ``run_packet``\\ s)."""
+        if rng is None:
+            psdu = self.transmitter.random_psdu(self.payload_bytes)
+        else:
+            gen = make_rng(rng)
+            psdu = bytes(int(b) for b in gen.integers(
+                0, 256, size=self.payload_bytes))
+        frame = self._build_frame(psdu)
+        return Excitation(frame=frame, info=self._info(frame))
 
     def run_packet(self, snr_db: float, tag_bits=None,
                    incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
         """One excitation packet end-to-end at the given backscatter SNR."""
         gen = make_rng(rng if rng is not None else self._rng)
-        psdu = self.transmitter.random_psdu(self.payload_bytes)
-        frame = self.transmitter.build(psdu)
-        info = self._info(frame)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
@@ -431,6 +561,7 @@ class QuaternaryWifiSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
+        self._frames = _FrameCache()
 
     def _info(self, frame) -> ExcitationInfo:
         # Same SERVICE-symbol deferral as the binary session.
@@ -444,12 +575,33 @@ class QuaternaryWifiSession:
 
     def capacity_bits(self) -> int:
         """Tag bits per excitation packet (2 per phase step)."""
-        frame = self.transmitter.build(bytes(self.payload_bytes))
+        psdu = bytes(self.payload_bytes)
+        frame = self._frames.get_or_build(
+            (psdu, None), lambda: self.transmitter.build(psdu))
         return self.tag.capacity_bits(self._info(frame))
+
+    def make_excitation(self,
+                        rng: Optional[np.random.Generator] = None
+                        ) -> Excitation:
+        """Draw one excitation packet (reusable across ``run_packet``\\ s)."""
+        if rng is None:
+            psdu = self.transmitter.random_psdu(self.payload_bytes)
+            frame = self._frames.get_or_build(
+                (psdu, None), lambda: self.transmitter.build(psdu))
+        else:
+            gen = make_rng(rng)
+            psdu = bytes(int(b) for b in gen.integers(
+                0, 256, size=self.payload_bytes))
+            seed = int(gen.integers(1, 128))
+            frame = self._frames.get_or_build(
+                (psdu, seed),
+                lambda: self.transmitter.build(psdu, scrambler_seed=seed))
+        return Excitation(frame=frame, info=self._info(frame))
 
     def run_packet(self, snr_db: float, tag_bits=None,
                    incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None) -> SessionResult:
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
         """One excitation packet end-to-end at the given backscatter SNR."""
         from repro.core.quaternary import (
             QuaternaryTagDecoder,
@@ -457,9 +609,9 @@ class QuaternaryWifiSession:
         )
 
         gen = make_rng(rng if rng is not None else self._rng)
-        psdu = self.transmitter.random_psdu(self.payload_bytes)
-        frame = self.transmitter.build(psdu)
-        info = self._info(frame)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
 
         if tag_bits is None:
             capacity = self.tag.capacity_bits(info)

@@ -155,8 +155,6 @@ class ConvolutionalCode:
 
         path_metric = np.full(n, -np.inf)
         path_metric[0] = 0.0
-        survivors = np.zeros((n_steps, n), dtype=np.uint8)
-        prev_state_tbl = np.zeros((n_steps, n), dtype=np.int64)
 
         # Each target state has exactly two (predecessor, input-bit) pairs;
         # precompute them so the add-compare-select is fully vectorised.
@@ -172,21 +170,35 @@ class ConvolutionalCode:
         exp0_pred = exp0[pred, pbit]  # (n,2) expected first output symbol
         exp1_pred = exp1[pred, pbit]
 
+        # All branch metrics up front in one vectorised pass; lay the two
+        # predecessor slots out as one flat (n_steps, 2n) array so the
+        # serial recursion needs only one gather + one add per step.
+        bm = (llr[0::2, None, None] * exp0_pred[None, :, :]
+              + llr[1::2, None, None] * exp1_pred[None, :, :])
+        bm_flat = np.ascontiguousarray(
+            np.concatenate([bm[:, :, 0], bm[:, :, 1]], axis=1))
+        pred_flat = np.concatenate([pred[:, 0], pred[:, 1]])
+
+        # choice[t, s]: which of the two predecessors of s survived at t.
+        # Strict > matches np.argmax's first-index tie-breaking (slot 0
+        # wins ties), keeping decodes bit-identical to the reference
+        # per-step formulation.
+        choices = np.zeros((n_steps, n), dtype=bool)
+        cand = np.empty(2 * n)
+        c0, c1 = cand[:n], cand[n:]
         for t in range(n_steps):
-            l0, l1 = llr[2 * t], llr[2 * t + 1]
-            cand = path_metric[pred] + exp0_pred * l0 + exp1_pred * l1  # (n,2)
-            choice = np.argmax(cand, axis=1)
-            rows = np.arange(n)
-            path_metric = cand[rows, choice]
-            survivors[t] = pbit[rows, choice].astype(np.uint8)
-            prev_state_tbl[t] = pred[rows, choice]
+            np.take(path_metric, pred_flat, out=cand)
+            cand += bm_flat[t]
+            choice = np.greater(c1, c0, out=choices[t])
+            path_metric = np.where(choice, c1, c0)
 
         # Traceback from the best final state.
         state = int(np.argmax(path_metric))
         decoded = np.zeros(n_steps, dtype=np.uint8)
         for t in range(n_steps - 1, -1, -1):
-            decoded[t] = survivors[t, state]
-            state = int(prev_state_tbl[t, state])
+            slot = 1 if choices[t, state] else 0
+            decoded[t] = pbit[state, slot]
+            state = int(pred[state, slot])
         return decoded
 
 

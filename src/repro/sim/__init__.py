@@ -1,8 +1,16 @@
 """Experiment layer: calibrated radio configurations, the distance-sweep
 link simulator behind Figures 10-14, the MAC simulator behind Figure 17,
-and result-table formatting."""
+the parallel experiment engine that fans either out over processes, and
+result-table formatting."""
 
 from repro.sim.config import RadioConfig, WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG
+from repro.sim.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    MacExperimentSpec,
+    RunResult,
+    run_experiment,
+)
 from repro.sim.linksim import LinkSimulator, LinkPoint
 from repro.sim.macsim import MacExperiment, MacExperimentPoint
 from repro.sim.charts import ascii_chart, ascii_cdf
@@ -14,6 +22,11 @@ __all__ = [
     "WIFI_CONFIG",
     "ZIGBEE_CONFIG",
     "BLE_CONFIG",
+    "ExperimentEngine",
+    "ExperimentSpec",
+    "MacExperimentSpec",
+    "RunResult",
+    "run_experiment",
     "LinkSimulator",
     "LinkPoint",
     "MacExperiment",

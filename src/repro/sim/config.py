@@ -21,12 +21,14 @@ Calibration notes
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping
 
 from repro.channel.link import BackscatterLinkBudget
 
 __all__ = ["RadioConfig", "WIFI_CONFIG", "ZIGBEE_CONFIG", "BLE_CONFIG",
-           "config_by_name"]
+           "config_by_name", "config_names"]
 
 
 @dataclass(frozen=True)
@@ -59,6 +61,29 @@ class RadioConfig:
     def sensitivity_dbm(self) -> float:
         """Minimum backscatter RSSI for ~50 % packet delivery."""
         return self.budget().noise_dbm + self.decode_threshold_snr_db
+
+    # -- serialization / derivation --------------------------------------
+    # Experiment specs carry configs across process boundaries and into
+    # JSON result files, and the CLI derives one-off variants
+    # (--payload-bytes, --repetition) without hand-building dataclasses.
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe; round-trips via :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RadioConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys are ignored so configs serialized by a newer
+        version of the code still load.
+        """
+        names = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def replace(self, **overrides) -> "RadioConfig":
+        """Copy with *overrides* applied (the config is frozen)."""
+        return dataclasses.replace(self, **overrides)
 
 
 WIFI_CONFIG = RadioConfig(
@@ -115,3 +140,8 @@ def config_by_name(name: str) -> RadioConfig:
     except KeyError:
         raise ValueError(f"unknown radio {name!r}; "
                          f"choose from {sorted(_CONFIGS)}") from None
+
+
+def config_names() -> List[str]:
+    """Sorted names of every calibrated radio configuration."""
+    return sorted(_CONFIGS)

@@ -1,0 +1,358 @@
+"""Parallel, deterministic experiment engine.
+
+Every evaluation figure re-runs the signal-level PHY chain hundreds of
+times; serially that is the dominant wall-clock cost of the repo.  The
+engine fans the independent units of work — distance points for link
+sweeps (Figures 10-13), tag counts for the MAC experiment (Figure 17) —
+out over a ``ProcessPoolExecutor`` while keeping results bit-identical
+for any worker count.
+
+Determinism contract
+--------------------
+The master seed is expanded with ``numpy.random.SeedSequence.spawn``
+into one child per task *in task order*, and each task derives every
+random draw (fading, payload, scrambler seed, tag bits, noise) from its
+own child generator.  Results therefore depend only on
+``(spec, task index)`` — never on which worker ran the task or in what
+order — so ``n_jobs=1`` and ``n_jobs=8`` agree point-for-point.
+
+Worker-side caching
+-------------------
+Each worker process keeps one :class:`~repro.sim.linksim.LinkSimulator`
+per spec (sessions carry PHY chains that are expensive to wire up) and
+shares a single excitation frame across all packets of a distance point
+(``share_excitation=True``), so the OFDM/chip waveform is modulated
+once per point instead of once per packet.
+
+Typical use::
+
+    spec = ExperimentSpec(config=WIFI_CONFIG, deployment=Deployment.los(1.0),
+                          distances_m=(1, 5, 10, 20), packets_per_point=10,
+                          seed=100)
+    result = ExperimentEngine(n_jobs=4).run(spec)
+    result.points          # List[LinkPoint], same for any n_jobs
+    result.packets_per_second
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from itertools import repeat
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.channel.geometry import Deployment
+from repro.channel.pathloss import PathLossModel
+from repro.mac.aloha import AlohaConfig
+from repro.sim.config import RadioConfig
+
+__all__ = ["ExperimentSpec", "MacExperimentSpec", "RunResult",
+           "ExperimentEngine", "run_experiment", "default_n_jobs"]
+
+
+# -- deployment (de)serialization ----------------------------------------
+# Specs cross process boundaries (pickle) and land in JSON result files
+# (to_dict), so the geometry needs a plain-dict form too.
+
+def _pathloss_to_dict(model: PathLossModel) -> Dict[str, Any]:
+    return {
+        "exponent": model.exponent,
+        "pl_d0_db": model.pl_d0_db,
+        "walls": [list(w) for w in model.walls],
+        "shadowing_sigma_db": model.shadowing_sigma_db,
+        "name": model.name,
+    }
+
+
+def _pathloss_from_dict(data: Dict[str, Any]) -> PathLossModel:
+    return PathLossModel(
+        exponent=data["exponent"],
+        pl_d0_db=data["pl_d0_db"],
+        walls=tuple(tuple(w) for w in data.get("walls", ())),
+        shadowing_sigma_db=data.get("shadowing_sigma_db", 0.0),
+        name=data.get("name", "log-distance"),
+    )
+
+
+def _deployment_to_dict(dep: Deployment) -> Dict[str, Any]:
+    return {
+        "tx_to_tag_m": dep.tx_to_tag_m,
+        "tag_to_rx_m": dep.tag_to_rx_m,
+        "forward_path": _pathloss_to_dict(dep.forward_path),
+        "backscatter_path": _pathloss_to_dict(dep.backscatter_path),
+        "name": dep.name,
+    }
+
+
+def _deployment_from_dict(data: Dict[str, Any]) -> Deployment:
+    return Deployment(
+        tx_to_tag_m=data["tx_to_tag_m"],
+        tag_to_rx_m=data["tag_to_rx_m"],
+        forward_path=_pathloss_from_dict(data["forward_path"]),
+        backscatter_path=_pathloss_from_dict(data["backscatter_path"]),
+        name=data.get("name", "deployment"),
+    )
+
+
+# -- specs ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one link-level distance sweep."""
+
+    config: RadioConfig
+    deployment: Deployment
+    distances_m: Tuple[float, ...]
+    packets_per_point: int = 20
+    seed: int = 0
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "distances_m",
+                           tuple(float(d) for d in self.distances_m))
+        if not self.distances_m:
+            raise ValueError("spec needs at least one distance")
+        if self.packets_per_point < 1:
+            raise ValueError("packets_per_point must be >= 1")
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.distances_m)
+
+    @property
+    def n_packets(self) -> int:
+        return self.n_tasks * self.packets_per_point
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "link_sweep",
+            "config": self.config.to_dict(),
+            "deployment": _deployment_to_dict(self.deployment),
+            "distances_m": list(self.distances_m),
+            "packets_per_point": self.packets_per_point,
+            "seed": self.seed,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentSpec":
+        return cls(
+            config=RadioConfig.from_dict(data["config"]),
+            deployment=_deployment_from_dict(data["deployment"]),
+            distances_m=tuple(data["distances_m"]),
+            packets_per_point=data["packets_per_point"],
+            seed=data["seed"],
+            label=data.get("label", ""),
+        )
+
+    def session_key(self) -> str:
+        """Cache key for worker-side simulator reuse: everything that
+        shapes the session/budget, excluding distances and seed."""
+        payload = {"config": self.config.to_dict(),
+                   "deployment": _deployment_to_dict(self.deployment),
+                   "packets_per_point": self.packets_per_point}
+        return json.dumps(payload, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class MacExperimentSpec:
+    """Declarative description of one MAC tag-count sweep."""
+
+    tag_counts: Tuple[int, ...]
+    measured_rounds: int = 12
+    simulated_rounds: int = 400
+    seed: int = 0
+    config: Optional[AlohaConfig] = None
+    label: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "tag_counts",
+                           tuple(int(n) for n in self.tag_counts))
+        if not self.tag_counts:
+            raise ValueError("spec needs at least one tag count")
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tag_counts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": "mac_sweep",
+            "tag_counts": list(self.tag_counts),
+            "measured_rounds": self.measured_rounds,
+            "simulated_rounds": self.simulated_rounds,
+            "seed": self.seed,
+            "config": (dataclasses.asdict(self.config)
+                       if self.config is not None else None),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MacExperimentSpec":
+        cfg = data.get("config")
+        return cls(
+            tag_counts=tuple(data["tag_counts"]),
+            measured_rounds=data["measured_rounds"],
+            simulated_rounds=data["simulated_rounds"],
+            seed=data["seed"],
+            config=AlohaConfig(**cfg) if cfg is not None else None,
+            label=data.get("label", ""),
+        )
+
+
+Spec = Union[ExperimentSpec, MacExperimentSpec]
+
+
+# -- results --------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """Points plus the timing metadata of the run that produced them."""
+
+    spec: Spec
+    points: List[Any]
+    wall_time_s: float
+    n_jobs: int
+    n_tasks: int
+    packets_simulated: int = 0
+
+    @property
+    def packets_per_second(self) -> float:
+        if self.wall_time_s <= 0 or not self.packets_simulated:
+            return 0.0
+        return self.packets_simulated / self.wall_time_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "points": [dataclasses.asdict(p) for p in self.points],
+            "timing": {
+                "wall_time_s": self.wall_time_s,
+                "n_jobs": self.n_jobs,
+                "n_tasks": self.n_tasks,
+                "packets_simulated": self.packets_simulated,
+                "packets_per_second": self.packets_per_second,
+            },
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        # NaN (the no-data BER sentinel) is not valid strict JSON; emit
+        # null instead so any consumer can parse the output.
+        def _clean(obj):
+            if isinstance(obj, float):
+                return None if np.isnan(obj) else obj
+            if isinstance(obj, dict):
+                return {k: _clean(v) for k, v in obj.items()}
+            if isinstance(obj, (list, tuple)):
+                return [_clean(v) for v in obj]
+            return obj
+
+        return json.dumps(_clean(self.to_dict()), **dumps_kwargs)
+
+
+# -- worker side ----------------------------------------------------------
+# Module-level so they pickle under every start method.  Each worker
+# process keeps a small simulator cache: sessions wire up full PHY
+# chains, which is the expensive part of task setup.
+
+_SIM_CACHE: Dict[str, Any] = {}
+_SIM_CACHE_MAX = 8
+
+
+def _simulator_for(spec: ExperimentSpec):
+    from repro.sim.linksim import LinkSimulator
+
+    key = spec.session_key()
+    sim = _SIM_CACHE.get(key)
+    if sim is None:
+        # The seed is irrelevant: engine tasks inject their own per-task
+        # generator, so the simulator's internal stream is never drawn.
+        sim = LinkSimulator(spec.config, spec.deployment,
+                            packets_per_point=spec.packets_per_point,
+                            seed=0)
+        if len(_SIM_CACHE) >= _SIM_CACHE_MAX:
+            _SIM_CACHE.pop(next(iter(_SIM_CACHE)))
+        _SIM_CACHE[key] = sim
+    return sim
+
+
+def _run_link_point(spec: ExperimentSpec, distance_m: float,
+                    seed_seq: np.random.SeedSequence):
+    sim = _simulator_for(spec)
+    rng = np.random.default_rng(seed_seq)
+    return sim.simulate_point(distance_m, rng=rng, share_excitation=True)
+
+
+def _run_mac_point(spec: MacExperimentSpec, n_tags: int,
+                   seed_seq: np.random.SeedSequence):
+    from repro.sim.macsim import MacExperiment
+
+    exp = MacExperiment(config=spec.config,
+                        measured_rounds=spec.measured_rounds,
+                        simulated_rounds=spec.simulated_rounds)
+    return exp.run_point(n_tags, rng=np.random.default_rng(seed_seq))
+
+
+# -- the engine -----------------------------------------------------------
+
+def default_n_jobs() -> int:
+    """A sensible worker count for this machine (capped to keep the
+    fork/IPC overhead of tiny experiments in check)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class ExperimentEngine:
+    """Runs experiment specs, optionally fanned out over processes.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes.  ``1`` executes inline (no pool, no pickling);
+        ``None`` picks :func:`default_n_jobs`.  Any value yields
+        bit-identical results thanks to per-task seed spawning.
+    """
+
+    def __init__(self, n_jobs: Optional[int] = 1):
+        if n_jobs is None:
+            n_jobs = default_n_jobs()
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.n_jobs = int(n_jobs)
+
+    def run(self, spec: Spec) -> RunResult:
+        """Execute one spec and return its points plus timing."""
+        if isinstance(spec, ExperimentSpec):
+            tasks, worker, packets = (spec.distances_m, _run_link_point,
+                                      spec.n_packets)
+        elif isinstance(spec, MacExperimentSpec):
+            tasks, worker, packets = spec.tag_counts, _run_mac_point, 0
+        else:
+            raise TypeError(f"unsupported spec type {type(spec).__name__}")
+
+        children = np.random.SeedSequence(spec.seed).spawn(len(tasks))
+        start = time.perf_counter()
+        if self.n_jobs == 1 or len(tasks) == 1:
+            points = [worker(spec, t, c) for t, c in zip(tasks, children)]
+        else:
+            workers = min(self.n_jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                points = list(pool.map(worker, repeat(spec), tasks, children))
+        wall = time.perf_counter() - start
+        return RunResult(spec=spec, points=points, wall_time_s=wall,
+                         n_jobs=self.n_jobs, n_tasks=len(tasks),
+                         packets_simulated=packets)
+
+    def run_many(self, specs) -> List[RunResult]:
+        """Execute several specs back to back (shared worker budget)."""
+        return [self.run(spec) for spec in specs]
+
+
+def run_experiment(spec: Spec, n_jobs: Optional[int] = 1) -> RunResult:
+    """One-shot convenience wrapper around :class:`ExperimentEngine`."""
+    return ExperimentEngine(n_jobs=n_jobs).run(spec)

@@ -11,21 +11,24 @@ For each receiver distance the simulator:
 3. reports throughput (tag goodput over airtime + inter-packet gap),
    conditional tag BER, delivery ratio, and mean RSSI — the three
    panels of each evaluation figure.
+
+Sweeps can fan out over processes: ``sweep(distances, n_jobs=4)``
+routes through :mod:`repro.sim.engine`, whose per-point seed spawning
+makes the result identical for any worker count (and different from
+the legacy serial stream, which threads one generator through every
+point in order).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.channel.geometry import Deployment
-from repro.core.session import (
-    BleBackscatterSession,
-    WifiBackscatterSession,
-    ZigbeeBackscatterSession,
-)
+from repro.core.registry import session_from_config
 from repro.sim.config import RadioConfig
 from repro.utils.rng import make_rng
 
@@ -34,7 +37,13 @@ __all__ = ["LinkPoint", "LinkSimulator"]
 
 @dataclass
 class LinkPoint:
-    """Aggregate link metrics at one receiver distance."""
+    """Aggregate link metrics at one receiver distance.
+
+    ``ber`` is *conditional* on delivery: when no packet survives at a
+    distance there is no measurement, so ``ber`` is NaN and
+    ``ber_valid`` is False — distinct from a genuinely measured BER of
+    1.0 on delivered packets.
+    """
 
     distance_m: float
     throughput_kbps: float
@@ -42,25 +51,30 @@ class LinkPoint:
     rssi_dbm: float
     delivery_ratio: float
     snr_db: float
+    ber_valid: bool = True
+
+    def __eq__(self, other) -> bool:
+        # Field-wise equality, except that two NaN BERs (the no-data
+        # sentinel) compare equal — identical runs must compare equal.
+        if not isinstance(other, LinkPoint):
+            return NotImplemented
+        ber_eq = (self.ber == other.ber
+                  or (math.isnan(self.ber) and math.isnan(other.ber)))
+        return ber_eq and all(
+            getattr(self, f) == getattr(other, f)
+            for f in ("distance_m", "throughput_kbps", "rssi_dbm",
+                      "delivery_ratio", "snr_db", "ber_valid"))
 
     def row(self) -> str:
         """One formatted results-table row."""
-        ber = f"{self.ber:.1e}" if self.ber > 0 else "<1e-4 "
+        if not self.ber_valid:
+            ber = "n/a".rjust(7)
+        elif self.ber > 0:
+            ber = f"{self.ber:.1e}"
+        else:
+            ber = "<1e-4  "
         return (f"{self.distance_m:7.1f}  {self.throughput_kbps:9.1f}  "
                 f"{ber}  {self.rssi_dbm:8.1f}  {self.delivery_ratio:6.2f}")
-
-
-def _make_session(config: RadioConfig, seed):
-    if config.name == "wifi":
-        return WifiBackscatterSession(payload_bytes=config.payload_bytes,
-                                      repetition=config.repetition, seed=seed)
-    if config.name == "zigbee":
-        return ZigbeeBackscatterSession(payload_bytes=config.payload_bytes,
-                                        repetition=config.repetition, seed=seed)
-    if config.name == "bluetooth":
-        return BleBackscatterSession(payload_bytes=config.payload_bytes,
-                                     repetition=config.repetition, seed=seed)
-    raise ValueError(f"unknown radio {config.name!r}")
 
 
 class LinkSimulator:
@@ -84,12 +98,30 @@ class LinkSimulator:
         self.config = config
         self.deployment = deployment
         self.packets_per_point = packets_per_point
+        self._seed = seed if isinstance(seed, (int, np.integer)) else None
         self._rng = make_rng(seed)
-        self.session = _make_session(config, self._rng)
+        self.session = session_from_config(config, seed=self._rng)
         self.budget = config.budget()
 
-    def simulate_point(self, distance_m: float) -> LinkPoint:
-        """Run one distance point."""
+    def simulate_point(self, distance_m: float, *,
+                       rng: Optional[np.random.Generator] = None,
+                       share_excitation: bool = False) -> LinkPoint:
+        """Run one distance point.
+
+        Parameters
+        ----------
+        rng:
+            Generator for every draw at this point.  Defaults to the
+            simulator's own stream (the legacy serial behaviour); the
+            experiment engine passes a per-point spawned generator so
+            points are independent of execution order.
+        share_excitation:
+            Draw one excitation frame and reuse it for all packets at
+            this point instead of rebuilding the waveform per packet.
+            Statistically equivalent (tag bits, fading, sync and noise
+            still vary per packet) and much faster.
+        """
+        gen = self._rng if rng is None else make_rng(rng)
         dep = self.deployment.with_rx_distance(distance_m)
         mean_rssi = self.budget.rssi_dbm(dep)
         incident = self.budget.tag_incident_dbm(dep)
@@ -100,6 +132,8 @@ class LinkSimulator:
         snr_penalty = (10 * np.log10(self.session.oversample_factor)
                        + self.config.implementation_loss_db)
 
+        excitation = (self.session.make_excitation(gen)
+                      if share_excitation else None)
         bits_ok = 0
         airtime_us = 0.0
         errors = 0
@@ -107,12 +141,13 @@ class LinkSimulator:
         delivered = 0
         rssis: List[float] = []
         for _ in range(self.packets_per_point):
-            rssi = mean_rssi + self._rng.normal(0, self.config.fading_sigma_db)
+            rssi = mean_rssi + gen.normal(0, self.config.fading_sigma_db)
             rssis.append(rssi)
             snr = rssi - noise - snr_penalty
             res = self.session.run_packet(snr_db=snr,
                                           incident_power_dbm=incident,
-                                          rng=self._rng)
+                                          rng=gen,
+                                          excitation=excitation)
             airtime_us += res.duration_us + self.config.interpacket_gap_us
             if res.delivered:
                 delivered += 1
@@ -121,7 +156,7 @@ class LinkSimulator:
                 errors += res.tag_bit_errors
 
         throughput_kbps = bits_ok / airtime_us * 1e3 if airtime_us else 0.0
-        ber = errors / bits_delivered if bits_delivered else 1.0
+        ber = errors / bits_delivered if bits_delivered else math.nan
         return LinkPoint(
             distance_m=distance_m,
             throughput_kbps=throughput_kbps,
@@ -129,11 +164,44 @@ class LinkSimulator:
             rssi_dbm=float(np.mean(rssis)),
             delivery_ratio=delivered / self.packets_per_point,
             snr_db=mean_rssi - noise,
+            ber_valid=bits_delivered > 0,
         )
 
-    def sweep(self, distances_m: Iterable[float]) -> List[LinkPoint]:
-        """Run a full distance sweep."""
-        return [self.simulate_point(d) for d in distances_m]
+    def _spec_seed(self) -> int:
+        """Integer master seed for the engine path (minted lazily when
+        the simulator was seeded with a generator or not at all)."""
+        if self._seed is None:
+            self._seed = int(self._rng.integers(0, 2**63 - 1))
+        return int(self._seed)
+
+    def spec(self, distances_m: Sequence[float]):
+        """The :class:`~repro.sim.engine.ExperimentSpec` equivalent of
+        ``sweep(distances_m, n_jobs=...)``."""
+        from repro.sim.engine import ExperimentSpec
+
+        return ExperimentSpec(config=self.config,
+                              deployment=self.deployment,
+                              distances_m=tuple(distances_m),
+                              packets_per_point=self.packets_per_point,
+                              seed=self._spec_seed())
+
+    def sweep(self, distances_m: Iterable[float],
+              n_jobs: Optional[int] = None) -> List[LinkPoint]:
+        """Run a full distance sweep.
+
+        With ``n_jobs=None`` (default) the sweep runs serially through
+        the simulator's own generator, preserving the historical result
+        stream.  Any integer ``n_jobs`` — including 1 — routes through
+        the parallel engine with per-point seeds, so ``n_jobs=1`` and
+        ``n_jobs=8`` agree point-for-point.
+        """
+        distances = list(distances_m)
+        if n_jobs is None:
+            return [self.simulate_point(d) for d in distances]
+
+        from repro.sim.engine import ExperimentEngine
+
+        return ExperimentEngine(n_jobs=n_jobs).run(self.spec(distances)).points
 
     def max_range_m(self, distances_m: Sequence[float],
                     min_delivery: float = 0.05) -> float:

@@ -44,18 +44,29 @@ class MacExperiment:
         self.config = config or AlohaConfig()
         self.measured_rounds = measured_rounds
         self.simulated_rounds = simulated_rounds
+        self._master_seed = seed if isinstance(seed, (int, np.integer)) \
+            else None
         self._rng = make_rng(seed)
 
-    def _seed(self) -> int:
-        return int(self._rng.integers(0, 2**31 - 1))
+    def _seed(self, gen=None) -> int:
+        gen = self._rng if gen is None else gen
+        return int(gen.integers(0, 2**31 - 1))
 
-    def run_point(self, n_tags: int) -> MacExperimentPoint:
-        """All four metrics for one tag count."""
-        measured = FramedSlottedAloha(self.config, seed=self._seed()) \
+    def run_point(self, n_tags: int,
+                  rng: Optional[np.random.Generator] = None
+                  ) -> MacExperimentPoint:
+        """All four metrics for one tag count.
+
+        *rng*, when given, supplies the three scheme seeds instead of
+        the experiment's own stream; the experiment engine passes a
+        per-point spawned generator so points are independent of
+        execution order.
+        """
+        measured = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
             .simulate(n_tags, n_rounds=self.measured_rounds)
-        simulated = FramedSlottedAloha(self.config, seed=self._seed()) \
+        simulated = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
             .simulate(n_tags, n_rounds=self.simulated_rounds)
-        tdm = TdmScheme(self.config, seed=self._seed()) \
+        tdm = TdmScheme(self.config, seed=self._seed(rng)) \
             .simulate(n_tags, n_rounds=self.simulated_rounds)
         return MacExperimentPoint(
             n_tags=n_tags,
@@ -65,10 +76,37 @@ class MacExperiment:
             fairness=measured.fairness,
         )
 
-    def sweep(self, tag_counts: Sequence[int] = (4, 8, 12, 16, 20)
-              ) -> List[MacExperimentPoint]:
-        """The Figure 17 sweep."""
-        return [self.run_point(n) for n in tag_counts]
+    def _spec_seed(self) -> int:
+        if self._master_seed is None:
+            self._master_seed = int(self._rng.integers(0, 2**63 - 1))
+        return int(self._master_seed)
+
+    def spec(self, tag_counts: Sequence[int]):
+        """The :class:`~repro.sim.engine.MacExperimentSpec` equivalent
+        of ``sweep(tag_counts, n_jobs=...)``."""
+        from repro.sim.engine import MacExperimentSpec
+
+        return MacExperimentSpec(tag_counts=tuple(tag_counts),
+                                 measured_rounds=self.measured_rounds,
+                                 simulated_rounds=self.simulated_rounds,
+                                 seed=self._spec_seed(),
+                                 config=self.config)
+
+    def sweep(self, tag_counts: Sequence[int] = (4, 8, 12, 16, 20),
+              n_jobs: Optional[int] = None) -> List[MacExperimentPoint]:
+        """The Figure 17 sweep.
+
+        ``n_jobs=None`` keeps the historical serial stream; any integer
+        routes through the parallel engine with per-point seeds (same
+        results for every worker count).
+        """
+        if n_jobs is None:
+            return [self.run_point(n) for n in tag_counts]
+
+        from repro.sim.engine import ExperimentEngine
+
+        return ExperimentEngine(n_jobs=n_jobs).run(
+            self.spec(tag_counts)).points
 
     def asymptote_kbps(self, n_tags: int = 200, scheme: str = "aloha") -> float:
         """Throughput limit for a large population (section 4.5).

@@ -1,0 +1,97 @@
+"""Tests for the unified session registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.registry import (
+    BackscatterSession,
+    create_session,
+    register_session,
+    registered_radios,
+    session_from_config,
+    _FACTORIES,
+)
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+
+
+class TestRegistryContents:
+    def test_all_paper_radios_registered(self):
+        radios = registered_radios()
+        for name in ("wifi", "zigbee", "bluetooth", "dsss",
+                     "wifi-quaternary"):
+            assert name in radios
+
+    def test_registered_radios_sorted(self):
+        radios = registered_radios()
+        assert radios == sorted(radios)
+
+    @pytest.mark.parametrize("name", ["wifi", "zigbee", "bluetooth",
+                                      "dsss", "wifi-quaternary"])
+    def test_each_radio_satisfies_the_protocol(self, name):
+        session = create_session(name, seed=1)
+        assert isinstance(session, BackscatterSession)
+        assert session.capacity_bits() > 0
+        assert session.oversample_factor >= 1
+        assert session.sample_rate_hz > 0
+
+    def test_create_session_runs_a_packet(self):
+        session = create_session("zigbee", seed=3, payload_bytes=24)
+        result = session.run_packet(snr_db=25.0)
+        assert result.tag_bits_sent > 0
+
+
+class TestErrors:
+    def test_unknown_name_lists_registered_radios(self):
+        with pytest.raises(ValueError) as err:
+            create_session("lora")
+        message = str(err.value)
+        assert "lora" in message
+        for name in registered_radios():
+            assert name in message
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(create_session("WiFi", seed=1),
+                          BackscatterSession)
+
+
+class TestRegistration:
+    def test_register_decorator_and_last_wins(self):
+        calls = []
+
+        @register_session("test-radio")
+        def _factory(**kwargs):
+            calls.append(kwargs)
+            return create_session("bluetooth", **kwargs)
+
+        try:
+            assert "test-radio" in registered_radios()
+            session = create_session("test-radio", seed=2)
+            assert isinstance(session, BackscatterSession)
+            assert calls == [{"seed": 2}]
+
+            # Re-registering the same name replaces the factory.
+            marker = object()
+            register_session("test-radio", lambda **kw: marker)
+            assert create_session("test-radio") is marker
+        finally:
+            _FACTORIES.pop("test-radio", None)
+
+
+class TestSessionFromConfig:
+    def test_forwards_calibrated_parameters(self):
+        session = session_from_config(BLE_CONFIG, seed=4)
+        assert session.payload_bytes == BLE_CONFIG.payload_bytes
+
+    def test_same_seed_reproduces(self):
+        a = session_from_config(ZIGBEE_CONFIG, seed=8)
+        b = session_from_config(ZIGBEE_CONFIG, seed=8)
+        ra = a.run_packet(snr_db=20.0)
+        rb = b.run_packet(snr_db=20.0)
+        assert ra.tag_bit_errors == rb.tag_bit_errors
+        assert ra.delivered == rb.delivered
+
+    def test_wifi_config_maps_to_wifi_session(self):
+        from repro.core.session import WifiBackscatterSession
+
+        assert isinstance(session_from_config(WIFI_CONFIG, seed=1),
+                          WifiBackscatterSession)

@@ -1,0 +1,142 @@
+"""Tests for the parallel experiment engine: the determinism contract
+(worker count never changes results), spec serialization, and the
+timing metadata on :class:`RunResult`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    MacExperimentSpec,
+    RunResult,
+    default_n_jobs,
+    run_experiment,
+)
+from repro.sim.linksim import LinkSimulator
+from repro.sim.macsim import MacExperiment
+
+
+def _small_spec(config, payload_bytes, distances=(2.0, 30.0), packets=2,
+                seed=7):
+    # Shrunk payloads keep the PHY chain fast without changing any of
+    # the engine's control flow.
+    return ExperimentSpec(config=config.replace(payload_bytes=payload_bytes),
+                          deployment=Deployment.los(1.0),
+                          distances_m=distances,
+                          packets_per_point=packets, seed=seed)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config,payload", [
+        pytest.param(WIFI_CONFIG, 200, marks=pytest.mark.slow, id="wifi"),
+        pytest.param(ZIGBEE_CONFIG, 24, id="zigbee"),
+        pytest.param(BLE_CONFIG, 40, id="bluetooth"),
+    ])
+    def test_sweep_is_worker_count_invariant(self, config, payload):
+        spec = _small_spec(config, payload)
+        serial = ExperimentEngine(n_jobs=1).run(spec)
+        parallel = ExperimentEngine(n_jobs=4).run(spec)
+        assert serial.points == parallel.points
+
+    def test_linksim_sweep_n_jobs_matches_engine(self):
+        cfg = ZIGBEE_CONFIG.replace(payload_bytes=24)
+        sim1 = LinkSimulator(cfg, Deployment.los(1.0), packets_per_point=2,
+                             seed=11)
+        sim2 = LinkSimulator(cfg, Deployment.los(1.0), packets_per_point=2,
+                             seed=11)
+        assert sim1.sweep((2.0, 10.0), n_jobs=1) == \
+            sim2.sweep((2.0, 10.0), n_jobs=2)
+
+    def test_mac_sweep_is_worker_count_invariant(self):
+        spec = MacExperimentSpec(tag_counts=(4, 8), measured_rounds=4,
+                                 simulated_rounds=40, seed=5)
+        serial = ExperimentEngine(n_jobs=1).run(spec)
+        parallel = ExperimentEngine(n_jobs=2).run(spec)
+        assert serial.points == parallel.points
+
+    def test_mac_experiment_sweep_n_jobs(self):
+        exp1 = MacExperiment(measured_rounds=4, simulated_rounds=40, seed=9)
+        exp2 = MacExperiment(measured_rounds=4, simulated_rounds=40, seed=9)
+        assert exp1.sweep((4, 8), n_jobs=1) == exp2.sweep((4, 8), n_jobs=2)
+
+    def test_same_seed_same_points_across_runs(self):
+        spec = _small_spec(BLE_CONFIG, 40)
+        a = run_experiment(spec, n_jobs=1)
+        b = run_experiment(spec, n_jobs=1)
+        assert a.points == b.points
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(_small_spec(BLE_CONFIG, 40, seed=1), n_jobs=1)
+        b = run_experiment(_small_spec(BLE_CONFIG, 40, seed=2), n_jobs=1)
+        assert a.points != b.points
+
+
+class TestSpecs:
+    def test_link_spec_round_trip(self):
+        spec = ExperimentSpec(config=WIFI_CONFIG,
+                              deployment=Deployment.nlos(1.5),
+                              distances_m=(1, 5, 10),
+                              packets_per_point=3, seed=42, label="fig11")
+        assert ExperimentSpec.from_dict(spec.to_dict()) == spec
+        # to_dict must be JSON-serializable as-is.
+        json.dumps(spec.to_dict())
+
+    def test_mac_spec_round_trip(self):
+        spec = MacExperimentSpec(tag_counts=(4, 8, 12), measured_rounds=6,
+                                 simulated_rounds=50, seed=3)
+        assert MacExperimentSpec.from_dict(spec.to_dict()) == spec
+        json.dumps(spec.to_dict())
+
+    def test_distances_coerced_to_floats(self):
+        spec = _small_spec(BLE_CONFIG, 40, distances=(1, 2))
+        assert spec.distances_m == (1.0, 2.0)
+        assert spec.n_tasks == 2
+        assert spec.n_packets == 4
+
+    def test_empty_distances_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(config=BLE_CONFIG, deployment=Deployment.los(1.0),
+                           distances_m=())
+
+    def test_bad_packet_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(config=BLE_CONFIG, deployment=Deployment.los(1.0),
+                           distances_m=(1.0,), packets_per_point=0)
+
+
+class TestRunResult:
+    def test_timing_metadata(self):
+        spec = _small_spec(BLE_CONFIG, 40)
+        result = ExperimentEngine(n_jobs=1).run(spec)
+        assert isinstance(result, RunResult)
+        assert result.n_tasks == 2
+        assert result.n_jobs == 1
+        assert result.wall_time_s > 0
+        assert result.packets_simulated == spec.n_packets
+        assert result.packets_per_second == pytest.approx(
+            spec.n_packets / result.wall_time_s)
+
+    def test_json_is_strict_and_nan_free(self):
+        # Distance 500 m guarantees zero delivery, hence a NaN BER point.
+        spec = _small_spec(BLE_CONFIG, 40, distances=(500.0,), packets=1)
+        result = ExperimentEngine(n_jobs=1).run(spec)
+        assert not result.points[0].ber_valid
+        record = json.loads(result.to_json())  # strict JSON: no NaN token
+        assert record["points"][0]["ber"] is None
+        assert record["spec"]["kind"] == "link_sweep"
+
+    def test_engine_rejects_unknown_spec(self):
+        with pytest.raises(TypeError):
+            ExperimentEngine(n_jobs=1).run("not a spec")
+
+    def test_bad_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(n_jobs=0)
+
+    def test_default_n_jobs_bounds(self):
+        assert 1 <= default_n_jobs() <= 8

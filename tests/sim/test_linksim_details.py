@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.channel.geometry import Deployment
+from repro.core.registry import session_from_config
 from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
-from repro.sim.linksim import LinkPoint, LinkSimulator, _make_session
+from repro.sim.linksim import LinkPoint, LinkSimulator
 
 
 class TestLinkPoint:
@@ -28,11 +29,11 @@ class TestSessionFactory:
             ZigbeeBackscatterSession,
         )
 
-        assert isinstance(_make_session(WIFI_CONFIG, 1),
+        assert isinstance(session_from_config(WIFI_CONFIG, 1),
                           WifiBackscatterSession)
-        assert isinstance(_make_session(ZIGBEE_CONFIG, 1),
+        assert isinstance(session_from_config(ZIGBEE_CONFIG, 1),
                           ZigbeeBackscatterSession)
-        assert isinstance(_make_session(BLE_CONFIG, 1),
+        assert isinstance(session_from_config(BLE_CONFIG, 1),
                           BleBackscatterSession)
 
     def test_unknown_radio_raises(self):
@@ -40,7 +41,7 @@ class TestSessionFactory:
 
         bad = replace(WIFI_CONFIG, name="lora")
         with pytest.raises(ValueError):
-            _make_session(bad, 1)
+            session_from_config(bad, 1)
 
 
 class TestSnrAccounting:
@@ -77,10 +78,13 @@ class TestThroughputAccounting:
         expected = 115 / (2112 + 150) * 1e3
         assert p.throughput_kbps == pytest.approx(expected, rel=0.02)
 
-    def test_zero_delivery_zero_throughput_ber_one(self):
+    def test_zero_delivery_ber_is_nan_and_flagged(self):
         sim = LinkSimulator(BLE_CONFIG, Deployment.los(1.0),
                             packets_per_point=2, seed=4)
         p = sim.simulate_point(200.0)
         assert p.delivery_ratio == 0.0
         assert p.throughput_kbps == 0.0
-        assert p.ber == 1.0
+        # No tag bits were delivered, so BER is undefined — not 1.0.
+        assert np.isnan(p.ber)
+        assert not p.ber_valid
+        assert "n/a" in p.row()

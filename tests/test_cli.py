@@ -62,3 +62,50 @@ class TestCommands:
                      "--packets", "2", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "zigbee backscatter" in out
+
+
+class TestEngineOptions:
+    def test_packet_radio_choices_come_from_registry(self):
+        from repro.core.registry import registered_radios
+
+        parser = build_parser()
+        for radio in registered_radios():
+            args = parser.parse_args(["packet", "--radio", radio])
+            assert args.radio == radio
+
+    def test_sweep_jobs_output_is_worker_count_invariant(self, capsys):
+        argv = ["sweep", "--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "3"]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_sweep_json_record(self, capsys):
+        import json
+
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2",
+                     "--packets", "2", "--seed", "3", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["kind"] == "link_sweep"
+        assert record["timing"]["n_jobs"] == 1
+        assert record["timing"]["packets_simulated"] == 2
+        assert record["timing"]["packets_per_second"] > 0
+        assert len(record["points"]) == 1
+
+    def test_mac_json_record(self, capsys):
+        import json
+
+        assert main(["mac", "--tags", "4", "--rounds", "10", "--seed", "2",
+                     "--jobs", "2", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["kind"] == "mac_sweep"
+        assert record["timing"]["n_jobs"] == 2
+        assert len(record["points"]) == 1
+
+    def test_sweep_payload_override(self, capsys):
+        assert main(["sweep", "--radio", "bluetooth", "--distances", "2",
+                     "--packets", "1", "--seed", "1",
+                     "--payload-bytes", "60", "--repetition", "18"]) == 0
+        assert "bluetooth backscatter" in capsys.readouterr().out
