@@ -1,6 +1,6 @@
 """Engine micro-benchmark: packets/s of the WiFi distance sweep.
 
-Three configurations of the same experiment are timed:
+Four configurations of the same experiment are timed:
 
 * ``legacy``      — ``LinkSimulator.sweep`` with ``n_jobs=None``: the
   historical serial path that rebuilds the excitation frame for every
@@ -9,6 +9,13 @@ Three configurations of the same experiment are timed:
   with the per-point excitation template cache.
 * ``engine xN``   — the engine fanned out over ``ProcessPoolExecutor``
   workers (N = ``--jobs``, default 4).
+* ``degrade+fault`` — the same sweep with one injected worker fault
+  under the degrade policy (retry once): measures the overhead of the
+  fault-handling layer and asserts the sweep still completes.
+
+Engine runs also record the observability layer's per-stage PHY timers
+(``phy.wifi.encode/channel/decode``) and engine counters in the JSON
+record.
 
 All three produce statistically equivalent sweeps; the engine paths are
 bit-identical to each other for any worker count.  Results go to
@@ -72,7 +79,35 @@ def bench_engine(n_jobs: int):
             "wall_time_s": result.wall_time_s,
             "packets": result.packets_simulated,
             "packets_per_second": result.packets_per_second,
-            "n_points": len(result.points)}
+            "n_points": len(result.points),
+            # per-stage PHY timers + engine counters (observability layer)
+            "metrics": result.metrics,
+            "n_failed": result.n_failed}
+
+
+def bench_degrade_with_fault(n_jobs: int):
+    """Resilience check: one injected worker fault, retried once.
+
+    The sweep must complete with zero failed points and exactly one
+    retry on the engine counters — regressions in the fault-handling
+    path show up here as either a lost point or a changed retry count.
+    """
+    from repro.sim.engine import ExperimentEngine, FailurePolicy, FaultInjector
+
+    engine = ExperimentEngine(
+        n_jobs=n_jobs,
+        failure_policy=FailurePolicy.degrade_policy(max_attempts=2),
+        fault_injector=FaultInjector(fail={0: 1}))
+    result = engine.run(_spec())
+    counters = result.metrics.get("counters", {})
+    return {"label": f"degrade+fault x{n_jobs}", "n_jobs": n_jobs,
+            "wall_time_s": result.wall_time_s,
+            "packets": result.packets_simulated,
+            "packets_per_second": result.packets_per_second,
+            "n_points": len(result.points),
+            "metrics": result.metrics,
+            "n_failed": result.n_failed,
+            "retries": counters.get("engine.retries", 0)}
 
 
 def main(argv=None) -> int:
@@ -81,13 +116,22 @@ def main(argv=None) -> int:
                         help="worker count for the parallel run")
     args = parser.parse_args(argv)
 
-    runs = [bench_legacy(), bench_engine(1), bench_engine(args.jobs)]
+    runs = [bench_legacy(), bench_engine(1), bench_engine(args.jobs),
+            bench_degrade_with_fault(args.jobs)]
     baseline = runs[0]["packets_per_second"]
     for run in runs:
         run["speedup_vs_legacy"] = run["packets_per_second"] / baseline
         print(f"{run['label']:>22}: {run['wall_time_s']:6.2f} s  "
               f"{run['packets_per_second']:6.2f} pkt/s  "
               f"({run['speedup_vs_legacy']:.2f}x)")
+
+    # Per-stage accounting from the observability layer, so slow stages
+    # are attributable without re-profiling.
+    timers = runs[2].get("metrics", {}).get("timers", {})
+    for name in sorted(timers):
+        t = timers[name]
+        print(f"{name:>28}: n={t['count']:<4d} total={t['total_s']:.3f}s "
+              f"mean={t['mean_s'] * 1e3:.2f}ms")
 
     record = {
         "experiment": "wifi LOS sweep",

@@ -15,6 +15,17 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_collection_modifyitems(items):
+    """Every benchmark here is a full figure/MAC sweep: minutes, not
+    milliseconds.  Mark them ``slow`` so the tier-1 run (``pytest`` with
+    the default ``-m 'not slow'``) skips them; select them explicitly
+    with ``pytest benchmarks -m slow`` (or ``-m ""`` for everything)."""
+    this_dir = pathlib.Path(__file__).parent
+    for item in items:
+        if pathlib.Path(str(item.fspath)).parent == this_dir:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def engine_jobs():
     """Worker-process count for sweep benchmarks.

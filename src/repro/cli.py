@@ -13,6 +13,17 @@ Each subcommand prints the same tables the benchmark harness writes.
 ``--json`` swaps the table for a machine-readable record that includes
 timing metadata (wall time, packets/s).
 
+Robustness and observability flags (sweep/mac):
+
+* ``--failure-policy degrade`` finishes the sweep even when points
+  fail (flagged in the table/record instead of aborting), with
+  ``--retries`` attempts per point and ``--task-timeout`` seconds per
+  attempt;
+* ``--checkpoint sweep.jsonl`` journals completed points so a killed
+  run resumes bit-identically;
+* ``--metrics-json PATH`` (or ``-`` for stdout) writes per-stage PHY
+  timers, retry counters, and per-task records.
+
 Radio choices come from the session registry
 (:mod:`repro.core.registry`) and the calibrated config table, so a
 newly registered radio appears here without touching this module.
@@ -63,6 +74,59 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON record (points + timing) "
                              "instead of a table")
+    parser.add_argument("--failure-policy", choices=["fail-fast", "degrade"],
+                        default="fail-fast",
+                        help="abort on the first exhausted point, or "
+                             "flag it and finish the sweep")
+    parser.add_argument("--retries", type=_positive_int, default=1,
+                        metavar="N",
+                        help="attempts per point (retries reuse the "
+                             "point's seed, so results are unchanged)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt time limit")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="JSONL journal of completed points; an "
+                             "interrupted run resumes from it "
+                             "bit-identically")
+    parser.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="write stage timers / retry counters / "
+                             "task records as JSON ('-' for stdout)")
+
+
+def _engine_from_args(args):
+    from repro.sim.engine import ExperimentEngine, FailurePolicy
+
+    policy = FailurePolicy(mode=args.failure_policy.replace("-", "_"),
+                           max_attempts=args.retries,
+                           timeout_s=args.task_timeout)
+    return ExperimentEngine(n_jobs=args.jobs, failure_policy=policy)
+
+
+def _emit_metrics(result, dest: Optional[str]) -> None:
+    """Write a run's metrics record to *dest* ('-' = stdout)."""
+    if dest is None:
+        return
+    import json
+
+    payload = {
+        "metrics": result.metrics,
+        "tasks": [t.to_dict() for t in result.tasks],
+        "timing": {
+            "wall_time_s": result.wall_time_s,
+            "n_jobs": result.n_jobs,
+            "n_tasks": result.n_tasks,
+            "n_failed": result.n_failed,
+            "packets_simulated": result.packets_simulated,
+            "packets_per_second": result.packets_per_second,
+        },
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if dest == "-":
+        print(text)
+    else:
+        with open(dest, "w") as fh:
+            fh.write(text + "\n")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_sweep(args) -> int:
-    from repro.sim.engine import ExperimentEngine, ExperimentSpec
+    from repro.sim.engine import ExperimentSpec
 
     cfg = config_by_name(args.radio)
     overrides = {}
@@ -119,18 +183,25 @@ def _cmd_sweep(args) -> int:
     spec = ExperimentSpec(config=cfg, deployment=dep,
                           distances_m=tuple(args.distances),
                           packets_per_point=args.packets, seed=args.seed)
-    result = ExperimentEngine(n_jobs=args.jobs).run(spec)
+    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint)
+    _emit_metrics(result, args.metrics_json)
     if args.json:
         print(result.to_json(indent=2))
-        return 0
-    rows = [[p.distance_m, p.throughput_kbps,
-             p.ber if p.ber_valid else "n/a", p.rssi_dbm,
-             p.delivery_ratio] for p in result.points]
+        return 0 if result.ok else 2
+    rows = []
+    for record, p in zip(result.tasks, result.points):
+        if p is None:  # degraded point: flagged, not dropped
+            rows.append([record.task, f"FAILED ({record.status})", "n/a",
+                         "n/a", "n/a"])
+            continue
+        rows.append([p.distance_m, p.throughput_kbps,
+                     p.ber if p.ber_valid else "n/a", p.rssi_dbm,
+                     p.delivery_ratio])
     print(format_table(
         ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
          "delivery"], rows,
         title=f"{args.radio} backscatter, {args.deployment} deployment"))
-    return 0
+    return 0 if result.ok else 2
 
 
 def _cmd_packet(args) -> int:
@@ -146,22 +217,29 @@ def _cmd_packet(args) -> int:
 
 
 def _cmd_mac(args) -> int:
-    from repro.sim.engine import ExperimentEngine, MacExperimentSpec
+    from repro.sim.engine import MacExperimentSpec
 
     spec = MacExperimentSpec(tag_counts=tuple(args.tags),
                              measured_rounds=12,
                              simulated_rounds=args.rounds,
                              seed=args.seed)
-    result = ExperimentEngine(n_jobs=args.jobs).run(spec)
+    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint)
+    _emit_metrics(result, args.metrics_json)
     if args.json:
         print(result.to_json(indent=2))
-        return 0
-    rows = [[p.n_tags, p.measured_kbps, p.simulated_kbps, p.tdm_kbps,
-             p.fairness] for p in result.points]
+        return 0 if result.ok else 2
+    rows = []
+    for record, p in zip(result.tasks, result.points):
+        if p is None:  # degraded point: flagged, not dropped
+            rows.append([record.task, f"FAILED ({record.status})", "n/a",
+                         "n/a", "n/a"])
+            continue
+        rows.append([p.n_tags, p.measured_kbps, p.simulated_kbps,
+                     p.tdm_kbps, p.fairness])
     print(format_table(
         ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
          "fairness"], rows, title="multi-tag MAC"))
-    return 0
+    return 0 if result.ok else 2
 
 
 def _cmd_regime(_args) -> int:
@@ -202,8 +280,18 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    from repro.sim.engine import TaskFailure
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except TaskFailure as exc:
+        # fail-fast policy: surface the failed point and a hint.
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: rerun with --failure-policy degrade to finish the "
+              "sweep with failed points flagged, or --retries N to retry",
+              file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

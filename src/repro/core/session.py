@@ -17,6 +17,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.channel.awgn import awgn_at_snr
 from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
 from repro.core.translation import (
@@ -50,26 +51,36 @@ class Excitation:
 
 
 class _FrameCache:
-    """Tiny LRU memo for ``transmitter.build`` keyed by payload.
+    """Tiny LRU memo for ``transmitter.build``.
 
     Sessions funnel every build through this so repeated payloads (the
     all-zeros probe of ``capacity_bits``, the engine's shared per-point
     excitation) skip the full modulation chain.  Bounded so the legacy
     random-payload path cannot grow it.
+
+    The *session* supplies the key via its ``_frame_key`` helper, which
+    must cover **every field that changes the built frame** — payload
+    bytes, scrambler seed, modulation rate, samples-per-symbol — not
+    just the payload, so mutating a session's configuration after first
+    use can never serve a stale template.  Build latency is recorded as
+    the ``<prefix>.encode`` timer; hits count ``<prefix>.encode_cached``.
     """
 
-    def __init__(self, max_entries: int = 4):
+    def __init__(self, max_entries: int = 4, metrics_prefix: str = "phy"):
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
         self._max = max_entries
+        self._prefix = metrics_prefix
 
     def get_or_build(self, key, build):
         frame = self._entries.get(key)
         if frame is None:
-            frame = build()
+            with obs.timed(self._prefix + ".encode"):
+                frame = build()
             self._entries[key] = frame
             while len(self._entries) > self._max:
                 self._entries.popitem(last=False)
         else:
+            obs.inc(self._prefix + ".encode_cached")
             self._entries.move_to_end(key)
         return frame
 
@@ -128,13 +139,20 @@ class WifiBackscatterSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
-        self._frames = _FrameCache()
+        self._obs = "phy.wifi"
+        self._frames = _FrameCache(metrics_prefix=self._obs)
+
+    def _frame_key(self, psdu: bytes, scrambler_seed: Optional[int]):
+        # The built frame depends on the rate (read at call time, so a
+        # swapped transmitter invalidates old entries) as well as the
+        # payload and scrambler seed.
+        return ("wifi", self.transmitter.rate.mbps, psdu, scrambler_seed)
 
     def capacity_bits(self) -> int:
         """Tag bits per excitation packet (at the configured payload)."""
         psdu = bytes(self.payload_bytes)
         frame = self._frames.get_or_build(
-            (psdu, None), lambda: self.transmitter.build(psdu))
+            self._frame_key(psdu, None), lambda: self.transmitter.build(psdu))
         info = self._info(frame)
         return self.tag.capacity_bits(info)
 
@@ -152,14 +170,15 @@ class WifiBackscatterSession:
         if rng is None:
             psdu = self.transmitter.random_psdu(self.payload_bytes)
             frame = self._frames.get_or_build(
-                (psdu, None), lambda: self.transmitter.build(psdu))
+                self._frame_key(psdu, None),
+                lambda: self.transmitter.build(psdu))
         else:
             gen = make_rng(rng)
             psdu = bytes(int(b) for b in gen.integers(
                 0, 256, size=self.payload_bytes))
             seed = int(gen.integers(1, 128))
             frame = self._frames.get_or_build(
-                (psdu, seed),
+                self._frame_key(psdu, seed),
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
         return Excitation(frame=frame, info=self._info(frame))
 
@@ -189,9 +208,11 @@ class WifiBackscatterSession:
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                   incident_power_dbm=incident_power_dbm,
-                                   rng=gen)
+        obs.inc(self._obs + ".packets")
+        with obs.timed(self._obs + ".channel"):
+            out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                       incident_power_dbm=incident_power_dbm,
+                                       rng=gen)
         if not out.detected:
             return SessionResult(False, len(tag_bits), len(tag_bits),
                                  frame.duration_us)
@@ -202,9 +223,12 @@ class WifiBackscatterSession:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)
 
-        noisy = awgn_at_snr(out.samples, snr_db, gen)
+        with obs.timed(self._obs + ".channel"):
+            noisy = awgn_at_snr(out.samples, snr_db, gen)
         noise_var = 10 ** (-snr_db / 10)
-        result = self.receiver.decode(noisy, noise_var=max(noise_var, 1e-4))
+        with obs.timed(self._obs + ".decode"):
+            result = self.receiver.decode(noisy,
+                                          noise_var=max(noise_var, 1e-4))
         if not result.header_ok or result.data_field_bits is None:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)
@@ -259,7 +283,8 @@ class ZigbeeBackscatterSession:
         self.repetition = repetition
         self.sps = sps
         self._header_symbols = HEADER_SYMBOLS
-        self._frames = _FrameCache()
+        self._obs = "phy.zigbee"
+        self._frames = _FrameCache(metrics_prefix=self._obs)
 
     @property
     def sample_rate_hz(self) -> float:
@@ -288,10 +313,11 @@ class ZigbeeBackscatterSession:
         return self.tag.capacity_bits(self._info(frame))
 
     def _build_frame(self, payload: bytes):
-        # ZigBee frame construction is deterministic per payload, so the
-        # memo key is just the payload itself.
+        # ZigBee frame construction is deterministic per payload, but the
+        # waveform also depends on the samples-per-chip setting.
         return self._frames.get_or_build(
-            payload, lambda: self.transmitter.build(payload))
+            ("zigbee", self.sps, payload),
+            lambda: self.transmitter.build(payload))
 
     def make_excitation(self,
                         rng: Optional[np.random.Generator] = None
@@ -318,15 +344,19 @@ class ZigbeeBackscatterSession:
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                   incident_power_dbm=incident_power_dbm,
-                                   rng=gen)
+        obs.inc(self._obs + ".packets")
+        with obs.timed(self._obs + ".channel"):
+            out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                       incident_power_dbm=incident_power_dbm,
+                                       rng=gen)
         if not out.detected:
             return SessionResult(False, len(tag_bits), len(tag_bits),
                                  frame.duration_us)
 
-        noisy = awgn_at_snr(out.samples, snr_db, gen)
-        result = self.receiver.decode(noisy, frame.n_symbols)
+        with obs.timed(self._obs + ".channel"):
+            noisy = awgn_at_snr(out.samples, snr_db, gen)
+        with obs.timed(self._obs + ".decode"):
+            result = self.receiver.decode(noisy, frame.n_symbols)
         if not result.sfd_found:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)
@@ -358,7 +388,8 @@ class BleBackscatterSession:
         self.repetition = repetition
         self.sps = sps
         self._header_bits = 8 * 5  # preamble + access address
-        self._frames = _FrameCache()
+        self._obs = "phy.bluetooth"
+        self._frames = _FrameCache(metrics_prefix=self._obs)
 
     @property
     def sample_rate_hz(self) -> float:
@@ -383,8 +414,11 @@ class BleBackscatterSession:
         return self.tag.capacity_bits(self._info(frame))
 
     def _build_frame(self, payload: bytes):
+        # The GFSK waveform depends on the oversampling as well as the
+        # payload.
         return self._frames.get_or_build(
-            payload, lambda: self.transmitter.build(payload))
+            ("bluetooth", self.sps, payload),
+            lambda: self.transmitter.build(payload))
 
     def make_excitation(self,
                         rng: Optional[np.random.Generator] = None
@@ -411,15 +445,19 @@ class BleBackscatterSession:
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                   incident_power_dbm=incident_power_dbm,
-                                   rng=gen)
+        obs.inc(self._obs + ".packets")
+        with obs.timed(self._obs + ".channel"):
+            out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                       incident_power_dbm=incident_power_dbm,
+                                       rng=gen)
         if not out.detected:
             return SessionResult(False, len(tag_bits), len(tag_bits),
                                  frame.duration_us)
 
-        noisy = awgn_at_snr(out.samples, snr_db, gen)
-        rx_bits = self.receiver.decode_bits(noisy, frame.n_bits)
+        with obs.timed(self._obs + ".channel"):
+            noisy = awgn_at_snr(out.samples, snr_db, gen)
+        with obs.timed(self._obs + ".decode"):
+            rx_bits = self.receiver.decode_bits(noisy, frame.n_bits)
         # Sync check: the unmodulated header must have survived.
         sync_ok = bool(np.array_equal(rx_bits[:self._header_bits],
                                       frame.bits[:self._header_bits]))
@@ -463,7 +501,8 @@ class DsssBackscatterSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
-        self._frames = _FrameCache()
+        self._obs = "phy.dsss"
+        self._frames = _FrameCache(metrics_prefix=self._obs)
 
     def _info(self, frame) -> ExcitationInfo:
         return ExcitationInfo(
@@ -481,7 +520,7 @@ class DsssBackscatterSession:
 
     def _build_frame(self, psdu: bytes):
         return self._frames.get_or_build(
-            psdu, lambda: self.transmitter.build(psdu))
+            ("dsss", psdu), lambda: self.transmitter.build(psdu))
 
     def make_excitation(self,
                         rng: Optional[np.random.Generator] = None
@@ -508,15 +547,19 @@ class DsssBackscatterSession:
 
         if tag_bits is None:
             tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                   incident_power_dbm=incident_power_dbm,
-                                   rng=gen)
+        obs.inc(self._obs + ".packets")
+        with obs.timed(self._obs + ".channel"):
+            out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                       incident_power_dbm=incident_power_dbm,
+                                       rng=gen)
         if not out.detected:
             return SessionResult(False, len(tag_bits), len(tag_bits),
                                  frame.duration_us)
 
-        noisy = awgn_at_snr(out.samples, snr_db, gen)
-        result = self.receiver.decode(noisy, frame.n_bits)
+        with obs.timed(self._obs + ".channel"):
+            noisy = awgn_at_snr(out.samples, snr_db, gen)
+        with obs.timed(self._obs + ".decode"):
+            result = self.receiver.decode(noisy, frame.n_bits)
         if not result.header_ok or result.bits is None:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)
@@ -561,7 +604,11 @@ class QuaternaryWifiSession:
                                 repetition=repetition)
         self.payload_bytes = payload_bytes
         self.repetition = repetition
-        self._frames = _FrameCache()
+        self._obs = "phy.wifi"
+        self._frames = _FrameCache(metrics_prefix=self._obs)
+
+    def _frame_key(self, psdu: bytes, scrambler_seed: Optional[int]):
+        return ("wifi", self.transmitter.rate.mbps, psdu, scrambler_seed)
 
     def _info(self, frame) -> ExcitationInfo:
         # Same SERVICE-symbol deferral as the binary session.
@@ -577,7 +624,7 @@ class QuaternaryWifiSession:
         """Tag bits per excitation packet (2 per phase step)."""
         psdu = bytes(self.payload_bytes)
         frame = self._frames.get_or_build(
-            (psdu, None), lambda: self.transmitter.build(psdu))
+            self._frame_key(psdu, None), lambda: self.transmitter.build(psdu))
         return self.tag.capacity_bits(self._info(frame))
 
     def make_excitation(self,
@@ -587,14 +634,15 @@ class QuaternaryWifiSession:
         if rng is None:
             psdu = self.transmitter.random_psdu(self.payload_bytes)
             frame = self._frames.get_or_build(
-                (psdu, None), lambda: self.transmitter.build(psdu))
+                self._frame_key(psdu, None),
+                lambda: self.transmitter.build(psdu))
         else:
             gen = make_rng(rng)
             psdu = bytes(int(b) for b in gen.integers(
                 0, 256, size=self.payload_bytes))
             seed = int(gen.integers(1, 128))
             frame = self._frames.get_or_build(
-                (psdu, seed),
+                self._frame_key(psdu, seed),
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
         return Excitation(frame=frame, info=self._info(frame))
 
@@ -616,9 +664,11 @@ class QuaternaryWifiSession:
         if tag_bits is None:
             capacity = self.tag.capacity_bits(info)
             tag_bits = random_bits(capacity - capacity % 2, gen)
-        out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                   incident_power_dbm=incident_power_dbm,
-                                   rng=gen)
+        obs.inc(self._obs + ".packets")
+        with obs.timed(self._obs + ".channel"):
+            out = self.tag.backscatter(frame.samples, info, tag_bits,
+                                       incident_power_dbm=incident_power_dbm,
+                                       rng=gen)
         if not out.detected:
             return SessionResult(False, len(tag_bits), len(tag_bits),
                                  frame.duration_us)
@@ -629,10 +679,12 @@ class QuaternaryWifiSession:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)
 
-        noisy = awgn_at_snr(out.samples, snr_db, gen)
-        result = self.receiver.decode(noisy,
-                                      noise_var=max(10 ** (-snr_db / 10),
-                                                    1e-4))
+        with obs.timed(self._obs + ".channel"):
+            noisy = awgn_at_snr(out.samples, snr_db, gen)
+        with obs.timed(self._obs + ".decode"):
+            result = self.receiver.decode(noisy,
+                                          noise_var=max(10 ** (-snr_db / 10),
+                                                        1e-4))
         if not result.header_ok or result.equalized_symbols is None:
             return SessionResult(False, out.bits_sent, out.bits_sent,
                                  frame.duration_us)

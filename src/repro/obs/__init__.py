@@ -1,0 +1,23 @@
+"""Observability: process-local metrics for the experiment stack.
+
+See :mod:`repro.obs.metrics` for the design.  The common entry points
+are re-exported here so instrumentation sites can just::
+
+    from repro import obs
+    with obs.timed("phy.wifi.decode"): ...
+    obs.inc("phy.wifi.packets")
+"""
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    TimerStat,
+    collect,
+    global_registry,
+    inc,
+    observe,
+    registry,
+    timed,
+)
+
+__all__ = ["MetricsRegistry", "TimerStat", "collect", "global_registry",
+           "inc", "observe", "registry", "timed"]

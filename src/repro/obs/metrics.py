@@ -1,0 +1,210 @@
+"""Process-local counters and timers for experiment observability.
+
+The simulator's hot paths (PHY encode/channel/decode, engine task
+dispatch) record where time and retries go through a tiny metrics
+registry.  Design constraints, in order:
+
+* **Near-zero overhead.**  A counter increment is a dict lookup plus an
+  integer add; a timer is two ``perf_counter`` calls.  The PHY chain is
+  numpy-bound, so this is noise.
+* **Process-local.**  Engine workers are separate processes; each one
+  accumulates into its own registry and ships a plain-dict
+  :meth:`MetricsRegistry.snapshot` back with the task result, which the
+  engine merges (:meth:`MetricsRegistry.merge_snapshot`).  Nothing here
+  is thread- or process-shared, so there are no locks.
+* **Scoped collection.**  Instrumented code records into whatever
+  registry is *active*.  By default that is one module-global registry;
+  :func:`collect` pushes a fresh registry for the duration of a block so
+  callers (the engine's per-task wrapper, tests) get an isolated view
+  without touching the instrumentation sites.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.timed("phy.wifi.decode"):
+        receiver.decode(...)
+    obs.inc("phy.wifi.packets")
+
+    with obs.collect() as reg:       # isolate one task's metrics
+        run_task()
+    snapshot = reg.snapshot()        # {"counters": ..., "timers": ...}
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TimerStat", "MetricsRegistry", "registry", "global_registry",
+           "collect", "timed", "inc", "observe"]
+
+
+@dataclass
+class TimerStat:
+    """Aggregate of one named timer: count / total / min / max seconds."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def merge(self, other: "TimerStat") -> None:
+        self.count += other.count
+        self.total_s += other.total_s
+        self.min_s = min(self.min_s, other.min_s)
+        self.max_s = max(self.max_s, other.max_s)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            # min is inf until the first observation; JSON needs a value.
+            "min_s": self.min_s if self.count else 0.0,
+            "max_s": self.max_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TimerStat":
+        stat = cls(count=int(data.get("count", 0)),
+                   total_s=float(data.get("total_s", 0.0)),
+                   max_s=float(data.get("max_s", 0.0)))
+        stat.min_s = float(data.get("min_s", 0.0)) if stat.count else math.inf
+        return stat
+
+
+class MetricsRegistry:
+    """A named bag of counters and timers."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, TimerStat] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        stat = self._timers.get(name)
+        if stat is None:
+            stat = self._timers[name] = TimerStat()
+        stat.observe(seconds)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- reading ----------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def timer(self, name: str) -> Optional[TimerStat]:
+        return self._timers.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-serializable, picklable)."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {k: v.to_dict() for k, v in self._timers.items()},
+        }
+
+    # -- combining --------------------------------------------------------
+
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, int(value))
+        for name, data in snapshot.get("timers", {}).items():
+            stat = self._timers.get(name)
+            if stat is None:
+                self._timers[name] = TimerStat.from_dict(data)
+            else:
+                stat.merge(TimerStat.from_dict(data))
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+
+# -- the active-registry stack --------------------------------------------
+# Bottom entry is the always-present global registry; ``collect`` pushes
+# a scratch registry on top for the duration of a block.
+
+_STACK: List[MetricsRegistry] = [MetricsRegistry()]
+
+
+def registry() -> MetricsRegistry:
+    """The registry instrumentation currently records into."""
+    return _STACK[-1]
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry (bottom of the stack)."""
+    return _STACK[0]
+
+
+@contextmanager
+def collect() -> Iterator[MetricsRegistry]:
+    """Route all recording inside the block into a fresh registry."""
+    reg = MetricsRegistry()
+    _STACK.append(reg)
+    try:
+        yield reg
+    finally:
+        _STACK.remove(reg)
+
+
+def timed(name: str):
+    """Context manager timing a block into the active registry.
+
+    The registry is resolved when the block *exits*, so a ``timed``
+    entered just before a :func:`collect` block still records into the
+    registry active at completion time.
+    """
+    return _ActiveTimer(name)
+
+
+class _ActiveTimer:
+    __slots__ = ("_name", "_start")
+
+    def __init__(self, name: str):
+        self._name = name
+
+    def __enter__(self) -> "_ActiveTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        registry().observe(self._name, time.perf_counter() - self._start)
+
+
+def inc(name: str, n: int = 1) -> None:
+    """Increment a counter on the active registry."""
+    registry().inc(name, n)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record one timer observation on the active registry."""
+    registry().observe(name, seconds)

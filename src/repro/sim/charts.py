@@ -25,10 +25,13 @@ def ascii_chart(series: Series, width: int = 60, height: int = 14,
     """
     if width < 10 or height < 4:
         raise ValueError("chart too small")
-    if len(series.x) < 2:
+    # NaN points (no-measurement sentinels from dead link distances)
+    # would poison the min/max axis bounds and every grid coordinate;
+    # plot only the finite points and annotate how many were skipped.
+    x, y = series.finite_points()
+    n_skipped = len(series.x) - x.size
+    if x.size < 2:
         return f"{title or series.name}: (not enough points)"
-    x = np.asarray(series.x, dtype=float)
-    y = np.asarray(series.y, dtype=float)
     x_min, x_max = float(x.min()), float(x.max())
     y_min, y_max = float(y.min()), float(y.max())
     if x_max == x_min or y_max == y_min:
@@ -65,6 +68,9 @@ def ascii_chart(series: Series, width: int = 60, height: int = 14,
     lines.append(" " * (label_w + 2) + x_lo + " " * max(pad, 1) + x_hi)
     lines.append(" " * (label_w + 2)
                  + f"{series.x_label} -> (y: {series.y_label})")
+    if n_skipped:
+        lines.append(" " * (label_w + 2)
+                     + f"({n_skipped} point(s) without data skipped)")
     return "\n".join(lines)
 
 

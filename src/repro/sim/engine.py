@@ -1,4 +1,4 @@
-"""Parallel, deterministic experiment engine.
+"""Parallel, deterministic, fault-tolerant experiment engine.
 
 Every evaluation figure re-runs the signal-level PHY chain hundreds of
 times; serially that is the dominant wall-clock cost of the repo.  The
@@ -13,46 +13,81 @@ The master seed is expanded with ``numpy.random.SeedSequence.spawn``
 into one child per task *in task order*, and each task derives every
 random draw (fading, payload, scrambler seed, tag bits, noise) from its
 own child generator.  Results therefore depend only on
-``(spec, task index)`` — never on which worker ran the task or in what
-order — so ``n_jobs=1`` and ``n_jobs=8`` agree point-for-point.
+``(spec, task index)`` — never on which worker ran the task, in what
+order, or on which attempt it finally succeeded — so ``n_jobs=1`` and
+``n_jobs=8`` agree point-for-point, and a retried task reproduces the
+exact point an unfailed run would have produced.
 
-Worker-side caching
+Fault tolerance
+---------------
+Worker exceptions and overrunning tasks no longer lose the sweep.  A
+:class:`FailurePolicy` controls what happens instead:
+
+* ``fail_fast`` (default): the first exhausted task aborts the run with
+  :class:`TaskFailure` — the historical behaviour, made explicit.
+* ``degrade``: the sweep completes; failed tasks yield a ``None`` point
+  and a :class:`TaskRecord` carrying status/error/attempts, so failures
+  are flagged rather than silently dropped.
+
+Each task is retried up to ``max_attempts`` times with exponential
+backoff, and ``timeout_s`` bounds one attempt's duration.  For tests,
+:class:`FaultInjector` deterministically fails or delays chosen
+``(task, attempt)`` pairs.
+
+Checkpoint / resume
 -------------------
-Each worker process keeps one :class:`~repro.sim.linksim.LinkSimulator`
-per spec (sessions carry PHY chains that are expensive to wire up) and
-shares a single excitation frame across all packets of a distance point
-(``share_excitation=True``), so the OFDM/chip waveform is modulated
-once per point instead of once per packet.
+``run(spec, checkpoint="sweep.jsonl")`` journals every completed point
+to a JSONL file keyed by a spec fingerprint; re-running the same spec
+against the same journal recomputes only the missing tasks and returns
+points bit-identical to an uninterrupted run (per-task seeding makes
+each point independent of which run computed it).
+
+Observability
+-------------
+Workers time the PHY stages (``phy.<radio>.encode/channel/decode`` via
+:mod:`repro.obs`) and the engine folds those snapshots, task
+durations, and retry counters into :attr:`RunResult.metrics`.
 
 Typical use::
 
     spec = ExperimentSpec(config=WIFI_CONFIG, deployment=Deployment.los(1.0),
                           distances_m=(1, 5, 10, 20), packets_per_point=10,
                           seed=100)
-    result = ExperimentEngine(n_jobs=4).run(spec)
+    engine = ExperimentEngine(n_jobs=4,
+                              failure_policy=FailurePolicy.degrade_policy())
+    result = engine.run(spec, checkpoint="sweep.jsonl")
     result.points          # List[LinkPoint], same for any n_jobs
-    result.packets_per_second
+    result.tasks           # List[TaskRecord]: status/attempts/duration
+    result.metrics         # merged counters + stage timers
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from itertools import repeat
-from typing import Any, Dict, List, Optional, Tuple, Union
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.channel.geometry import Deployment
 from repro.channel.pathloss import PathLossModel
 from repro.mac.aloha import AlohaConfig
+from repro.obs import MetricsRegistry
 from repro.sim.config import RadioConfig
 
-__all__ = ["ExperimentSpec", "MacExperimentSpec", "RunResult",
+__all__ = ["ExperimentSpec", "MacExperimentSpec", "RunResult", "TaskRecord",
+           "FailurePolicy", "FaultInjector", "InjectedFault", "TaskFailure",
+           "CheckpointJournal", "spec_fingerprint",
            "ExperimentEngine", "run_experiment", "default_n_jobs"]
 
 
@@ -209,11 +244,154 @@ class MacExperimentSpec:
 Spec = Union[ExperimentSpec, MacExperimentSpec]
 
 
+def spec_fingerprint(spec: Spec) -> str:
+    """Stable short hash of a spec; keys checkpoint journal entries."""
+    payload = json.dumps(spec.to_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# -- failure handling ------------------------------------------------------
+
+class EngineError(RuntimeError):
+    """Base class for engine-level failures."""
+
+
+class TaskFailure(EngineError):
+    """A task exhausted its attempts under the ``fail_fast`` policy."""
+
+
+class InjectedFault(RuntimeError):
+    """Deterministic test fault raised by :class:`FaultInjector`."""
+
+
+@dataclass(frozen=True)
+class FailurePolicy:
+    """What the engine does when a task raises or overruns.
+
+    Parameters
+    ----------
+    mode:
+        ``"fail_fast"`` aborts the run on the first exhausted task
+        (raising :class:`TaskFailure`); ``"degrade"`` records the
+        failure in the task's :class:`TaskRecord`, leaves a ``None``
+        point in its slot, and finishes the sweep.
+    max_attempts:
+        Total tries per task (1 = no retry).  Retries re-use the task's
+        seed, so a retry-then-success is bit-identical to a clean run.
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Sleep ``min(base * factor**(attempt-1), max)`` seconds before
+        attempt ``attempt+1``.  ``base=0`` (default) disables sleeping,
+        which keeps tests fast and deterministic.
+    timeout_s:
+        Upper bound on one attempt's duration.  In-process (``n_jobs=1``)
+        execution cannot be interrupted, so the bound is checked after
+        the attempt finishes ("soft"); pool workers are abandoned at the
+        deadline and the attempt is classified ``timeout``.
+    """
+
+    mode: str = "fail_fast"
+    max_attempts: int = 1
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.mode not in ("fail_fast", "degrade"):
+            raise ValueError("mode must be 'fail_fast' or 'degrade'")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+
+    @property
+    def fail_fast(self) -> bool:
+        return self.mode == "fail_fast"
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before the attempt after *attempt* (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+                   self.backoff_max_s)
+
+    @classmethod
+    def degrade_policy(cls, max_attempts: int = 3,
+                       timeout_s: Optional[float] = None,
+                       backoff_base_s: float = 0.0) -> "FailurePolicy":
+        """A resilient default: retry, then flag-and-continue."""
+        return cls(mode="degrade", max_attempts=max_attempts,
+                   timeout_s=timeout_s, backoff_base_s=backoff_base_s)
+
+
+@dataclass(frozen=True)
+class FaultInjector:
+    """Deterministic fault injection for engine tests.
+
+    ``fail[i] = n`` makes the first *n* attempts of task *i* raise
+    :class:`InjectedFault`; ``hang_s[i] = t`` makes attempts of task *i*
+    sleep *t* seconds first (the first ``hang_attempts.get(i, 1)``
+    attempts).  Keyed by ``(task index, attempt)``, so behaviour is
+    identical inline and across worker processes.
+    """
+
+    fail: Mapping[int, int] = field(default_factory=dict)
+    hang_s: Mapping[int, float] = field(default_factory=dict)
+    hang_attempts: Mapping[int, int] = field(default_factory=dict)
+
+    def apply(self, task_index: int, attempt: int) -> None:
+        if attempt <= self.fail.get(task_index, 0):
+            raise InjectedFault(
+                f"injected fault (task {task_index}, attempt {attempt})")
+        if task_index in self.hang_s:
+            n_hang = self.hang_attempts.get(task_index, 1)
+            if attempt <= n_hang:
+                time.sleep(self.hang_s[task_index])
+
+
 # -- results --------------------------------------------------------------
 
 @dataclass
+class TaskRecord:
+    """Per-task outcome: what ran, how often, how long, and how it ended.
+
+    ``status`` is ``"ok"``, ``"failed"``, or ``"timeout"``; ``resumed``
+    marks tasks satisfied from a checkpoint journal (``attempts == 0``).
+    """
+
+    index: int
+    task: float
+    status: str = "ok"
+    attempts: int = 1
+    duration_s: float = 0.0
+    error: Optional[str] = None
+    resumed: bool = False
+    spawn_key: Tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "task": self.task,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_s": self.duration_s,
+            "error": self.error,
+            "resumed": self.resumed,
+            "spawn_key": list(self.spawn_key),
+        }
+
+
+@dataclass
 class RunResult:
-    """Points plus the timing metadata of the run that produced them."""
+    """Points plus the per-task and timing metadata of the run."""
 
     spec: Spec
     points: List[Any]
@@ -221,6 +399,8 @@ class RunResult:
     n_jobs: int
     n_tasks: int
     packets_simulated: int = 0
+    tasks: List[TaskRecord] = field(default_factory=list)
+    metrics: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def packets_per_second(self) -> float:
@@ -228,14 +408,30 @@ class RunResult:
             return 0.0
         return self.packets_simulated / self.wall_time_s
 
+    @property
+    def failed_tasks(self) -> List[TaskRecord]:
+        return [t for t in self.tasks if not t.ok]
+
+    @property
+    def n_failed(self) -> int:
+        return len(self.failed_tasks)
+
+    @property
+    def ok(self) -> bool:
+        return self.n_failed == 0
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "spec": self.spec.to_dict(),
-            "points": [dataclasses.asdict(p) for p in self.points],
+            "points": [dataclasses.asdict(p) if p is not None else None
+                       for p in self.points],
+            "tasks": [t.to_dict() for t in self.tasks],
+            "metrics": self.metrics,
             "timing": {
                 "wall_time_s": self.wall_time_s,
                 "n_jobs": self.n_jobs,
                 "n_tasks": self.n_tasks,
+                "n_failed": self.n_failed,
                 "packets_simulated": self.packets_simulated,
                 "packets_per_second": self.packets_per_second,
             },
@@ -254,6 +450,72 @@ class RunResult:
             return obj
 
         return json.dumps(_clean(self.to_dict()), **dumps_kwargs)
+
+
+# -- checkpoint journal ---------------------------------------------------
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed sweep points.
+
+    Each line records one task outcome under the owning spec's
+    fingerprint.  ``load()`` returns the completed points of *this*
+    spec only — journals are safe to share across specs, and rows from
+    an edited spec are simply ignored.  A torn final line (the process
+    died mid-write) is skipped, so resume is crash-safe.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], spec: Spec):
+        self.path = Path(path)
+        self.fingerprint = spec_fingerprint(spec)
+        self._kind = "mac_sweep" if isinstance(spec, MacExperimentSpec) \
+            else "link_sweep"
+
+    def load(self) -> Dict[int, Any]:
+        """Completed ``{task index: point}`` entries for this spec."""
+        points: Dict[int, Any] = {}
+        if not self.path.exists():
+            return points
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from a killed run
+            if (rec.get("spec") != self.fingerprint
+                    or rec.get("status") != "ok"
+                    or rec.get("point") is None):
+                continue
+            points[int(rec["index"])] = self._point_from(rec["point"])
+        return points
+
+    def append(self, record: TaskRecord, point: Any) -> None:
+        rec = {
+            "spec": self.fingerprint,
+            "index": record.index,
+            "task": record.task,
+            "status": record.status,
+            "attempts": record.attempts,
+            "duration_s": record.duration_s,
+            "error": record.error,
+            # json allows the NaN token by default and loads it back as
+            # float('nan'), so the BER sentinel survives a round trip.
+            "point": dataclasses.asdict(point) if point is not None else None,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+
+    def _point_from(self, data: Dict[str, Any]) -> Any:
+        if self._kind == "mac_sweep":
+            from repro.sim.macsim import MacExperimentPoint
+
+            return MacExperimentPoint(**data)
+        from repro.sim.linksim import LinkPoint
+
+        return LinkPoint(**data)
 
 
 # -- worker side ----------------------------------------------------------
@@ -299,6 +561,23 @@ def _run_mac_point(spec: MacExperimentSpec, n_tags: int,
     return exp.run_point(n_tags, rng=np.random.default_rng(seed_seq))
 
 
+def _execute_task(spec: Spec, task, seed_seq: np.random.SeedSequence,
+                  task_index: int, attempt: int,
+                  injector: Optional[FaultInjector]):
+    """One attempt of one task: returns (point, metrics snapshot, dur)."""
+    from repro import obs
+
+    start = time.perf_counter()
+    with obs.collect() as reg:
+        if injector is not None:
+            injector.apply(task_index, attempt)
+        if isinstance(spec, ExperimentSpec):
+            point = _run_link_point(spec, task, seed_seq)
+        else:
+            point = _run_mac_point(spec, task, seed_seq)
+    return point, reg.snapshot(), time.perf_counter() - start
+
+
 # -- the engine -----------------------------------------------------------
 
 def default_n_jobs() -> int:
@@ -316,43 +595,233 @@ class ExperimentEngine:
         Worker processes.  ``1`` executes inline (no pool, no pickling);
         ``None`` picks :func:`default_n_jobs`.  Any value yields
         bit-identical results thanks to per-task seed spawning.
+    failure_policy:
+        Retry/abort behaviour; defaults to :class:`FailurePolicy`'s
+        ``fail_fast`` with no retries (the historical behaviour).
+    fault_injector:
+        Deterministic test hook; see :class:`FaultInjector`.
     """
 
-    def __init__(self, n_jobs: Optional[int] = 1):
+    def __init__(self, n_jobs: Optional[int] = 1,
+                 failure_policy: Optional[FailurePolicy] = None,
+                 fault_injector: Optional[FaultInjector] = None):
         if n_jobs is None:
             n_jobs = default_n_jobs()
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
         self.n_jobs = int(n_jobs)
+        self.failure_policy = failure_policy or FailurePolicy()
+        self.fault_injector = fault_injector
 
-    def run(self, spec: Spec) -> RunResult:
-        """Execute one spec and return its points plus timing."""
+    def run(self, spec: Spec,
+            checkpoint: Optional[Union[str, os.PathLike]] = None
+            ) -> RunResult:
+        """Execute one spec and return its points plus metadata.
+
+        With *checkpoint*, completed points are journaled to (and
+        resumed from) the given JSONL path; see
+        :class:`CheckpointJournal`.
+        """
         if isinstance(spec, ExperimentSpec):
-            tasks, worker, packets = (spec.distances_m, _run_link_point,
-                                      spec.n_packets)
+            tasks = spec.distances_m
+            packets_per_task = spec.packets_per_point
         elif isinstance(spec, MacExperimentSpec):
-            tasks, worker, packets = spec.tag_counts, _run_mac_point, 0
+            tasks = spec.tag_counts
+            packets_per_task = 0
         else:
             raise TypeError(f"unsupported spec type {type(spec).__name__}")
 
         children = np.random.SeedSequence(spec.seed).spawn(len(tasks))
+        journal = CheckpointJournal(checkpoint, spec) if checkpoint else None
+        metrics = MetricsRegistry()
+        points: List[Any] = [None] * len(tasks)
+        records: List[Optional[TaskRecord]] = [None] * len(tasks)
+
+        resumed = journal.load() if journal else {}
+        for i, point in resumed.items():
+            if not 0 <= i < len(tasks):
+                continue
+            points[i] = point
+            records[i] = TaskRecord(index=i, task=tasks[i], status="ok",
+                                    attempts=0, duration_s=0.0, resumed=True,
+                                    spawn_key=tuple(children[i].spawn_key))
+            metrics.inc("engine.tasks.resumed")
+        pending = [i for i in range(len(tasks)) if records[i] is None]
+
         start = time.perf_counter()
-        if self.n_jobs == 1 or len(tasks) == 1:
-            points = [worker(spec, t, c) for t, c in zip(tasks, children)]
-        else:
-            workers = min(self.n_jobs, len(tasks))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                points = list(pool.map(worker, repeat(spec), tasks, children))
+        if pending:
+            if self.n_jobs == 1 or len(pending) == 1:
+                self._run_inline(spec, tasks, children, pending,
+                                 points, records, journal, metrics)
+            else:
+                self._run_pool(spec, tasks, children, pending,
+                               points, records, journal, metrics)
         wall = time.perf_counter() - start
+
+        task_records = [r for r in records if r is not None]
+        simulated = sum(packets_per_task for r in task_records
+                        if r.ok and not r.resumed)
         return RunResult(spec=spec, points=points, wall_time_s=wall,
                          n_jobs=self.n_jobs, n_tasks=len(tasks),
-                         packets_simulated=packets)
+                         packets_simulated=simulated,
+                         tasks=task_records, metrics=metrics.snapshot())
+
+    # -- shared bookkeeping ----------------------------------------------
+
+    def _finish_task(self, record: TaskRecord, point: Any,
+                     snapshot: Optional[Dict[str, Any]],
+                     points: List[Any], records: List[Optional[TaskRecord]],
+                     journal: Optional[CheckpointJournal],
+                     metrics: MetricsRegistry) -> None:
+        """Record one task's final outcome (after all its attempts)."""
+        points[record.index] = point
+        records[record.index] = record
+        metrics.merge_snapshot(snapshot)
+        metrics.inc(f"engine.tasks.{record.status}")
+        metrics.observe("engine.task", record.duration_s)
+        if journal is not None:
+            journal.append(record, point)
+        if not record.ok and self.failure_policy.fail_fast:
+            raise TaskFailure(
+                f"task {record.index} (task value {record.task!r}) "
+                f"{record.status} after {record.attempts} attempt(s): "
+                f"{record.error}")
+
+    def _classify(self, duration_s: float) -> Tuple[str, Optional[str]]:
+        """Post-hoc (soft) timeout check for completed attempts."""
+        timeout = self.failure_policy.timeout_s
+        if timeout is not None and duration_s > timeout:
+            return "timeout", (f"task exceeded timeout_s={timeout} "
+                               f"(took {duration_s:.3f}s)")
+        return "ok", None
+
+    # -- inline execution -------------------------------------------------
+
+    def _run_inline(self, spec, tasks, children, pending,
+                    points, records, journal, metrics) -> None:
+        policy = self.failure_policy
+        for i in pending:
+            attempt = 1
+            while True:
+                try:
+                    point, snap, dur = _execute_task(
+                        spec, tasks[i], children[i], i, attempt,
+                        self.fault_injector)
+                    status, error = self._classify(dur)
+                    if status != "ok":
+                        point, snap = None, None
+                except Exception as exc:  # worker raised
+                    point, snap, dur = None, None, 0.0
+                    status = "failed"
+                    error = f"{type(exc).__name__}: {exc}"
+                if status == "ok" or attempt >= policy.max_attempts:
+                    break
+                metrics.inc("engine.retries")
+                backoff = policy.backoff_s(attempt)
+                if backoff:
+                    time.sleep(backoff)
+                attempt += 1
+            record = TaskRecord(index=i, task=tasks[i], status=status,
+                                attempts=attempt, duration_s=dur, error=error,
+                                spawn_key=tuple(children[i].spawn_key))
+            self._finish_task(record, point, snap, points, records,
+                              journal, metrics)
+
+    # -- pool execution ---------------------------------------------------
+
+    def _run_pool(self, spec, tasks, children, pending,
+                  points, records, journal, metrics) -> None:
+        policy = self.failure_policy
+        workers = min(self.n_jobs, len(pending))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        # future -> (task index, attempt, submit time)
+        inflight: Dict[Any, Tuple[int, int, float]] = {}
+
+        def submit(i: int, attempt: int) -> None:
+            fut = pool.submit(_execute_task, spec, tasks[i], children[i],
+                              i, attempt, self.fault_injector)
+            inflight[fut] = (i, attempt, time.perf_counter())
+
+        def handle_failure(i: int, attempt: int, status: str,
+                           error: str, dur: float) -> None:
+            if attempt < policy.max_attempts:
+                metrics.inc("engine.retries")
+                backoff = policy.backoff_s(attempt)
+                if backoff:
+                    time.sleep(backoff)
+                submit(i, attempt + 1)
+                return
+            record = TaskRecord(index=i, task=tasks[i], status=status,
+                                attempts=attempt, duration_s=dur,
+                                error=error,
+                                spawn_key=tuple(children[i].spawn_key))
+            self._finish_task(record, None, None, points, records,
+                              journal, metrics)
+
+        try:
+            for i in pending:
+                submit(i, 1)
+            while inflight:
+                if policy.timeout_s is None:
+                    done, _ = wait(set(inflight),
+                                   return_when=FIRST_COMPLETED)
+                else:
+                    now = time.perf_counter()
+                    nearest = min(t0 + policy.timeout_s
+                                  for (_, _, t0) in inflight.values())
+                    done, _ = wait(set(inflight),
+                                   timeout=max(nearest - now, 0.0) + 0.01,
+                                   return_when=FIRST_COMPLETED)
+                if not done:
+                    # Nothing finished before the nearest deadline:
+                    # abandon every overdue attempt (the worker itself
+                    # cannot be interrupted; its eventual result is
+                    # discarded because the future left ``inflight``).
+                    now = time.perf_counter()
+                    for fut, (i, attempt, t0) in list(inflight.items()):
+                        overdue = now - t0
+                        if overdue >= policy.timeout_s:
+                            fut.cancel()
+                            del inflight[fut]
+                            handle_failure(
+                                i, attempt, "timeout",
+                                f"task exceeded timeout_s="
+                                f"{policy.timeout_s} (ran {overdue:.3f}s)",
+                                overdue)
+                    continue
+                for fut in done:
+                    i, attempt, t0 = inflight.pop(fut)
+                    try:
+                        point, snap, dur = fut.result()
+                    except Exception as exc:
+                        handle_failure(i, attempt, "failed",
+                                       f"{type(exc).__name__}: {exc}",
+                                       time.perf_counter() - t0)
+                        continue
+                    status, error = self._classify(dur)
+                    if status != "ok":
+                        handle_failure(i, attempt, status, error, dur)
+                        continue
+                    record = TaskRecord(
+                        index=i, task=tasks[i], status="ok",
+                        attempts=attempt, duration_s=dur,
+                        spawn_key=tuple(children[i].spawn_key))
+                    self._finish_task(record, point, snap, points,
+                                      records, journal, metrics)
+        finally:
+            # wait=False so an abandoned (timed-out) worker cannot block
+            # the run; workers exit on their own once their task returns.
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def run_many(self, specs) -> List[RunResult]:
         """Execute several specs back to back (shared worker budget)."""
         return [self.run(spec) for spec in specs]
 
 
-def run_experiment(spec: Spec, n_jobs: Optional[int] = 1) -> RunResult:
+def run_experiment(spec: Spec, n_jobs: Optional[int] = 1,
+                   failure_policy: Optional[FailurePolicy] = None,
+                   checkpoint: Optional[Union[str, os.PathLike]] = None
+                   ) -> RunResult:
     """One-shot convenience wrapper around :class:`ExperimentEngine`."""
-    return ExperimentEngine(n_jobs=n_jobs).run(spec)
+    engine = ExperimentEngine(n_jobs=n_jobs, failure_policy=failure_policy)
+    return engine.run(spec, checkpoint=checkpoint)

@@ -30,7 +30,7 @@ import numpy as np
 from repro.channel.geometry import Deployment
 from repro.core.registry import session_from_config
 from repro.sim.config import RadioConfig
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["LinkPoint", "LinkSimulator"]
 
@@ -169,9 +169,15 @@ class LinkSimulator:
 
     def _spec_seed(self) -> int:
         """Integer master seed for the engine path (minted lazily when
-        the simulator was seeded with a generator or not at all)."""
+        the simulator was seeded with a generator or not at all).
+
+        Derived from the instance generator's *state* without drawing
+        from it, so minting a spec never perturbs the serial stream:
+        ``sweep()`` results are identical whether ``spec()`` was called
+        before or after any serial method.
+        """
         if self._seed is None:
-            self._seed = int(self._rng.integers(0, 2**63 - 1))
+            self._seed = derive_seed(self._rng)
         return int(self._seed)
 
     def spec(self, distances_m: Sequence[float]):
@@ -186,7 +192,8 @@ class LinkSimulator:
                               seed=self._spec_seed())
 
     def sweep(self, distances_m: Iterable[float],
-              n_jobs: Optional[int] = None) -> List[LinkPoint]:
+              n_jobs: Optional[int] = None, *,
+              failure_policy=None, checkpoint=None) -> List[LinkPoint]:
         """Run a full distance sweep.
 
         With ``n_jobs=None`` (default) the sweep runs serially through
@@ -194,14 +201,22 @@ class LinkSimulator:
         stream.  Any integer ``n_jobs`` — including 1 — routes through
         the parallel engine with per-point seeds, so ``n_jobs=1`` and
         ``n_jobs=8`` agree point-for-point.
+
+        *failure_policy* and *checkpoint* are forwarded to
+        :class:`~repro.sim.engine.ExperimentEngine` (supplying either
+        implies the engine path, with ``n_jobs=1`` if unset): a
+        checkpointed sweep journals completed points to a JSONL file
+        and resumes bit-identically after an interruption.
         """
         distances = list(distances_m)
-        if n_jobs is None:
+        if n_jobs is None and failure_policy is None and checkpoint is None:
             return [self.simulate_point(d) for d in distances]
 
         from repro.sim.engine import ExperimentEngine
 
-        return ExperimentEngine(n_jobs=n_jobs).run(self.spec(distances)).points
+        engine = ExperimentEngine(n_jobs=1 if n_jobs is None else n_jobs,
+                                  failure_policy=failure_policy)
+        return engine.run(self.spec(distances), checkpoint=checkpoint).points
 
     def max_range_m(self, distances_m: Sequence[float],
                     min_delivery: float = 0.05) -> float:

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.mac.aloha import AlohaConfig, FramedSlottedAloha, TdmScheme
-from repro.utils.rng import make_rng
+from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["MacExperimentPoint", "MacExperiment"]
 
@@ -77,8 +77,12 @@ class MacExperiment:
         )
 
     def _spec_seed(self) -> int:
+        # Derived from the generator's state without consuming it:
+        # minting a spec seed must not change later serial draws, or
+        # sweep() results would depend on whether spec()/sweep(n_jobs=N)
+        # was called before or after other methods on this instance.
         if self._master_seed is None:
-            self._master_seed = int(self._rng.integers(0, 2**63 - 1))
+            self._master_seed = derive_seed(self._rng)
         return int(self._master_seed)
 
     def spec(self, tag_counts: Sequence[int]):
@@ -93,20 +97,26 @@ class MacExperiment:
                                  config=self.config)
 
     def sweep(self, tag_counts: Sequence[int] = (4, 8, 12, 16, 20),
-              n_jobs: Optional[int] = None) -> List[MacExperimentPoint]:
+              n_jobs: Optional[int] = None, *,
+              failure_policy=None, checkpoint=None
+              ) -> List[MacExperimentPoint]:
         """The Figure 17 sweep.
 
         ``n_jobs=None`` keeps the historical serial stream; any integer
         routes through the parallel engine with per-point seeds (same
-        results for every worker count).
+        results for every worker count).  *failure_policy* and
+        *checkpoint* are forwarded to the engine (supplying either
+        implies the engine path); a checkpointed sweep resumes
+        bit-identically after an interruption.
         """
-        if n_jobs is None:
+        if n_jobs is None and failure_policy is None and checkpoint is None:
             return [self.run_point(n) for n in tag_counts]
 
         from repro.sim.engine import ExperimentEngine
 
-        return ExperimentEngine(n_jobs=n_jobs).run(
-            self.spec(tag_counts)).points
+        engine = ExperimentEngine(n_jobs=1 if n_jobs is None else n_jobs,
+                                  failure_policy=failure_policy)
+        return engine.run(self.spec(tag_counts), checkpoint=checkpoint).points
 
     def asymptote_kbps(self, n_tags: int = 200, scheme: str = "aloha") -> float:
         """Throughput limit for a large population (section 4.5).

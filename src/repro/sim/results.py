@@ -7,8 +7,9 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,17 +33,43 @@ class Series:
     def as_rows(self) -> List[Sequence[float]]:
         return list(zip(self.x, self.y))
 
+    def finite_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (x, y) pairs where both coordinates are finite.
+
+        Link sweeps encode "no measurement" as NaN (the zero-delivery
+        BER sentinel); helpers that interpolate, rank, or plot must
+        skip those points rather than let one NaN poison everything.
+        """
+        xs = np.asarray(self.x, dtype=float)
+        ys = np.asarray(self.y, dtype=float)
+        mask = np.isfinite(xs) & np.isfinite(ys)
+        return xs[mask], ys[mask]
+
     def y_at(self, x: float) -> float:
-        """Linear interpolation of the series at *x*."""
+        """Linear interpolation of the series at *x*.
+
+        NaN points (no-measurement sentinels) are skipped, so a single
+        dead distance point no longer turns every interpolated value
+        into NaN.  Raises ``ValueError`` when the series is empty or
+        has no valid points at all.
+        """
         if not self.x:
             raise ValueError("empty series")
-        return float(np.interp(x, self.x, self.y))
+        xs, ys = self.finite_points()
+        if not xs.size:
+            raise ValueError("series has no finite points")
+        return float(np.interp(x, xs, ys))
 
     def summary(self) -> str:
         if not self.y:
             return f"{self.name}: (empty)"
-        return (f"{self.name}: n={len(self.y)} "
-                f"min={min(self.y):.3g} max={max(self.y):.3g}")
+        _, ys = self.finite_points()
+        n_skipped = len(self.y) - ys.size
+        note = f" ({n_skipped} n/a)" if n_skipped else ""
+        if not ys.size:
+            return f"{self.name}: n={len(self.y)}{note}"
+        return (f"{self.name}: n={len(self.y)}{note} "
+                f"min={ys.min():.3g} max={ys.max():.3g}")
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -67,6 +94,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence],
 
 def _cell(value) -> str:
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"  # the no-measurement sentinel, not a number
         if value != 0 and (abs(value) < 1e-2 or abs(value) >= 1e5):
             return f"{value:.2e}"
         return f"{value:.2f}"
@@ -74,11 +103,17 @@ def _cell(value) -> str:
 
 
 def cdf_points(samples: Sequence[float]) -> Series:
-    """Empirical CDF of *samples* as a Series (x sorted, y in [0,1])."""
+    """Empirical CDF of *samples* as a Series (x sorted, y in [0,1]).
+
+    NaN samples (no-measurement sentinels) are dropped first: NaN
+    sorts to the tail and would otherwise claim probability mass and
+    break the x-axis of anything plotting the CDF.
+    """
     s = Series("cdf", x_label="value", y_label="P(X<=x)")
     if not len(samples):
         return s
-    xs = np.sort(np.asarray(samples, dtype=float))
+    xs = np.asarray(samples, dtype=float)
+    xs = np.sort(xs[~np.isnan(xs)])
     n = xs.size
     for i, x in enumerate(xs, start=1):
         s.append(x, i / n)

@@ -33,14 +33,31 @@ __all__ = [
 def as_bits(bits: Union[Sequence[int], np.ndarray, str]) -> BitArray:
     """Coerce *bits* (list, ndarray, or '0101' string) to a uint8 bit array.
 
-    Raises ``ValueError`` when any element is not 0 or 1.
+    Raises ``ValueError`` when any element is not 0 or 1.  Strings are
+    validated character-by-character *before* any arithmetic: the old
+    ``char - ord('0')`` path wrapped out-of-range characters around the
+    uint8 space first and relied on a max check afterwards, and turned
+    non-ASCII input into a ``UnicodeEncodeError`` instead of the
+    documented ``ValueError``.  The empty string is a valid empty bit
+    array.
     """
     if isinstance(bits, str):
-        arr = np.frombuffer(bits.encode("ascii"), dtype=np.uint8) - ord("0")
+        if not bits:
+            return np.zeros(0, dtype=np.uint8)
+        try:
+            raw = np.frombuffer(bits.encode("ascii"), dtype=np.uint8)
+        except UnicodeEncodeError:
+            raise ValueError(
+                f"bit string may only contain '0' and '1', got {bits!r}"
+            ) from None
+        if np.any((raw != ord("0")) & (raw != ord("1"))):
+            raise ValueError(
+                f"bit string may only contain '0' and '1', got {bits!r}")
+        arr = raw - ord("0")
     else:
         arr = np.asarray(bits, dtype=np.uint8).ravel()
-    if arr.size and arr.max(initial=0) > 1:
-        raise ValueError("bit array may only contain 0s and 1s")
+        if arr.size and arr.max(initial=0) > 1:
+            raise ValueError("bit array may only contain 0s and 1s")
     return arr.astype(np.uint8)
 
 

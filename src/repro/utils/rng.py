@@ -9,11 +9,13 @@ can be given independent streams derived from one experiment seed.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn"]
+__all__ = ["make_rng", "spawn", "derive_seed"]
 
 
 def make_rng(seed: Optional[Union[int, np.random.Generator]] = None) -> np.random.Generator:
@@ -29,3 +31,21 @@ def spawn(rng: np.random.Generator, n: int) -> list:
         raise ValueError("n must be non-negative")
     seeds = rng.integers(0, 2**63 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """A 63-bit integer seed derived from *rng*'s current state
+    **without advancing it**.
+
+    Drawing a seed with ``rng.integers`` mutates the generator, which
+    makes any later draw depend on whether the seed was minted first —
+    the source of heisenbug result differences between "sweep then
+    compare" and "compare then sweep" call orders.  Hashing the bit
+    generator's serialized state sidesteps that: two generators in the
+    same state derive the same seed, and deriving is free of side
+    effects, so it can happen lazily at any point without perturbing
+    the stream.
+    """
+    state = json.dumps(rng.bit_generator.state, sort_keys=True, default=int)
+    digest = hashlib.sha256(state.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

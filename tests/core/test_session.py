@@ -52,6 +52,27 @@ class TestWifiSession:
         r = s.run_packet(snr_db=30, incident_power_dbm=-90.0, rng=rng)
         assert not r.delivered
 
+    def test_frame_cache_invalidated_on_transmitter_swap(self):
+        """Regression: the excitation template cache used to key only on
+        the payload bytes, so swapping the transmitter (new rate, same
+        zero-filled PSDU) served the stale old-rate frame."""
+        from repro.phy.wifi.transmitter import WifiTransmitter
+
+        s = WifiBackscatterSession(seed=1, payload_bytes=1500)
+        at_6mbps = s.capacity_bits()
+        s.transmitter = WifiTransmitter(12.0, seed=7)
+        assert s.capacity_bits() != at_6mbps  # fresh 12 Mb/s template
+
+    def test_frame_cache_still_hits_for_same_shape(self):
+        from repro import obs
+
+        s = WifiBackscatterSession(seed=1, payload_bytes=1500)
+        with obs.collect() as reg:
+            s.capacity_bits()
+            s.capacity_bits()
+        assert reg.counter("phy.wifi.encode_cached") == 1
+        assert reg.timer("phy.wifi.encode").count == 1
+
     def test_pilot_correction_breaks_decoding(self):
         """Negative control (section 3.2.1): a receiver that re-derives
         phase from pilots erases the tag's phase modulation."""

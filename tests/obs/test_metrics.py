@@ -1,0 +1,118 @@
+"""Tests for the process-local metrics registry (repro.obs)."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TimerStat,
+    collect,
+    global_registry,
+    inc,
+    registry,
+    timed,
+)
+
+
+class TestTimerStat:
+    def test_observe_accumulates(self):
+        t = TimerStat()
+        t.observe(0.2)
+        t.observe(0.1)
+        assert t.count == 2
+        assert t.total_s == pytest.approx(0.3)
+        assert t.min_s == pytest.approx(0.1)
+        assert t.max_s == pytest.approx(0.2)
+
+    def test_empty_dict_form_has_no_inf(self):
+        d = TimerStat().to_dict()
+        assert d["count"] == 0
+        assert d["min_s"] == 0.0  # inf sentinel never leaks into JSON
+
+    def test_merge(self):
+        a, b = TimerStat(), TimerStat()
+        a.observe(1.0)
+        b.observe(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.max_s == pytest.approx(3.0)
+
+    def test_round_trip(self):
+        t = TimerStat()
+        t.observe(0.5)
+        assert TimerStat.from_dict(t.to_dict()).to_dict() == t.to_dict()
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("missing") == 0
+
+    def test_timed_context(self):
+        reg = MetricsRegistry()
+        with reg.timed("stage"):
+            pass
+        assert reg.timer("stage").count == 1
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.observe("t", 0.25)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"n": 1}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["timers"]["t"]["mean_s"] == pytest.approx(0.25)
+
+    def test_merge_snapshot(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 2)
+        reg.observe("t", 0.1)
+        other = MetricsRegistry()
+        other.inc("n", 3)
+        other.observe("t", 0.3)
+        reg.merge_snapshot(other.snapshot())
+        assert reg.counter("n") == 5
+        assert reg.timer("t").count == 2
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("n")
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "timers": {}}
+
+
+class TestCollectScope:
+    def test_collect_isolates_from_global(self):
+        with collect() as reg:
+            inc("scoped")
+            assert registry() is reg
+        assert reg.counter("scoped") == 1
+        assert global_registry().counter("scoped") == 0
+        assert registry() is global_registry()
+
+    def test_nested_collect(self):
+        with collect() as outer:
+            inc("outer.only")
+            with collect() as inner:
+                inc("both")
+            assert inner.counter("both") == 1
+        assert outer.counter("outer.only") == 1
+        assert outer.counter("both") == 0
+
+    def test_timed_binds_registry_at_exit(self):
+        # A timer entered before collect() but exited inside it lands in
+        # the active registry at exit time (what workers rely on).
+        timer = timed("late")
+        timer.__enter__()
+        with collect() as reg:
+            timer.__exit__(None, None, None)
+            assert reg.timer("late").count == 1
+
+    def test_module_level_helpers_hit_active_registry(self):
+        with collect() as reg:
+            with timed("stage"):
+                inc("packets", 2)
+        assert reg.counter("packets") == 2
+        assert reg.timer("stage").count == 1

@@ -53,6 +53,19 @@ class TestAsciiChart:
         with pytest.raises(ValueError):
             ascii_chart(s, width=5, height=2)
 
+    def test_nan_points_skipped_and_annotated(self):
+        """Regression: one NaN point (no-measurement sentinel) used to
+        poison the axis bounds and crash the grid placement."""
+        s = make_series([(0, 0), (5, float("nan")), (10, 100)])
+        out = ascii_chart(s, width=30, height=8)
+        assert "*" in out
+        assert "1 point(s) without data skipped" in out
+        assert "nan" not in out
+
+    def test_all_nan_degrades_gracefully(self):
+        s = make_series([(0, float("nan")), (1, float("nan"))])
+        assert "not enough points" in ascii_chart(s)
+
 
 class TestAsciiCdf:
     def test_reaches_one(self):

@@ -54,6 +54,34 @@ class TestSeries:
         assert "thr" in s.summary()
         assert "(empty)" in Series("e").summary()
 
+    def test_interp_skips_nan_points(self):
+        """Regression: one NaN-BER point (zero-delivery sentinel) used to
+        turn every interpolated value into NaN."""
+        s = Series("ber")
+        s.append(0.0, 0.0)
+        s.append(5.0, float("nan"))
+        s.append(10.0, 100.0)
+        assert s.y_at(5.0) == pytest.approx(50.0)
+
+    def test_interp_all_nan_raises(self):
+        s = Series("ber")
+        s.append(1.0, float("nan"))
+        with pytest.raises(ValueError):
+            s.y_at(1.0)
+
+    def test_finite_points_mask(self):
+        s = Series("ber")
+        s.append(1.0, 2.0)
+        s.append(2.0, float("nan"))
+        xs, ys = s.finite_points()
+        assert list(xs) == [1.0] and list(ys) == [2.0]
+
+    def test_summary_counts_nan_points(self):
+        s = Series("ber")
+        s.append(1.0, 2.0)
+        s.append(2.0, float("nan"))
+        assert "(1 n/a)" in s.summary()
+
 
 class TestFormatTable:
     def test_alignment_and_title(self):
@@ -71,6 +99,11 @@ class TestFormatTable:
         out = format_table(["ber"], [[1e-4]])
         assert "e-04" in out
 
+    def test_nan_renders_as_na(self):
+        # Regression: the zero-delivery BER sentinel used to print "nan".
+        out = format_table(["ber"], [[float("nan")]])
+        assert "n/a" in out and "nan" not in out
+
 
 class TestCdf:
     def test_monotone_and_bounded(self):
@@ -80,3 +113,9 @@ class TestCdf:
 
     def test_empty(self):
         assert cdf_points([]).x == []
+
+    def test_nan_samples_dropped(self):
+        # Regression: NaN sorted to the tail and claimed probability mass.
+        s = cdf_points([1.0, float("nan"), 2.0])
+        assert s.x == [1.0, 2.0]
+        assert s.y == [pytest.approx(0.5), 1.0]

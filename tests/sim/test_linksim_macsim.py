@@ -52,6 +52,22 @@ class TestLinkSimulator:
         r = sim.max_range_m([4.0, 10.0, 30.0])
         assert r == 10.0
 
+    def test_spec_seed_does_not_consume_rng(self):
+        """Regression: deriving the spec seed used to draw from the
+        instance RNG, so calling spec() changed every later result."""
+        cfg = ZIGBEE_CONFIG.replace(payload_bytes=24)
+        touched = LinkSimulator(cfg, Deployment.los(1.0),
+                                packets_per_point=2, seed=9)
+        pristine = LinkSimulator(cfg, Deployment.los(1.0),
+                                 packets_per_point=2, seed=9)
+        touched.spec((2.0, 10.0))  # must be a read-only operation
+        assert touched.simulate_point(2.0) == pristine.simulate_point(2.0)
+
+    def test_spec_seed_stable_across_calls(self):
+        sim = LinkSimulator(ZIGBEE_CONFIG, Deployment.los(1.0),
+                            packets_per_point=2, seed=9)
+        assert sim.spec((2.0,)).seed == sim.spec((2.0,)).seed
+
 
 class TestMacExperiment:
     def test_point_metrics(self):
@@ -76,3 +92,16 @@ class TestMacExperiment:
     def test_unknown_scheme_raises(self):
         with pytest.raises(ValueError):
             MacExperiment(seed=1).asymptote_kbps(scheme="csma")
+
+    def test_spec_seed_does_not_consume_rng(self):
+        """Regression: same RNG-consumption bug as the link simulator."""
+        touched = MacExperiment(measured_rounds=4, simulated_rounds=30,
+                                seed=6)
+        pristine = MacExperiment(measured_rounds=4, simulated_rounds=30,
+                                 seed=6)
+        touched.spec((4,))  # must be a read-only operation
+        assert touched.run_point(4) == pristine.run_point(4)
+
+    def test_spec_seed_stable_across_calls(self):
+        exp = MacExperiment(measured_rounds=4, simulated_rounds=30, seed=6)
+        assert exp.spec((4,)).seed == exp.spec((4,)).seed

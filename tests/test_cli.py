@@ -109,3 +109,69 @@ class TestEngineOptions:
                      "--packets", "1", "--seed", "1",
                      "--payload-bytes", "60", "--repetition", "18"]) == 0
         assert "bluetooth backscatter" in capsys.readouterr().out
+
+
+class TestRobustnessOptions:
+    def test_failure_policy_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--failure-policy", "degrade", "--retries", "3",
+             "--task-timeout", "2.5", "--checkpoint", "ckpt.jsonl",
+             "--metrics-json", "-"])
+        assert args.failure_policy == "degrade"
+        assert args.retries == 3
+        assert args.task_timeout == 2.5
+        assert args.checkpoint == "ckpt.jsonl"
+        assert args.metrics_json == "-"
+
+    def test_zero_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--retries", "0"])
+
+    @pytest.mark.parametrize("radio,extra", [
+        ("zigbee", []),
+        ("wifi", ["--payload-bytes", "24"]),  # shrunk PSDU keeps it fast
+    ])
+    def test_metrics_json_emits_stage_timers(self, tmp_path, capsys,
+                                             radio, extra):
+        path = tmp_path / "metrics.json"
+        assert main(["sweep", "--radio", radio, "--distances", "2",
+                     "--packets", "1", "--seed", "3",
+                     "--metrics-json", str(path)] + extra) == 0
+        import json
+
+        record = json.loads(path.read_text())
+        counters = record["metrics"]["counters"]
+        timers = record["metrics"]["timers"]
+        assert counters[f"phy.{radio}.packets"] == 1
+        assert counters["engine.tasks.ok"] == 1
+        for stage in ("engine.task", f"phy.{radio}.encode",
+                      f"phy.{radio}.channel", f"phy.{radio}.decode"):
+            assert timers[stage]["count"] > 0
+        assert record["timing"]["n_failed"] == 0
+        assert record["tasks"][0]["status"] == "ok"
+
+    def test_metrics_json_to_stdout(self, capsys):
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2",
+                     "--packets", "1", "--seed", "3",
+                     "--metrics-json", "-"]) == 0
+        out = capsys.readouterr().out
+        assert '"engine.tasks.ok"' in out
+
+    def test_mac_metrics_json(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["mac", "--tags", "4", "--rounds", "10", "--seed", "2",
+                     "--metrics-json", str(path)]) == 0
+        import json
+
+        record = json.loads(path.read_text())
+        assert record["metrics"]["counters"]["engine.tasks.ok"] == 1
+
+    def test_checkpoint_resume_reproduces_table(self, tmp_path, capsys):
+        path = tmp_path / "sweep.jsonl"
+        argv = ["sweep", "--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "3",
+                "--checkpoint", str(path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # all points come from the journal
+        assert capsys.readouterr().out == cold

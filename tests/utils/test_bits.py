@@ -36,6 +36,26 @@ class TestAsBits:
     def test_empty(self):
         assert as_bits([]).size == 0
 
+    def test_empty_string(self):
+        out = as_bits("")
+        assert out.size == 0 and out.dtype == np.uint8
+
+    def test_rejects_non_binary_string(self):
+        # Regression: '2' - '0' = 2 used to slip past as a uint8 value
+        # until a later max() check; now the string itself is validated.
+        with pytest.raises(ValueError):
+            as_bits("0120")
+
+    def test_rejects_whitespace_string(self):
+        with pytest.raises(ValueError):
+            as_bits("01 10")
+
+    def test_rejects_non_ascii_string(self):
+        # Used to surface as UnicodeEncodeError, not the documented
+        # ValueError.
+        with pytest.raises(ValueError):
+            as_bits("01²")
+
 
 class TestByteConversion:
     def test_lsb_first_default(self):
