@@ -30,9 +30,14 @@ Worker exceptions and overrunning tasks no longer lose the sweep.  A
   are flagged rather than silently dropped.
 
 Each task is retried up to ``max_attempts`` times with exponential
-backoff, and ``timeout_s`` bounds one attempt's duration.  For tests,
-:class:`FaultInjector` deterministically fails or delays chosen
-``(task, attempt)`` pairs.
+backoff (retries wait in a ready queue rather than blocking result
+collection), and ``timeout_s`` bounds one attempt's *execution* time:
+at most ``n_jobs`` attempts are in flight at once so the deadline never
+runs against queue wait, a queued attempt that never started is
+requeued instead of timed out, and a genuinely hung worker is abandoned
+— its pool is replaced immediately and its process killed at shutdown.
+For tests, :class:`FaultInjector` deterministically fails or delays
+chosen ``(task, attempt)`` pairs.
 
 Checkpoint / resume
 -------------------
@@ -283,10 +288,17 @@ class FailurePolicy:
         attempt ``attempt+1``.  ``base=0`` (default) disables sleeping,
         which keeps tests fast and deterministic.
     timeout_s:
-        Upper bound on one attempt's duration.  In-process (``n_jobs=1``)
-        execution cannot be interrupted, so the bound is checked after
-        the attempt finishes ("soft"); pool workers are abandoned at the
-        deadline and the attempt is classified ``timeout``.
+        Upper bound on one attempt's *execution* time — queue wait never
+        counts, because the engine keeps at most ``n_jobs`` attempts on
+        the active pool and requeues (rather than times out) anything
+        that never started.  In-process (``n_jobs=1``) execution cannot
+        be interrupted, so the bound is checked after the attempt
+        finishes ("soft") and is not retried (an identical deterministic
+        rerun cannot get faster) unless a fault injector is present.
+        Pool workers are abandoned at the deadline (attempt classified
+        ``timeout``, retried normally): the engine replaces the worker
+        pool so the hung process cannot occupy a slot, and kills it at
+        pool shutdown.
     """
 
     mode: str = "fail_fast"
@@ -716,6 +728,14 @@ class ExperimentEngine:
                     error = f"{type(exc).__name__}: {exc}"
                 if status == "ok" or attempt >= policy.max_attempts:
                     break
+                if status == "timeout" and self.fault_injector is None:
+                    # An inline retry reruns the identical deterministic
+                    # computation with the same seed, so a timed-out
+                    # attempt can never get faster — don't multiply the
+                    # overrun by max_attempts.  (An injector can make
+                    # slowness attempt-dependent, so retries stay live
+                    # under injection.)
+                    break
                 metrics.inc("engine.retries")
                 backoff = policy.backoff_s(attempt)
                 if backoff:
@@ -733,23 +753,91 @@ class ExperimentEngine:
                   points, records, journal, metrics) -> None:
         policy = self.failure_policy
         workers = min(self.n_jobs, len(pending))
-        pool = ProcessPoolExecutor(max_workers=workers)
-        # future -> (task index, attempt, submit time)
-        inflight: Dict[Any, Tuple[int, int, float]] = {}
 
-        def submit(i: int, attempt: int) -> None:
-            fut = pool.submit(_execute_task, spec, tasks[i], children[i],
-                              i, attempt, self.fault_injector)
-            inflight[fut] = (i, attempt, time.perf_counter())
+        pools: List[ProcessPoolExecutor] = []   # every pool ever created
+        live: List[ProcessPoolExecutor] = []    # not yet shut down
+        tracked: Dict[Any, int] = {}            # pool -> inflight futures
+        hung: Dict[Any, int] = {}               # pool -> abandoned workers
+
+        def new_pool() -> ProcessPoolExecutor:
+            p = ProcessPoolExecutor(max_workers=workers)
+            pools.append(p)
+            live.append(p)
+            tracked[p] = 0
+            return p
+
+        def shutdown_pool(p) -> None:
+            if p not in live:
+                return
+            live.remove(p)
+            p.shutdown(wait=False, cancel_futures=True)
+            if hung.get(p):
+                # ``Future.cancel`` is a no-op on a running future, so an
+                # abandoned worker would keep its pool slot — and block
+                # interpreter exit — forever.  Kill its processes
+                # outright; results of the pool's futures were already
+                # collected or discarded.  ``_processes`` is a CPython
+                # implementation detail, so degrade to leaking the
+                # process if it is ever absent.
+                procs = getattr(p, "_processes", None) or {}
+                for proc in list(procs.values()):
+                    try:
+                        proc.terminate()
+                    except Exception:
+                        pass
+
+        current = new_pool()
+
+        # future -> (task index, attempt, execution start time, pool).
+        # At most ``workers`` futures ride the active pool, so a
+        # submitted attempt starts executing (almost) immediately and
+        # the timeout clock only ever runs against executing attempts,
+        # never against queue wait.
+        inflight: Dict[Any, Tuple[int, int, float, Any]] = {}
+        # (task index, attempt, earliest submit time): retries carry
+        # their backoff deadline here instead of sleeping on the
+        # dispatcher thread, so collection of other futures never stalls.
+        ready: List[Tuple[int, int, float]] = [(i, 1, 0.0) for i in pending]
+
+        def retire_current() -> None:
+            nonlocal current
+            old = current
+            current = new_pool()
+            if tracked[old] == 0:
+                shutdown_pool(old)
+
+        def submit_due() -> None:
+            now = time.perf_counter()
+            while ready and tracked[current] < workers:
+                k = next((k for k, (_, _, due) in enumerate(ready)
+                          if due <= now), None)
+                if k is None:
+                    return
+                i, attempt, _ = ready.pop(k)
+                try:
+                    fut = current.submit(_execute_task, spec, tasks[i],
+                                         children[i], i, attempt,
+                                         self.fault_injector)
+                except Exception:
+                    # e.g. BrokenProcessPool after a crashed worker:
+                    # replace the pool and resubmit there.
+                    ready.append((i, attempt, now))
+                    retire_current()
+                    continue
+                inflight[fut] = (i, attempt, time.perf_counter(), current)
+                tracked[current] += 1
+
+        def release(fut) -> Tuple[int, int, float, Any]:
+            i, attempt, t0, p = inflight.pop(fut)
+            tracked[p] -= 1
+            return i, attempt, t0, p
 
         def handle_failure(i: int, attempt: int, status: str,
                            error: str, dur: float) -> None:
             if attempt < policy.max_attempts:
                 metrics.inc("engine.retries")
-                backoff = policy.backoff_s(attempt)
-                if backoff:
-                    time.sleep(backoff)
-                submit(i, attempt + 1)
+                ready.append((i, attempt + 1,
+                              time.perf_counter() + policy.backoff_s(attempt)))
                 return
             record = TaskRecord(index=i, task=tasks[i], status=status,
                                 attempts=attempt, duration_s=dur,
@@ -759,38 +847,66 @@ class ExperimentEngine:
                               journal, metrics)
 
         try:
-            for i in pending:
-                submit(i, 1)
-            while inflight:
-                if policy.timeout_s is None:
-                    done, _ = wait(set(inflight),
-                                   return_when=FIRST_COMPLETED)
-                else:
+            while ready or inflight:
+                submit_due()
+                now = time.perf_counter()
+                # Wake for whichever comes first: a backoff-delayed retry
+                # becoming due, or an executing attempt's deadline.
+                wakeups = [due for (_, _, due) in ready if due > now]
+                if policy.timeout_s is not None:
+                    wakeups += [t0 + policy.timeout_s
+                                for (_, _, t0, _) in inflight.values()]
+                if not inflight:
+                    if wakeups:  # only delayed retries remain
+                        time.sleep(max(min(wakeups) - now, 0.0))
+                    continue
+                done, _ = wait(
+                    set(inflight),
+                    timeout=(max(min(wakeups) - now, 0.0) + 0.01
+                             if wakeups else None),
+                    return_when=FIRST_COMPLETED)
+                if not done and policy.timeout_s is not None:
                     now = time.perf_counter()
-                    nearest = min(t0 + policy.timeout_s
-                                  for (_, _, t0) in inflight.values())
-                    done, _ = wait(set(inflight),
-                                   timeout=max(nearest - now, 0.0) + 0.01,
-                                   return_when=FIRST_COMPLETED)
-                if not done:
-                    # Nothing finished before the nearest deadline:
-                    # abandon every overdue attempt (the worker itself
-                    # cannot be interrupted; its eventual result is
-                    # discarded because the future left ``inflight``).
-                    now = time.perf_counter()
-                    for fut, (i, attempt, t0) in list(inflight.items()):
+                    for fut, (i, attempt, t0, _) in list(inflight.items()):
                         overdue = now - t0
-                        if overdue >= policy.timeout_s:
-                            fut.cancel()
-                            del inflight[fut]
+                        if overdue < policy.timeout_s:
+                            continue
+                        if fut.cancel():
+                            # Never started (queued behind an abandoned
+                            # worker): requeue without consuming an
+                            # attempt — a task that never ran is not a
+                            # timeout.
+                            release(fut)
+                            metrics.inc("engine.tasks.requeued")
+                            ready.append((i, attempt, now))
+                        elif fut.done():
+                            # Completed between wait() and here; the next
+                            # wait() collects it and _classify applies
+                            # the soft-timeout check to its true dur.
+                            continue
+                        else:
+                            # Genuinely executing past its deadline.
+                            # Abandon the worker and retire its pool so
+                            # the hung process cannot eat a slot from
+                            # later submissions (healthy futures on the
+                            # old pool still complete normally; worker
+                            # counts may transiently exceed n_jobs).
+                            i, attempt, t0, p = release(fut)
+                            hung[p] = hung.get(p, 0) + 1
+                            if p is current:
+                                retire_current()
+                            elif tracked[p] == 0:
+                                shutdown_pool(p)
                             handle_failure(
                                 i, attempt, "timeout",
-                                f"task exceeded timeout_s="
-                                f"{policy.timeout_s} (ran {overdue:.3f}s)",
+                                f"attempt exceeded timeout_s="
+                                f"{policy.timeout_s} (ran {overdue:.3f}s; "
+                                f"worker abandoned)",
                                 overdue)
-                    continue
                 for fut in done:
-                    i, attempt, t0 = inflight.pop(fut)
+                    i, attempt, t0, p = release(fut)
+                    if p is not current and tracked[p] == 0:
+                        shutdown_pool(p)
                     try:
                         point, snap, dur = fut.result()
                     except Exception as exc:
@@ -809,9 +925,8 @@ class ExperimentEngine:
                     self._finish_task(record, point, snap, points,
                                       records, journal, metrics)
         finally:
-            # wait=False so an abandoned (timed-out) worker cannot block
-            # the run; workers exit on their own once their task returns.
-            pool.shutdown(wait=False, cancel_futures=True)
+            for p in list(live):
+                shutdown_pool(p)
 
     def run_many(self, specs) -> List[RunResult]:
         """Execute several specs back to back (shared worker budget)."""

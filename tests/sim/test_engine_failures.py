@@ -139,8 +139,73 @@ class TestTimeouts:
             fault_injector=FaultInjector(hang_s={0: 0.6}))
         result = engine.run(_spec())
         assert result.tasks[0].status == "timeout"
+        assert "worker abandoned" in result.tasks[0].error
         assert result.points[0] is None
         assert result.tasks[1].ok
+
+    def test_pool_timeout_clock_excludes_queue_wait(self):
+        # Regression: with more tasks than workers, the deadline used to
+        # run from submit time, so tasks queued behind slow-but-healthy
+        # ones were cancelled as "timeout" without ever executing.  Each
+        # attempt hangs 0.2s against a 0.5s deadline: any task charged
+        # for its ~0.2s queue wait would still pass, but under the old
+        # submit-time clock the last tasks accumulate >0.5s and fail.
+        spec = _spec(distances=(2.0, 5.0, 10.0, 30.0))
+        engine = ExperimentEngine(
+            n_jobs=2,
+            failure_policy=FailurePolicy.degrade_policy(
+                max_attempts=1, timeout_s=0.5),
+            fault_injector=FaultInjector(
+                hang_s={i: 0.2 for i in range(4)}))
+        result = engine.run(spec)
+        assert [t.status for t in result.tasks] == ["ok"] * 4
+        assert result.ok
+
+    def test_pool_timeout_retry_replaces_hung_worker(self):
+        # Only the first attempt of task 0 hangs; the retry must run on
+        # a fresh worker slot (the hung one is abandoned) and reproduce
+        # the clean point bit-identically.
+        spec = _spec()
+        clean = ExperimentEngine(n_jobs=1).run(spec)
+        engine = ExperimentEngine(
+            n_jobs=2,
+            failure_policy=FailurePolicy.degrade_policy(
+                max_attempts=2, timeout_s=0.15),
+            fault_injector=FaultInjector(hang_s={0: 1.0}))
+        result = engine.run(spec)
+        assert result.ok
+        assert result.points == clean.points
+        assert result.tasks[0].attempts == 2
+        assert result.metrics["counters"]["engine.retries"] == 1
+
+    def test_inline_timeout_not_retried_without_injector(self):
+        # An inline rerun repeats the identical deterministic
+        # computation, so retrying a timed-out attempt is pure waste —
+        # the engine must record the timeout after the first attempt.
+        engine = ExperimentEngine(
+            n_jobs=1,
+            failure_policy=FailurePolicy.degrade_policy(
+                max_attempts=3, timeout_s=1e-6))
+        result = engine.run(_spec())
+        assert [t.status for t in result.tasks] == ["timeout", "timeout"]
+        assert [t.attempts for t in result.tasks] == [1, 1]
+        assert "engine.retries" not in result.metrics["counters"]
+
+    def test_inline_timeout_retries_with_injector(self):
+        # With a FaultInjector the slowness is attempt-dependent, so the
+        # retry path stays live: attempt 1 hangs past the deadline,
+        # attempt 2 runs clean.
+        spec = _spec()
+        clean = ExperimentEngine(n_jobs=1).run(spec)
+        engine = ExperimentEngine(
+            n_jobs=1,
+            failure_policy=FailurePolicy.degrade_policy(
+                max_attempts=2, timeout_s=0.1),
+            fault_injector=FaultInjector(hang_s={0: 0.3}))
+        result = engine.run(spec)
+        assert result.ok
+        assert result.points == clean.points
+        assert result.tasks[0].attempts == 2
 
 
 class TestCheckpointResume:
