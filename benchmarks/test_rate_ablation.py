@@ -9,6 +9,8 @@ data bits under each tag bit (same 4-symbol span), shrinking excitation
 airtime per tag bit but demanding more SNR.
 """
 
+import math
+
 from repro.core.session import WifiBackscatterSession
 from repro.phy.wifi.rates import WIFI_RATES
 from repro.sim.results import format_table
@@ -48,8 +50,10 @@ def test_rate_ablation(once, emit):
         title="Excitation-rate ablation: phase translation across MCSs")
     emit("rate_ablation", table)
 
-    at25 = {r[0]: (r[2], r[3], r[4]) for r in rows if r[1] == 25.0}
-    at10 = {r[0]: (r[2], r[3], r[4]) for r in rows if r[1] == 10.0}
+    at25 = {r[0]: (r[2], r[3], r[4]) for r in rows
+            if math.isclose(r[1], 25.0)}
+    at10 = {r[0]: (r[2], r[3], r[4]) for r in rows
+            if math.isclose(r[1], 10.0)}
     # Valid translation at every MCS (XOR decoding on BPSK/QPSK,
     # rotation estimation on 16/64-QAM — see DESIGN.md finding 5).
     for snr_map in (at25, at10):

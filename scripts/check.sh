@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: tier-1 tests, reprolint, and (when installed) mypy.
+# Mirrors .github/workflows/ci.yml; run from the repository root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== reprolint =="
+python -m repro.tools.lint src tests benchmarks examples
+
+echo "== mypy =="
+if python -c "import mypy" 2>/dev/null; then
+    python -m mypy
+else
+    echo "mypy not installed (pip install -e '.[lint]'); skipping"
+fi
+
+echo "== all checks passed =="

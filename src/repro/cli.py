@@ -6,6 +6,7 @@
     python -m repro mac    --tags 4,8,12,16,20 --rounds 100 --jobs 2
     python -m repro regime
     python -m repro power
+    python -m repro lint   # project static analysis (reprolint)
 
 Each subcommand prints the same tables the benchmark harness writes.
 ``--jobs`` fans the experiment out over worker processes through
@@ -164,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("regime", help="operational regime (Figure 14)")
     sub.add_parser("power", help="tag power budget (section 3.3)")
+
+    lint = sub.add_parser(
+        "lint", help="project static analysis (reprolint rules R001-R007)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories "
+                           "(default: src tests benchmarks examples)")
+    lint.add_argument("--format", dest="format", choices=["text", "json"],
+                      default="text")
+    lint.add_argument("--show-suppressed", action="store_true",
+                      help="also print suppressed findings")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
     return parser
 
 
@@ -269,12 +282,26 @@ def _cmd_power(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.tools.lint import main as lint_main
+
+    argv: List[str] = []
+    if args.list_rules:
+        argv.append("--list-rules")
+    if args.show_suppressed:
+        argv.append("--show-suppressed")
+    argv += ["--format", args.format]
+    argv += list(args.paths)
+    return lint_main(argv)
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "packet": _cmd_packet,
     "mac": _cmd_mac,
     "regime": _cmd_regime,
     "power": _cmd_power,
+    "lint": _cmd_lint,
 }
 
 

@@ -41,7 +41,7 @@ _SESSION_EXPORTS = (
 )
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     # Sessions import the tag package, which imports repro.core.translation;
     # resolving them lazily keeps that chain acyclic.
     if name in _SESSION_EXPORTS:

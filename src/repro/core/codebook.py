@@ -40,7 +40,7 @@ class Codeword:
 class Codebook:
     """A finite set of codewords with nearest-codeword classification."""
 
-    def __init__(self, codewords: Dict[str, Codeword]):
+    def __init__(self, codewords: Dict[str, Codeword]) -> None:
         if len(codewords) < 2:
             raise ValueError("a codebook needs at least two codewords")
         sizes = {cw.template.size for cw in codewords.values()}
@@ -62,7 +62,7 @@ class Codebook:
 
     def classify(self, signal: np.ndarray) -> Tuple[str, float]:
         """Nearest codeword label and its distance."""
-        best_label, best_d = None, np.inf
+        best_label, best_d = "", float("inf")
         for label, cw in self._codewords.items():
             d = cw.distance(signal)
             if d < best_d:
@@ -109,7 +109,7 @@ def zigbee_codebook(sps: int = 4) -> Codebook:
     from repro.phy.zigbee.oqpsk import OqpskModem
 
     modem = OqpskModem(sps=sps)
-    words = {}
+    words: Dict[str, Codeword] = {}
     for s in range(16):
         wav = modem.modulate(CHIP_SEQUENCES[s])
         words[str(s)] = Codeword(str(s), wav)
@@ -121,7 +121,7 @@ def psk_codebook(n_phases: int, n_samples: int = 64) -> Codebook:
     if n_phases < 2:
         raise ValueError("need at least 2 phases")
     base = np.ones(n_samples, dtype=complex)
-    words = {}
+    words: Dict[str, Codeword] = {}
     for k in range(n_phases):
         words[str(k)] = Codeword(str(k), base * np.exp(2j * np.pi * k / n_phases))
     return Codebook(words)

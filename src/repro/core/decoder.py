@@ -13,11 +13,14 @@ errors introduced by the scrambler / convolutional coder / OQPSK offset
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.utils.bits import as_bits, xor_bits
+
+# Anything ``as_bits`` accepts: bit list/array or a '0101' string.
+BitsLike = Union[Sequence[int], np.ndarray, str]
 
 __all__ = ["TagDecodeResult", "XorTagDecoder", "SymbolDiffTagDecoder",
            "EnergyTagDecoder"]
@@ -31,7 +34,7 @@ class TagDecodeResult:
     diff_stream: np.ndarray
     n_tag_symbols: int
 
-    def errors_against(self, sent) -> int:
+    def errors_against(self, sent: BitsLike) -> int:
         """Bit errors w.r.t. the ground-truth *sent* bits (prefix
         comparison; missing bits count as errors)."""
         truth = as_bits(sent)
@@ -39,7 +42,7 @@ class TagDecodeResult:
         errs = int(np.sum(truth[:n] != self.bits[:n]))
         return errs + (truth.size - n)
 
-    def ber_against(self, sent) -> float:
+    def ber_against(self, sent: BitsLike) -> float:
         """BER w.r.t. ground truth."""
         truth = as_bits(sent)
         if truth.size == 0:
@@ -73,7 +76,7 @@ class XorTagDecoder:
     def __init__(self, bits_per_unit: int, repetition: int,
                  offset_bits: int = 0, guard_bits: int = 0,
                  guard_front: Optional[int] = None,
-                 guard_back: Optional[int] = None):
+                 guard_back: Optional[int] = None) -> None:
         if bits_per_unit < 1 or repetition < 1:
             raise ValueError("bits_per_unit and repetition must be >= 1")
         if offset_bits < 0 or guard_bits < 0:
@@ -96,7 +99,7 @@ class XorTagDecoder:
         """Tag symbols recoverable from a decoded stream of that size."""
         return max(0, (stream_bits - self.offset_bits) // self.span_bits)
 
-    def decode(self, original, received,
+    def decode(self, original: BitsLike, received: BitsLike,
                n_tag_bits: Optional[int] = None) -> TagDecodeResult:
         """Extract tag bits from the two decoded streams."""
         a, b = as_bits(original), as_bits(received)
@@ -128,7 +131,7 @@ class SymbolDiffTagDecoder:
     """
 
     def __init__(self, repetition: int, offset_symbols: int = 0,
-                 guard_symbols: int = 0):
+                 guard_symbols: int = 0) -> None:
         if repetition < 1:
             raise ValueError("repetition must be >= 1")
         if offset_symbols < 0 or guard_symbols < 0:
@@ -141,7 +144,8 @@ class SymbolDiffTagDecoder:
         """Tag bits recoverable from *n_symbols* decoded symbols."""
         return max(0, (n_symbols - self.offset_symbols) // self.repetition)
 
-    def decode(self, original_symbols, received_symbols,
+    def decode(self, original_symbols: Union[Sequence[int], np.ndarray],
+               received_symbols: Union[Sequence[int], np.ndarray],
                n_tag_bits: Optional[int] = None) -> TagDecodeResult:
         """Extract tag bits from two decoded 4-bit-symbol streams."""
         a = np.asarray(original_symbols, dtype=np.int64).ravel()
@@ -172,7 +176,7 @@ class EnergyTagDecoder:
     SNR relative to FreeRider's coherent codeword translation.
     """
 
-    def __init__(self, span_samples: int, start_sample: int = 0):
+    def __init__(self, span_samples: int, start_sample: int = 0) -> None:
         if span_samples < 1:
             raise ValueError("span_samples must be >= 1")
         if start_sample < 0:

@@ -19,7 +19,7 @@ span and degrades gracefully with SNR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -29,11 +29,14 @@ from repro.phy.wifi.scrambler import Scrambler
 from repro.phy.wifi.plcp import TAIL_BITS
 from repro.utils.bits import as_bits
 
+if TYPE_CHECKING:
+    from repro.phy.wifi.transmitter import WifiFrame
+
 __all__ = ["reference_symbol_matrix", "RotationTagDecoder",
            "QuaternaryTagDecoder", "levels_to_bits", "bits_to_levels"]
 
 
-def reference_symbol_matrix(frame) -> np.ndarray:
+def reference_symbol_matrix(frame: "WifiFrame") -> np.ndarray:
     """Re-derive the (n_symbols, 48) TX constellation matrix of a
     :class:`~repro.phy.wifi.transmitter.WifiFrame` from its ground
     truth (data bits + scrambler seed)."""
@@ -47,7 +50,8 @@ def reference_symbol_matrix(frame) -> np.ndarray:
     return symbols.reshape(frame.n_data_symbols, -1)
 
 
-def bits_to_levels(tag_bits) -> np.ndarray:
+def bits_to_levels(tag_bits: Union[Sequence[int], np.ndarray, str]
+                   ) -> np.ndarray:
     """Pair tag bits MSB-first into phase levels 0..3 (equation 5)."""
     bits = as_bits(tag_bits)
     if bits.size % 2:
@@ -56,7 +60,7 @@ def bits_to_levels(tag_bits) -> np.ndarray:
     return (2 * pairs[:, 0] + pairs[:, 1]).astype(np.int64)
 
 
-def levels_to_bits(levels) -> np.ndarray:
+def levels_to_bits(levels: Union[Sequence[int], np.ndarray]) -> np.ndarray:
     """Inverse of :func:`bits_to_levels`."""
     lv = np.asarray(levels, dtype=np.int64).ravel()
     if lv.size and (lv.min() < 0 or lv.max() > 3):
@@ -92,7 +96,7 @@ class RotationTagDecoder:
     offset_symbols: int = 1
     n_levels: int = 4
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_levels not in (2, 4):
             raise ValueError("n_levels must be 2 or 4")
 
@@ -138,6 +142,6 @@ class RotationTagDecoder:
 class QuaternaryTagDecoder(RotationTagDecoder):
     """Equation-(5) decoder: :class:`RotationTagDecoder` at 4 levels."""
 
-    def __init__(self, repetition: int = 4, offset_symbols: int = 1):
+    def __init__(self, repetition: int = 4, offset_symbols: int = 1) -> None:
         super().__init__(repetition=repetition,
                          offset_symbols=offset_symbols, n_levels=4)

@@ -18,9 +18,13 @@ pick it up automatically.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Protocol, Union, runtime_checkable)
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sim.config import RadioConfig
 
 __all__ = ["BackscatterSession", "register_session", "create_session",
            "registered_radios", "session_from_config"]
@@ -41,10 +45,10 @@ class BackscatterSession(Protocol):
         """Tag bits carried by one excitation packet."""
         ...
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
-                   excitation=None):
+                   excitation: Any = None) -> Any:
         """One excitation packet end-to-end; returns a SessionResult."""
         ...
 
@@ -52,7 +56,10 @@ class BackscatterSession(Protocol):
 _FACTORIES: Dict[str, Callable[..., "BackscatterSession"]] = {}
 
 
-def register_session(name: str, factory: Optional[Callable] = None):
+def register_session(
+    name: str, factory: Optional[Callable[..., Any]] = None
+) -> Union[Callable[..., Any], Callable[[Callable[..., Any]],
+                                        Callable[..., Any]]]:
     """Register *factory* under *name*; usable as a decorator.
 
     The factory receives ``create_session``'s keyword arguments verbatim
@@ -64,7 +71,7 @@ def register_session(name: str, factory: Optional[Callable] = None):
     if not key:
         raise ValueError("session name must be non-empty")
 
-    def _register(f: Callable) -> Callable:
+    def _register(f: Callable[..., Any]) -> Callable[..., Any]:
         _FACTORIES[key] = f
         return f
 
@@ -78,7 +85,7 @@ def registered_radios() -> List[str]:
     return sorted(_FACTORIES)
 
 
-def create_session(name: str, **kwargs) -> "BackscatterSession":
+def create_session(name: str, **kwargs: Any) -> "BackscatterSession":
     """Instantiate the session registered under *name*."""
     try:
         factory = _FACTORIES[name.strip().lower()]
@@ -89,7 +96,8 @@ def create_session(name: str, **kwargs) -> "BackscatterSession":
     return factory(**kwargs)
 
 
-def session_from_config(config, seed=None) -> "BackscatterSession":
+def session_from_config(config: "RadioConfig",
+                        seed: Optional[int] = None) -> "BackscatterSession":
     """Build the session for a :class:`~repro.sim.config.RadioConfig`.
 
     Forwards the config knobs every session shares (payload size and
@@ -104,30 +112,30 @@ def session_from_config(config, seed=None) -> "BackscatterSession":
 # CLI --help, say) doesn't pull in the full PHY chains.
 
 @register_session("wifi")
-def _wifi_session(**kwargs) -> "BackscatterSession":
+def _wifi_session(**kwargs: Any) -> "BackscatterSession":
     from repro.core.session import WifiBackscatterSession
     return WifiBackscatterSession(**kwargs)
 
 
 @register_session("zigbee")
-def _zigbee_session(**kwargs) -> "BackscatterSession":
+def _zigbee_session(**kwargs: Any) -> "BackscatterSession":
     from repro.core.session import ZigbeeBackscatterSession
     return ZigbeeBackscatterSession(**kwargs)
 
 
 @register_session("bluetooth")
-def _bluetooth_session(**kwargs) -> "BackscatterSession":
+def _bluetooth_session(**kwargs: Any) -> "BackscatterSession":
     from repro.core.session import BleBackscatterSession
     return BleBackscatterSession(**kwargs)
 
 
 @register_session("dsss")
-def _dsss_session(**kwargs) -> "BackscatterSession":
+def _dsss_session(**kwargs: Any) -> "BackscatterSession":
     from repro.core.session import DsssBackscatterSession
     return DsssBackscatterSession(**kwargs)
 
 
 @register_session("wifi-quaternary")
-def _wifi_quaternary_session(**kwargs) -> "BackscatterSession":
+def _wifi_quaternary_session(**kwargs: Any) -> "BackscatterSession":
     from repro.core.session import QuaternaryWifiSession
     return QuaternaryWifiSession(**kwargs)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Tuple
 
 import numpy as np
 
@@ -66,12 +66,13 @@ class _FrameCache:
     the ``<prefix>.encode`` timer; hits count ``<prefix>.encode_cached``.
     """
 
-    def __init__(self, max_entries: int = 4, metrics_prefix: str = "phy"):
+    def __init__(self, max_entries: int = 4,
+                 metrics_prefix: str = "phy") -> None:
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
         self._max = max_entries
         self._prefix = metrics_prefix
 
-    def get_or_build(self, key, build):
+    def get_or_build(self, key: Any, build: Callable[[], Any]) -> Any:
         frame = self._entries.get(key)
         if frame is None:
             with obs.timed(self._prefix + ".encode"):
@@ -129,7 +130,7 @@ class WifiBackscatterSession:
 
     def __init__(self, rate_mbps: float = 6.0, repetition: int = 4,
                  payload_bytes: int = 512, seed: Optional[int] = None,
-                 pilot_correction: bool = False):
+                 pilot_correction: bool = False) -> None:
         from repro.phy.wifi import WifiReceiver, WifiTransmitter
 
         self._rng = make_rng(seed)
@@ -142,7 +143,8 @@ class WifiBackscatterSession:
         self._obs = "phy.wifi"
         self._frames = _FrameCache(metrics_prefix=self._obs)
 
-    def _frame_key(self, psdu: bytes, scrambler_seed: Optional[int]):
+    def _frame_key(self, psdu: bytes,
+                   scrambler_seed: Optional[int]) -> Tuple[Any, ...]:
         # The built frame depends on the rate (read at call time, so a
         # swapped transmitter invalidates old entries) as well as the
         # payload and scrambler seed.
@@ -182,7 +184,7 @@ class WifiBackscatterSession:
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
         return Excitation(frame=frame, info=self._info(frame))
 
-    def _info(self, frame) -> ExcitationInfo:
+    def _info(self, frame: Any) -> ExcitationInfo:
         # The tag defers one extra OFDM symbol: the first DATA symbol
         # carries the SERVICE field, whose scrambled bits the receiver
         # uses to recover the (additive) descrambler seed.  Translating
@@ -196,7 +198,7 @@ class WifiBackscatterSession:
             radio="wifi",
         )
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
                    excitation: Optional[Excitation] = None) -> SessionResult:
@@ -270,7 +272,7 @@ class ZigbeeBackscatterSession:
     """ZigBee OQPSK backscatter link (paper sections 2.3.2, 3.2.2)."""
 
     def __init__(self, repetition: int = 8, payload_bytes: int = 60,
-                 sps: int = 4, seed: Optional[int] = None):
+                 sps: int = 4, seed: Optional[int] = None) -> None:
         from repro.phy.zigbee import ZigbeeReceiver, ZigbeeTransmitter
         from repro.phy.zigbee.frame import HEADER_SYMBOLS
 
@@ -299,7 +301,7 @@ class ZigbeeBackscatterSession:
     def unit_samples(self) -> int:
         return 32 * self.sps  # one 4-bit symbol = 32 chips
 
-    def _info(self, frame) -> ExcitationInfo:
+    def _info(self, frame: Any) -> ExcitationInfo:
         return ExcitationInfo(
             sample_rate_hz=self.sample_rate_hz,
             unit_samples=self.unit_samples,
@@ -312,7 +314,7 @@ class ZigbeeBackscatterSession:
         frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
 
-    def _build_frame(self, payload: bytes):
+    def _build_frame(self, payload: bytes) -> Any:
         # ZigBee frame construction is deterministic per payload, but the
         # waveform also depends on the samples-per-chip setting.
         return self._frames.get_or_build(
@@ -332,7 +334,7 @@ class ZigbeeBackscatterSession:
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
                    excitation: Optional[Excitation] = None) -> SessionResult:
@@ -375,7 +377,7 @@ class BleBackscatterSession:
 
     def __init__(self, repetition: int = 18, payload_bytes: int = 120,
                  sps: int = 8, delta_f: float = 500e3,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None) -> None:
         from repro.phy.ble import BleReceiver, BleTransmitter
 
         self._rng = make_rng(seed)
@@ -400,7 +402,7 @@ class BleBackscatterSession:
         """Sample rate over channel bandwidth (1 MHz)."""
         return self.sps
 
-    def _info(self, frame) -> ExcitationInfo:
+    def _info(self, frame: Any) -> ExcitationInfo:
         return ExcitationInfo(
             sample_rate_hz=self.sample_rate_hz,
             unit_samples=self.sps,  # one Bluetooth bit
@@ -413,7 +415,7 @@ class BleBackscatterSession:
         frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
 
-    def _build_frame(self, payload: bytes):
+    def _build_frame(self, payload: bytes) -> Any:
         # The GFSK waveform depends on the oversampling as well as the
         # payload.
         return self._frames.get_or_build(
@@ -433,7 +435,7 @@ class BleBackscatterSession:
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
                    excitation: Optional[Excitation] = None) -> SessionResult:
@@ -491,7 +493,7 @@ class DsssBackscatterSession:
     oversample_factor = 1
 
     def __init__(self, repetition: int = 11, payload_bytes: int = 500,
-                 seed: Optional[int] = None):
+                 seed: Optional[int] = None) -> None:
         from repro.phy.dsss import DsssReceiver, DsssTransmitter
 
         self._rng = make_rng(seed)
@@ -504,7 +506,7 @@ class DsssBackscatterSession:
         self._obs = "phy.dsss"
         self._frames = _FrameCache(metrics_prefix=self._obs)
 
-    def _info(self, frame) -> ExcitationInfo:
+    def _info(self, frame: Any) -> ExcitationInfo:
         return ExcitationInfo(
             sample_rate_hz=self.sample_rate_hz,
             unit_samples=self.unit_samples,
@@ -518,7 +520,7 @@ class DsssBackscatterSession:
         frame = self._build_frame(bytes(self.payload_bytes))
         return self.tag.capacity_bits(self._info(frame))
 
-    def _build_frame(self, psdu: bytes):
+    def _build_frame(self, psdu: bytes) -> Any:
         return self._frames.get_or_build(
             ("dsss", psdu), lambda: self.transmitter.build(psdu))
 
@@ -535,7 +537,7 @@ class DsssBackscatterSession:
         frame = self._build_frame(psdu)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
                    excitation: Optional[Excitation] = None) -> SessionResult:
@@ -591,7 +593,8 @@ class QuaternaryWifiSession:
     sync_slope_db = 0.8
 
     def __init__(self, rate_mbps: float = 12.0, repetition: int = 4,
-                 payload_bytes: int = 512, seed: Optional[int] = None):
+                 payload_bytes: int = 512,
+                 seed: Optional[int] = None) -> None:
         from repro.phy.wifi import WifiReceiver, WifiTransmitter
 
         if rate_mbps < 12.0:
@@ -607,10 +610,11 @@ class QuaternaryWifiSession:
         self._obs = "phy.wifi"
         self._frames = _FrameCache(metrics_prefix=self._obs)
 
-    def _frame_key(self, psdu: bytes, scrambler_seed: Optional[int]):
+    def _frame_key(self, psdu: bytes,
+                   scrambler_seed: Optional[int]) -> Tuple[Any, ...]:
         return ("wifi", self.transmitter.rate.mbps, psdu, scrambler_seed)
 
-    def _info(self, frame) -> ExcitationInfo:
+    def _info(self, frame: Any) -> ExcitationInfo:
         # Same SERVICE-symbol deferral as the binary session.
         return ExcitationInfo(
             sample_rate_hz=self.sample_rate_hz,
@@ -646,7 +650,7 @@ class QuaternaryWifiSession:
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits=None,
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
                    incident_power_dbm: Optional[float] = None,
                    rng: Optional[np.random.Generator] = None,
                    excitation: Optional[Excitation] = None) -> SessionResult:

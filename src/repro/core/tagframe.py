@@ -16,8 +16,8 @@ as silent corruption.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -86,11 +86,12 @@ class TagDeframer:
     packets interleaved); `push()` returns any complete messages found.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._buffer: List[int] = []
         self._consumed = 0
 
-    def push(self, bits) -> List[TagMessage]:
+    def push(self, bits: Union[Sequence[int], np.ndarray, str]
+             ) -> List[TagMessage]:
         """Feed decoded tag bits; return newly completed messages."""
         self._buffer.extend(int(b) for b in as_bits(bits))
         return self._drain()

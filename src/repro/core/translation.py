@@ -15,12 +15,15 @@ convolutional coder (section 3.2.1) or OQPSK offset structure (3.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.utils.bits import as_bits
 from repro.dsp.mixing import square_wave
+
+# Anything ``as_bits`` accepts: bit list/array or a '0101' string.
+BitsLike = Union[Sequence[int], np.ndarray, str]
 
 __all__ = ["TranslationPlan", "PhaseTranslator", "AlternatingPhaseTranslator",
            "AmplitudeTranslator", "FskShiftTranslator",
@@ -58,7 +61,7 @@ class TranslationPlan:
     start_sample: int
     n_units: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.unit_samples < 1 or self.repetition < 1:
             raise ValueError("unit_samples and repetition must be >= 1")
         if self.start_sample < 0 or self.n_units < 0:
@@ -93,14 +96,15 @@ class PhaseTranslator:
         quaternary.
     """
 
-    def __init__(self, n_levels: int = 2, delta_theta: Optional[float] = None):
+    def __init__(self, n_levels: int = 2,
+                 delta_theta: Optional[float] = None) -> None:
         self.bits_per_symbol = bits_per_symbol_for_phase_levels(n_levels)
         self.n_levels = n_levels
         if delta_theta is None:
             delta_theta = np.pi if n_levels == 2 else np.pi / 2
         self.delta_theta = float(delta_theta)
 
-    def symbols_from_bits(self, tag_bits) -> np.ndarray:
+    def symbols_from_bits(self, tag_bits: BitsLike) -> np.ndarray:
         """Group tag bits into phase-level indices (MSB first per pair)."""
         bits = as_bits(tag_bits)
         bps = self.bits_per_symbol
@@ -112,7 +116,7 @@ class PhaseTranslator:
         pairs = bits.reshape(n, 2)
         return (2 * pairs[:, 0] + pairs[:, 1]).astype(np.int64)
 
-    def control_waveform(self, tag_bits, plan: TranslationPlan,
+    def control_waveform(self, tag_bits: BitsLike, plan: TranslationPlan,
                          total_samples: int) -> np.ndarray:
         """Per-sample complex multiplier implementing equations (4)/(5).
 
@@ -146,13 +150,13 @@ class AmplitudeTranslator:
 
     bits_per_symbol = 1
 
-    def __init__(self, high: float = 1.0, low: float = 0.5):
+    def __init__(self, high: float = 1.0, low: float = 0.5) -> None:
         if not 0 <= low < high:
             raise ValueError("need 0 <= low < high reflection magnitudes")
         self.high = float(high)
         self.low = float(low)
 
-    def control_waveform(self, tag_bits, plan: TranslationPlan,
+    def control_waveform(self, tag_bits: BitsLike, plan: TranslationPlan,
                          total_samples: int) -> np.ndarray:
         """Per-sample real gain: *low* during 1-bits, *high* otherwise."""
         bits = as_bits(tag_bits)
@@ -187,7 +191,7 @@ class AlternatingPhaseTranslator:
 
     bits_per_symbol = 1
 
-    def control_waveform(self, tag_bits, plan: TranslationPlan,
+    def control_waveform(self, tag_bits: BitsLike, plan: TranslationPlan,
                          total_samples: int) -> np.ndarray:
         """Per-sample +/-1 multiplier; phase state is continuous across
         spans (a real tag cannot jump its switch state acausally)."""
@@ -233,7 +237,8 @@ class FskShiftTranslator:
 
     bits_per_symbol = 1
 
-    def __init__(self, delta_f: float = 500e3, sample_rate_hz: float = 8e6):
+    def __init__(self, delta_f: float = 500e3,
+                 sample_rate_hz: float = 8e6) -> None:
         if delta_f <= 0 or sample_rate_hz <= 0:
             raise ValueError("frequencies must be positive")
         if delta_f >= sample_rate_hz / 2:
@@ -248,7 +253,7 @@ class FskShiftTranslator:
         channel, i.e. delta_f > (1 - i) * w / 2."""
         return delta_f > (1 - modulation_index) * bandwidth_hz / 2
 
-    def control_waveform(self, tag_bits, plan: TranslationPlan,
+    def control_waveform(self, tag_bits: BitsLike, plan: TranslationPlan,
                          total_samples: int) -> np.ndarray:
         """Per-sample real multiplier implementing equation (6).
 

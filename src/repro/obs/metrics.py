@@ -176,7 +176,7 @@ def collect() -> Iterator[MetricsRegistry]:
         _STACK.remove(reg)
 
 
-def timed(name: str):
+def timed(name: str) -> "_ActiveTimer":
     """Context manager timing a block into the active registry.
 
     The registry is resolved when the block *exits*, so a ``timed``
@@ -189,14 +189,17 @@ def timed(name: str):
 class _ActiveTimer:
     __slots__ = ("_name", "_start")
 
-    def __init__(self, name: str):
+    _name: str
+    _start: float
+
+    def __init__(self, name: str) -> None:
         self._name = name
 
     def __enter__(self) -> "_ActiveTimer":
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         registry().observe(self._name, time.perf_counter() - self._start)
 
 

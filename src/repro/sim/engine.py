@@ -722,10 +722,14 @@ class ExperimentEngine:
                     status, error = self._classify(dur)
                     if status != "ok":
                         point, snap = None, None
-                except Exception as exc:  # worker raised
+                # Broad by design: a user-supplied builder can raise
+                # anything, and the error is preserved verbatim in the
+                # task's TaskRecord rather than swallowed.
+                except Exception as exc:
                     point, snap, dur = None, None, 0.0
                     status = "failed"
                     error = f"{type(exc).__name__}: {exc}"
+                    metrics.inc("engine.tasks.raised")
                 if status == "ok" or attempt >= policy.max_attempts:
                     break
                 if status == "timeout" and self.fault_injector is None:
@@ -783,8 +787,10 @@ class ExperimentEngine:
                 for proc in list(procs.values()):
                     try:
                         proc.terminate()
-                    except Exception:
-                        pass
+                    except (OSError, ValueError):
+                        # Already dead / handle closed; count it so a
+                        # leak shows up in the run's metrics.
+                        metrics.inc("engine.pool.terminate_errors")
 
         current = new_pool()
 
@@ -818,9 +824,11 @@ class ExperimentEngine:
                     fut = current.submit(_execute_task, spec, tasks[i],
                                          children[i], i, attempt,
                                          self.fault_injector)
-                except Exception:
-                    # e.g. BrokenProcessPool after a crashed worker:
-                    # replace the pool and resubmit there.
+                except (RuntimeError, OSError):
+                    # BrokenProcessPool (a RuntimeError) after a crashed
+                    # worker, or a dead pipe: replace the pool and
+                    # resubmit there.
+                    metrics.inc("engine.pool.submit_errors")
                     ready.append((i, attempt, now))
                     retire_current()
                     continue
@@ -910,6 +918,8 @@ class ExperimentEngine:
                     try:
                         point, snap, dur = fut.result()
                     except Exception as exc:
+                        # Broad by design: surfaces whatever the worker
+                        # raised; handle_failure records it verbatim.
                         handle_failure(i, attempt, "failed",
                                        f"{type(exc).__name__}: {exc}",
                                        time.perf_counter() - t0)

@@ -58,7 +58,9 @@ class LinkPoint:
         # sentinel) compare equal — identical runs must compare equal.
         if not isinstance(other, LinkPoint):
             return NotImplemented
-        ber_eq = (self.ber == other.ber
+        # Exact compare is deliberate: checkpoint resume relies on
+        # bit-identical points, so no tolerance is acceptable here.
+        ber_eq = (self.ber == other.ber  # reprolint: disable=R003
                   or (math.isnan(self.ber) and math.isnan(other.ber)))
         return ber_eq and all(
             getattr(self, f) == getattr(other, f)

@@ -1,0 +1,9 @@
+"""Developer tooling for the FreeRider reproduction.
+
+* :mod:`repro.tools.lint` — "reprolint", the project-specific static
+  analysis pass enforcing the determinism / NaN-discipline / shape
+  invariants the experiment engine's bit-identical-results guarantee
+  rests on.  Run it with ``python -m repro.tools.lint`` or
+  ``python -m repro lint``; the rule catalogue lives in
+  ``docs/static_analysis.md``.
+"""

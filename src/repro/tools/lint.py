@@ -1,0 +1,683 @@
+"""reprolint — project-specific static analysis for the FreeRider repro.
+
+The experiment engine's headline guarantee (worker-count-invariant,
+bit-identical resumable sweeps) rests on invariants that generic linters
+cannot see: every random draw must flow through spawned seeds or
+:mod:`repro.utils.rng`, the NaN no-measurement sentinel must never reach
+arithmetic unguarded, and engine specs must stay pickleable.  This pass
+walks the AST of every checked file and enforces those contracts as
+numbered rules:
+
+=====  ==================================================================
+R001   no global RNG (``np.random.*`` module calls, stdlib ``random.*``,
+       seedless ``np.random.default_rng()``) outside ``utils/rng.py``
+R002   no wall-clock reads (``time.time``, ``datetime.now``, ...) in
+       result-affecting code (``repro/obs`` and the engine's timing
+       plumbing are allowlisted)
+R003   no float ``==``/``!=`` against float literals, NaN, or watched
+       measurement fields (``.ber``) — use ``np.isclose``/``math.isnan``
+       (``assert`` statements are exempt: a test oracle states an exact
+       expected value on purpose; NaN comparisons are flagged even there)
+R004   NaN discipline: no direct arithmetic/aggregation on watched
+       NaN-sentinel fields (``.ber``, ``Series.y``) — go through the
+       NaN-safe helpers (``finite_points``, ``np.nan*``, ``isnan`` guards)
+R005   no mutable default arguments
+R006   no bare ``except:``; a broad ``except Exception`` must re-raise,
+       log, or record the failure (silent swallowing hides broken runs)
+R007   engine specs and worker payloads stay pickleable: no lambdas in
+       ``ExperimentSpec``/``MacExperimentSpec`` construction, executor
+       ``submit(...)`` calls, or ``*Spec`` class field defaults
+=====  ==================================================================
+
+Suppression: append ``# reprolint: disable=R00X`` (comma-separate for
+several rules, ``disable=all`` for every rule) to the flagged line, with
+a comment justifying the exception.  Suppressed findings are counted and
+visible via ``--show-suppressed`` but do not fail the gate.
+
+Usage::
+
+    python -m repro.tools.lint src tests benchmarks examples
+    python -m repro.tools.lint --format json src
+    python -m repro.tools.lint --list-rules
+    python -m repro lint                      # CLI subcommand, same flags
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 parse/usage errors.
+
+Directory walks skip directories named ``fixtures`` (deliberately
+violating lint-test corpora) and ``__pycache__``; explicitly named files
+are always checked, which is how the fixture tests exercise the rules.
+
+Adding a rule: give it the next ``R`` number in :data:`RULES`, implement
+the check in :class:`_Checker`, add one violating and one clean fixture
+under ``tests/tools/fixtures/``, and document it in
+``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Rule", "RULES", "Finding", "LintReport", "lint_source",
+           "lint_paths", "iter_python_files", "main"]
+
+
+# -- rule catalogue --------------------------------------------------------
+
+@dataclass(frozen=True)
+class Rule:
+    """One reprolint rule: identifier, name, and why it exists."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+
+
+RULES: Dict[str, Rule] = {r.id: r for r in (
+    Rule("R001", "no-global-rng",
+         "randomness must flow through an explicit, seeded Generator",
+         "Module-level RNG (np.random.rand, random.random, seedless "
+         "default_rng) draws from hidden global state, breaking the "
+         "engine's worker-count-invariant determinism contract.  Mint "
+         "generators via utils.rng / spawned SeedSequences instead."),
+    Rule("R002", "no-wall-clock",
+         "no wall-clock reads in result-affecting code",
+         "time.time() / datetime.now() make results depend on when the "
+         "run happened, so a resumed sweep cannot be bit-identical.  "
+         "Monotonic timers (time.perf_counter) for *measuring* are fine; "
+         "repro/obs and the engine's timing plumbing are allowlisted."),
+    Rule("R003", "no-float-equality",
+         "no ==/!= against float literals, NaN, or measurement fields",
+         "Exact float comparison is representation-dependent and NaN "
+         "never compares equal, silently disabling the branch.  Use "
+         "np.isclose / math.isnan.  assert statements are exempt (an "
+         "exact test oracle is deliberate), except NaN comparisons."),
+    Rule("R004", "nan-discipline",
+         "no raw arithmetic/aggregation on NaN-sentinel fields",
+         "LinkPoint.ber and Series.y carry NaN as the 'no measurement' "
+         "sentinel (zero-delivery points).  Summing or averaging them "
+         "directly poisons the aggregate; use Series.finite_points, "
+         "np.nan* aggregations, or an explicit isnan guard."),
+    Rule("R005", "no-mutable-default",
+         "no mutable default arguments",
+         "A mutable default is created once and shared by every call, "
+         "so state leaks across calls (and across engine tasks)."),
+    Rule("R006", "no-silent-except",
+         "no bare except; broad excepts must re-raise, log, or record",
+         "A silently swallowed exception turns a broken sweep into "
+         "plausible-looking numbers.  Catch something narrower, or "
+         "record the failure (TaskRecord, metrics, logging) before "
+         "continuing."),
+    Rule("R007", "picklable-specs",
+         "engine specs and worker payloads must stay pickleable",
+         "ExperimentSpec fields and executor submissions cross process "
+         "boundaries.  Lambdas, closures, and local classes do not "
+         "pickle, so they fail only when n_jobs > 1 — long after the "
+         "code looked correct inline."),
+)}
+
+
+# -- findings --------------------------------------------------------------
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = False
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule_id, "message": self.message,
+                "suppressed": self.suppressed}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 0 if not self.findings else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.n_files,
+            "errors": list(self.errors),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+
+# -- suppressions ----------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _suppressions_by_line(source: str) -> Dict[int, Set[str]]:
+    """``{line number: {rule ids}}`` from ``# reprolint: disable=...``."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip().upper() for part in match.group(1).split(",")
+               if part.strip()}
+        table[lineno] = ids
+    return table
+
+
+# -- per-rule configuration ------------------------------------------------
+
+# Construction helpers of numpy.random that are deterministic plumbing,
+# not hidden-global-state draws.
+_NUMPY_RNG_ALLOWED = {
+    "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+# Wall-clock reads (canonical dotted names after import resolution).
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+# Fields that carry the NaN no-measurement sentinel.
+_WATCHED_NAN_FIELDS = {"ber", "y"}
+
+# Aggregations that propagate NaN (builtin and numpy spellings).
+_AGGREGATORS = {
+    "sum", "mean", "average", "median", "min", "max", "std", "var",
+    "ptp", "interp", "sort", "argsort", "cumsum", "cumprod", "prod",
+    "trapz", "dot", "percentile", "quantile",
+}
+
+# Calls that sanitise NaN, under which a watched field is fine.
+_NAN_SAFE_CALLS = {
+    "isnan", "isfinite", "isclose", "nan_to_num", "finite_points",
+    "allclose", "array_equal",
+}
+
+# Substrings that mark an exception handler as recording its failure.
+_HANDLED_HINTS = ("log", "warn", "error", "exception", "critical",
+                  "print", "inc", "observe", "record", "fail",
+                  "debug", "info")
+
+# Per-rule path allowlists.  Entries ending in "/" match directories
+# anywhere on the path; other entries match path suffixes.
+_PATH_ALLOW: Dict[str, Tuple[str, ...]] = {
+    # The one module allowed to mint generators from raw seeds.
+    "R001": ("repro/utils/rng.py",),
+    # Observability and the engine's timing plumbing measure wall time
+    # by design; results never depend on the values.
+    "R002": ("repro/obs/", "repro/sim/engine.py"),
+}
+
+
+def _path_allowed(path: str, rule_id: str) -> bool:
+    patterns = _PATH_ALLOW.get(rule_id, ())
+    haystack = "/" + path.replace("\\", "/")
+    for pat in patterns:
+        if pat.endswith("/"):
+            if "/" + pat in haystack + "/":
+                return True
+        elif haystack.endswith("/" + pat) or haystack.endswith(pat):
+            return True
+    return False
+
+
+# -- the AST checker -------------------------------------------------------
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-file rule evaluator."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        # alias -> canonical module ("np" -> "numpy")
+        self._modules: Dict[str, str] = {}
+        # imported name -> canonical dotted ("default_rng" ->
+        # "numpy.random.default_rng")
+        self._names: Dict[str, str] = {}
+        self._assert_depth = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _flag(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if _path_allowed(self.path, rule_id):
+            return
+        self.findings.append(Finding(
+            path=self.path, line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id, message=message))
+
+    def _canonical(self, dotted: Optional[str]) -> Optional[str]:
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self._names:
+            base = self._names[head]
+        elif head in self._modules:
+            base = self._modules[head]
+        else:
+            return dotted
+        return base + "." + rest if rest else base
+
+    # -- imports ----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self._modules[alias.asname] = alias.name
+            else:
+                head = alias.name.partition(".")[0]
+                self._modules[head] = head
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                self._names[alias.asname or alias.name] = \
+                    node.module + "." + alias.name
+        self.generic_visit(node)
+
+    # -- R001 / R002 / R004 / R007: calls ---------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canon = self._canonical(_dotted_name(node.func))
+        if canon:
+            self._check_rng_call(node, canon)
+            if canon in _WALL_CLOCK:
+                self._flag("R002", node,
+                           f"wall-clock read {canon}() in result-affecting "
+                           f"code; use time.perf_counter for measuring, or "
+                           f"pass timestamps in explicitly")
+        self._check_nan_aggregation(node)
+        self._check_pickle_call(node)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, canon: str) -> None:
+        if canon.startswith("numpy.random."):
+            tail = canon[len("numpy.random."):]
+            head = tail.partition(".")[0]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    self._flag("R001", node,
+                               "seedless np.random.default_rng() — seed it "
+                               "from a spawned SeedSequence or "
+                               "utils.rng.derive_seed")
+            elif head not in _NUMPY_RNG_ALLOWED:
+                self._flag("R001", node,
+                           f"module-level numpy RNG call "
+                           f"numpy.random.{tail}() draws hidden global "
+                           f"state; use an explicit Generator")
+        elif canon.startswith("random.") and self._is_stdlib_random(canon):
+            self._flag("R001", node,
+                       f"stdlib global RNG call {canon}(); use an explicit "
+                       f"numpy Generator from utils.rng")
+
+    def _is_stdlib_random(self, canon: str) -> bool:
+        # Only flag when the name resolves to the stdlib module: either
+        # ``import random`` is in scope, or the call came from
+        # ``from random import <fn>`` (already canonicalised).
+        head = canon.partition(".")[0]
+        return (self._modules.get(head) == "random"
+                or canon in self._names.values())
+
+    def _check_nan_aggregation(self, node: ast.Call) -> None:
+        func_name = _dotted_name(node.func)
+        last = func_name.rpartition(".")[2] if func_name else ""
+        if last not in _AGGREGATORS or last.startswith("nan"):
+            return
+        # Arguments (positional and keyword) ...
+        candidates: List[ast.AST] = list(node.args)
+        candidates += [kw.value for kw in node.keywords]
+        # ... plus the receiver of method-style aggregation (x.y.mean()).
+        if isinstance(node.func, ast.Attribute):
+            candidates.append(node.func.value)
+        for sub in candidates:
+            watched = self._find_watched_field(sub)
+            if watched is not None:
+                self._flag("R004", watched,
+                           f"aggregation {last}() over NaN-sentinel field "
+                           f".{watched.attr}; use finite_points()/np.nan* "
+                           f"or guard with isnan")
+                return
+
+    def _find_watched_field(self, root: ast.AST) -> Optional[ast.Attribute]:
+        """First watched-field Attribute in *root*, skipping subtrees
+        already wrapped in a NaN-sanitising call."""
+        if isinstance(root, ast.Call):
+            name = _dotted_name(root.func)
+            last = name.rpartition(".")[2] if name else ""
+            if last in _NAN_SAFE_CALLS or last.startswith("nan"):
+                return None
+        if isinstance(root, ast.Attribute) and root.attr in _WATCHED_NAN_FIELDS:
+            return root
+        for child in ast.iter_child_nodes(root):
+            found = self._find_watched_field(child)
+            if found is not None:
+                return found
+        return None
+
+    def _check_pickle_call(self, node: ast.Call) -> None:
+        func_name = _dotted_name(node.func)
+        last = func_name.rpartition(".")[2] if func_name else ""
+        if last not in ("ExperimentSpec", "MacExperimentSpec", "submit"):
+            return
+        what = ("executor submission" if last == "submit"
+                else f"{last} construction")
+        values: List[ast.AST] = list(node.args)
+        values += [kw.value for kw in node.keywords]
+        for value in values:
+            for sub in ast.walk(value):
+                if isinstance(sub, ast.Lambda):
+                    self._flag("R007", sub,
+                               f"lambda in {what} does not pickle; use a "
+                               f"module-level function")
+                    break
+
+    # -- R003: float equality ---------------------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._assert_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._assert_depth -= 1
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (operands[i], operands[i + 1]):
+                canon = self._canonical(_dotted_name(operand))
+                if canon in ("math.nan", "numpy.nan"):
+                    self._flag("R003", node,
+                               f"comparison with {canon} is always False; "
+                               f"use math.isnan/np.isnan")
+                    break
+                if self._assert_depth:
+                    continue  # exact test oracles are deliberate
+                if (isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, float)):
+                    self._flag("R003", node,
+                               f"float equality against literal "
+                               f"{operand.value!r}; use np.isclose or an "
+                               f"explicit tolerance")
+                    break
+                if (isinstance(operand, ast.Attribute)
+                        and operand.attr == "ber"):
+                    self._flag("R003", node,
+                               "float equality on NaN-sentinel field .ber; "
+                               "NaN never compares equal — use np.isclose "
+                               "plus an isnan guard")
+                    break
+        self.generic_visit(node)
+
+    # -- R004: arithmetic on watched fields -------------------------------
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        for side in (node.left, node.right):
+            if (isinstance(side, ast.Attribute)
+                    and side.attr in _WATCHED_NAN_FIELDS):
+                self._flag("R004", node,
+                           f"arithmetic on NaN-sentinel field .{side.attr} "
+                           f"without a guard; check ber_valid/isnan first")
+                break
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        for side in (node.target, node.value):
+            if (isinstance(side, ast.Attribute)
+                    and side.attr in _WATCHED_NAN_FIELDS):
+                self._flag("R004", node,
+                           f"in-place arithmetic on NaN-sentinel field "
+                           f".{side.attr} without a guard")
+                break
+        self.generic_visit(node)
+
+    # -- R005 / R007: function and class definitions ----------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if isinstance(default, ast.Call):
+                name = _dotted_name(default.func)
+                mutable = name in ("list", "dict", "set", "bytearray")
+            if mutable:
+                self._flag("R005", default,
+                           "mutable default argument is shared across "
+                           "calls; default to None and create inside")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Spec"):
+            for stmt in node.body:
+                value = None
+                if isinstance(stmt, ast.AnnAssign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                if isinstance(value, ast.Lambda):
+                    self._flag("R007", value,
+                               f"lambda default on spec class "
+                               f"{node.name} does not pickle across "
+                               f"worker processes")
+        self.generic_visit(node)
+
+    # -- R006: exception handlers -----------------------------------------
+
+    def visit_Try(self, node: ast.Try) -> None:
+        for handler in node.handlers:
+            self._check_handler(handler)
+        self.generic_visit(node)
+
+    def _check_handler(self, handler: ast.ExceptHandler) -> None:
+        if handler.type is None:
+            self._flag("R006", handler,
+                       "bare except: catches SystemExit/KeyboardInterrupt; "
+                       "catch Exception (or narrower) and record it")
+            return
+        if not self._is_broad(handler.type):
+            return
+        if self._handler_records(handler):
+            return
+        self._flag("R006", handler,
+                   "broad except swallows the error silently; narrow the "
+                   "exception type, or re-raise / log / record it")
+
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        name = self._canonical(_dotted_name(type_node))
+        return name in ("Exception", "BaseException",
+                        "builtins.Exception", "builtins.BaseException")
+
+    def _handler_records(self, handler: ast.ExceptHandler) -> bool:
+        for sub in ast.walk(ast.Module(body=handler.body,
+                                       type_ignores=[])):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call):
+                name = _dotted_name(sub.func)
+                last = (name.rpartition(".")[2] if name else "").lower()
+                if any(hint in last for hint in _HANDLED_HINTS):
+                    return True
+        return False
+
+
+# -- file-level driver -----------------------------------------------------
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one source blob; returns every finding with ``suppressed``
+    marked per the file's ``# reprolint: disable`` comments."""
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path)
+    checker.visit(tree)
+    table = _suppressions_by_line(source)
+    for finding in checker.findings:
+        ids = table.get(finding.line, set())
+        finding.suppressed = bool(ids) and ("ALL" in ids
+                                            or finding.rule_id in ids)
+    return sorted(checker.findings,
+                  key=lambda f: (f.line, f.col, f.rule_id))
+
+
+_SKIP_DIRS = {"fixtures", "__pycache__", ".git", "results"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand *paths* into Python files.
+
+    Directories are walked recursively, skipping fixture corpora and
+    caches; explicitly named files are yielded as-is (that is how the
+    deliberately violating lint fixtures get checked by their tests).
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                rel_parts = sub.relative_to(path).parts
+                if any(part in _SKIP_DIRS or part.startswith(".")
+                       for part in rel_parts[:-1]):
+                    continue
+                yield sub
+        else:
+            yield path
+
+
+def lint_paths(paths: Sequence[str]) -> LintReport:
+    """Lint every Python file under *paths*."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        rel = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append(f"{rel}: unreadable: {exc}")
+            continue
+        report.n_files += 1
+        try:
+            findings = lint_source(source, rel)
+        except SyntaxError as exc:
+            report.errors.append(f"{rel}: syntax error: {exc}")
+            continue
+        for finding in findings:
+            (report.suppressed if finding.suppressed
+             else report.findings).append(finding)
+    return report
+
+
+# -- CLI -------------------------------------------------------------------
+
+def _format_rules() -> str:
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.id}  {rule.name}: {rule.summary}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="project-specific static analysis "
+                    "(determinism / NaN / pickling contracts)")
+    parser.add_argument("paths", nargs="*",
+                        default=["src", "tests", "benchmarks", "examples"],
+                        help="files or directories to check (default: the "
+                             "standard project trees)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also print findings silenced by "
+                             "'# reprolint: disable=...' comments")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_format_rules())
+        return 0
+    paths = [p for p in args.paths if Path(p).exists()]
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing and not paths:
+        print(f"error: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code()
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    shown = list(report.findings)
+    if args.show_suppressed:
+        shown += report.suppressed
+    for finding in sorted(shown, key=lambda f: (f.path, f.line, f.col)):
+        tag = " (suppressed)" if finding.suppressed else ""
+        print(finding.format() + tag)
+    print(f"reprolint: {len(report.findings)} finding(s) "
+          f"({len(report.suppressed)} suppressed) "
+          f"in {report.n_files} file(s)")
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ convolutional coder (paper section 3.2.1).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

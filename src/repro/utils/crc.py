@@ -13,6 +13,7 @@ Each engine is bit-exact against the published reference vectors (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["Crc", "CRC32", "CRC16_CCITT", "CRC24_BLE"]
 
@@ -36,7 +37,7 @@ class Crc:
             value >>= 1
         return out
 
-    def compute(self, data: bytes, init: int = None) -> int:
+    def compute(self, data: bytes, init: Optional[int] = None) -> int:
         """Return the CRC of *data* as an unsigned integer.
 
         *init* overrides the register seed (used by BLE, where the seed
@@ -58,12 +59,13 @@ class Crc:
             reg = self._reflect(reg, self.width)
         return (reg ^ self.xorout) & mask
 
-    def digest(self, data: bytes, init: int = None) -> bytes:
+    def digest(self, data: bytes, init: Optional[int] = None) -> bytes:
         """CRC as little-endian bytes, the on-air order for all three PHYs."""
         value = self.compute(data, init=init)
         return value.to_bytes(self.width // 8, "little")
 
-    def verify(self, data: bytes, received: int, init: int = None) -> bool:
+    def verify(self, data: bytes, received: int,
+               init: Optional[int] = None) -> bool:
         """True when *received* equals the CRC of *data*."""
         return self.compute(data, init=init) == received
 

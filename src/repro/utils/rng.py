@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -25,7 +25,7 @@ def make_rng(seed: Optional[Union[int, np.random.Generator]] = None) -> np.rando
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, n: int) -> list:
+def spawn(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
     """Derive *n* statistically independent child generators from *rng*."""
     if n < 0:
         raise ValueError("n must be non-negative")

@@ -1,0 +1,18 @@
+"""R001 violations: hidden-global-state randomness."""
+
+import random
+
+import numpy as np
+
+
+def draw_legacy():
+    return np.random.rand(4)
+
+
+def draw_stdlib():
+    return random.random()
+
+
+def draw_seedless():
+    rng = np.random.default_rng()
+    return rng.integers(0, 2, size=8)

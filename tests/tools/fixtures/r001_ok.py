@@ -1,0 +1,13 @@
+"""R001-clean: explicit, seeded generators only."""
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2, size=8)
+
+
+def spawned(master_seed, n):
+    children = np.random.SeedSequence(master_seed).spawn(n)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,12 @@
+"""R002 violations: wall-clock reads in result-affecting code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_result(value):
+    return {"value": value, "at": time.time()}
+
+
+def label_run():
+    return datetime.now().isoformat()

@@ -1,0 +1,9 @@
+"""R002-clean: monotonic timers for measuring, no wall-clock values."""
+
+import time
+
+
+def measure(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,19 @@
+"""R003 violations: exact float comparisons."""
+
+import math
+
+
+def literal_compare(x):
+    return x == 0.5
+
+
+def literal_ne(y):
+    return y != 1.25
+
+
+def nan_compare(z):
+    return z == math.nan
+
+
+def ber_compare(point, other):
+    return point.ber == other.ber

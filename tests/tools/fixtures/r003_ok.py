@@ -1,0 +1,22 @@
+"""R003-clean: tolerances, isnan guards, and assert-stated oracles."""
+
+import math
+
+import numpy as np
+
+
+def close_compare(x):
+    return np.isclose(x, 0.5)
+
+
+def nan_guard(z):
+    return math.isnan(z)
+
+
+def int_compare(n):
+    return n == 1
+
+
+def exact_oracle(value):
+    # assert states an exact expected value on purpose — exempt.
+    assert value == 0.5

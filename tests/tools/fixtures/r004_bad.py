@@ -1,0 +1,20 @@
+"""R004 violations: raw arithmetic/aggregation on NaN-sentinel fields."""
+
+import numpy as np
+
+
+def mean_ber(points):
+    return np.mean([p.ber for p in points])
+
+
+def sum_series(series):
+    return sum(series.y)
+
+
+def add_bers(a, b):
+    return a.ber + b.ber
+
+
+def accumulate(total, point):
+    total += point.ber
+    return total

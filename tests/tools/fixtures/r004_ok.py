@@ -1,0 +1,20 @@
+"""R004-clean: NaN-sentinel fields go through the safe helpers."""
+
+import math
+
+import numpy as np
+
+
+def mean_ber(points):
+    return np.nanmean([p.ber for p in points])
+
+
+def mean_series(series):
+    xs, ys = series.finite_points()
+    return float(np.mean(ys))
+
+
+def valid_bers(points):
+    # Guard first, aggregate the guarded copy.
+    values = [p.ber for p in points if not math.isnan(p.ber)]
+    return sum(values)

@@ -1,0 +1,16 @@
+"""R005 violations: mutable default arguments."""
+
+
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def register(name, table={}):
+    table[name] = True
+    return table
+
+
+def tagged(value, *, tags=list()):
+    tags.append(value)
+    return tags

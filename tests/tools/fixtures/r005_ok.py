@@ -1,0 +1,12 @@
+"""R005-clean: None defaults, containers created per call."""
+
+
+def collect(item, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(item)
+    return acc
+
+
+def scaled(value, factor=1.0, label=""):
+    return value * factor, label

@@ -1,0 +1,16 @@
+"""R006 violations: silently swallowed exceptions."""
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None
+
+
+def swallow_broad(fn):
+    try:
+        return fn()
+    except Exception:
+        pass
+    return None

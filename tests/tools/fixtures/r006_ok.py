@@ -1,0 +1,27 @@
+"""R006-clean: narrow catches, or broad catches that record."""
+
+import logging
+
+log = logging.getLogger(__name__)
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None
+
+
+def broad_but_logged(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        log.warning("fn failed: %s", exc)
+        return None
+
+
+def broad_but_reraised(fn):
+    try:
+        return fn()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc

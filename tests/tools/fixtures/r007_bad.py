@@ -1,0 +1,13 @@
+"""R007 violations: unpicklable payloads on engine boundaries."""
+
+
+def build_spec(ExperimentSpec, config):
+    return ExperimentSpec(config=config, transform=lambda x: x * 2)
+
+
+def dispatch(pool, value):
+    return pool.submit(lambda: value + 1)
+
+
+class SweepSpec:
+    builder = lambda: None  # noqa: E731

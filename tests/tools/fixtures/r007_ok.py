@@ -1,0 +1,13 @@
+"""R007-clean: module-level callables cross process boundaries."""
+
+
+def _double(x):
+    return x * 2
+
+
+def build_spec(ExperimentSpec, config):
+    return ExperimentSpec(config=config, transform=_double)
+
+
+def dispatch(pool, value):
+    return pool.submit(_double, value)

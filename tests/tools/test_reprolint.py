@@ -1,0 +1,222 @@
+"""reprolint unit tests: per-rule fixtures, suppressions, CLI contract.
+
+Each rule has one deliberately violating and one clean fixture under
+``tests/tools/fixtures/`` (kept out of normal lint walks — the linter
+skips directories named ``fixtures`` — but checked here by explicit
+path, which is also how the non-zero exit code is exercised).
+"""
+
+import json
+
+import pytest
+
+from repro.tools.lint import (
+    RULES,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+from tests.tools.test_tree_is_clean import FIXTURES
+
+ALL_RULES = sorted(RULES)
+
+
+def _rule_ids(findings):
+    return {f.rule_id for f in findings}
+
+
+def _lint_fixture(name):
+    path = FIXTURES / name
+    return lint_source(path.read_text(), path.as_posix())
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize("rule_id", ALL_RULES)
+    def test_violating_fixture_is_flagged(self, rule_id):
+        findings = _lint_fixture(f"{rule_id.lower()}_bad.py")
+        unsuppressed = [f for f in findings if not f.suppressed]
+        assert rule_id in _rule_ids(unsuppressed), \
+            f"{rule_id} fixture produced {unsuppressed}"
+
+    @pytest.mark.parametrize("rule_id", ALL_RULES)
+    def test_clean_fixture_is_clean(self, rule_id):
+        findings = _lint_fixture(f"{rule_id.lower()}_ok.py")
+        assert findings == [], [f.format() for f in findings]
+
+    @pytest.mark.parametrize("rule_id", ALL_RULES)
+    def test_fixture_pair_exists(self, rule_id):
+        assert (FIXTURES / f"{rule_id.lower()}_bad.py").is_file()
+        assert (FIXTURES / f"{rule_id.lower()}_ok.py").is_file()
+
+
+class TestRuleEdgeCases:
+    def test_seeded_default_rng_allowed(self):
+        assert lint_source("import numpy as np\n"
+                           "rng = np.random.default_rng(42)\n") == []
+
+    def test_seedless_default_rng_flagged(self):
+        findings = lint_source("import numpy as np\n"
+                               "rng = np.random.default_rng()\n")
+        assert _rule_ids(findings) == {"R001"}
+
+    def test_seed_sequence_plumbing_allowed(self):
+        src = ("import numpy as np\n"
+               "children = np.random.SeedSequence(7).spawn(3)\n")
+        assert lint_source(src) == []
+
+    def test_numpy_alias_resolved(self):
+        findings = lint_source("import numpy\n"
+                               "x = numpy.random.normal(0, 1)\n")
+        assert _rule_ids(findings) == {"R001"}
+
+    def test_from_import_random_flagged(self):
+        findings = lint_source("from random import randint\n"
+                               "x = randint(0, 1)\n")
+        assert _rule_ids(findings) == {"R001"}
+
+    def test_unrelated_random_attribute_not_flagged(self):
+        # No ``import random``: the name is not the stdlib module.
+        assert lint_source("x = obj.random.shuffle()\n") == []
+
+    def test_perf_counter_allowed(self):
+        assert lint_source("import time\nt = time.perf_counter()\n") == []
+
+    def test_from_import_datetime_now_flagged(self):
+        findings = lint_source("from datetime import datetime\n"
+                               "stamp = datetime.now()\n")
+        assert _rule_ids(findings) == {"R002"}
+
+    def test_wall_clock_allowlisted_in_obs(self):
+        src = "import time\nstamp = time.time()\n"
+        assert lint_source(src, "src/repro/obs/metrics.py") == []
+        assert _rule_ids(lint_source(src, "src/repro/sim/linksim.py")) \
+            == {"R002"}
+
+    def test_rng_allowlisted_in_utils_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert lint_source(src, "src/repro/utils/rng.py") == []
+
+    def test_float_literal_in_assert_exempt(self):
+        assert lint_source("assert compute() == 0.25\n") == []
+
+    def test_nan_compare_flagged_even_in_assert(self):
+        findings = lint_source("import math\n"
+                               "assert compute() == math.nan\n")
+        assert _rule_ids(findings) == {"R003"}
+
+    def test_int_literal_equality_allowed(self):
+        assert lint_source("ok = count == 0\n") == []
+
+    def test_method_style_aggregation_on_series_flagged(self):
+        findings = lint_source("m = series.y.mean()\n")
+        assert _rule_ids(findings) == {"R004"}
+
+    def test_nan_safe_wrapper_allowed(self):
+        src = ("import numpy as np\n"
+               "m = np.mean(np.nan_to_num(series.y))\n")
+        assert lint_source(src) == []
+
+    def test_narrow_except_allowed(self):
+        src = ("try:\n    work()\n"
+               "except ValueError:\n    pass\n")
+        assert lint_source(src) == []
+
+    def test_broad_except_in_tuple_flagged(self):
+        src = ("try:\n    work()\n"
+               "except (ValueError, Exception):\n    pass\n")
+        assert _rule_ids(lint_source(src)) == {"R006"}
+
+    def test_submit_with_function_allowed(self):
+        assert lint_source("fut = pool.submit(work, 1)\n") == []
+
+    def test_spec_lambda_keyword_flagged(self):
+        findings = lint_source(
+            "spec = ExperimentSpec(seed=1, build=lambda: 2)\n")
+        assert _rule_ids(findings) == {"R007"}
+
+
+class TestSuppression:
+    BAD = "x = value == 0.5\n"
+
+    def test_line_suppression(self):
+        src = "x = value == 0.5  # reprolint: disable=R003\n"
+        findings = lint_source(src)
+        assert len(findings) == 1 and findings[0].suppressed
+
+    def test_suppress_all(self):
+        src = "x = value == 0.5  # reprolint: disable=all\n"
+        assert all(f.suppressed for f in lint_source(src))
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        src = "x = value == 0.5  # reprolint: disable=R001\n"
+        findings = lint_source(src)
+        assert len(findings) == 1 and not findings[0].suppressed
+
+    def test_multi_rule_suppression(self):
+        src = ("def f(a=[]):  # reprolint: disable=R005,R003\n"
+               "    return a\n")
+        assert all(f.suppressed for f in lint_source(src))
+
+    def test_unsuppressed_line_unaffected(self):
+        src = ("a = x == 0.5  # reprolint: disable=R003\n"
+               "b = y == 0.5\n")
+        findings = lint_source(src)
+        assert [f.suppressed for f in findings] == [True, False]
+
+
+class TestDriver:
+    def test_fixture_dirs_skipped_in_walks(self):
+        files = list(iter_python_files([str(FIXTURES.parent.parent)]))
+        assert files, "walk found no test files"
+        assert not any("fixtures" in f.parts for f in files)
+
+    def test_explicit_fixture_path_checked(self):
+        bad = FIXTURES / "r001_bad.py"
+        report = lint_paths([str(bad)])
+        assert report.n_files == 1
+        assert "R001" in _rule_ids(report.findings)
+
+    def test_exit_code_nonzero_on_violations(self, capsys):
+        assert main([str(FIXTURES / "r001_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "finding" in out
+
+    def test_exit_code_zero_on_clean(self, capsys):
+        assert main([str(FIXTURES / "r001_ok.py")]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_code_two_on_missing_path(self, capsys):
+        assert main(["no/such/path.py"]) == 2
+
+    def test_exit_code_two_on_syntax_error(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        assert main([str(broken)]) == 2
+        assert "syntax error" in capsys.readouterr().err
+
+    def test_json_output(self, capsys):
+        assert main(["--format", "json",
+                     str(FIXTURES / "r003_bad.py")]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        assert any(f["rule"] == "R003" for f in payload["findings"])
+        assert all(not f["suppressed"] for f in payload["findings"])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ALL_RULES:
+            assert rule_id in out
+
+    def test_show_suppressed(self, tmp_path, capsys):
+        f = tmp_path / "s.py"
+        f.write_text("x = v == 0.5  # reprolint: disable=R003\n")
+        assert main([str(f)]) == 0
+        assert "(suppressed)" not in capsys.readouterr().out
+        assert main(["--show-suppressed", str(f)]) == 0
+        assert "(suppressed)" in capsys.readouterr().out
+
+    def test_rule_catalogue_is_contiguous(self):
+        assert ALL_RULES == [f"R{n:03d}" for n in range(1, len(RULES) + 1)]

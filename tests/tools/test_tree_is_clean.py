@@ -1,0 +1,26 @@
+"""Meta-test: the repository itself must lint clean.
+
+This is the CI lint gate in test form — ``repro lint`` over the full
+tree must report zero unsuppressed findings and zero parse errors.
+"""
+
+from pathlib import Path
+
+from repro.tools.lint import lint_paths
+
+HERE = Path(__file__).resolve()
+REPO_ROOT = HERE.parents[2]
+FIXTURES = HERE.parent / "fixtures"
+
+LINTED_DIRS = ["src", "tests", "benchmarks", "examples"]
+
+
+def test_repo_tree_has_no_unsuppressed_findings():
+    paths = [str(REPO_ROOT / d) for d in LINTED_DIRS if (REPO_ROOT / d).is_dir()]
+    assert paths, "repository layout changed; no lintable directories found"
+    report = lint_paths(paths)
+    assert report.errors == [], report.errors
+    assert report.n_files > 100, "lint walk found suspiciously few files"
+    assert report.findings == [], "\n".join(
+        f.format() for f in report.findings
+    )
