@@ -9,6 +9,15 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
+echo "== golden-vector conformance =="
+python -m pytest -x -q tests/phy/test_golden_vectors.py
+
+echo "== batched/scalar differential =="
+python -m pytest -x -q tests/sim/test_batch_differential.py
+
+echo "== perf smoke =="
+python -m repro bench --smoke --no-history
+
 echo "== reprolint =="
 python -m repro.tools.lint src tests benchmarks examples
 

@@ -1,0 +1,20 @@
+"""PHY micro-benchmarks and performance-trajectory tracking.
+
+``repro bench`` times the named PHY kernels (scalar vs batched packet
+loops, the Viterbi decoder, pulse shaping) and appends the measurements
+to ``BENCH_phy.json`` so the batched fast path's speedup is tracked
+across commits; see :mod:`repro.bench.runner` and docs/benchmarking.md.
+"""
+
+from repro.bench.runner import (
+    BenchReport,
+    KernelResult,
+    compare_runs,
+    format_report,
+    load_history,
+    run_benchmarks,
+    update_history,
+)
+
+__all__ = ["BenchReport", "KernelResult", "compare_runs", "format_report",
+           "load_history", "run_benchmarks", "update_history"]

@@ -1,0 +1,282 @@
+"""Named PHY kernels, a tiny timing harness, and the perf trajectory.
+
+Each kernel is a deterministic closure over pre-built inputs (sessions,
+excitations, coded blocks), timed with :mod:`repro.obs` timers so the
+benchmark exercises the same instrumentation as production runs.  The
+interesting pairs — scalar vs batched packet loops, scalar vs batched
+Viterbi — are reported as speedups.
+
+``update_history`` appends one run to ``BENCH_phy.json`` and compares
+it against the most recent *comparable* previous run (same smoke flag,
+same per-kernel work size): any kernel slower by more than the
+tolerance is a regression and the CLI exits non-zero with a report.
+The file deliberately carries no wall-clock timestamps — runs are
+ordered by their position in the list, keyed by a monotonically
+increasing ``sequence``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+
+__all__ = ["KernelResult", "BenchReport", "run_benchmarks", "compare_runs",
+           "load_history", "update_history", "format_report"]
+
+# Speedup pairs: label -> (scalar kernel, batched kernel).
+_SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
+    "wifi.packets": ("wifi.packets.scalar", "wifi.packets.batched"),
+    "zigbee.packets": ("zigbee.packets.scalar", "zigbee.packets.batched"),
+    "ble.packets": ("ble.packets.scalar", "ble.packets.batched"),
+    "wifi.viterbi": ("wifi.viterbi.scalar", "wifi.viterbi.batched"),
+}
+
+
+@dataclass
+class KernelResult:
+    """Timing of one named kernel over ``repeats`` identical calls."""
+
+    name: str
+    best_s: float       # min over repeats: least-noise estimate
+    mean_s: float
+    repeats: int
+    work: int           # packets / codewords / symbols per call
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"best_s": self.best_s, "mean_s": self.mean_s,
+                "repeats": self.repeats, "work": self.work}
+
+
+@dataclass
+class BenchReport:
+    """One benchmark run: kernel timings plus derived speedups."""
+
+    results: List[KernelResult]
+    speedups: Dict[str, float]
+    smoke: bool
+
+    def result(self, name: str) -> Optional[KernelResult]:
+        for res in self.results:
+            if res.name == name:
+                return res
+        return None
+
+    def to_run_dict(self, sequence: int) -> Dict[str, Any]:
+        return {
+            "sequence": sequence,
+            "smoke": self.smoke,
+            "kernels": {r.name: r.to_dict() for r in self.results},
+            "speedups": self.speedups,
+        }
+
+
+# -- kernels ---------------------------------------------------------------
+# Each builder returns (name, work, scalar_fn, batched_fn_or_None); the
+# batched twin, when present, must do exactly the scalar function's work.
+
+
+def _packet_loop_kernels(radio: str, n_packets: int,
+                         payload_bytes: Optional[int]
+                         ) -> List[Tuple[str, int, Callable[[], Any]]]:
+    from repro.core.session import (
+        BleBackscatterSession,
+        WifiBackscatterSession,
+        ZigbeeBackscatterSession,
+    )
+
+    makers = {
+        "wifi": lambda: WifiBackscatterSession(
+            seed=0, **({} if payload_bytes is None
+                       else {"payload_bytes": payload_bytes})),
+        "zigbee": lambda: ZigbeeBackscatterSession(seed=0),
+        "ble": lambda: BleBackscatterSession(seed=0),
+    }
+    session = makers[radio]()
+    excitation = session.make_excitation(rng=np.random.default_rng(7))
+    snrs = list(np.linspace(6.0, 18.0, n_packets))
+
+    def scalar() -> Any:
+        gen = np.random.default_rng(1234)
+        return [session.run_packet(float(snr), rng=gen,
+                                   excitation=excitation) for snr in snrs]
+
+    def batched() -> Any:
+        gen = np.random.default_rng(1234)
+        return session.run_packets(snrs, rng=gen, excitation=excitation)
+
+    return [(f"{radio}.packets.scalar", n_packets, scalar),
+            (f"{radio}.packets.batched", n_packets, batched)]
+
+
+def _viterbi_kernels(n_blocks: int,
+                     n_bits: int) -> List[Tuple[str, int, Callable[[], Any]]]:
+    from repro.phy.wifi.convolutional import CODE_802_11
+
+    gen = np.random.default_rng(5)
+    coded = np.stack([
+        CODE_802_11.encode(gen.integers(0, 2, size=n_bits).astype(np.uint8))
+        for _ in range(n_blocks)])
+
+    def scalar() -> Any:
+        return [CODE_802_11.decode(row) for row in coded]
+
+    def batched() -> Any:
+        return CODE_802_11.decode_batch(coded)
+
+    return [("wifi.viterbi.scalar", n_blocks, scalar),
+            ("wifi.viterbi.batched", n_blocks, batched)]
+
+
+def _shaping_kernels(n_units: int) -> List[Tuple[str, int,
+                                                 Callable[[], Any]]]:
+    from repro.phy.ble.gfsk import GfskModem
+    from repro.phy.zigbee.oqpsk import OqpskModem
+
+    gen = np.random.default_rng(6)
+    chips = gen.integers(0, 2, size=32 * n_units).astype(np.uint8)
+    bits = gen.integers(0, 2, size=8 * n_units).astype(np.uint8)
+    oqpsk = OqpskModem(sps=4)
+    gfsk = GfskModem(sps=8)
+
+    return [("zigbee.oqpsk.shaping", n_units,
+             lambda: oqpsk.modulate(chips)),
+            ("ble.gfsk.shaping", n_units,
+             lambda: gfsk.modulate(bits))]
+
+
+def _build_kernels(smoke: bool) -> List[Tuple[str, int, Callable[[], Any]]]:
+    if smoke:
+        kernels = (_packet_loop_kernels("wifi", 4, 128)
+                   + _packet_loop_kernels("zigbee", 4, None)
+                   + _packet_loop_kernels("ble", 4, None)
+                   + _viterbi_kernels(4, 200)
+                   + _shaping_kernels(64))
+    else:
+        kernels = (_packet_loop_kernels("wifi", 16, None)
+                   + _packet_loop_kernels("zigbee", 16, None)
+                   + _packet_loop_kernels("ble", 16, None)
+                   + _viterbi_kernels(16, 400)
+                   + _shaping_kernels(256))
+    return kernels
+
+
+def run_benchmarks(smoke: bool = False,
+                   repeats: Optional[int] = None) -> BenchReport:
+    """Time every kernel and derive the scalar/batched speedups.
+
+    One untimed warm-up call per kernel primes caches (frame LRU, ACS
+    tables, numpy buffers); the reported ``best_s`` is the minimum over
+    the timed repeats — the standard least-noise micro-benchmark
+    estimator.
+    """
+    n_rep = repeats if repeats is not None else (1 if smoke else 3)
+    results: List[KernelResult] = []
+    for name, work, fn in _build_kernels(smoke):
+        fn()  # warm-up
+        with obs.collect() as reg:
+            for _ in range(n_rep):
+                with obs.timed("bench." + name):
+                    fn()
+        stat = reg.timer("bench." + name)
+        assert stat is not None
+        results.append(KernelResult(name=name, best_s=stat.min_s,
+                                    mean_s=stat.mean_s, repeats=n_rep,
+                                    work=work))
+
+    by_name = {r.name: r for r in results}
+    speedups = {}
+    for label, (scalar_name, batched_name) in _SPEEDUP_PAIRS.items():
+        scalar, batched = by_name.get(scalar_name), by_name.get(batched_name)
+        if scalar and batched and batched.best_s > 0:
+            speedups[label] = scalar.best_s / batched.best_s
+    return BenchReport(results=results, speedups=speedups, smoke=smoke)
+
+
+# -- history ---------------------------------------------------------------
+
+
+def load_history(path: str) -> Dict[str, Any]:
+    """Read ``BENCH_phy.json`` (empty skeleton when absent)."""
+    if not os.path.exists(path):
+        return {"schema": 1, "runs": []}
+    with open(path) as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{path} is not a bench history file")
+    return data
+
+
+def _comparable(prev: Dict[str, Any], report: BenchReport) -> bool:
+    """Same mode and same per-kernel work sizes -> times are comparable."""
+    if bool(prev.get("smoke")) != report.smoke:
+        return False
+    prev_kernels = prev.get("kernels", {})
+    for res in report.results:
+        entry = prev_kernels.get(res.name)
+        if entry is not None and entry.get("work") != res.work:
+            return False
+    return True
+
+
+def compare_runs(history: Dict[str, Any], report: BenchReport,
+                 tolerance: float = 0.20) -> List[str]:
+    """Regression report against the latest comparable previous run.
+
+    Returns human-readable lines, one per kernel whose ``best_s`` grew
+    by more than *tolerance* (empty list = no regressions).
+    """
+    baseline = None
+    for run in reversed(history.get("runs", [])):
+        if _comparable(run, report):
+            baseline = run
+            break
+    if baseline is None:
+        return []
+    regressions = []
+    for res in report.results:
+        prev = baseline["kernels"].get(res.name)
+        if not prev or prev.get("best_s", 0) <= 0:
+            continue
+        ratio = res.best_s / prev["best_s"]
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{res.name}: {prev['best_s'] * 1e3:.2f} ms -> "
+                f"{res.best_s * 1e3:.2f} ms ({ratio:.2f}x, tolerance "
+                f"{1.0 + tolerance:.2f}x, baseline run "
+                f"#{baseline.get('sequence', '?')})")
+    return regressions
+
+
+def update_history(path: str, report: BenchReport) -> Dict[str, Any]:
+    """Append *report* to the history file at *path* and rewrite it."""
+    history = load_history(path)
+    sequence = 1 + max(
+        [int(r.get("sequence", 0)) for r in history["runs"]] or [0])
+    history["runs"].append(report.to_run_dict(sequence))
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return history
+
+
+def format_report(report: BenchReport) -> str:
+    """The human-readable results table."""
+    from repro.sim.results import format_table
+
+    rows = []
+    for res in report.results:
+        rows.append([res.name, res.work, res.repeats,
+                     res.best_s * 1e3, res.mean_s * 1e3])
+    table = format_table(
+        ["kernel", "work", "repeats", "best (ms)", "mean (ms)"], rows,
+        title="PHY micro-benchmarks" + (" (smoke)" if report.smoke else ""))
+    lines = [table, "", "speedups (scalar / batched):"]
+    for label, ratio in sorted(report.speedups.items()):
+        lines.append(f"  {label:16s} {ratio:5.2f}x")
+    return "\n".join(lines)

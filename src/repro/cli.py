@@ -6,6 +6,7 @@
     python -m repro mac    --tags 4,8,12,16,20 --rounds 100 --jobs 2
     python -m repro regime
     python -m repro power
+    python -m repro bench  # PHY micro-benchmarks -> BENCH_phy.json
     python -m repro lint   # project static analysis (reprolint)
 
 Each subcommand prints the same tables the benchmark harness writes.
@@ -166,6 +167,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("regime", help="operational regime (Figure 14)")
     sub.add_parser("power", help="tag power budget (section 3.3)")
 
+    bench = sub.add_parser(
+        "bench", help="PHY micro-benchmarks (scalar vs batched kernels)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="reduced work sizes for CI (seconds, not "
+                            "minutes; tracked separately in the history)")
+    bench.add_argument("--repeats", type=_positive_int, default=None,
+                       help="timed repeats per kernel (default 3, or 1 "
+                            "with --smoke)")
+    bench.add_argument("--history", metavar="PATH", default="BENCH_phy.json",
+                       help="perf-trajectory file to append to and "
+                            "compare against (default: %(default)s)")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="fractional slowdown vs the previous "
+                            "comparable run that counts as a regression "
+                            "(default: %(default)s)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="measure and print only; skip the history "
+                            "file entirely")
+
     lint = sub.add_parser(
         "lint", help="project static analysis (reprolint rules R001-R007)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -282,6 +302,32 @@ def _cmd_power(_args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import (
+        compare_runs,
+        format_report,
+        load_history,
+        run_benchmarks,
+        update_history,
+    )
+
+    report = run_benchmarks(smoke=args.smoke, repeats=args.repeats)
+    print(format_report(report))
+    if args.no_history:
+        return 0
+    history = load_history(args.history)
+    regressions = compare_runs(history, report, tolerance=args.tolerance)
+    update_history(args.history, report)
+    if regressions:
+        print(f"\nPERF REGRESSION vs {args.history}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 4
+    print(f"\nhistory: appended run #{len(history['runs']) + 1} "
+          f"to {args.history} (no regressions)")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.tools.lint import main as lint_main
 
@@ -301,6 +347,7 @@ _COMMANDS = {
     "mac": _cmd_mac,
     "regime": _cmd_regime,
     "power": _cmd_power,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

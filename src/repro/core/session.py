@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,12 +26,12 @@ from repro.core.translation import (
     PhaseTranslator,
 )
 from repro.tag.tag import ExcitationInfo, FreeRiderTag
-from repro.utils.bits import random_bits
+from repro.utils.bits import as_bits, random_bits
 from repro.utils.rng import make_rng
 
-__all__ = ["SessionResult", "Excitation", "WifiBackscatterSession",
-           "ZigbeeBackscatterSession", "BleBackscatterSession",
-           "DsssBackscatterSession"]
+__all__ = ["SessionResult", "Excitation", "PacketDraw",
+           "WifiBackscatterSession", "ZigbeeBackscatterSession",
+           "BleBackscatterSession", "DsssBackscatterSession"]
 
 
 @dataclass
@@ -106,7 +106,119 @@ class SessionResult:
         return self.tag_bits_sent - self.tag_bit_errors
 
 
-class WifiBackscatterSession:
+@dataclass
+class PacketDraw:
+    """The randomness and cheap per-packet work of one ``run_packet``.
+
+    ``draw_packet`` consumes the generator in exactly the scalar
+    order (tag bits, envelope gate, sync gate, AWGN), so a caller can
+    interleave its own draws — per-packet fading, say — between packets
+    and still hand the whole batch to ``finish_packets`` for one
+    vectorised decode with results bit-identical to the scalar loop.
+
+    ``result`` is set when a pre-decode gate already decided the packet
+    (envelope miss, sync miss); such draws carry no waveform.
+    """
+
+    excitation: Excitation
+    bits_sent: int
+    sent_bits: Optional[np.ndarray]     # ground-truth bits on the air
+    result: Optional[SessionResult]     # early exit, else None
+    noisy: Optional[np.ndarray] = None  # post-channel waveform to decode
+    noise_var: float = 0.0              # receiver noise estimate (WiFi)
+
+
+class _BatchPacketMixin:
+    """Shared two-phase batch driver for the per-radio sessions.
+
+    Concrete sessions provide ``draw_packet`` (phase 1: every RNG draw
+    and the channel, in scalar order) plus three hooks: ``_batch_key``
+    groups draws that can share one stacked decode, ``_decode_batch``
+    runs the vectorised receiver over one group, and ``_finish_packet``
+    turns one decode into a :class:`SessionResult`.  ``run_packet``
+    and ``run_packets`` are then the scalar and batched drivers over
+    the same pieces.
+    """
+
+    _obs: str
+    _rng: np.random.Generator
+
+    def draw_packet(self, snr_db: float, tag_bits: Any = None,
+                    incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    excitation: Optional[Excitation] = None) -> PacketDraw:
+        raise NotImplementedError
+
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        raise NotImplementedError
+
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        raise NotImplementedError
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
+        raise NotImplementedError
+
+    def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
+        noisy = draw.noisy
+        assert noisy is not None
+        return (noisy.size,)
+
+    def run_packet(self, snr_db: float, tag_bits: Any = None,
+                   incident_power_dbm: Optional[float] = None,
+                   rng: Optional[np.random.Generator] = None,
+                   excitation: Optional[Excitation] = None) -> SessionResult:
+        """One excitation packet end-to-end at the given backscatter SNR."""
+        draw = self.draw_packet(snr_db, tag_bits=tag_bits,
+                                incident_power_dbm=incident_power_dbm,
+                                rng=rng, excitation=excitation)
+        if draw.result is not None:
+            return draw.result
+        with obs.timed(self._obs + ".decode"):
+            decoded = self._decode_scalar(draw)
+        return self._finish_packet(draw, decoded)
+
+    def finish_packets(self,
+                       draws: Sequence[PacketDraw]) -> List[SessionResult]:
+        """Phase 2: decode all pending draws through the batched
+        receiver kernels; bit-identical to finishing each scalar."""
+        results: List[Optional[SessionResult]] = [d.result for d in draws]
+        groups: "OrderedDict[Tuple[Any, ...], List[int]]" = OrderedDict()
+        for i, d in enumerate(draws):
+            if d.result is None:
+                groups.setdefault(self._batch_key(d), []).append(i)
+        for members in groups.values():
+            with obs.timed(self._obs + ".decode"):
+                decoded = self._decode_batch([draws[i] for i in members])
+            for i, dec in zip(members, decoded):
+                results[i] = self._finish_packet(draws[i], dec)
+        return [r for r in results if r is not None]
+
+    def run_packets(self, snrs_db: Sequence[float],
+                    tag_bits: Optional[Sequence[Any]] = None,
+                    incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    excitation: Optional[Excitation] = None
+                    ) -> List[SessionResult]:
+        """Batched ``run_packet`` over one SNR per packet.
+
+        All per-packet randomness is drawn up front in exactly the
+        scalar loop's order, then the stacked waveforms go through the
+        vectorised receiver kernels — results are bit-identical to
+        ``[run_packet(snr, ...) for snr in snrs_db]`` under the same
+        generator.  *tag_bits*, when given, is one bit array per packet.
+        """
+        gen = make_rng(rng if rng is not None else self._rng)
+        draws = [
+            self.draw_packet(
+                float(snr),
+                tag_bits=None if tag_bits is None else tag_bits[i],
+                incident_power_dbm=incident_power_dbm,
+                rng=gen, excitation=excitation)
+            for i, snr in enumerate(snrs_db)]
+        return self.finish_packets(draws)
+
+
+class WifiBackscatterSession(_BatchPacketMixin):
     """802.11g/n OFDM backscatter link (paper sections 2.3.1, 3.2.1).
 
     Parameters
@@ -198,11 +310,12 @@ class WifiBackscatterSession:
             radio="wifi",
         )
 
-    def run_packet(self, snr_db: float, tag_bits: Any = None,
-                   incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None,
-                   excitation: Optional[Excitation] = None) -> SessionResult:
-        """One excitation packet end-to-end at the given backscatter SNR."""
+    def draw_packet(self, snr_db: float, tag_bits: Any = None,
+                    incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    excitation: Optional[Excitation] = None) -> PacketDraw:
+        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
+        sync gate, AWGN) in the scalar order, plus the channel."""
         gen = make_rng(rng if rng is not None else self._rng)
         if excitation is None:
             excitation = self.make_excitation()
@@ -216,23 +329,37 @@ class WifiBackscatterSession:
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return SessionResult(False, len(tag_bits), len(tag_bits),
-                                 frame.duration_us)
+            return PacketDraw(excitation, 0, None,
+                              SessionResult(False, len(tag_bits),
+                                            len(tag_bits), frame.duration_us))
 
         p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
                                      / self.sync_slope_db))
         if gen.random() > p_sync:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
-                                 frame.duration_us)
+            return PacketDraw(excitation, out.bits_sent, None,
+                              SessionResult(False, out.bits_sent,
+                                            out.bits_sent, frame.duration_us))
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
         noise_var = 10 ** (-snr_db / 10)
-        with obs.timed(self._obs + ".decode"):
-            result = self.receiver.decode(noisy,
-                                          noise_var=max(noise_var, 1e-4))
+        return PacketDraw(excitation, out.bits_sent,
+                          as_bits(tag_bits)[:out.bits_sent], None,
+                          noisy=noisy, noise_var=max(noise_var, 1e-4))
+
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        return self.receiver.decode(draw.noisy, noise_var=draw.noise_var)
+
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        waveforms = np.stack([d.noisy for d in draws])
+        noise_vars = np.array([d.noise_var for d in draws])
+        return self.receiver.decode_batch(waveforms, noise_vars)
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
+        frame = draw.excitation.frame
+        result = decoded
         if not result.header_ok or result.data_field_bits is None:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
+            return SessionResult(False, draw.bits_sent, draw.bits_sent,
                                  frame.duration_us)
 
         rate = self.transmitter.rate
@@ -243,10 +370,10 @@ class WifiBackscatterSession:
                                     repetition=self.repetition,
                                     offset_bits=rate.n_dbps,  # symbol 0
                                     guard_bits=2)
-            decoded = decoder.decode(frame.data_bits,
-                                     result.data_field_bits,
-                                     n_tag_bits=out.bits_sent)
-            errors = decoded.errors_against(tag_bits[:out.bits_sent])
+            tag_decode = decoder.decode(frame.data_bits,
+                                        result.data_field_bits,
+                                        n_tag_bits=draw.bits_sent)
+            errors = tag_decode.errors_against(draw.sent_bits)
         else:
             # 16/64-QAM: the flip is a valid codeword translation but
             # only complements the MSB of each axis, so XOR decoding is
@@ -260,15 +387,15 @@ class WifiBackscatterSession:
             rot = RotationTagDecoder(repetition=self.repetition,
                                      offset_symbols=1, n_levels=2)
             bits = rot.decode_bits(reference, result.equalized_symbols,
-                                   n_tag_bits=out.bits_sent)
-            sent_bits = np.asarray(tag_bits[:out.bits_sent], dtype=np.uint8)
+                                   n_tag_bits=draw.bits_sent)
+            sent_bits = np.asarray(draw.sent_bits, dtype=np.uint8)
             n = min(sent_bits.size, bits.size)
             errors = int(np.sum(sent_bits[:n] != bits[:n])) \
                 + (sent_bits.size - n)
-        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
 
 
-class ZigbeeBackscatterSession:
+class ZigbeeBackscatterSession(_BatchPacketMixin):
     """ZigBee OQPSK backscatter link (paper sections 2.3.2, 3.2.2)."""
 
     def __init__(self, repetition: int = 8, payload_bytes: int = 60,
@@ -334,11 +461,12 @@ class ZigbeeBackscatterSession:
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits: Any = None,
-                   incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None,
-                   excitation: Optional[Excitation] = None) -> SessionResult:
-        """One excitation packet end-to-end at the given backscatter SNR."""
+    def draw_packet(self, snr_db: float, tag_bits: Any = None,
+                    incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    excitation: Optional[Excitation] = None) -> PacketDraw:
+        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
+        AWGN) in the scalar order, plus the channel."""
         gen = make_rng(rng if rng is not None else self._rng)
         if excitation is None:
             excitation = self.make_excitation()
@@ -352,27 +480,46 @@ class ZigbeeBackscatterSession:
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return SessionResult(False, len(tag_bits), len(tag_bits),
-                                 frame.duration_us)
+            return PacketDraw(excitation, 0, None,
+                              SessionResult(False, len(tag_bits),
+                                            len(tag_bits), frame.duration_us))
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
-        with obs.timed(self._obs + ".decode"):
-            result = self.receiver.decode(noisy, frame.n_symbols)
-        if not result.sfd_found:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
+        return PacketDraw(excitation, out.bits_sent,
+                          as_bits(tag_bits)[:out.bits_sent], None,
+                          noisy=noisy)
+
+    def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
+        noisy = draw.noisy
+        assert noisy is not None
+        return (noisy.size, draw.excitation.frame.n_symbols)
+
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        return self.receiver.decode(draw.noisy,
+                                    draw.excitation.frame.n_symbols)
+
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        waveforms = np.stack([d.noisy for d in draws])
+        return self.receiver.decode_batch(
+            waveforms, draws[0].excitation.frame.n_symbols)
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
+        frame = draw.excitation.frame
+        if not decoded.sfd_found:
+            return SessionResult(False, draw.bits_sent, draw.bits_sent,
                                  frame.duration_us)
 
         decoder = SymbolDiffTagDecoder(
             repetition=self.repetition,
             offset_symbols=self._header_symbols)
-        decoded = decoder.decode(frame.symbols, result.symbols,
-                                 n_tag_bits=out.bits_sent)
-        errors = decoded.errors_against(tag_bits[:out.bits_sent])
-        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        tag_decode = decoder.decode(frame.symbols, decoded.symbols,
+                                    n_tag_bits=draw.bits_sent)
+        errors = tag_decode.errors_against(draw.sent_bits)
+        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
 
 
-class BleBackscatterSession:
+class BleBackscatterSession(_BatchPacketMixin):
     """Bluetooth FSK backscatter link (paper sections 2.3.3, 3.2.3)."""
 
     def __init__(self, repetition: int = 18, payload_bytes: int = 120,
@@ -435,11 +582,12 @@ class BleBackscatterSession:
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits: Any = None,
-                   incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None,
-                   excitation: Optional[Excitation] = None) -> SessionResult:
-        """One excitation packet end-to-end at the given backscatter SNR."""
+    def draw_packet(self, snr_db: float, tag_bits: Any = None,
+                    incident_power_dbm: Optional[float] = None,
+                    rng: Optional[np.random.Generator] = None,
+                    excitation: Optional[Excitation] = None) -> PacketDraw:
+        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
+        AWGN) in the scalar order, plus the channel."""
         gen = make_rng(rng if rng is not None else self._rng)
         if excitation is None:
             excitation = self.make_excitation()
@@ -453,28 +601,49 @@ class BleBackscatterSession:
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return SessionResult(False, len(tag_bits), len(tag_bits),
-                                 frame.duration_us)
+            return PacketDraw(excitation, 0, None,
+                              SessionResult(False, len(tag_bits),
+                                            len(tag_bits), frame.duration_us))
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
-        with obs.timed(self._obs + ".decode"):
-            rx_bits = self.receiver.decode_bits(noisy, frame.n_bits)
+        return PacketDraw(excitation, out.bits_sent,
+                          as_bits(tag_bits)[:out.bits_sent], None,
+                          noisy=noisy)
+
+    def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
+        noisy = draw.noisy
+        assert noisy is not None
+        return (noisy.size, draw.excitation.frame.n_bits)
+
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        return self.receiver.decode_bits(draw.noisy,
+                                         draw.excitation.frame.n_bits)
+
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        waveforms = np.stack([d.noisy for d in draws])
+        rows = self.receiver.decode_bits_batch(
+            waveforms, draws[0].excitation.frame.n_bits)
+        return list(rows)
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
+        frame = draw.excitation.frame
+        rx_bits = decoded
         # Sync check: the unmodulated header must have survived.
         sync_ok = bool(np.array_equal(rx_bits[:self._header_bits],
                                       frame.bits[:self._header_bits]))
         if not sync_ok:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
+            return SessionResult(False, draw.bits_sent, draw.bits_sent,
                                  frame.duration_us)
 
         decoder = XorTagDecoder(bits_per_unit=1,
                                 repetition=self.repetition,
                                 offset_bits=self._header_bits,
                                 guard_bits=2)
-        decoded = decoder.decode(frame.bits, rx_bits,
-                                 n_tag_bits=out.bits_sent)
-        errors = decoded.errors_against(tag_bits[:out.bits_sent])
-        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        tag_decode = decoder.decode(frame.bits, rx_bits,
+                                    n_tag_bits=draw.bits_sent)
+        errors = tag_decode.errors_against(draw.sent_bits)
+        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
 
 
 class DsssBackscatterSession:

@@ -86,3 +86,35 @@ class GfskModem:
     def demodulate(self, waveform: np.ndarray, n_bits: int) -> np.ndarray:
         """Hard bit decisions from the discriminator."""
         return (self.demodulate_soft(waveform, n_bits) > 0).astype(np.uint8)
+
+    def discriminate_batch(self, waveforms: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`discriminate` of a (B, N) stack (the delay
+        product and angle are elementwise, so stacking is exact)."""
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("discriminate_batch expects a (B, N) array")
+        prod = wav[:, 1:] * np.conj(wav[:, :-1])
+        return np.concatenate(
+            [np.zeros((wav.shape[0], 1)), np.angle(prod)], axis=1)
+
+    def demodulate_soft_batch(self, waveforms: np.ndarray,
+                              n_bits: int) -> np.ndarray:
+        """Per-bit soft metrics for a (B, N) stack; returns (B, n_bits),
+        bit-identical to :meth:`demodulate_soft` per row (the per-bit
+        integration is a row-wise mean)."""
+        freq = self.discriminate_batch(waveforms)
+        needed = n_bits * self.sps
+        n_b = freq.shape[0]
+        if freq.shape[1] < needed:
+            freq = np.concatenate(
+                [freq, np.zeros((n_b, needed - freq.shape[1]))], axis=1)
+        lo = self.sps // 4
+        hi = self.sps - lo
+        blocks = freq[:, :needed].reshape(n_b * n_bits, self.sps)
+        return blocks[:, lo:hi].mean(axis=1).reshape(n_b, n_bits)
+
+    def demodulate_batch(self, waveforms: np.ndarray,
+                         n_bits: int) -> np.ndarray:
+        """Hard bit decisions for a (B, N) stack."""
+        return (self.demodulate_soft_batch(waveforms, n_bits) > 0) \
+            .astype(np.uint8)

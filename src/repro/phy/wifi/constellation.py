@@ -76,6 +76,32 @@ class Constellation:
             llrs[:, b] = (d1 - d0) / max(noise_var, 1e-12)
         return llrs.ravel()
 
+    def demodulate_soft_batch(self, symbols: np.ndarray,
+                              noise_vars: np.ndarray) -> np.ndarray:
+        """Max-log LLRs for a (B, S) symbol stack with per-row noise.
+
+        Returns a (B, S*bits_per_symbol) array; row *i* is bit-identical
+        to ``demodulate_soft(symbols[i], noise_vars[i])`` — the distance
+        computation is elementwise and the per-bit minimum reduces over
+        the constellation axis, so stacking rows changes nothing.
+        """
+        sym2 = np.asarray(symbols)
+        if sym2.ndim != 2:
+            raise ValueError("demodulate_soft_batch expects a (B, S) array")
+        n_b, n_s = sym2.shape
+        flat = sym2.ravel()
+        d2 = np.abs(flat[:, None] - self.points[None, :]) ** 2
+        n = self.bits_per_symbol
+        idx = np.arange(self.points.size)
+        llrs = np.empty((flat.size, n))
+        for b in range(n):
+            bit_of_point = (idx >> (n - 1 - b)) & 1
+            d0 = d2[:, bit_of_point == 0].min(axis=1)
+            d1 = d2[:, bit_of_point == 1].min(axis=1)
+            llrs[:, b] = d1 - d0
+        nv = np.maximum(np.asarray(noise_vars, dtype=float), 1e-12)
+        return llrs.reshape(n_b, n_s * n) / nv[:, None]
+
     def min_distance(self) -> float:
         """Minimum Euclidean distance between constellation points."""
         p = self.points

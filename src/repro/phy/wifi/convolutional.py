@@ -48,6 +48,7 @@ class ConvolutionalCode:
     g1: int = 0o171
     constraint_length: int = 7
     _tables: Optional[tuple] = field(default=None, repr=False, compare=False)
+    _acs: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def n_states(self) -> int:
@@ -120,6 +121,41 @@ class ConvolutionalCode:
             out = np.concatenate([out, [0.0]])
         return out
 
+    def _acs_tables(self):
+        """Predecessor layout for the add-compare-select recursion.
+
+        Each target state has exactly two (predecessor, input-bit) pairs;
+        the two slots are laid out as one flat length-2n axis (slot 0
+        first) so one gather + one add covers both per step.  Returns
+        ``(pred, pbit, pred_flat, exp0_flat, exp1_flat)`` where the
+        ``exp*_flat`` vectors hold the expected (+/-1) coder outputs of
+        each flat transition.
+        """
+        if self._acs is not None:
+            return self._acs
+        next_state, out0, out1 = self._build_tables()
+        n = self.n_states
+        # Branch metric of transition (s, b) at time t:
+        # correlation of expected symbols (+1 for bit 0) with LLRs.
+        exp0 = 1.0 - 2.0 * out0.astype(float)  # (n,2)
+        exp1 = 1.0 - 2.0 * out1.astype(float)
+        pred = np.zeros((n, 2), dtype=np.int64)
+        pbit = np.zeros((n, 2), dtype=np.int64)
+        fill = np.zeros(n, dtype=np.int64)
+        for s in range(n):
+            for b in range(2):
+                tgt = next_state[s, b]
+                pred[tgt, fill[tgt]] = s
+                pbit[tgt, fill[tgt]] = b
+                fill[tgt] += 1
+        exp0_pred = exp0[pred, pbit]  # (n,2) expected first output symbol
+        exp1_pred = exp1[pred, pbit]
+        exp0_flat = np.concatenate([exp0_pred[:, 0], exp0_pred[:, 1]])
+        exp1_flat = np.concatenate([exp1_pred[:, 0], exp1_pred[:, 1]])
+        pred_flat = np.concatenate([pred[:, 0], pred[:, 1]])
+        self._acs = (pred, pbit, pred_flat, exp0_flat, exp1_flat)
+        return self._acs
+
     def decode(self, received, rate: Tuple[int, int] = (1, 2),
                soft: bool = False) -> np.ndarray:
         """Viterbi-decode *received* back to information bits.
@@ -146,38 +182,16 @@ class ConvolutionalCode:
         if n_steps == 0:
             return np.zeros(0, dtype=np.uint8)
 
-        next_state, out0, out1 = self._build_tables()
         n = self.n_states
-        # Branch metric of transition (s, b) at time t:
-        # correlation of expected symbols (+1 for bit 0) with LLRs.
-        exp0 = 1.0 - 2.0 * out0.astype(float)  # (n,2)
-        exp1 = 1.0 - 2.0 * out1.astype(float)
+        pred, pbit, pred_flat, exp0_flat, exp1_flat = self._acs_tables()
 
         path_metric = np.full(n, -np.inf)
         path_metric[0] = 0.0
 
-        # Each target state has exactly two (predecessor, input-bit) pairs;
-        # precompute them so the add-compare-select is fully vectorised.
-        pred = np.zeros((n, 2), dtype=np.int64)
-        pbit = np.zeros((n, 2), dtype=np.int64)
-        fill = np.zeros(n, dtype=np.int64)
-        for s in range(n):
-            for b in range(2):
-                tgt = next_state[s, b]
-                pred[tgt, fill[tgt]] = s
-                pbit[tgt, fill[tgt]] = b
-                fill[tgt] += 1
-        exp0_pred = exp0[pred, pbit]  # (n,2) expected first output symbol
-        exp1_pred = exp1[pred, pbit]
-
-        # All branch metrics up front in one vectorised pass; lay the two
-        # predecessor slots out as one flat (n_steps, 2n) array so the
-        # serial recursion needs only one gather + one add per step.
-        bm = (llr[0::2, None, None] * exp0_pred[None, :, :]
-              + llr[1::2, None, None] * exp1_pred[None, :, :])
-        bm_flat = np.ascontiguousarray(
-            np.concatenate([bm[:, :, 0], bm[:, :, 1]], axis=1))
-        pred_flat = np.concatenate([pred[:, 0], pred[:, 1]])
+        # All branch metrics up front in one vectorised pass over the
+        # flat (n_steps, 2n) transition layout.
+        bm_flat = (llr[0::2, None] * exp0_flat[None, :]
+                   + llr[1::2, None] * exp1_flat[None, :])
 
         # choice[t, s]: which of the two predecessors of s survived at t.
         # Strict > matches np.argmax's first-index tie-breaking (slot 0
@@ -199,6 +213,79 @@ class ConvolutionalCode:
             slot = 1 if choices[t, state] else 0
             decoded[t] = pbit[state, slot]
             state = int(pred[state, slot])
+        return decoded
+
+    def decode_batch(self, received, rate: Tuple[int, int] = (1, 2),
+                     soft: bool = False) -> np.ndarray:
+        """Viterbi-decode a batch of equal-length streams at once.
+
+        *received* is a (B, L) array of hard bits or LLRs (one frame per
+        row, same convention as :meth:`decode`); returns a (B, n_steps)
+        uint8 array.  The add-compare-select recursion runs over all
+        rows simultaneously and the traceback advances every row's state
+        vector per step, so the Python-loop cost is paid once per time
+        step instead of once per frame.  Every elementwise operation
+        matches the scalar recursion, so the result is bit-identical to
+        ``np.stack([decode(row, ...) for row in received])``.
+        """
+        if rate not in PUNCTURE_PATTERNS:
+            raise ValueError(f"unsupported coding rate {rate}")
+        block = np.atleast_2d(np.asarray(received))
+        if block.ndim != 2:
+            raise ValueError("decode_batch expects a (B, L) array")
+        if soft:
+            llr2 = block.astype(float)
+        else:
+            llr2 = 1.0 - 2.0 * block.astype(float)
+        if llr2.shape[0] == 0:
+            return np.zeros((0, 0), dtype=np.uint8)
+        # Rows share a length, so depuncturing one row fixes the layout
+        # for all of them (pure scatter: float values are untouched).
+        pattern = PUNCTURE_PATTERNS[rate]
+        if pattern.size > 2:
+            kept = int(pattern.sum())
+            n_periods = int(np.ceil(llr2.shape[1] / kept))
+            mask = np.tile(pattern, n_periods).astype(bool)
+            padded = np.zeros((llr2.shape[0], kept * n_periods))
+            padded[:, : llr2.shape[1]] = llr2
+            full = np.zeros((llr2.shape[0], n_periods * pattern.size))
+            full[:, mask] = padded
+            llr2 = full
+        if llr2.shape[1] % 2:
+            llr2 = np.concatenate(
+                [llr2, np.zeros((llr2.shape[0], 1))], axis=1)
+        n_batch, n_steps = llr2.shape[0], llr2.shape[1] // 2
+        if n_steps == 0:
+            return np.zeros((n_batch, 0), dtype=np.uint8)
+
+        n = self.n_states
+        pred, pbit, pred_flat, exp0_flat, exp1_flat = self._acs_tables()
+
+        path_metric = np.full((n_batch, n), -np.inf)
+        path_metric[:, 0] = 0.0
+        llr_even = llr2[:, 0::2]
+        llr_odd = llr2[:, 1::2]
+
+        choices = np.zeros((n_steps, n_batch, n), dtype=bool)
+        cand = np.empty((n_batch, 2 * n))
+        c0, c1 = cand[:, :n], cand[:, n:]
+        for t in range(n_steps):
+            # bm[b, j] = llr_even[b, t]*exp0_flat[j] + llr_odd[b, t]*...
+            # — per-element arithmetic identical to the scalar bm_flat.
+            np.take(path_metric, pred_flat, axis=1, out=cand)
+            cand += (llr_even[:, t, None] * exp0_flat[None, :]
+                     + llr_odd[:, t, None] * exp1_flat[None, :])
+            choice = np.greater(c1, c0, out=choices[t])
+            path_metric = np.where(choice, c1, c0)
+
+        # Traceback: advance all rows' states together.
+        state = np.argmax(path_metric, axis=1)
+        decoded = np.zeros((n_batch, n_steps), dtype=np.uint8)
+        rows = np.arange(n_batch)
+        for t in range(n_steps - 1, -1, -1):
+            slot = choices[t, rows, state].astype(np.int64)
+            decoded[:, t] = pbit[state, slot]
+            state = pred[state, slot]
         return decoded
 
 

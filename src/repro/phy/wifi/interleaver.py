@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.utils.bits import as_bits
 
-__all__ = ["interleave", "deinterleave", "interleave_permutation"]
+__all__ = ["interleave", "deinterleave", "interleave_permutation",
+           "deinterleave_soft", "deinterleave_soft_batch"]
 
 
 def interleave_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
@@ -69,3 +70,19 @@ def deinterleave_soft(llrs: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
         raise ValueError(
             f"LLR count {arr.size} is not a multiple of N_CBPS={n_cbps}")
     return arr.reshape(-1, n_cbps)[:, perm].ravel()
+
+
+def deinterleave_soft_batch(llrs: np.ndarray, n_cbps: int,
+                            n_bpsc: int) -> np.ndarray:
+    """De-interleave a (B, L) stack of soft streams; row *i* equals
+    ``deinterleave_soft(llrs[i], ...)`` (a pure gather, so stacking rows
+    is exact)."""
+    arr = np.asarray(llrs, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("deinterleave_soft_batch expects a (B, L) array")
+    perm = interleave_permutation(n_cbps, n_bpsc)
+    if arr.shape[1] % n_cbps:
+        raise ValueError(
+            f"LLR count {arr.shape[1]} is not a multiple of N_CBPS={n_cbps}")
+    n_b = arr.shape[0]
+    return arr.reshape(-1, n_cbps)[:, perm].reshape(n_b, arr.shape[1])

@@ -15,15 +15,18 @@ the tag's phase modulation, which is a useful negative control.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.utils.bits import bits_to_bytes
 from repro.utils.crc import CRC32
-from repro.phy.wifi.scrambler import Scrambler
+from repro.phy.wifi.scrambler import Scrambler, periodic_keystream
 from repro.phy.wifi.convolutional import CODE_802_11
-from repro.phy.wifi.interleaver import deinterleave_soft
+from repro.phy.wifi.interleaver import (
+    deinterleave_soft,
+    deinterleave_soft_batch,
+)
 from repro.phy.wifi.constellation import CONSTELLATIONS
 from repro.phy.wifi.ofdm import OfdmModulator, DATA_SUBCARRIERS, N_FFT
 from repro.phy.wifi.plcp import (
@@ -231,6 +234,138 @@ class WifiReceiver:
         return WifiDecodeResult(header, psdu, psdu_bits, fcs_ok, True,
                                 evm=mean_evm, data_field_bits=plain,
                                 equalized_symbols=rx_eq)
+
+    def decode_batch(self, waveforms: np.ndarray,
+                     noise_vars: np.ndarray) -> List[WifiDecodeResult]:
+        """Decode a (B, N) stack of equal-length frames at once.
+
+        *noise_vars* is a scalar or per-frame array.  Channel
+        estimation, SIGNAL decode, OFDM demodulation, soft demapping,
+        de-interleaving and Viterbi all run batched; packets whose
+        decoded headers agree on (rate, symbol count) share the heavy
+        kernels, and per-frame bit work (descramble, FCS) runs on the
+        decoded rows.  Every operation preserves the scalar arithmetic,
+        so the results are bit-identical to ``[decode(w, nv) for ...]``.
+        """
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("decode_batch expects a (B, N) array")
+        n_b = wav.shape[0]
+        nv = np.broadcast_to(
+            np.asarray(noise_vars, dtype=float), (n_b,))
+        if n_b == 0:
+            return []
+        if wav.shape[1] < PREAMBLE_SAMPLES + 80:
+            return [WifiDecodeResult(None, None, None, False, False)
+                    for _ in range(n_b)]
+
+        h_grids = self._estimate_channel_batch(wav)
+        headers = self._decode_signal_batch(wav, h_grids, nv)
+        data_idx = np.array([k % N_FFT for k in DATA_SUBCARRIERS])
+        h_data_all = h_grids[:, data_idx]
+
+        results: List[Optional[WifiDecodeResult]] = [None] * n_b
+        groups: "dict[tuple, list]" = {}
+        data_start = PREAMBLE_SAMPLES + 80
+        for i, header in enumerate(headers):
+            if header is None:
+                results[i] = WifiDecodeResult(None, None, None, False, False)
+                continue
+            n_sym = header.n_data_symbols
+            if wav.shape[1] < data_start + n_sym * 80:
+                results[i] = WifiDecodeResult(header, None, None, False, True)
+                continue
+            # Noise can corrupt a header, so frames are regrouped by
+            # what was *decoded*, not by what was sent.
+            groups.setdefault((header.rate.mbps, n_sym), []).append(i)
+
+        for (_, n_sym), members in groups.items():
+            rows = np.asarray(members)
+            rate = headers[rows[0]].rate
+            const = rate.constellation
+            wave = wav[rows, data_start:data_start + n_sym * 80]
+            rx_syms, _ = self._ofdm.demodulate_batch(
+                wave, n_sym, first_index=1,
+                pilot_correction=self.pilot_correction)
+            rx_eq = rx_syms / h_data_all[rows][:, None, :]
+
+            llrs = const.demodulate_soft_batch(
+                rx_eq.reshape(rows.size, n_sym * len(DATA_SUBCARRIERS)),
+                nv[rows])
+            llrs = deinterleave_soft_batch(llrs, rate.n_cbps, rate.n_bpsc)
+            decoded = CODE_802_11.decode_batch(llrs, rate.coding_rate,
+                                               soft=True)
+
+            for r, i in enumerate(members):
+                results[i] = self._finish_data_frame(
+                    headers[i], decoded[r], rx_eq[r], const)
+        # Every index was filled by the header loop or its group above.
+        return [res for res in results if res is not None]
+
+    def _finish_data_frame(self, header: PlcpHeader, decoded: np.ndarray,
+                           rx_eq: np.ndarray, const) -> WifiDecodeResult:
+        """Shared tail of the data-field decode: descramble, strip,
+        FCS-check and EVM for one frame's decoded bits."""
+        state = recover_scrambler_state(decoded[:16])
+        plain = decoded.copy()
+        plain[7:] = np.bitwise_xor(
+            decoded[7:],
+            periodic_keystream(state if state else 1, decoded.size - 7))
+        plain[:7] = 0
+
+        try:
+            psdu_bits = strip_service_and_tail(plain, header.length_bytes)
+        except ValueError:
+            return WifiDecodeResult(header, None, None, False, True)
+        psdu = bits_to_bytes(psdu_bits)
+
+        fcs_ok = False
+        if len(psdu) > 4:
+            body, fcs = psdu[:-4], int.from_bytes(psdu[-4:], "little")
+            fcs_ok = CRC32.verify(body, fcs)
+        if not fcs_ok and not self.monitor_mode:
+            return WifiDecodeResult(header, None, None, False, True)
+
+        mean_evm = self._mean_evm(rx_eq, const)
+        return WifiDecodeResult(header, psdu, psdu_bits, fcs_ok, True,
+                                evm=mean_evm, data_field_bits=plain,
+                                equalized_symbols=rx_eq)
+
+    def _estimate_channel_batch(self, waveforms: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_estimate_channel`: (B, N) waveforms to a
+        (B, 64) per-subcarrier channel estimate."""
+        ltf_ref = long_training_field()
+        rx_ltf = waveforms[:, 160:320]
+        ref_syms = [ltf_ref[32:96], ltf_ref[96:160]]
+        rx_syms = [rx_ltf[:, 32:96], rx_ltf[:, 96:160]]
+        n_b = waveforms.shape[0]
+        h_grid = np.zeros((n_b, N_FFT), dtype=complex)
+        count = np.zeros(N_FFT)
+        for ref, rx in zip(ref_syms, rx_syms):
+            ref_f = np.fft.fft(ref)
+            rx_f = np.fft.fft(rx, axis=-1)
+            nz = np.abs(ref_f) > 1e-6
+            h_grid[:, nz] += rx_f[:, nz] / ref_f[nz]
+            count[nz] += 1
+        h_grid[:, count > 0] /= count[count > 0]
+        h_grid[:, count == 0] = 1.0
+        tiny = np.abs(h_grid) < 1e-9
+        h_grid[tiny] = 1.0
+        return h_grid
+
+    def _decode_signal_batch(self, waveforms: np.ndarray,
+                             h_grids: np.ndarray, noise_vars: np.ndarray
+                             ) -> List[Optional[PlcpHeader]]:
+        """Batched :meth:`_decode_signal` over all frames at once."""
+        sig = waveforms[:, PREAMBLE_SAMPLES:PREAMBLE_SAMPLES + 80]
+        syms, _ = self._ofdm.demodulate_batch(
+            sig, 1, first_index=0, pilot_correction=self.pilot_correction)
+        data_idx = np.array([k % N_FFT for k in DATA_SUBCARRIERS])
+        eq = syms[:, 0, :] / h_grids[:, data_idx]
+        llrs = CONSTELLATIONS["BPSK"].demodulate_soft_batch(eq, noise_vars)
+        llrs = deinterleave_soft_batch(llrs, 48, 1)
+        bits = CODE_802_11.decode_batch(llrs, (1, 2), soft=True)
+        return [parse_signal_field(row) for row in bits]
 
     def _decode_signal(self, samples: np.ndarray, h_grid: np.ndarray,
                        noise_var: float) -> Optional[PlcpHeader]:

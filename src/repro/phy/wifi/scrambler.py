@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.utils.bits import as_bits
 
-__all__ = ["Scrambler", "scramble", "descramble", "scrambler_sequence"]
+__all__ = ["Scrambler", "scramble", "descramble", "scrambler_sequence",
+           "periodic_keystream"]
 
 
 class Scrambler:
@@ -64,6 +65,22 @@ class Scrambler:
 def scrambler_sequence(seed: int, n: int) -> np.ndarray:
     """The raw keystream for a given seed — exposed for analysis tools."""
     return Scrambler(seed).keystream(n)
+
+
+def periodic_keystream(seed: int, n: int) -> np.ndarray:
+    """*n* keystream bits via the LFSR's 127-bit period.
+
+    ``x^7 + x^4 + 1`` is primitive, so any non-zero state cycles with
+    period 127; stepping the register 127 times and tiling gives the
+    same bits as ``Scrambler(seed).keystream(n)`` at O(127) state
+    updates instead of O(n) — the fast path for whole-frame
+    descrambling.
+    """
+    period = Scrambler(seed).keystream(min(n, 127))
+    if n <= 127:
+        return period
+    reps = -(-n // 127)  # ceil
+    return np.tile(period, reps)[:n]
 
 
 def scramble(bits, seed: int = 0b1011101) -> np.ndarray:

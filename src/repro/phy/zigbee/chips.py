@@ -14,7 +14,7 @@ from typing import Dict
 import numpy as np
 
 __all__ = ["CHIP_SEQUENCES", "symbols_to_chips", "chips_to_symbols",
-           "nearest_symbol", "correlation_table"]
+           "nearest_symbol", "nearest_symbols_soft", "correlation_table"]
 
 _SYMBOL0 = np.array([1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1,
                      0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0],
@@ -78,6 +78,23 @@ def nearest_symbol_soft(chip_metrics: np.ndarray) -> int:
     if m.size != 32:
         raise ValueError("need exactly 32 chip metrics")
     return int(np.argmax(_BIPOLAR @ m))
+
+
+def nearest_symbols_soft(chip_metrics: np.ndarray) -> np.ndarray:
+    """Soft despread of a (n_symbols, 32) metric stack.
+
+    Decisions stay a per-row matrix-vector correlation: a batched
+    matrix-matrix product rounds differently from the scalar
+    ``_BIPOLAR @ m`` and could flip near-tie argmax decisions, so only
+    the loop overhead is amortised here.
+    """
+    m = np.asarray(chip_metrics, dtype=float)
+    if m.ndim != 2 or m.shape[1] != 32:
+        raise ValueError("need a (n_symbols, 32) metric array")
+    out = np.empty(m.shape[0], dtype=np.int64)
+    for i in range(m.shape[0]):
+        out[i] = int(np.argmax(_BIPOLAR @ m[i]))
+    return out
 
 
 def correlation_table() -> np.ndarray:

@@ -83,6 +83,36 @@ class OqpskModem:
         metrics[1::2] = (q_blocks @ pulse) / norm
         return metrics
 
+    def demodulate_soft_batch(self, waveforms: np.ndarray,
+                              n_chips: int) -> np.ndarray:
+        """Matched-filter a (B, N) waveform stack; returns (B, n_chips)
+        soft metrics, bit-identical to :meth:`demodulate_soft` per row
+        (the rail correlation is a row-wise matrix-vector product, which
+        is invariant to stacking more rows)."""
+        if n_chips % 2:
+            raise ValueError("OQPSK needs an even chip count")
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("demodulate_soft_batch expects a (B, N) array")
+        pulse = half_sine_pulse(2 * self.sps)
+        norm = pulse @ pulse
+        n_pairs = n_chips // 2
+        n_b = wav.shape[0]
+        needed = (n_chips + 1) * self.sps
+        if wav.shape[1] < needed:
+            wav = np.concatenate(
+                [wav, np.zeros((n_b, needed - wav.shape[1]), dtype=complex)],
+                axis=1)
+        span = 2 * self.sps
+        i_blocks = wav[:, : n_pairs * span].real.reshape(
+            n_b * n_pairs, span)
+        q_blocks = wav[:, self.sps: self.sps + n_pairs * span].imag \
+            .reshape(n_b * n_pairs, span)
+        metrics = np.empty((n_b, n_chips))
+        metrics[:, 0::2] = ((i_blocks @ pulse) / norm).reshape(n_b, n_pairs)
+        metrics[:, 1::2] = ((q_blocks @ pulse) / norm).reshape(n_b, n_pairs)
+        return metrics
+
     def demodulate(self, waveform: np.ndarray, n_chips: int) -> np.ndarray:
         """Hard chips from :meth:`demodulate_soft`."""
         return (self.demodulate_soft(waveform, n_chips) > 0).astype(np.uint8)

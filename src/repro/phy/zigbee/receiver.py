@@ -11,11 +11,11 @@ best with a deterministic other codeword in the same codebook.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
-from repro.phy.zigbee.chips import nearest_symbol_soft
+from repro.phy.zigbee.chips import nearest_symbol_soft, nearest_symbols_soft
 from repro.phy.zigbee.frame import ZigbeeFrameBuilder
 from repro.phy.zigbee.oqpsk import OqpskModem
 
@@ -90,9 +90,42 @@ class ZigbeeReceiver:
             out[i] = nearest_symbol_soft(metrics[32 * i:32 * (i + 1)])
         return out
 
+    def decode_symbols_batch(self, waveforms: np.ndarray,
+                             n_symbols: int) -> np.ndarray:
+        """Despread a (B, N) stack of aligned waveforms into a
+        (B, n_symbols) decision matrix, bit-identical to
+        :meth:`decode_symbols` per row.  The matched filter runs over
+        all frames at once; codeword decisions stay per-symbol."""
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("decode_symbols_batch expects a (B, N) array")
+        if self.cfo_correction:
+            # The estimator is per-frame scalar work; keep it exact.
+            fs = self._modem.sample_rate_hz
+            n = np.arange(wav.shape[1])
+            rows = []
+            for row in wav:
+                cfo = self.estimate_cfo_hz(row)
+                rows.append(row * np.exp(-2j * np.pi * cfo * n / fs))
+            wav = np.stack(rows)
+        n_chips = 32 * n_symbols
+        metrics = self._modem.demodulate_soft_batch(wav, n_chips)
+        decisions = nearest_symbols_soft(
+            metrics.reshape(wav.shape[0] * n_symbols, 32))
+        return decisions.reshape(wav.shape[0], n_symbols)
+
     def decode(self, waveform: np.ndarray, n_symbols: int) -> ZigbeeDecodeResult:
         """Full decode: symbols -> PPDU parse -> FCS check."""
         symbols = self.decode_symbols(waveform, n_symbols)
+        return self._finish(symbols)
+
+    def decode_batch(self, waveforms: np.ndarray,
+                     n_symbols: int) -> List[ZigbeeDecodeResult]:
+        """Batched :meth:`decode` over a stack of equal-length frames."""
+        symbol_rows = self.decode_symbols_batch(waveforms, n_symbols)
+        return [self._finish(row) for row in symbol_rows]
+
+    def _finish(self, symbols: np.ndarray) -> ZigbeeDecodeResult:
         payload, fcs_ok = self._builder.parse_symbols(symbols)
         sfd_found = payload is not None
         if not sfd_found:

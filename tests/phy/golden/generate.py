@@ -1,0 +1,123 @@
+"""Regenerate the golden-vector fixtures in this directory.
+
+    PYTHONPATH=src python tests/phy/golden/generate.py
+
+The fixtures freeze the *current* outputs of the bit-level PHY kernels
+(scrambler, convolutional encoder, interleaver, chip table, whitening)
+so refactors — in particular vectorised fast paths — cannot silently
+change them.  Inputs are stored alongside outputs, so the conformance
+tests in ``tests/phy/test_golden_vectors.py`` are self-contained.
+
+Only rerun this script when a kernel's output is *supposed* to change
+(i.e. a spec-conformance bug fix), and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+
+def _pattern_bits(n: int) -> np.ndarray:
+    """Deterministic, aperiodic-looking bit pattern (no RNG involved)."""
+    i = np.arange(n)
+    return ((i * i + i // 3) % 5 % 2).astype(np.uint8)
+
+
+def _wifi_scrambler() -> dict:
+    from repro.phy.wifi.scrambler import Scrambler
+
+    data = _pattern_bits(96)
+    cases = []
+    for seed in (1, 0x5D, 88, 127):
+        cases.append({
+            "seed": seed,
+            "keystream": Scrambler(seed).keystream(160).tolist(),
+            "input": data.tolist(),
+            "scrambled": Scrambler(seed).process(data).tolist(),
+        })
+    return {"cases": cases}
+
+
+def _wifi_convolutional() -> dict:
+    from repro.phy.wifi.convolutional import CODE_802_11
+
+    bits = _pattern_bits(96)
+    cases = []
+    for rate in ((1, 2), (2, 3), (3, 4)):
+        cases.append({
+            "rate": list(rate),
+            "input": bits.tolist(),
+            "encoded": CODE_802_11.encode(bits, rate=rate).tolist(),
+        })
+    return {"cases": cases}
+
+
+def _wifi_interleaver() -> dict:
+    from repro.phy.wifi.interleaver import interleave, interleave_permutation
+    from repro.phy.wifi.rates import WIFI_RATES
+
+    pairs = sorted({(r.n_cbps, r.n_bpsc) for r in WIFI_RATES.values()})
+    cases = []
+    for n_cbps, n_bpsc in pairs:
+        bits = _pattern_bits(n_cbps)
+        cases.append({
+            "n_cbps": n_cbps,
+            "n_bpsc": n_bpsc,
+            "permutation": interleave_permutation(n_cbps, n_bpsc).tolist(),
+            "input": bits.tolist(),
+            "interleaved": interleave(bits, n_cbps, n_bpsc).tolist(),
+        })
+    return {"cases": cases}
+
+
+def _zigbee_chips() -> dict:
+    from repro.phy.zigbee.chips import CHIP_SEQUENCES, symbols_to_chips
+
+    symbols = list(range(16)) + [5, 0, 15, 8]
+    return {
+        "table": CHIP_SEQUENCES.tolist(),
+        "symbols": symbols,
+        "chips": symbols_to_chips(symbols).tolist(),
+    }
+
+
+def _ble_whitening() -> dict:
+    from repro.phy.ble.whitening import Whitener, whiten
+
+    data = _pattern_bits(96)
+    cases = []
+    for channel in (0, 8, 37, 39):
+        cases.append({
+            "channel": channel,
+            "keystream": Whitener(channel).keystream(160).tolist(),
+            "input": data.tolist(),
+            "whitened": whiten(data, channel).tolist(),
+        })
+    return {"cases": cases}
+
+
+FIXTURES = {
+    "wifi_scrambler.json": _wifi_scrambler,
+    "wifi_convolutional.json": _wifi_convolutional,
+    "wifi_interleaver.json": _wifi_interleaver,
+    "zigbee_chips.json": _zigbee_chips,
+    "ble_whitening.json": _ble_whitening,
+}
+
+
+def main() -> None:
+    here = os.path.dirname(os.path.abspath(__file__))
+    for name, build in FIXTURES.items():
+        path = os.path.join(here, name)
+        with open(path, "w") as fh:
+            json.dump(build(), fh, sort_keys=True,
+                      separators=(",", ":"))
+            fh.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

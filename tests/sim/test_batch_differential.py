@@ -1,0 +1,133 @@
+"""Seeded differential proofs: the batched fast path IS the scalar path.
+
+Every test here runs the same seeded experiment twice — once through
+the scalar per-packet loop, once through ``run_packets`` /
+``LinkSimulator(batch=True)`` — and requires *exact* equality of the
+results (via ``SessionResult`` dataclass equality and
+``LinkPoint.__eq__``, which treats two NaN BERs as equal).  Any
+tolerance would defeat the point: the batch path must consume the RNG
+in the same order and produce bit-identical floats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.core.session import (
+    BleBackscatterSession,
+    WifiBackscatterSession,
+    ZigbeeBackscatterSession,
+)
+from repro.sim.config import BLE_CONFIG, WIFI_CONFIG, ZIGBEE_CONFIG
+from repro.sim.linksim import LinkSimulator
+
+SESSIONS = {
+    "wifi": lambda: WifiBackscatterSession(seed=0, payload_bytes=128),
+    "wifi-16qam": lambda: WifiBackscatterSession(rate_mbps=24.0, seed=0,
+                                                 payload_bytes=128),
+    "zigbee": lambda: ZigbeeBackscatterSession(seed=0, payload_bytes=24),
+    "ble": lambda: BleBackscatterSession(seed=0, payload_bytes=40),
+}
+
+# SNRs straddling each radio's delivery cliff so the batch must agree on
+# sync misses, header failures, and clean decodes alike.
+SNR_RANGES = {
+    "wifi": (-1.0, 15.0),
+    "wifi-16qam": (2.0, 18.0),
+    "zigbee": (-6.0, 6.0),
+    "ble": (2.0, 14.0),
+}
+
+
+@pytest.mark.parametrize("radio", sorted(SESSIONS))
+def test_run_packets_equals_scalar_loop(radio):
+    snr_lo, snr_hi = SNR_RANGES[radio]
+    snrs = list(np.linspace(snr_lo, snr_hi, 10))
+
+    scalar_session = SESSIONS[radio]()
+    batch_session = SESSIONS[radio]()
+    ex_scalar = scalar_session.make_excitation(rng=np.random.default_rng(7))
+    ex_batch = batch_session.make_excitation(rng=np.random.default_rng(7))
+
+    gen_scalar = np.random.default_rng(0xBA7C)
+    gen_batch = np.random.default_rng(0xBA7C)
+    scalar = [scalar_session.run_packet(float(snr), rng=gen_scalar,
+                                        excitation=ex_scalar)
+              for snr in snrs]
+    batched = batch_session.run_packets(snrs, rng=gen_batch,
+                                        excitation=ex_batch)
+
+    assert batched == scalar
+    # Both paths must leave the generator in the same state.
+    assert gen_scalar.random() == gen_batch.random()
+
+
+def test_run_packets_with_envelope_gate_equals_scalar():
+    # incident_power_dbm adds the envelope-detector draw before the sync
+    # gate; the batch path must replicate that draw order too.
+    snrs = list(np.linspace(0.0, 12.0, 8))
+    s1 = WifiBackscatterSession(seed=0, payload_bytes=128)
+    s2 = WifiBackscatterSession(seed=0, payload_bytes=128)
+    e1 = s1.make_excitation(rng=np.random.default_rng(3))
+    e2 = s2.make_excitation(rng=np.random.default_rng(3))
+    g1 = np.random.default_rng(0xDE7)
+    g2 = np.random.default_rng(0xDE7)
+    scalar = [s1.run_packet(float(snr), incident_power_dbm=-18.0,
+                            rng=g1, excitation=e1) for snr in snrs]
+    batched = s2.run_packets(snrs, incident_power_dbm=-18.0,
+                             rng=g2, excitation=e2)
+    assert batched == scalar
+
+
+def test_run_packets_explicit_tag_bits():
+    s1 = WifiBackscatterSession(seed=0, payload_bytes=128)
+    s2 = WifiBackscatterSession(seed=0, payload_bytes=128)
+    e1 = s1.make_excitation(rng=np.random.default_rng(3))
+    e2 = s2.make_excitation(rng=np.random.default_rng(3))
+    cap = s1.tag.capacity_bits(e1.info)
+    bits = [np.random.default_rng(i).integers(0, 2, cap).astype(np.uint8)
+            for i in range(4)]
+    snrs = [12.0, 9.0, 10.5, 8.0]
+    g1 = np.random.default_rng(5)
+    g2 = np.random.default_rng(5)
+    scalar = [s1.run_packet(snr, tag_bits=b, rng=g1, excitation=e1)
+              for snr, b in zip(snrs, bits)]
+    batched = s2.run_packets(snrs, tag_bits=bits, rng=g2, excitation=e2)
+    assert batched == scalar
+
+
+CONFIGS = {"wifi": WIFI_CONFIG, "zigbee": ZIGBEE_CONFIG, "ble": BLE_CONFIG}
+# Distances per radio: one comfortable, one near the range cliff.
+DISTANCES = {"wifi": (10.0, 40.0), "zigbee": (5.0, 25.0),
+             "ble": (2.0, 9.0)}
+
+
+@pytest.mark.parametrize("radio", sorted(CONFIGS))
+def test_linksim_batch_point_equals_scalar(radio):
+    dep = Deployment.los(1.0)
+    sim_scalar = LinkSimulator(CONFIGS[radio], dep, packets_per_point=6,
+                               seed=42, batch=False)
+    sim_batch = LinkSimulator(CONFIGS[radio], dep, packets_per_point=6,
+                              seed=42, batch=True)
+    for distance in DISTANCES[radio]:
+        p_scalar = sim_scalar.simulate_point(distance,
+                                             share_excitation=True)
+        p_batch = sim_batch.simulate_point(distance,
+                                           share_excitation=True)
+        assert p_batch == p_scalar  # LinkPoint.__eq__: exact, NaN-aware
+
+
+def test_linksim_no_delivery_nan_ber_identical():
+    # Far out of range: nothing delivers, BER is the NaN sentinel, and
+    # the two paths must still compare equal (NaN-aware __eq__).
+    dep = Deployment.los(1.0)
+    points = []
+    for batch in (False, True):
+        sim = LinkSimulator(WIFI_CONFIG, dep, packets_per_point=3,
+                            seed=11, batch=batch)
+        points.append(sim.simulate_point(500.0, share_excitation=True))
+    scalar_point, batch_point = points
+    assert np.isnan(scalar_point.ber) and np.isnan(batch_point.ber)
+    assert not scalar_point.ber_valid
+    assert batch_point == scalar_point
+    assert "n/a" in batch_point.row()

@@ -1,0 +1,99 @@
+"""Bench history bookkeeping: append, comparability, regression gate.
+
+These tests exercise :mod:`repro.bench.runner`'s trajectory logic with
+synthetic reports — no kernels are timed, so they are tier-1 fast.  The
+kernels themselves are covered by the CI smoke run (``repro bench
+--smoke``) and the differential tests.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchReport,
+    KernelResult,
+    compare_runs,
+    load_history,
+    update_history,
+)
+
+
+def _report(best_s=0.5, smoke=False, name="wifi.packets.scalar", work=16):
+    return BenchReport(
+        results=[KernelResult(name=name, best_s=best_s, mean_s=best_s,
+                              repeats=3, work=work)],
+        speedups={}, smoke=smoke)
+
+
+def test_load_history_missing_file(tmp_path):
+    history = load_history(str(tmp_path / "none.json"))
+    assert history == {"schema": 1, "runs": []}
+
+
+def test_load_history_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_history(str(path))
+
+
+def test_update_history_appends_with_increasing_sequence(tmp_path):
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.5))
+    update_history(path, _report(0.4))
+    history = load_history(path)
+    assert [run["sequence"] for run in history["runs"]] == [1, 2]
+    assert history["runs"][1]["kernels"]["wifi.packets.scalar"][
+        "best_s"] == 0.4
+
+
+def test_no_regression_within_tolerance(tmp_path):
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.50))
+    lines = compare_runs(load_history(path), _report(0.55), tolerance=0.20)
+    assert lines == []
+
+
+def test_regression_beyond_tolerance_reported(tmp_path):
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.50))
+    lines = compare_runs(load_history(path), _report(0.75), tolerance=0.20)
+    assert len(lines) == 1
+    assert "wifi.packets.scalar" in lines[0]
+    assert "1.50x" in lines[0]
+
+
+def test_smoke_and_full_runs_not_compared(tmp_path):
+    # A smoke run must not be judged against a full run's timings.
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.01, smoke=False))
+    lines = compare_runs(load_history(path), _report(9.0, smoke=True))
+    assert lines == []
+
+
+def test_different_work_sizes_not_compared(tmp_path):
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.01, work=4))
+    lines = compare_runs(load_history(path), _report(9.0, work=16))
+    assert lines == []
+
+
+def test_comparison_uses_latest_comparable_baseline(tmp_path):
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, _report(0.10))           # run 1
+    update_history(path, _report(0.50))           # run 2 (latest)
+    # 0.55 is within 20% of run 2 even though it is 5.5x run 1.
+    lines = compare_runs(load_history(path), _report(0.55))
+    assert lines == []
+
+
+def test_cli_parser_accepts_bench():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["bench", "--smoke", "--repeats", "2", "--tolerance", "0.5",
+         "--history", "x.json"])
+    assert args.command == "bench"
+    assert args.smoke and args.repeats == 2
+    assert args.tolerance == 0.5 and args.history == "x.json"
