@@ -35,6 +35,9 @@ _SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
     "zigbee.packets": ("zigbee.packets.scalar", "zigbee.packets.batched"),
     "ble.packets": ("ble.packets.scalar", "ble.packets.batched"),
     "wifi.viterbi": ("wifi.viterbi.scalar", "wifi.viterbi.batched"),
+    # Not a scalar/batched pair: the ratio is the cost of per-packet
+    # tracing on top of the same batched loop (>= 1, ideally ~1).
+    "wifi.trace_overhead": ("wifi.packets.traced", "wifi.packets.batched"),
 }
 
 
@@ -114,6 +117,33 @@ def _packet_loop_kernels(radio: str, n_packets: int,
             (f"{radio}.packets.batched", n_packets, batched)]
 
 
+def _traced_packet_kernels(n_packets: int, payload_bytes: Optional[int]
+                           ) -> List[Tuple[str, int, Callable[[], Any]]]:
+    """The batched WiFi loop with per-packet tracing enabled.
+
+    Paired with ``wifi.packets.batched`` in the report, the ratio is
+    the sampling-overhead contract of docs/benchmarking.md: tracing
+    every packet must stay within the same work envelope, and with
+    tracing *disabled* (every other kernel) the instrumentation is a
+    no-op branch.
+    """
+    from repro.core.session import WifiBackscatterSession
+    from repro.obs import TraceConfig
+
+    session = WifiBackscatterSession(
+        seed=0, **({} if payload_bytes is None
+                   else {"payload_bytes": payload_bytes}))
+    excitation = session.make_excitation(rng=np.random.default_rng(7))
+    snrs = list(np.linspace(6.0, 18.0, n_packets))
+
+    def traced() -> Any:
+        gen = np.random.default_rng(1234)
+        with obs.collect(trace=TraceConfig()):
+            return session.run_packets(snrs, rng=gen, excitation=excitation)
+
+    return [("wifi.packets.traced", n_packets, traced)]
+
+
 def _viterbi_kernels(n_blocks: int,
                      n_bits: int) -> List[Tuple[str, int, Callable[[], Any]]]:
     from repro.phy.wifi.convolutional import CODE_802_11
@@ -155,12 +185,14 @@ def _build_kernels(smoke: bool) -> List[Tuple[str, int, Callable[[], Any]]]:
         kernels = (_packet_loop_kernels("wifi", 4, 128)
                    + _packet_loop_kernels("zigbee", 4, None)
                    + _packet_loop_kernels("ble", 4, None)
+                   + _traced_packet_kernels(4, 128)
                    + _viterbi_kernels(4, 200)
                    + _shaping_kernels(64))
     else:
         kernels = (_packet_loop_kernels("wifi", 16, None)
                    + _packet_loop_kernels("zigbee", 16, None)
                    + _packet_loop_kernels("ble", 16, None)
+                   + _traced_packet_kernels(16, None)
                    + _viterbi_kernels(16, 400)
                    + _shaping_kernels(256))
     return kernels

@@ -24,7 +24,14 @@ Robustness and observability flags (sweep/mac):
 * ``--checkpoint sweep.jsonl`` journals completed points so a killed
   run resumes bit-identically;
 * ``--metrics-json PATH`` (or ``-`` for stdout) writes per-stage PHY
-  timers, retry counters, and per-task records.
+  timers, retry counters, and per-task records;
+* ``--metrics-prom PATH`` writes the same aggregates in Prometheus
+  text exposition format;
+* ``--trace PATH`` writes a JSONL trace (spans, retry/requeue events,
+  sampled per-packet decode forensics) keyed by the spec fingerprint,
+  with ``--trace-every-n`` / ``--trace-failures-only`` sampling knobs;
+* ``repro report`` renders a finished run (metrics record + trace +
+  checkpoint journal) into a text or markdown report.
 
 Radio choices come from the session registry
 (:mod:`repro.core.registry`) and the calibrated config table, so a
@@ -94,19 +101,46 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-json", metavar="PATH", default=None,
                         help="write stage timers / retry counters / "
                              "task records as JSON ('-' for stdout)")
+    parser.add_argument("--metrics-prom", metavar="PATH", default=None,
+                        help="write the same counters/timers/spans in "
+                             "Prometheus text exposition format")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL trace (spans, retry events, "
+                             "sampled per-packet forensics) keyed by the "
+                             "spec fingerprint")
+    parser.add_argument("--trace-every-n", type=_positive_int, default=1,
+                        metavar="N",
+                        help="sample every Nth packet event (default: "
+                             "all); stage counters stay exact")
+    parser.add_argument("--trace-failures-only", action="store_true",
+                        help="only record packet events for failed "
+                             "decode stages")
 
 
 def _engine_from_args(args):
+    from repro.obs import TraceConfig
     from repro.sim.engine import ExperimentEngine, FailurePolicy
 
     policy = FailurePolicy(mode=args.failure_policy.replace("-", "_"),
                            max_attempts=args.retries,
                            timeout_s=args.task_timeout)
-    return ExperimentEngine(n_jobs=args.jobs, failure_policy=policy)
+    trace = None
+    if (args.trace is not None or args.trace_every_n != 1
+            or args.trace_failures_only):
+        trace = TraceConfig(every_n=args.trace_every_n,
+                            failures_only=args.trace_failures_only)
+    return ExperimentEngine(n_jobs=args.jobs, failure_policy=policy,
+                            trace=trace)
 
 
-def _emit_metrics(result, dest: Optional[str]) -> None:
+def _emit_metrics(result, dest: Optional[str],
+                  prom_dest: Optional[str] = None) -> None:
     """Write a run's metrics record to *dest* ('-' = stdout)."""
+    if prom_dest is not None:
+        from repro.obs import prometheus_text
+
+        with open(prom_dest, "w") as fh:
+            fh.write(prometheus_text(result.metrics))
     if dest is None:
         return
     import json
@@ -186,8 +220,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="measure and print only; skip the history "
                             "file entirely")
 
+    report = sub.add_parser(
+        "report", help="render a finished run (metrics record, trace "
+                       "file, checkpoint journal) as text or markdown")
+    report.add_argument("--metrics-json", metavar="PATH", default=None,
+                        help="record written by a sweep's --metrics-json")
+    report.add_argument("--trace", metavar="PATH", default=None,
+                        help="JSONL trace written by a sweep's --trace")
+    report.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="checkpoint journal for the per-point "
+                             "stage breakdown")
+    report.add_argument("--format", dest="format",
+                        choices=["text", "markdown"], default="text")
+    report.add_argument("--top", type=_positive_int, default=10,
+                        help="spans shown in the slowest-spans table "
+                             "(default: %(default)s)")
+    report.add_argument("-o", "--output", metavar="PATH", default=None,
+                        help="write the report here instead of stdout")
+
     lint = sub.add_parser(
-        "lint", help="project static analysis (reprolint rules R001-R007)")
+        "lint", help="project static analysis (reprolint rules R001-R008)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories "
                            "(default: src tests benchmarks examples)")
@@ -216,8 +268,9 @@ def _cmd_sweep(args) -> int:
     spec = ExperimentSpec(config=cfg, deployment=dep,
                           distances_m=tuple(args.distances),
                           packets_per_point=args.packets, seed=args.seed)
-    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint)
-    _emit_metrics(result, args.metrics_json)
+    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint,
+                                         trace_path=args.trace)
+    _emit_metrics(result, args.metrics_json, args.metrics_prom)
     if args.json:
         print(result.to_json(indent=2))
         return 0 if result.ok else 2
@@ -256,8 +309,9 @@ def _cmd_mac(args) -> int:
                              measured_rounds=12,
                              simulated_rounds=args.rounds,
                              seed=args.seed)
-    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint)
-    _emit_metrics(result, args.metrics_json)
+    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint,
+                                         trace_path=args.trace)
+    _emit_metrics(result, args.metrics_json, args.metrics_prom)
     if args.json:
         print(result.to_json(indent=2))
         return 0 if result.ok else 2
@@ -328,6 +382,33 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from repro.obs.report import (
+        load_journal_rows,
+        load_metrics_record,
+        render_report,
+    )
+    from repro.obs.trace import read_trace
+
+    if not (args.metrics_json or args.trace or args.checkpoint):
+        print("error: report needs at least one of --metrics-json, "
+              "--trace, --checkpoint", file=sys.stderr)
+        return 2
+    record = (load_metrics_record(args.metrics_json)
+              if args.metrics_json else None)
+    trace = read_trace(args.trace) if args.trace else None
+    journal = (load_journal_rows(args.checkpoint)
+               if args.checkpoint else None)
+    text = render_report(record, trace, journal,
+                         fmt=args.format, top=args.top)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.tools.lint import main as lint_main
 
@@ -348,6 +429,7 @@ _COMMANDS = {
     "regime": _cmd_regime,
     "power": _cmd_power,
     "bench": _cmd_bench,
+    "report": _cmd_report,
     "lint": _cmd_lint,
 }
 

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro import obs
 from repro.channel.awgn import awgn_at_snr
+from repro.obs import forensics
 from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
 from repro.core.translation import (
     AlternatingPhaseTranslator,
@@ -126,6 +127,20 @@ class PacketDraw:
     result: Optional[SessionResult]     # early exit, else None
     noisy: Optional[np.ndarray] = None  # post-channel waveform to decode
     noise_var: float = 0.0              # receiver noise estimate (WiFi)
+    snr_db: float = 0.0                 # link SNR, for forensic events
+
+
+def _record_stage(obs_prefix: str, stage: str, snr_db: float,
+                  result: SessionResult) -> None:
+    """One forensic record per packet: the stage counter always, plus a
+    sampled per-packet trace event when the active registry is tracing.
+    Neither touches RNG or decode state, so scalar/batched outcomes stay
+    bit-identical with tracing on or off."""
+    obs.inc(f"{obs_prefix}.stage.{stage}")
+    obs.packet_event(obs_prefix, stage, snr_db=float(snr_db),
+                     delivered=result.delivered,
+                     bits=result.tag_bits_sent,
+                     errors=result.tag_bit_errors)
 
 
 class _BatchPacketMixin:
@@ -329,23 +344,27 @@ class WifiBackscatterSession(_BatchPacketMixin):
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return PacketDraw(excitation, 0, None,
-                              SessionResult(False, len(tag_bits),
-                                            len(tag_bits), frame.duration_us))
+            result = SessionResult(False, len(tag_bits), len(tag_bits),
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
 
         p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
                                      / self.sync_slope_db))
         if gen.random() > p_sync:
-            return PacketDraw(excitation, out.bits_sent, None,
-                              SessionResult(False, out.bits_sent,
-                                            out.bits_sent, frame.duration_us))
+            result = SessionResult(False, out.bits_sent, out.bits_sent,
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, out.bits_sent, None, result,
+                              snr_db=snr_db)
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
         noise_var = 10 ** (-snr_db / 10)
         return PacketDraw(excitation, out.bits_sent,
                           as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy, noise_var=max(noise_var, 1e-4))
+                          noisy=noisy, noise_var=max(noise_var, 1e-4),
+                          snr_db=snr_db)
 
     def _decode_scalar(self, draw: PacketDraw) -> Any:
         return self.receiver.decode(draw.noisy, noise_var=draw.noise_var)
@@ -359,8 +378,10 @@ class WifiBackscatterSession(_BatchPacketMixin):
         frame = draw.excitation.frame
         result = decoded
         if not result.header_ok or result.data_field_bits is None:
-            return SessionResult(False, draw.bits_sent, draw.bits_sent,
-                                 frame.duration_us)
+            out = SessionResult(False, draw.bits_sent, draw.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, result.stage, draw.snr_db, out)
+            return out
 
         rate = self.transmitter.rate
         if rate.n_bpsc <= 2:
@@ -392,7 +413,9 @@ class WifiBackscatterSession(_BatchPacketMixin):
             n = min(sent_bits.size, bits.size)
             errors = int(np.sum(sent_bits[:n] != bits[:n])) \
                 + (sent_bits.size - n)
-        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        out = SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, result.stage, draw.snr_db, out)
+        return out
 
 
 class ZigbeeBackscatterSession(_BatchPacketMixin):
@@ -480,15 +503,16 @@ class ZigbeeBackscatterSession(_BatchPacketMixin):
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return PacketDraw(excitation, 0, None,
-                              SessionResult(False, len(tag_bits),
-                                            len(tag_bits), frame.duration_us))
+            result = SessionResult(False, len(tag_bits), len(tag_bits),
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
         return PacketDraw(excitation, out.bits_sent,
                           as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy)
+                          noisy=noisy, snr_db=snr_db)
 
     def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
         noisy = draw.noisy
@@ -507,8 +531,10 @@ class ZigbeeBackscatterSession(_BatchPacketMixin):
     def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
         frame = draw.excitation.frame
         if not decoded.sfd_found:
-            return SessionResult(False, draw.bits_sent, draw.bits_sent,
-                                 frame.duration_us)
+            out = SessionResult(False, draw.bits_sent, draw.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, decoded.stage, draw.snr_db, out)
+            return out
 
         decoder = SymbolDiffTagDecoder(
             repetition=self.repetition,
@@ -516,7 +542,9 @@ class ZigbeeBackscatterSession(_BatchPacketMixin):
         tag_decode = decoder.decode(frame.symbols, decoded.symbols,
                                     n_tag_bits=draw.bits_sent)
         errors = tag_decode.errors_against(draw.sent_bits)
-        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        out = SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, decoded.stage, draw.snr_db, out)
+        return out
 
 
 class BleBackscatterSession(_BatchPacketMixin):
@@ -601,15 +629,16 @@ class BleBackscatterSession(_BatchPacketMixin):
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return PacketDraw(excitation, 0, None,
-                              SessionResult(False, len(tag_bits),
-                                            len(tag_bits), frame.duration_us))
+            result = SessionResult(False, len(tag_bits), len(tag_bits),
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
         return PacketDraw(excitation, out.bits_sent,
                           as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy)
+                          noisy=noisy, snr_db=snr_db)
 
     def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
         noisy = draw.noisy
@@ -633,8 +662,10 @@ class BleBackscatterSession(_BatchPacketMixin):
         sync_ok = bool(np.array_equal(rx_bits[:self._header_bits],
                                       frame.bits[:self._header_bits]))
         if not sync_ok:
-            return SessionResult(False, draw.bits_sent, draw.bits_sent,
-                                 frame.duration_us)
+            out = SessionResult(False, draw.bits_sent, draw.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, draw.snr_db, out)
+            return out
 
         decoder = XorTagDecoder(bits_per_unit=1,
                                 repetition=self.repetition,
@@ -643,7 +674,10 @@ class BleBackscatterSession(_BatchPacketMixin):
         tag_decode = decoder.decode(frame.bits, rx_bits,
                                     n_tag_bits=draw.bits_sent)
         errors = tag_decode.errors_against(draw.sent_bits)
-        return SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        out = SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        # Raw-bit tag link: no CRC stage, sync + demod succeeded.
+        _record_stage(self._obs, forensics.OK, draw.snr_db, out)
+        return out
 
 
 class DsssBackscatterSession:
@@ -724,16 +758,20 @@ class DsssBackscatterSession:
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return SessionResult(False, len(tag_bits), len(tag_bits),
-                                 frame.duration_us)
+            res = SessionResult(False, len(tag_bits), len(tag_bits),
+                                frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
+            return res
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
         with obs.timed(self._obs + ".decode"):
             result = self.receiver.decode(noisy, frame.n_bits)
         if not result.header_ok or result.bits is None:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
-                                 frame.duration_us)
+            res = SessionResult(False, out.bits_sent, out.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, result.stage, snr_db, res)
+            return res
 
         # The self-sync descrambler smears 7 bits forward into each span.
         decoder = XorTagDecoder(bits_per_unit=1,
@@ -743,7 +781,9 @@ class DsssBackscatterSession:
         decoded = decoder.decode(frame.bits, result.bits,
                                  n_tag_bits=out.bits_sent)
         errors = decoded.errors_against(tag_bits[:out.bits_sent])
-        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        res = SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, result.stage, snr_db, res)
+        return res
 
 
 class QuaternaryWifiSession:
@@ -843,14 +883,18 @@ class QuaternaryWifiSession:
                                        incident_power_dbm=incident_power_dbm,
                                        rng=gen)
         if not out.detected:
-            return SessionResult(False, len(tag_bits), len(tag_bits),
-                                 frame.duration_us)
+            res = SessionResult(False, len(tag_bits), len(tag_bits),
+                                frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
+            return res
 
         p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
                                      / self.sync_slope_db))
         if gen.random() > p_sync:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
-                                 frame.duration_us)
+            res = SessionResult(False, out.bits_sent, out.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
+            return res
 
         with obs.timed(self._obs + ".channel"):
             noisy = awgn_at_snr(out.samples, snr_db, gen)
@@ -859,8 +903,10 @@ class QuaternaryWifiSession:
                                           noise_var=max(10 ** (-snr_db / 10),
                                                         1e-4))
         if not result.header_ok or result.equalized_symbols is None:
-            return SessionResult(False, out.bits_sent, out.bits_sent,
-                                 frame.duration_us)
+            res = SessionResult(False, out.bits_sent, out.bits_sent,
+                                frame.duration_us)
+            _record_stage(self._obs, result.stage, snr_db, res)
+            return res
 
         reference = reference_symbol_matrix(frame)
         decoder = QuaternaryTagDecoder(repetition=self.repetition,
@@ -870,4 +916,6 @@ class QuaternaryWifiSession:
         sent = np.asarray(tag_bits[:out.bits_sent], dtype=np.uint8)
         n = min(sent.size, decoded.size)
         errors = int(np.sum(sent[:n] != decoded[:n])) + (sent.size - n)
-        return SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        res = SessionResult(True, out.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, result.stage, snr_db, res)
+        return res

@@ -10,6 +10,8 @@ readers: steer the frame size toward the estimated tag population
 
 from __future__ import annotations
 
+from repro import obs
+
 __all__ = ["SlotController"]
 
 # Expected number of tags involved in one colliding slot under Poisson
@@ -39,6 +41,13 @@ class SlotController:
         """Update the frame size from one round's outcome."""
         if min(singles, collisions, empties) < 0:
             raise ValueError("counts must be non-negative")
+        if singles:
+            obs.inc("mac.slots.singles", singles)
+        if collisions:
+            obs.inc("mac.slots.collisions", collisions)
+        if empties:
+            obs.inc("mac.slots.empties", empties)
+        obs.inc("mac.rounds")
         estimated_tags = singles + TAGS_PER_COLLISION * collisions
         target = max(self.min_slots,
                      min(self.max_slots, estimated_tags))

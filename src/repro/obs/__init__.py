@@ -1,4 +1,4 @@
-"""Observability: process-local metrics for the experiment stack.
+"""Observability: metrics, tracing, and decode forensics.
 
 See :mod:`repro.obs.metrics` for the design.  The common entry points
 are re-exported here so instrumentation sites can just::
@@ -6,18 +6,34 @@ are re-exported here so instrumentation sites can just::
     from repro import obs
     with obs.timed("phy.wifi.decode"): ...
     obs.inc("phy.wifi.packets")
+    with obs.span("engine.task", task=3): ...      # traced registries
+    obs.packet_event("phy.wifi", forensics.CRC_FAIL, snr_db=4.0)
+
+Submodules: :mod:`~repro.obs.forensics` (decode-stage taxonomy),
+:mod:`~repro.obs.trace` (JSONL trace sink), :mod:`~repro.obs.export`
+(Prometheus text exposition), :mod:`~repro.obs.report` (run reports).
 """
 
+from repro.obs import forensics
+from repro.obs.export import prometheus_text
 from repro.obs.metrics import (
     MetricsRegistry,
     TimerStat,
+    TraceConfig,
     collect,
+    event,
     global_registry,
     inc,
     observe,
+    packet_event,
     registry,
+    span,
     timed,
 )
+from repro.obs.report import render_report
+from repro.obs.trace import TraceSink, read_trace
 
-__all__ = ["MetricsRegistry", "TimerStat", "collect", "global_registry",
-           "inc", "observe", "registry", "timed"]
+__all__ = ["MetricsRegistry", "TimerStat", "TraceConfig", "TraceSink",
+           "collect", "event", "forensics", "global_registry", "inc",
+           "observe", "packet_event", "prometheus_text", "read_trace",
+           "registry", "render_report", "span", "timed"]

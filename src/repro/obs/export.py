@@ -1,0 +1,66 @@
+"""Prometheus-style text exposition of a metrics snapshot.
+
+Renders the plain-dict form of :meth:`MetricsRegistry.snapshot` into
+the text format scrape endpoints serve: counters become ``*_total``
+counters, timers and spans become ``_seconds`` summaries (count / sum
+plus min/max gauges).  Dotted metric names are flattened to the
+``[a-zA-Z0-9_]`` charset; span paths, which are hierarchical, ride in a
+``path`` label instead.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["prometheus_text"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(prefix: str, dotted: str, suffix: str = "") -> str:
+    name = _NAME_RE.sub("_", dotted)
+    return f"{prefix}_{name}{suffix}"
+
+
+def _fmt(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def _summary_lines(name: str, data: Mapping[str, Any],
+                   labels: str = "") -> List[str]:
+    lines = [f"# TYPE {name}_seconds summary",
+             f"{name}_seconds_count{labels} {int(data.get('count', 0))}",
+             f"{name}_seconds_sum{labels} "
+             f"{_fmt(float(data.get('total_s', 0.0)))}"]
+    min_s: Optional[float] = data.get("min_s")
+    if min_s is not None:
+        lines.append(f"# TYPE {name}_seconds_min gauge")
+        lines.append(f"{name}_seconds_min{labels} {_fmt(float(min_s))}")
+    lines.append(f"# TYPE {name}_seconds_max gauge")
+    lines.append(f"{name}_seconds_max{labels} "
+                 f"{_fmt(float(data.get('max_s', 0.0)))}")
+    return lines
+
+
+def prometheus_text(snapshot: Mapping[str, Any],
+                    prefix: str = "repro") -> str:
+    """Render *snapshot* (counters/timers/spans) as exposition text."""
+    lines: List[str] = []
+    counters: Dict[str, Any] = dict(snapshot.get("counters", {}))
+    for dotted in sorted(counters):
+        name = _metric_name(prefix, dotted, "_total")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {int(counters[dotted])}")
+    timers: Dict[str, Any] = dict(snapshot.get("timers", {}))
+    for dotted in sorted(timers):
+        lines.extend(_summary_lines(_metric_name(prefix, dotted),
+                                    timers[dotted]))
+    spans: Dict[str, Any] = dict(snapshot.get("spans", {}))
+    for path in sorted(spans):
+        labels = '{path="' + path.replace('"', "'") + '"}'
+        lines.extend(_summary_lines(f"{prefix}_span", spans[path],
+                                    labels=labels))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,51 @@
+"""Decode-forensics taxonomy: where a packet died.
+
+Every PHY receiver classifies each packet outcome into exactly one of
+the stages below — the first receive stage that failed, or ``OK``.  The
+stages form a pipeline ordered like the receive chain itself:
+
+========== =========================================================
+stage      meaning
+========== =========================================================
+sync_fail  preamble/SFD/access-address never detected (or an
+           envelope-detector miss / sync-probability gate in the
+           session before the receiver even ran)
+header_fail sync found but the PLCP SIGNAL / PHR header did not
+           decode (bad rate field, parity, length)
+fec_fail   header decoded but the data field could not be recovered
+           (truncated DATA symbols, de-interleave/Viterbi failure)
+crc_fail   bits recovered but the frame check sequence mismatched
+ok         frame delivered with a valid CRC (or, for raw-bit tag
+           links without a CRC, sync + demod succeeded)
+========== =========================================================
+
+Plain string constants — not an Enum — so the values format and
+serialize identically on every supported Python version and compare
+cheaply in hot paths.  ``STAGES`` is the stable, ordered vocabulary
+used by counters (``phy.<radio>.stage.<stage>``), trace events, and
+report renderers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["OK", "SYNC_FAIL", "HEADER_FAIL", "FEC_FAIL", "CRC_FAIL",
+           "STAGES", "stage_counter"]
+
+SYNC_FAIL = "sync_fail"
+HEADER_FAIL = "header_fail"
+FEC_FAIL = "fec_fail"
+CRC_FAIL = "crc_fail"
+OK = "ok"
+
+#: All stages in receive-chain order; ``ok`` last.
+STAGES: Tuple[str, ...] = (SYNC_FAIL, HEADER_FAIL, FEC_FAIL, CRC_FAIL, OK)
+
+
+def stage_counter(obs_prefix: str, stage: str) -> str:
+    """Counter name for one (radio, stage) cell, e.g.
+    ``phy.wifi.stage.crc_fail``."""
+    if stage not in STAGES:
+        raise ValueError(f"unknown decode stage {stage!r}")
+    return f"{obs_prefix}.stage.{stage}"

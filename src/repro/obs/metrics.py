@@ -29,6 +29,14 @@ Typical use::
     with obs.collect() as reg:       # isolate one task's metrics
         run_task()
     snapshot = reg.snapshot()        # {"counters": ..., "timers": ...}
+
+Tracing (spans + events) is opt-in per registry: pass a
+:class:`TraceConfig` to :func:`collect` (or the registry constructor)
+and :func:`span` / :func:`packet_event` start recording; with no trace
+config they are a dict lookup plus a ``None`` check — near-zero
+overhead, and no RNG or numerical state is touched either way.  Span
+durations aggregate by *path* ("parent/child"), so snapshots merge
+across worker processes exactly like counters and timers.
 """
 
 from __future__ import annotations
@@ -39,8 +47,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["TimerStat", "MetricsRegistry", "registry", "global_registry",
-           "collect", "timed", "inc", "observe"]
+from repro.obs import forensics
+
+__all__ = ["TimerStat", "TraceConfig", "MetricsRegistry", "registry",
+           "global_registry", "collect", "timed", "inc", "observe",
+           "span", "event", "packet_event"]
 
 
 @dataclass
@@ -68,31 +79,138 @@ class TimerStat:
         self.min_s = min(self.min_s, other.min_s)
         self.max_s = max(self.max_s, other.max_s)
 
-    def to_dict(self) -> Dict[str, float]:
+    def to_dict(self) -> Dict[str, Optional[float]]:
         return {
             "count": self.count,
             "total_s": self.total_s,
             "mean_s": self.mean_s,
-            # min is inf until the first observation; JSON needs a value.
-            "min_s": self.min_s if self.count else 0.0,
+            # min is inf until the first observation; JSON has no inf,
+            # so an empty timer serializes min as null.
+            "min_s": self.min_s if self.count else None,
             "max_s": self.max_s,
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, float]) -> "TimerStat":
+    def from_dict(cls, data: Dict[str, Any]) -> "TimerStat":
         stat = cls(count=int(data.get("count", 0)),
                    total_s=float(data.get("total_s", 0.0)),
                    max_s=float(data.get("max_s", 0.0)))
-        stat.min_s = float(data.get("min_s", 0.0)) if stat.count else math.inf
+        raw_min = data.get("min_s")
+        if stat.count and raw_min is not None:
+            stat.min_s = float(raw_min)
+        else:
+            stat.min_s = math.inf
         return stat
 
 
-class MetricsRegistry:
-    """A named bag of counters and timers."""
+@dataclass(frozen=True)
+class TraceConfig:
+    """Sampling knobs for trace events (spans and per-packet records).
 
-    def __init__(self) -> None:
+    A registry with a ``TraceConfig`` records spans and events; a
+    registry without one (the default) skips all trace work.  The
+    config is immutable and picklable so the engine can ship it to
+    worker processes alongside the task.
+
+    ``every_n`` keeps every N-th packet event (1 = all);
+    ``failures_only`` drops ``ok``-stage packet events entirely;
+    ``max_events`` caps the in-memory event buffer — past it events are
+    dropped and counted under ``trace.events.dropped``.  Stage
+    *counters* are unaffected by any of these knobs: sampling only
+    thins the per-packet JSONL stream.
+    """
+
+    every_n: int = 1
+    failures_only: bool = False
+    max_events: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.every_n < 1:
+            raise ValueError(f"every_n must be >= 1, got {self.every_n}")
+        if self.max_events < 0:
+            raise ValueError(
+                f"max_events must be >= 0, got {self.max_events}")
+
+
+class _SpanBase:
+    """Common no-op context-manager shape for spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_SpanBase":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+class _NoopSpan(_SpanBase):
+    """Returned when tracing is disabled; a shared, stateless singleton."""
+
+    __slots__ = ()
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span(_SpanBase):
+    """A live span: times a block and links to its parent via the
+    registry's span stack (path = "parent/child")."""
+
+    __slots__ = ("_registry", "_name", "_attrs", "_start", "_path")
+
+    _registry: "MetricsRegistry"
+    _name: str
+    _attrs: Dict[str, Any]
+    _start: float
+    _path: str
+
+    def __init__(self, registry: "MetricsRegistry", name: str,
+                 attrs: Dict[str, Any]) -> None:
+        self._registry = registry
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+        self._path = ""
+
+    def __enter__(self) -> "_Span":
+        reg = self._registry
+        reg._span_stack.append(self._name)
+        self._path = "/".join(reg._span_stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        dur = time.perf_counter() - self._start
+        reg = self._registry
+        if reg._span_stack and reg._span_stack[-1] == self._name:
+            reg._span_stack.pop()
+        stat = reg._spans.get(self._path)
+        if stat is None:
+            stat = reg._spans[self._path] = TimerStat()
+        stat.observe(dur)
+        payload: Dict[str, Any] = {"path": self._path, "dur_s": dur}
+        if self._attrs:
+            payload["attrs"] = dict(self._attrs)
+        reg._record_event("span", payload)
+
+
+class MetricsRegistry:
+    """A named bag of counters, timers, and (when tracing) spans/events."""
+
+    def __init__(self, trace: Optional[TraceConfig] = None) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._trace = trace
+        self._spans: Dict[str, TimerStat] = {}
+        self._span_stack: List[str] = []
+        self._events: List[Dict[str, Any]] = []
+        self._packet_seq = 0
+
+    @property
+    def trace(self) -> Optional[TraceConfig]:
+        """The trace config, or ``None`` when tracing is disabled."""
+        return self._trace
 
     # -- recording --------------------------------------------------------
 
@@ -113,6 +231,44 @@ class MetricsRegistry:
         finally:
             self.observe(name, time.perf_counter() - start)
 
+    def span(self, name: str, **attrs: Any) -> _SpanBase:
+        """Open a hierarchical span; a shared no-op when not tracing."""
+        if self._trace is None:
+            return _NOOP_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Append one structured trace event (no-op when not tracing)."""
+        if self._trace is None:
+            return
+        self._record_event(kind, dict(fields))
+
+    def packet_event(self, radio: str, stage: str, **fields: Any) -> None:
+        """Append a per-packet forensic event, honouring the sampling
+        knobs (``every_n`` / ``failures_only``).  No-op when not
+        tracing; never touches counters, RNG, or decode state."""
+        cfg = self._trace
+        if cfg is None:
+            return
+        self._packet_seq += 1
+        if cfg.failures_only and stage == forensics.OK:
+            return
+        if cfg.every_n > 1 and (self._packet_seq - 1) % cfg.every_n:
+            return
+        payload: Dict[str, Any] = {"radio": radio, "stage": stage,
+                                   "seq": self._packet_seq}
+        payload.update(fields)
+        self._record_event("packet", payload)
+
+    def _record_event(self, kind: str, fields: Dict[str, Any]) -> None:
+        cfg = self._trace
+        if cfg is not None and len(self._events) >= cfg.max_events:
+            self.inc("trace.events.dropped")
+            return
+        record: Dict[str, Any] = {"kind": kind}
+        record.update(fields)
+        self._events.append(record)
+
     # -- reading ----------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -121,17 +277,46 @@ class MetricsRegistry:
     def timer(self, name: str) -> Optional[TimerStat]:
         return self._timers.get(name)
 
+    def span_stat(self, path: str) -> Optional[TimerStat]:
+        """Aggregated stats for one span path ("parent/child")."""
+        return self._spans.get(path)
+
+    def span_paths(self) -> List[str]:
+        """All recorded span paths, sorted."""
+        return sorted(self._spans)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """A copy of the buffered trace events, in recording order."""
+        return [dict(e) for e in self._events]
+
     def snapshot(self) -> Dict[str, Any]:
-        """Plain-dict view (JSON-serializable, picklable)."""
-        return {
+        """Plain-dict view (JSON-serializable, picklable).
+
+        ``spans`` / ``events`` keys appear only when non-empty, so
+        untraced snapshots keep the historical two-key shape.
+        """
+        snap: Dict[str, Any] = {
             "counters": dict(self._counters),
             "timers": {k: v.to_dict() for k, v in self._timers.items()},
         }
+        if self._spans:
+            snap["spans"] = {k: v.to_dict() for k, v in self._spans.items()}
+        if self._events:
+            snap["events"] = [dict(e) for e in self._events]
+        return snap
 
     # -- combining --------------------------------------------------------
 
-    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]]) -> None:
-        """Fold another registry's :meth:`snapshot` into this one."""
+    def merge_snapshot(self, snapshot: Optional[Dict[str, Any]],
+                       span_prefix: Optional[str] = None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        *span_prefix*, when given, re-roots the incoming span tree under
+        an existing local path (the engine merges each worker's
+        ``engine.task`` spans under its own ``engine.run`` root, so the
+        aggregated tree is identical for any worker count).
+        """
         if not snapshot:
             return
         for name, value in snapshot.get("counters", {}).items():
@@ -142,10 +327,26 @@ class MetricsRegistry:
                 self._timers[name] = TimerStat.from_dict(data)
             else:
                 stat.merge(TimerStat.from_dict(data))
+        for name, data in snapshot.get("spans", {}).items():
+            path = f"{span_prefix}/{name}" if span_prefix else name
+            stat = self._spans.get(path)
+            if stat is None:
+                self._spans[path] = TimerStat.from_dict(data)
+            else:
+                stat.merge(TimerStat.from_dict(data))
+        for record in snapshot.get("events", []):
+            merged = dict(record)
+            if span_prefix and merged.get("kind") == "span":
+                merged["path"] = f"{span_prefix}/{merged['path']}"
+            self._events.append(merged)
 
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
+        self._spans.clear()
+        self._span_stack.clear()
+        self._events.clear()
+        self._packet_seq = 0
 
 
 # -- the active-registry stack --------------------------------------------
@@ -166,9 +367,14 @@ def global_registry() -> MetricsRegistry:
 
 
 @contextmanager
-def collect() -> Iterator[MetricsRegistry]:
-    """Route all recording inside the block into a fresh registry."""
-    reg = MetricsRegistry()
+def collect(trace: Optional[TraceConfig] = None
+            ) -> Iterator[MetricsRegistry]:
+    """Route all recording inside the block into a fresh registry.
+
+    Pass a :class:`TraceConfig` to also capture spans and per-packet
+    trace events for the duration of the block.
+    """
+    reg = MetricsRegistry(trace=trace)
     _STACK.append(reg)
     try:
         yield reg
@@ -211,3 +417,18 @@ def inc(name: str, n: int = 1) -> None:
 def observe(name: str, seconds: float) -> None:
     """Record one timer observation on the active registry."""
     registry().observe(name, seconds)
+
+
+def span(name: str, **attrs: Any) -> _SpanBase:
+    """Open a span on the active registry (shared no-op when untraced)."""
+    return registry().span(name, **attrs)
+
+
+def event(kind: str, **fields: Any) -> None:
+    """Append one trace event to the active registry (no-op untraced)."""
+    registry().event(kind, **fields)
+
+
+def packet_event(radio: str, stage: str, **fields: Any) -> None:
+    """Append a sampled per-packet forensic event (no-op untraced)."""
+    registry().packet_event(radio, stage, **fields)

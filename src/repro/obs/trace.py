@@ -1,0 +1,86 @@
+"""JSONL trace sink: durable, append-only event streams per run.
+
+One line per event, every line stamped with the owning run's
+``spec_fingerprint`` so multiple runs can share a file and a report can
+filter to one run — the same keying discipline as the engine's
+checkpoint journal.  Events are plain dicts (the registry's event
+buffer plus whatever the engine adds: task indices, retry/backoff
+records), written eagerly and flushed per line so a crashed run still
+leaves a readable prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
+
+__all__ = ["TraceSink", "read_trace"]
+
+
+class TraceSink:
+    """Append-only JSONL writer for trace events of one run."""
+
+    def __init__(self, path: str, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._n_written = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh = open(path, "a")
+
+    @property
+    def n_written(self) -> int:
+        return self._n_written
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Write one event, stamped with the run fingerprint."""
+        line: Dict[str, Any] = {"spec": self.fingerprint}
+        line.update(record)
+        self._fh.write(json.dumps(line, sort_keys=True) + "\n")
+        self._fh.flush()
+        self._n_written += 1
+
+    def write_all(self, records: List[Dict[str, Any]]) -> None:
+        for record in records:
+            self.write(record)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+
+def read_trace(path: str,
+               fingerprint: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load trace events from *path*, optionally filtered to one run.
+
+    Torn or non-JSON lines (a crash mid-write) are skipped, matching
+    the checkpoint journal's tolerance.
+    """
+    events: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return events
+    with open(path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if not isinstance(record, dict):
+                continue
+            if fingerprint is not None and record.get("spec") != fingerprint:
+                continue
+            events.append(record)
+    return events

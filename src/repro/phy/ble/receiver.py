@@ -13,6 +13,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import forensics
 from repro.phy.ble.frame import BleFrameBuilder
 from repro.phy.ble.gfsk import GfskModem
 
@@ -27,6 +28,8 @@ class BleDecodeResult:
     bits: Optional[np.ndarray]
     crc_ok: bool
     sync_ok: bool
+    # First receive stage that failed (forensics taxonomy), "ok" if none.
+    stage: str = forensics.OK
 
     @property
     def ok(self) -> bool:
@@ -81,7 +84,11 @@ class BleReceiver:
         payload, crc_ok = self._builder.parse_bits(bits)
         sync_ok = payload is not None
         if not sync_ok:
-            return BleDecodeResult(None, bits, False, False)
+            return BleDecodeResult(None, bits, False, False,
+                                   stage=forensics.SYNC_FAIL)
         if not crc_ok and not self.monitor_mode:
-            return BleDecodeResult(None, bits, False, True)
-        return BleDecodeResult(payload, bits, crc_ok, True)
+            return BleDecodeResult(None, bits, False, True,
+                                   stage=forensics.CRC_FAIL)
+        return BleDecodeResult(payload, bits, crc_ok, True,
+                               stage=(forensics.OK if crc_ok
+                                      else forensics.CRC_FAIL))

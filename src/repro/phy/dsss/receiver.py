@@ -8,6 +8,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs import forensics
 from repro.phy.dsss.barker import despread_symbols
 from repro.phy.dsss.frame import DsssFrameBuilder
 from repro.phy.dsss.scrambler import SelfSyncScrambler
@@ -22,6 +23,8 @@ class DsssDecodeResult:
     psdu: Optional[bytes]
     bits: Optional[np.ndarray]   # descrambled PPDU bit stream
     header_ok: bool
+    # First receive stage that failed (forensics taxonomy), "ok" if none.
+    stage: str = forensics.OK
 
     @property
     def ok(self) -> bool:
@@ -48,5 +51,6 @@ class DsssReceiver:
         bits = self.decode_bits(waveform, n_bits)
         psdu, ok = self._builder.parse_bits(bits)
         if not ok:
-            return DsssDecodeResult(None, bits, False)
+            return DsssDecodeResult(None, bits, False,
+                                    stage=forensics.HEADER_FAIL)
         return DsssDecodeResult(psdu, bits, True)

@@ -19,6 +19,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import forensics
 from repro.utils.bits import bits_to_bytes
 from repro.utils.crc import CRC32
 from repro.phy.wifi.scrambler import Scrambler, periodic_keystream
@@ -67,6 +68,8 @@ class WifiDecodeResult:
     evm: float = float("nan")
     data_field_bits: Optional[np.ndarray] = None  # SERVICE+PSDU+tail+pad
     equalized_symbols: Optional[np.ndarray] = None  # (n_sym, 48) post-EQ
+    # First receive stage that failed (forensics taxonomy), "ok" if none.
+    stage: str = forensics.OK
 
     @property
     def ok(self) -> bool:
@@ -151,7 +154,8 @@ class WifiReceiver:
         """Detect the frame start, then decode from there."""
         start = self.detect_start(samples)
         if start is None:
-            return WifiDecodeResult(None, None, None, False, False)
+            return WifiDecodeResult(None, None, None, False, False,
+                                    stage=forensics.SYNC_FAIL)
         return self.decode(samples[start:], noise_var=noise_var)
 
     # -- channel estimation -------------------------------------------------
@@ -185,19 +189,22 @@ class WifiReceiver:
                noise_var: float = 0.05) -> WifiDecodeResult:
         """Decode one frame whose STF starts at sample 0."""
         if samples.size < PREAMBLE_SAMPLES + 80:
-            return WifiDecodeResult(None, None, None, False, False)
+            return WifiDecodeResult(None, None, None, False, False,
+                                    stage=forensics.SYNC_FAIL)
 
         h_grid = self._estimate_channel(samples)
 
         header = self._decode_signal(samples, h_grid, noise_var)
         if header is None:
-            return WifiDecodeResult(None, None, None, False, False)
+            return WifiDecodeResult(None, None, None, False, False,
+                                    stage=forensics.HEADER_FAIL)
 
         n_sym = header.n_data_symbols
         data_start = PREAMBLE_SAMPLES + 80
         needed = data_start + n_sym * 80
         if samples.size < needed:
-            return WifiDecodeResult(header, None, None, False, True)
+            return WifiDecodeResult(header, None, None, False, True,
+                                    stage=forensics.FEC_FAIL)
 
         rate = header.rate
         const = rate.constellation
@@ -220,7 +227,8 @@ class WifiReceiver:
         try:
             psdu_bits = strip_service_and_tail(plain, header.length_bytes)
         except ValueError:
-            return WifiDecodeResult(header, None, None, False, True)
+            return WifiDecodeResult(header, None, None, False, True,
+                                    stage=forensics.FEC_FAIL)
         psdu = bits_to_bytes(psdu_bits)
 
         fcs_ok = False
@@ -228,12 +236,15 @@ class WifiReceiver:
             body, fcs = psdu[:-4], int.from_bytes(psdu[-4:], "little")
             fcs_ok = CRC32.verify(body, fcs)
         if not fcs_ok and not self.monitor_mode:
-            return WifiDecodeResult(header, None, None, False, True)
+            return WifiDecodeResult(header, None, None, False, True,
+                                    stage=forensics.CRC_FAIL)
 
         mean_evm = self._mean_evm(rx_eq, const)
         return WifiDecodeResult(header, psdu, psdu_bits, fcs_ok, True,
                                 evm=mean_evm, data_field_bits=plain,
-                                equalized_symbols=rx_eq)
+                                equalized_symbols=rx_eq,
+                                stage=(forensics.OK if fcs_ok
+                                       else forensics.CRC_FAIL))
 
     def decode_batch(self, waveforms: np.ndarray,
                      noise_vars: np.ndarray) -> List[WifiDecodeResult]:
@@ -256,7 +267,8 @@ class WifiReceiver:
         if n_b == 0:
             return []
         if wav.shape[1] < PREAMBLE_SAMPLES + 80:
-            return [WifiDecodeResult(None, None, None, False, False)
+            return [WifiDecodeResult(None, None, None, False, False,
+                                     stage=forensics.SYNC_FAIL)
                     for _ in range(n_b)]
 
         h_grids = self._estimate_channel_batch(wav)
@@ -269,11 +281,13 @@ class WifiReceiver:
         data_start = PREAMBLE_SAMPLES + 80
         for i, header in enumerate(headers):
             if header is None:
-                results[i] = WifiDecodeResult(None, None, None, False, False)
+                results[i] = WifiDecodeResult(None, None, None, False, False,
+                                              stage=forensics.HEADER_FAIL)
                 continue
             n_sym = header.n_data_symbols
             if wav.shape[1] < data_start + n_sym * 80:
-                results[i] = WifiDecodeResult(header, None, None, False, True)
+                results[i] = WifiDecodeResult(header, None, None, False, True,
+                                              stage=forensics.FEC_FAIL)
                 continue
             # Noise can corrupt a header, so frames are regrouped by
             # what was *decoded*, not by what was sent.
@@ -316,7 +330,8 @@ class WifiReceiver:
         try:
             psdu_bits = strip_service_and_tail(plain, header.length_bytes)
         except ValueError:
-            return WifiDecodeResult(header, None, None, False, True)
+            return WifiDecodeResult(header, None, None, False, True,
+                                    stage=forensics.FEC_FAIL)
         psdu = bits_to_bytes(psdu_bits)
 
         fcs_ok = False
@@ -324,12 +339,15 @@ class WifiReceiver:
             body, fcs = psdu[:-4], int.from_bytes(psdu[-4:], "little")
             fcs_ok = CRC32.verify(body, fcs)
         if not fcs_ok and not self.monitor_mode:
-            return WifiDecodeResult(header, None, None, False, True)
+            return WifiDecodeResult(header, None, None, False, True,
+                                    stage=forensics.CRC_FAIL)
 
         mean_evm = self._mean_evm(rx_eq, const)
         return WifiDecodeResult(header, psdu, psdu_bits, fcs_ok, True,
                                 evm=mean_evm, data_field_bits=plain,
-                                equalized_symbols=rx_eq)
+                                equalized_symbols=rx_eq,
+                                stage=(forensics.OK if fcs_ok
+                                       else forensics.CRC_FAIL))
 
     def _estimate_channel_batch(self, waveforms: np.ndarray) -> np.ndarray:
         """Batched :meth:`_estimate_channel`: (B, N) waveforms to a

@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import forensics
 from repro.phy.zigbee.chips import nearest_symbol_soft, nearest_symbols_soft
 from repro.phy.zigbee.frame import ZigbeeFrameBuilder
 from repro.phy.zigbee.oqpsk import OqpskModem
@@ -30,6 +31,8 @@ class ZigbeeDecodeResult:
     symbols: Optional[np.ndarray]
     fcs_ok: bool
     sfd_found: bool
+    # First receive stage that failed (forensics taxonomy), "ok" if none.
+    stage: str = forensics.OK
 
     @property
     def ok(self) -> bool:
@@ -129,7 +132,11 @@ class ZigbeeReceiver:
         payload, fcs_ok = self._builder.parse_symbols(symbols)
         sfd_found = payload is not None
         if not sfd_found:
-            return ZigbeeDecodeResult(None, symbols, False, False)
+            return ZigbeeDecodeResult(None, symbols, False, False,
+                                      stage=forensics.SYNC_FAIL)
         if not fcs_ok and not self.monitor_mode:
-            return ZigbeeDecodeResult(None, symbols, False, True)
-        return ZigbeeDecodeResult(payload, symbols, fcs_ok, True)
+            return ZigbeeDecodeResult(None, symbols, False, True,
+                                      stage=forensics.CRC_FAIL)
+        return ZigbeeDecodeResult(payload, symbols, fcs_ok, True,
+                                  stage=(forensics.OK if fcs_ok
+                                         else forensics.CRC_FAIL))

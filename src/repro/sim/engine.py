@@ -51,7 +51,15 @@ Observability
 -------------
 Workers time the PHY stages (``phy.<radio>.encode/channel/decode`` via
 :mod:`repro.obs`) and the engine folds those snapshots, task
-durations, and retry counters into :attr:`RunResult.metrics`.
+durations, and retry counters into :attr:`RunResult.metrics`.  With
+tracing enabled (``trace=TraceConfig(...)`` or ``run(...,
+trace_path=...)``) every worker also records hierarchical spans
+(``engine.task`` wrapping the PHY work) and sampled per-packet
+forensic events; the engine re-roots each worker's span tree under its
+own ``engine.run`` span, so the aggregated tree is identical for any
+worker count, and streams every event — including its own
+``engine.retry`` / ``engine.requeue`` records — to a JSONL
+:class:`~repro.obs.trace.TraceSink` keyed by the spec fingerprint.
 
 Typical use::
 
@@ -87,7 +95,8 @@ import numpy as np
 from repro.channel.geometry import Deployment
 from repro.channel.pathloss import PathLossModel
 from repro.mac.aloha import AlohaConfig
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, TraceConfig
+from repro.obs.trace import TraceSink
 from repro.sim.config import RadioConfig
 
 __all__ = ["ExperimentSpec", "MacExperimentSpec", "RunResult", "TaskRecord",
@@ -383,6 +392,9 @@ class TaskRecord:
     error: Optional[str] = None
     resumed: bool = False
     spawn_key: Tuple[int, ...] = ()
+    # Decode-forensics breakdown for this task's packets: stage -> count
+    # (see repro.obs.forensics).  Empty for MAC sweeps and failed tasks.
+    stage_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -398,7 +410,21 @@ class TaskRecord:
             "error": self.error,
             "resumed": self.resumed,
             "spawn_key": list(self.spawn_key),
+            "stage_counts": dict(self.stage_counts),
         }
+
+
+def _stage_counts_from(snapshot: Optional[Dict[str, Any]]) -> Dict[str, int]:
+    """Extract one task's per-stage packet breakdown from its metrics
+    snapshot (the ``phy.<radio>.stage.<stage>`` counters)."""
+    out: Dict[str, int] = {}
+    if not snapshot:
+        return out
+    for name, value in snapshot.get("counters", {}).items():
+        if name.startswith("phy.") and ".stage." in name:
+            stage = name.rsplit(".stage.", 1)[1]
+            out[stage] = out.get(stage, 0) + int(value)
+    return out
 
 
 @dataclass
@@ -482,11 +508,12 @@ class CheckpointJournal:
         self._kind = "mac_sweep" if isinstance(spec, MacExperimentSpec) \
             else "link_sweep"
 
-    def load(self) -> Dict[int, Any]:
-        """Completed ``{task index: point}`` entries for this spec."""
-        points: Dict[int, Any] = {}
+    def load_entries(self) -> Dict[int, Dict[str, Any]]:
+        """Completed raw journal rows for this spec, keyed by task index
+        (last write wins, matching :meth:`load`)."""
+        entries: Dict[int, Dict[str, Any]] = {}
         if not self.path.exists():
-            return points
+            return entries
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
@@ -499,8 +526,13 @@ class CheckpointJournal:
                     or rec.get("status") != "ok"
                     or rec.get("point") is None):
                 continue
-            points[int(rec["index"])] = self._point_from(rec["point"])
-        return points
+            entries[int(rec["index"])] = rec
+        return entries
+
+    def load(self) -> Dict[int, Any]:
+        """Completed ``{task index: point}`` entries for this spec."""
+        return {i: self._point_from(rec["point"])
+                for i, rec in self.load_entries().items()}
 
     def append(self, record: TaskRecord, point: Any) -> None:
         rec = {
@@ -511,6 +543,7 @@ class CheckpointJournal:
             "attempts": record.attempts,
             "duration_s": record.duration_s,
             "error": record.error,
+            "stage_counts": dict(record.stage_counts),
             # json allows the NaN token by default and loads it back as
             # float('nan'), so the BER sentinel survives a round trip.
             "point": dataclasses.asdict(point) if point is not None else None,
@@ -575,18 +608,20 @@ def _run_mac_point(spec: MacExperimentSpec, n_tags: int,
 
 def _execute_task(spec: Spec, task, seed_seq: np.random.SeedSequence,
                   task_index: int, attempt: int,
-                  injector: Optional[FaultInjector]):
+                  injector: Optional[FaultInjector],
+                  trace: Optional[TraceConfig] = None):
     """One attempt of one task: returns (point, metrics snapshot, dur)."""
     from repro import obs
 
     start = time.perf_counter()
-    with obs.collect() as reg:
-        if injector is not None:
-            injector.apply(task_index, attempt)
-        if isinstance(spec, ExperimentSpec):
-            point = _run_link_point(spec, task, seed_seq)
-        else:
-            point = _run_mac_point(spec, task, seed_seq)
+    with obs.collect(trace=trace) as reg:
+        with reg.span("engine.task", task=task_index, attempt=attempt):
+            if injector is not None:
+                injector.apply(task_index, attempt)
+            if isinstance(spec, ExperimentSpec):
+                point = _run_link_point(spec, task, seed_seq)
+            else:
+                point = _run_mac_point(spec, task, seed_seq)
     return point, reg.snapshot(), time.perf_counter() - start
 
 
@@ -612,11 +647,15 @@ class ExperimentEngine:
         ``fail_fast`` with no retries (the historical behaviour).
     fault_injector:
         Deterministic test hook; see :class:`FaultInjector`.
+    trace:
+        Span/event recording config (see :class:`repro.obs.TraceConfig`);
+        ``None`` (default) disables tracing entirely.
     """
 
     def __init__(self, n_jobs: Optional[int] = 1,
                  failure_policy: Optional[FailurePolicy] = None,
-                 fault_injector: Optional[FaultInjector] = None):
+                 fault_injector: Optional[FaultInjector] = None,
+                 trace: Optional[TraceConfig] = None):
         if n_jobs is None:
             n_jobs = default_n_jobs()
         if n_jobs < 1:
@@ -624,15 +663,21 @@ class ExperimentEngine:
         self.n_jobs = int(n_jobs)
         self.failure_policy = failure_policy or FailurePolicy()
         self.fault_injector = fault_injector
+        self.trace = trace
 
     def run(self, spec: Spec,
-            checkpoint: Optional[Union[str, os.PathLike]] = None
+            checkpoint: Optional[Union[str, os.PathLike]] = None,
+            trace_path: Optional[Union[str, os.PathLike]] = None
             ) -> RunResult:
         """Execute one spec and return its points plus metadata.
 
         With *checkpoint*, completed points are journaled to (and
         resumed from) the given JSONL path; see
-        :class:`CheckpointJournal`.
+        :class:`CheckpointJournal`.  With *trace_path*, every trace
+        event of the run (worker spans, sampled packet forensics,
+        engine retry/requeue records) is appended to that JSONL file
+        keyed by the spec fingerprint; giving a path with no ``trace``
+        config enables tracing with default sampling.
         """
         if isinstance(spec, ExperimentSpec):
             tasks = spec.distances_m
@@ -643,31 +688,46 @@ class ExperimentEngine:
         else:
             raise TypeError(f"unsupported spec type {type(spec).__name__}")
 
+        trace_cfg = self.trace
+        if trace_path is not None and trace_cfg is None:
+            trace_cfg = TraceConfig()
+        fingerprint = spec_fingerprint(spec)
+
         children = np.random.SeedSequence(spec.seed).spawn(len(tasks))
         journal = CheckpointJournal(checkpoint, spec) if checkpoint else None
-        metrics = MetricsRegistry()
+        metrics = MetricsRegistry(trace=trace_cfg)
         points: List[Any] = [None] * len(tasks)
         records: List[Optional[TaskRecord]] = [None] * len(tasks)
 
-        resumed = journal.load() if journal else {}
-        for i, point in resumed.items():
+        resumed = journal.load_entries() if journal else {}
+        for i, entry in resumed.items():
             if not 0 <= i < len(tasks):
                 continue
-            points[i] = point
+            points[i] = journal._point_from(entry["point"])
             records[i] = TaskRecord(index=i, task=tasks[i], status="ok",
                                     attempts=0, duration_s=0.0, resumed=True,
-                                    spawn_key=tuple(children[i].spawn_key))
+                                    spawn_key=tuple(children[i].spawn_key),
+                                    stage_counts=dict(
+                                        entry.get("stage_counts") or {}))
             metrics.inc("engine.tasks.resumed")
         pending = [i for i in range(len(tasks)) if records[i] is None]
 
         start = time.perf_counter()
-        if pending:
-            if self.n_jobs == 1 or len(pending) == 1:
-                self._run_inline(spec, tasks, children, pending,
-                                 points, records, journal, metrics)
-            else:
-                self._run_pool(spec, tasks, children, pending,
-                               points, records, journal, metrics)
+        try:
+            with metrics.span("engine.run", spec=fingerprint,
+                              n_tasks=len(tasks), n_jobs=self.n_jobs):
+                if pending:
+                    if self.n_jobs == 1 or len(pending) == 1:
+                        self._run_inline(spec, tasks, children, pending,
+                                         points, records, journal, metrics)
+                    else:
+                        self._run_pool(spec, tasks, children, pending,
+                                       points, records, journal, metrics)
+        finally:
+            # Even an aborted (fail_fast) run leaves its forensics behind.
+            if trace_path is not None:
+                with TraceSink(os.fspath(trace_path), fingerprint) as sink:
+                    sink.write_all(metrics.events)
         wall = time.perf_counter() - start
 
         task_records = [r for r in records if r is not None]
@@ -688,7 +748,14 @@ class ExperimentEngine:
         """Record one task's final outcome (after all its attempts)."""
         points[record.index] = point
         records[record.index] = record
-        metrics.merge_snapshot(snapshot)
+        record.stage_counts = _stage_counts_from(snapshot)
+        if snapshot:
+            # Stamp worker events with their task before folding them in,
+            # and re-root worker spans under this run's own span — the
+            # aggregated tree is then invariant to the worker count.
+            for ev in snapshot.get("events", []):
+                ev.setdefault("task", record.index)
+        metrics.merge_snapshot(snapshot, span_prefix="engine.run")
         metrics.inc(f"engine.tasks.{record.status}")
         metrics.observe("engine.task", record.duration_s)
         if journal is not None:
@@ -718,7 +785,7 @@ class ExperimentEngine:
                 try:
                     point, snap, dur = _execute_task(
                         spec, tasks[i], children[i], i, attempt,
-                        self.fault_injector)
+                        self.fault_injector, metrics.trace)
                     status, error = self._classify(dur)
                     if status != "ok":
                         point, snap = None, None
@@ -742,6 +809,9 @@ class ExperimentEngine:
                     break
                 metrics.inc("engine.retries")
                 backoff = policy.backoff_s(attempt)
+                metrics.event("engine.retry", task=i, attempt=attempt,
+                              status=status, error=error,
+                              backoff_s=backoff)
                 if backoff:
                     time.sleep(backoff)
                 attempt += 1
@@ -823,7 +893,7 @@ class ExperimentEngine:
                 try:
                     fut = current.submit(_execute_task, spec, tasks[i],
                                          children[i], i, attempt,
-                                         self.fault_injector)
+                                         self.fault_injector, metrics.trace)
                 except (RuntimeError, OSError):
                     # BrokenProcessPool (a RuntimeError) after a crashed
                     # worker, or a dead pipe: replace the pool and
@@ -844,8 +914,10 @@ class ExperimentEngine:
                            error: str, dur: float) -> None:
             if attempt < policy.max_attempts:
                 metrics.inc("engine.retries")
-                ready.append((i, attempt + 1,
-                              time.perf_counter() + policy.backoff_s(attempt)))
+                backoff = policy.backoff_s(attempt)
+                metrics.event("engine.retry", task=i, attempt=attempt,
+                              status=status, error=error, backoff_s=backoff)
+                ready.append((i, attempt + 1, time.perf_counter() + backoff))
                 return
             record = TaskRecord(index=i, task=tasks[i], status=status,
                                 attempts=attempt, duration_s=dur,
@@ -886,6 +958,8 @@ class ExperimentEngine:
                             # timeout.
                             release(fut)
                             metrics.inc("engine.tasks.requeued")
+                            metrics.event("engine.requeue", task=i,
+                                          attempt=attempt)
                             ready.append((i, attempt, now))
                         elif fut.done():
                             # Completed between wait() and here; the next
@@ -945,8 +1019,11 @@ class ExperimentEngine:
 
 def run_experiment(spec: Spec, n_jobs: Optional[int] = 1,
                    failure_policy: Optional[FailurePolicy] = None,
-                   checkpoint: Optional[Union[str, os.PathLike]] = None
+                   checkpoint: Optional[Union[str, os.PathLike]] = None,
+                   trace: Optional[TraceConfig] = None,
+                   trace_path: Optional[Union[str, os.PathLike]] = None
                    ) -> RunResult:
     """One-shot convenience wrapper around :class:`ExperimentEngine`."""
-    engine = ExperimentEngine(n_jobs=n_jobs, failure_policy=failure_policy)
-    return engine.run(spec, checkpoint=checkpoint)
+    engine = ExperimentEngine(n_jobs=n_jobs, failure_policy=failure_policy,
+                              trace=trace)
+    return engine.run(spec, checkpoint=checkpoint, trace_path=trace_path)

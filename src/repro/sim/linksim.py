@@ -27,6 +27,7 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.channel.geometry import Deployment
 from repro.core.registry import session_from_config
 from repro.sim.config import RadioConfig
@@ -132,6 +133,14 @@ class LinkSimulator:
             Statistically equivalent (tag bits, fading, sync and noise
             still vary per packet) and much faster.
         """
+        with obs.span("sim.point", distance_m=float(distance_m),
+                      packets=self.packets_per_point):
+            return self._simulate_point(distance_m, rng=rng,
+                                        share_excitation=share_excitation)
+
+    def _simulate_point(self, distance_m: float, *,
+                        rng: Optional[np.random.Generator],
+                        share_excitation: bool) -> LinkPoint:
         gen = self._rng if rng is None else make_rng(rng)
         dep = self.deployment.with_rx_distance(distance_m)
         mean_rssi = self.budget.rssi_dbm(dep)

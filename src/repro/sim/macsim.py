@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.mac.aloha import AlohaConfig, FramedSlottedAloha, TdmScheme
 from repro.utils.rng import derive_seed, make_rng
 
@@ -62,12 +63,13 @@ class MacExperiment:
         per-point spawned generator so points are independent of
         execution order.
         """
-        measured = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
-            .simulate(n_tags, n_rounds=self.measured_rounds)
-        simulated = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
-            .simulate(n_tags, n_rounds=self.simulated_rounds)
-        tdm = TdmScheme(self.config, seed=self._seed(rng)) \
-            .simulate(n_tags, n_rounds=self.simulated_rounds)
+        with obs.span("mac.point", n_tags=int(n_tags)):
+            measured = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
+                .simulate(n_tags, n_rounds=self.measured_rounds)
+            simulated = FramedSlottedAloha(self.config, seed=self._seed(rng)) \
+                .simulate(n_tags, n_rounds=self.simulated_rounds)
+            tdm = TdmScheme(self.config, seed=self._seed(rng)) \
+                .simulate(n_tags, n_rounds=self.simulated_rounds)
         return MacExperimentPoint(
             n_tags=n_tags,
             measured_kbps=measured.aggregate_throughput_kbps,

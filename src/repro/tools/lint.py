@@ -27,6 +27,11 @@ R006   no bare ``except:``; a broad ``except Exception`` must re-raise,
 R007   engine specs and worker payloads stay pickleable: no lambdas in
        ``ExperimentSpec``/``MacExperimentSpec`` construction, executor
        ``submit(...)`` calls, or ``*Spec`` class field defaults
+R008   no direct monotonic-clock reads (``time.perf_counter``, ...) in
+       instrumented modules (files under a ``repro/`` tree) — time
+       through :mod:`repro.obs` (``obs.timed`` / ``obs.span``) so every
+       measurement lands in the registry; ``repro/obs`` itself and the
+       engine's pool-timeout plumbing are allowlisted
 =====  ==================================================================
 
 Suppression: append ``# reprolint: disable=R00X`` (comma-separate for
@@ -121,6 +126,14 @@ RULES: Dict[str, Rule] = {r.id: r for r in (
          "boundaries.  Lambdas, closures, and local classes do not "
          "pickle, so they fail only when n_jobs > 1 — long after the "
          "code looked correct inline."),
+    Rule("R008", "obs-owns-the-clock",
+         "no direct monotonic-clock reads in instrumented modules",
+         "Ad-hoc time.perf_counter() timing in repro/ modules bypasses "
+         "the metrics registry: the measurement is invisible to "
+         "snapshots, traces, and reports, and cannot be merged across "
+         "workers.  Time through obs.timed()/obs.span() instead; "
+         "repro/obs (the implementation) and the engine's pool-timeout "
+         "bookkeeping are allowlisted."),
 )}
 
 
@@ -230,6 +243,12 @@ _HANDLED_HINTS = ("log", "warn", "error", "exception", "critical",
                   "print", "inc", "observe", "record", "fail",
                   "debug", "info")
 
+# Monotonic-clock reads that bypass the metrics registry (R008).
+_MONOTONIC_CLOCKS = {
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns",
+}
+
 # Per-rule path allowlists.  Entries ending in "/" match directories
 # anywhere on the path; other entries match path suffixes.
 _PATH_ALLOW: Dict[str, Tuple[str, ...]] = {
@@ -238,6 +257,16 @@ _PATH_ALLOW: Dict[str, Tuple[str, ...]] = {
     # Observability and the engine's timing plumbing measure wall time
     # by design; results never depend on the values.
     "R002": ("repro/obs/", "repro/sim/engine.py"),
+    # repro/obs implements the timers; the engine's pool deadlines and
+    # retry backoff need raw monotonic arithmetic, not a TimerStat.
+    "R008": ("repro/obs/", "repro/sim/engine.py"),
+}
+
+# Rules that only apply inside certain trees (opt-in scope).  Entries
+# are directory components: "repro/" scopes a rule to project modules,
+# leaving scripts, benchmarks, and scratch code alone.
+_PATH_ONLY: Dict[str, Tuple[str, ...]] = {
+    "R008": ("repro/",),
 }
 
 
@@ -251,6 +280,14 @@ def _path_allowed(path: str, rule_id: str) -> bool:
         elif haystack.endswith("/" + pat) or haystack.endswith(pat):
             return True
     return False
+
+
+def _path_in_scope(path: str, rule_id: str) -> bool:
+    patterns = _PATH_ONLY.get(rule_id)
+    if patterns is None:  # most rules apply everywhere
+        return True
+    haystack = "/" + path.replace("\\", "/") + "/"
+    return any("/" + pat in haystack for pat in patterns)
 
 
 # -- the AST checker -------------------------------------------------------
@@ -283,6 +320,8 @@ class _Checker(ast.NodeVisitor):
     # -- plumbing ---------------------------------------------------------
 
     def _flag(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if not _path_in_scope(self.path, rule_id):
+            return
         if _path_allowed(self.path, rule_id):
             return
         self.findings.append(Finding(
@@ -333,6 +372,11 @@ class _Checker(ast.NodeVisitor):
                            f"wall-clock read {canon}() in result-affecting "
                            f"code; use time.perf_counter for measuring, or "
                            f"pass timestamps in explicitly")
+            if canon in _MONOTONIC_CLOCKS:
+                self._flag("R008", node,
+                           f"direct {canon}() in an instrumented module "
+                           f"bypasses the metrics registry; time through "
+                           f"obs.timed() / obs.span()")
         self._check_nan_aggregation(node)
         self._check_pickle_call(node)
         self.generic_visit(node)

@@ -26,7 +26,14 @@ class TestTimerStat:
     def test_empty_dict_form_has_no_inf(self):
         d = TimerStat().to_dict()
         assert d["count"] == 0
-        assert d["min_s"] == 0.0  # inf sentinel never leaks into JSON
+        assert d["min_s"] is None  # inf sentinel never leaks into JSON
+
+    def test_empty_round_trip_restores_inf_sentinel(self):
+        # min_s serializes as null when empty, and from_dict restores
+        # the inf sentinel so merges keep taking a true minimum.
+        stat = TimerStat.from_dict(TimerStat().to_dict())
+        stat.observe(0.5)
+        assert stat.min_s == pytest.approx(0.5)
 
     def test_merge(self):
         a, b = TimerStat(), TimerStat()

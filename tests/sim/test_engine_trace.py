@@ -1,0 +1,168 @@
+"""Engine tracing tests: worker-count-invariant span aggregation,
+trace-file output, retry/requeue events, per-task stage counts in
+checkpoint journals, and bit-identity of results with tracing on."""
+
+import json
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.obs import TraceConfig, forensics, read_trace
+from repro.sim.config import BLE_CONFIG, ZIGBEE_CONFIG
+from repro.sim.engine import (
+    ExperimentEngine,
+    ExperimentSpec,
+    FailurePolicy,
+    FaultInjector,
+    spec_fingerprint,
+)
+
+
+def _small_spec(config, payload_bytes, distances=(2.0, 30.0), packets=2,
+                seed=7):
+    return ExperimentSpec(config=config.replace(payload_bytes=payload_bytes),
+                          deployment=Deployment.los(1.0),
+                          distances_m=distances,
+                          packets_per_point=packets, seed=seed)
+
+
+def _span_counts(metrics):
+    return {path: stat["count"]
+            for path, stat in metrics.get("spans", {}).items()}
+
+
+class TestWorkerInvariance:
+    def test_span_tree_and_counters_match_across_worker_counts(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        trace = TraceConfig()
+        serial = ExperimentEngine(n_jobs=1, trace=trace).run(spec)
+        parallel = ExperimentEngine(n_jobs=4, trace=trace).run(spec)
+        assert serial.points == parallel.points
+        assert _span_counts(serial.metrics) == _span_counts(parallel.metrics)
+
+        def result_counters(metrics):
+            # Cache-hit counters depend on process layout (a reused
+            # worker keeps its frame LRU warm); results never do.
+            return {k: v for k, v in metrics["counters"].items()
+                    if not k.endswith("_cached")}
+
+        assert result_counters(serial.metrics) \
+            == result_counters(parallel.metrics)
+
+    def test_span_paths_are_rerooted_under_engine_run(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        result = ExperimentEngine(n_jobs=2, trace=TraceConfig()).run(spec)
+        counts = _span_counts(result.metrics)
+        assert counts["engine.run"] == 1
+        assert counts["engine.run/engine.task"] == 2
+        assert counts["engine.run/engine.task/sim.point"] == 2
+
+    def test_packet_events_match_across_worker_counts(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        trace = TraceConfig()
+
+        def packet_events(result):
+            events = [e for e in result.metrics.get("events", [])
+                      if e["kind"] == "packet"]
+            # Arrival order differs between worker counts; content
+            # (task, seq within task, stage) must not.
+            return sorted((e["task"], e["seq"], e["stage"], e["snr_db"])
+                          for e in events)
+
+        serial = ExperimentEngine(n_jobs=1, trace=trace).run(spec)
+        parallel = ExperimentEngine(n_jobs=4, trace=trace).run(spec)
+        assert packet_events(serial) == packet_events(parallel)
+        assert len(packet_events(serial)) == 4  # 2 points x 2 packets
+
+    def test_tracing_does_not_change_points(self):
+        spec = _small_spec(BLE_CONFIG, 40)
+        plain = ExperimentEngine(n_jobs=1).run(spec)
+        traced = ExperimentEngine(n_jobs=1, trace=TraceConfig()).run(spec)
+        assert plain.points == traced.points
+
+    def test_untraced_run_has_no_span_or_event_keys(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        result = ExperimentEngine(n_jobs=1).run(spec)
+        assert "spans" not in result.metrics
+        assert "events" not in result.metrics
+
+
+class TestTraceFile:
+    def test_trace_path_writes_fingerprinted_jsonl(self, tmp_path):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        path = tmp_path / "trace.jsonl"
+        result = ExperimentEngine(n_jobs=2, trace=TraceConfig()).run(
+            spec, trace_path=str(path))
+        records = read_trace(str(path))
+        assert records, "trace file is empty"
+        fingerprint = spec_fingerprint(spec)
+        assert all(r["spec"] == fingerprint for r in records)
+        kinds = {r["kind"] for r in records}
+        assert {"span", "packet"} <= kinds
+        # The file carries exactly what the merged registry holds.
+        assert len(records) == len(result.metrics["events"])
+
+    def test_trace_path_alone_enables_tracing(self, tmp_path):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        path = tmp_path / "trace.jsonl"
+        ExperimentEngine(n_jobs=1).run(spec, trace_path=str(path))
+        assert read_trace(str(path))
+
+
+class TestRetryEvents:
+    def test_inline_retry_recorded_as_event(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24, distances=(2.0,))
+        engine = ExperimentEngine(
+            n_jobs=1,
+            failure_policy=FailurePolicy(mode="degrade", max_attempts=2),
+            fault_injector=FaultInjector(fail={0: 1}),
+            trace=TraceConfig())
+        result = engine.run(spec)
+        assert result.metrics["counters"]["engine.retries"] == 1
+        retries = [e for e in result.metrics["events"]
+                   if e["kind"] == "engine.retry"]
+        assert len(retries) == 1
+        assert retries[0]["task"] == 0
+        assert retries[0]["attempt"] == 1
+        assert "injected fault" in retries[0]["error"]
+
+    def test_pool_retry_recorded_as_event(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24, distances=(2.0, 30.0))
+        engine = ExperimentEngine(
+            n_jobs=2,
+            failure_policy=FailurePolicy(mode="degrade", max_attempts=2),
+            fault_injector=FaultInjector(fail={1: 1}),
+            trace=TraceConfig())
+        result = engine.run(spec)
+        retries = [e for e in result.metrics["events"]
+                   if e["kind"] == "engine.retry"]
+        assert [e["task"] for e in retries] == [1]
+        assert result.points[1] is not None  # retry recovered the point
+
+
+class TestStageCountsInJournal:
+    def test_task_records_carry_stage_counts(self):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        result = ExperimentEngine(n_jobs=1).run(spec)
+        for record, n in zip(result.tasks, (2, 2)):
+            assert sum(record.stage_counts.values()) == n
+            assert set(record.stage_counts) <= set(forensics.STAGES)
+
+    def test_journal_rows_carry_stage_counts(self, tmp_path):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        path = tmp_path / "ck.jsonl"
+        ExperimentEngine(n_jobs=1).run(spec, checkpoint=str(path))
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 2
+        for row in rows:
+            assert sum(row["stage_counts"].values()) == 2
+
+    def test_resume_restores_stage_counts(self, tmp_path):
+        spec = _small_spec(ZIGBEE_CONFIG, 24)
+        path = tmp_path / "ck.jsonl"
+        cold = ExperimentEngine(n_jobs=1).run(spec, checkpoint=str(path))
+        warm = ExperimentEngine(n_jobs=1).run(spec, checkpoint=str(path))
+        assert warm.points == cold.points
+        assert all(t.resumed for t in warm.tasks)
+        assert [t.stage_counts for t in warm.tasks] == \
+            [t.stage_counts for t in cold.tasks]

@@ -175,3 +175,96 @@ class TestRobustnessOptions:
         cold = capsys.readouterr().out
         assert main(argv) == 0  # all points come from the journal
         assert capsys.readouterr().out == cold
+
+
+class TestTracingOptions:
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--trace", "t.jsonl", "--trace-every-n", "4",
+             "--trace-failures-only", "--metrics-prom", "m.prom"])
+        assert args.trace == "t.jsonl"
+        assert args.trace_every_n == 4
+        assert args.trace_failures_only
+        assert args.metrics_prom == "m.prom"
+
+    def test_trace_file_written(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2",
+                     "--packets", "2", "--seed", "3",
+                     "--trace", str(path)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert {"span", "packet"} <= kinds
+        assert all("spec" in r for r in records)
+
+    def test_tracing_does_not_change_table(self, tmp_path, capsys):
+        argv = ["sweep", "--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "3"]
+        assert main(argv) == 0
+        plain = capsys.readouterr().out
+        assert main(argv + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        assert capsys.readouterr().out == plain
+
+    def test_metrics_prom_written(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2",
+                     "--packets", "1", "--seed", "3",
+                     "--metrics-prom", str(path)]) == 0
+        text = path.read_text()
+        assert "repro_engine_tasks_ok_total 1" in text
+        assert "repro_phy_zigbee_packets_total 1" in text
+
+
+class TestReportCommand:
+    def test_report_without_inputs_exits_2(self, capsys):
+        assert main(["report"]) == 2
+        assert "at least one" in capsys.readouterr().err
+
+    def _run_sweep(self, tmp_path, capsys, packets=3):
+        paths = {name: tmp_path / name
+                 for name in ("m.json", "trace.jsonl", "ck.jsonl")}
+        assert main(["sweep", "--radio", "zigbee", "--distances", "2,30",
+                     "--packets", str(packets), "--seed", "3",
+                     "--metrics-json", str(paths["m.json"]),
+                     "--trace", str(paths["trace.jsonl"]),
+                     "--checkpoint", str(paths["ck.jsonl"])]) == 0
+        capsys.readouterr()
+        return paths
+
+    def test_report_per_point_stages_sum_to_packet_count(self, tmp_path,
+                                                         capsys):
+        packets = 3
+        paths = self._run_sweep(tmp_path, capsys, packets=packets)
+        assert main(["report", "--metrics-json", str(paths["m.json"]),
+                     "--trace", str(paths["trace.jsonl"]),
+                     "--checkpoint", str(paths["ck.jsonl"])]) == 0
+        out = capsys.readouterr().out
+        assert "Per-point breakdown (checkpoint journal)" in out
+        # Every point row's stage counts sum to packets_per_point,
+        # shown in the trailing "total" column.
+        section = out.split("Per-point breakdown")[1]
+        rows = [line.split() for line in section.splitlines()
+                if line and line[0].isdigit()]
+        assert len(rows) == 2
+        for row in rows:
+            assert int(row[-1]) == packets
+
+    def test_report_markdown_to_file(self, tmp_path, capsys):
+        paths = self._run_sweep(tmp_path, capsys)
+        out_path = tmp_path / "report.md"
+        assert main(["report", "--metrics-json", str(paths["m.json"]),
+                     "--format", "markdown", "-o", str(out_path)]) == 0
+        text = out_path.read_text()
+        assert text.startswith("# Run report")
+        assert "| radio" in text
+
+    def test_report_from_trace_only(self, tmp_path, capsys):
+        paths = self._run_sweep(tmp_path, capsys)
+        assert main(["report", "--trace", str(paths["trace.jsonl"]),
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Slowest spans" in out
+        assert "Traced packets" in out

@@ -1,0 +1,18 @@
+# lint-as: src/repro/phy/wifi/receiver.py
+"""R008 violations: ad-hoc monotonic timing in an instrumented module."""
+
+import time
+
+
+def decode_timed(samples):
+    start = time.perf_counter()
+    result = decode(samples)
+    return result, time.perf_counter() - start
+
+
+def poll_deadline():
+    return time.monotonic() + 5.0
+
+
+def decode(samples):
+    return samples

@@ -29,7 +29,14 @@ def _rule_ids(findings):
 
 def _lint_fixture(name):
     path = FIXTURES / name
-    return lint_source(path.read_text(), path.as_posix())
+    source = path.read_text()
+    # Scoped rules (R008) only fire under certain trees; a fixture can
+    # opt in by declaring the path it should be linted as.
+    lint_path = path.as_posix()
+    first = source.splitlines()[0] if source else ""
+    if first.startswith("# lint-as:"):
+        lint_path = first.split(":", 1)[1].strip()
+    return lint_source(source, lint_path)
 
 
 class TestFixtureCorpus:
@@ -82,6 +89,16 @@ class TestRuleEdgeCases:
 
     def test_perf_counter_allowed(self):
         assert lint_source("import time\nt = time.perf_counter()\n") == []
+
+    def test_perf_counter_flagged_in_repro_modules(self):
+        # R008 is scoped: raw monotonic reads are fine in scripts and
+        # benchmarks, flagged inside repro/ (except the allowlist).
+        src = "import time\nt = time.perf_counter()\n"
+        assert _rule_ids(lint_source(src, "src/repro/sim/linksim.py")) \
+            == {"R008"}
+        assert lint_source(src, "src/repro/obs/metrics.py") == []
+        assert lint_source(src, "src/repro/sim/engine.py") == []
+        assert lint_source(src, "benchmarks/bench_engine.py") == []
 
     def test_from_import_datetime_now_flagged(self):
         findings = lint_source("from datetime import datetime\n"
