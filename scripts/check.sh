@@ -18,6 +18,9 @@ python -m pytest -x -q tests/sim/test_batch_differential.py
 echo "== perf smoke =="
 python -m repro bench --smoke --no-history
 
+echo "== sweep service smoke =="
+python -m pytest -x -q tests/service
+
 echo "== reprolint =="
 python -m repro.tools.lint src tests benchmarks examples
 

@@ -1,21 +1,36 @@
 """Command-line interface: run FreeRider experiments without writing code.
 
+    python -m repro run    --radio wifi --distances 1,10,20 --jobs 4
+    python -m repro run    --spec-json spec.json --checkpoint sweep.jsonl
     python -m repro sweep  --radio wifi --deployment los --distances 1,10,20
-    python -m repro sweep  --radio wifi --jobs 4 --json
-    python -m repro packet --radio zigbee --snr 15
     python -m repro mac    --tags 4,8,12,16,20 --rounds 100 --jobs 2
+    python -m repro packet --radio zigbee --snr 15
     python -m repro regime
     python -m repro power
     python -m repro bench  # PHY micro-benchmarks -> BENCH_phy.json
     python -m repro lint   # project static analysis (reprolint)
 
-Each subcommand prints the same tables the benchmark harness writes.
-``--jobs`` fans the experiment out over worker processes through
-:mod:`repro.sim.engine`; results are identical for any worker count.
-``--json`` swaps the table for a machine-readable record that includes
-timing metadata (wall time, packets/s).
+    python -m repro serve  --root svc --port 8351        # sweep service
+    python -m repro submit --radio zigbee --distances 2,6 --wait
+    python -m repro status job-000001
+    python -m repro fetch  job-000001
 
-Robustness and observability flags (sweep/mac):
+Spec-driven commands (``run``, ``submit``) accept either inline radio
+flags or ``--spec-json`` — a versioned spec envelope
+(:mod:`repro.sim.spec`): ``{"kind": "link"|"mac", "version": 1,
+"spec": {...}}``.  ``sweep`` and ``mac`` remain as spec-builder
+shorthands over the same execution path.
+
+The flag surface is normalized across subcommands: ``--jobs``,
+``--metrics-json``, ``--trace``, and ``--checkpoint`` are spelled and
+behave identically everywhere they appear (``run``/``sweep``/``mac``
+write them, ``report`` reads them back, ``bench`` writes
+``--metrics-json``, ``submit --wait`` writes ``--metrics-json`` from
+the fetched result).  Older spellings (``--n-jobs``, ``--metrics``,
+``--trace-file``, ``--resume``) still parse as hidden deprecated
+aliases and warn on stderr.
+
+Robustness and observability flags (run/sweep/mac):
 
 * ``--failure-policy degrade`` finishes the sweep even when points
   fail (flagged in the table/record instead of aborting), with
@@ -33,6 +48,13 @@ Robustness and observability flags (sweep/mac):
 * ``repro report`` renders a finished run (metrics record + trace +
   checkpoint journal) into a text or markdown report.
 
+Service commands (``serve``/``submit``/``status``/``fetch``) talk to
+the persistent sweep service (:mod:`repro.service`): submissions are
+deduplicated by spec fingerprint against a content-addressed result
+store, so an identical spec submitted twice returns the cached,
+bit-identical result without running the engine.  ``--url`` defaults
+to ``$REPRO_SERVICE_URL`` or ``http://127.0.0.1:8351``.
+
 Radio choices come from the session registry
 (:mod:`repro.core.registry`) and the calibrated config table, so a
 newly registered radio appears here without touching this module.
@@ -41,8 +63,9 @@ newly registered radio appears here without touching this module.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.channel.geometry import Deployment
 from repro.core.registry import create_session, registered_radios
@@ -76,10 +99,82 @@ def _positive_int(text: str) -> int:
     return value
 
 
+# -- normalized shared flags ----------------------------------------------
+# One definition per shared flag: every subcommand that offers --jobs,
+# --metrics-json, --trace, or --checkpoint registers it from this table,
+# so spelling, type, metavar, and the deprecated aliases cannot drift
+# between subcommands.  Help text may be overridden where the flag is an
+# input rather than an output (repro report), but never the rest.
+
+class _DeprecatedAlias(argparse.Action):
+    """Hidden alias that stores into the canonical dest and warns."""
+
+    def __init__(self, option_strings: List[str], dest: str,
+                 canonical: str = "", **kwargs: Any) -> None:
+        self.canonical = canonical
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser: argparse.ArgumentParser,
+                 namespace: argparse.Namespace, values: Any,
+                 option_string: Optional[str] = None) -> None:
+        print(f"warning: {option_string} is deprecated; "
+              f"use {self.canonical}", file=sys.stderr)
+        setattr(namespace, self.dest, values)
+
+
+_SHARED_FLAGS: Dict[str, Dict[str, Any]] = {
+    "jobs": {
+        "flag": "--jobs",
+        "aliases": ("--n-jobs",),
+        "kwargs": {"type": _positive_int, "default": 1,
+                   "help": "worker processes (results are identical "
+                           "for any value)"},
+    },
+    "metrics-json": {
+        "flag": "--metrics-json",
+        "aliases": ("--metrics",),
+        "kwargs": {"metavar": "PATH", "default": None,
+                   "help": "write stage timers / retry counters / "
+                           "task records as JSON ('-' for stdout)"},
+    },
+    "trace": {
+        "flag": "--trace",
+        "aliases": ("--trace-file",),
+        "kwargs": {"metavar": "PATH", "default": None,
+                   "help": "write a JSONL trace (spans, retry events, "
+                           "sampled per-packet forensics) keyed by the "
+                           "spec fingerprint"},
+    },
+    "checkpoint": {
+        "flag": "--checkpoint",
+        "aliases": ("--resume",),
+        "kwargs": {"metavar": "PATH", "default": None,
+                   "help": "JSONL journal of completed points; an "
+                           "interrupted run resumes from it "
+                           "bit-identically"},
+    },
+}
+
+
+def _add_shared(parser: argparse.ArgumentParser, name: str,
+                **overrides: Any) -> None:
+    entry = _SHARED_FLAGS[name]
+    kwargs = dict(entry["kwargs"])
+    kwargs.update(overrides)
+    parser.add_argument(entry["flag"], **kwargs)
+    dest = entry["flag"].lstrip("-").replace("-", "_")
+    alias_kwargs: Dict[str, Any] = {"action": _DeprecatedAlias,
+                                    "canonical": entry["flag"],
+                                    "dest": dest,
+                                    "help": argparse.SUPPRESS}
+    if "type" in kwargs:
+        alias_kwargs["type"] = kwargs["type"]
+    for alias in entry["aliases"]:
+        parser.add_argument(alias, **alias_kwargs)
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=_positive_int, default=1,
-                        help="worker processes (results are identical "
-                             "for any value)")
+    _add_shared(parser, "jobs")
     parser.add_argument("--json", action="store_true",
                         help="emit a JSON record (points + timing) "
                              "instead of a table")
@@ -94,20 +189,12 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--task-timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="per-attempt time limit")
-    parser.add_argument("--checkpoint", metavar="PATH", default=None,
-                        help="JSONL journal of completed points; an "
-                             "interrupted run resumes from it "
-                             "bit-identically")
-    parser.add_argument("--metrics-json", metavar="PATH", default=None,
-                        help="write stage timers / retry counters / "
-                             "task records as JSON ('-' for stdout)")
+    _add_shared(parser, "checkpoint")
+    _add_shared(parser, "metrics-json")
     parser.add_argument("--metrics-prom", metavar="PATH", default=None,
                         help="write the same counters/timers/spans in "
                              "Prometheus text exposition format")
-    parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write a JSONL trace (spans, retry events, "
-                             "sampled per-packet forensics) keyed by the "
-                             "spec fingerprint")
+    _add_shared(parser, "trace")
     parser.add_argument("--trace-every-n", type=_positive_int, default=1,
                         metavar="N",
                         help="sample every Nth packet event (default: "
@@ -117,9 +204,97 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                              "decode stages")
 
 
-def _engine_from_args(args):
+def _add_link_spec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--radio", default="wifi", choices=config_names())
+    parser.add_argument("--deployment", default="los",
+                        choices=["los", "nlos"])
+    parser.add_argument("--distances", type=_parse_floats,
+                        default=[1, 5, 10, 20, 30, 40])
+    parser.add_argument("--packets", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--payload-bytes", type=int, default=None,
+                        help="override the calibrated excitation payload")
+    parser.add_argument("--repetition", type=int, default=None,
+                        help="override the calibrated symbol repetition")
+
+
+def _add_spec_source(parser: argparse.ArgumentParser) -> None:
+    """Flags that select *what* to run: an enveloped spec file, or the
+    inline link/MAC builder flags."""
+    parser.add_argument("--spec-json", metavar="PATH", default=None,
+                        help="read a versioned spec envelope "
+                             '({"kind","version","spec"}) from PATH '
+                             "('-' for stdin); overrides the inline "
+                             "spec flags")
+    _add_link_spec_options(parser)
+    parser.add_argument("--mac", action="store_true",
+                        help="build a MAC tag-count sweep instead of a "
+                             "link distance sweep")
+    parser.add_argument("--tags", type=_parse_ints,
+                        default=[4, 8, 12, 16, 20],
+                        help="tag counts for --mac")
+    parser.add_argument("--rounds", type=int, default=100,
+                        help="simulated rounds for --mac")
+
+
+def _add_url_option(parser: argparse.ArgumentParser) -> None:
+    from repro.service.client import DEFAULT_URL
+
+    parser.add_argument("--url", metavar="URL",
+                        default=os.environ.get("REPRO_SERVICE_URL",
+                                               DEFAULT_URL),
+                        help="sweep service base URL (default: "
+                             "$REPRO_SERVICE_URL or %(default)s)")
+
+
+# -- spec construction and execution (shared by run/sweep/mac/submit) -----
+
+def _link_spec_from_args(args: argparse.Namespace):
+    from repro.sim.engine import ExperimentSpec
+
+    cfg = config_by_name(args.radio)
+    overrides = {}
+    if args.payload_bytes is not None:
+        overrides["payload_bytes"] = args.payload_bytes
+    if args.repetition is not None:
+        overrides["repetition"] = args.repetition
+    if overrides:
+        cfg = cfg.replace(**overrides)
+    dep = (Deployment.los(1.0) if args.deployment == "los"
+           else Deployment.nlos(1.0))
+    return ExperimentSpec(config=cfg, deployment=dep,
+                          distances_m=tuple(args.distances),
+                          packets_per_point=args.packets, seed=args.seed)
+
+
+def _mac_spec_from_args(args: argparse.Namespace):
+    from repro.sim.engine import MacExperimentSpec
+
+    return MacExperimentSpec(tag_counts=tuple(args.tags),
+                             measured_rounds=12,
+                             simulated_rounds=args.rounds,
+                             seed=args.seed)
+
+
+def _spec_from_args(args: argparse.Namespace):
+    """Build the spec a ``run``/``submit`` invocation describes."""
+    if args.spec_json is not None:
+        from repro.sim.spec import loads_spec
+
+        text = (sys.stdin.read() if args.spec_json == "-"
+                else open(args.spec_json).read())
+        return loads_spec(text)
+    if args.mac:
+        return _mac_spec_from_args(args)
+    return _link_spec_from_args(args)
+
+
+def _run_options_from_args(args: argparse.Namespace):
+    """The engine's :class:`~repro.sim.engine.RunOptions` for a
+    run/sweep/mac invocation — the CLI half of the shared
+    run-orchestration layer."""
     from repro.obs import TraceConfig
-    from repro.sim.engine import ExperimentEngine, FailurePolicy
+    from repro.sim.engine import FailurePolicy, RunOptions
 
     policy = FailurePolicy(mode=args.failure_policy.replace("-", "_"),
                            max_attempts=args.retries,
@@ -129,8 +304,8 @@ def _engine_from_args(args):
             or args.trace_failures_only):
         trace = TraceConfig(every_n=args.trace_every_n,
                             failures_only=args.trace_failures_only)
-    return ExperimentEngine(n_jobs=args.jobs, failure_policy=policy,
-                            trace=trace)
+    return RunOptions(n_jobs=args.jobs, failure_policy=policy, trace=trace,
+                      checkpoint=args.checkpoint, trace_path=args.trace)
 
 
 def _emit_metrics(result, dest: Optional[str],
@@ -165,6 +340,51 @@ def _emit_metrics(result, dest: Optional[str],
             fh.write(text + "\n")
 
 
+def _print_result_table(result, title: str) -> None:
+    """Render a finished RunResult as the classic results table."""
+    from repro.sim.engine import MacExperimentSpec
+
+    rows = []
+    if isinstance(result.spec, MacExperimentSpec):
+        for record, p in zip(result.tasks, result.points):
+            if p is None:  # degraded point: flagged, not dropped
+                rows.append([record.task, f"FAILED ({record.status})",
+                             "n/a", "n/a", "n/a"])
+                continue
+            rows.append([p.n_tags, p.measured_kbps, p.simulated_kbps,
+                         p.tdm_kbps, p.fairness])
+        print(format_table(
+            ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
+             "fairness"], rows, title=title))
+        return
+    for record, p in zip(result.tasks, result.points):
+        if p is None:  # degraded point: flagged, not dropped
+            rows.append([record.task, f"FAILED ({record.status})", "n/a",
+                         "n/a", "n/a"])
+            continue
+        rows.append([p.distance_m, p.throughput_kbps,
+                     p.ber if p.ber_valid else "n/a", p.rssi_dbm,
+                     p.delivery_ratio])
+    print(format_table(
+        ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
+         "delivery"], rows, title=title))
+
+
+def _execute_spec(args: argparse.Namespace, spec, title: str) -> int:
+    """Run one spec through the shared orchestration layer and report."""
+    from repro.sim.engine import execute_run
+
+    result = execute_run(spec, _run_options_from_args(args))
+    _emit_metrics(result, args.metrics_json, args.metrics_prom)
+    if args.json:
+        print(result.to_json(indent=2))
+        return 0 if result.ok else 2
+    _print_result_table(result, title)
+    return 0 if result.ok else 2
+
+
+# -- parser ----------------------------------------------------------------
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -172,18 +392,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="FreeRider (CoNEXT'17) reproduction experiments")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    run = sub.add_parser(
+        "run", help="run one spec (inline flags or --spec-json envelope)")
+    _add_spec_source(run)
+    _add_engine_options(run)
+
     sweep = sub.add_parser("sweep", help="distance sweep (Figures 10-13)")
-    sweep.add_argument("--radio", default="wifi", choices=config_names())
-    sweep.add_argument("--deployment", default="los",
-                       choices=["los", "nlos"])
-    sweep.add_argument("--distances", type=_parse_floats,
-                       default=[1, 5, 10, 20, 30, 40])
-    sweep.add_argument("--packets", type=int, default=6)
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument("--payload-bytes", type=int, default=None,
-                       help="override the calibrated excitation payload")
-    sweep.add_argument("--repetition", type=int, default=None,
-                       help="override the calibrated symbol repetition")
+    _add_link_spec_options(sweep)
     _add_engine_options(sweep)
 
     packet = sub.add_parser("packet", help="one end-to-end packet")
@@ -219,17 +434,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-history", action="store_true",
                        help="measure and print only; skip the history "
                             "file entirely")
+    _add_shared(bench, "metrics-json",
+                help="write the kernel timings / speedups record as "
+                     "JSON ('-' for stdout)")
 
     report = sub.add_parser(
         "report", help="render a finished run (metrics record, trace "
                        "file, checkpoint journal) as text or markdown")
-    report.add_argument("--metrics-json", metavar="PATH", default=None,
-                        help="record written by a sweep's --metrics-json")
-    report.add_argument("--trace", metavar="PATH", default=None,
-                        help="JSONL trace written by a sweep's --trace")
-    report.add_argument("--checkpoint", metavar="PATH", default=None,
-                        help="checkpoint journal for the per-point "
-                             "stage breakdown")
+    _add_shared(report, "metrics-json",
+                help="record written by a run's --metrics-json")
+    _add_shared(report, "trace",
+                help="JSONL trace written by a run's --trace")
+    _add_shared(report, "checkpoint",
+                help="checkpoint journal for the per-point "
+                     "stage breakdown")
     report.add_argument("--format", dest="format",
                         choices=["text", "markdown"], default="text")
     report.add_argument("--top", type=_positive_int, default=10,
@@ -237,6 +455,64 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: %(default)s)")
     report.add_argument("-o", "--output", metavar="PATH", default=None,
                         help="write the report here instead of stdout")
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent sweep service (job queue + "
+                      "result cache + HTTP API)")
+    serve.add_argument("--root", metavar="DIR", default=".repro-service",
+                       help="durable state directory: queue journal, "
+                            "result store, checkpoints (default: "
+                            "%(default)s)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8351)
+    _add_shared(serve, "jobs",
+                help="engine worker processes per job")
+    serve.add_argument("--workers", type=_positive_int, default=1,
+                       help="concurrent job worker threads")
+    serve.add_argument("--failure-policy", choices=["fail-fast", "degrade"],
+                       default="fail-fast")
+    serve.add_argument("--retries", type=_positive_int, default=1,
+                       metavar="N")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       metavar="SECONDS")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request to stderr")
+
+    submit = sub.add_parser(
+        "submit", help="submit a spec to a running sweep service "
+                       "(deduplicated by spec fingerprint)")
+    _add_spec_source(submit)
+    _add_url_option(submit)
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes, then print "
+                             "the result")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="--wait budget (default: %(default)s)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the job record (and with --wait the "
+                             "result record) as JSON")
+    _add_shared(submit, "metrics-json",
+                help="with --wait: write the fetched result's metrics "
+                     "record as JSON ('-' for stdout), exactly like "
+                     "run's --metrics-json")
+
+    status = sub.add_parser(
+        "status", help="show one job's state (or list all jobs)")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id from submit; omit to list every job")
+    _add_url_option(status)
+    status.add_argument("--json", action="store_true")
+
+    fetch = sub.add_parser(
+        "fetch", help="download a completed job's result")
+    fetch.add_argument("job_id", help="job id from submit")
+    _add_url_option(fetch)
+    fetch.add_argument("--json", action="store_true",
+                       help="emit the full stored record instead of the "
+                            "results table")
+    fetch.add_argument("-o", "--output", metavar="PATH", default=None,
+                       help="write the stored record's exact bytes here")
 
     lint = sub.add_parser(
         "lint", help="project static analysis (reprolint rules R001-R008)")
@@ -252,42 +528,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_sweep(args) -> int:
-    from repro.sim.engine import ExperimentSpec
+# -- one-shot commands -----------------------------------------------------
 
-    cfg = config_by_name(args.radio)
-    overrides = {}
-    if args.payload_bytes is not None:
-        overrides["payload_bytes"] = args.payload_bytes
-    if args.repetition is not None:
-        overrides["repetition"] = args.repetition
-    if overrides:
-        cfg = cfg.replace(**overrides)
-    dep = (Deployment.los(1.0) if args.deployment == "los"
-           else Deployment.nlos(1.0))
-    spec = ExperimentSpec(config=cfg, deployment=dep,
-                          distances_m=tuple(args.distances),
-                          packets_per_point=args.packets, seed=args.seed)
-    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint,
-                                         trace_path=args.trace)
-    _emit_metrics(result, args.metrics_json, args.metrics_prom)
-    if args.json:
-        print(result.to_json(indent=2))
-        return 0 if result.ok else 2
-    rows = []
-    for record, p in zip(result.tasks, result.points):
-        if p is None:  # degraded point: flagged, not dropped
-            rows.append([record.task, f"FAILED ({record.status})", "n/a",
-                         "n/a", "n/a"])
-            continue
-        rows.append([p.distance_m, p.throughput_kbps,
-                     p.ber if p.ber_valid else "n/a", p.rssi_dbm,
-                     p.delivery_ratio])
-    print(format_table(
-        ["distance (m)", "throughput (kb/s)", "tag BER", "RSSI (dBm)",
-         "delivery"], rows,
-        title=f"{args.radio} backscatter, {args.deployment} deployment"))
-    return 0 if result.ok else 2
+def _cmd_run(args) -> int:
+    from repro.sim.engine import MacExperimentSpec
+
+    spec = _spec_from_args(args)
+    if isinstance(spec, MacExperimentSpec):
+        title = "multi-tag MAC"
+    else:
+        title = (f"{spec.config.name} backscatter, "
+                 f"{spec.deployment.name} deployment")
+    return _execute_spec(args, spec, title)
+
+
+def _cmd_sweep(args) -> int:
+    spec = _link_spec_from_args(args)
+    return _execute_spec(
+        args, spec, f"{args.radio} backscatter, {args.deployment} deployment")
 
 
 def _cmd_packet(args) -> int:
@@ -303,30 +561,8 @@ def _cmd_packet(args) -> int:
 
 
 def _cmd_mac(args) -> int:
-    from repro.sim.engine import MacExperimentSpec
-
-    spec = MacExperimentSpec(tag_counts=tuple(args.tags),
-                             measured_rounds=12,
-                             simulated_rounds=args.rounds,
-                             seed=args.seed)
-    result = _engine_from_args(args).run(spec, checkpoint=args.checkpoint,
-                                         trace_path=args.trace)
-    _emit_metrics(result, args.metrics_json, args.metrics_prom)
-    if args.json:
-        print(result.to_json(indent=2))
-        return 0 if result.ok else 2
-    rows = []
-    for record, p in zip(result.tasks, result.points):
-        if p is None:  # degraded point: flagged, not dropped
-            rows.append([record.task, f"FAILED ({record.status})", "n/a",
-                         "n/a", "n/a"])
-            continue
-        rows.append([p.n_tags, p.measured_kbps, p.simulated_kbps,
-                     p.tdm_kbps, p.fairness])
-    print(format_table(
-        ["tags", "measured (kb/s)", "simulated (kb/s)", "TDM bound",
-         "fairness"], rows, title="multi-tag MAC"))
-    return 0 if result.ok else 2
+    spec = _mac_spec_from_args(args)
+    return _execute_spec(args, spec, "multi-tag MAC")
 
 
 def _cmd_regime(_args) -> int:
@@ -367,6 +603,18 @@ def _cmd_bench(args) -> int:
 
     report = run_benchmarks(smoke=args.smoke, repeats=args.repeats)
     print(format_report(report))
+    if args.metrics_json is not None:
+        import json
+
+        record = {"smoke": report.smoke,
+                  "kernels": {r.name: r.to_dict() for r in report.results},
+                  "speedups": report.speedups}
+        text = json.dumps(record, indent=2, sort_keys=True)
+        if args.metrics_json == "-":
+            print(text)
+        else:
+            with open(args.metrics_json, "w") as fh:
+                fh.write(text + "\n")
     if args.no_history:
         return 0
     history = load_history(args.history)
@@ -409,6 +657,113 @@ def _cmd_report(args) -> int:
     return 0
 
 
+# -- service commands ------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    from repro.service import SweepService
+    from repro.service.http import serve
+    from repro.sim.engine import FailurePolicy
+
+    policy = FailurePolicy(mode=args.failure_policy.replace("-", "_"),
+                           max_attempts=args.retries,
+                           timeout_s=args.task_timeout)
+    service = SweepService(args.root, n_jobs=args.jobs,
+                           n_workers=args.workers, failure_policy=policy)
+    print(f"sweep service: root={args.root} "
+          f"listening on http://{args.host}:{args.port} "
+          f"(jobs={args.jobs}, workers={args.workers})", flush=True)
+    serve(service, host=args.host, port=args.port, verbose=args.verbose)
+    return 0
+
+
+def _print_job(job: Dict[str, Any]) -> None:
+    line = (f"{job['job_id']}  state={job['state']}"
+            f"{' (cached)' if job.get('cached') else ''}  "
+            f"spec={job['fingerprint']}")
+    if job.get("error"):
+        line += f"  error={job['error']}"
+    if "stage_counts" in job:
+        stages = ", ".join(f"{k}={v}" for k, v in
+                           sorted(job["stage_counts"].items()))
+        line += f"\n  forensics: {stages or 'none'}"
+    print(line)
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    spec = _spec_from_args(args)
+    client = ServiceClient(args.url)
+    job = client.submit(spec)
+    if not args.wait:
+        if args.json:
+            print(json.dumps(job, indent=2, sort_keys=True))
+        else:
+            _print_job(job)
+        return 0
+    status = client.wait(job["job_id"], timeout_s=args.timeout)
+    if status["state"] != "done":
+        _print_job(status)
+        return 2
+    result = client.fetch(job["job_id"])
+    _emit_metrics(result, args.metrics_json)
+    if args.json:
+        print(json.dumps(client.fetch_record(job["job_id"]),
+                         indent=2, sort_keys=True))
+        return 0
+    _print_job(status)
+    _print_result_table(result, f"job {job['job_id']} "
+                                f"(spec {job['fingerprint']})")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id is None:
+        jobs = client.jobs()
+        if args.json:
+            print(json.dumps(jobs, indent=2, sort_keys=True))
+        else:
+            for job in jobs:
+                _print_job(job)
+        return 0
+    status = client.status(args.job_id)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        _print_job(status)
+    return 0 if status.get("state") != "failed" else 2
+
+
+def _cmd_fetch(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.output is not None:
+        raw = client.fetch_raw(args.job_id)
+        with open(args.output, "wb") as fh:
+            fh.write(raw)
+        print(f"wrote {len(raw)} bytes to {args.output}")
+        return 0
+    if args.json:
+        print(json.dumps(client.fetch_record(args.job_id),
+                         indent=2, sort_keys=True))
+        return 0
+    status = client.status(args.job_id)
+    result = client.fetch(args.job_id)
+    _print_result_table(result, f"job {args.job_id} "
+                                f"(spec {status['fingerprint']})")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.tools.lint import main as lint_main
 
@@ -423,6 +778,7 @@ def _cmd_lint(args) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
     "sweep": _cmd_sweep,
     "packet": _cmd_packet,
     "mac": _cmd_mac,
@@ -430,12 +786,18 @@ _COMMANDS = {
     "power": _cmd_power,
     "bench": _cmd_bench,
     "report": _cmd_report,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "fetch": _cmd_fetch,
     "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    import urllib.error
+
     from repro.sim.engine import TaskFailure
 
     args = build_parser().parse_args(argv)
@@ -448,6 +810,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               "sweep with failed points flagged, or --retries N to retry",
               file=sys.stderr)
         return 3
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach the sweep service: {exc}",
+              file=sys.stderr)
+        print("hint: start one with `repro serve`, or point --url / "
+              "$REPRO_SERVICE_URL at a running instance", file=sys.stderr)
+        return 5
 
 
 if __name__ == "__main__":

@@ -12,6 +12,11 @@ are re-exported here so instrumentation sites can just::
 Submodules: :mod:`~repro.obs.forensics` (decode-stage taxonomy),
 :mod:`~repro.obs.trace` (JSONL trace sink), :mod:`~repro.obs.export`
 (Prometheus text exposition), :mod:`~repro.obs.report` (run reports).
+
+Registries are process-local and deliberately lock-free; the one
+multi-threaded writer in the repo — the sweep service
+(:mod:`repro.service`) — serializes its own mutations and renders its
+``/metrics`` endpoint through :func:`prometheus_text`.
 """
 
 from repro.obs import forensics

@@ -1,0 +1,41 @@
+"""Persistent sweep service: many submitters, one cache-aware compute tier.
+
+The paper's evaluation is a pile of parameter sweeps, and every spec is
+content-addressable (:func:`repro.sim.engine.spec_fingerprint`), so the
+natural server shape is a job queue in front of a result cache: accept
+``ExperimentSpec`` / ``MacExperimentSpec`` submissions over HTTP or the
+``repro submit`` CLI, run each *distinct* spec exactly once on the
+existing engine (checkpointed, so a crashed job resumes mid-sweep), and
+serve every later identical submission straight from the store —
+bit-identical bytes, zero new compute.
+
+Layers, smallest first:
+
+* :mod:`~repro.service.store` — :class:`ResultStore`, a content-addressed
+  on-disk map ``spec_fingerprint -> RunResult`` (atomic writes, raw-bytes
+  reads so cached fetches are bit-identical).
+* :mod:`~repro.service.queue` — :class:`JobQueue`, a JSONL-journaled job
+  table (torn-line tolerant, like the trace sink); replaying the journal
+  after a kill restores every queued and in-flight job.
+* :mod:`~repro.service.service` — :class:`SweepService`, the worker tier:
+  claims pending jobs, dedups against the store, executes through the
+  engine's :func:`~repro.sim.engine.execute_run` orchestration layer with
+  a per-fingerprint checkpoint, and folds run metrics into a service-wide
+  registry.
+* :mod:`~repro.service.http` — stdlib HTTP front end (``POST /jobs``,
+  ``GET /jobs/<id>``, ``GET /jobs/<id>/result``, ``GET /metrics``).
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the urllib
+  client behind ``repro submit`` / ``status`` / ``fetch``.
+
+No dependencies beyond the standard library and the existing engine.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.service import ServiceError, SweepService, UnknownJobError
+from repro.service.store import ResultStore, StoreError
+
+__all__ = ["JobQueue", "JobRecord", "ResultStore", "ServiceClient",
+           "ServiceClientError", "ServiceError", "ServiceHTTPServer",
+           "StoreError", "SweepService", "UnknownJobError", "serve"]

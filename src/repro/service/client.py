@@ -1,0 +1,145 @@
+"""urllib client for the sweep service: what ``repro submit`` speaks.
+
+A deliberately small wrapper over :mod:`urllib.request` — no sessions,
+no retries beyond polling — returning the server's JSON payloads as
+plain dicts so the CLI can print them directly.  Server-side rejections
+(4xx/5xx) surface as :class:`ServiceClientError` carrying the HTTP
+status and the server's ``error`` message; connection failures raise
+the underlying :class:`urllib.error.URLError` untouched, so "server
+not running" stays distinguishable from "server said no".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.sim.engine import (
+    ExperimentSpec,
+    MacExperimentSpec,
+    RunResult,
+    Spec,
+)
+
+__all__ = ["DEFAULT_URL", "ServiceClient", "ServiceClientError"]
+
+#: Where ``repro serve`` listens by default.
+DEFAULT_URL = "http://127.0.0.1:8351"
+
+
+class ServiceClientError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = status
+        super().__init__(f"HTTP {status}: {message}")
+
+
+class ServiceClient:
+    """Typed access to one running sweep service."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(self.base_url + path, data=data,
+                                         headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as response:
+                return bytes(response.read())
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = str(json.loads(raw).get("error", raw.decode()))
+            except (json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServiceClientError(exc.code, message) from exc
+
+    def _request_json(self, method: str, path: str,
+                      body: Optional[Dict[str, Any]] = None
+                      ) -> Dict[str, Any]:
+        payload = json.loads(self._request(method, path, body))
+        if not isinstance(payload, dict):
+            raise ServiceClientError(502, f"non-object response from {path}")
+        return payload
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, payload: Union[Spec, Mapping[str, Any]]
+               ) -> Dict[str, Any]:
+        """Submit a spec (object or envelope dict); returns the job dict.
+
+        The returned dict is the server's job record: look at
+        ``state``/``cached`` to see whether the submission was answered
+        from the result cache.
+        """
+        if isinstance(payload, (ExperimentSpec, MacExperimentSpec)):
+            from repro.sim.spec import dump_spec
+
+            body = dump_spec(payload)
+        else:
+            body = dict(payload)
+        return dict(self._request_json("POST", "/jobs", body)["job"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request_json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request_json("GET", "/jobs")["jobs"])
+
+    def fetch_record(self, job_id: str) -> Dict[str, Any]:
+        """The stored result record (version/fingerprint/envelope/result)."""
+        return dict(json.loads(self._request(
+            "GET", f"/jobs/{job_id}/result")))
+
+    def fetch_raw(self, job_id: str) -> bytes:
+        """The stored result record's exact bytes (bit-identical)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def fetch(self, job_id: str) -> RunResult:
+        """The completed :class:`RunResult` for *job_id*."""
+        return RunResult.from_dict(self.fetch_record(job_id)["result"])
+
+    def metrics(self) -> str:
+        """The ``/metrics`` endpoint's Prometheus text."""
+        return self._request("GET", "/metrics").decode("utf-8")
+
+    def health(self) -> bool:
+        try:
+            return bool(self._request_json("GET", "/healthz").get("ok"))
+        except (ServiceClientError, urllib.error.URLError, OSError):
+            return False
+
+    def wait(self, job_id: str, timeout_s: float = 120.0,
+             poll_s: float = 0.2) -> Dict[str, Any]:
+        """Poll :meth:`status` until the job leaves pending/running.
+
+        Raises :class:`TimeoutError` when the budget runs out.  Bounded
+        by attempt count rather than a clock read: ``timeout_s`` is a
+        budget, not a deadline, in keeping with the repo's
+        no-wall-clock discipline.
+        """
+        attempts = max(1, int(timeout_s / poll_s) + 1)
+        status: Dict[str, Any] = {}
+        for attempt in range(attempts):
+            status = self.status(job_id)
+            if status.get("state") not in ("pending", "running"):
+                return status
+            if attempt + 1 < attempts:
+                time.sleep(poll_s)
+        raise TimeoutError(
+            f"job {job_id} still {status.get('state')} after ~{timeout_s}s")

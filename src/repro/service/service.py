@@ -1,0 +1,362 @@
+"""The sweep service: queue + store + engine workers in one process.
+
+:class:`SweepService` glues the persistence layers together into the
+"millions of users" shape the ROADMAP asks for — many submitters, one
+warm, cache-aware compute tier:
+
+* **Submission** validates the payload through the versioned spec serde
+  (:mod:`repro.sim.spec`), computes the spec fingerprint, and either
+  answers straight from the :class:`~repro.service.store.ResultStore`
+  (``service.cache.hits``; the job is born ``done``/``cached`` and no
+  engine task ever runs) or journals a pending job.
+* **Execution** happens on background worker threads that claim jobs
+  FIFO and drive the engine through its reusable orchestration layer
+  (:func:`repro.sim.engine.execute_run`) with a per-fingerprint
+  checkpoint journal, so killing the server mid-job loses nothing: on
+  restart the queue journal restores the job and the engine checkpoint
+  restores its completed points, and the finished result is
+  bit-identical to an uninterrupted run.  Duplicate specs that were
+  *queued* together dedup at claim time — the second job finds the
+  store already populated and becomes a cache hit without computing.
+* **Observability** folds every run's engine metrics (task counters,
+  PHY stage timers, forensics stage counts) into one service-wide
+  :class:`~repro.obs.MetricsRegistry` next to the service's own
+  counters (``service.jobs.*``, ``service.cache.*``), rendered by
+  :meth:`SweepService.metrics_text` in Prometheus text exposition for
+  the HTTP ``/metrics`` endpoint.
+
+Only completed, fully-ok runs are cached: a failed or degraded run
+marks the job ``failed`` and leaves the store untouched, so a later
+identical submission retries the computation instead of serving the
+failure forever.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.obs import MetricsRegistry, TraceConfig, prometheus_text
+from repro.service.queue import JobQueue, JobRecord
+from repro.service.store import ResultStore
+from repro.sim.engine import (
+    EngineError,
+    ExperimentSpec,
+    FailurePolicy,
+    MacExperimentSpec,
+    RunOptions,
+    RunResult,
+    Spec,
+    execute_run,
+    spec_fingerprint,
+)
+
+__all__ = ["SweepService", "ServiceError", "UnknownJobError",
+           "DEFAULT_POLL_S"]
+
+#: How long an idle worker sleeps between queue polls, seconds.
+DEFAULT_POLL_S = 0.05
+
+
+class ServiceError(RuntimeError):
+    """A request that cannot be served (wrong job state, bad payload)."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """A job id that is not in the queue."""
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class SweepService:
+    """Persistent, restart-surviving sweep runner over one root directory.
+
+    Parameters
+    ----------
+    root:
+        Durable state directory: ``queue.jsonl`` (job journal),
+        ``results/`` (content-addressed store), ``checkpoints/``
+        (per-fingerprint engine journals).  Reusing a root resumes it.
+    n_jobs:
+        Engine worker *processes* per job (the engine's ``n_jobs``).
+    n_workers:
+        Concurrent job worker *threads* (each running one job at a
+        time).  One by default: jobs queue, results stay FIFO.
+    failure_policy:
+        Engine failure policy for every job; ``None`` uses the engine
+        default (fail-fast, no retries), which surfaces a failed point
+        as a failed job.
+    trace:
+        Optional :class:`~repro.obs.TraceConfig`; when given, service
+        spans (``service.job``) and engine trace events are recorded in
+        the service registry.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike], n_jobs: int = 1,
+                 n_workers: int = 1,
+                 failure_policy: Optional[FailurePolicy] = None,
+                 trace: Optional[TraceConfig] = None,
+                 poll_s: float = DEFAULT_POLL_S) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.store = ResultStore(self.root / "results")
+        self.queue = JobQueue(self.root / "queue.jsonl")
+        self.checkpoint_dir = self.root / "checkpoints"
+        self.n_jobs = int(n_jobs)
+        self.n_workers = int(n_workers)
+        self.failure_policy = failure_policy
+        self.poll_s = float(poll_s)
+        self.metrics = MetricsRegistry(trace=trace)
+        self._metrics_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        for _ in self.queue.recover():
+            self._inc("service.jobs.recovered")
+
+    # -- metrics (thread-safe wrappers) ------------------------------------
+    # MetricsRegistry is deliberately lock-free (process-local, single
+    # writer); the service is the one multi-threaded writer in the
+    # repo, so it serializes its own mutations here.
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        with self._metrics_lock:
+            self.metrics.inc(name, n)
+
+    def counter(self, name: str) -> int:
+        with self._metrics_lock:
+            return self.metrics.counter(name)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Service + folded engine metrics as a plain dict."""
+        with self._metrics_lock:
+            snap = self.metrics.snapshot()
+        counts = self.queue.counts()
+        for state, n in sorted(counts.items()):
+            snap["counters"][f"service.queue.{state}"] = n
+        return snap
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of :meth:`metrics_snapshot`."""
+        return prometheus_text(self.metrics_snapshot())
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, payload: Union[Spec, Mapping[str, Any]]) -> JobRecord:
+        """Accept a spec (object, envelope dict, or legacy bare dict).
+
+        Returns the job record: ``done``/``cached`` immediately when the
+        store already holds this fingerprint, else ``pending``.
+        """
+        from repro.sim.spec import dump_spec, load_spec
+
+        if isinstance(payload, (ExperimentSpec, MacExperimentSpec)):
+            spec = payload
+        else:
+            spec = load_spec(payload)
+        envelope = dump_spec(spec)
+        fingerprint = spec_fingerprint(spec)
+        self._inc("service.jobs.submitted")
+        job = self.queue.submit(envelope, fingerprint)
+        if self.store.has(fingerprint):
+            self._inc("service.cache.hits")
+            return self.queue.set_state(job.job_id, "done", cached=True)
+        self._inc("service.cache.misses")
+        return job
+
+    # -- execution ---------------------------------------------------------
+
+    def checkpoint_path(self, fingerprint: str) -> Path:
+        return self.checkpoint_dir / f"{fingerprint}.jsonl"
+
+    def step(self) -> bool:
+        """Claim and run at most one pending job; True if one ran.
+
+        The synchronous core of the worker loop, exposed so tests (and
+        embedded users) can drive the service deterministically without
+        background threads.
+        """
+        job = self.queue.claim_next()
+        if job is None:
+            return False
+        self._run_job(job)
+        return True
+
+    def _run_job(self, job: JobRecord) -> None:
+        from repro.sim.spec import load_spec
+
+        if self.store.has(job.fingerprint):
+            # A duplicate that was queued before the first copy
+            # finished: serve it from the store, run nothing.
+            self._inc("service.cache.hits")
+            self.queue.set_state(job.job_id, "done", cached=True)
+            return
+        try:
+            spec = load_spec(job.envelope, warn_legacy=False)
+            options = RunOptions(
+                n_jobs=self.n_jobs, failure_policy=self.failure_policy,
+                checkpoint=str(self.checkpoint_path(job.fingerprint)),
+                expect_fingerprint=job.fingerprint)
+            result = execute_run(spec, options)
+        except (EngineError, ValueError, OSError) as exc:
+            # EngineError: the job's sweep failed (fail-fast task
+            # failure, fingerprint mismatch); ValueError: a corrupt
+            # journaled envelope; OSError: unwritable state dir.  The
+            # failure is recorded on the job itself, never swallowed.
+            self._inc("service.jobs.failed")
+            self.queue.set_state(job.job_id, "failed",
+                                 error=f"{type(exc).__name__}: {exc}")
+            return
+        with self._metrics_lock:
+            self.metrics.merge_snapshot(result.metrics)
+            # The job-level timer rides the run's own measured wall
+            # time (no ad-hoc clock reads; obs owns the clock).
+            self.metrics.observe("service.job", result.wall_time_s)
+            self.metrics.event("service.job", job=job.job_id,
+                               spec=job.fingerprint,
+                               dur_s=result.wall_time_s)
+        if not result.ok:
+            # Degraded run: points are missing, so the result is not
+            # cacheable — a later identical submission should recompute.
+            self._inc("service.jobs.failed")
+            self.queue.set_state(
+                job.job_id, "failed",
+                error=f"{result.n_failed}/{result.n_tasks} tasks failed "
+                      f"({result.failed_tasks[0].error})")
+            return
+        self.store.put(result)
+        self._inc("service.cache.stores")
+        self._inc("service.jobs.completed")
+        self.queue.set_state(job.job_id, "done")
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            if not self.step():
+                self._stop.wait(self.poll_s)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SweepService":
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for i in range(self.n_workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"sweep-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Stop claiming new jobs and join the workers.
+
+        An in-flight job finishes its current engine run first (its
+        points are checkpointed either way, so even a hard kill here
+        only costs the tail of the sweep).
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout_s)
+        self._threads = []
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- reading -----------------------------------------------------------
+
+    def _job(self, job_id: str) -> JobRecord:
+        job = self.queue.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """One job's public status, including decode forensics once done.
+
+        The ``stage_counts`` field aggregates the per-task forensic
+        stage counters (sync/header/fec/crc/ok) of the stored result.
+        """
+        job = self._job(job_id)
+        payload = job.to_dict()
+        if job.state == "done":
+            result = self.store.get(job.fingerprint)
+            if result is not None:
+                stage_counts: Dict[str, int] = {}
+                for task in result.tasks:
+                    for stage, count in task.stage_counts.items():
+                        stage_counts[stage] = \
+                            stage_counts.get(stage, 0) + int(count)
+                payload["stage_counts"] = stage_counts
+                payload["n_tasks"] = result.n_tasks
+                payload["n_failed"] = result.n_failed
+                payload["packets_simulated"] = result.packets_simulated
+        return payload
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        """Every job's bare record, oldest first."""
+        return [job.to_dict() for job in self.queue.jobs()]
+
+    def result(self, job_id: str) -> RunResult:
+        """The completed result for *job_id*.
+
+        Raises :class:`UnknownJobError` for unknown ids and
+        :class:`ServiceError` when the job is not ``done`` yet (or
+        failed).
+        """
+        job = self._job(job_id)
+        if job.state != "done":
+            raise ServiceError(
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else ""))
+        result = self.store.get(job.fingerprint)
+        if result is None:
+            raise ServiceError(
+                f"job {job_id} is done but its result "
+                f"({job.fingerprint}) is missing from the store")
+        return result
+
+    def raw_result(self, job_id: str) -> bytes:
+        """The stored result record's exact bytes (bit-identical serving)."""
+        job = self._job(job_id)
+        if job.state != "done":
+            raise ServiceError(
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else ""))
+        raw = self.store.raw(job.fingerprint)
+        if raw is None:
+            raise ServiceError(
+                f"job {job_id} is done but its result "
+                f"({job.fingerprint}) is missing from the store")
+        return raw
+
+    def wait(self, job_id: str, timeout_s: float = 60.0,
+             poll_s: Optional[float] = None) -> JobRecord:
+        """Block until *job_id* leaves the active states.
+
+        Polling, not event-driven, on purpose: it works identically on
+        a restarted service where the job predates this process.
+        Raises :class:`TimeoutError` when the budget runs out.
+        """
+        interval = self.poll_s if poll_s is None else float(poll_s)
+        attempts = max(1, int(timeout_s / interval) + 1)
+        for _ in range(attempts):
+            job = self._job(job_id)
+            if not job.active:
+                return job
+            # Event.wait, not time.sleep: stop() wakes waiters early.
+            if self._stop.wait(interval) and not self._threads:
+                break
+        job = self._job(job_id)
+        if job.active:
+            raise TimeoutError(
+                f"job {job_id} still {job.state} after {timeout_s}s")
+        return job

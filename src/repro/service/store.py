@@ -1,0 +1,119 @@
+"""Content-addressed result store: ``spec_fingerprint -> RunResult``.
+
+One JSON file per fingerprint.  The fingerprint *is* the cache key —
+two submitters with byte-identical specs share one entry, which is what
+lets the sweep service answer duplicate submissions without touching
+the engine.  Invariants:
+
+* **Atomic publication.**  Entries are written to a temp file and
+  ``os.replace``-d into place, so a reader never sees a torn record and
+  a crashed writer leaves no partial entry behind (at worst a stale
+  ``*.tmp`` that the next ``put`` overwrites).
+* **Bit-identical reads.**  :meth:`ResultStore.raw` returns the stored
+  bytes untouched; :meth:`ResultStore.get` decodes them through
+  :meth:`RunResult.from_dict`, which round-trips floats exactly (JSON
+  ``repr`` floats, NaN BER sentinel included).  A cache hit therefore
+  equals the original run point-for-point.
+* **Self-verifying.**  Every record embeds its own fingerprint and the
+  enveloped spec; loading a record whose embedded fingerprint disagrees
+  with the requested key raises
+  :class:`~repro.sim.engine.FingerprintMismatch` rather than serving a
+  mislabeled result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.sim.engine import FingerprintMismatch, RunResult, spec_fingerprint
+
+__all__ = ["STORE_VERSION", "ResultStore", "StoreError"]
+
+#: Schema version of stored records (bumped on incompatible changes).
+STORE_VERSION = 1
+
+
+class StoreError(RuntimeError):
+    """A stored record that exists but cannot be decoded."""
+
+
+class ResultStore:
+    """On-disk map from spec fingerprint to completed :class:`RunResult`."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def has(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).exists()
+
+    def fingerprints(self) -> List[str]:
+        """Every stored fingerprint, sorted."""
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def put(self, result: RunResult) -> str:
+        """Store *result* under its spec's fingerprint; returns the key.
+
+        The write is atomic (temp file + ``os.replace``), and re-putting
+        an existing fingerprint is a harmless overwrite with equal
+        content — per-task seeding makes any two complete runs of one
+        spec bit-identical.
+        """
+        from repro.sim.spec import dump_spec
+
+        fingerprint = spec_fingerprint(result.spec)
+        record: Dict[str, Any] = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "envelope": dump_spec(result.spec),
+            "result": result.to_dict(),
+        }
+        final = self.path_for(fingerprint)
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        return fingerprint
+
+    def raw(self, fingerprint: str) -> Optional[bytes]:
+        """The stored record's exact bytes (what HTTP fetch serves), or
+        ``None`` when the fingerprint is absent."""
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            return None
+        return path.read_bytes()
+
+    def load_record(self, fingerprint: str) -> Dict[str, Any]:
+        """The decoded full record (version/fingerprint/envelope/result)."""
+        raw = self.raw(fingerprint)
+        if raw is None:
+            raise KeyError(fingerprint)
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"stored record for {fingerprint} is not valid JSON "
+                f"({exc}); remove {self.path_for(fingerprint)} to recompute"
+            ) from exc
+        if not isinstance(record, dict) or "result" not in record:
+            raise StoreError(
+                f"stored record for {fingerprint} has no 'result' field")
+        stored = record.get("fingerprint")
+        if stored != fingerprint:
+            raise FingerprintMismatch(fingerprint, str(stored),
+                                      context="result store")
+        return record
+
+    def get(self, fingerprint: str) -> Optional[RunResult]:
+        """The stored :class:`RunResult`, or ``None`` when absent."""
+        if not self.has(fingerprint):
+            return None
+        return RunResult.from_dict(self.load_record(fingerprint)["result"])

@@ -1,16 +1,22 @@
 """Experiment layer: calibrated radio configurations, the distance-sweep
 link simulator behind Figures 10-14, the MAC simulator behind Figure 17,
-the parallel experiment engine that fans either out over processes, and
-result-table formatting."""
+the parallel experiment engine that fans either out over processes, the
+versioned spec wire format (:mod:`repro.sim.spec`), and result-table
+formatting."""
 
 from repro.sim.config import RadioConfig, WIFI_CONFIG, ZIGBEE_CONFIG, BLE_CONFIG
 from repro.sim.engine import (
     ExperimentEngine,
     ExperimentSpec,
+    FingerprintMismatch,
     MacExperimentSpec,
+    RunOptions,
     RunResult,
+    execute_run,
     run_experiment,
+    spec_fingerprint,
 )
+from repro.sim.spec import SpecFormatError, dump_spec, load_spec
 from repro.sim.linksim import LinkSimulator, LinkPoint
 from repro.sim.macsim import MacExperiment, MacExperimentPoint
 from repro.sim.charts import ascii_chart, ascii_cdf
@@ -24,9 +30,16 @@ __all__ = [
     "BLE_CONFIG",
     "ExperimentEngine",
     "ExperimentSpec",
+    "FingerprintMismatch",
     "MacExperimentSpec",
+    "RunOptions",
     "RunResult",
+    "SpecFormatError",
+    "dump_spec",
+    "execute_run",
+    "load_spec",
     "run_experiment",
+    "spec_fingerprint",
     "LinkSimulator",
     "LinkPoint",
     "MacExperiment",

@@ -101,7 +101,8 @@ from repro.sim.config import RadioConfig
 
 __all__ = ["ExperimentSpec", "MacExperimentSpec", "RunResult", "TaskRecord",
            "FailurePolicy", "FaultInjector", "InjectedFault", "TaskFailure",
-           "CheckpointJournal", "spec_fingerprint",
+           "FingerprintMismatch", "CheckpointJournal", "spec_fingerprint",
+           "RunOptions", "execute_run",
            "ExperimentEngine", "run_experiment", "default_n_jobs"]
 
 
@@ -259,7 +260,23 @@ Spec = Union[ExperimentSpec, MacExperimentSpec]
 
 
 def spec_fingerprint(spec: Spec) -> str:
-    """Stable short hash of a spec; keys checkpoint journal entries."""
+    """Stable short hash of a spec; keys checkpoints and result caches.
+
+    Stability contract
+    ------------------
+    The fingerprint is the first 16 hex digits of the SHA-256 of the
+    spec's ``to_dict()`` payload serialized as sort-keyed, compact-free
+    ``json.dumps`` (default separators).  It is a *persistent* key: the
+    checkpoint journal, the trace sink, and the sweep service's
+    content-addressed result store all file data under it, so the
+    mapping from spec values to fingerprint must never change across
+    refactors.  ``tests/sim/test_fingerprint_golden.py`` freezes both
+    the serialized JSON and the resulting hash; any change that breaks
+    it silently orphans every stored checkpoint and cached result, and
+    needs an explicit migration, not a quiet edit.  Adding a *new* spec
+    field is only safe if its default round-trips to the same payload
+    (i.e. ``to_dict`` omits it or emits the historical value).
+    """
     payload = json.dumps(spec.to_dict(), sort_keys=True)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -272,6 +289,26 @@ class EngineError(RuntimeError):
 
 class TaskFailure(EngineError):
     """A task exhausted its attempts under the ``fail_fast`` policy."""
+
+
+class FingerprintMismatch(EngineError, ValueError):
+    """A persisted artifact belongs to a different spec than expected.
+
+    Raised when a checkpoint journal or stored result is opened with an
+    explicit ``expect_fingerprint`` that does not match the spec it is
+    being used with — resuming one spec's sweep from another spec's
+    journal would silently mix incompatible points.  Subclasses
+    ``ValueError`` so pre-typed callers that caught the bare error keep
+    working.
+    """
+
+    def __init__(self, expected: str, actual: str,
+                 context: str = "checkpoint") -> None:
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{context} fingerprint mismatch: expected {expected}, "
+            f"got {actual} (the artifact belongs to a different spec)")
 
 
 class InjectedFault(RuntimeError):
@@ -413,6 +450,20 @@ class TaskRecord:
             "stage_counts": dict(self.stage_counts),
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TaskRecord":
+        return cls(
+            index=int(data["index"]),
+            task=data["task"],
+            status=data.get("status", "ok"),
+            attempts=int(data.get("attempts", 1)),
+            duration_s=float(data.get("duration_s", 0.0)),
+            error=data.get("error"),
+            resumed=bool(data.get("resumed", False)),
+            spawn_key=tuple(data.get("spawn_key", ())),
+            stage_counts=dict(data.get("stage_counts") or {}),
+        )
+
 
 def _stage_counts_from(snapshot: Optional[Dict[str, Any]]) -> Dict[str, int]:
     """Extract one task's per-stage packet breakdown from its metrics
@@ -475,6 +526,35 @@ class RunResult:
             },
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (or the sweep
+        service's stored form).  Round-trips bit-identically through
+        default ``json.dumps``/``loads`` — Python serializes floats via
+        ``repr``, which is exact, and the NaN BER sentinel survives as
+        the bare ``NaN`` token — so a cached result equals the freshly
+        computed one point-for-point."""
+        from repro.sim.spec import load_spec
+
+        spec = load_spec(data["spec"], warn_legacy=False)
+        if isinstance(spec, MacExperimentSpec):
+            from repro.sim.macsim import MacExperimentPoint as point_cls
+        else:
+            from repro.sim.linksim import LinkPoint as point_cls  # type: ignore[no-redef]
+        points = [point_cls(**p) if p is not None else None
+                  for p in data.get("points", [])]
+        timing = data.get("timing", {})
+        return cls(
+            spec=spec,
+            points=points,
+            wall_time_s=float(timing.get("wall_time_s", 0.0)),
+            n_jobs=int(timing.get("n_jobs", 1)),
+            n_tasks=int(timing.get("n_tasks", len(points))),
+            packets_simulated=int(timing.get("packets_simulated", 0)),
+            tasks=[TaskRecord.from_dict(t) for t in data.get("tasks", [])],
+            metrics=dict(data.get("metrics") or {}),
+        )
+
     def to_json(self, **dumps_kwargs) -> str:
         # NaN (the no-data BER sentinel) is not valid strict JSON; emit
         # null instead so any consumer can parse the output.
@@ -500,20 +580,33 @@ class CheckpointJournal:
     spec only — journals are safe to share across specs, and rows from
     an edited spec are simply ignored.  A torn final line (the process
     died mid-write) is skipped, so resume is crash-safe.
+
+    The first row a spec writes is a *header* carrying its enveloped
+    spec (:func:`repro.sim.spec.dump_spec`), so a journal is
+    self-describing: tooling can recover which specs produced it
+    without the original code.  Opening a journal with an explicit
+    *expect_fingerprint* that does not match the spec raises
+    :class:`FingerprintMismatch` instead of silently resuming nothing.
     """
 
-    def __init__(self, path: Union[str, os.PathLike], spec: Spec):
+    def __init__(self, path: Union[str, os.PathLike], spec: Spec,
+                 expect_fingerprint: Optional[str] = None):
         self.path = Path(path)
         self.fingerprint = spec_fingerprint(spec)
+        if (expect_fingerprint is not None
+                and expect_fingerprint != self.fingerprint):
+            raise FingerprintMismatch(expect_fingerprint, self.fingerprint,
+                                      context="checkpoint journal")
+        self._spec = spec
         self._kind = "mac_sweep" if isinstance(spec, MacExperimentSpec) \
             else "link_sweep"
+        self._header_written = False
 
-    def load_entries(self) -> Dict[int, Dict[str, Any]]:
-        """Completed raw journal rows for this spec, keyed by task index
-        (last write wins, matching :meth:`load`)."""
-        entries: Dict[int, Dict[str, Any]] = {}
+    def _rows(self) -> List[Dict[str, Any]]:
+        """Parse every intact row; torn/non-JSON lines are skipped."""
+        rows: List[Dict[str, Any]] = []
         if not self.path.exists():
-            return entries
+            return rows
         for line in self.path.read_text().splitlines():
             line = line.strip()
             if not line:
@@ -522,12 +615,58 @@ class CheckpointJournal:
                 rec = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn tail write from a killed run
+            if isinstance(rec, dict):
+                rows.append(rec)
+        return rows
+
+    def load_entries(self) -> Dict[int, Dict[str, Any]]:
+        """Completed raw journal rows for this spec, keyed by task index
+        (last write wins, matching :meth:`load`)."""
+        entries: Dict[int, Dict[str, Any]] = {}
+        for rec in self._rows():
             if (rec.get("spec") != self.fingerprint
+                    or rec.get("kind") == "header"
                     or rec.get("status") != "ok"
                     or rec.get("point") is None):
                 continue
             entries[int(rec["index"])] = rec
         return entries
+
+    def ensure_header(self) -> None:
+        """Append the self-describing header row once per spec."""
+        if self._header_written:
+            return
+        if any(rec.get("kind") == "header"
+               and rec.get("spec") == self.fingerprint
+               for rec in self._rows()):
+            self._header_written = True
+            return
+        from repro.sim.spec import dump_spec
+
+        self._append_row({"spec": self.fingerprint, "kind": "header",
+                          "envelope": dump_spec(self._spec)})
+        self._header_written = True
+
+    @staticmethod
+    def header_envelopes(path: Union[str, os.PathLike]
+                         ) -> Dict[str, Dict[str, Any]]:
+        """``{fingerprint: spec envelope}`` for every header in *path*."""
+        out: Dict[str, Dict[str, Any]] = {}
+        journal_path = Path(path)
+        if not journal_path.exists():
+            return out
+        for line in journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from a killed run
+            if (isinstance(rec, dict) and rec.get("kind") == "header"
+                    and isinstance(rec.get("envelope"), dict)):
+                out[str(rec.get("spec"))] = rec["envelope"]
+        return out
 
     def load(self) -> Dict[int, Any]:
         """Completed ``{task index: point}`` entries for this spec."""
@@ -535,7 +674,8 @@ class CheckpointJournal:
                 for i, rec in self.load_entries().items()}
 
     def append(self, record: TaskRecord, point: Any) -> None:
-        rec = {
+        self.ensure_header()
+        self._append_row({
             "spec": self.fingerprint,
             "index": record.index,
             "task": record.task,
@@ -547,7 +687,9 @@ class CheckpointJournal:
             # json allows the NaN token by default and loads it back as
             # float('nan'), so the BER sentinel survives a round trip.
             "point": dataclasses.asdict(point) if point is not None else None,
-        }
+        })
+
+    def _append_row(self, rec: Dict[str, Any]) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a") as fh:
             fh.write(json.dumps(rec) + "\n")
@@ -667,7 +809,8 @@ class ExperimentEngine:
 
     def run(self, spec: Spec,
             checkpoint: Optional[Union[str, os.PathLike]] = None,
-            trace_path: Optional[Union[str, os.PathLike]] = None
+            trace_path: Optional[Union[str, os.PathLike]] = None,
+            expect_fingerprint: Optional[str] = None
             ) -> RunResult:
         """Execute one spec and return its points plus metadata.
 
@@ -677,7 +820,11 @@ class ExperimentEngine:
         event of the run (worker spans, sampled packet forensics,
         engine retry/requeue records) is appended to that JSONL file
         keyed by the spec fingerprint; giving a path with no ``trace``
-        config enables tracing with default sampling.
+        config enables tracing with default sampling.  With
+        *expect_fingerprint* (a caller that tracked the spec by its
+        fingerprint, e.g. a resumed service job), a spec whose
+        fingerprint differs raises :class:`FingerprintMismatch` before
+        any work runs.
         """
         if isinstance(spec, ExperimentSpec):
             tasks = spec.distances_m
@@ -692,6 +839,10 @@ class ExperimentEngine:
         if trace_path is not None and trace_cfg is None:
             trace_cfg = TraceConfig()
         fingerprint = spec_fingerprint(spec)
+        if (expect_fingerprint is not None
+                and expect_fingerprint != fingerprint):
+            raise FingerprintMismatch(expect_fingerprint, fingerprint,
+                                      context="run")
 
         children = np.random.SeedSequence(spec.seed).spawn(len(tasks))
         journal = CheckpointJournal(checkpoint, spec) if checkpoint else None
@@ -1027,3 +1178,44 @@ def run_experiment(spec: Spec, n_jobs: Optional[int] = 1,
     engine = ExperimentEngine(n_jobs=n_jobs, failure_policy=failure_policy,
                               trace=trace)
     return engine.run(spec, checkpoint=checkpoint, trace_path=trace_path)
+
+
+# -- reusable run orchestration -------------------------------------------
+# Everything above executes a spec; *how* it executes (worker count,
+# failure policy, tracing, checkpoint/trace destinations) used to live
+# scattered across one-shot CLI argument plumbing.  RunOptions reifies
+# that bundle as data so every front end — the CLI's run/sweep/mac
+# commands and the sweep service's job workers — drives the engine
+# through the same orchestration layer.
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to execute a spec, independent of which spec.
+
+    Picklable and JSON-friendly on purpose: a sweep service can journal
+    the options a job was submitted with and rebuild them on restart.
+    """
+
+    n_jobs: Optional[int] = 1
+    failure_policy: Optional[FailurePolicy] = None
+    trace: Optional[TraceConfig] = None
+    checkpoint: Optional[str] = None
+    trace_path: Optional[str] = None
+    expect_fingerprint: Optional[str] = None
+
+    def replace(self, **changes: Any) -> "RunOptions":
+        return dataclasses.replace(self, **changes)
+
+
+def execute_run(spec: Spec, options: Optional[RunOptions] = None,
+                fault_injector: Optional[FaultInjector] = None) -> RunResult:
+    """Execute *spec* under *options*: the shared entry point behind the
+    CLI's one-shot commands and the sweep service's workers."""
+    options = options or RunOptions()
+    engine = ExperimentEngine(n_jobs=options.n_jobs,
+                              failure_policy=options.failure_policy,
+                              fault_injector=fault_injector,
+                              trace=options.trace)
+    return engine.run(spec, checkpoint=options.checkpoint,
+                      trace_path=options.trace_path,
+                      expect_fingerprint=options.expect_fingerprint)

@@ -1,0 +1,139 @@
+"""Versioned spec (de)serialization: one envelope for every boundary.
+
+Specs cross three serialization boundaries — the sweep service's HTTP
+submission body, the checkpoint journal's header line, and the CLI's
+``--spec-json`` input — and all three must agree on one wire format or
+cache keys and resume fingerprints drift apart.  This module is that
+single format::
+
+    {"kind": "link" | "mac", "version": 1, "spec": {...}}
+
+``kind`` selects the spec class (:class:`~repro.sim.engine.ExperimentSpec`
+for ``"link"``, :class:`~repro.sim.engine.MacExperimentSpec` for
+``"mac"``), ``version`` is the envelope schema version (bumped only on
+incompatible changes; readers accept every version up to their own),
+and ``spec`` is the class's own ``to_dict`` payload.
+
+Bare, un-enveloped spec dicts — the pre-envelope format produced by
+``ExperimentSpec.to_dict()`` directly — still load, keyed off their
+legacy inner ``kind`` (``"link_sweep"`` / ``"mac_sweep"``) or their
+distinguishing fields, but emit a :class:`DeprecationWarning`: new
+writers must envelope.
+
+Malformed input raises :class:`SpecFormatError` (a ``ValueError``)
+with a message naming the offending key, so HTTP handlers can map it
+straight to a 400 response.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from typing import Any, Mapping, Union
+
+from repro.sim.engine import ExperimentSpec, MacExperimentSpec, Spec
+
+__all__ = ["SPEC_VERSION", "SpecFormatError", "dump_spec", "load_spec",
+           "dumps_spec", "loads_spec", "spec_kind"]
+
+#: Current envelope schema version.  Readers accept 1..SPEC_VERSION.
+SPEC_VERSION = 1
+
+_KIND_TO_CLS = {"link": ExperimentSpec, "mac": MacExperimentSpec}
+_LEGACY_KINDS = {"link_sweep": ExperimentSpec, "mac_sweep": MacExperimentSpec}
+
+
+class SpecFormatError(ValueError):
+    """A spec payload that cannot be decoded (bad envelope or body)."""
+
+
+def spec_kind(spec: Spec) -> str:
+    """The envelope ``kind`` for *spec* (``"link"`` or ``"mac"``)."""
+    if isinstance(spec, ExperimentSpec):
+        return "link"
+    if isinstance(spec, MacExperimentSpec):
+        return "mac"
+    raise SpecFormatError(f"unsupported spec type {type(spec).__name__}")
+
+
+def dump_spec(spec: Spec) -> dict:
+    """Wrap *spec* in the versioned envelope (plain, JSON-ready dict)."""
+    return {"kind": spec_kind(spec), "version": SPEC_VERSION,
+            "spec": spec.to_dict()}
+
+
+def load_spec(data: Mapping[str, Any], *,
+              warn_legacy: bool = True) -> Spec:
+    """Decode an enveloped (or legacy bare) spec dict.
+
+    Enveloped payloads are validated against ``kind`` and ``version``;
+    bare pre-envelope dicts still load (with a ``DeprecationWarning``
+    unless *warn_legacy* is false, for readers of formats that embedded
+    bare specs before the envelope existed).  Raises
+    :class:`SpecFormatError` on anything else.
+    """
+    if not isinstance(data, Mapping):
+        raise SpecFormatError(
+            f"spec payload must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    if kind in _KIND_TO_CLS and "spec" in data:
+        version = data.get("version")
+        if not isinstance(version, int) or isinstance(version, bool):
+            raise SpecFormatError(
+                f"spec envelope 'version' must be an integer, got {version!r}")
+        if not 1 <= version <= SPEC_VERSION:
+            raise SpecFormatError(
+                f"unsupported spec envelope version {version} "
+                f"(this reader supports 1..{SPEC_VERSION})")
+        body = data["spec"]
+        if not isinstance(body, Mapping):
+            raise SpecFormatError(
+                "spec envelope 'spec' must be a JSON object, "
+                f"got {type(body).__name__}")
+        return _decode(_KIND_TO_CLS[kind], body)
+    # Legacy bare dict: the inner "kind" tag (or, for very old payloads,
+    # the distinguishing field) selects the class.
+    cls = _LEGACY_KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        if "distances_m" in data:
+            cls = ExperimentSpec
+        elif "tag_counts" in data:
+            cls = MacExperimentSpec
+    if cls is None:
+        raise SpecFormatError(
+            f"not a spec payload: expected an envelope with kind in "
+            f"{sorted(_KIND_TO_CLS)}, got kind={kind!r}")
+    if warn_legacy:
+        warnings.warn(
+            "bare spec dicts are deprecated; wrap them with "
+            "repro.sim.spec.dump_spec "
+            '({"kind": ..., "version": 1, "spec": {...}})',
+            DeprecationWarning, stacklevel=2)
+    return _decode(cls, data)
+
+
+def _decode(cls: type, body: Mapping[str, Any]) -> Spec:
+    try:
+        spec: Spec = cls.from_dict(dict(body))
+    except SpecFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SpecFormatError(
+            f"bad {cls.__name__} payload: {type(exc).__name__}: {exc}"
+        ) from exc
+    return spec
+
+
+def dumps_spec(spec: Spec, **dumps_kwargs: Any) -> str:
+    """:func:`dump_spec` straight to a JSON string."""
+    return json.dumps(dump_spec(spec), sort_keys=True, **dumps_kwargs)
+
+
+def loads_spec(text: Union[str, bytes], *, warn_legacy: bool = True) -> Spec:
+    """:func:`load_spec` straight from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecFormatError(f"spec payload is not valid JSON: {exc}") \
+            from exc
+    return load_spec(data, warn_legacy=warn_legacy)

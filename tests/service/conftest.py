@@ -1,0 +1,33 @@
+"""Shared fixtures for the sweep-service tests.
+
+Small specs on purpose: every test here runs the real engine, so the
+canonical spec is two distances x two packets (~100 ms).
+"""
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import config_by_name
+from repro.sim.engine import ExperimentSpec, MacExperimentSpec
+
+
+@pytest.fixture
+def link_spec():
+    return ExperimentSpec(config=config_by_name("zigbee"),
+                          deployment=Deployment.los(1.0),
+                          distances_m=(2.0, 6.0),
+                          packets_per_point=2, seed=3)
+
+
+@pytest.fixture
+def other_link_spec():
+    return ExperimentSpec(config=config_by_name("zigbee"),
+                          deployment=Deployment.los(1.0),
+                          distances_m=(2.0, 6.0),
+                          packets_per_point=2, seed=4)
+
+
+@pytest.fixture
+def mac_spec():
+    return MacExperimentSpec(tag_counts=(4,), measured_rounds=12,
+                             simulated_rounds=10, seed=1)

@@ -1,0 +1,153 @@
+"""The HTTP front end + urllib client, over a real socket (port 0)."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceClient, ServiceClientError, ServiceHTTPServer
+from repro.service.service import SweepService
+from repro.sim.engine import spec_fingerprint
+from repro.sim.spec import dump_spec
+
+
+@pytest.fixture
+def server(tmp_path):
+    """A running service + HTTP server on an OS-assigned port."""
+    service = SweepService(tmp_path / "svc")
+    http_server = ServiceHTTPServer(service, port=0)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    service.start()
+    try:
+        yield http_server
+    finally:
+        http_server.shutdown()
+        http_server.server_close()
+        service.stop()
+        thread.join(timeout=10)
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout_s=10.0)
+
+
+class TestEndToEnd:
+    def test_submit_poll_fetch_round_trip(self, client, link_spec):
+        assert client.health()
+        job = client.submit(link_spec)
+        assert job["state"] in ("pending", "running", "done")
+        status = client.wait(job["job_id"], timeout_s=60)
+        assert status["state"] == "done"
+        assert status["stage_counts"]  # forensics ride along
+        result = client.fetch(job["job_id"])
+        assert result.ok
+        assert result.spec == link_spec
+        assert len(result.points) == 2
+
+    def test_submit_envelope_dict(self, client, link_spec):
+        job = client.submit(dump_spec(link_spec))
+        assert job["fingerprint"] == spec_fingerprint(link_spec)
+
+    def test_duplicate_submission_served_from_cache(self, client,
+                                                    server, link_spec):
+        first = client.submit(link_spec)
+        client.wait(first["job_id"], timeout_s=60)
+        second = client.submit(link_spec)
+        assert second["state"] == "done" and second["cached"]
+        assert client.fetch_raw(first["job_id"]) \
+            == client.fetch_raw(second["job_id"])
+        assert server.service.counter("service.cache.hits") == 1
+
+    def test_jobs_listing(self, client, link_spec):
+        job = client.submit(link_spec)
+        listed = client.jobs()
+        assert [j["job_id"] for j in listed] == [job["job_id"]]
+
+    def test_metrics_endpoint(self, client, link_spec):
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        text = client.metrics()
+        assert "repro_service_jobs_submitted_total 1" in text
+        assert "repro_service_http_requests_total" in text
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.status("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_unfinished_result_is_409(self, server, client, link_spec):
+        server.service.stop()  # freeze the workers: job stays pending
+        job = client.submit(link_spec)
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.fetch(job["job_id"])
+        assert excinfo.value.status == 409
+
+    def test_bad_spec_is_400(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.submit({"kind": "nope", "version": 1, "spec": {}})
+        assert excinfo.value.status == 400
+        assert "spec" in str(excinfo.value)
+
+    def test_invalid_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{nope",
+            headers={"Content-Type": "application/json"}, method="POST")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert "JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_health_never_requires_state(self, server):
+        with urllib.request.urlopen(server.url + "/healthz",
+                                    timeout=10) as response:
+            assert json.loads(response.read()) == {"ok": True}
+
+
+class TestRestartOverHTTP:
+    def test_server_restart_resumes_queued_jobs(self, tmp_path, link_spec,
+                                                other_link_spec):
+        root = tmp_path / "svc"
+        # First server accepts two jobs but is killed before its
+        # workers start.
+        service1 = SweepService(root)
+        server1 = ServiceHTTPServer(service1, port=0)
+        thread1 = threading.Thread(target=server1.serve_forever,
+                                   daemon=True)
+        thread1.start()
+        client1 = ServiceClient(server1.url, timeout_s=10.0)
+        a = client1.submit(link_spec)
+        b = client1.submit(other_link_spec)
+        server1.shutdown()
+        server1.server_close()
+        thread1.join(timeout=10)
+
+        # Second server over the same root finishes them.
+        service2 = SweepService(root)
+        server2 = ServiceHTTPServer(service2, port=0)
+        thread2 = threading.Thread(target=server2.serve_forever,
+                                   daemon=True)
+        thread2.start()
+        service2.start()
+        client2 = ServiceClient(server2.url, timeout_s=10.0)
+        try:
+            done_a = client2.wait(a["job_id"], timeout_s=60)
+            done_b = client2.wait(b["job_id"], timeout_s=60)
+            assert done_a["state"] == "done"
+            assert done_b["state"] == "done"
+            assert client2.fetch(a["job_id"]).ok
+        finally:
+            server2.shutdown()
+            server2.server_close()
+            service2.stop()
+            thread2.join(timeout=10)

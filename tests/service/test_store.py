@@ -1,0 +1,93 @@
+"""The content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.service.store import STORE_VERSION, ResultStore, StoreError
+from repro.sim.engine import (
+    ExperimentEngine,
+    FingerprintMismatch,
+    spec_fingerprint,
+)
+from repro.sim.spec import load_spec
+
+
+@pytest.fixture
+def result(link_spec):
+    return ExperimentEngine().run(link_spec)
+
+
+class TestPutGet:
+    def test_put_returns_fingerprint_and_has(self, tmp_path, result,
+                                             link_spec):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        assert key == spec_fingerprint(link_spec)
+        assert store.has(key)
+        assert store.fingerprints() == [key]
+
+    def test_get_round_trips_points_exactly(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        loaded = store.get(key)
+        assert loaded is not None
+        assert loaded.spec == result.spec
+        assert loaded.points == result.points  # exact float equality
+        assert [t.to_dict() for t in loaded.tasks] \
+            == [t.to_dict() for t in result.tasks]
+        assert loaded.packets_simulated == result.packets_simulated
+
+    def test_missing_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert not store.has("deadbeefdeadbeef")
+        assert store.raw("deadbeefdeadbeef") is None
+        assert store.get("deadbeefdeadbeef") is None
+        with pytest.raises(KeyError):
+            store.load_record("deadbeefdeadbeef")
+
+    def test_record_is_self_describing(self, tmp_path, result, link_spec):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        record = store.load_record(key)
+        assert record["version"] == STORE_VERSION
+        assert record["fingerprint"] == key
+        assert load_spec(record["envelope"]) == link_spec
+
+    def test_raw_bytes_are_stable_across_reads(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        assert store.raw(key) == store.raw(key)
+        assert store.raw(key) == store.path_for(key).read_bytes()
+
+    def test_atomic_publication_leaves_no_tmp(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        store.put(result)
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCorruption:
+    def test_truncated_record_raises_store_error(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        store.path_for(key).write_text('{"version": 1, "fing')
+        with pytest.raises(StoreError, match="not valid JSON"):
+            store.load_record(key)
+
+    def test_recordless_json_raises_store_error(self, tmp_path, result):
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        store.path_for(key).write_text('{"version": 1}')
+        with pytest.raises(StoreError, match="result"):
+            store.load_record(key)
+
+    def test_mislabeled_record_raises_fingerprint_mismatch(
+            self, tmp_path, result):
+        # A record renamed to the wrong key must refuse to serve.
+        store = ResultStore(tmp_path)
+        key = store.put(result)
+        record = json.loads(store.path_for(key).read_text())
+        wrong = "0" * 16
+        store.path_for(wrong).write_text(json.dumps(record))
+        with pytest.raises(FingerprintMismatch):
+            store.load_record(wrong)

@@ -153,6 +153,9 @@ class TestStageCountsInJournal:
         path = tmp_path / "ck.jsonl"
         ExperimentEngine(n_jobs=1).run(spec, checkpoint=str(path))
         rows = [json.loads(line) for line in path.read_text().splitlines()]
+        header, rows = rows[0], rows[1:]
+        assert header["kind"] == "header"
+        assert header["envelope"]["kind"] == "link"
         assert len(rows) == 2
         for row in rows:
             assert sum(row["stage_counts"].values()) == 2

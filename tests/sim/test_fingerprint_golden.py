@@ -1,0 +1,106 @@
+"""The spec-fingerprint stability contract.
+
+``spec_fingerprint`` is a *persistent* content address: checkpoint
+journals, trace files, and the sweep service's result store are all
+keyed by it, so a fingerprint computed by an old version of this repo
+must match one computed today for the same spec.  These tests freeze
+the contract from both ends:
+
+* a frozen canonical JSON string hashes to a frozen fingerprint
+  (catches changes to the hash recipe: algorithm, truncation,
+  canonicalization flags);
+* a spec *constructed today* still produces that frozen fingerprint
+  (catches drift in ``to_dict`` — a renamed or reordered field would
+  silently orphan every stored artifact).
+
+If one of these fails, you have changed the on-disk key format:
+either revert, or version the artifacts and migrate.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import config_by_name
+from repro.sim.engine import (
+    EngineError,
+    ExperimentEngine,
+    ExperimentSpec,
+    FingerprintMismatch,
+    spec_fingerprint,
+)
+
+# The frozen canonical form of GOLDEN_SPEC below: exactly
+# json.dumps(spec.to_dict(), sort_keys=True) as of the freeze.
+GOLDEN_CANONICAL_JSON = (
+    '{"config": {"backscatter_shift_hz": 5000000.0, "bandwidth_hz": '
+    '2000000.0, "decode_threshold_snr_db": 7.5, "fading_sigma_db": 2.5, '
+    '"implementation_loss_db": 14.0, "interpacket_gap_us": 192.0, '
+    '"name": "zigbee", "noise_figure_db": 5.0, "payload_bytes": 100, '
+    '"repetition": 4, "tx_power_dbm": 5.0}, "deployment": '
+    '{"backscatter_path": {"exponent": 2.6, "name": "los-hallway", '
+    '"pl_d0_db": 30.0, "shadowing_sigma_db": 0.0, "walls": []}, '
+    '"forward_path": {"exponent": 2.6, "name": "los-hallway", '
+    '"pl_d0_db": 30.0, "shadowing_sigma_db": 0.0, "walls": []}, '
+    '"name": "los-hallway", "tag_to_rx_m": 1.0, "tx_to_tag_m": 1.0}, '
+    '"distances_m": [2.0, 6.0], "kind": "link_sweep", "label": "", '
+    '"packets_per_point": 2, "seed": 3}'
+)
+GOLDEN_FINGERPRINT = "ac49b0532fdbccd8"
+
+
+def golden_spec() -> ExperimentSpec:
+    return ExperimentSpec(config=config_by_name("zigbee"),
+                          deployment=Deployment.los(1.0),
+                          distances_m=(2.0, 6.0),
+                          packets_per_point=2, seed=3)
+
+
+class TestGoldenFingerprint:
+    def test_frozen_json_hashes_to_frozen_fingerprint(self):
+        # The hash recipe itself: sha256 of the canonical JSON,
+        # truncated to 16 hex chars.
+        digest = hashlib.sha256(
+            GOLDEN_CANONICAL_JSON.encode("utf-8")).hexdigest()[:16]
+        assert digest == GOLDEN_FINGERPRINT
+
+    def test_todays_spec_matches_frozen_fingerprint(self):
+        assert spec_fingerprint(golden_spec()) == GOLDEN_FINGERPRINT
+
+    def test_todays_canonical_json_matches_frozen_json(self):
+        # Stronger than the fingerprint check: pinpoints *which* field
+        # drifted when it fails.
+        canon = json.dumps(golden_spec().to_dict(), sort_keys=True)
+        assert canon == GOLDEN_CANONICAL_JSON
+
+    def test_fingerprint_ignores_key_order(self):
+        scrambled = json.loads(GOLDEN_CANONICAL_JSON)
+        spec = ExperimentSpec.from_dict(scrambled)
+        assert spec_fingerprint(spec) == GOLDEN_FINGERPRINT
+
+
+class TestFingerprintMismatchType:
+    def test_engine_run_rejects_wrong_fingerprint(self):
+        with pytest.raises(FingerprintMismatch) as excinfo:
+            ExperimentEngine().run(golden_spec(),
+                                   expect_fingerprint="0" * 16)
+        assert excinfo.value.expected == "0" * 16
+        assert excinfo.value.actual == GOLDEN_FINGERPRINT
+
+    def test_mismatch_is_engine_error_and_value_error(self):
+        # Typed for new callers, ValueError for pre-existing handlers.
+        exc = FingerprintMismatch("aaaa", "bbbb")
+        assert isinstance(exc, EngineError)
+        assert isinstance(exc, ValueError)
+        assert "aaaa" in str(exc) and "bbbb" in str(exc)
+
+    def test_checkpoint_load_rejects_wrong_fingerprint(self, tmp_path):
+        from repro.sim.engine import CheckpointJournal
+
+        spec = golden_spec()
+        path = tmp_path / "ck.jsonl"
+        CheckpointJournal(path, spec).ensure_header()
+        with pytest.raises(FingerprintMismatch):
+            CheckpointJournal(path, spec, expect_fingerprint="f" * 16)

@@ -1,0 +1,176 @@
+"""The versioned spec envelope (repro.sim.spec).
+
+One wire format for every boundary a spec crosses: HTTP submission
+bodies, checkpoint journal headers, and the CLI's ``--spec-json``.
+These tests pin the envelope schema, the legacy bare-dict fallback
+(with its deprecation warning), and the typed errors malformed
+payloads must raise.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.channel.geometry import Deployment
+from repro.sim.config import config_by_name
+from repro.sim.engine import (
+    ExperimentSpec,
+    MacExperimentSpec,
+    spec_fingerprint,
+)
+from repro.sim.spec import (
+    SPEC_VERSION,
+    SpecFormatError,
+    dump_spec,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+    spec_kind,
+)
+
+
+def link_spec() -> ExperimentSpec:
+    return ExperimentSpec(config=config_by_name("wifi"),
+                          deployment=Deployment.los(1.0),
+                          distances_m=(1.0, 5.0),
+                          packets_per_point=2, seed=7)
+
+
+def mac_spec() -> MacExperimentSpec:
+    return MacExperimentSpec(tag_counts=(4, 8), measured_rounds=12,
+                             simulated_rounds=20, seed=1)
+
+
+class TestEnvelope:
+    def test_link_round_trip(self):
+        env = dump_spec(link_spec())
+        assert env["kind"] == "link"
+        assert env["version"] == SPEC_VERSION
+        loaded = load_spec(env)
+        assert loaded == link_spec()
+        assert spec_fingerprint(loaded) == spec_fingerprint(link_spec())
+
+    def test_mac_round_trip(self):
+        env = dump_spec(mac_spec())
+        assert env["kind"] == "mac"
+        assert load_spec(env) == mac_spec()
+
+    def test_string_round_trip(self):
+        text = dumps_spec(link_spec())
+        assert json.loads(text)["kind"] == "link"
+        assert loads_spec(text) == link_spec()
+
+    def test_envelope_is_json_clean(self):
+        # The envelope must survive a strict JSON round trip untouched.
+        env = dump_spec(mac_spec())
+        assert json.loads(json.dumps(env, allow_nan=False)) == env
+
+    def test_spec_kind(self):
+        assert spec_kind(link_spec()) == "link"
+        assert spec_kind(mac_spec()) == "mac"
+        with pytest.raises(SpecFormatError):
+            spec_kind(object())  # type: ignore[arg-type]
+
+    def test_enveloped_load_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            load_spec(dump_spec(link_spec()))
+
+
+class TestLegacyBareDicts:
+    def test_bare_link_dict_loads_with_deprecation_warning(self):
+        bare = link_spec().to_dict()
+        with pytest.warns(DeprecationWarning, match="dump_spec"):
+            assert load_spec(bare) == link_spec()
+
+    def test_bare_mac_dict_loads_with_deprecation_warning(self):
+        bare = mac_spec().to_dict()
+        with pytest.warns(DeprecationWarning):
+            assert load_spec(bare) == mac_spec()
+
+    def test_warn_legacy_false_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_spec(link_spec().to_dict(),
+                             warn_legacy=False) == link_spec()
+
+    def test_very_old_dict_without_kind_tag(self):
+        # Pre-"kind" payloads are recognized by their distinguishing
+        # field.
+        bare = link_spec().to_dict()
+        bare.pop("kind", None)
+        with pytest.warns(DeprecationWarning):
+            assert load_spec(bare) == link_spec()
+
+
+class TestMalformedPayloads:
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SpecFormatError, match="JSON object"):
+            load_spec([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecFormatError, match="kind"):
+            load_spec({"kind": "quantum", "version": 1, "spec": {}})
+
+    def test_missing_version_rejected(self):
+        env = dump_spec(link_spec())
+        del env["version"]
+        with pytest.raises(SpecFormatError, match="version"):
+            load_spec(env)
+
+    def test_bool_version_rejected(self):
+        env = dump_spec(link_spec())
+        env["version"] = True  # json has no int/bool confusion; we do
+        with pytest.raises(SpecFormatError, match="version"):
+            load_spec(env)
+
+    def test_future_version_rejected(self):
+        env = dump_spec(link_spec())
+        env["version"] = SPEC_VERSION + 1
+        with pytest.raises(SpecFormatError, match="unsupported"):
+            load_spec(env)
+
+    def test_non_object_body_rejected(self):
+        env = dump_spec(link_spec())
+        env["spec"] = "not a dict"
+        with pytest.raises(SpecFormatError, match="'spec'"):
+            load_spec(env)
+
+    def test_bad_body_wrapped_as_format_error(self):
+        env = dump_spec(link_spec())
+        env["spec"] = {"nonsense": 1}
+        with pytest.raises(SpecFormatError, match="ExperimentSpec"):
+            load_spec(env)
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(SpecFormatError, match="not valid JSON"):
+            loads_spec("{nope")
+
+    def test_format_error_is_value_error(self):
+        # HTTP handlers map ValueError -> 400; keep that contract.
+        assert issubclass(SpecFormatError, ValueError)
+
+
+class TestCheckpointHeaderUsesEnvelope:
+    def test_journal_header_is_enveloped(self, tmp_path):
+        from repro.sim.engine import CheckpointJournal
+
+        spec = link_spec()
+        journal = CheckpointJournal(tmp_path / "ck.jsonl", spec)
+        journal.ensure_header()
+        first = json.loads(
+            (tmp_path / "ck.jsonl").read_text().splitlines()[0])
+        assert first["kind"] == "header"
+        assert first["spec"] == spec_fingerprint(spec)
+        assert load_spec(first["envelope"]) == spec
+
+    def test_header_envelopes_recovers_specs(self, tmp_path):
+        from repro.sim.engine import CheckpointJournal
+
+        spec = link_spec()
+        journal = CheckpointJournal(tmp_path / "ck.jsonl", spec)
+        journal.ensure_header()
+        mapping = CheckpointJournal.header_envelopes(tmp_path / "ck.jsonl")
+        assert list(mapping) == [spec_fingerprint(spec)]
+        assert load_spec(mapping[spec_fingerprint(spec)]) == spec

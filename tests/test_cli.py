@@ -268,3 +268,192 @@ class TestReportCommand:
         out = capsys.readouterr().out
         assert "Slowest spans" in out
         assert "Traced packets" in out
+
+
+class TestUnifiedRun:
+    """The `run` subcommand: one spec source, one execution path."""
+
+    def test_run_inline_link_flags(self, capsys):
+        assert main(["run", "--radio", "zigbee", "--distances", "2,6",
+                     "--packets", "2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "zigbee backscatter" in out
+        assert "throughput" in out
+
+    def test_run_mac_flag(self, capsys):
+        assert main(["run", "--mac", "--tags", "4", "--rounds", "10",
+                     "--seed", "2"]) == 0
+        assert "fairness" in capsys.readouterr().out
+
+    def test_run_spec_json_envelope(self, tmp_path, capsys):
+        from repro.channel.geometry import Deployment
+        from repro.sim.config import config_by_name
+        from repro.sim.engine import ExperimentSpec
+        from repro.sim.spec import dumps_spec
+
+        spec = ExperimentSpec(config=config_by_name("zigbee"),
+                              deployment=Deployment.los(1.0),
+                              distances_m=(2.0,), packets_per_point=1,
+                              seed=3)
+        path = tmp_path / "spec.json"
+        path.write_text(dumps_spec(spec))
+        assert main(["run", "--spec-json", str(path)]) == 0
+        assert "zigbee backscatter" in capsys.readouterr().out
+
+    def test_run_matches_sweep_output(self, capsys):
+        # `sweep` is a thin wrapper: same spec, same table.
+        argv = ["--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "3"]
+        assert main(["sweep"] + argv) == 0
+        via_sweep = capsys.readouterr().out.splitlines()[1:]  # skip title
+        assert main(["run"] + argv) == 0
+        via_run = capsys.readouterr().out.splitlines()[1:]
+        assert via_run == via_sweep
+
+    def test_run_shares_engine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--jobs", "2", "--metrics-json", "-",
+             "--trace", "t.jsonl", "--checkpoint", "ck.jsonl",
+             "--failure-policy", "degrade"])
+        assert args.jobs == 2
+        assert args.metrics_json == "-"
+        assert args.trace == "t.jsonl"
+        assert args.checkpoint == "ck.jsonl"
+
+
+class TestDeprecatedAliases:
+    """Old flag spellings parse into the canonical dest and warn."""
+
+    @pytest.mark.parametrize("command", ["run", "sweep", "mac"])
+    def test_n_jobs_alias(self, command, capsys):
+        args = build_parser().parse_args([command, "--n-jobs", "3"])
+        assert args.jobs == 3
+        assert "--n-jobs is deprecated" in capsys.readouterr().err
+
+    def test_metrics_alias(self, capsys):
+        args = build_parser().parse_args(["sweep", "--metrics", "m.json"])
+        assert args.metrics_json == "m.json"
+        assert "use --metrics-json" in capsys.readouterr().err
+
+    def test_trace_file_alias(self, capsys):
+        args = build_parser().parse_args(["sweep", "--trace-file",
+                                          "t.jsonl"])
+        assert args.trace == "t.jsonl"
+        assert "use --trace" in capsys.readouterr().err
+
+    def test_resume_alias(self, capsys):
+        args = build_parser().parse_args(["report", "--resume",
+                                          "ck.jsonl"])
+        assert args.checkpoint == "ck.jsonl"
+        assert "use --checkpoint" in capsys.readouterr().err
+
+    def test_aliases_hidden_from_help(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--help"])
+        help_text = capsys.readouterr().out
+        assert "--jobs" in help_text
+        for hidden in ("--n-jobs", "--metrics ", "--trace-file",
+                       "--resume"):
+            assert hidden not in help_text
+
+    def test_canonical_spelling_is_silent(self, capsys):
+        build_parser().parse_args(["sweep", "--jobs", "2",
+                                   "--metrics-json", "m.json"])
+        assert capsys.readouterr().err == ""
+
+    @pytest.mark.parametrize("command", ["run", "sweep", "mac", "bench",
+                                         "submit"])
+    def test_metrics_json_spelled_identically_everywhere(self, command):
+        args = build_parser().parse_args([command, "--metrics-json", "-"])
+        assert args.metrics_json == "-"
+
+
+class TestBenchMetricsJson:
+    def test_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--smoke",
+                                          "--metrics-json", "-"])
+        assert args.metrics_json == "-"
+        assert args.smoke
+
+
+class TestServiceSubcommands:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.root == ".repro-service"
+        assert args.port == 8351
+        assert args.workers == 1
+        assert args.jobs == 1
+
+    def test_submit_spec_flags_match_run(self):
+        args = build_parser().parse_args(
+            ["submit", "--radio", "zigbee", "--distances", "2,6",
+             "--wait", "--timeout", "30"])
+        assert args.radio == "zigbee"
+        assert args.wait and args.timeout == 30.0
+
+    def test_url_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://example:1234")
+        args = build_parser().parse_args(["status"])
+        assert args.url == "http://example:1234"
+
+    def test_url_flag_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_URL", "http://example:1234")
+        args = build_parser().parse_args(
+            ["fetch", "job-000001", "--url", "http://other:9"])
+        assert args.url == "http://other:9"
+
+    def test_unreachable_service_exit_code(self, capsys):
+        # Nothing listens on this port: exit 5 plus a hint, not a
+        # traceback.
+        code = main(["status", "--url", "http://127.0.0.1:9"])
+        err = capsys.readouterr().err
+        assert code == 5
+        assert "repro serve" in err
+
+
+class TestServiceRoundTripViaCli:
+    """submit/status/fetch mains against a real in-process server."""
+
+    @pytest.fixture
+    def server(self, tmp_path):
+        import threading
+
+        from repro.service import ServiceHTTPServer, SweepService
+
+        service = SweepService(tmp_path / "svc")
+        http_server = ServiceHTTPServer(service, port=0)
+        thread = threading.Thread(target=http_server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        service.start()
+        try:
+            yield http_server
+        finally:
+            http_server.shutdown()
+            http_server.server_close()
+            service.stop()
+            thread.join(timeout=10)
+
+    def test_submit_wait_status_fetch(self, server, capsys, tmp_path):
+        import json
+
+        argv = ["--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "3", "--url", server.url]
+        assert main(["submit"] + argv + ["--wait", "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "state=done" in out
+        assert "throughput" in out  # the result table rides along
+
+        # Duplicate submission: answered from the cache.
+        assert main(["submit"] + argv + ["--json"]) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["state"] == "done" and job["cached"]
+
+        assert main(["status", job["job_id"], "--url", server.url]) == 0
+        assert "(cached)" in capsys.readouterr().out
+
+        out_path = tmp_path / "record.json"
+        assert main(["fetch", job["job_id"], "--url", server.url,
+                     "-o", str(out_path)]) == 0
+        record = json.loads(out_path.read_text())
+        assert record["fingerprint"] == job["fingerprint"]
