@@ -12,9 +12,11 @@ from repro.bench.runner import (
     compare_runs,
     format_report,
     load_history,
+    require_batch_wins,
     run_benchmarks,
     update_history,
 )
 
 __all__ = ["BenchReport", "KernelResult", "compare_runs", "format_report",
-           "load_history", "run_benchmarks", "update_history"]
+           "load_history", "require_batch_wins", "run_benchmarks",
+           "update_history"]

@@ -9,7 +9,8 @@ import numpy as np
 from repro.dsp.measure import signal_power
 from repro.utils.rng import make_rng
 
-__all__ = ["awgn", "awgn_at_snr", "snr_from_powers", "noise_for_floor"]
+__all__ = ["awgn", "awgn_at_snr", "awgn_predraw", "awgn_apply_batch",
+           "snr_from_powers", "noise_for_floor"]
 
 
 def awgn(signal: np.ndarray, noise_power: float,
@@ -30,6 +31,40 @@ def awgn_at_snr(signal: np.ndarray, snr_db: float,
     p = signal_power(signal)
     noise_power = p / 10 ** (snr_db / 10)
     return awgn(signal, noise_power, rng)
+
+
+def awgn_predraw(signal: np.ndarray, snr_db: float,
+                 rng: Optional[np.random.Generator] = None):
+    """Phase 1 of :func:`awgn_at_snr`: consume the generator now, defer
+    the arithmetic.
+
+    Returns ``(sigma, z_re, z_im)`` where the z's are standard-normal
+    draws.  ``gen.normal(0, sigma, n)`` and ``sigma *
+    gen.standard_normal(n)`` are bitwise-identical (same values, same
+    generator state — numpy's normal is exactly the scale-multiply), so
+    ``signal + (sigma * z_re + 1j * (sigma * z_im))`` reproduces
+    :func:`awgn_at_snr` bit for bit while letting a batch caller stack
+    many packets' scale-and-add into one vectorised pass
+    (:func:`awgn_apply_batch`).
+    """
+    gen = make_rng(rng)
+    p = signal_power(signal)
+    noise_power = p / 10 ** (snr_db / 10)
+    sigma = float(np.sqrt(noise_power / 2))
+    n = len(signal)
+    return sigma, gen.standard_normal(n), gen.standard_normal(n)
+
+
+def awgn_apply_batch(signals: np.ndarray, sigmas: np.ndarray,
+                     z_re: np.ndarray, z_im: np.ndarray) -> np.ndarray:
+    """Phase 2: apply pre-drawn noise to a (B, N) signal stack.
+
+    The broadcast multiply and elementwise complex add perform exactly
+    the scalar path's per-element operations, so every row is
+    bit-identical to ``awgn_at_snr`` on that row alone.
+    """
+    scale = np.asarray(sigmas, dtype=float)[:, None]
+    return signals + (scale * z_re + 1j * (scale * z_im))
 
 
 def snr_from_powers(signal_dbm: float, noise_dbm: float) -> float:

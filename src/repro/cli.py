@@ -422,8 +422,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reduced work sizes for CI (seconds, not "
                             "minutes; tracked separately in the history)")
     bench.add_argument("--repeats", type=_positive_int, default=None,
-                       help="timed repeats per kernel (default 3, or 1 "
-                            "with --smoke)")
+                       help="timed repeats per kernel (default 3; best "
+                            "of N is reported)")
     bench.add_argument("--history", metavar="PATH", default="BENCH_phy.json",
                        help="perf-trajectory file to append to and "
                             "compare against (default: %(default)s)")
@@ -434,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-history", action="store_true",
                        help="measure and print only; skip the history "
                             "file entirely")
+    bench.add_argument("--require-batch-wins", action="store_true",
+                       help="exit 5 unless the batched packet loop is at "
+                            "least as fast as the scalar loop on every "
+                            "radio")
     _add_shared(bench, "metrics-json",
                 help="write the kernel timings / speedups record as "
                      "JSON ('-' for stdout)")
@@ -597,6 +601,7 @@ def _cmd_bench(args) -> int:
         compare_runs,
         format_report,
         load_history,
+        require_batch_wins,
         run_benchmarks,
         update_history,
     )
@@ -615,11 +620,22 @@ def _cmd_bench(args) -> int:
         else:
             with open(args.metrics_json, "w") as fh:
                 fh.write(text + "\n")
+    violations = (require_batch_wins(report)
+                  if args.require_batch_wins else [])
     if args.no_history:
+        if violations:
+            print("\nBATCH-WIN VIOLATION:", file=sys.stderr)
+            for line in violations:
+                print(f"  {line}", file=sys.stderr)
+            return 5
         return 0
     history = load_history(args.history)
-    regressions = compare_runs(history, report, tolerance=args.tolerance)
+    notes: list = []
+    regressions = compare_runs(history, report, tolerance=args.tolerance,
+                               notes=notes)
     update_history(args.history, report)
+    for line in notes:
+        print(f"note: {line}")
     if regressions:
         print(f"\nPERF REGRESSION vs {args.history}:", file=sys.stderr)
         for line in regressions:
@@ -627,6 +643,11 @@ def _cmd_bench(args) -> int:
         return 4
     print(f"\nhistory: appended run #{len(history['runs']) + 1} "
           f"to {args.history} (no regressions)")
+    if violations:
+        print("\nBATCH-WIN VIOLATION:", file=sys.stderr)
+        for line in violations:
+            print(f"  {line}", file=sys.stderr)
+        return 5
     return 0
 
 

@@ -113,12 +113,13 @@ class XorTagDecoder:
         if gf + gb >= span:  # keep at least one voting bit
             scale = (span - 1) / max(gf + gb, 1)
             gf, gb = int(gf * scale), int(gb * scale)
-        bits = np.zeros(n_syms, dtype=np.uint8)
-        for k in range(n_syms):
-            lo = self.offset_bits + k * span + gf
-            hi = self.offset_bits + (k + 1) * span - gb
-            window = diff[lo:hi]
-            bits[k] = 1 if window.sum() * 2 >= window.size else 0
+        # The spans tile the stream regularly, so every majority vote is
+        # one integer row-sum of a reshaped view — exact, hence
+        # interchangeable with the historical per-span loop.
+        windows = diff[self.offset_bits:self.offset_bits + n_syms * span] \
+            .reshape(n_syms, span)[:, gf:span - gb]
+        votes = windows.sum(axis=1, dtype=np.int64)
+        bits = (votes * 2 >= windows.shape[1]).astype(np.uint8)
         return TagDecodeResult(bits=bits, diff_stream=diff, n_tag_symbols=n_syms)
 
 
@@ -156,12 +157,12 @@ class SymbolDiffTagDecoder:
         if n_tag_bits is not None:
             n_bits = min(n_bits, n_tag_bits)
         g = min(self.guard_symbols, (self.repetition - 1) // 2)
-        bits = np.zeros(n_bits, dtype=np.uint8)
-        for k in range(n_bits):
-            lo = self.offset_symbols + k * self.repetition + g
-            hi = self.offset_symbols + (k + 1) * self.repetition - g
-            window = diff[lo:hi]
-            bits[k] = 1 if window.sum() * 2 >= window.size else 0
+        rep = self.repetition
+        # Regular spans -> one integer row-sum per vote (see XorTagDecoder).
+        windows = diff[self.offset_symbols:self.offset_symbols
+                       + n_bits * rep].reshape(n_bits, rep)[:, g:rep - g]
+        votes = windows.sum(axis=1, dtype=np.int64)
+        bits = (votes * 2 >= windows.shape[1]).astype(np.uint8)
         return TagDecodeResult(bits=bits, diff_stream=diff, n_tag_symbols=n_bits)
 
 

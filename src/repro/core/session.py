@@ -18,7 +18,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.channel.awgn import awgn_at_snr
+from repro.channel.awgn import awgn_apply_batch
 from repro.obs import forensics
 from repro.core.decoder import SymbolDiffTagDecoder, XorTagDecoder
 from repro.core.translation import (
@@ -32,7 +32,8 @@ from repro.utils.rng import make_rng
 
 __all__ = ["SessionResult", "Excitation", "PacketDraw",
            "WifiBackscatterSession", "ZigbeeBackscatterSession",
-           "BleBackscatterSession", "DsssBackscatterSession"]
+           "BleBackscatterSession", "DsssBackscatterSession",
+           "QuaternaryWifiSession"]
 
 
 @dataclass
@@ -111,14 +112,20 @@ class SessionResult:
 class PacketDraw:
     """The randomness and cheap per-packet work of one ``run_packet``.
 
-    ``draw_packet`` consumes the generator in exactly the scalar
+    ``predraw_packet`` consumes the generator in exactly the scalar
     order (tag bits, envelope gate, sync gate, AWGN), so a caller can
     interleave its own draws — per-packet fading, say — between packets
-    and still hand the whole batch to ``finish_packets`` for one
-    vectorised decode with results bit-identical to the scalar loop.
+    and still hand the whole batch to ``channel_packets`` +
+    ``finish_packets`` for vectorised noise and decode with results
+    bit-identical to the scalar loop.
 
     ``result`` is set when a pre-decode gate already decided the packet
-    (envelope miss, sync miss); such draws carry no waveform.
+    (envelope miss, sync miss); such draws carry no waveform.  Between
+    the two phases a pending draw holds only its standard-normal noise
+    draws (``z_re``/``z_im``) and the bits to modulate: the tag
+    modulation, power measurement, and noise scale are all deferred to
+    ``channel_packets``, which runs them over stacked arrays and fills
+    in ``sigma`` and ``noisy``.
     """
 
     excitation: Excitation
@@ -128,6 +135,9 @@ class PacketDraw:
     noisy: Optional[np.ndarray] = None  # post-channel waveform to decode
     noise_var: float = 0.0              # receiver noise estimate (WiFi)
     snr_db: float = 0.0                 # link SNR, for forensic events
+    sigma: float = 0.0                  # per-component noise std dev
+    z_re: Optional[np.ndarray] = None   # standard-normal draws, real part
+    z_im: Optional[np.ndarray] = None   # standard-normal draws, imag part
 
 
 def _record_stage(obs_prefix: str, stage: str, snr_db: float,
@@ -146,23 +156,154 @@ def _record_stage(obs_prefix: str, stage: str, snr_db: float,
 class _BatchPacketMixin:
     """Shared two-phase batch driver for the per-radio sessions.
 
-    Concrete sessions provide ``draw_packet`` (phase 1: every RNG draw
-    and the channel, in scalar order) plus three hooks: ``_batch_key``
-    groups draws that can share one stacked decode, ``_decode_batch``
-    runs the vectorised receiver over one group, and ``_finish_packet``
-    turns one decode into a :class:`SessionResult`.  ``run_packet``
-    and ``run_packets`` are then the scalar and batched drivers over
-    the same pieces.
+    The mixin owns the whole phase-1 pipeline: ``predraw_packet``
+    makes every RNG draw in scalar order (tag bits, envelope gate,
+    sync gate, AWGN standard normals) and ``channel_packets`` turns a
+    batch of pending draws into noisy waveforms with one vectorised
+    scale-and-add per sample-length group.  Concrete sessions provide
+    three hooks for the radio-specific pieces — ``_default_tag_bits``,
+    ``_sync_gate`` (default: no gate), ``_noise_var`` (default: none) —
+    plus the decode trio: ``_batch_key`` groups draws that can share
+    one stacked decode, ``_decode_batch`` runs the vectorised receiver
+    over one group, and ``_finish_packet`` turns one decode into a
+    :class:`SessionResult`.  ``run_packet`` and ``run_packets`` are
+    then the scalar and batched drivers over the same pieces.
     """
 
     _obs: str
     _rng: np.random.Generator
+    tag: FreeRiderTag
+    # Packets stacked per channel/decode pass in run_packets; bounds the
+    # working set (clean + noisy + noise draws) to stay cache-friendly.
+    # Radios whose receiver has enough per-packet Python overhead to
+    # amortise (WiFi's Viterbi) override this upward; the channel-bound
+    # radios (ZigBee, BLE) lose bandwidth on big stacks.
+    _chunk_packets: int = 16
+
+    # -- radio-specific phase-1 hooks -----------------------------------
+
+    def _default_tag_bits(self, info: ExcitationInfo,
+                          gen: np.random.Generator) -> np.ndarray:
+        return random_bits(self.tag.capacity_bits(info), gen)
+
+    def _sync_gate(self, snr_db: float, gen: np.random.Generator) -> bool:
+        """Post-envelope detection gate; must make the same RNG draws
+        whether it passes or fails.  Default: always synchronised."""
+        return True
+
+    def _noise_var(self, snr_db: float) -> float:
+        """Receiver noise-variance estimate handed to the decoder."""
+        return 0.0
+
+    # -- phase 1: RNG draws in scalar order -----------------------------
+
+    def predraw_packet(self, snr_db: float, tag_bits: Any = None,
+                       incident_power_dbm: Optional[float] = None,
+                       rng: Optional[np.random.Generator] = None,
+                       excitation: Optional[Excitation] = None) -> PacketDraw:
+        """Every RNG draw of one packet, in exactly the scalar order
+        (tag bits, envelope gate, sync gate, AWGN normals).  The noise
+        is *drawn* but not yet *applied* — and the tag modulation is
+        deferred entirely: hand the result (alone or stacked with
+        others) to :meth:`channel_packets`, which runs the control
+        waveforms, power measurement, and noise as stacked arrays."""
+        gen = make_rng(rng if rng is not None else self._rng)
+        if excitation is None:
+            excitation = self.make_excitation()
+        frame, info = excitation.frame, excitation.info
+
+        if tag_bits is None:
+            tag_bits = self._default_tag_bits(info, gen)
+        bits = as_bits(tag_bits)
+        obs.inc(self._obs + ".packets")
+        if incident_power_dbm is not None and not self.tag.envelope.detects(
+                incident_power_dbm, gen):
+            result = SessionResult(False, len(tag_bits), len(tag_bits),
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
+        send = bits[:self.tag.capacity_bits(info)]
+
+        if not self._sync_gate(snr_db, gen):
+            result = SessionResult(False, int(send.size), int(send.size),
+                                   frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return PacketDraw(excitation, int(send.size), None, result,
+                              snr_db=snr_db)
+
+        with obs.timed(self._obs + ".channel"):
+            n = info.total_samples
+            z_re, z_im = gen.standard_normal(n), gen.standard_normal(n)
+        return PacketDraw(excitation, int(send.size), send, None,
+                          noise_var=self._noise_var(snr_db), snr_db=snr_db,
+                          z_re=z_re, z_im=z_im)
+
+    def channel_packets(self,
+                        draws: Sequence[PacketDraw]) -> List[PacketDraw]:
+        """Tag modulation plus pre-drawn AWGN for every pending draw,
+        vectorised across packets: one stacked control-waveform multiply
+        and power measurement per shared excitation, then one stacked
+        scale-and-add of the pre-drawn noise per group.  Each row
+        performs
+        exactly the scalar chain's elementwise operations (and the
+        row-wise mean matches the 1-D mean bit for bit), so results are
+        bit-identical to backscattering and noising packets one at a
+        time.  Early-gated draws pass through untouched; the input
+        order is preserved."""
+        pending = [d for d in draws if d.result is None and d.noisy is None]
+        if not pending:
+            return list(draws)
+        with obs.timed(self._obs + ".channel"):
+            by_exc: "OrderedDict[int, List[PacketDraw]]" = OrderedDict()
+            for d in pending:
+                by_exc.setdefault(id(d.excitation), []).append(d)
+            for members in by_exc.values():
+                exc = members[0].excitation
+                frame, info = exc.frame, exc.info
+                if frame.samples.size != info.total_samples:
+                    raise ValueError("excitation length disagrees with info")
+                plan = self.tag.plan_for(info)
+                batch_builder = getattr(self.tag.translator,
+                                        "control_waveform_batch", None)
+                if (batch_builder is not None and len(
+                        {d.sent_bits.size for d in members}) == 1):
+                    ctrl = batch_builder([d.sent_bits for d in members],
+                                         plan, info.total_samples)
+                else:
+                    ctrl = np.stack([
+                        self.tag.translator.control_waveform(
+                            d.sent_bits, plan, info.total_samples)
+                        for d in members])
+                clean = frame.samples[None, :] * ctrl
+                power = np.mean(np.abs(clean) ** 2, axis=1)
+                for k, d in enumerate(members):
+                    noise_power = float(power[k]) / 10 ** (d.snr_db / 10)
+                    d.sigma = float(np.sqrt(noise_power / 2))
+                # AWGN per excitation group: scale-and-add is elementwise
+                # per row, so grouping is free to follow the stacks we
+                # already have — re-stacking by sample length would only
+                # buy a concatenate copy of the largest matrix.
+                noisy = awgn_apply_batch(
+                    clean, np.array([d.sigma for d in members]),
+                    np.stack([d.z_re for d in members]),
+                    np.stack([d.z_im for d in members]))
+                for k, d in enumerate(members):
+                    d.noisy = noisy[k]
+                    d.z_re = d.z_im = None
+        return list(draws)
 
     def draw_packet(self, snr_db: float, tag_bits: Any = None,
                     incident_power_dbm: Optional[float] = None,
                     rng: Optional[np.random.Generator] = None,
                     excitation: Optional[Excitation] = None) -> PacketDraw:
-        raise NotImplementedError
+        """Phase 1 of a packet, noise applied: ``predraw_packet`` plus a
+        single-packet ``channel_packets``."""
+        pre = self.predraw_packet(snr_db, tag_bits=tag_bits,
+                                  incident_power_dbm=incident_power_dbm,
+                                  rng=rng, excitation=excitation)
+        return self.channel_packets([pre])[0]
+
+    # -- phase 2 hooks: radio-specific decode ---------------------------
 
     def _decode_scalar(self, draw: PacketDraw) -> Any:
         raise NotImplementedError
@@ -192,11 +333,13 @@ class _BatchPacketMixin:
             decoded = self._decode_scalar(draw)
         return self._finish_packet(draw, decoded)
 
-    def finish_packets(self,
-                       draws: Sequence[PacketDraw]) -> List[SessionResult]:
-        """Phase 2: decode all pending draws through the batched
-        receiver kernels; bit-identical to finishing each scalar."""
-        results: List[Optional[SessionResult]] = [d.result for d in draws]
+    def decode_packets(self,
+                       draws: Sequence[PacketDraw]) -> List[Any]:
+        """Run the batched receiver kernels over all pending draws,
+        grouped by ``_batch_key``; returns one decode per draw (``None``
+        for early-gated draws).  Each group's stacked decode is
+        bit-identical to decoding its members one at a time."""
+        decodes: List[Any] = [None] * len(draws)
         groups: "OrderedDict[Tuple[Any, ...], List[int]]" = OrderedDict()
         for i, d in enumerate(draws):
             if d.result is None:
@@ -205,8 +348,24 @@ class _BatchPacketMixin:
             with obs.timed(self._obs + ".decode"):
                 decoded = self._decode_batch([draws[i] for i in members])
             for i, dec in zip(members, decoded):
-                results[i] = self._finish_packet(draws[i], dec)
-        return [r for r in results if r is not None]
+                decodes[i] = dec
+        return decodes
+
+    def finish_packet(self, draw: PacketDraw,
+                      decoded: Any) -> SessionResult:
+        """Turn one draw plus its decode (from :meth:`decode_packets`)
+        into a :class:`SessionResult`."""
+        if draw.result is not None:
+            return draw.result
+        return self._finish_packet(draw, decoded)
+
+    def finish_packets(self,
+                       draws: Sequence[PacketDraw]) -> List[SessionResult]:
+        """Phase 2: decode all pending draws through the batched
+        receiver kernels; bit-identical to finishing each scalar."""
+        decodes = self.decode_packets(draws)
+        return [self.finish_packet(d, dec)
+                for d, dec in zip(draws, decodes)]
 
     def run_packets(self, snrs_db: Sequence[float],
                     tag_bits: Optional[Sequence[Any]] = None,
@@ -221,16 +380,44 @@ class _BatchPacketMixin:
         vectorised receiver kernels — results are bit-identical to
         ``[run_packet(snr, ...) for snr in snrs_db]`` under the same
         generator.  *tag_bits*, when given, is one bit array per packet.
+
+        Packets are processed in chunks of ``_chunk_packets`` to keep
+        the stacked waveforms cache-resident — elementwise channel math
+        on very large matrices runs memory-bound and can end up slower
+        than the scalar loop.  Chunking only regroups exact elementwise
+        arithmetic (the RNG phase stays strictly in packet order), so
+        results are unchanged.
         """
         gen = make_rng(rng if rng is not None else self._rng)
+        results: List[SessionResult] = []
+        for a in range(0, len(snrs_db), self._chunk_packets):
+            chunk = snrs_db[a:a + self._chunk_packets]
+            draws = self.draw_packets(
+                chunk,
+                tag_bits=None if tag_bits is None
+                else tag_bits[a:a + self._chunk_packets],
+                incident_power_dbm=incident_power_dbm,
+                rng=gen, excitation=excitation)
+            results.extend(self.finish_packets(draws))
+        return results
+
+    def draw_packets(self, snrs_db: Sequence[float],
+                     tag_bits: Optional[Sequence[Any]] = None,
+                     incident_power_dbm: Optional[float] = None,
+                     rng: Optional[np.random.Generator] = None,
+                     excitation: Optional[Excitation] = None
+                     ) -> List[PacketDraw]:
+        """Phase 1 over many packets: sequential RNG draws (scalar
+        order), then one batched channel pass."""
+        gen = make_rng(rng if rng is not None else self._rng)
         draws = [
-            self.draw_packet(
+            self.predraw_packet(
                 float(snr),
                 tag_bits=None if tag_bits is None else tag_bits[i],
                 incident_power_dbm=incident_power_dbm,
                 rng=gen, excitation=excitation)
             for i, snr in enumerate(snrs_db)]
-        return self.finish_packets(draws)
+        return self.channel_packets(draws)
 
 
 class WifiBackscatterSession(_BatchPacketMixin):
@@ -249,6 +436,10 @@ class WifiBackscatterSession(_BatchPacketMixin):
     sample_rate_hz = 20e6
     unit_samples = 80  # one OFDM symbol at 20 MS/s
     oversample_factor = 1  # sample rate equals channel bandwidth
+    # Viterbi dominates the WiFi receiver, so bigger stacks keep
+    # amortising Python overhead long after the channel math goes
+    # memory-bound.
+    _chunk_packets = 64
     # Real 802.11 sync (STF detection, AGC, CFO) fails near 0 dB SNR even
     # though an ideal-timing Viterbi would still decode; model it as a
     # soft detection gate.  Keeps the range cliff at the paper's ~42 m.
@@ -325,46 +516,13 @@ class WifiBackscatterSession(_BatchPacketMixin):
             radio="wifi",
         )
 
-    def draw_packet(self, snr_db: float, tag_bits: Any = None,
-                    incident_power_dbm: Optional[float] = None,
-                    rng: Optional[np.random.Generator] = None,
-                    excitation: Optional[Excitation] = None) -> PacketDraw:
-        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
-        sync gate, AWGN) in the scalar order, plus the channel."""
-        gen = make_rng(rng if rng is not None else self._rng)
-        if excitation is None:
-            excitation = self.make_excitation()
-        frame, info = excitation.frame, excitation.info
-
-        if tag_bits is None:
-            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        obs.inc(self._obs + ".packets")
-        with obs.timed(self._obs + ".channel"):
-            out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                       incident_power_dbm=incident_power_dbm,
-                                       rng=gen)
-        if not out.detected:
-            result = SessionResult(False, len(tag_bits), len(tag_bits),
-                                   frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
-            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
-
+    def _sync_gate(self, snr_db: float, gen: np.random.Generator) -> bool:
         p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
                                      / self.sync_slope_db))
-        if gen.random() > p_sync:
-            result = SessionResult(False, out.bits_sent, out.bits_sent,
-                                   frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
-            return PacketDraw(excitation, out.bits_sent, None, result,
-                              snr_db=snr_db)
+        return not gen.random() > p_sync
 
-        with obs.timed(self._obs + ".channel"):
-            noisy = awgn_at_snr(out.samples, snr_db, gen)
-        noise_var = 10 ** (-snr_db / 10)
-        return PacketDraw(excitation, out.bits_sent,
-                          as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy, noise_var=max(noise_var, 1e-4),
-                          snr_db=snr_db)
+    def _noise_var(self, snr_db: float) -> float:
+        return max(10 ** (-snr_db / 10), 1e-4)
 
     def _decode_scalar(self, draw: PacketDraw) -> Any:
         return self.receiver.decode(draw.noisy, noise_var=draw.noise_var)
@@ -484,36 +642,6 @@ class ZigbeeBackscatterSession(_BatchPacketMixin):
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def draw_packet(self, snr_db: float, tag_bits: Any = None,
-                    incident_power_dbm: Optional[float] = None,
-                    rng: Optional[np.random.Generator] = None,
-                    excitation: Optional[Excitation] = None) -> PacketDraw:
-        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
-        AWGN) in the scalar order, plus the channel."""
-        gen = make_rng(rng if rng is not None else self._rng)
-        if excitation is None:
-            excitation = self.make_excitation()
-        frame, info = excitation.frame, excitation.info
-
-        if tag_bits is None:
-            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        obs.inc(self._obs + ".packets")
-        with obs.timed(self._obs + ".channel"):
-            out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                       incident_power_dbm=incident_power_dbm,
-                                       rng=gen)
-        if not out.detected:
-            result = SessionResult(False, len(tag_bits), len(tag_bits),
-                                   frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
-            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
-
-        with obs.timed(self._obs + ".channel"):
-            noisy = awgn_at_snr(out.samples, snr_db, gen)
-        return PacketDraw(excitation, out.bits_sent,
-                          as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy, snr_db=snr_db)
-
     def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
         noisy = draw.noisy
         assert noisy is not None
@@ -610,36 +738,6 @@ class BleBackscatterSession(_BatchPacketMixin):
         frame = self._build_frame(payload)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def draw_packet(self, snr_db: float, tag_bits: Any = None,
-                    incident_power_dbm: Optional[float] = None,
-                    rng: Optional[np.random.Generator] = None,
-                    excitation: Optional[Excitation] = None) -> PacketDraw:
-        """Phase 1 of a packet: every RNG draw (tag bits, envelope gate,
-        AWGN) in the scalar order, plus the channel."""
-        gen = make_rng(rng if rng is not None else self._rng)
-        if excitation is None:
-            excitation = self.make_excitation()
-        frame, info = excitation.frame, excitation.info
-
-        if tag_bits is None:
-            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        obs.inc(self._obs + ".packets")
-        with obs.timed(self._obs + ".channel"):
-            out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                       incident_power_dbm=incident_power_dbm,
-                                       rng=gen)
-        if not out.detected:
-            result = SessionResult(False, len(tag_bits), len(tag_bits),
-                                   frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
-            return PacketDraw(excitation, 0, None, result, snr_db=snr_db)
-
-        with obs.timed(self._obs + ".channel"):
-            noisy = awgn_at_snr(out.samples, snr_db, gen)
-        return PacketDraw(excitation, out.bits_sent,
-                          as_bits(tag_bits)[:out.bits_sent], None,
-                          noisy=noisy, snr_db=snr_db)
-
     def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
         noisy = draw.noisy
         assert noisy is not None
@@ -680,7 +778,7 @@ class BleBackscatterSession(_BatchPacketMixin):
         return out
 
 
-class DsssBackscatterSession:
+class DsssBackscatterSession(_BatchPacketMixin):
     """802.11b DSSS backscatter link — the HitchHike [25] baseline.
 
     One tag bit spans *repetition* 1 us DBPSK symbols, modulated in the
@@ -740,37 +838,26 @@ class DsssBackscatterSession:
         frame = self._build_frame(psdu)
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits: Any = None,
-                   incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None,
-                   excitation: Optional[Excitation] = None) -> SessionResult:
-        """One excitation packet end-to-end at the given backscatter SNR."""
-        gen = make_rng(rng if rng is not None else self._rng)
-        if excitation is None:
-            excitation = self.make_excitation()
-        frame, info = excitation.frame, excitation.info
+    def _batch_key(self, draw: PacketDraw) -> Tuple[Any, ...]:
+        noisy = draw.noisy
+        assert noisy is not None
+        return (noisy.size, draw.excitation.frame.n_bits)
 
-        if tag_bits is None:
-            tag_bits = random_bits(self.tag.capacity_bits(info), gen)
-        obs.inc(self._obs + ".packets")
-        with obs.timed(self._obs + ".channel"):
-            out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                       incident_power_dbm=incident_power_dbm,
-                                       rng=gen)
-        if not out.detected:
-            res = SessionResult(False, len(tag_bits), len(tag_bits),
-                                frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
-            return res
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        return self.receiver.decode(draw.noisy,
+                                    draw.excitation.frame.n_bits)
 
-        with obs.timed(self._obs + ".channel"):
-            noisy = awgn_at_snr(out.samples, snr_db, gen)
-        with obs.timed(self._obs + ".decode"):
-            result = self.receiver.decode(noisy, frame.n_bits)
-        if not result.header_ok or result.bits is None:
-            res = SessionResult(False, out.bits_sent, out.bits_sent,
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        waveforms = np.stack([d.noisy for d in draws])
+        return self.receiver.decode_batch(
+            waveforms, draws[0].excitation.frame.n_bits)
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
+        frame = draw.excitation.frame
+        if not decoded.header_ok or decoded.bits is None:
+            res = SessionResult(False, draw.bits_sent, draw.bits_sent,
                                 frame.duration_us)
-            _record_stage(self._obs, result.stage, snr_db, res)
+            _record_stage(self._obs, decoded.stage, draw.snr_db, res)
             return res
 
         # The self-sync descrambler smears 7 bits forward into each span.
@@ -778,15 +865,15 @@ class DsssBackscatterSession:
                                 repetition=self.repetition,
                                 offset_bits=frame.payload_offset_bits,
                                 guard_front=7, guard_back=1)
-        decoded = decoder.decode(frame.bits, result.bits,
-                                 n_tag_bits=out.bits_sent)
-        errors = decoded.errors_against(tag_bits[:out.bits_sent])
-        res = SessionResult(True, out.bits_sent, errors, frame.duration_us)
-        _record_stage(self._obs, result.stage, snr_db, res)
+        tag_decode = decoder.decode(frame.bits, decoded.bits,
+                                    n_tag_bits=draw.bits_sent)
+        errors = tag_decode.errors_against(draw.sent_bits)
+        res = SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, decoded.stage, draw.snr_db, res)
         return res
 
 
-class QuaternaryWifiSession:
+class QuaternaryWifiSession(_BatchPacketMixin):
     """Higher-rate WiFi backscatter using equation (5): 90-degree phase
     steps carrying 2 tag bits per step on a QPSK (12 Mb/s) excitation.
 
@@ -859,63 +946,50 @@ class QuaternaryWifiSession:
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
         return Excitation(frame=frame, info=self._info(frame))
 
-    def run_packet(self, snr_db: float, tag_bits: Any = None,
-                   incident_power_dbm: Optional[float] = None,
-                   rng: Optional[np.random.Generator] = None,
-                   excitation: Optional[Excitation] = None) -> SessionResult:
-        """One excitation packet end-to-end at the given backscatter SNR."""
+    def _default_tag_bits(self, info: ExcitationInfo,
+                          gen: np.random.Generator) -> np.ndarray:
+        # Two tag bits per phase step: round capacity down to even.
+        capacity = self.tag.capacity_bits(info)
+        return random_bits(capacity - capacity % 2, gen)
+
+    def _sync_gate(self, snr_db: float, gen: np.random.Generator) -> bool:
+        p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
+                                     / self.sync_slope_db))
+        return not gen.random() > p_sync
+
+    def _noise_var(self, snr_db: float) -> float:
+        return max(10 ** (-snr_db / 10), 1e-4)
+
+    def _decode_scalar(self, draw: PacketDraw) -> Any:
+        return self.receiver.decode(draw.noisy, noise_var=draw.noise_var)
+
+    def _decode_batch(self, draws: List[PacketDraw]) -> List[Any]:
+        waveforms = np.stack([d.noisy for d in draws])
+        noise_vars = np.array([d.noise_var for d in draws])
+        return self.receiver.decode_batch(waveforms, noise_vars)
+
+    def _finish_packet(self, draw: PacketDraw, decoded: Any) -> SessionResult:
         from repro.core.quaternary import (
             QuaternaryTagDecoder,
             reference_symbol_matrix,
         )
 
-        gen = make_rng(rng if rng is not None else self._rng)
-        if excitation is None:
-            excitation = self.make_excitation()
-        frame, info = excitation.frame, excitation.info
-
-        if tag_bits is None:
-            capacity = self.tag.capacity_bits(info)
-            tag_bits = random_bits(capacity - capacity % 2, gen)
-        obs.inc(self._obs + ".packets")
-        with obs.timed(self._obs + ".channel"):
-            out = self.tag.backscatter(frame.samples, info, tag_bits,
-                                       incident_power_dbm=incident_power_dbm,
-                                       rng=gen)
-        if not out.detected:
-            res = SessionResult(False, len(tag_bits), len(tag_bits),
-                                frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
-            return res
-
-        p_sync = 1.0 / (1.0 + np.exp(-(snr_db - self.sync_threshold_db)
-                                     / self.sync_slope_db))
-        if gen.random() > p_sync:
-            res = SessionResult(False, out.bits_sent, out.bits_sent,
-                                frame.duration_us)
-            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, res)
-            return res
-
-        with obs.timed(self._obs + ".channel"):
-            noisy = awgn_at_snr(out.samples, snr_db, gen)
-        with obs.timed(self._obs + ".decode"):
-            result = self.receiver.decode(noisy,
-                                          noise_var=max(10 ** (-snr_db / 10),
-                                                        1e-4))
+        frame = draw.excitation.frame
+        result = decoded
         if not result.header_ok or result.equalized_symbols is None:
-            res = SessionResult(False, out.bits_sent, out.bits_sent,
+            res = SessionResult(False, draw.bits_sent, draw.bits_sent,
                                 frame.duration_us)
-            _record_stage(self._obs, result.stage, snr_db, res)
+            _record_stage(self._obs, result.stage, draw.snr_db, res)
             return res
 
         reference = reference_symbol_matrix(frame)
         decoder = QuaternaryTagDecoder(repetition=self.repetition,
                                        offset_symbols=1)
-        decoded = decoder.decode_bits(reference, result.equalized_symbols,
-                                      n_tag_bits=out.bits_sent)
-        sent = np.asarray(tag_bits[:out.bits_sent], dtype=np.uint8)
-        n = min(sent.size, decoded.size)
-        errors = int(np.sum(sent[:n] != decoded[:n])) + (sent.size - n)
-        res = SessionResult(True, out.bits_sent, errors, frame.duration_us)
-        _record_stage(self._obs, result.stage, snr_db, res)
+        bits = decoder.decode_bits(reference, result.equalized_symbols,
+                                   n_tag_bits=draw.bits_sent)
+        sent = np.asarray(draw.sent_bits, dtype=np.uint8)
+        n = min(sent.size, bits.size)
+        errors = int(np.sum(sent[:n] != bits[:n])) + (sent.size - n)
+        res = SessionResult(True, draw.bits_sent, errors, frame.duration_us)
+        _record_stage(self._obs, result.stage, draw.snr_db, res)
         return res

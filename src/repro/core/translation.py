@@ -136,6 +136,34 @@ class PhaseTranslator:
             ctrl[span] = np.exp(1j * self.delta_theta * lvl)
         return ctrl
 
+    def control_waveform_batch(self, bit_rows: Sequence[BitsLike],
+                               plan: TranslationPlan,
+                               total_samples: int) -> np.ndarray:
+        """Stacked :meth:`control_waveform` over same-length bit rows.
+
+        Tag symbols cover contiguous, back-to-back sample spans, so the
+        whole modulated region is one ``repeat`` of per-symbol phasors.
+        The phasor for each level is ``np.exp`` of exactly the scalar
+        builder's argument, making every row bit-identical to building
+        it alone — which the batched channel relies on.
+        """
+        levels = np.stack([self.symbols_from_bits(b) for b in bit_rows])
+        n_sym = levels.shape[1]
+        if n_sym > plan.symbols_capacity:
+            raise ValueError(
+                f"{n_sym} tag symbols exceed capacity "
+                f"{plan.symbols_capacity}")
+        ctrl = np.ones((levels.shape[0], total_samples), dtype=complex)
+        if n_sym:
+            step = plan.unit_samples * plan.repetition
+            stop = plan.start_sample + n_sym * step
+            if stop > total_samples:
+                raise ValueError("translation plan overruns the packet")
+            phasors = np.exp(1j * self.delta_theta * np.arange(self.n_levels))
+            ctrl[:, plan.start_sample:stop] = np.repeat(
+                phasors[levels], step, axis=1)
+        return ctrl
+
 
 class AmplitudeTranslator:
     """Naive amplitude modulation — the Wi-Fi Backscatter [15] baseline
@@ -276,4 +304,32 @@ class FskShiftTranslator:
             if span.stop > total_samples:
                 raise ValueError("translation plan overruns the packet")
             ctrl[span] = sq[span]
+        return ctrl
+
+    def control_waveform_batch(self, bit_rows: Sequence[BitsLike],
+                               plan: TranslationPlan,
+                               total_samples: int) -> np.ndarray:
+        """Stacked :meth:`control_waveform` over same-length bit rows.
+
+        The square wave is evaluated once on the global time axis (as
+        the scalar builder does) and selected per 1-bit span with
+        ``np.where``, so every row carries exactly the values the
+        scalar builder would have written — bit rows only choose
+        between ``sq[span]`` and the +1 rest state.
+        """
+        rows = np.stack([as_bits(b) for b in bit_rows])
+        n_bits = rows.shape[1]
+        if n_bits > plan.symbols_capacity:
+            raise ValueError(
+                f"{n_bits} tag bits exceed capacity {plan.symbols_capacity}")
+        ctrl = np.ones((rows.shape[0], total_samples), dtype=float)
+        if n_bits:
+            step = plan.unit_samples * plan.repetition
+            stop = plan.start_sample + n_bits * step
+            if stop > total_samples:
+                raise ValueError("translation plan overruns the packet")
+            sq = square_wave(total_samples, self.delta_f, self.sample_rate_hz)
+            mask = np.repeat(rows.astype(bool), step, axis=1)
+            ctrl[:, plan.start_sample:stop] = np.where(
+                mask, sq[plan.start_sample:stop], 1.0)
         return ctrl

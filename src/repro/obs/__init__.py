@@ -26,6 +26,7 @@ from repro.obs.metrics import (
     TimerStat,
     TraceConfig,
     collect,
+    collect_into,
     event,
     global_registry,
     inc,
@@ -34,11 +35,13 @@ from repro.obs.metrics import (
     registry,
     span,
     timed,
+    tracing_active,
 )
 from repro.obs.report import render_report
 from repro.obs.trace import TraceSink, read_trace
 
 __all__ = ["MetricsRegistry", "TimerStat", "TraceConfig", "TraceSink",
-           "collect", "event", "forensics", "global_registry", "inc",
-           "observe", "packet_event", "prometheus_text", "read_trace",
-           "registry", "render_report", "span", "timed"]
+           "collect", "collect_into", "event", "forensics",
+           "global_registry", "inc", "observe", "packet_event",
+           "prometheus_text", "read_trace", "registry", "render_report",
+           "span", "timed", "tracing_active"]

@@ -50,8 +50,8 @@ from typing import Any, Dict, Iterator, List, Optional
 from repro.obs import forensics
 
 __all__ = ["TimerStat", "TraceConfig", "MetricsRegistry", "registry",
-           "global_registry", "collect", "timed", "inc", "observe",
-           "span", "event", "packet_event"]
+           "global_registry", "collect", "collect_into", "tracing_active",
+           "timed", "inc", "observe", "span", "event", "packet_event"]
 
 
 @dataclass
@@ -380,6 +380,31 @@ def collect(trace: Optional[TraceConfig] = None
         yield reg
     finally:
         _STACK.remove(reg)
+
+
+@contextmanager
+def collect_into(reg: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Route all recording inside the block into an *existing* registry.
+
+    Re-entrant counterpart of :func:`collect`: a caller that interleaves
+    several logical collection scopes (the engine's cross-task batch
+    path attributing per-task stage counters while sharing one decode
+    pass) can push the same registry repeatedly without losing what it
+    already holds.
+    """
+    _STACK.append(reg)
+    try:
+        yield reg
+    finally:
+        # remove() drops the first (bottom-most) occurrence, which keeps
+        # nested re-entries of the same registry balanced.
+        _STACK.remove(reg)
+
+
+def tracing_active() -> bool:
+    """Whether the active registry records spans/events — callers use
+    this to keep trace-faithful per-point code paths when tracing."""
+    return registry().trace is not None
 
 
 def timed(name: str) -> "_ActiveTimer":

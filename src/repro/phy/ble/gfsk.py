@@ -34,6 +34,9 @@ class GfskModem:
     def __post_init__(self):
         if self._taps is None:
             self._taps = gaussian_taps(self.bt, self.sps, span=4)
+        # Per-(bandwidth, length) channel-filter spectra; see
+        # channel_filter_batch.
+        self._fir_cache = {}
 
     @property
     def sample_rate_hz(self) -> float:
@@ -54,16 +57,54 @@ class GfskModem:
         phase = np.cumsum(shaped) * dphi
         return np.exp(1j * phase)
 
-    def channel_filter(self, waveform: np.ndarray,
-                       bandwidth_hz: float = 1e6) -> np.ndarray:
-        """Windowed-sinc low-pass at +/- bandwidth/2 (channel selectivity)."""
+    def filter_taps(self, bandwidth_hz: float = 1e6) -> np.ndarray:
+        """Windowed-sinc low-pass taps at +/- bandwidth/2."""
         fs = self.sample_rate_hz
         cutoff = bandwidth_hz / 2 / fs  # normalised
         n_taps = 8 * self.sps + 1
         n = np.arange(n_taps) - n_taps // 2
         h = 2 * cutoff * np.sinc(2 * cutoff * n) * np.hamming(n_taps)
         h /= h.sum()
-        return np.convolve(waveform, h, mode="same")
+        return h
+
+    def channel_filter(self, waveform: np.ndarray,
+                       bandwidth_hz: float = 1e6) -> np.ndarray:
+        """Windowed-sinc low-pass at +/- bandwidth/2 (channel selectivity).
+
+        One shared FFT kernel serves this and :meth:`channel_filter_batch`
+        — a single row is filtered as a (1, N) stack — so the scalar and
+        batched receive chains are bit-identical by construction.
+        """
+        return self.channel_filter_batch(
+            np.asarray(waveform)[None, :], bandwidth_hz)[0]
+
+    def channel_filter_batch(self, waveforms: np.ndarray,
+                             bandwidth_hz: float = 1e6) -> np.ndarray:
+        """Row-wise :meth:`channel_filter` of a (B, N) stack.
+
+        The linear convolution runs as one zero-padded FFT product over
+        the whole stack.  ``numpy.fft`` transforms each row of a 2-D
+        array with the same 1-D plan, and the spectral product is
+        elementwise, so the result is bit-identical for any stacking of
+        the same rows — the property the batch contract needs (and the
+        reason this replaced a per-row ``np.convolve``, whose BLAS dot
+        kernel rounds differently from any vectorised re-summation).
+        """
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("channel_filter_batch expects a (B, N) array")
+        n = wav.shape[1]
+        key = (float(bandwidth_hz), n)
+        cached = self._fir_cache.get(key)
+        if cached is None:
+            h = self.filter_taps(bandwidth_hz)
+            m = n + h.size - 1
+            cached = (np.fft.fft(h, m), h.size, m)
+            self._fir_cache[key] = cached
+        spectrum, n_taps, m = cached
+        full = np.fft.ifft(np.fft.fft(wav, m, axis=-1) * spectrum, axis=-1)
+        lo = (n_taps - 1) // 2  # np.convolve mode="same" central slice
+        return full[..., lo:lo + n]
 
     def discriminate(self, waveform: np.ndarray) -> np.ndarray:
         """Instantaneous frequency estimate per sample (radians/sample)."""

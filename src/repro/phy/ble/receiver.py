@@ -67,15 +67,14 @@ class BleReceiver:
     def decode_bits_batch(self, waveforms: np.ndarray,
                           n_bits: int) -> np.ndarray:
         """Batched :meth:`decode_bits` over a (B, N) stack; returns
-        (B, n_bits) hard bits, bit-identical per row.  The FIR channel
-        filter stays per-frame (``np.convolve`` exactness); the
-        discriminator and per-bit integration run batched."""
+        (B, n_bits) hard bits, bit-identical per row.  The whole chain —
+        FFT channel filter, discriminator, per-bit integration — runs
+        over the stack at once."""
         wav = np.asarray(waveforms)
         if wav.ndim != 2:
             raise ValueError("decode_bits_batch expects a (B, N) array")
-        filtered = np.stack([
-            self._modem.channel_filter(row, self.channel_bandwidth_hz)
-            for row in wav])
+        filtered = self._modem.channel_filter_batch(
+            wav, self.channel_bandwidth_hz)
         return self._modem.demodulate_batch(filtered, n_bits)
 
     def decode(self, waveform: np.ndarray, n_bits: int) -> BleDecodeResult:

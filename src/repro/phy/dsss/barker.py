@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["BARKER_11", "spread_symbols", "despread_symbols",
-           "PROCESSING_GAIN_DB"]
+           "despread_symbols_batch", "PROCESSING_GAIN_DB"]
 
 # IEEE 802.11-2012 section 17.4.6.4 chip sequence (+1/-1 form).
 BARKER_11 = np.array([1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1], dtype=float)
@@ -38,3 +38,23 @@ def despread_symbols(chips: np.ndarray, n_symbols: int) -> np.ndarray:
         wav = np.concatenate([wav, np.zeros(needed - wav.size, dtype=complex)])
     blocks = wav[:needed].reshape(n_symbols, 11)
     return blocks @ BARKER_11 / BARKER_11.size
+
+
+def despread_symbols_batch(chips: np.ndarray, n_symbols: int) -> np.ndarray:
+    """Row-wise :func:`despread_symbols` of a (B, N) stack, returning
+    (B, n_symbols) — bit-identical per row.  The correlation is the
+    same matrix-vector product over 11-chip rows; stacking more rows
+    does not change any row's accumulation order (the same invariance
+    the OQPSK matched filter relies on)."""
+    wav = np.asarray(chips, dtype=complex)
+    if wav.ndim != 2:
+        raise ValueError("despread_symbols_batch expects a (B, N) array")
+    n_b = wav.shape[0]
+    needed = 11 * n_symbols
+    if wav.shape[1] < needed:
+        wav = np.concatenate(
+            [wav, np.zeros((n_b, needed - wav.shape[1]), dtype=complex)],
+            axis=1)
+    blocks = np.ascontiguousarray(wav[:, :needed]).reshape(
+        n_b * n_symbols, 11)
+    return (blocks @ BARKER_11 / BARKER_11.size).reshape(n_b, n_symbols)

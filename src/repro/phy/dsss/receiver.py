@@ -4,12 +4,12 @@ self-sync descramble -> PPDU parse."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.obs import forensics
-from repro.phy.dsss.barker import despread_symbols
+from repro.phy.dsss.barker import despread_symbols, despread_symbols_batch
 from repro.phy.dsss.frame import DsssFrameBuilder
 from repro.phy.dsss.scrambler import SelfSyncScrambler
 
@@ -46,9 +46,36 @@ class DsssReceiver:
         scrambled = (diffs.real < 0).astype(np.uint8)
         return SelfSyncScrambler(0).descramble(scrambled)
 
+    def decode_bits_batch(self, waveforms: np.ndarray,
+                          n_bits: int) -> np.ndarray:
+        """Batched :meth:`decode_bits` over a (B, N) stack; returns
+        (B, n_bits) descrambled bits, bit-identical per row.  The
+        despread is one stacked correlation, the differential decode is
+        elementwise, and the self-sync descrambler is a pure
+        feed-forward XOR — all exact under stacking."""
+        wav = np.asarray(waveforms)
+        if wav.ndim != 2:
+            raise ValueError("decode_bits_batch expects a (B, N) array")
+        symbols = despread_symbols_batch(wav, n_bits)
+        prev = np.concatenate(
+            [np.ones((wav.shape[0], 1), dtype=complex), symbols[:, :-1]],
+            axis=1)
+        diffs = symbols * np.conj(prev)
+        scrambled = (diffs.real < 0).astype(np.uint8)
+        return np.stack([SelfSyncScrambler(0).descramble(row)
+                         for row in scrambled])
+
     def decode(self, waveform: np.ndarray, n_bits: int) -> DsssDecodeResult:
         """Full decode of one frame aligned at sample 0."""
-        bits = self.decode_bits(waveform, n_bits)
+        return self._finish(self.decode_bits(waveform, n_bits))
+
+    def decode_batch(self, waveforms: np.ndarray,
+                     n_bits: int) -> List[DsssDecodeResult]:
+        """Batched :meth:`decode` over a stack of equal-length frames."""
+        bit_rows = self.decode_bits_batch(waveforms, n_bits)
+        return [self._finish(row) for row in bit_rows]
+
+    def _finish(self, bits: np.ndarray) -> DsssDecodeResult:
         psdu, ok = self._builder.parse_bits(bits)
         if not ok:
             return DsssDecodeResult(None, bits, False,

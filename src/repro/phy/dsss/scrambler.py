@@ -52,15 +52,26 @@ class SelfSyncScrambler:
         return out
 
     def descramble(self, bits) -> np.ndarray:
-        """RX direction: b[k] = s[k] ^ s[k-4] ^ s[k-7] (input feedforward)."""
+        """RX direction: b[k] = s[k] ^ s[k-4] ^ s[k-7] (input feedforward).
+
+        Feed-forward means no recurrence: the whole stream descrambles
+        as one vectorised XOR of the input against its own 4- and
+        7-delayed copies, with the register supplying the seven
+        virtual inputs before index 0.
+        """
         arr = as_bits(bits)
-        out = np.empty_like(arr)
         state = self._state
-        for i, s in enumerate(arr):
-            fb = ((state >> 3) ^ (state >> 6)) & 1
-            out[i] = s ^ fb
-            state = ((state << 1) | int(s)) & 0x7F
-        self._state = state
+        # Register bit i holds input s[k-1-i]; lay the history out in
+        # stream order s[-7..-1] ahead of the new inputs.
+        history = np.array([(state >> (6 - j)) & 1 for j in range(7)],
+                           dtype=arr.dtype)
+        ext = np.concatenate([history, arr])
+        n = arr.size
+        out = arr ^ ext[3:3 + n] ^ ext[:n]
+        if n:
+            tail = ext[-7:]
+            self._state = int(sum(int(b) << i
+                                  for i, b in enumerate(tail[::-1])))
         return out
 
 

@@ -80,19 +80,39 @@ def nearest_symbol_soft(chip_metrics: np.ndarray) -> int:
     return int(np.argmax(_BIPOLAR @ m))
 
 
-def nearest_symbols_soft(chip_metrics: np.ndarray) -> np.ndarray:
-    """Soft despread of a (n_symbols, 32) metric stack.
+# Forward-error bound for one 32-term dot product against the +/-1
+# codebook: any summation order stays within gamma_32 * ||m||_1 of the
+# exact value (Higham, Accuracy and Stability, ch. 3), so two different
+# orders — BLAS gemm vs gemv — differ by at most twice that.  The
+# safety factor keeps the recompute trigger conservative.
+_DOT_ERR_UNIT = 8 * 32 * np.finfo(float).eps
 
-    Decisions stay a per-row matrix-vector correlation: a batched
-    matrix-matrix product rounds differently from the scalar
-    ``_BIPOLAR @ m`` and could flip near-tie argmax decisions, so only
-    the loop overhead is amortised here.
+
+def nearest_symbols_soft(chip_metrics: np.ndarray) -> np.ndarray:
+    """Soft despread of a (n_symbols, 32) metric stack, bit-identical
+    to :func:`nearest_symbol_soft` per row.
+
+    One matrix-matrix correlation scores all rows at once, but a gemm
+    rounds differently from the scalar ``_BIPOLAR @ m``, so its argmax
+    is only trusted where the top-two margin exceeds the worst-case
+    rounding gap between the two summation orders
+    (``_DOT_ERR_UNIT * ||m||_1`` per row).  Ambiguous rows — near-ties,
+    including exact ties whose first-index argmax must be preserved —
+    are recomputed with the scalar matrix-vector oracle.
     """
     m = np.asarray(chip_metrics, dtype=float)
     if m.ndim != 2 or m.shape[1] != 32:
         raise ValueError("need a (n_symbols, 32) metric array")
-    out = np.empty(m.shape[0], dtype=np.int64)
-    for i in range(m.shape[0]):
+    if m.shape[0] == 0:
+        return np.empty(0, dtype=np.int64)
+    scores = m @ _BIPOLAR.T                       # (n_symbols, 16) gemm
+    out = np.argmax(scores, axis=1).astype(np.int64)
+    top = scores[np.arange(scores.shape[0]), out]
+    runner_up = np.partition(scores, -2, axis=1)[:, -2]
+    margin = top - runner_up
+    tolerance = _DOT_ERR_UNIT * np.abs(m).sum(axis=1)
+    ambiguous = ~(margin > tolerance)             # catches NaN too
+    for i in np.nonzero(ambiguous)[0]:
         out[i] = int(np.argmax(_BIPOLAR @ m[i]))
     return out
 

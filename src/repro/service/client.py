@@ -84,8 +84,12 @@ class ServiceClient:
         """Submit a spec (object or envelope dict); returns the job dict.
 
         The returned dict is the server's job record: look at
-        ``state``/``cached`` to see whether the submission was answered
-        from the result cache.
+        ``state``/``cached``/``cache_hit`` to see whether the
+        submission was answered from the result cache.  A cache hit
+        serves the stored result without a new engine run; if the
+        payload carried an ``"obs"`` section requesting run-scoped
+        observability artifacts, the record's ``warning`` field says
+        they were not regenerated.
         """
         if isinstance(payload, (ExperimentSpec, MacExperimentSpec)):
             from repro.sim.spec import dump_spec

@@ -10,9 +10,14 @@ Routes
 ------
 ``POST /jobs``
     Body: a spec envelope (:func:`repro.sim.spec.dump_spec`) or legacy
-    bare spec dict.  Returns ``{"job": {...}}`` — state ``done`` with
-    ``"cached": true`` when the result store already held the spec's
-    fingerprint, else ``pending``.  ``400`` on malformed payloads.
+    bare spec dict, optionally with an ``"obs"`` section requesting
+    observability artifacts.  Returns ``{"job": {...}}`` — state
+    ``done`` with ``"cached": true`` and ``"cache_hit": true`` when the
+    result store already held the spec's fingerprint, else ``pending``.
+    Dedup keys on the spec fingerprint alone, so a cache hit cannot
+    regenerate run-scoped obs artifacts: when the submission requested
+    any, the job dict carries a ``"warning"`` naming them.  ``400`` on
+    malformed payloads.
 ``GET /jobs``
     ``{"jobs": [...]}``, oldest first.
 ``GET /jobs/<id>``
@@ -102,12 +107,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, f"body is not valid JSON: {exc}")
             return
         try:
-            job = self.service.submit(payload)
+            record = self.service.submit_record(payload)
         except ValueError as exc:
             # SpecFormatError and friends: the submitter's problem.
             self._send_error_json(400, str(exc))
             return
-        self._send_json(200, {"job": job.to_dict()})
+        self._send_json(200, {"job": record})
 
     def do_GET(self) -> None:  # noqa: N802  (stdlib handler contract)
         self._count("get")

@@ -8,7 +8,11 @@ warm, cache-aware compute tier:
   (:mod:`repro.sim.spec`), computes the spec fingerprint, and either
   answers straight from the :class:`~repro.service.store.ResultStore`
   (``service.cache.hits``; the job is born ``done``/``cached`` and no
-  engine task ever runs) or journals a pending job.
+  engine task ever runs) or journals a pending job.  Dedup keys on the
+  spec fingerprint *only*: observability options riding alongside the
+  envelope never fork the cache, so a cache hit explicitly warns when
+  it cannot regenerate requested run-scoped artifacts (see
+  :meth:`SweepService.submit_record`).
 * **Execution** happens on background worker threads that claim jobs
   FIFO and drive the engine through its reusable orchestration layer
   (:func:`repro.sim.engine.execute_run`) with a per-fingerprint
@@ -168,6 +172,38 @@ class SweepService:
             return self.queue.set_state(job.job_id, "done", cached=True)
         self._inc("service.cache.misses")
         return job
+
+    def submit_record(self, payload: Union[Spec, Mapping[str, Any]]
+                      ) -> Dict[str, Any]:
+        """:meth:`submit` plus the explicit cache-hit contract.
+
+        Returns the job dict with a ``cache_hit`` marker.  Dedup keys
+        on the spec fingerprint alone — any ``"obs"`` section riding
+        alongside the envelope (``{"obs": {"trace": true}, ...}``) is
+        *not* part of the cache key, so a cache hit serves the stored
+        result without a new engine run and therefore without fresh
+        run-scoped observability artifacts.  When that happens the
+        response carries a ``warning`` naming the requested artifacts
+        that were not regenerated (and ``service.cache.obs_warnings``
+        counts it), instead of silently dropping the request.
+        """
+        requested: List[str] = []
+        if isinstance(payload, Mapping):
+            raw_obs = payload.get("obs")
+            if isinstance(raw_obs, Mapping):
+                requested = sorted(str(k) for k, v in raw_obs.items() if v)
+        job = self.submit(payload)
+        record = job.to_dict()
+        record["cache_hit"] = bool(job.cached)
+        if job.cached and requested:
+            self._inc("service.cache.obs_warnings")
+            record["warning"] = (
+                "cache hit: the result was served from the store without "
+                "a new engine run, so the requested observability "
+                f"artifacts ({', '.join(requested)}) were not regenerated; "
+                "the stored record still carries the original run's "
+                "metrics and forensics")
+        return record
 
     # -- execution ---------------------------------------------------------
 

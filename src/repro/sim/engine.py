@@ -929,6 +929,14 @@ class ExperimentEngine:
 
     def _run_inline(self, spec, tasks, children, pending,
                     points, records, journal, metrics) -> None:
+        if (isinstance(spec, ExperimentSpec)
+                and self.fault_injector is None
+                and metrics.trace is None
+                and self.failure_policy.timeout_s is None
+                and self._run_inline_batched(spec, tasks, children, pending,
+                                             points, records, journal,
+                                             metrics)):
+            return
         policy = self.failure_policy
         for i in pending:
             attempt = 1
@@ -971,6 +979,59 @@ class ExperimentEngine:
                                 spawn_key=tuple(children[i].spawn_key))
             self._finish_task(record, point, snap, points, records,
                               journal, metrics)
+
+    def _run_inline_batched(self, spec, tasks, children, pending,
+                            points, records, journal, metrics) -> bool:
+        """Cross-task fast path for inline link sweeps.
+
+        All pending points run through
+        :meth:`~repro.sim.linksim.LinkSimulator.simulate_points`, which
+        stacks packets *across* tasks for the channel and receiver
+        kernels while each task keeps its own spawned generator (so the
+        points are bit-identical to the per-task path and to any
+        ``n_jobs``) and its own metrics registry (so per-task
+        ``stage_counts`` stay exact).  Returns False — caller falls
+        back to the per-task loop — when the session lacks the batch
+        API or anything raises: per-task seeding makes the recomputation
+        bit-exact, and the classic loop attributes the error to its
+        task.  No bookkeeping (journal, records) happens until every
+        task has succeeded, so the fallback never sees partial state.
+        """
+        from repro import obs
+
+        sim = _simulator_for(spec)
+        if not (getattr(sim, "batch", False)
+                and hasattr(sim.session, "predraw_packet")):
+            return False
+        regs = {i: MetricsRegistry() for i in pending}
+        start = time.perf_counter()
+        try:
+            with obs.collect() as shared:
+                results = sim.simulate_points(
+                    [tasks[i] for i in pending],
+                    rngs=[np.random.default_rng(children[i])
+                          for i in pending],
+                    share_excitation=True,
+                    registries=[regs[i] for i in pending])
+        # Broad by design: any failure routes to the classic per-task
+        # loop, which reruns deterministically and records the error
+        # against the task that raised it.
+        except Exception:
+            metrics.inc("engine.batch.aborted")
+            return False
+        total = time.perf_counter() - start
+        # Shared cross-task work (stacked channel/decode timers) is not
+        # attributable to one task; fold it straight into the run.
+        metrics.merge_snapshot(shared.snapshot(), span_prefix="engine.run")
+        metrics.inc("engine.batch.points", len(pending))
+        per_task = total / max(len(pending), 1)
+        for k, i in enumerate(pending):
+            record = TaskRecord(index=i, task=tasks[i], status="ok",
+                                attempts=1, duration_s=per_task,
+                                spawn_key=tuple(children[i].spawn_key))
+            self._finish_task(record, results[k], regs[i].snapshot(),
+                              points, records, journal, metrics)
+        return True
 
     # -- pool execution ---------------------------------------------------
 

@@ -22,8 +22,9 @@ point in order).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -34,6 +35,14 @@ from repro.sim.config import RadioConfig
 from repro.utils.rng import derive_seed, make_rng
 
 __all__ = ["LinkPoint", "LinkSimulator"]
+
+# Fallback upper bound on waveforms held in stacked form at once during
+# cross-point batching: bounds peak memory and keeps the elementwise
+# channel math cache-resident (large stacks go memory-bound and lose to
+# the scalar loop) without changing any result — chunk boundaries only
+# regroup exact elementwise arithmetic.  Sessions carry their own tuned
+# ``_chunk_packets`` which takes precedence.
+_CHUNK_PACKETS = 16
 
 
 @dataclass
@@ -80,6 +89,19 @@ class LinkPoint:
                 f"{ber}  {self.rssi_dbm:8.1f}  {self.delivery_ratio:6.2f}")
 
 
+@dataclass
+class _PendingPoint:
+    """One distance point between phase 1 (all RNG consumed) and the
+    batched channel/decode/aggregate phases."""
+
+    distance_m: float
+    mean_rssi: float
+    noise_dbm: float
+    rssis: List[float]
+    draws: List[Any] = field(default_factory=list)
+    results: List[Any] = field(default_factory=list)
+
+
 class LinkSimulator:
     """Sweeps receiver distance for one radio configuration.
 
@@ -96,10 +118,12 @@ class LinkSimulator:
     batch:
         Decode each point's packets through the session's batched
         receiver kernels (:meth:`~repro.core.session._BatchPacketMixin.
-        run_packets`) instead of one at a time.  Bit-identical to the
-        scalar loop — all randomness is drawn in the same order — and
-        several times faster; sessions without a batch path (DSSS,
-        quaternary WiFi) silently fall back to the scalar loop.
+        run_packets`) instead of one at a time — and, for serial
+        sweeps, stack packets *across* distance points.  Bit-identical
+        to the scalar loop — all randomness is drawn in the same order —
+        and several times faster.  A session without the two-phase batch
+        API falls back to the scalar loop and counts the
+        ``phy.batch.fallback`` metric (surfaced by ``repro report``).
     """
 
     def __init__(self, config: RadioConfig, deployment: Deployment,
@@ -142,6 +166,22 @@ class LinkSimulator:
                         rng: Optional[np.random.Generator],
                         share_excitation: bool) -> LinkPoint:
         gen = self._rng if rng is None else make_rng(rng)
+        pending = self._point_phase1(distance_m, gen, share_excitation)
+        if pending.draws:
+            self.session.channel_packets(pending.draws)
+            pending.results = list(self.session.finish_packets(pending.draws))
+        return self._point_finish(pending)
+
+    def _point_phase1(self, distance_m: float, gen: np.random.Generator,
+                      share_excitation: bool) -> "_PendingPoint":
+        """Phase 1 of one distance point: link budget, then per packet
+        the fading draw interleaved with the session's own draws,
+        exactly as the scalar loop orders them.
+
+        On the batch path the returned draws still await their channel
+        (``session.channel_packets``) and decode; on the scalar
+        fallback ``results`` is already complete and ``draws`` empty.
+        """
         dep = self.deployment.with_rx_distance(distance_m)
         mean_rssi = self.budget.rssi_dbm(dep)
         incident = self.budget.tag_incident_dbm(dep)
@@ -154,38 +194,39 @@ class LinkSimulator:
 
         excitation = (self.session.make_excitation(gen)
                       if share_excitation else None)
-        use_batch = self.batch and hasattr(self.session, "draw_packet")
+        use_batch = self.batch and hasattr(self.session, "predraw_packet")
+        if self.batch and not use_batch:
+            # Batch requested but this session has no two-phase API —
+            # count the silent scalar fallback so `repro report` can
+            # surface it instead of quietly losing the speedup.
+            obs.inc("phy.batch.fallback")
         rssis: List[float] = []
-        if use_batch:
-            # Phase 1 per packet (fading draw interleaved with the
-            # session's own draws, exactly as the scalar loop orders
-            # them), then one batched decode over the survivors.
-            draws = []
-            for _ in range(self.packets_per_point):
-                rssi = mean_rssi + gen.normal(0, self.config.fading_sigma_db)
-                rssis.append(rssi)
-                snr = rssi - noise - snr_penalty
-                draws.append(self.session.draw_packet(
+        draws: List[Any] = []
+        results: List[Any] = []
+        for _ in range(self.packets_per_point):
+            rssi = mean_rssi + gen.normal(0, self.config.fading_sigma_db)
+            rssis.append(rssi)
+            snr = rssi - noise - snr_penalty
+            if use_batch:
+                draws.append(self.session.predraw_packet(
                     snr_db=snr, incident_power_dbm=incident,
                     rng=gen, excitation=excitation))
-            packet_results = self.session.finish_packets(draws)
-        else:
-            packet_results = []
-            for _ in range(self.packets_per_point):
-                rssi = mean_rssi + gen.normal(0, self.config.fading_sigma_db)
-                rssis.append(rssi)
-                snr = rssi - noise - snr_penalty
-                packet_results.append(self.session.run_packet(
+            else:
+                results.append(self.session.run_packet(
                     snr_db=snr, incident_power_dbm=incident,
                     rng=gen, excitation=excitation))
+        return _PendingPoint(distance_m=distance_m, mean_rssi=mean_rssi,
+                             noise_dbm=noise, rssis=rssis, draws=draws,
+                             results=results)
 
+    def _point_finish(self, pending: "_PendingPoint") -> LinkPoint:
         bits_ok = 0
         airtime_us = 0.0
         errors = 0
         bits_delivered = 0
         delivered = 0
         # Aggregate in packet order so float sums match the scalar loop.
-        for res in packet_results:
+        for res in pending.results:
             airtime_us += res.duration_us + self.config.interpacket_gap_us
             if res.delivered:
                 delivered += 1
@@ -196,14 +237,91 @@ class LinkSimulator:
         throughput_kbps = bits_ok / airtime_us * 1e3 if airtime_us else 0.0
         ber = errors / bits_delivered if bits_delivered else math.nan
         return LinkPoint(
-            distance_m=distance_m,
+            distance_m=pending.distance_m,
             throughput_kbps=throughput_kbps,
             ber=ber,
-            rssi_dbm=float(np.mean(rssis)),
+            rssi_dbm=float(np.mean(pending.rssis)),
             delivery_ratio=delivered / self.packets_per_point,
-            snr_db=mean_rssi - noise,
+            snr_db=pending.mean_rssi - pending.noise_dbm,
             ber_valid=bits_delivered > 0,
         )
+
+    def simulate_points(self, distances_m: Sequence[float], *,
+                        rngs: Optional[Sequence[np.random.Generator]] = None,
+                        share_excitation: bool = False,
+                        registries: Optional[Sequence[Any]] = None
+                        ) -> List[LinkPoint]:
+        """Cross-point batched ``[simulate_point(d) for d in ...]``.
+
+        Phase 1 runs per point in order (each point's RNG draws are
+        identical to the per-point loop), then the channel and decode
+        are stacked *across* points in chunks of up to the session's
+        ``_chunk_packets`` — so a whole sweep amortises the
+        vectorised receiver kernels even when each point only carries a
+        handful of packets.  Bit-identical to the per-point loop.
+
+        Parameters
+        ----------
+        rngs:
+            One generator per point (the engine's per-task streams);
+            default is the simulator's own serial stream for every
+            point, matching serial ``sweep``.
+        registries:
+            Optional one :class:`~repro.obs.MetricsRegistry` per point;
+            each point's counters and stage records are routed to its
+            registry (the cross-point channel/decode timers stay on the
+            ambient registry).  Used by the engine to keep per-task
+            forensics exact while sharing the stacked kernels.
+        """
+        session = self.session
+        if not hasattr(session, "predraw_packet"):
+            raise TypeError("session has no two-phase batch API; use "
+                            "simulate_point per point instead")
+        pendings: List[_PendingPoint] = []
+        buffered: List[Any] = []           # (point idx, packet idx, draw)
+        chunk = int(getattr(session, "_chunk_packets", _CHUNK_PACKETS))
+
+        def point_scope(idx: int):
+            return (obs.collect_into(registries[idx])
+                    if registries is not None else nullcontext())
+
+        def flush() -> None:
+            draws = [d for (_, _, d) in buffered]
+            session.channel_packets(draws)
+            decodes = session.decode_packets(draws)
+            k = 0
+            while k < len(buffered):
+                pi = buffered[k][0]
+                j = k
+                while j < len(buffered) and buffered[j][0] == pi:
+                    j += 1
+                with point_scope(pi):
+                    for (_, di, d), dec in zip(buffered[k:j],
+                                               decodes[k:j]):
+                        pendings[pi].results[di] = \
+                            session.finish_packet(d, dec)
+                        d.noisy = None
+                k = j
+            buffered.clear()
+
+        for idx, dist in enumerate(distances_m):
+            gen = self._rng if rngs is None else make_rng(rngs[idx])
+            with point_scope(idx):
+                pending = self._point_phase1(float(dist), gen,
+                                             share_excitation)
+            if pending.draws:
+                pending.results = [None] * len(pending.draws)
+                for di, d in enumerate(pending.draws):
+                    if d.result is not None:
+                        pending.results[di] = d.result
+                    else:
+                        buffered.append((idx, di, d))
+            pendings.append(pending)
+            if len(buffered) >= chunk:
+                flush()
+        if buffered:
+            flush()
+        return [self._point_finish(p) for p in pendings]
 
     def _spec_seed(self) -> int:
         """Integer master seed for the engine path (minted lazily when
@@ -248,6 +366,14 @@ class LinkSimulator:
         """
         distances = list(distances_m)
         if n_jobs is None and failure_policy is None and checkpoint is None:
+            if (self.batch and len(distances) > 1
+                    and hasattr(self.session, "predraw_packet")
+                    and not obs.tracing_active()):
+                # Serial cross-point batching: same generator stream,
+                # same results, one stacked kernel pass per chunk.  With
+                # tracing active keep the per-point loop so each
+                # ``sim.point`` span encloses its own decode work.
+                return self.simulate_points(distances)
             return [self.simulate_point(d) for d in distances]
 
         from repro.sim.engine import ExperimentEngine

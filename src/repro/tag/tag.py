@@ -96,6 +96,7 @@ class FreeRiderTag:
         self.oscillator = oscillator or RingOscillator()
         self.power_model = power_model or TagPowerModel()
         self.name = name
+        self._plan_cache: Optional[tuple] = None
 
     # -- timing ---------------------------------------------------------
 
@@ -103,15 +104,24 @@ class FreeRiderTag:
         """Translation plan: start after the PHY header plus the envelope
         detector's onset latency (which lands within an OFDM cyclic
         prefix, hence harmless — paper section 3.1)."""
+        # One-slot memo: the plan is pure arithmetic over (info,
+        # latency, repetition), and per-packet callers hand in the same
+        # shared excitation info thousands of times in a row.
+        key = (info, self.envelope.latency_us, self.repetition)
+        cached = self._plan_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
         latency_samples = int(round(self.envelope.latency_us * 1e-6
                                     * info.sample_rate_hz))
         start = info.data_start_sample + latency_samples
-        return TranslationPlan(
+        plan = TranslationPlan(
             unit_samples=info.unit_samples,
             repetition=self.repetition,
             start_sample=start,
             n_units=info.units_available(start),
         )
+        self._plan_cache = (key, plan)
+        return plan
 
     def capacity_bits(self, info: ExcitationInfo) -> int:
         """Tag bits that fit in one excitation packet."""

@@ -115,3 +115,54 @@ class TestFskShiftTranslator:
         plan = TranslationPlan(8, 1, 0, 1)
         with pytest.raises(ValueError):
             t.control_waveform([1, 1], plan, 64)
+
+
+class TestControlWaveformBatch:
+    """The batched builders must equal a stack of scalar rows exactly."""
+
+    def test_phase_binary_matches_scalar_rows(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 2, 3, 8)
+        gen = np.random.default_rng(9)
+        rows = [gen.integers(0, 2, 4).astype(np.uint8) for _ in range(6)]
+        batch = t.control_waveform_batch(rows, plan, 64)
+        scalar = np.stack([t.control_waveform(r, plan, 64) for r in rows])
+        assert np.array_equal(batch, scalar)
+
+    def test_phase_quaternary_matches_scalar_rows(self):
+        t = PhaseTranslator(4)
+        plan = TranslationPlan(4, 1, 0, 8)
+        gen = np.random.default_rng(10)
+        rows = [gen.integers(0, 2, 8).astype(np.uint8) for _ in range(5)]
+        batch = t.control_waveform_batch(rows, plan, 40)
+        scalar = np.stack([t.control_waveform(r, plan, 40) for r in rows])
+        assert np.array_equal(batch, scalar)
+
+    def test_fsk_matches_scalar_rows(self):
+        t = FskShiftTranslator(delta_f=1e6, sample_rate_hz=8e6)
+        plan = TranslationPlan(8, 1, 4, 4)
+        gen = np.random.default_rng(11)
+        rows = [gen.integers(0, 2, 3).astype(np.uint8) for _ in range(7)]
+        batch = t.control_waveform_batch(rows, plan, 48)
+        scalar = np.stack([t.control_waveform(r, plan, 48) for r in rows])
+        assert np.array_equal(batch, scalar)
+
+    def test_empty_bit_rows(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 0, 4)
+        batch = t.control_waveform_batch(
+            [np.zeros(0, dtype=np.uint8)] * 3, plan, 20)
+        assert batch.shape == (3, 20)
+        assert np.array_equal(batch, np.ones((3, 20), dtype=complex))
+
+    def test_capacity_enforced(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 0, 2)
+        with pytest.raises(ValueError):
+            t.control_waveform_batch([np.ones(3, dtype=np.uint8)], plan, 100)
+
+    def test_overrun_detected(self):
+        t = PhaseTranslator(2)
+        plan = TranslationPlan(4, 1, 0, 3)
+        with pytest.raises(ValueError):
+            t.control_waveform_batch([np.ones(3, dtype=np.uint8)], plan, 8)

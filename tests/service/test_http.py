@@ -55,12 +55,26 @@ class TestEndToEnd:
     def test_duplicate_submission_served_from_cache(self, client,
                                                     server, link_spec):
         first = client.submit(link_spec)
+        assert first["cache_hit"] is False
         client.wait(first["job_id"], timeout_s=60)
         second = client.submit(link_spec)
         assert second["state"] == "done" and second["cached"]
+        assert second["cache_hit"] is True
         assert client.fetch_raw(first["job_id"]) \
             == client.fetch_raw(second["job_id"])
         assert server.service.counter("service.cache.hits") == 1
+
+    def test_cache_hit_with_obs_request_carries_warning(self, client,
+                                                        link_spec):
+        payload = dict(dump_spec(link_spec))
+        payload["obs"] = {"trace": True}
+        first = client.submit(payload)
+        assert "warning" not in first
+        client.wait(first["job_id"], timeout_s=60)
+        second = client.submit(payload)
+        assert second["cache_hit"] is True
+        assert "trace" in second["warning"]
+        assert "not regenerated" in second["warning"]
 
     def test_jobs_listing(self, client, link_spec):
         job = client.submit(link_spec)

@@ -119,6 +119,34 @@ class TestDeduplication:
         assert svc.counter("service.cache.hits") == 0
         assert svc.counter("engine.tasks.ok") == 4
 
+    def test_submit_record_marks_cache_hit(self, tmp_path, link_spec):
+        svc = SweepService(tmp_path / "svc")
+        first = svc.submit_record(dump_spec(link_spec))
+        assert first["cache_hit"] is False and "warning" not in first
+        svc.step()
+        second = svc.submit_record(dump_spec(link_spec))
+        assert second["cache_hit"] is True
+        # No obs artifacts were requested, so no warning either.
+        assert "warning" not in second
+
+    def test_cache_hit_warns_about_unserved_obs_request(self, tmp_path,
+                                                        link_spec):
+        # Dedup keys on the spec fingerprint only: an obs section must
+        # not fork the cache, but the hit must say what it can't serve.
+        svc = SweepService(tmp_path / "svc")
+        payload = dict(dump_spec(link_spec))
+        payload["obs"] = {"trace": True, "metrics": True}
+        first = svc.submit_record(payload)
+        assert first["cache_hit"] is False and "warning" not in first
+        svc.step()
+        second = svc.submit_record(payload)
+        assert second["cache_hit"] is True and second["cached"]
+        assert "metrics, trace" in second["warning"]
+        assert "not regenerated" in second["warning"]
+        assert svc.counter("service.cache.obs_warnings") == 1
+        # The obs section never reached the cache key: one compute.
+        assert svc.counter("service.cache.hits") == 1
+
 
 class TestFailures:
     def test_failed_run_marks_job_failed_and_caches_nothing(

@@ -131,3 +131,89 @@ def test_linksim_no_delivery_nan_ber_identical():
     assert not scalar_point.ber_valid
     assert batch_point == scalar_point
     assert "n/a" in batch_point.row()
+
+
+@pytest.mark.parametrize("radio", ["wifi", "zigbee", "ble"])
+def test_run_packets_large_batch_equals_scalar(radio):
+    # >=256 packets: spans many internal chunks (``_chunk_packets``),
+    # so chunk boundaries, the batched control-waveform builders, and
+    # the stacked noise path all have to preserve the scalar stream.
+    snr_lo, snr_hi = SNR_RANGES[radio]
+    snrs = list(np.linspace(snr_lo, snr_hi, 256))
+    scalar_session = SESSIONS[radio]()
+    batch_session = SESSIONS[radio]()
+    ex_scalar = scalar_session.make_excitation(rng=np.random.default_rng(7))
+    ex_batch = batch_session.make_excitation(rng=np.random.default_rng(7))
+    g1 = np.random.default_rng(0xFEED)
+    g2 = np.random.default_rng(0xFEED)
+    scalar = [scalar_session.run_packet(float(snr), rng=g1,
+                                        excitation=ex_scalar)
+              for snr in snrs]
+    batched = batch_session.run_packets(snrs, rng=g2, excitation=ex_batch)
+    assert batched == scalar
+    assert g1.random() == g2.random()
+
+
+@pytest.mark.parametrize("radio", ["wifi", "zigbee", "ble"])
+def test_mixed_excitation_lengths_equal_scalar(radio):
+    # Two excitations with different payload sizes alternate across the
+    # batch: channel_packets must group by excitation, stack the two
+    # sample lengths separately, and the decode must split into
+    # distinct ``_batch_key`` groups — all without disturbing results.
+    def sessions_with_two_lengths(make):
+        s = make()
+        exc_a = s.make_excitation(rng=np.random.default_rng(21))
+        s.payload_bytes *= 2
+        exc_b = s.make_excitation(rng=np.random.default_rng(22))
+        return s, exc_a, exc_b
+
+    s1, a1, b1 = sessions_with_two_lengths(SESSIONS[radio])
+    s2, a2, b2 = sessions_with_two_lengths(SESSIONS[radio])
+    assert a1.info.total_samples != b1.info.total_samples
+
+    snr_lo, snr_hi = SNR_RANGES[radio]
+    snrs = list(np.linspace(snr_lo, snr_hi, 24))
+    g1 = np.random.default_rng(0xABCD)
+    g2 = np.random.default_rng(0xABCD)
+    scalar = [s1.run_packet(float(snr), rng=g1,
+                            excitation=(a1 if i % 2 == 0 else b1))
+              for i, snr in enumerate(snrs)]
+    draws = [s2.predraw_packet(float(snr), rng=g2,
+                               excitation=(a2 if i % 2 == 0 else b2))
+             for i, snr in enumerate(snrs)]
+    s2.channel_packets(draws)
+    batched = list(s2.finish_packets(draws))
+    assert batched == scalar
+    assert g1.random() == g2.random()
+
+
+def test_linksim_cross_point_equals_per_point_loop():
+    # simulate_points stacks the channel and decode across distance
+    # points; with per-point generators it must equal the per-point
+    # simulate_point loop exactly, point for point.
+    for radio in sorted(CONFIGS):
+        dep = Deployment.los(1.0)
+        sim_a = LinkSimulator(CONFIGS[radio], dep, packets_per_point=5,
+                              seed=7, batch=True)
+        sim_b = LinkSimulator(CONFIGS[radio], dep, packets_per_point=5,
+                              seed=7, batch=True)
+        distances = list(DISTANCES[radio]) + [15.0]
+        per_point = [sim_a.simulate_point(
+            d, rng=np.random.default_rng(300 + i), share_excitation=True)
+            for i, d in enumerate(distances)]
+        crossed = sim_b.simulate_points(
+            distances,
+            rngs=[np.random.default_rng(300 + i)
+                  for i in range(len(distances))],
+            share_excitation=True)
+        assert crossed == per_point
+
+
+def test_sweep_bench_pair_is_bit_identical():
+    # The two sweep bench kernels (scalar vs cross-point batched) are a
+    # differential test in disguise: same seeds, same work, and the
+    # LinkPoints must agree exactly.
+    from repro.bench.runner import _sweep_kernels
+
+    (_, _, scalar_fn), (_, _, batched_fn) = _sweep_kernels("zigbee", 3, 6)
+    assert batched_fn() == scalar_fn()

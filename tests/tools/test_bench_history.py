@@ -15,15 +15,19 @@ from repro.bench import (
     KernelResult,
     compare_runs,
     load_history,
+    require_batch_wins,
     update_history,
 )
 
 
+def _kernel(name, best_s, work=16):
+    return KernelResult(name=name, best_s=best_s, mean_s=best_s,
+                        repeats=3, work=work)
+
+
 def _report(best_s=0.5, smoke=False, name="wifi.packets.scalar", work=16):
-    return BenchReport(
-        results=[KernelResult(name=name, best_s=best_s, mean_s=best_s,
-                              repeats=3, work=work)],
-        speedups={}, smoke=smoke)
+    return BenchReport(results=[_kernel(name, best_s, work)],
+                       speedups={}, smoke=smoke)
 
 
 def test_load_history_missing_file(tmp_path):
@@ -68,15 +72,44 @@ def test_smoke_and_full_runs_not_compared(tmp_path):
     # A smoke run must not be judged against a full run's timings.
     path = str(tmp_path / "BENCH_phy.json")
     update_history(path, _report(0.01, smoke=False))
-    lines = compare_runs(load_history(path), _report(9.0, smoke=True))
+    notes = []
+    lines = compare_runs(load_history(path), _report(9.0, smoke=True),
+                         notes=notes)
     assert lines == []
+    assert len(notes) == 1 and "no prior smoke run" in notes[0]
 
 
 def test_different_work_sizes_not_compared(tmp_path):
     path = str(tmp_path / "BENCH_phy.json")
     update_history(path, _report(0.01, work=4))
-    lines = compare_runs(load_history(path), _report(9.0, work=16))
+    notes = []
+    lines = compare_runs(load_history(path), _report(9.0, work=16),
+                         notes=notes)
     assert lines == []
+    assert len(notes) == 1 and "work changed" in notes[0]
+    assert "4 -> 16" in notes[0]
+
+
+def test_new_kernel_skipped_with_note_others_still_gated(tmp_path):
+    # A freshly added kernel has no baseline; a resized kernel has an
+    # incomparable one.  Neither may mask a real regression in a third.
+    path = str(tmp_path / "BENCH_phy.json")
+    update_history(path, BenchReport(
+        results=[_kernel("wifi.packets.scalar", 0.50),
+                 _kernel("zigbee.packets.scalar", 0.10, work=4)],
+        speedups={}, smoke=False))
+    report = BenchReport(
+        results=[_kernel("wifi.packets.scalar", 0.90),      # regressed
+                 _kernel("zigbee.packets.scalar", 9.0, work=64),  # resized
+                 _kernel("ble.sweep.batched", 1.0)],        # brand new
+        speedups={}, smoke=False)
+    notes = []
+    lines = compare_runs(load_history(path), report, notes=notes)
+    assert len(lines) == 1 and "wifi.packets.scalar" in lines[0]
+    assert any("zigbee.packets.scalar" in n and "work changed" in n
+               for n in notes)
+    assert any("ble.sweep.batched" in n and "comparison skipped" in n
+               for n in notes)
 
 
 def test_comparison_uses_latest_comparable_baseline(tmp_path):
@@ -88,12 +121,41 @@ def test_comparison_uses_latest_comparable_baseline(tmp_path):
     assert lines == []
 
 
+def _pair_report(scalar_s, batched_s, radio="zigbee"):
+    return BenchReport(
+        results=[_kernel(f"{radio}.packets.scalar", scalar_s),
+                 _kernel(f"{radio}.packets.batched", batched_s)],
+        speedups={}, smoke=True)
+
+
+def test_require_batch_wins_passes_when_batched_faster():
+    assert require_batch_wins(_pair_report(1.0, 0.5)) == []
+
+
+def test_require_batch_wins_flags_slower_batched():
+    lines = require_batch_wins(_pair_report(1.0, 1.5))
+    assert len(lines) == 1
+    assert "zigbee.packets" in lines[0] and "slower" in lines[0]
+
+
+def test_require_batch_wins_allows_noise_headroom():
+    # A batched time inside the headroom margin is not a violation.
+    assert require_batch_wins(_pair_report(1.00, 1.04)) == []
+    assert require_batch_wins(_pair_report(1.00, 1.04, radio="ble")) == []
+
+
+def test_require_batch_wins_ignores_missing_pairs():
+    report = _report(name="wifi.viterbi.scalar")
+    assert require_batch_wins(report) == []
+
+
 def test_cli_parser_accepts_bench():
     from repro.cli import build_parser
 
     args = build_parser().parse_args(
         ["bench", "--smoke", "--repeats", "2", "--tolerance", "0.5",
-         "--history", "x.json"])
+         "--history", "x.json", "--require-batch-wins"])
     assert args.command == "bench"
     assert args.smoke and args.repeats == 2
     assert args.tolerance == 0.5 and args.history == "x.json"
+    assert args.require_batch_wins
