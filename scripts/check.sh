@@ -22,7 +22,9 @@ echo "== sweep service smoke =="
 python -m pytest -x -q tests/service
 
 echo "== reprolint =="
-python -m repro.tools.lint src tests benchmarks examples
+# The content-hash cache (.reprolint-cache.json, git-ignored) makes a
+# re-run over an unchanged tree near-instant; --stats shows the hit rate.
+python -m repro.tools.lint --stats src tests benchmarks examples
 
 echo "== mypy =="
 if python -c "import mypy" 2>/dev/null; then

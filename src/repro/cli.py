@@ -519,16 +519,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the stored record's exact bytes here")
 
     lint = sub.add_parser(
-        "lint", help="project static analysis (reprolint rules R001-R008)")
+        "lint", help="project static analysis (reprolint rules R001-R012)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories "
                            "(default: src tests benchmarks examples)")
-    lint.add_argument("--format", dest="format", choices=["text", "json"],
-                      default="text")
+    lint.add_argument("--format", dest="format",
+                      choices=["text", "json", "sarif"], default="text")
+    lint.add_argument("--sarif", dest="sarif_path", metavar="PATH",
+                      help="additionally write a SARIF 2.1.0 report")
     lint.add_argument("--show-suppressed", action="store_true",
                       help="also print suppressed findings")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache")
+    lint.add_argument("--changed", action="store_true",
+                      help="only report findings in git-changed files")
+    lint.add_argument("--stats", action="store_true",
+                      help="print cache hit statistics")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite reprolint-baseline.json from "
+                           "current findings")
     return parser
 
 
@@ -789,10 +800,12 @@ def _cmd_lint(args) -> int:
     from repro.tools.lint import main as lint_main
 
     argv: List[str] = []
-    if args.list_rules:
-        argv.append("--list-rules")
-    if args.show_suppressed:
-        argv.append("--show-suppressed")
+    for flag in ("list_rules", "show_suppressed", "no_cache", "changed",
+                 "stats", "update_baseline"):
+        if getattr(args, flag):
+            argv.append("--" + flag.replace("_", "-"))
+    if args.sarif_path:
+        argv += ["--sarif", args.sarif_path]
     argv += ["--format", args.format]
     argv += list(args.paths)
     return lint_main(argv)

@@ -75,13 +75,15 @@ class JobQueue:
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
-        self._jobs: Dict[str, JobRecord] = {}
-        self._next_seq = 1
+        self._jobs: Dict[str, JobRecord] = {}  # guarded-by: _lock
+        self._next_seq = 1  # guarded-by: _lock
         self._replay()
 
     # -- journal ----------------------------------------------------------
 
-    def _replay(self) -> None:
+    # Runs from __init__, before the queue is visible to any other
+    # thread, so the job table is safe to touch without the lock.
+    def _replay(self) -> None:  # reprolint: holds(_lock)
         if not self.path.exists():
             return
         for line in self.path.read_text().splitlines():

@@ -116,7 +116,7 @@ class SweepService:
         self.n_workers = int(n_workers)
         self.failure_policy = failure_policy
         self.poll_s = float(poll_s)
-        self.metrics = MetricsRegistry(trace=trace)
+        self.metrics = MetricsRegistry(trace=trace)  # guarded-by: _metrics_lock
         self._metrics_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []

@@ -1,0 +1,31 @@
+"""reprolint — project-aware static analysis for the repro codebase.
+
+A purpose-built linter enforcing the determinism, observability, and
+concurrency contracts generic linters cannot see: explicit seeded RNG
+flow (R001), no wall clocks in results (R002), float/NaN discipline
+(R003/R004), picklable specs (R007), obs-owned timing (R008), RNG-free
+batch decode phases via cross-module call-graph analysis (R009),
+guarded-by lock discipline (R010), a closed metric-name registry
+(R011), and suppression hygiene (R012).
+
+Package layout: ``model`` (datatypes), ``resolve``/``index`` (imports
++ project symbol/call graph), ``suppress`` (comment directives),
+``rules/`` (one module per rule + registry), ``cache`` (content-hash
+result cache), ``baseline`` (ratchet), ``emit`` (text/JSON/SARIF),
+``runner`` (walk/parse/analyse pipeline), ``cli``.
+
+See ``docs/static_analysis.md`` for the catalogue and authoring guide.
+"""
+
+from repro.tools.lint.cli import main
+from repro.tools.lint.model import (LINT_VERSION, Finding, LintReport,
+                                    Rule)
+from repro.tools.lint.rules import ALL_CHECKERS, RULES
+from repro.tools.lint.runner import (iter_python_files, lint_paths,
+                                     lint_source)
+
+__all__ = [
+    "LINT_VERSION", "Rule", "Finding", "LintReport",
+    "ALL_CHECKERS", "RULES",
+    "iter_python_files", "lint_source", "lint_paths", "main",
+]

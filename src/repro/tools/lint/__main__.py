@@ -1,0 +1,6 @@
+"""``python -m repro.tools.lint`` entry point."""
+
+from repro.tools.lint.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""The committed baseline / ratchet file.
+
+``reprolint-baseline.json`` maps ``"path:rule"`` to the number of
+findings a file is *allowed* to have — pre-existing debt that should
+not fail CI but must never grow.  The tree currently carries zero debt
+(the file ships empty); the machinery exists so a future rule can land
+strict without a big-bang cleanup, then ratchet down as files are
+fixed.  ``--update-baseline`` rewrites the file from the current
+findings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.tools.lint.model import Finding
+
+__all__ = ["load_baseline", "apply_baseline", "write_baseline"]
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """``{"path:rule": allowed count}``; a missing file means no debt."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except OSError:
+        return {}
+    allowed = raw.get("allowed") if isinstance(raw, dict) else None
+    if not isinstance(allowed, dict):
+        return {}
+    return {str(key): int(count) for key, count in allowed.items()
+            if isinstance(count, int) and count > 0}
+
+
+def apply_baseline(findings: List[Finding], baseline: Dict[str, int]
+                   ) -> Tuple[List[Finding], List[Finding]]:
+    """Split into (still-failing, absorbed-by-baseline).
+
+    Findings are absorbed in (line, col) order, up to the allowed
+    count per ``path:rule`` key — a file that *grows* new findings
+    fails on the excess.
+    """
+    if not baseline:
+        return list(findings), []
+    remaining = dict(baseline)
+    kept: List[Finding] = []
+    absorbed: List[Finding] = []
+    for finding in sorted(findings,
+                          key=lambda f: (f.path, f.line, f.col)):
+        key = f"{finding.path}:{finding.rule_id}"
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            finding.baselined = True
+            absorbed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, absorbed
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        key = f"{finding.path}:{finding.rule_id}"
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "comment": ("reprolint ratchet: allowed pre-existing findings "
+                    "per path:rule; regenerate with --update-baseline, "
+                    "only ever shrink it"),
+        "allowed": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,120 @@
+"""Content-hash result cache: warm re-lints re-parse nothing.
+
+The cache is **all-or-nothing** on purpose: cross-module rules (R009
+walks the project call graph) mean editing one file can change the
+findings in another, so per-file reuse after any edit would be
+unsound.  The key is therefore a *project signature* — a hash over
+every checked file's (path, content-hash) pair — plus the analyzer
+version and the ruleset signature (rule ids + per-rule versions).  An
+unchanged tree hits 100%; any edit, rule change, or version bump
+re-runs the full analysis and rewrites the cache atomically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional
+
+from repro.tools.lint.model import LINT_VERSION, Finding
+
+__all__ = ["content_hash", "project_signature", "ResultCache"]
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8", "replace")).hexdigest()
+
+
+def project_signature(file_hashes: Dict[str, str]) -> str:
+    """Hash over every checked file's (path, content-hash) pair."""
+    digest = hashlib.sha256()
+    for path in sorted(file_hashes):
+        digest.update(f"{path}\x00{file_hashes[path]}\n".encode())
+    return digest.hexdigest()
+
+
+def _finding_from_dict(raw: Dict[str, Any]) -> Finding:
+    return Finding(path=str(raw["path"]), line=int(raw["line"]),
+                   col=int(raw["col"]),
+                   rule_id=str(raw["rule"]), message=str(raw["message"]),
+                   suppressed=bool(raw["suppressed"]))
+
+
+class ResultCache:
+    """One cache file's worth of per-file findings."""
+
+    def __init__(self, ruleset_sig: str) -> None:
+        self.ruleset_sig = ruleset_sig
+        self.project_sig: Optional[str] = None
+        self.files: Dict[str, List[Finding]] = {}
+
+    @classmethod
+    def load(cls, path: str, ruleset_sig: str) -> "ResultCache":
+        """Read *path*; mismatched version/ruleset yields an empty
+        (always-miss) cache rather than an error."""
+        cache = cls(ruleset_sig)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict):
+            return cache
+        if raw.get("lint_version") != LINT_VERSION:
+            return cache
+        if raw.get("ruleset") != ruleset_sig:
+            return cache
+        project_sig = raw.get("project_sig")
+        files = raw.get("files")
+        if not isinstance(project_sig, str) or not isinstance(files, dict):
+            return cache
+        try:
+            cache.files = {
+                str(file_path): [_finding_from_dict(f) for f in entries]
+                for file_path, entries in files.items()
+            }
+        except (KeyError, TypeError, ValueError):
+            cache.files = {}
+            return cache
+        cache.project_sig = project_sig
+        return cache
+
+    def lookup(self, project_sig: str
+               ) -> Optional[Dict[str, List[Finding]]]:
+        """The whole tree's findings, iff the signature matches."""
+        if self.project_sig == project_sig:
+            return self.files
+        return None
+
+    def store(self, project_sig: str,
+              files: Dict[str, List[Finding]]) -> None:
+        self.project_sig = project_sig
+        self.files = files
+
+    def save(self, path: str) -> None:
+        """Atomic write (temp + rename) so concurrent lints never see a
+        torn cache."""
+        payload = {
+            "lint_version": LINT_VERSION,
+            "ruleset": self.ruleset_sig,
+            "project_sig": self.project_sig,
+            "files": {
+                file_path: [f.to_dict() for f in findings]
+                for file_path, findings in self.files.items()
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory,
+                                   prefix=".reprolint-cache.",
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

@@ -1,0 +1,134 @@
+"""reprolint command line.
+
+``python -m repro.tools.lint [paths...]`` — or ``python -m repro lint``
+— checks ``src tests benchmarks examples`` by default.  Exit codes:
+0 clean, 1 findings, 2 errors (missing paths, unreadable or
+unparseable files).
+
+The result cache (``.reprolint-cache.json``) is on by default so a
+warm re-lint of an unchanged tree does no parsing at all; pass
+``--no-cache`` for hermetic runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, TextIO
+
+from repro.tools.lint.emit import emit_text, to_json, to_sarif, write_json
+from repro.tools.lint.rules import RULES
+from repro.tools.lint.runner import lint_paths
+
+__all__ = ["main"]
+
+_DEFAULT_PATHS = ["src", "tests", "benchmarks", "examples"]
+_DEFAULT_CACHE = ".reprolint-cache.json"
+_DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="project-aware lint for the repro codebase")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help=f"files or directories "
+                             f"(default: {' '.join(_DEFAULT_PATHS)})")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="primary output format")
+    parser.add_argument("-o", "--output", metavar="PATH",
+                        help="write primary output to PATH instead of "
+                             "stdout")
+    parser.add_argument("--sarif", metavar="PATH", dest="sarif_path",
+                        help="additionally write a SARIF 2.1.0 report "
+                             "to PATH")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="include suppressed/baselined findings in "
+                             "text output")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache hit statistics")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="analysis threads (default: executor "
+                             "chooses)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache")
+    parser.add_argument("--cache-path", default=_DEFAULT_CACHE,
+                        metavar="PATH",
+                        help=f"result cache file (default: "
+                             f"{_DEFAULT_CACHE})")
+    parser.add_argument("--changed", action="store_true",
+                        help="only report findings in files changed vs "
+                             "--base-ref (index stays whole-tree)")
+    parser.add_argument("--base-ref", default="HEAD", metavar="REF",
+                        help="git ref for --changed (default: HEAD)")
+    parser.add_argument("--baseline", default=_DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help=f"ratchet file of allowed findings "
+                             f"(default: {_DEFAULT_BASELINE})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from current "
+                             "findings, then apply it")
+    return parser
+
+
+def _list_rules(stream: TextIO) -> None:
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        stream.write(f"{rule.id}  {rule.name}: {rule.summary}\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules(sys.stdout)
+        return 0
+
+    paths: List[str] = args.paths or _DEFAULT_PATHS
+    existing = [p for p in paths if Path(p).exists()]
+    if not existing:
+        print(f"error: no such paths: {' '.join(paths)}",
+              file=sys.stderr)
+        return 2
+
+    report = lint_paths(
+        existing,
+        jobs=args.jobs,
+        cache_path=None if args.no_cache else args.cache_path,
+        changed_only=args.changed,
+        base_ref=args.base_ref,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+    )
+
+    for err in report.errors:
+        print(f"error: {err}", file=sys.stderr)
+
+    out: TextIO = sys.stdout
+    close_out = False
+    if args.output:
+        out = open(args.output, "w", encoding="utf-8")
+        close_out = True
+    try:
+        if args.format == "json":
+            write_json(to_json(report), out)
+        elif args.format == "sarif":
+            write_json(to_sarif(report), out)
+        else:
+            emit_text(report, out, show_suppressed=args.show_suppressed,
+                      show_stats=args.stats)
+    finally:
+        if close_out:
+            out.close()
+
+    if args.sarif_path:
+        with open(args.sarif_path, "w", encoding="utf-8") as fh:
+            write_json(to_sarif(report), fh)
+
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

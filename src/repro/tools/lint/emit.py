@@ -1,0 +1,139 @@
+"""Report emitters: text, JSON, SARIF 2.1.0.
+
+SARIF output targets the subset of the 2.1.0 spec that code-scanning
+UIs consume: ``tool.driver.rules`` carries the full rule catalogue
+(id, name, short/full description, help text), each result references
+its rule by id + index and anchors one physical location.  Suppressed
+and baselined findings are emitted with a ``suppressions`` entry so
+they render greyed-out instead of vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO
+
+from repro.tools.lint.model import LINT_VERSION, Finding, LintReport
+from repro.tools.lint.rules import RULES
+
+__all__ = ["emit_text", "to_json", "to_sarif", "write_json"]
+
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json")
+
+
+def emit_text(report: LintReport, stream: TextIO,
+              show_suppressed: bool = False,
+              show_stats: bool = False) -> None:
+    rows: List[Finding] = list(report.findings)
+    if show_suppressed:
+        rows += report.suppressed + report.baselined
+    for finding in sorted(rows, key=lambda f: (f.path, f.line, f.col,
+                                               f.rule_id)):
+        tag = ""
+        if finding.suppressed:
+            tag = "  (suppressed)"
+        elif finding.baselined:
+            tag = "  (baselined)"
+        stream.write(finding.format() + tag + "\n")
+    stream.write(
+        f"reprolint: {len(report.findings)} finding(s) "
+        f"({len(report.suppressed)} suppressed) in "
+        f"{report.n_files} file(s)\n")
+    if show_stats:
+        total = report.cache_hits + report.cache_misses
+        pct = (100.0 * report.cache_hits / total) if total else 0.0
+        stream.write(
+            f"reprolint: cache {report.cache_hits}/{total} hit(s) "
+            f"({pct:.0f}%), {len(report.baselined)} baselined\n")
+
+
+def to_json(report: LintReport) -> Dict[str, Any]:
+    payload = report.to_dict()
+    payload["version"] = LINT_VERSION
+    payload["rules"] = sorted(RULES)
+    return payload
+
+
+def _sarif_result(finding: Finding,
+                  rule_index: Dict[str, int]) -> Dict[str, Any]:
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule_id,
+        "ruleIndex": rule_index[finding.rule_id],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/"),
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    if finding.suppressed:
+        result["level"] = "note"
+        result["suppressions"] = [{
+            "kind": "inSource",
+            "justification": "reprolint: disable comment",
+        }]
+    elif finding.baselined:
+        result["level"] = "note"
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": "reprolint-baseline.json",
+        }]
+    return result
+
+
+def to_sarif(report: LintReport) -> Dict[str, Any]:
+    rule_ids = sorted(RULES)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    sarif_rules: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = RULES[rule_id]
+        sarif_rules.append({
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "help": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        })
+    results = [
+        _sarif_result(f, rule_index)
+        for f in sorted(report.findings + report.suppressed
+                        + report.baselined,
+                        key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "version": LINT_VERSION,
+                    "rules": sarif_rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+            "invocations": [{
+                "executionSuccessful": report.exit_code() != 2,
+                "toolExecutionNotifications": [
+                    {"level": "error", "message": {"text": err}}
+                    for err in report.errors
+                ],
+            }],
+        }],
+    }
+
+
+def write_json(payload: Dict[str, Any], stream: TextIO) -> None:
+    json.dump(payload, stream, indent=2, sort_keys=False)
+    stream.write("\n")

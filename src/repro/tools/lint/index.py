@@ -1,0 +1,409 @@
+"""Project-wide symbol / call-graph index for cross-module rules.
+
+One parse pass over the whole checked tree produces, per module:
+classes (with bases, methods, and ``self.<attr> = ClassName(...)``
+attribute types), top-level functions, and the file's import map.  Per
+function it records every *call site* in a resolvable shape and every
+*RNG draw site* (Generator draw methods plus the project's drawing
+helpers).  Rules like R009 (phase purity) then walk the call graph —
+``self.`` dispatch through base classes *and* subclasses, locally
+constructed objects, imported project functions — without ever
+re-parsing a file.
+
+Resolution is deliberately best-effort: an attribute call whose
+receiver type cannot be inferred is simply not followed.  The graph is
+therefore an under-approximation of runtime dispatch, which is the
+right polarity for a lint gate (no findings invented from calls that
+cannot happen), with one exception: ``self.x()`` also follows subclass
+overrides, because the batch mixin's template methods dispatch into
+the per-radio sessions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.tools.lint.resolve import ImportMap, dotted_name
+
+__all__ = ["CallRef", "DrawSite", "FuncInfo", "ClassInfo", "ModuleInfo",
+           "ProjectIndex", "module_name_for_path",
+           "RNG_DRAW_METHODS", "RNG_DRAW_FUNCS"]
+
+#: numpy ``Generator`` methods that consume random state.  Seed/spawn
+#: plumbing (``spawn``, ``bit_generator``) is deliberately absent.
+RNG_DRAW_METHODS = frozenset({
+    "standard_normal", "normal", "random", "integers", "uniform",
+    "choice", "shuffle", "permutation", "permuted", "exponential",
+    "poisson", "binomial", "rayleigh", "standard_exponential",
+    "standard_gamma", "multivariate_normal",
+})
+
+#: Project helpers that draw from a generator (or an internal stream).
+RNG_DRAW_FUNCS = frozenset({
+    "random_bits", "random_psdu", "random_payload",
+})
+
+
+@dataclass
+class CallRef:
+    """One call site, in a shape the resolver understands.
+
+    ``kind`` is one of:
+
+    * ``"bare"`` — ``foo(...)``; resolved through the module's own
+      defs, then its imports.
+    * ``"self"`` — ``self.foo(...)``; resolved through the owning
+      class, its bases, and its subclasses.
+    * ``"selfattr"`` — ``self.obj.foo(...)``; resolved through the
+      inferred type of ``self.obj`` (assigned ``ClassName(...)`` in
+      ``__init__``), checked on the class and its subclasses.
+    * ``"var"`` — ``x.foo(...)``; resolved through ``x = ClassName(...)``
+      in the same function.
+    """
+
+    kind: str
+    base: str
+    name: str
+    line: int
+    col: int
+
+
+@dataclass
+class DrawSite:
+    """One RNG-consuming call."""
+
+    desc: str
+    line: int
+    col: int
+
+
+@dataclass
+class FuncInfo:
+    """One function or method definition."""
+
+    name: str
+    qualname: str
+    path: str
+    line: int
+    class_name: Optional[str] = None
+    calls: List[CallRef] = field(default_factory=list)
+    draws: List[DrawSite] = field(default_factory=list)
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases, methods, inferred attribute types."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FuncInfo] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file's contribution to the index."""
+
+    name: str
+    path: str
+    functions: Dict[str, FuncInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    imports: ImportMap = field(default_factory=ImportMap)
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a checked file, best-effort.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine``; trees without
+    a recognisable package root fall back to the stem.
+    """
+    parts = list(path.replace("\\", "/").split("/"))
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for root in ("repro", "tests", "benchmarks"):
+        if root in parts:
+            return ".".join(parts[parts.index(root):])
+    return parts[-1] if parts else path
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collects call sites, draw sites, and local constructor types
+    inside one function body (nested defs included, nested classes
+    excluded)."""
+
+    def __init__(self, info: FuncInfo, imports: ImportMap) -> None:
+        self.info = info
+        self.imports = imports
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return None  # nested classes are indexed separately
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_ctor_type(node.targets, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._record_ctor_type([node.target], node.value)
+        self.generic_visit(node)
+
+    def _record_ctor_type(self, targets: Sequence[ast.expr],
+                          value: ast.expr) -> None:
+        if not (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)):
+            return
+        cls = value.func.id
+        if not cls or not cls[0].isupper():
+            return  # heuristics: constructors are CapWords
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.info.local_types[target.id] = cls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record_call(node)
+        self.generic_visit(node)
+
+    def _record_call(self, node: ast.Call) -> None:
+        func = node.func
+        line, col = node.lineno, node.col_offset
+        if isinstance(func, ast.Name):
+            self.info.calls.append(
+                CallRef("bare", "", func.id, line, col))
+            if func.id in RNG_DRAW_FUNCS:
+                self.info.draws.append(
+                    DrawSite(f"{func.id}()", line, col))
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        recv = func.value
+        if attr in RNG_DRAW_METHODS or attr in RNG_DRAW_FUNCS:
+            recv_name = dotted_name(recv) or "<expr>"
+            self.info.draws.append(
+                DrawSite(f"{recv_name}.{attr}()", line, col))
+        if isinstance(recv, ast.Name):
+            if recv.id == "self":
+                self.info.calls.append(
+                    CallRef("self", "", attr, line, col))
+            else:
+                self.info.calls.append(
+                    CallRef("var", recv.id, attr, line, col))
+        elif (isinstance(recv, ast.Attribute)
+              and isinstance(recv.value, ast.Name)
+              and recv.value.id == "self"):
+            self.info.calls.append(
+                CallRef("selfattr", recv.attr, attr, line, col))
+
+
+def _scan_function(node: ast.AST, info: FuncInfo,
+                   imports: ImportMap) -> None:
+    scanner = _FunctionScanner(info, imports)
+    for stmt in getattr(node, "body", []):
+        scanner.visit(stmt)
+
+
+class ProjectIndex:
+    """Symbol and call-graph index over every parsed file."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.by_path: Dict[str, ModuleInfo] = {}
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.functions_by_name: Dict[str, List[FuncInfo]] = {}
+        self._subclasses: Dict[str, List[ClassInfo]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(cls, files: Iterable[Tuple[str, ast.AST]]) -> "ProjectIndex":
+        index = cls()
+        for path, tree in files:
+            index.add_file(path, tree)
+        index.finalise()
+        return index
+
+    def add_file(self, path: str, tree: ast.AST) -> None:
+        mod = ModuleInfo(name=module_name_for_path(path), path=path,
+                         imports=ImportMap(tree))
+        for node in getattr(tree, "body", []):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FuncInfo(name=node.name,
+                                qualname=f"{mod.name}.{node.name}",
+                                path=path, line=node.lineno)
+                _scan_function(node, info, mod.imports)
+                mod.functions[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(mod, node)
+        self.modules[mod.name] = mod
+        self.by_path[path] = mod
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        cinfo = ClassInfo(name=node.name, module=mod.name, path=mod.path,
+                          line=node.lineno)
+        for base in node.bases:
+            base_name = dotted_name(base)
+            if base_name:
+                cinfo.bases.append(base_name.rpartition(".")[2])
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                finfo = FuncInfo(
+                    name=stmt.name,
+                    qualname=f"{mod.name}.{node.name}.{stmt.name}",
+                    path=mod.path, line=stmt.lineno,
+                    class_name=node.name)
+                _scan_function(stmt, finfo, mod.imports)
+                cinfo.methods[stmt.name] = finfo
+                if stmt.name == "__init__":
+                    self._collect_attr_types(cinfo, stmt)
+        mod.classes[node.name] = cinfo
+
+    @staticmethod
+    def _collect_attr_types(cinfo: ClassInfo,
+                            init: ast.AST) -> None:
+        for sub in ast.walk(init):
+            if not isinstance(sub, ast.Assign):
+                continue
+            value = sub.value
+            if not (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id[:1].isupper()):
+                continue
+            for target in sub.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    cinfo.attr_types[target.attr] = value.func.id
+
+    def finalise(self) -> None:
+        """Build the cross-module lookup tables; call after add_file."""
+        self.classes_by_name.clear()
+        self.functions_by_name.clear()
+        self._subclasses.clear()
+        for mod in self.modules.values():
+            for cinfo in mod.classes.values():
+                self.classes_by_name.setdefault(cinfo.name, []).append(cinfo)
+            for finfo in mod.functions.values():
+                self.functions_by_name.setdefault(finfo.name,
+                                                  []).append(finfo)
+        for mod in self.modules.values():
+            for cinfo in mod.classes.values():
+                for base in self._transitive_bases(cinfo):
+                    self._subclasses.setdefault(base, []).append(cinfo)
+
+    def _transitive_bases(self, cinfo: ClassInfo,
+                          seen: Optional[Set[str]] = None) -> Set[str]:
+        if seen is None:
+            seen = set()
+        out: Set[str] = set()
+        for base in cinfo.bases:
+            if base in seen:
+                continue
+            seen.add(base)
+            out.add(base)
+            for parent in self.classes_by_name.get(base, []):
+                out |= self._transitive_bases(parent, seen)
+        return out
+
+    # -- resolution -------------------------------------------------------
+
+    def subclasses_of(self, class_name: str) -> List[ClassInfo]:
+        return self._subclasses.get(class_name, [])
+
+    def _method_in_hierarchy(self, cinfo: ClassInfo, name: str,
+                             seen: Optional[Set[str]] = None
+                             ) -> List[FuncInfo]:
+        """The method on *cinfo* or the nearest base defining it."""
+        if seen is None:
+            seen = set()
+        if cinfo.name in seen:
+            return []
+        seen.add(cinfo.name)
+        if name in cinfo.methods:
+            return [cinfo.methods[name]]
+        out: List[FuncInfo] = []
+        for base in cinfo.bases:
+            for parent in self.classes_by_name.get(base, []):
+                out += self._method_in_hierarchy(parent, name, seen)
+        return out
+
+    def resolve_self_call(self, cinfo: ClassInfo,
+                          name: str) -> List[FuncInfo]:
+        """``self.name(...)`` inside *cinfo*: the class and its bases,
+        plus every in-project subclass override (template-method
+        dispatch)."""
+        out = self._method_in_hierarchy(cinfo, name)
+        for sub in self.subclasses_of(cinfo.name):
+            if name in sub.methods:
+                out.append(sub.methods[name])
+        return out
+
+    def resolve_class(self, mod: ModuleInfo,
+                      name: str) -> List[ClassInfo]:
+        """A class referenced by bare name in *mod*: local def, import
+        target, then (unique) global bare-name match."""
+        if name in mod.classes:
+            return [mod.classes[name]]
+        canon = mod.imports.canonical(name)
+        if canon and "." in canon:
+            target_mod, _, symbol = canon.rpartition(".")
+            owner = self.modules.get(target_mod)
+            if owner and symbol in owner.classes:
+                return [owner.classes[symbol]]
+        candidates = self.classes_by_name.get(name, [])
+        return candidates if len(candidates) == 1 else []
+
+    def resolve_call(self, site: CallRef, owner: FuncInfo,
+                     mod: ModuleInfo) -> List[FuncInfo]:
+        """Callee candidates for one call site, best-effort."""
+        cinfo = (mod.classes.get(owner.class_name)
+                 if owner.class_name else None)
+        if site.kind == "self" and cinfo is not None:
+            return self.resolve_self_call(cinfo, site.name)
+        if site.kind == "selfattr" and cinfo is not None:
+            type_names = []
+            if site.base in cinfo.attr_types:
+                type_names.append(cinfo.attr_types[site.base])
+            else:
+                # The mixin pattern: ``self.tag`` is assigned by the
+                # concrete subclasses, not by the class that calls it.
+                for sub in self.subclasses_of(cinfo.name):
+                    if site.base in sub.attr_types:
+                        type_names.append(sub.attr_types[site.base])
+            out: List[FuncInfo] = []
+            for type_name in type_names:
+                for target in self.resolve_class(mod, type_name):
+                    out += self._method_in_hierarchy(target, site.name)
+            return out
+        if site.kind == "var":
+            type_name = owner.local_types.get(site.base)
+            if type_name is None:
+                return []
+            out = []
+            for target in self.resolve_class(mod, type_name):
+                out += self._method_in_hierarchy(target, site.name)
+            return out
+        if site.kind == "bare":
+            if site.name in mod.functions:
+                return [mod.functions[site.name]]
+            # A constructor call: follow into __init__.
+            for target in self.resolve_class(mod, site.name):
+                out = self._method_in_hierarchy(target, "__init__")
+                if out:
+                    return out
+                return []
+            canon = mod.imports.canonical(site.name)
+            if canon and "." in canon:
+                target_mod, _, symbol = canon.rpartition(".")
+                owner_mod = self.modules.get(target_mod)
+                if owner_mod and symbol in owner_mod.functions:
+                    return [owner_mod.functions[symbol]]
+            return []
+        return []

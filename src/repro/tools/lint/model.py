@@ -1,0 +1,90 @@
+"""Core datatypes of reprolint: rules, findings, reports.
+
+Kept dependency-free (stdlib only) so every other lint module — the
+project index, the rule modules, the emitters — can import from here
+without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["LINT_VERSION", "Rule", "Finding", "LintReport"]
+
+#: Analyzer version; part of every cache key, so bumping it invalidates
+#: all cached per-file results (used when analysis semantics change in
+#: a way individual rule versions do not capture).
+LINT_VERSION = "2.0"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One reprolint rule: identifier, name, and why it exists."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    suppressed: bool = False
+    baselined: bool = False
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule_id, "message": self.message,
+                "suppressed": self.suppressed}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run.
+
+    ``findings`` are the gate-failing results; ``suppressed`` were
+    silenced by ``# reprolint: disable=`` comments and ``baselined``
+    were absorbed by the committed ratchet file — neither fails the
+    run.  ``errors`` (unreadable, undecodable, or unparseable files)
+    always force exit code 2.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    n_files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 0 if not self.findings else 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.n_files,
+            "errors": list(self.errors),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "cache": {"hits": self.cache_hits,
+                      "misses": self.cache_misses},
+        }

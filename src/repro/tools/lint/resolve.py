@@ -1,0 +1,70 @@
+"""Import-aware name resolution shared by every rule.
+
+Each checked file gets one :class:`ImportMap`, prebuilt from all of the
+file's ``import`` / ``from ... import`` statements (module-level and
+nested — several sessions import their receiver classes inside
+``__init__``).  Rules then canonicalise dotted call names
+("np.random.rand" -> "numpy.random.rand") without re-walking the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+__all__ = ["dotted_name", "ImportMap"]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class ImportMap:
+    """Alias tables for one file: module aliases and imported names."""
+
+    def __init__(self, tree: Optional[ast.AST] = None) -> None:
+        # alias -> canonical module ("np" -> "numpy")
+        self.modules: Dict[str, str] = {}
+        # imported name -> canonical dotted
+        # ("default_rng" -> "numpy.random.default_rng")
+        self.names: Dict[str, str] = {}
+        if tree is not None:
+            self.collect(tree)
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        head = alias.name.partition(".")[0]
+                        self.modules[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and not node.level:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        self.names[alias.asname or alias.name] = \
+                            node.module + "." + alias.name
+
+    def canonical(self, dotted: Optional[str]) -> Optional[str]:
+        """Resolve the head of a dotted name through the alias tables."""
+        if not dotted:
+            return None
+        head, _, rest = dotted.partition(".")
+        if head in self.names:
+            base = self.names[head]
+        elif head in self.modules:
+            base = self.modules[head]
+        else:
+            return dotted
+        return base + "." + rest if rest else base

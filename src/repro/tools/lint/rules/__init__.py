@@ -1,0 +1,67 @@
+"""The rule registry: one module per rule, ordered by id.
+
+Adding a rule: create ``rXXX_<slug>.py`` defining a ``LintRule``
+subclass, list the class in ``ALL_CHECKERS`` here, add bad/ok fixtures
+under ``tests/tools/fixtures/`` and a catalogue entry in
+``docs/static_analysis.md`` — the meta-test in
+``tests/tools/test_reprolint.py`` enforces the last two.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Tuple, Type
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, FileContext, LintRule
+from repro.tools.lint.rules.r001_global_rng import GlobalRngRule
+from repro.tools.lint.rules.r002_wall_clock import WallClockRule
+from repro.tools.lint.rules.r003_float_equality import FloatEqualityRule
+from repro.tools.lint.rules.r004_nan_discipline import NanDisciplineRule
+from repro.tools.lint.rules.r005_mutable_default import MutableDefaultRule
+from repro.tools.lint.rules.r006_silent_except import SilentExceptRule
+from repro.tools.lint.rules.r007_picklable_specs import PicklableSpecsRule
+from repro.tools.lint.rules.r008_obs_clock import ObsClockRule
+from repro.tools.lint.rules.r009_phase_purity import PhasePurityRule
+from repro.tools.lint.rules.r010_lock_discipline import LockDisciplineRule
+from repro.tools.lint.rules.r011_counter_registry import CounterRegistryRule
+from repro.tools.lint.rules.r012_suppression_hygiene import (
+    SuppressionHygieneRule,
+)
+
+__all__ = ["ALL_CHECKERS", "RULES", "ruleset_signature", "make_checkers",
+           "LintRule", "AstLintRule", "FileContext"]
+
+ALL_CHECKERS: Tuple[Type[LintRule], ...] = (
+    GlobalRngRule,
+    WallClockRule,
+    FloatEqualityRule,
+    NanDisciplineRule,
+    MutableDefaultRule,
+    SilentExceptRule,
+    PicklableSpecsRule,
+    ObsClockRule,
+    PhasePurityRule,
+    LockDisciplineRule,
+    CounterRegistryRule,
+    SuppressionHygieneRule,
+)
+
+#: id -> rule metadata, in registry order.
+RULES: Dict[str, Rule] = {
+    checker.rule.id: checker.rule for checker in ALL_CHECKERS
+}
+
+
+def ruleset_signature() -> str:
+    """Hash over rule ids + per-rule versions; part of the cache key,
+    so adding a rule or bumping a version invalidates cached results."""
+    digest = hashlib.sha256()
+    for checker in ALL_CHECKERS:
+        digest.update(f"{checker.rule.id}:{checker.version};".encode())
+    return digest.hexdigest()
+
+
+def make_checkers() -> List[LintRule]:
+    """One fresh instance of every rule (rules keep per-file state)."""
+    return [checker() for checker in ALL_CHECKERS]

@@ -1,0 +1,129 @@
+"""Rule plumbing: per-file context, base classes, path scoping.
+
+Every rule lives in its own module under ``repro.tools.lint.rules`` and
+registers itself in ``rules/__init__`` by appearing in
+``ALL_CHECKERS``.  A rule is a class with:
+
+* ``rule`` — the :class:`~repro.tools.lint.model.Rule` metadata
+  (id, name, summary, rationale);
+* ``version`` — bumped when the rule's semantics change, which
+  invalidates cached per-file results for the whole tree;
+* ``path_allow`` / ``path_only`` — path scoping (allowlisted files,
+  opt-in trees);
+* ``check(ctx)`` — returns the findings for one file.
+
+File-local AST rules subclass :class:`AstLintRule` and get the usual
+``visit_*`` hooks plus :meth:`AstLintRule.flag`; project-level rules
+(R009 and friends) subclass :class:`LintRule` directly and read
+``ctx.index``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Optional, Set, Tuple
+
+from repro.tools.lint.index import ModuleInfo, ProjectIndex
+from repro.tools.lint.model import Finding, Rule
+from repro.tools.lint.resolve import ImportMap, dotted_name
+from repro.tools.lint.suppress import Suppression
+
+__all__ = ["FileContext", "LintRule", "AstLintRule", "dotted_name"]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult about one checked file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    imports: ImportMap
+    comments: Dict[int, str]
+    suppressions: Dict[int, Suppression]
+    index: ProjectIndex
+    module: ModuleInfo
+    #: ``# guarded-by: <lock>`` annotations, by line (R010).
+    guarded_by: Dict[int, str] = field(default_factory=dict)
+    #: ``# reprolint: holds(<lock>)`` assertions, by def line (R010).
+    holds_locks: Dict[int, Set[str]] = field(default_factory=dict)
+    #: Findings from every other rule, pre-suppression; only populated
+    #: for rules declaring ``wants_prior_findings`` (R012 audits them).
+    prior_findings: List[Finding] = field(default_factory=list)
+
+
+class LintRule:
+    """Base class for all rules; one instance is created per file."""
+
+    rule: ClassVar[Rule]
+    #: Bump when the rule's semantics change (cache invalidation).
+    version: ClassVar[int] = 1
+    #: Path suffixes / directory patterns exempt from this rule.
+    #: Entries ending in "/" match directories anywhere on the path;
+    #: other entries match path suffixes.
+    path_allow: ClassVar[Tuple[str, ...]] = ()
+    #: When set, the rule only applies under these directory components
+    #: ("repro/" scopes a rule to project modules).
+    path_only: ClassVar[Optional[Tuple[str, ...]]] = None
+    #: Set by R012: ``check`` receives every other rule's findings.
+    wants_prior_findings: ClassVar[bool] = False
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        raise NotImplementedError
+
+    # -- path scoping -----------------------------------------------------
+
+    @classmethod
+    def path_allowed(cls, path: str) -> bool:
+        haystack = "/" + path.replace("\\", "/")
+        for pat in cls.path_allow:
+            if pat.endswith("/"):
+                if "/" + pat in haystack + "/":
+                    return True
+            elif haystack.endswith("/" + pat) or haystack.endswith(pat):
+                return True
+        return False
+
+    @classmethod
+    def in_scope(cls, path: str) -> bool:
+        if cls.path_only is None:
+            return True
+        haystack = "/" + path.replace("\\", "/") + "/"
+        return any("/" + pat in haystack for pat in cls.path_only)
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return cls.in_scope(path) and not cls.path_allowed(path)
+
+
+class AstLintRule(LintRule, ast.NodeVisitor):
+    """File-local rule driven by a NodeVisitor walk of the file."""
+
+    def __init__(self) -> None:
+        self.findings: List[Finding] = []
+        self.ctx: Optional[FileContext] = None
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if not self.applies_to(ctx.path):
+            return []
+        self.ctx = ctx
+        self.findings = []
+        self.begin(ctx)
+        self.visit(ctx.tree)
+        return self.findings
+
+    def begin(self, ctx: FileContext) -> None:
+        """Per-file state reset hook; default does nothing."""
+
+    def flag(self, node: ast.AST, message: str) -> None:
+        assert self.ctx is not None
+        self.findings.append(Finding(
+            path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule.id, message=message))
+
+    def canonical(self, dotted: Optional[str]) -> Optional[str]:
+        assert self.ctx is not None
+        return self.ctx.imports.canonical(dotted)

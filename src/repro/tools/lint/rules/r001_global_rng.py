@@ -1,0 +1,62 @@
+"""R001 — randomness must flow through an explicit, seeded Generator."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+# Construction helpers of numpy.random that are deterministic plumbing,
+# not hidden-global-state draws.
+_NUMPY_RNG_ALLOWED = {
+    "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+}
+
+
+class GlobalRngRule(AstLintRule):
+    rule = Rule(
+        "R001", "no-global-rng",
+        "randomness must flow through an explicit, seeded Generator",
+        "Module-level RNG (np.random.rand, random.random, seedless "
+        "default_rng) draws from hidden global state, breaking the "
+        "engine's worker-count-invariant determinism contract.  Mint "
+        "generators via utils.rng / spawned SeedSequences instead.")
+    # The one module allowed to mint generators from raw seeds.
+    path_allow = ("repro/utils/rng.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canon = self.canonical(dotted_name(node.func))
+        if canon:
+            self._check_rng_call(node, canon)
+        self.generic_visit(node)
+
+    def _check_rng_call(self, node: ast.Call, canon: str) -> None:
+        if canon.startswith("numpy.random."):
+            tail = canon[len("numpy.random."):]
+            head = tail.partition(".")[0]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    self.flag(node,
+                              "seedless np.random.default_rng() — seed it "
+                              "from a spawned SeedSequence or "
+                              "utils.rng.derive_seed")
+            elif head not in _NUMPY_RNG_ALLOWED:
+                self.flag(node,
+                          f"module-level numpy RNG call "
+                          f"numpy.random.{tail}() draws hidden global "
+                          f"state; use an explicit Generator")
+        elif canon.startswith("random.") and self._is_stdlib_random(canon):
+            self.flag(node,
+                      f"stdlib global RNG call {canon}(); use an explicit "
+                      f"numpy Generator from utils.rng")
+
+    def _is_stdlib_random(self, canon: str) -> bool:
+        # Only flag when the name resolves to the stdlib module: either
+        # ``import random`` is in scope, or the call came from
+        # ``from random import <fn>`` (already canonicalised).
+        assert self.ctx is not None
+        head = canon.partition(".")[0]
+        return (self.ctx.imports.modules.get(head) == "random"
+                or canon in self.ctx.imports.names.values())

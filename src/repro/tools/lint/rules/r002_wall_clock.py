@@ -1,0 +1,38 @@
+"""R002 — no wall-clock reads in result-affecting code."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+# Wall-clock reads (canonical dotted names after import resolution).
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.ctime", "time.localtime",
+    "time.gmtime", "time.strftime", "time.asctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+class WallClockRule(AstLintRule):
+    rule = Rule(
+        "R002", "no-wall-clock",
+        "no wall-clock reads in result-affecting code",
+        "time.time() / datetime.now() make results depend on when the "
+        "run happened, so a resumed sweep cannot be bit-identical.  "
+        "Monotonic timers (time.perf_counter) for *measuring* are fine; "
+        "repro/obs and the engine's timing plumbing are allowlisted.")
+    # Observability and the engine's timing plumbing measure wall time
+    # by design; results never depend on the values.
+    path_allow = ("repro/obs/", "repro/sim/engine.py")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        canon = self.canonical(dotted_name(node.func))
+        if canon in _WALL_CLOCK:
+            self.flag(node,
+                      f"wall-clock read {canon}() in result-affecting "
+                      f"code; use time.perf_counter for measuring, or "
+                      f"pass timestamps in explicitly")
+        self.generic_visit(node)

@@ -1,0 +1,58 @@
+"""R003 — no ==/!= against float literals, NaN, or measurement fields."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+
+class FloatEqualityRule(AstLintRule):
+    rule = Rule(
+        "R003", "no-float-equality",
+        "no ==/!= against float literals, NaN, or measurement fields",
+        "Exact float comparison is representation-dependent and NaN "
+        "never compares equal, silently disabling the branch.  Use "
+        "np.isclose / math.isnan.  assert statements are exempt (an "
+        "exact test oracle is deliberate), except NaN comparisons.")
+
+    def begin(self, ctx: object) -> None:
+        self._assert_depth = 0
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._assert_depth += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._assert_depth -= 1
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left] + list(node.comparators)
+        for i, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for operand in (operands[i], operands[i + 1]):
+                canon = self.canonical(dotted_name(operand))
+                if canon in ("math.nan", "numpy.nan"):
+                    self.flag(node,
+                              f"comparison with {canon} is always False; "
+                              f"use math.isnan/np.isnan")
+                    break
+                if self._assert_depth:
+                    continue  # exact test oracles are deliberate
+                if (isinstance(operand, ast.Constant)
+                        and isinstance(operand.value, float)):
+                    self.flag(node,
+                              f"float equality against literal "
+                              f"{operand.value!r}; use np.isclose or an "
+                              f"explicit tolerance")
+                    break
+                if (isinstance(operand, ast.Attribute)
+                        and operand.attr == "ber"):
+                    self.flag(node,
+                              "float equality on NaN-sentinel field .ber; "
+                              "NaN never compares equal — use np.isclose "
+                              "plus an isnan guard")
+                    break
+        self.generic_visit(node)

@@ -1,0 +1,83 @@
+"""R004 — NaN-bearing fields must be masked before aggregation."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+# Fields whose NaN sentinel (skipped / not-yet-run points) poisons any
+# plain aggregate.
+_WATCHED_NAN_FIELDS = {"ber", "y"}
+
+# Aggregators that propagate NaN (numpy and builtins share the names).
+_AGGREGATORS = {
+    "sum", "mean", "average", "median", "min", "max", "std", "var",
+    "ptp", "interp", "sort", "argsort", "cumsum", "cumprod", "prod",
+    "trapz", "dot", "percentile", "quantile",
+}
+
+# Callees that are themselves the masking / inspection step.
+_NAN_SAFE_CALLS = {
+    "isnan", "isfinite", "isclose", "nan_to_num", "finite_points",
+    "allclose", "array_equal",
+}
+
+
+def _watched_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and node.attr in _WATCHED_NAN_FIELDS:
+        return node.attr
+    return None
+
+
+class NanDisciplineRule(AstLintRule):
+    rule = Rule(
+        "R004", "nan-discipline",
+        "NaN-bearing fields must be masked before aggregation",
+        "Skipped sweep points leave NaN in .ber / .y; np.mean & friends "
+        "propagate it and one skipped point silently wipes a whole "
+        "curve.  Mask with isfinite / finite_points (or use nan-prefixed "
+        "aggregators) first.")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = dotted_name(node.func)
+        last = callee.rpartition(".")[2] if callee else ""
+        if last in _NAN_SAFE_CALLS or last.startswith("nan"):
+            # The call *is* the masking step; don't descend into its
+            # arguments looking for watched fields.
+            return
+        if last in _AGGREGATORS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                attr = _watched_attr(arg)
+                if attr is not None:
+                    self.flag(node,
+                              f"aggregating NaN-bearing field .{attr} "
+                              f"with {last}(); mask with np.isfinite or "
+                              f"use nan{last}")
+            if isinstance(node.func, ast.Attribute):
+                attr = _watched_attr(node.func.value)
+                if attr is not None:
+                    self.flag(node,
+                              f"aggregating NaN-bearing field .{attr} "
+                              f"with .{last}(); mask with np.isfinite "
+                              f"first")
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        for side in (node.left, node.right):
+            attr = _watched_attr(side)
+            if attr is not None:
+                self.flag(node,
+                          f"arithmetic on NaN-bearing field .{attr} "
+                          f"without a finite mask")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _watched_attr(node.value) or _watched_attr(node.target)
+        if attr is not None:
+            self.flag(node,
+                      f"arithmetic on NaN-bearing field .{attr} "
+                      f"without a finite mask")
+        self.generic_visit(node)

@@ -1,0 +1,47 @@
+"""R005 — no mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_CTORS
+    return False
+
+
+class MutableDefaultRule(AstLintRule):
+    rule = Rule(
+        "R005", "no-mutable-default",
+        "no mutable default arguments",
+        "A mutable default is evaluated once and shared across calls; "
+        "sweeps that reuse a spec then leak state between points.  "
+        "Default to None and construct inside the body.")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def _check_defaults(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self.flag(default,
+                          f"mutable default argument in {node.name}(); "
+                          f"use None and construct in the body")

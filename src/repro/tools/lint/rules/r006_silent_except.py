@@ -1,0 +1,65 @@
+"""R006 — broad exception handlers must re-raise or record the error."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+_BROAD = {"Exception", "BaseException"}
+
+# A handler "handles" the error when some call in its body ends in one
+# of these name parts — logging, metrics, or failure bookkeeping.
+_HANDLED_HINTS = (
+    "log", "warn", "error", "exception", "critical", "print", "inc",
+    "observe", "record", "fail", "debug", "info",
+)
+
+
+class SilentExceptRule(AstLintRule):
+    rule = Rule(
+        "R006", "no-silent-except",
+        "broad exception handlers must re-raise or record the error",
+        "except Exception: pass turns a crashed sweep point into a "
+        "silently-missing curve point.  Broad handlers must re-raise or "
+        "at least log / count the failure so the run report shows it.")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.flag(node,
+                      "bare except: catches KeyboardInterrupt/SystemExit "
+                      "too; name the exceptions or use except Exception "
+                      "with logging")
+        elif self._is_broad(node.type) and not self._handles(node):
+            self.flag(node,
+                      "broad except swallows the error silently; "
+                      "re-raise, or log/count it so the run report "
+                      "shows the failure")
+        self.generic_visit(node)
+
+    def _is_broad(self, type_node: ast.AST) -> bool:
+        names = []
+        if isinstance(type_node, ast.Tuple):
+            names = [dotted_name(elt) for elt in type_node.elts]
+        else:
+            names = [dotted_name(type_node)]
+        for name in names:
+            canon = self.canonical(name) or name
+            if canon is not None and canon.rpartition(".")[2] in _BROAD:
+                return True
+        return False
+
+    def _handles(self, handler: ast.ExceptHandler) -> bool:
+        for stmt in ast.walk(ast.Module(body=handler.body,
+                                        type_ignores=[])):
+            if isinstance(stmt, ast.Raise):
+                return True
+            if isinstance(stmt, ast.Call):
+                callee = dotted_name(stmt.func)
+                if callee is None:
+                    continue
+                last = callee.rpartition(".")[2]
+                if any(hint in last for hint in _HANDLED_HINTS):
+                    return True
+        return False

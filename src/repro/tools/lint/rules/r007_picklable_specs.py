@@ -1,0 +1,53 @@
+"""R007 — no lambdas in experiment specs (they don't pickle)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, dotted_name
+
+# Spec constructors / submission entry points whose arguments cross a
+# process boundary via pickle.
+_SPEC_SINKS = {"ExperimentSpec", "MacExperimentSpec", "submit"}
+
+
+def _contains_lambda(node: ast.AST) -> bool:
+    return any(isinstance(sub, ast.Lambda) for sub in ast.walk(node))
+
+
+class PicklableSpecsRule(AstLintRule):
+    rule = Rule(
+        "R007", "picklable-specs",
+        "no lambdas in experiment specs (they don't pickle)",
+        "Specs cross the process-pool boundary via pickle; a lambda in "
+        "a spec field raises PicklingError only when the sweep is run "
+        "with workers > 1.  Use a module-level function or functools."
+        "partial.")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = dotted_name(node.func)
+        last = callee.rpartition(".")[2] if callee else ""
+        if last in _SPEC_SINKS:
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _contains_lambda(arg):
+                    self.flag(arg,
+                              f"lambda passed to {last}() won't pickle "
+                              f"across the worker pool; use a module-"
+                              f"level function or functools.partial")
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if node.name.endswith("Spec"):
+            for stmt in node.body:
+                value = None
+                if isinstance(stmt, ast.AnnAssign):
+                    value = stmt.value
+                elif isinstance(stmt, ast.Assign):
+                    value = stmt.value
+                if value is not None and _contains_lambda(value):
+                    self.flag(value,
+                              f"lambda default in spec class "
+                              f"{node.name} won't pickle; use a module-"
+                              f"level function")
+        self.generic_visit(node)

@@ -1,0 +1,103 @@
+"""R009 — batch decode phases must be RNG-free (phase purity).
+
+The two-phase batch contract (see docs/batching.md): every random draw
+a packet needs happens up front in ``predraw_packet`` in scalar order,
+so the batched path consumes the generator identically to the scalar
+path.  A draw anywhere in ``channel_packets`` / ``finish_packets`` /
+``decode_batch`` — or anything they call, transitively — reorders the
+stream and silently breaks batch-equals-scalar equivalence.
+
+This rule walks the project call graph from each pure-phase method and
+flags every reachable RNG draw.  Resolution is best-effort
+(under-approximating, except subclass dispatch for ``self.`` calls), so
+a clean pass is necessary-but-not-sufficient — which is the right
+polarity for a gate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.tools.lint.index import FuncInfo
+from repro.tools.lint.model import Finding, Rule
+from repro.tools.lint.rules.base import FileContext, LintRule
+
+#: Methods bound by the RNG-free contract.  ``predraw_packet`` /
+#: ``draw_packet`` own the randomness and are deliberately absent.
+PURE_PHASES = frozenset({
+    "channel_packets", "finish_packets", "decode_batch",
+    "decode_packets", "finish_packet", "_decode_batch", "_finish_packet",
+})
+
+#: Traversal depth cap; the real call chains are ~4 deep, the cap only
+#: bounds pathological cycles the visited-set already breaks.
+_MAX_DEPTH = 12
+
+
+class PhasePurityRule(LintRule):
+    rule = Rule(
+        "R009", "phase-purity",
+        "no RNG draws in batch channel/finish/decode phases",
+        "All randomness belongs to predraw_packet (scalar draw order); "
+        "a draw inside channel_packets/finish_packets/decode_batch or "
+        "any transitive callee desynchronises the generator between the "
+        "scalar and batched paths.")
+    path_only = ("repro/",)
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if not self.applies_to(ctx.path):
+            return []
+        findings: List[Finding] = []
+        roots: List[FuncInfo] = []
+        for finfo in ctx.module.functions.values():
+            if finfo.name in PURE_PHASES:
+                roots.append(finfo)
+        for cinfo in ctx.module.classes.values():
+            for name, method in cinfo.methods.items():
+                if name in PURE_PHASES:
+                    roots.append(method)
+        for root in roots:
+            findings.extend(self._check_root(ctx, root))
+        return findings
+
+    def _check_root(self, ctx: FileContext,
+                    root: FuncInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        reported: Set[Tuple[str, int]] = set()
+        visited: Set[Tuple[str, str]] = set()
+        stack: List[Tuple[FuncInfo, int]] = [(root, 0)]
+        while stack:
+            func, depth = stack.pop()
+            key = (func.path, func.qualname)
+            if key in visited or depth > _MAX_DEPTH:
+                continue
+            visited.add(key)
+            for draw in func.draws:
+                site = (func.path, draw.line)
+                if site in reported:
+                    continue
+                reported.add(site)
+                if func.path == ctx.path:
+                    findings.append(Finding(
+                        path=ctx.path, line=draw.line, col=draw.col,
+                        rule_id=self.rule.id,
+                        message=(f"RNG draw {draw.desc} inside pure "
+                                 f"phase {root.name}(); move it to "
+                                 f"predraw_packet")))
+                else:
+                    findings.append(Finding(
+                        path=ctx.path, line=root.line, col=0,
+                        rule_id=self.rule.id,
+                        message=(f"pure phase {root.name}() transitively "
+                                 f"draws RNG via {func.qualname} "
+                                 f"({func.path}:{draw.line}: "
+                                 f"{draw.desc}); move the draw to "
+                                 f"predraw_packet")))
+            owner_mod = ctx.index.by_path.get(func.path)
+            if owner_mod is None:
+                continue
+            for site_ref in func.calls:
+                for callee in ctx.index.resolve_call(site_ref, func,
+                                                     owner_mod):
+                    stack.append((callee, depth + 1))
+        return findings

@@ -1,0 +1,110 @@
+"""R010 — guarded-by annotated attributes are only touched under lock.
+
+Convention: annotate the attribute's assignment (normally in
+``__init__``) with ``# guarded-by: <lock>``.  Every later ``self.<attr>``
+access must then sit lexically inside ``with self.<lock>:``, or belong
+to a method whose ``def`` line carries ``# reprolint: holds(<lock>)``
+— the caller-holds-the-lock assertion for private helpers.
+
+``__init__`` itself is exempt: construction happens before the object
+is shared, so assignments there need no lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.tools.lint.model import Rule
+from repro.tools.lint.rules.base import AstLintRule, FileContext
+
+
+class LockDisciplineRule(AstLintRule):
+    rule = Rule(
+        "R010", "lock-discipline",
+        "guarded-by annotated attributes only touched under their lock",
+        "The service mutates job/metrics state from HTTP threads and "
+        "the worker loop; an unlocked read of a guarded attribute is a "
+        "data race that only shows up under load.  Either take the "
+        "lock, or assert the caller holds it with # reprolint: "
+        "holds(<lock>).")
+    # Lock discipline only applies where threads share state.
+    path_only = ("repro/service/", "repro/sim/engine.py")
+
+    def begin(self, ctx: FileContext) -> None:
+        self._guarded = self._collect_guarded(ctx)
+        self._held: List[str] = []
+        self._in_init = False
+
+    # -- annotation collection --------------------------------------------
+
+    @staticmethod
+    def _collect_guarded(ctx: FileContext) -> Dict[str, str]:
+        """Map attr name -> lock name from # guarded-by comments that
+        sit on a ``self.<attr> = ...`` (or annotated) assignment line."""
+        guarded: Dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            else:
+                continue
+            lock = ctx.guarded_by.get(node.lineno)
+            if lock is None:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    guarded[target.attr] = lock
+        return guarded
+
+    # -- traversal ---------------------------------------------------------
+
+    def _function(self, node: ast.AST, name: str, lineno: int) -> None:
+        assert self.ctx is not None
+        saved_held, saved_init = self._held, self._in_init
+        self._held = list(saved_held)
+        self._held.extend(self.ctx.holds_locks.get(lineno, ()))
+        self._in_init = name == "__init__"
+        try:
+            for stmt in getattr(node, "body", []):
+                self.visit(stmt)
+        finally:
+            self._held, self._in_init = saved_held, saved_init
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node, node.name, node.lineno)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node, node.name, node.lineno)
+
+    def visit_With(self, node: ast.With) -> None:
+        pushed = 0
+        for item in node.items:
+            expr = item.context_expr
+            if (isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"):
+                self._held.append(expr.attr)
+                pushed += 1
+        try:
+            for stmt in node.body:
+                self.visit(stmt)
+        finally:
+            for _ in range(pushed):
+                self._held.pop()
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name) and node.value.id == "self"
+                and not self._in_init):
+            lock = self._guarded.get(node.attr)
+            if lock is not None and lock not in self._held:
+                self.flag(node,
+                          f"self.{node.attr} is # guarded-by: {lock} "
+                          f"but accessed outside `with self.{lock}:`; "
+                          f"take the lock or annotate the method with "
+                          f"# reprolint: holds({lock})")
+        self.generic_visit(node)

@@ -1,0 +1,67 @@
+"""R012 — suppressions must suppress something and say why.
+
+A ``# reprolint: disable=`` that matches no finding on its line is
+dead weight that will hide a future regression; one without a
+justification is unreviewable.  Both are findings — and R012 findings
+themselves cannot be suppressed (a suppression cannot vouch for
+itself; see ``mark_suppressed``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tools.lint.model import Finding, Rule
+from repro.tools.lint.rules.base import FileContext, LintRule
+
+
+class SuppressionHygieneRule(LintRule):
+    rule = Rule(
+        "R012", "suppression-hygiene",
+        "suppressions must suppress something and say why",
+        "Stale disables hide future regressions; unjustified ones are "
+        "unreviewable.  Delete the comment, or add the why (same line "
+        "after the ids, or the comment line directly above).")
+    wants_prior_findings = True
+
+    def check(self, ctx: FileContext) -> List[Finding]:
+        if not self.applies_to(ctx.path):
+            return []
+        # Import here: the registry package imports this module.
+        from repro.tools.lint.rules import RULES
+        findings: List[Finding] = []
+        known = set(RULES)
+        for line in sorted(ctx.suppressions):
+            supp = ctx.suppressions[line]
+            fired = {f.rule_id for f in ctx.prior_findings
+                     if f.line == line}
+            if not supp.has_why:
+                findings.append(self._finding(
+                    ctx, line,
+                    "suppression without a justification; say why on "
+                    "the same line (after the ids) or the line above"))
+            if "ALL" in supp.rule_ids:
+                if not fired:
+                    findings.append(self._finding(
+                        ctx, line,
+                        "disable=all suppresses nothing on this line; "
+                        "delete the stale suppression"))
+                continue
+            for rule_id in sorted(supp.rule_ids):
+                if rule_id not in known:
+                    findings.append(self._finding(
+                        ctx, line,
+                        f"disable={rule_id} names an unknown rule"))
+                elif rule_id not in fired:
+                    findings.append(self._finding(
+                        ctx, line,
+                        f"disable={rule_id} suppresses nothing (no "
+                        f"{rule_id} finding on this line); delete the "
+                        f"stale id"))
+        return findings
+
+    def _finding(self, ctx: FileContext, line: int,
+                 message: str) -> Finding:
+        return Finding(path=ctx.path, line=line,
+                       col=ctx.suppressions[line].col,
+                       rule_id=self.rule.id, message=message)

@@ -1,0 +1,218 @@
+"""The lint driver: walk, parse once, index, analyse in parallel.
+
+Pipeline for one run:
+
+1. **Walk** — ``iter_python_files`` expands the given paths (explicit
+   files always included; ``fixtures``/``__pycache__``/dot dirs
+   skipped).
+2. **Read + parse** — every file is read and parsed exactly once;
+   unreadable, undecodable, or unparseable files become per-file
+   errors (exit code 2) instead of aborting the walk.
+3. **Index** — one :class:`~repro.tools.lint.index.ProjectIndex` over
+   every parsed tree feeds the cross-module rules (R009).
+4. **Cache check** — if the project signature matches the cache, every
+   file's findings are served without running a single rule.
+5. **Analyse** — otherwise all files run through all rules in a thread
+   pool (the index is read-only by then), R012 audits the other rules'
+   findings per file, suppressions are marked.
+6. **Report** — ``--changed`` narrows *reporting* to git-modified
+   files (the index stays whole-tree so cross-module results are
+   right), the baseline absorbs known debt, and the report is handed
+   to an emitter.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.tools.lint.baseline import (apply_baseline, load_baseline,
+                                       write_baseline)
+from repro.tools.lint.cache import (ResultCache, content_hash,
+                                    project_signature)
+from repro.tools.lint.index import ProjectIndex
+from repro.tools.lint.model import Finding, LintReport
+from repro.tools.lint.rules import make_checkers, ruleset_signature
+from repro.tools.lint.rules.base import FileContext
+from repro.tools.lint.suppress import (comments_by_line, guarded_by_line,
+                                       holds_locks_by_line,
+                                       mark_suppressed,
+                                       suppressions_by_line)
+
+__all__ = ["iter_python_files", "lint_source", "lint_paths"]
+
+_SKIP_DIRS = {"fixtures", "__pycache__", ".git", "results"}
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Python files under *paths*, sorted; explicit files always
+    yielded, skip-dirs and dot-dirs pruned from directory walks."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            continue
+        for sub in sorted(path.rglob("*.py")):
+            rel = sub.relative_to(path)
+            if any(part in _SKIP_DIRS or part.startswith(".")
+                   for part in rel.parts[:-1]):
+                continue
+            yield sub
+
+
+def _analyse_file(path: str, source: str, tree: ast.AST,
+                  index: ProjectIndex) -> List[Finding]:
+    """Run every rule over one parsed file; returns all findings with
+    suppression flags set."""
+    comments = comments_by_line(source)
+    module = index.by_path[path]
+    ctx = FileContext(
+        path=path, source=source, tree=tree,
+        imports=module.imports,
+        comments=comments,
+        suppressions=suppressions_by_line(comments),
+        index=index, module=module,
+        guarded_by=guarded_by_line(comments),
+        holds_locks=holds_locks_by_line(comments),
+    )
+    findings: List[Finding] = []
+    audit_rules = []
+    for checker in make_checkers():
+        if checker.wants_prior_findings:
+            audit_rules.append(checker)
+            continue
+        findings.extend(checker.check(ctx))
+    ctx.prior_findings = list(findings)
+    for checker in audit_rules:
+        findings.extend(checker.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    mark_suppressed(findings, ctx.suppressions)
+    return findings
+
+
+def lint_source(source: str, path: str = "<snippet>") -> List[Finding]:
+    """Lint one in-memory source blob (tests, tooling).
+
+    The project index contains just this file, so cross-module
+    resolution degrades to file-local — which is what a snippet can
+    support.  Raises ``SyntaxError`` on unparseable input.
+    """
+    tree = ast.parse(source, filename=path)
+    index = ProjectIndex.build([(path, tree)])
+    return _analyse_file(path, source, tree, index)
+
+
+def _git_changed_files(base_ref: str) -> Optional[List[str]]:
+    """Paths changed vs *base_ref* plus untracked files; None when git
+    is unavailable (caller falls back to reporting everything)."""
+    changed: List[str] = []
+    for args in (["git", "diff", "--name-only", base_ref],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            proc = subprocess.run(args, capture_output=True, text=True,
+                                  timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        changed.extend(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip())
+    return changed
+
+
+def _matches_changed(path: str, changed: List[str]) -> bool:
+    norm = path.replace("\\", "/")
+    return any(norm == c or norm.endswith("/" + c) for c in changed)
+
+
+def lint_paths(paths: Sequence[str], *,
+               jobs: Optional[int] = None,
+               cache_path: Optional[str] = None,
+               changed_only: bool = False,
+               base_ref: str = "HEAD",
+               baseline_path: Optional[str] = None,
+               update_baseline: bool = False) -> LintReport:
+    """Lint files under *paths* and assemble a :class:`LintReport`."""
+    report = LintReport()
+    sources: Dict[str, str] = {}
+    trees: Dict[str, ast.AST] = {}
+    hashes: Dict[str, str] = {}
+
+    for file_path in iter_python_files(paths):
+        path = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            report.errors.append(f"{path}: unreadable: {exc}")
+            continue
+        except (UnicodeDecodeError, ValueError) as exc:
+            report.errors.append(f"{path}: undecodable: {exc}")
+            continue
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.errors.append(
+                f"{path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        except ValueError as exc:  # e.g. null bytes in source
+            report.errors.append(f"{path}: unparseable: {exc}")
+            continue
+        sources[path] = source
+        trees[path] = tree
+        hashes[path] = content_hash(source)
+
+    report.n_files = len(sources)
+    project_sig = project_signature(hashes)
+
+    cache: Optional[ResultCache] = None
+    per_file: Optional[Dict[str, List[Finding]]] = None
+    if cache_path is not None:
+        cache = ResultCache.load(cache_path, ruleset_signature())
+        per_file = cache.lookup(project_sig)
+
+    if per_file is not None:
+        report.cache_hits = len(sources)
+    else:
+        report.cache_misses = len(sources)
+        index = ProjectIndex.build(trees.items())
+        ordered = sorted(sources)
+
+        def run_one(path: str) -> Tuple[str, List[Finding]]:
+            return path, _analyse_file(path, sources[path],
+                                       trees[path], index)
+
+        if jobs is not None and jobs <= 1:
+            results = [run_one(path) for path in ordered]
+        else:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                results = list(pool.map(run_one, ordered))
+        per_file = dict(results)
+        if cache is not None and cache_path is not None:
+            cache.store(project_sig, per_file)
+            cache.save(cache_path)
+
+    all_findings: List[Finding] = []
+    for path in sorted(per_file):
+        all_findings.extend(per_file[path])
+
+    if changed_only:
+        changed = _git_changed_files(base_ref)
+        if changed is not None:
+            all_findings = [f for f in all_findings
+                            if _matches_changed(f.path, changed)]
+
+    active = [f for f in all_findings if not f.suppressed]
+    report.suppressed = [f for f in all_findings if f.suppressed]
+
+    if update_baseline and baseline_path is not None:
+        write_baseline(baseline_path, active)
+    baseline = (load_baseline(baseline_path)
+                if baseline_path is not None else {})
+    report.findings, report.baselined = apply_baseline(active, baseline)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return report

@@ -1,0 +1,135 @@
+"""Comment directives: suppressions, lock assertions, annotations.
+
+Comments are extracted with :mod:`tokenize`, not a per-line regex, so
+directive-shaped text inside string literals (lint tests quoting
+``# reprolint: disable=...`` in source snippets, docstrings describing
+the syntax) is never mistaken for a live directive.  Three directive
+forms live here:
+
+``# reprolint: disable=R003[,R005|all] [— why]``
+    Line-scoped suppression.  R012 (suppression-hygiene) audits these:
+    a disable that suppresses nothing, or that carries no why-comment
+    (same line after the ids, or a comment line directly above), is
+    itself a finding.
+
+``# reprolint: holds(<lock>) [— why]``
+    On a ``def`` line: asserts the method runs with ``self.<lock>``
+    held — or before any concurrency exists (``JobQueue._replay`` runs
+    from ``__init__``) — so R010 treats guarded attributes as safely
+    reachable inside it.
+
+``# guarded-by: <lock>``
+    On an attribute assignment: declares the attribute as protected by
+    ``self.<lock>`` (R010 lock-discipline).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.tools.lint.model import Finding
+
+__all__ = ["Suppression", "comments_by_line", "suppressions_by_line",
+           "holds_locks_by_line", "guarded_by_line", "mark_suppressed"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable="
+    r"([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+_HOLDS_RE = re.compile(r"#\s*reprolint:\s*holds\((\w+)\)")
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(\w+)")
+
+
+@dataclass
+class Suppression:
+    """One ``# reprolint: disable=`` comment."""
+
+    line: int
+    col: int
+    rule_ids: Set[str]          # upper-cased; {"ALL"} for disable=all
+    has_why: bool               # justification present (see module doc)
+
+    def matches(self, rule_id: str) -> bool:
+        return "ALL" in self.rule_ids or rule_id in self.rule_ids
+
+
+def comments_by_line(source: str) -> Dict[int, str]:
+    """``{line: comment text}`` via tokenize; regex fallback for files
+    tokenize rejects (the AST parser is slightly more lenient)."""
+    table: Dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                table[tok.start[0]] = tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            pos = line.find("#")
+            if pos >= 0:
+                table[lineno] = line[pos:]
+    return table
+
+
+def _why_present(comment: str, match: "re.Match[str]",
+                 comments: Dict[int, str], line: int) -> bool:
+    """A justification is either trailing text after the rule ids or a
+    comment on the line directly above the suppression."""
+    tail = comment[match.end():]
+    if len(re.sub(r"[^A-Za-z]", "", tail)) >= 3:
+        return True
+    prev = comments.get(line - 1, "")
+    return bool(prev) and _SUPPRESS_RE.search(prev) is None
+
+
+def suppressions_by_line(
+        comments: Dict[int, str]) -> Dict[int, Suppression]:
+    """Parsed ``disable=`` directives keyed by line number."""
+    table: Dict[int, Suppression] = {}
+    for line, comment in comments.items():
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        ids = {part.strip().upper() for part in match.group(1).split(",")
+               if part.strip()}
+        table[line] = Suppression(
+            line=line, col=0, rule_ids=ids,
+            has_why=_why_present(comment, match, comments, line))
+    return table
+
+
+def holds_locks_by_line(comments: Dict[int, str]) -> Dict[int, Set[str]]:
+    """``{line: {lock names}}`` for ``# reprolint: holds(...)``."""
+    table: Dict[int, Set[str]] = {}
+    for line, comment in comments.items():
+        locks = set(_HOLDS_RE.findall(comment))
+        if locks:
+            table[line] = locks
+    return table
+
+
+def guarded_by_line(comments: Dict[int, str]) -> Dict[int, str]:
+    """``{line: lock name}`` for ``# guarded-by: <lock>`` comments."""
+    table: Dict[int, str] = {}
+    for line, comment in comments.items():
+        match = _GUARDED_RE.search(comment)
+        if match is not None:
+            table[line] = match.group(1)
+    return table
+
+
+def mark_suppressed(findings: List[Finding],
+                    table: Dict[int, Suppression]) -> None:
+    """Set ``finding.suppressed`` per the file's disable directives.
+
+    R012 findings are exempt on purpose: a suppression cannot vouch for
+    itself, so suppression-hygiene findings always surface.
+    """
+    for finding in findings:
+        if finding.rule_id == "R012":
+            continue
+        supp = table.get(finding.line)
+        finding.suppressed = (supp is not None
+                              and supp.matches(finding.rule_id))

@@ -1,0 +1,20 @@
+# lint-as: src/repro/core/batch_session.py
+"""R009 violations: RNG draws inside the batched decode phases."""
+
+
+class Session:
+    def predraw_packet(self, rng):
+        # Fine: predraw owns all randomness, in scalar order.
+        return rng.standard_normal(8)
+
+    def channel_packets(self, rng, batch):
+        noise = rng.standard_normal(4)  # direct draw in a pure phase
+        return [b + noise for b in batch]
+
+    def finish_packets(self, batch):
+        return self._jitter(batch)
+
+    def _jitter(self, batch):
+        # Transitive draw: reached from finish_packets via the call
+        # graph, not visible to a single-function check.
+        return [b * self.rng.normal() for b in batch]

@@ -1,0 +1,16 @@
+# lint-as: src/repro/core/batch_session.py
+"""R009-clean: phases consume pre-drawn randomness only."""
+
+
+class Session:
+    def predraw_packet(self, rng):
+        return rng.standard_normal(8)
+
+    def channel_packets(self, drawn, batch):
+        return [b * d for b, d in zip(batch, drawn)]
+
+    def finish_packets(self, batch):
+        return self._gain(batch)
+
+    def _gain(self, batch):
+        return [2 * b for b in batch]

@@ -1,0 +1,16 @@
+# lint-as: src/repro/service/fixture_queue.py
+"""R010 violations: guarded attribute touched without its lock."""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}  # guarded-by: _lock
+
+    def add(self, job_id, record):
+        self._jobs[job_id] = record  # mutated outside the lock
+
+    def count(self):
+        return len(self._jobs)  # read outside the lock

@@ -1,0 +1,18 @@
+# lint-as: src/repro/service/fixture_queue.py
+"""R010-clean: every guarded access holds the lock (or asserts it)."""
+
+import threading
+
+
+class Queue:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = {}  # guarded-by: _lock
+
+    def add(self, job_id, record):
+        with self._lock:
+            self._jobs[job_id] = record
+
+    # Callers wrap batched mutations in one lock acquisition.
+    def _add_unlocked(self, job_id, record):  # reprolint: holds(_lock)
+        self._jobs[job_id] = record

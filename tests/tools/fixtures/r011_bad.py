@@ -1,0 +1,9 @@
+# lint-as: src/repro/mac/fixture_metrics.py
+"""R011 violations: metric names absent from repro/obs/names.py."""
+
+from repro import obs
+
+
+def record(prefix):
+    obs.inc("mac.slost.singles")  # typo'd literal counter
+    obs.inc(f"{prefix}.stag.ok")  # template matches no declared pattern

@@ -1,0 +1,11 @@
+# lint-as: src/repro/mac/fixture_metrics.py
+"""R011-clean: literal and templated names match the registry."""
+
+from repro import obs
+
+
+def record(prefix, stage):
+    obs.inc("mac.rounds")
+    obs.inc(f"{prefix}.stage.{stage}")
+    with obs.timed("bench.fixture"):
+        pass

@@ -1,0 +1,3 @@
+"""R012 violations: a suppression that is stale and unjustified."""
+
+x = 1  # reprolint: disable=R003

@@ -1,0 +1,8 @@
+"""R012-clean: the suppression is live and says why."""
+
+# Checkpoint resume requires a bit-identical oracle here.
+threshold_hit = compute() == 0.25  # reprolint: disable=R003
+
+
+def compute():
+    return 0.25

@@ -1,0 +1,239 @@
+"""reprolint v2 infrastructure tests: emitters, cache, baseline, robustness.
+
+Covers the machinery around the rules: the JSON payload shape (golden),
+SARIF 2.1.0 conformance (structural asserts plus validation against a
+vendored trimmed schema), the all-or-nothing content-hash cache and its
+three invalidation axes (file content, ruleset, analyzer version), the
+baseline ratchet, ``--changed`` scoping, and the requirement that a
+broken file becomes a per-file error instead of aborting the walk.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.tools.lint import LINT_VERSION, RULES, lint_paths
+from repro.tools.lint.emit import to_json, to_sarif
+from repro.tools.lint.rules import ALL_CHECKERS, ruleset_signature
+
+HERE = Path(__file__).parent
+SARIF_SCHEMA = HERE / "data" / "sarif-2.1.0-trimmed.json"
+
+BAD_SOURCE = (
+    "import numpy as np\n"
+    "rng = np.random.default_rng()\n"   # R001
+    "x = value == 0.5\n"                # R003
+)
+
+CLEAN_SOURCE = "import numpy as np\nrng = np.random.default_rng(42)\n"
+
+
+@pytest.fixture
+def tree(tmp_path, monkeypatch):
+    """A tiny lintable tree, cwd'd so finding paths are relative."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "bad.py").write_text(BAD_SOURCE)
+    (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+class TestJsonPayload:
+    def test_golden_payload(self, tree):
+        report = lint_paths(["bad.py", "clean.py"])
+        payload = to_json(report)
+        assert payload == {
+            "files": 2,
+            "errors": [],
+            "findings": [
+                {"path": "bad.py", "line": 2, "col": 6, "rule": "R001",
+                 "message": "seedless np.random.default_rng() — seed it "
+                            "from a spawned SeedSequence or "
+                            "utils.rng.derive_seed",
+                 "suppressed": False},
+                {"path": "bad.py", "line": 3, "col": 4, "rule": "R003",
+                 "message": "float equality against literal 0.5; use "
+                            "np.isclose or an explicit tolerance",
+                 "suppressed": False},
+            ],
+            "suppressed": [],
+            "baselined": [],
+            "cache": {"hits": 0, "misses": 2},
+            "version": LINT_VERSION,
+            "rules": sorted(RULES),
+        }
+
+
+class TestSarif:
+    def _report(self, tree):
+        return lint_paths(["bad.py", "clean.py"])
+
+    def test_structure(self, tree):
+        sarif = to_sarif(self._report(tree))
+        assert sarif["version"] == "2.1.0"
+        assert "sarif" in sarif["$schema"]
+        (run,) = sarif["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert [r["id"] for r in driver["rules"]] == sorted(RULES)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+        assert {r["ruleId"] for r in run["results"]} == {"R001", "R003"}
+        for result in run["results"]:
+            assert driver["rules"][result["ruleIndex"]]["id"] \
+                == result["ruleId"]
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"] == "bad.py"
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+
+    def test_validates_against_schema(self, tree):
+        jsonschema = pytest.importorskip("jsonschema")
+        schema = json.loads(SARIF_SCHEMA.read_text())
+        jsonschema.validate(to_sarif(self._report(tree)), schema)
+
+    def test_suppressed_findings_carry_suppressions(self, tree):
+        (tree / "supp.py").write_text(
+            "x = v == 0.5  # reprolint: disable=R003 - exact oracle\n")
+        sarif = to_sarif(lint_paths(["supp.py"]))
+        (result,) = sarif["runs"][0]["results"]
+        assert result["level"] == "note"
+        assert result["suppressions"][0]["kind"] == "inSource"
+
+
+class TestResultCache:
+    def test_warm_run_hits_everything(self, tree):
+        cache = str(tree / "cache.json")
+        cold = lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, 2)
+        warm = lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (2, 0)
+        assert [f.format() for f in warm.findings] \
+            == [f.format() for f in cold.findings]
+
+    def test_content_change_invalidates(self, tree):
+        cache = str(tree / "cache.json")
+        lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        (tree / "clean.py").write_text(CLEAN_SOURCE + "y = 1\n")
+        rerun = lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        # All-or-nothing: cross-module rules make partial reuse
+        # unsound, so any edit re-runs the full analysis.
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 2
+
+    def test_file_set_change_invalidates(self, tree):
+        cache = str(tree / "cache.json")
+        lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        assert lint_paths(["clean.py"], cache_path=cache).cache_hits == 0
+
+    def test_rule_version_bump_invalidates(self, tree, monkeypatch):
+        cache = str(tree / "cache.json")
+        lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        old_sig = ruleset_signature()
+        monkeypatch.setattr(ALL_CHECKERS[0], "version",
+                            ALL_CHECKERS[0].version + 1)
+        assert ruleset_signature() != old_sig
+        rerun = lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        assert rerun.cache_hits == 0
+
+    def test_analyzer_version_bump_invalidates(self, tree, monkeypatch):
+        cache = str(tree / "cache.json")
+        lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        monkeypatch.setattr("repro.tools.lint.cache.LINT_VERSION",
+                            LINT_VERSION + ".test")
+        rerun = lint_paths(["bad.py", "clean.py"], cache_path=cache)
+        assert rerun.cache_hits == 0
+
+    def test_corrupt_cache_file_is_a_miss_not_a_crash(self, tree):
+        cache = tree / "cache.json"
+        cache.write_text("{not json")
+        report = lint_paths(["bad.py"], cache_path=str(cache))
+        assert report.cache_misses == 1
+        assert json.loads(cache.read_text())["lint_version"] \
+            == LINT_VERSION
+
+
+class TestBaseline:
+    def test_update_then_apply_absorbs_findings(self, tree):
+        baseline = str(tree / "baseline.json")
+        first = lint_paths(["bad.py"], baseline_path=baseline,
+                           update_baseline=True)
+        assert first.findings == [] and len(first.baselined) == 2
+        second = lint_paths(["bad.py"], baseline_path=baseline)
+        assert second.findings == [] and second.exit_code() == 0
+
+    def test_new_findings_exceed_the_ratchet(self, tree):
+        baseline = str(tree / "baseline.json")
+        lint_paths(["bad.py"], baseline_path=baseline,
+                   update_baseline=True)
+        (tree / "bad.py").write_text(BAD_SOURCE + "z = other == 2.5\n")
+        grown = lint_paths(["bad.py"], baseline_path=baseline)
+        assert len(grown.findings) == 1 and len(grown.baselined) == 2
+        assert grown.exit_code() == 1
+
+    def test_missing_baseline_means_no_debt(self, tree):
+        report = lint_paths(["bad.py"],
+                            baseline_path=str(tree / "nope.json"))
+        assert len(report.findings) == 2 and report.baselined == []
+
+
+class TestChangedScope:
+    def _git(self, cwd, *args):
+        subprocess.run(["git", *args], cwd=cwd, check=True,
+                       capture_output=True)
+
+    def test_changed_limits_reporting_not_analysis(self, tree):
+        self._git(tree, "init", "-q")
+        self._git(tree, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "add", ".")
+        self._git(tree, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "-qm", "seed")
+        (tree / "fresh.py").write_text("w = thing == 1.5\n")
+        report = lint_paths(["bad.py", "clean.py", "fresh.py"],
+                            changed_only=True)
+        assert {f.path for f in report.findings} == {"fresh.py"}
+        assert report.n_files == 3  # index still covers the whole tree
+
+
+class TestRobustness:
+    def test_undecodable_file_is_a_per_file_error(self, tree):
+        (tree / "latin.py").write_bytes(b"x = '\xff\xfe'\n")
+        report = lint_paths(["bad.py", "latin.py"])
+        assert report.exit_code() == 2
+        assert any("latin.py" in err for err in report.errors)
+        # The readable file is still fully analysed.
+        assert any(f.path == "bad.py" for f in report.findings)
+
+    def test_null_bytes_are_a_per_file_error(self, tree):
+        (tree / "nulls.py").write_bytes(b"x = 1\x00\n")
+        report = lint_paths(["nulls.py", "clean.py"])
+        assert report.exit_code() == 2
+        assert any("nulls.py" in err for err in report.errors)
+
+    def test_vanishing_file_is_a_per_file_error(self, tree):
+        (tree / "ghost.py").symlink_to(tree / "no-such-target.py")
+        report = lint_paths([str(tree)])
+        assert report.exit_code() == 2
+        assert any("ghost.py" in err and "unreadable" in err
+                   for err in report.errors)
+
+
+class TestRuleMeta:
+    """Every registered rule must ship fixtures and documentation."""
+
+    DOCS = HERE.parent.parent / "docs" / "static_analysis.md"
+    FIXTURES = HERE / "fixtures"
+
+    @pytest.mark.parametrize("rule_id", sorted(RULES))
+    def test_rule_has_fixtures_and_docs(self, rule_id):
+        assert (self.FIXTURES / f"{rule_id.lower()}_bad.py").is_file()
+        assert (self.FIXTURES / f"{rule_id.lower()}_ok.py").is_file()
+        assert f"### {rule_id}" in self.DOCS.read_text()
+
+    @pytest.mark.parametrize("checker", ALL_CHECKERS,
+                             ids=lambda c: c.rule.id)
+    def test_rule_metadata_complete(self, checker):
+        assert checker.rule.name and checker.rule.summary
+        assert checker.rule.rationale
+        assert checker.version >= 1

@@ -49,7 +49,11 @@ class TestFixtureCorpus:
 
     @pytest.mark.parametrize("rule_id", ALL_RULES)
     def test_clean_fixture_is_clean(self, rule_id):
-        findings = _lint_fixture(f"{rule_id.lower()}_ok.py")
+        # Suppressed findings are fine in ok-fixtures: r012_ok.py shows
+        # a justified live suppression, which silences R003 without
+        # tripping suppression hygiene.
+        findings = [f for f in _lint_fixture(f"{rule_id.lower()}_ok.py")
+                    if not f.suppressed]
         assert findings == [], [f.format() for f in findings]
 
     @pytest.mark.parametrize("rule_id", ALL_RULES)
@@ -155,32 +159,61 @@ class TestRuleEdgeCases:
 
 
 class TestSuppression:
-    BAD = "x = value == 0.5\n"
+    # Suppressions carry a why-clause (R012 suppression hygiene flags
+    # them otherwise).
 
     def test_line_suppression(self):
-        src = "x = value == 0.5  # reprolint: disable=R003\n"
+        src = "x = value == 0.5  # reprolint: disable=R003 - exact oracle\n"
         findings = lint_source(src)
         assert len(findings) == 1 and findings[0].suppressed
 
     def test_suppress_all(self):
-        src = "x = value == 0.5  # reprolint: disable=all\n"
-        assert all(f.suppressed for f in lint_source(src))
+        src = "x = value == 0.5  # reprolint: disable=all - test fixture\n"
+        findings = lint_source(src)
+        assert findings and all(f.suppressed for f in findings)
 
     def test_wrong_rule_id_does_not_suppress(self):
-        src = "x = value == 0.5  # reprolint: disable=R001\n"
+        src = "x = value == 0.5  # reprolint: disable=R001 - wrong id\n"
         findings = lint_source(src)
-        assert len(findings) == 1 and not findings[0].suppressed
+        by_rule = {f.rule_id: f for f in findings}
+        assert not by_rule["R003"].suppressed
+        # ... and the mismatched id is itself flagged as stale.
+        assert "R012" in by_rule
 
     def test_multi_rule_suppression(self):
-        src = ("def f(a=[]):  # reprolint: disable=R005,R003\n"
+        src = ("def f(a=[], b=x == 0.5):"
+               "  # reprolint: disable=R005,R003 - covers both\n"
                "    return a\n")
-        assert all(f.suppressed for f in lint_source(src))
+        findings = lint_source(src)
+        assert findings and all(f.suppressed for f in findings)
 
     def test_unsuppressed_line_unaffected(self):
-        src = ("a = x == 0.5  # reprolint: disable=R003\n"
+        src = ("a = x == 0.5  # reprolint: disable=R003 - exact oracle\n"
                "b = y == 0.5\n")
         findings = lint_source(src)
         assert [f.suppressed for f in findings] == [True, False]
+
+    def test_missing_why_is_flagged(self):
+        src = "x = value == 0.5  # reprolint: disable=R003\n"
+        findings = lint_source(src)
+        assert "R012" in _rule_ids(findings)
+
+    def test_why_on_previous_comment_line(self):
+        src = ("# The checkpoint oracle is bit-exact on purpose.\n"
+               "x = value == 0.5  # reprolint: disable=R003\n")
+        findings = lint_source(src)
+        assert "R012" not in _rule_ids(findings)
+
+    def test_stale_suppression_is_flagged(self):
+        src = "x = 1  # reprolint: disable=R003 - nothing here\n"
+        findings = lint_source(src)
+        assert _rule_ids(findings) == {"R012"}
+
+    def test_r012_cannot_be_suppressed(self):
+        src = "x = 1  # reprolint: disable=R012,all - self-vouching\n"
+        findings = lint_source(src)
+        assert any(f.rule_id == "R012" and not f.suppressed
+                   for f in findings)
 
 
 class TestDriver:
@@ -196,12 +229,12 @@ class TestDriver:
         assert "R001" in _rule_ids(report.findings)
 
     def test_exit_code_nonzero_on_violations(self, capsys):
-        assert main([str(FIXTURES / "r001_bad.py")]) == 1
+        assert main(["--no-cache", str(FIXTURES / "r001_bad.py")]) == 1
         out = capsys.readouterr().out
         assert "R001" in out and "finding" in out
 
     def test_exit_code_zero_on_clean(self, capsys):
-        assert main([str(FIXTURES / "r001_ok.py")]) == 0
+        assert main(["--no-cache", str(FIXTURES / "r001_ok.py")]) == 0
         assert "0 finding(s)" in capsys.readouterr().out
 
     def test_exit_code_two_on_missing_path(self, capsys):
@@ -210,11 +243,11 @@ class TestDriver:
     def test_exit_code_two_on_syntax_error(self, tmp_path, capsys):
         broken = tmp_path / "broken.py"
         broken.write_text("def f(:\n")
-        assert main([str(broken)]) == 2
+        assert main(["--no-cache", str(broken)]) == 2
         assert "syntax error" in capsys.readouterr().err
 
     def test_json_output(self, capsys):
-        assert main(["--format", "json",
+        assert main(["--no-cache", "--format", "json",
                      str(FIXTURES / "r003_bad.py")]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["files"] == 1
@@ -229,10 +262,11 @@ class TestDriver:
 
     def test_show_suppressed(self, tmp_path, capsys):
         f = tmp_path / "s.py"
-        f.write_text("x = v == 0.5  # reprolint: disable=R003\n")
-        assert main([str(f)]) == 0
+        f.write_text("x = v == 0.5"
+                     "  # reprolint: disable=R003 - exact oracle\n")
+        assert main(["--no-cache", str(f)]) == 0
         assert "(suppressed)" not in capsys.readouterr().out
-        assert main(["--show-suppressed", str(f)]) == 0
+        assert main(["--no-cache", "--show-suppressed", str(f)]) == 0
         assert "(suppressed)" in capsys.readouterr().out
 
     def test_rule_catalogue_is_contiguous(self):
