@@ -15,6 +15,11 @@ python -m pytest -x -q tests/phy/test_golden_vectors.py
 echo "== batched/scalar differential =="
 python -m pytest -x -q tests/sim/test_batch_differential.py
 
+echo "== IQ corpus: replay + fuzz smoke =="
+python -m pytest -x -q tests/iq
+python -m repro corpus replay --mode both
+python -m repro corpus fuzz --iterations 50 --seed 7
+
 echo "== perf smoke =="
 python -m repro bench --smoke --no-history
 

@@ -46,6 +46,10 @@ _SPEEDUP_PAIRS: Dict[str, Tuple[str, str]] = {
     # Not a scalar/batched pair: the ratio is the cost of per-packet
     # tracing on top of the same batched loop (>= 1, ideally ~1).
     "wifi.trace_overhead": ("wifi.packets.traced", "wifi.packets.batched"),
+    # Informational only (not in the batch-win gate): corpus replay
+    # decodes captures one at a time, so the "batched" path runs the
+    # stacked kernels on batches of one and its overhead shows here.
+    "iq.replay": ("iq.replay.scalar", "iq.replay.batched"),
 }
 
 # The "batching wins" contract gated in CI: on every radio the batched
@@ -235,6 +239,39 @@ def _shaping_kernels(n_units: int) -> List[Tuple[str, int,
              lambda: gfsk.modulate(bits))]
 
 
+def _corpus_replay_kernels(radios: Optional[List[str]]
+                           ) -> List[Tuple[str, int, Callable[[], Any]]]:
+    """Corpus replay throughput: decode a freshly-frozen impairment
+    grid through the scalar and batched receiver paths.
+
+    The corpus is generated into a temp directory at build time, so
+    the kernel is self-contained (no dependency on the committed
+    ``tests/phy/corpus`` being present or current); replays share one
+    session cache across repeats, as the pytest harness does.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.iq.corpus import generate_corpus
+    from repro.iq.replay import replay_corpus
+
+    directory = Path(tempfile.mkdtemp(prefix="repro-iq-bench-"))
+    names = generate_corpus(directory, radios=radios)
+    cache: Dict[Any, Any] = {}
+
+    def _replay(mode: str) -> None:
+        report = replay_corpus(directory, modes=(mode,),
+                               session_cache=cache)
+        if not report.ok:
+            raise RuntimeError(f"bench corpus replay diverged: "
+                               f"{report.diffs[0]}")
+
+    return [("iq.replay.scalar", len(names),
+             lambda: _replay("scalar")),
+            ("iq.replay.batched", len(names),
+             lambda: _replay("batched"))]
+
+
 def _build_kernels(smoke: bool) -> List[Tuple[str, int, Callable[[], Any]]]:
     # Full-mode packet counts are sized so the receiver kernels are
     # amortised over hundreds of packets per loop (and, with the three
@@ -252,7 +289,8 @@ def _build_kernels(smoke: bool) -> List[Tuple[str, int, Callable[[], Any]]]:
                    + _sweep_kernels("ble", 3, 8)
                    + _traced_packet_kernels(16, 128)
                    + _viterbi_kernels(4, 200)
-                   + _shaping_kernels(64))
+                   + _shaping_kernels(64)
+                   + _corpus_replay_kernels(["bluetooth", "dsss"]))
     else:
         kernels = (_packet_loop_kernels("wifi", 128, None)
                    + _packet_loop_kernels("zigbee", 256, None)
@@ -262,7 +300,8 @@ def _build_kernels(smoke: bool) -> List[Tuple[str, int, Callable[[], Any]]]:
                    + _sweep_kernels("ble", 4, 32)
                    + _traced_packet_kernels(128, None)
                    + _viterbi_kernels(16, 400)
-                   + _shaping_kernels(256))
+                   + _shaping_kernels(256)
+                   + _corpus_replay_kernels(None))
     return kernels
 
 

@@ -10,6 +10,10 @@
     python -m repro bench  # PHY micro-benchmarks -> BENCH_phy.json
     python -m repro lint   # project static analysis (reprolint)
 
+    python -m repro corpus generate              # freeze IQ waveforms
+    python -m repro corpus replay --report d.json  # diff vs frozen
+    python -m repro corpus fuzz --iterations 200 --seed 7
+
     python -m repro serve  --root svc --port 8351        # sweep service
     python -m repro submit --radio zigbee --distances 2,6 --wait
     python -m repro status job-000001
@@ -518,6 +522,43 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("-o", "--output", metavar="PATH", default=None,
                        help="write the stored record's exact bytes here")
 
+    corpus = sub.add_parser(
+        "corpus", help="frozen IQ capture corpus (generate/replay/fuzz)")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def _add_corpus_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", dest="corpus_dir", metavar="PATH",
+                       default=None,
+                       help="corpus directory (default: the committed "
+                            "tests/phy/corpus)")
+
+    cgen = corpus_sub.add_parser(
+        "generate", help="freeze the impairment-grid waveforms")
+    _add_corpus_dir(cgen)
+    cgen.add_argument("--radios", metavar="A,B", default=None,
+                      help="comma-separated radios (default: all)")
+
+    crep = corpus_sub.add_parser(
+        "replay", help="decode every capture, diff against expectations")
+    _add_corpus_dir(crep)
+    crep.add_argument("--mode", choices=["scalar", "batched", "both"],
+                      default="both",
+                      help="receiver path(s) to exercise (default both)")
+    crep.add_argument("--report", metavar="PATH", default=None,
+                      help="write the JSON diff report here (CI artifact)")
+
+    cfuzz = corpus_sub.add_parser(
+        "fuzz", help="seeded mutation fuzz of the decode seam")
+    _add_corpus_dir(cfuzz)
+    cfuzz.add_argument("--iterations", type=_positive_int, default=200,
+                       help="mutations per radio (default 200)")
+    cfuzz.add_argument("--seed", type=int, default=0,
+                       help="fuzz seed (default 0)")
+    cfuzz.add_argument("--radios", metavar="A,B", default=None,
+                       help="comma-separated radios (default: all)")
+    cfuzz.add_argument("--report", metavar="PATH", default=None,
+                       help="write the JSON fuzz report here")
+
     lint = sub.add_parser(
         "lint", help="project static analysis (reprolint rules R001-R012)")
     lint.add_argument("paths", nargs="*", metavar="PATH",
@@ -811,6 +852,62 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+def _cmd_corpus(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.iq.corpus import default_corpus_dir, generate_corpus
+    from repro.iq.format import IQFormatError
+
+    directory = (Path(args.corpus_dir) if args.corpus_dir
+                 else default_corpus_dir())
+    try:
+        if args.corpus_command == "generate":
+            radios = (args.radios.split(",") if args.radios else None)
+            names = generate_corpus(directory, radios=radios)
+            print(f"wrote {len(names)} captures to {directory}")
+            return 0
+        if args.corpus_command == "replay":
+            from repro.iq.replay import MODES, replay_corpus
+
+            modes = MODES if args.mode == "both" else (args.mode,)
+            report = replay_corpus(directory, modes=modes)
+            if args.report:
+                Path(args.report).write_text(
+                    json_mod.dumps(report.to_dict(), indent=2) + "\n")
+            print(f"replayed {report.entries} captures "
+                  f"({report.decodes} decodes): "
+                  f"{'ok' if report.ok else f'{len(report.diffs)} diffs'}")
+            for diff in report.diffs:
+                print(f"  {diff.name} [{diff.mode}] {diff.field}: "
+                      f"expected {diff.expected!r}, got {diff.actual!r}",
+                      file=sys.stderr)
+            return 0 if report.ok else 6
+        from repro.iq.fuzz import fuzz_corpus
+
+        radios = (args.radios.split(",") if args.radios else None)
+        report_f = fuzz_corpus(directory, iterations=args.iterations,
+                               seed=args.seed, radios=radios)
+        if args.report:
+            Path(args.report).write_text(
+                json_mod.dumps(report_f.to_dict(), indent=2) + "\n")
+        total = sum(report_f.iterations.values())
+        print(f"fuzzed {total} iterations over "
+              f"{len(report_f.iterations)} radios (seed {args.seed}): "
+              f"{'ok' if report_f.ok else f'{len(report_f.violations)} violations'}")
+        for violation in report_f.violations:
+            print(f"  {violation.radio}/{violation.base} "
+                  f"i={violation.iteration} [{violation.mode}] "
+                  f"{'+'.join(violation.mutations)}: {violation.error}",
+                  file=sys.stderr)
+        return 0 if report_f.ok else 6
+    except IQFormatError as exc:
+        print(f"error: corpus format: {exc}", file=sys.stderr)
+        print("hint: regenerate the corpus with `repro corpus generate`",
+              file=sys.stderr)
+        return 2
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "sweep": _cmd_sweep,
@@ -824,6 +921,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
+    "corpus": _cmd_corpus,
     "lint": _cmd_lint,
 }
 

@@ -419,6 +419,67 @@ class _BatchPacketMixin:
             for i, snr in enumerate(snrs_db)]
         return self.channel_packets(draws)
 
+    # -- capture replay seam --------------------------------------------
+
+    def excitation_from_payload(self, payload: bytes,
+                                scrambler_seed: Optional[int] = None
+                                ) -> Excitation:
+        """Rebuild the excitation for a *known* payload, deterministically.
+
+        The RNG-free complement of :meth:`make_excitation`, used by the
+        IQ capture corpus (:mod:`repro.iq`): a frozen capture's sidecar
+        records the excitation payload bytes, from which the clean frame
+        (and with it the tag-decode reference streams) is reconstructed
+        bit-identically on replay.  *scrambler_seed* only applies to the
+        WiFi sessions, whose frames additionally depend on it.
+        """
+        if scrambler_seed is not None:
+            raise ValueError(
+                f"{type(self).__name__} frames have no scrambler seed")
+        frame = self._build_frame(payload)
+        return Excitation(frame=frame, info=self._info(frame))
+
+    def decode_iq(self, samples: np.ndarray, excitation: Excitation,
+                  tag_bits: Any, noise_var: float = 0.0,
+                  snr_db: float = 0.0, batched: bool = False
+                  ) -> SessionResult:
+        """Decode a captured baseband waveform through the receive chain.
+
+        The replay entry point for the IQ corpus: *samples* is a
+        post-channel waveform (typically loaded from a frozen capture),
+        *excitation* the clean frame it was backscattered onto, and
+        *tag_bits* the ground-truth tag payload the decode is scored
+        against.  The draw and channel phases are bypassed entirely —
+        this method makes **no RNG draws**, so replaying a corpus can
+        never perturb a session's generator state.  An empty *samples*
+        array represents a capture gated before the receiver ran
+        (envelope-detector miss) and classifies as ``sync_fail`` without
+        touching the receiver.  The packet is counted and
+        stage-classified exactly like a live one, so corpus replays
+        reproduce the ``phy.<radio>.stage.*`` accounting of the run that
+        captured them.  With ``batched=True`` the decode goes through
+        the stacked receiver kernels (``finish_packets``) instead of the
+        scalar path; both are bit-identical by the PR 4/7 contract.
+        """
+        # Mirror the live path's truncation to tag capacity (predraw's
+        # ``send = bits[:capacity]``) so an over-long ground truth can
+        # never push the tag decoders past the frame's span budget.
+        bits = as_bits(tag_bits)[:self.tag.capacity_bits(excitation.info)]
+        wave = np.asarray(samples)
+        obs.inc(self._obs + ".packets")
+        if wave.size == 0:
+            result = SessionResult(False, int(bits.size), int(bits.size),
+                                   excitation.frame.duration_us)
+            _record_stage(self._obs, forensics.SYNC_FAIL, snr_db, result)
+            return result
+        draw = PacketDraw(excitation, int(bits.size), bits, None,
+                          noisy=wave, noise_var=noise_var, snr_db=snr_db)
+        if batched:
+            return self.finish_packets([draw])[0]
+        with obs.timed(self._obs + ".decode"):
+            decoded = self._decode_scalar(draw)
+        return self._finish_packet(draw, decoded)
+
 
 class WifiBackscatterSession(_BatchPacketMixin):
     """802.11g/n OFDM backscatter link (paper sections 2.3.1, 3.2.1).
@@ -500,6 +561,20 @@ class WifiBackscatterSession(_BatchPacketMixin):
             frame = self._frames.get_or_build(
                 self._frame_key(psdu, seed),
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
+        return Excitation(frame=frame, info=self._info(frame))
+
+    def excitation_from_payload(self, payload: bytes,
+                                scrambler_seed: Optional[int] = None
+                                ) -> Excitation:
+        """Deterministic excitation rebuild for capture replay; the WiFi
+        frame also depends on the scrambler seed recorded alongside the
+        payload."""
+        frame = self._frames.get_or_build(
+            self._frame_key(payload, scrambler_seed),
+            lambda: self.transmitter.build(payload)
+            if scrambler_seed is None
+            else self.transmitter.build(payload,
+                                        scrambler_seed=scrambler_seed))
         return Excitation(frame=frame, info=self._info(frame))
 
     def _info(self, frame: Any) -> ExcitationInfo:
@@ -944,6 +1019,19 @@ class QuaternaryWifiSession(_BatchPacketMixin):
             frame = self._frames.get_or_build(
                 self._frame_key(psdu, seed),
                 lambda: self.transmitter.build(psdu, scrambler_seed=seed))
+        return Excitation(frame=frame, info=self._info(frame))
+
+    def excitation_from_payload(self, payload: bytes,
+                                scrambler_seed: Optional[int] = None
+                                ) -> Excitation:
+        """Deterministic excitation rebuild for capture replay (same
+        seed-aware build as the binary WiFi session)."""
+        frame = self._frames.get_or_build(
+            self._frame_key(payload, scrambler_seed),
+            lambda: self.transmitter.build(payload)
+            if scrambler_seed is None
+            else self.transmitter.build(payload,
+                                        scrambler_seed=scrambler_seed))
         return Excitation(frame=frame, info=self._info(frame))
 
     def _default_tag_bits(self, info: ExcitationInfo,

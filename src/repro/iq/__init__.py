@@ -1,0 +1,41 @@
+"""Frozen baseband IQ captures: export/import, corpus, replay, fuzz.
+
+The package turns the receive chain's trust story into on-disk
+artifacts (ROADMAP: "IQ capture/replay corpus and regression-at-scale").
+A *capture* is one backscattered packet frozen as a compressed ``.npz``
+of complex64 samples plus a JSON metadata sidecar carrying everything
+needed to replay the decode bit-identically: the excitation payload,
+the ground-truth tag bits, the channel impairment, and the expected
+decode outcome (delivered flag, bit errors, and forensics stage).
+
+- :mod:`repro.iq.format` — the ``repro.iq/1`` on-disk format and its
+  fingerprint convention (typed errors, never silent garbage).
+- :mod:`repro.iq.corpus` — the impairment-grid generator that freezes
+  waveforms for every registered radio.
+- :mod:`repro.iq.replay` — the deterministic replay harness diffing
+  scalar and batched decodes against the frozen expectations.
+- :mod:`repro.iq.fuzz` — the seeded mutation fuzzer asserting the
+  crash-free classification contract.
+"""
+
+from repro.iq.format import (
+    FORMAT_VERSION,
+    IQCapture,
+    IQFingerprintMismatch,
+    IQFormatError,
+    iq_fingerprint,
+    iter_captures,
+    read_capture,
+    write_capture,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "IQCapture",
+    "IQFingerprintMismatch",
+    "IQFormatError",
+    "iq_fingerprint",
+    "iter_captures",
+    "read_capture",
+    "write_capture",
+]

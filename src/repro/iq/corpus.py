@@ -1,0 +1,328 @@
+"""Impairment-grid corpus generator over every registered radio.
+
+Each grid cell freezes one backscattered packet: a deterministic
+excitation payload and tag payload, the channel at a fixed SNR with a
+fixed noise seed, and an *impairment* applied to the post-channel
+waveform (or to the excitation itself) to steer the decode into a
+specific forensics stage — clean, low-SNR, truncated preamble/data,
+corrupted header/CRC, and envelope-gated captures, per the GuardRider
+motivation that tags must survive wild, bursty traffic.
+
+Expectations are frozen by actually decoding the **stored** complex64
+waveform through :meth:`decode_iq` at generation time (so the
+complex64 rounding is inside the contract) and cross-checked against
+the batched receiver path before anything is written.  A cell that
+lands on a different stage than it was designed for fails generation
+loudly — the grid cannot silently drift.
+
+``SESSION_STAGES`` records which forensics stages each radio's
+*session-level* decode can reach at all; the corpus-completeness
+meta-test (``tests/iq/test_corpus_completeness.py``) parametrizes over
+the registry × this map, so registering a new radio without corpus
+coverage fails the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.registry import create_session
+from repro.core.session import Excitation, SessionResult
+from repro.iq.format import IQCapture, write_capture
+from repro.obs import forensics
+from repro.obs.metrics import MetricsRegistry
+from repro.utils.crc import CRC32
+from repro.utils.rng import make_rng
+
+__all__ = ["SESSION_STAGES", "RADIO_CONFIGS", "CORPUS_SEED",
+           "default_corpus_dir", "generate_corpus", "grid_names",
+           "observed_stage"]
+
+#: Base seed for every deterministic draw in the corpus.
+CORPUS_SEED = 20_240_811
+
+#: Forensics stages each radio's session-level decode can reach.
+#:
+#: Not every radio exposes every stage: the session's tag link decides
+#: which receiver verdicts it distinguishes.  BLE is a raw-bit link
+#: (no CRC stage; sync + demod is ``ok``); DSSS reaches ``sync_fail``
+#: only through the envelope-detector gate (its receiver starts at the
+#: PLCP header); ZigBee folds header handling into SFD detection.
+SESSION_STAGES: Dict[str, Tuple[str, ...]] = {
+    "wifi": forensics.STAGES,
+    "wifi-quaternary": forensics.STAGES,
+    "zigbee": (forensics.SYNC_FAIL, forensics.CRC_FAIL, forensics.OK),
+    "bluetooth": (forensics.SYNC_FAIL, forensics.OK),
+    "dsss": (forensics.SYNC_FAIL, forensics.HEADER_FAIL, forensics.OK),
+}
+
+#: Session kwargs per radio — small payloads keep the committed corpus
+#: tiny while exercising every receive stage.
+RADIO_CONFIGS: Dict[str, Dict[str, Any]] = {
+    "wifi": {"rate_mbps": 6.0, "repetition": 4, "payload_bytes": 64},
+    "wifi-quaternary": {"rate_mbps": 12.0, "repetition": 4,
+                        "payload_bytes": 64},
+    "zigbee": {"repetition": 8, "payload_bytes": 12, "sps": 4},
+    "bluetooth": {"repetition": 18, "payload_bytes": 16, "sps": 8},
+    "dsss": {"repetition": 11, "payload_bytes": 24},
+}
+
+_Transform = Callable[[np.ndarray, Excitation], np.ndarray]
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus location, ``tests/phy/corpus``."""
+    return Path(__file__).resolve().parents[3] / "tests" / "phy" / "corpus"
+
+
+# -- waveform impairments -------------------------------------------------
+
+def _identity(noisy: np.ndarray, exc: Excitation) -> np.ndarray:
+    return noisy
+
+
+def _keep(n: int) -> _Transform:
+    def cut(noisy: np.ndarray, exc: Excitation) -> np.ndarray:
+        return noisy[:n]
+    return cut
+
+
+def _keep_past_data(extra_units: int) -> _Transform:
+    """Truncate shortly after the data field starts."""
+    def cut(noisy: np.ndarray, exc: Excitation) -> np.ndarray:
+        info = exc.info
+        return noisy[:info.data_start_sample
+                     + extra_units * info.unit_samples]
+    return cut
+
+
+def _invert(start: int, stop: int) -> _Transform:
+    """Sign-flip one waveform region (hard symbol corruption)."""
+    def flip(noisy: np.ndarray, exc: Excitation) -> np.ndarray:
+        out = noisy.copy()
+        out[start:stop] *= -1
+        return out
+    return flip
+
+
+@dataclass(frozen=True)
+class _Cell:
+    """One corpus grid cell: impairment name, channel, and target."""
+
+    impairment: str
+    snr_db: float
+    transform: _Transform
+    expect_stage: Optional[str] = None   # assert at generation if set
+    gated: bool = False                  # envelope miss: no waveform
+    bad_fcs: bool = False                # WiFi: wrong FCS in the psdu
+    quiet: bool = False                  # all-zero tag bits (no flips)
+
+
+def _wifi_grid() -> List[_Cell]:
+    # A modulating tag flips data-field symbols, so a tag-carrying WiFi
+    # frame can never pass its FCS — that is *why* the paper's receiver
+    # runs in monitor mode.  The ``ok`` stage therefore needs a quiet
+    # tag (all-zero bits, no flips); ``tag_modulated`` freezes the
+    # normal monitor-mode outcome (delivered, crc_fail).  The SIGNAL
+    # symbol sits right after the 320-sample preamble; flipping it
+    # breaks rate/parity so the PLCP header never parses.
+    return [
+        _Cell("clean", 25.0, _identity, forensics.OK, quiet=True),
+        _Cell("tag_modulated", 25.0, _identity, forensics.CRC_FAIL),
+        _Cell("low_snr", 6.0, _identity),
+        _Cell("trunc_preamble", 25.0, _keep(300), forensics.SYNC_FAIL),
+        _Cell("header_corrupt", 25.0, _invert(320, 400),
+              forensics.HEADER_FAIL),
+        _Cell("trunc_data", 25.0, _keep_past_data(1), forensics.FEC_FAIL),
+        _Cell("crc_corrupt", 25.0, _identity, forensics.CRC_FAIL,
+              bad_fcs=True, quiet=True),
+        _Cell("envelope_gated", 25.0, _identity, forensics.SYNC_FAIL,
+              gated=True),
+    ]
+
+
+_GRIDS: Dict[str, Callable[[], List[_Cell]]] = {
+    "wifi": _wifi_grid,
+    "wifi-quaternary": _wifi_grid,
+    "zigbee": lambda: [
+        # Same monitor-mode reality as WiFi: symbol flips from the tag
+        # break the MAC FCS, so ``ok`` needs a quiet tag.
+        _Cell("clean", 20.0, _identity, forensics.OK, quiet=True),
+        _Cell("tag_modulated", 20.0, _identity, forensics.CRC_FAIL),
+        _Cell("low_snr", -1.0, _identity),
+        _Cell("trunc_preamble", 20.0, _keep(40), forensics.SYNC_FAIL),
+        _Cell("crc_corrupt", 20.0, _invert(2000, 2200),
+              forensics.CRC_FAIL, quiet=True),
+        _Cell("trunc_data", 20.0, _keep_past_data(4)),
+        _Cell("envelope_gated", 20.0, _identity, forensics.SYNC_FAIL,
+              gated=True),
+    ],
+    "bluetooth": lambda: [
+        _Cell("clean", 22.0, _identity, forensics.OK),
+        _Cell("low_snr", 6.0, _identity),
+        _Cell("trunc_preamble", 22.0, _keep(50), forensics.SYNC_FAIL),
+        _Cell("trunc_data", 22.0, _keep_past_data(16)),
+        _Cell("envelope_gated", 22.0, _identity, forensics.SYNC_FAIL,
+              gated=True),
+    ],
+    "dsss": lambda: [
+        _Cell("clean", 14.0, _identity, forensics.OK),
+        _Cell("low_snr", 3.0, _identity),
+        _Cell("trunc_preamble", 14.0, _keep(30), forensics.HEADER_FAIL),
+        # The 48-bit PLCP header spans samples 1584..2112 (bits 144..192
+        # at 11 samples/bit); a sign-flipped span there breaks the
+        # header CRC-16 via the two differential-domain bit flips it
+        # induces, while the SYNC/SFD region stays untouched.
+        _Cell("header_corrupt", 14.0, _invert(1700, 1790),
+              forensics.HEADER_FAIL),
+        _Cell("trunc_data", 14.0, _keep_past_data(8)),
+        _Cell("envelope_gated", 14.0, _identity, forensics.SYNC_FAIL,
+              gated=True),
+    ],
+}
+
+
+def grid_names(radio: str) -> List[str]:
+    """The capture names the generator produces for *radio*."""
+    return [f"{radio}_{cell.impairment}" for cell in _GRIDS[radio]()]
+
+
+def observed_stage(reg: MetricsRegistry) -> Tuple[str, str]:
+    """(obs_prefix, stage) of the single packet recorded into *reg*.
+
+    The stage is read back from the ``phy.<radio>.stage.<stage>``
+    counters the decode incremented, so replay checks the *accounting*,
+    not a parallel code path.
+    """
+    counters = reg.snapshot()["counters"]
+    hits = [(name, count) for name, count in sorted(counters.items())
+            if ".stage." in name and count]
+    if len(hits) != 1 or hits[0][1] != 1:
+        raise ValueError(f"expected exactly one stage increment, got "
+                         f"{hits!r}")
+    prefix, stage = hits[0][0].rsplit(".stage.", 1)
+    return prefix, stage
+
+
+def _payload_for(radio: str, cell: _Cell,
+                 gen: np.random.Generator, payload_bytes: int) -> bytes:
+    """Deterministic excitation payload; WiFi psdus get a real FCS so
+    the clean cells can reach the ``ok`` stage (a random psdu would
+    always land on ``crc_fail``)."""
+    if radio in ("wifi", "wifi-quaternary"):
+        body = bytes(int(b) for b in gen.integers(
+            0, 256, size=payload_bytes - 4))
+        fcs = CRC32.compute(body)
+        if cell.bad_fcs:
+            fcs ^= 0xDEAD_BEEF
+        return body + fcs.to_bytes(4, "little")
+    return bytes(int(b) for b in gen.integers(0, 256, size=payload_bytes))
+
+
+def _decode_both(session: Any, samples: np.ndarray, exc: Excitation,
+                 bits: np.ndarray, noise_var: float, snr_db: float
+                 ) -> Tuple[SessionResult, str, str]:
+    """Decode through scalar and batched paths; they must agree."""
+    with obs.collect() as reg:
+        scalar = session.decode_iq(samples, exc, bits,
+                                   noise_var=noise_var, snr_db=snr_db)
+    prefix, stage = observed_stage(reg)
+    with obs.collect() as reg_b:
+        batched = session.decode_iq(samples, exc, bits,
+                                    noise_var=noise_var, snr_db=snr_db,
+                                    batched=True)
+    _, stage_b = observed_stage(reg_b)
+    if (stage, scalar.delivered, scalar.tag_bit_errors) != (
+            stage_b, batched.delivered, batched.tag_bit_errors):
+        raise RuntimeError(
+            f"scalar/batched decode disagree at generation: "
+            f"{stage}/{scalar} vs {stage_b}/{batched}")
+    return scalar, prefix, stage
+
+
+def _build_capture(radio: str, cell: _Cell, seed: int) -> IQCapture:
+    cfg = RADIO_CONFIGS[radio]
+    session = create_session(radio, seed=0, **cfg)
+    gen = make_rng(seed)
+    payload = _payload_for(radio, cell, gen, int(cfg["payload_bytes"]))
+    scrambler_seed: Optional[int] = None
+    if radio in ("wifi", "wifi-quaternary"):
+        scrambler_seed = int(gen.integers(1, 128))
+        exc = session.excitation_from_payload(
+            payload, scrambler_seed=scrambler_seed)
+    else:
+        exc = session.excitation_from_payload(payload)
+    capacity = int(session.tag.capacity_bits(exc.info))
+    if radio == "wifi-quaternary":
+        capacity -= capacity % 2
+    if cell.quiet:
+        bits = np.zeros(capacity, dtype=np.uint8)
+    else:
+        bits = gen.integers(0, 2, size=capacity).astype(np.uint8)
+
+    if cell.gated:
+        samples = np.empty(0, dtype=np.complex64)
+        noise_var = 0.0
+    else:
+        draw = session.draw_packet(cell.snr_db, tag_bits=bits,
+                                   rng=make_rng(seed + 1), excitation=exc)
+        if draw.result is not None or draw.noisy is None:
+            raise RuntimeError(
+                f"{radio}/{cell.impairment}: sync gate fired at "
+                f"{cell.snr_db} dB with seed {seed}; adjust the grid")
+        samples = np.asarray(cell.transform(draw.noisy, exc),
+                             dtype=np.complex64)
+        noise_var = float(draw.noise_var)
+
+    result, prefix, stage = _decode_both(session, samples, exc, bits,
+                                         noise_var, cell.snr_db)
+    if cell.expect_stage is not None and stage != cell.expect_stage:
+        raise RuntimeError(
+            f"{radio}/{cell.impairment}: designed for stage "
+            f"{cell.expect_stage!r} but decoded as {stage!r}")
+    meta: Dict[str, Any] = {
+        "radio": radio,
+        "session": dict(cfg),
+        "payload_hex": payload.hex(),
+        "scrambler_seed": scrambler_seed,
+        "tag_bits": "".join("01"[int(b)] for b in bits),
+        "snr_db": cell.snr_db,
+        "noise_var": noise_var,
+        "impairment": cell.impairment,
+        "gated": cell.gated,
+        "seed": seed,
+        "obs_prefix": prefix,
+        "expect": {
+            "stage": stage,
+            "delivered": bool(result.delivered),
+            "bits_sent": int(result.tag_bits_sent),
+            "bit_errors": int(result.tag_bit_errors),
+        },
+    }
+    return IQCapture(name=f"{radio}_{cell.impairment}", samples=samples,
+                     meta=meta)
+
+
+def generate_corpus(directory: Path,
+                    radios: Optional[List[str]] = None) -> List[str]:
+    """Freeze the full impairment grid under *directory*.
+
+    Returns the sorted capture names written.  Radios default to every
+    grid entry (which covers every registered radio; the completeness
+    meta-test enforces that invariant from the other side).
+    """
+    names: List[str] = []
+    for radio in sorted(radios if radios is not None else _GRIDS):
+        cells = _GRIDS[radio]()
+        for index, cell in enumerate(cells):
+            capture = _build_capture(
+                radio, cell, CORPUS_SEED + 100 * index)
+            write_capture(Path(directory), capture)
+            obs.inc("iq.corpus.entries")
+            names.append(capture.name)
+    return sorted(names)

@@ -1,0 +1,205 @@
+"""The ``repro.iq/1`` on-disk capture format.
+
+One capture is two files sharing a stem:
+
+``<name>.npz``
+    ``np.savez_compressed`` archive with a single ``samples`` array —
+    the post-channel baseband waveform as 1-D complex64.  complex64
+    (not the simulator's native complex128) halves the committed corpus
+    size; expectations are always frozen against the *stored* rounded
+    waveform, so the rounding is part of the contract, not a hazard.
+
+``<name>.json``
+    Metadata sidecar: format tag, radio + session kwargs, excitation
+    payload, ground-truth tag bits, channel impairment, and the frozen
+    ``expect`` block (stage / delivered / bit errors).  Stamped with a
+    ``fingerprint`` binding the sidecar to the waveform — the same
+    first-16-hex-of-SHA-256 convention :class:`repro.obs.trace.TraceSink`
+    uses to stamp trace lines with their sweep spec, extended to cover
+    the raw sample bytes so neither file can drift behind the other.
+
+Every malformed input raises a **typed** error (:class:`IQFormatError`
+or its :class:`IQFingerprintMismatch` subclass) — a torn npz, a
+truncated sidecar, or a stale fingerprint is a loud failure, never
+silently-garbage samples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+import numpy as np
+
+__all__ = ["FORMAT_VERSION", "SAMPLES_KEY", "IQFormatError",
+           "IQFingerprintMismatch", "IQCapture", "iq_fingerprint",
+           "write_capture", "read_capture", "iter_captures",
+           "capture_names"]
+
+#: Format tag written into (and required of) every sidecar.
+FORMAT_VERSION = "repro.iq/1"
+
+#: The one array key inside the ``.npz``.
+SAMPLES_KEY = "samples"
+
+
+class IQFormatError(Exception):
+    """A capture file pair is unreadable, malformed, or inconsistent."""
+
+
+class IQFingerprintMismatch(IQFormatError):
+    """Sidecar fingerprint does not match the metadata + samples.
+
+    Either file was edited (or corrupted) after the pair was written;
+    the capture cannot be trusted and must be regenerated.
+    """
+
+
+@dataclass
+class IQCapture:
+    """One frozen capture: waveform plus its full sidecar metadata."""
+
+    name: str
+    samples: np.ndarray        # 1-D complex64
+    meta: Dict[str, Any]
+
+    @property
+    def radio(self) -> str:
+        return str(self.meta["radio"])
+
+    @property
+    def expect(self) -> Dict[str, Any]:
+        """The frozen decode expectation (stage/delivered/bit errors)."""
+        out = self.meta["expect"]
+        assert isinstance(out, dict)
+        return out
+
+
+def _canonical_samples(samples: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(np.asarray(samples).ravel(),
+                                dtype=np.complex64)
+
+
+def iq_fingerprint(meta: Dict[str, Any], samples: np.ndarray) -> str:
+    """First 16 hex of SHA-256 over the canonical sidecar + raw samples.
+
+    The ``fingerprint`` key itself is excluded, so the stamp can live
+    inside the dict it covers (mirroring the TraceSink ``spec`` stamp:
+    sort-keyed JSON, first 16 hex digits).
+    """
+    scrubbed = {k: v for k, v in meta.items() if k != "fingerprint"}
+    digest = hashlib.sha256()
+    digest.update(json.dumps(scrubbed, sort_keys=True).encode())
+    digest.update(_canonical_samples(samples).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def write_capture(directory: Path, capture: IQCapture
+                  ) -> Tuple[Path, Path]:
+    """Write one capture pair under *directory*; returns (npz, json).
+
+    The sidecar is normalised (format tag, name, sample count) and
+    fingerprinted here, so callers only supply the semantic metadata.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    samples = _canonical_samples(capture.samples)
+    meta = dict(capture.meta)
+    meta["format"] = FORMAT_VERSION
+    meta["name"] = capture.name
+    meta["n_samples"] = int(samples.size)
+    meta["fingerprint"] = iq_fingerprint(meta, samples)
+    npz_path = directory / f"{capture.name}.npz"
+    json_path = directory / f"{capture.name}.json"
+    np.savez_compressed(npz_path, **{SAMPLES_KEY: samples})
+    json_path.write_text(json.dumps(meta, sort_keys=True, indent=1) + "\n")
+    return npz_path, json_path
+
+
+def _load_sidecar(json_path: Path) -> Dict[str, Any]:
+    try:
+        raw = json_path.read_text()
+    except OSError as exc:
+        raise IQFormatError(f"unreadable sidecar {json_path}: {exc}") from exc
+    try:
+        meta = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise IQFormatError(
+            f"sidecar {json_path.name} is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise IQFormatError(f"sidecar {json_path.name} is not an object")
+    if meta.get("format") != FORMAT_VERSION:
+        raise IQFormatError(
+            f"sidecar {json_path.name} declares format "
+            f"{meta.get('format')!r}, expected {FORMAT_VERSION!r}")
+    return meta
+
+
+def _load_samples(npz_path: Path) -> np.ndarray:
+    try:
+        with np.load(npz_path) as archive:
+            if SAMPLES_KEY not in archive.files:
+                raise IQFormatError(
+                    f"{npz_path.name} has no {SAMPLES_KEY!r} array")
+            samples = archive[SAMPLES_KEY]
+    except IQFormatError:
+        raise
+    except Exception as exc:
+        # np.load raises zipfile/pickle/OS errors of many concrete types
+        # for torn or truncated archives; all of them mean the same
+        # thing here and are re-raised typed, never swallowed.
+        raise IQFormatError(
+            f"unreadable npz {npz_path.name}: {exc}") from exc
+    if samples.ndim != 1 or samples.dtype != np.complex64:
+        raise IQFormatError(
+            f"{npz_path.name}: samples must be 1-D complex64, got "
+            f"{samples.ndim}-D {samples.dtype}")
+    return samples
+
+
+def read_capture(directory: Path, name: str) -> IQCapture:
+    """Load and validate one capture pair; raises typed errors.
+
+    Checks, in order: sidecar readable + right format tag, npz readable
+    with a 1-D complex64 ``samples`` array, sample count matching the
+    sidecar, and the fingerprint binding both files together.
+    """
+    directory = Path(directory)
+    meta = _load_sidecar(directory / f"{name}.json")
+    samples = _load_samples(directory / f"{name}.npz")
+    declared = meta.get("n_samples")
+    if declared != int(samples.size):
+        raise IQFormatError(
+            f"{name}: sidecar declares {declared} samples, npz holds "
+            f"{samples.size}")
+    expected = meta.get("fingerprint")
+    actual = iq_fingerprint(meta, samples)
+    if expected != actual:
+        raise IQFingerprintMismatch(
+            f"{name}: fingerprint {actual} != sidecar stamp {expected}; "
+            f"the pair was edited after writing — regenerate the corpus")
+    return IQCapture(name=name, samples=samples, meta=meta)
+
+
+def capture_names(directory: Path) -> List[str]:
+    """Sorted stems of every capture pair under *directory*.
+
+    The union of ``.npz`` and ``.json`` stems, so a torn pair (either
+    half deleted) still surfaces — :func:`read_capture` then raises the
+    typed error instead of the orphan being silently skipped.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    stems = {p.stem for p in directory.glob("*.json")}
+    stems.update(p.stem for p in directory.glob("*.npz"))
+    return sorted(stems)
+
+
+def iter_captures(directory: Path) -> Iterator[IQCapture]:
+    """Yield every capture under *directory* in sorted name order."""
+    for name in capture_names(directory):
+        yield read_capture(directory, name)

@@ -1,0 +1,202 @@
+"""Seeded mutation fuzzing of the decode seam.
+
+The crash-free classification contract (documented next to the
+forensics taxonomy in ``docs/observability.md``): for **any** finite
+baseband waveform — truncated, extended, rescaled, sign-flipped,
+zeroed, noise-blasted — and any tag ground truth, ``decode_iq`` must
+classify the packet into exactly one forensics stage
+(``sync_fail``/``header_fail``/``fec_fail``/``crc_fail``/``ok``) and
+return a well-formed :class:`SessionResult`.  It must *never* raise.
+
+Mutations are drawn from a generator seeded by
+``(seed, radio index, iteration)``, so a violation's full recipe — the
+base capture name, the mutation trace, and the exception — reproduces
+from three integers.  Both scalar and batched receiver paths are
+exercised on every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.iq.corpus import observed_stage
+from repro.iq.format import IQCapture, iter_captures
+from repro.iq.replay import _excitation_for, _session_for
+from repro.obs import forensics
+from repro.utils.bits import as_bits
+
+__all__ = ["FuzzViolation", "FuzzReport", "fuzz_corpus", "MUTATIONS"]
+
+
+def _m_truncate(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    return s[:int(gen.integers(0, s.size + 1))]
+
+
+def _m_drop_head(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    return s[int(gen.integers(0, s.size // 2 + 1)):]
+
+
+def _m_extend(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    n = int(gen.integers(1, s.size + 2))
+    tail = (gen.standard_normal(n) + 1j * gen.standard_normal(n))
+    return np.concatenate([s, tail.astype(np.complex64)])
+
+
+def _m_scale(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    return (s * np.float32(gen.uniform(0.0, 4.0))).astype(np.complex64)
+
+
+def _span(size: int, gen: np.random.Generator) -> Tuple[int, int]:
+    a = int(gen.integers(0, size))
+    b = int(gen.integers(a, size + 1))
+    return a, b
+
+
+def _m_invert_span(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    a, b = _span(s.size, gen)
+    out = s.copy()
+    out[a:b] *= -1
+    return out
+
+
+def _m_zero_span(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    a, b = _span(s.size, gen)
+    out = s.copy()
+    out[a:b] = 0
+    return out
+
+
+def _m_noise_burst(s: np.ndarray, gen: np.random.Generator) -> np.ndarray:
+    a, b = _span(s.size, gen)
+    out = s.copy()
+    burst = gen.standard_normal(b - a) + 1j * gen.standard_normal(b - a)
+    out[a:b] += burst.astype(np.complex64) * np.float32(gen.uniform(0.5, 5))
+    return out
+
+
+#: Mutation operators by name; each maps (samples, rng) -> samples and
+#: must keep the waveform finite (the contract covers finite inputs —
+#: NaN/Inf are not physical capture states).
+MUTATIONS: Dict[str, Callable[[np.ndarray, np.random.Generator],
+                              np.ndarray]] = {
+    "truncate": _m_truncate,
+    "drop_head": _m_drop_head,
+    "extend": _m_extend,
+    "scale": _m_scale,
+    "invert_span": _m_invert_span,
+    "zero_span": _m_zero_span,
+    "noise_burst": _m_noise_burst,
+}
+
+
+@dataclass
+class FuzzViolation:
+    """One contract breach with its full reproduction recipe."""
+
+    radio: str
+    base: str
+    iteration: int
+    mode: str
+    mutations: List[str]
+    error: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"radio": self.radio, "base": self.base,
+                "iteration": self.iteration, "mode": self.mode,
+                "mutations": self.mutations, "error": self.error}
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz run."""
+
+    seed: int = 0
+    iterations: Dict[str, int] = field(default_factory=dict)
+    violations: List[FuzzViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "iterations": dict(self.iterations),
+                "ok": self.ok,
+                "violations": [v.to_dict() for v in self.violations]}
+
+
+def _check_one(session: Any, samples: np.ndarray, exc: Any,
+               bits: np.ndarray, batched: bool) -> Optional[str]:
+    """Run one decode; returns a violation description or None."""
+    try:
+        with obs.collect() as reg:
+            result = session.decode_iq(samples, exc, bits,
+                                       batched=batched)
+        _, stage = observed_stage(reg)
+    # The whole point of the harness: an exception from the decode seam
+    # IS the finding — recorded as a violation with its reproduction
+    # recipe, never swallowed.
+    except Exception as exc_info:  # reprolint: disable=R006 - exception becomes the recorded violation
+        return f"{type(exc_info).__name__}: {exc_info}"
+    if stage not in forensics.STAGES:
+        return f"unknown stage {stage!r}"
+    if result.tag_bit_errors > result.tag_bits_sent:
+        return (f"bit_errors {result.tag_bit_errors} > bits_sent "
+                f"{result.tag_bits_sent}")
+    if result.delivered not in (True, False):
+        return f"non-boolean delivered {result.delivered!r}"
+    return None
+
+
+def fuzz_corpus(directory: Path, iterations: int = 200, seed: int = 0,
+                radios: Optional[List[str]] = None) -> FuzzReport:
+    """Run *iterations* seeded mutations per radio against the corpus.
+
+    Base waveforms cycle through the radio's non-gated captures; each
+    iteration applies 1–3 mutation operators and decodes through both
+    the scalar and batched receiver paths.  Tag ground truth is
+    occasionally perturbed too (truncated or over-long bit arrays).
+    """
+    report = FuzzReport(seed=seed)
+    by_radio: Dict[str, List[IQCapture]] = {}
+    for capture in iter_captures(Path(directory)):
+        if capture.samples.size:
+            by_radio.setdefault(capture.radio, []).append(capture)
+    cache: Dict[Any, Any] = {}
+    names = sorted(by_radio)
+    for radio_index, radio in enumerate(names):
+        if radios is not None and radio not in radios:
+            continue
+        bases = by_radio[radio]
+        for i in range(iterations):
+            gen = np.random.default_rng([seed, radio_index, i])
+            base = bases[i % len(bases)]
+            session = _session_for(base, cache)
+            exc = _excitation_for(base, session)
+            bits = as_bits(base.meta["tag_bits"])
+            n_mut = int(gen.integers(1, 4))
+            chosen = [str(k) for k in gen.choice(
+                sorted(MUTATIONS), size=n_mut, replace=True)]
+            samples = base.samples
+            for name in chosen:
+                samples = MUTATIONS[name](samples, gen)
+            if gen.random() < 0.25:
+                # Ground-truth perturbation: wrong-length tag bits.
+                n_bits = int(gen.integers(0, 4 * max(bits.size, 1)))
+                bits = gen.integers(0, 2, size=n_bits).astype(np.uint8)
+                chosen.append(f"tag_bits[{n_bits}]")
+            for mode in ("scalar", "batched"):
+                obs.inc("iq.fuzz.iterations")
+                error = _check_one(session, samples, exc, bits,
+                                   batched=(mode == "batched"))
+                if error is not None:
+                    obs.inc("iq.fuzz.violations")
+                    report.violations.append(FuzzViolation(
+                        radio=radio, base=base.name, iteration=i,
+                        mode=mode, mutations=chosen, error=error))
+            report.iterations[radio] = i + 1
+    return report

@@ -1,0 +1,142 @@
+"""Deterministic replay of a frozen IQ corpus.
+
+Every capture is decoded through :meth:`decode_iq` twice — the scalar
+receiver path and the batched (stacked-kernel) path — and each decode
+is diffed against the sidecar's frozen ``expect`` block on four axes:
+the forensics **stage** (read back from the ``phy.<radio>.stage.*``
+counter the decode incremented, so the accounting itself is under
+test), the delivered flag, the bits-sent count, and the bit-error
+count.  The session's RNG state is also checked before/after every
+decode: ``decode_iq`` makes no draws, so a corpus replay that moves a
+generator is itself a regression.
+
+The report is JSON-serializable for the CI artifact
+(``repro corpus replay --report``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.registry import create_session
+from repro.core.session import Excitation
+from repro.iq.corpus import observed_stage
+from repro.iq.format import IQCapture, iter_captures
+from repro.utils.bits import as_bits
+
+__all__ = ["ReplayDiff", "ReplayReport", "replay_corpus"]
+
+MODES: Tuple[str, ...] = ("scalar", "batched")
+
+
+@dataclass
+class ReplayDiff:
+    """One frozen-vs-replayed disagreement."""
+
+    name: str
+    mode: str
+    field: str
+    expected: Any
+    actual: Any
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "mode": self.mode, "field": self.field,
+                "expected": self.expected, "actual": self.actual}
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one full-corpus replay."""
+
+    entries: int = 0
+    decodes: int = 0
+    diffs: List[ReplayDiff] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diffs
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"entries": self.entries, "decodes": self.decodes,
+                "ok": self.ok,
+                "diffs": [d.to_dict() for d in self.diffs]}
+
+
+def _session_for(capture: IQCapture, cache: Dict[Any, Any]) -> Any:
+    key = (capture.radio,
+           tuple(sorted(capture.meta["session"].items())))
+    session = cache.get(key)
+    if session is None:
+        session = create_session(capture.radio, seed=0,
+                                 **capture.meta["session"])
+        cache[key] = session
+    return session
+
+
+def _excitation_for(capture: IQCapture, session: Any) -> Excitation:
+    payload = bytes.fromhex(capture.meta["payload_hex"])
+    seed = capture.meta.get("scrambler_seed")
+    if seed is None:
+        return session.excitation_from_payload(payload)
+    return session.excitation_from_payload(payload,
+                                           scrambler_seed=int(seed))
+
+
+def replay_corpus(directory: Path,
+                  modes: Tuple[str, ...] = MODES,
+                  session_cache: Optional[Dict[Any, Any]] = None
+                  ) -> ReplayReport:
+    """Replay every capture under *directory*; returns the diff report.
+
+    Format errors (unreadable pairs, stale fingerprints) propagate as
+    :class:`repro.iq.format.IQFormatError` — a broken corpus is a
+    different failure class than a decode regression and maps to a
+    different CLI exit code.
+    """
+    report = ReplayReport()
+    cache: Dict[Any, Any] = (session_cache if session_cache is not None
+                             else {})
+    for capture in iter_captures(Path(directory)):
+        report.entries += 1
+        obs.inc("iq.replay.entries")
+        session = _session_for(capture, cache)
+        exc = _excitation_for(capture, session)
+        bits = as_bits(capture.meta["tag_bits"])
+        expect = capture.expect
+        for mode in modes:
+            rng_before = session._rng.bit_generator.state
+            with obs.collect() as reg:
+                result = session.decode_iq(
+                    capture.samples, exc, bits,
+                    noise_var=float(capture.meta["noise_var"]),
+                    snr_db=float(capture.meta["snr_db"]),
+                    batched=(mode == "batched"))
+            prefix, stage = observed_stage(reg)
+            actual: Dict[str, Any] = {
+                "stage": stage,
+                "delivered": bool(result.delivered),
+                "bits_sent": int(result.tag_bits_sent),
+                "bit_errors": int(result.tag_bit_errors),
+            }
+            report.decodes += 1
+            for key in ("stage", "delivered", "bits_sent", "bit_errors"):
+                if actual[key] != expect[key]:
+                    report.diffs.append(ReplayDiff(
+                        capture.name, mode, key, expect[key], actual[key]))
+            if reg.counter(f"{prefix}.packets") != 1:
+                report.diffs.append(ReplayDiff(
+                    capture.name, mode, "packets_counter", 1,
+                    reg.counter(f"{prefix}.packets")))
+            if prefix != capture.meta["obs_prefix"]:
+                report.diffs.append(ReplayDiff(
+                    capture.name, mode, "obs_prefix",
+                    capture.meta["obs_prefix"], prefix))
+            if session._rng.bit_generator.state != rng_before:
+                report.diffs.append(ReplayDiff(
+                    capture.name, mode, "rng_state", "unchanged",
+                    "perturbed"))
+    obs.inc("iq.replay.diffs", len(report.diffs))
+    return report

@@ -38,6 +38,11 @@ COUNTERS: Tuple[str, ...] = (
     "engine.pool.terminate_errors",
     "engine.retries",
     "engine.tasks.*",          # resumed/raised/requeued + task statuses
+    "iq.corpus.entries",
+    "iq.fuzz.iterations",
+    "iq.fuzz.violations",
+    "iq.replay.diffs",
+    "iq.replay.entries",
     "mac.rounds",
     "mac.slots.collisions",
     "mac.slots.empties",

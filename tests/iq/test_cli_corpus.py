@@ -1,0 +1,91 @@
+"""CLI surface of the corpus tools: exit-code mapping and artifacts.
+
+Exit codes: 0 clean, 2 corpus format error (typed ``IQFormatError``),
+6 decode drift (replay diffs) or fuzz contract violations.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.iq.format import iq_fingerprint, read_capture
+
+RADIOS = "bluetooth,dsss"
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli-corpus")
+    assert main(["corpus", "generate", "--dir", str(directory),
+                 "--radios", RADIOS]) == 0
+    return directory
+
+
+def test_generate_writes_pairs(corpus_dir):
+    names = {p.stem for p in corpus_dir.glob("*.json")}
+    assert names == {p.stem for p in corpus_dir.glob("*.npz")}
+    assert any(n.startswith("bluetooth_") for n in names)
+    assert any(n.startswith("dsss_") for n in names)
+
+
+def test_replay_clean_exit_zero(corpus_dir, tmp_path):
+    report_path = tmp_path / "diff.json"
+    assert main(["corpus", "replay", "--dir", str(corpus_dir),
+                 "--report", str(report_path)]) == 0
+    report = json.loads(report_path.read_text())
+    assert report["ok"] and report["diffs"] == []
+    assert report["entries"] > 0
+    assert report["decodes"] == 2 * report["entries"]
+
+
+@pytest.mark.parametrize("mode", ["scalar", "batched", "both"])
+def test_replay_modes(corpus_dir, mode):
+    assert main(["corpus", "replay", "--dir", str(corpus_dir),
+                 "--mode", mode]) == 0
+
+
+def test_fuzz_clean_exit_zero(corpus_dir, tmp_path):
+    report_path = tmp_path / "fuzz.json"
+    assert main(["corpus", "fuzz", "--dir", str(corpus_dir),
+                 "--iterations", "5", "--seed", "2",
+                 "--report", str(report_path)]) == 0
+    report = json.loads(report_path.read_text())
+    assert report["ok"] and report["seed"] == 2
+
+
+def test_format_error_maps_to_exit_2(corpus_dir, tmp_path):
+    broken = tmp_path / "broken"
+    broken.mkdir()
+    name = next(p.stem for p in corpus_dir.glob("*.json"))
+    (broken / f"{name}.json").write_text(
+        (corpus_dir / f"{name}.json").read_text())
+    # npz missing entirely: a torn pair.
+    assert main(["corpus", "replay", "--dir", str(broken)]) == 2
+    assert main(["corpus", "fuzz", "--dir", str(broken),
+                 "--iterations", "1"]) == 2
+
+
+def test_tampered_expectation_maps_to_exit_6(corpus_dir, tmp_path,
+                                             capsys):
+    tampered = tmp_path / "tampered"
+    tampered.mkdir()
+    for src in list(corpus_dir.glob("*.npz")) + list(
+            corpus_dir.glob("*.json")):
+        (tampered / src.name).write_bytes(src.read_bytes())
+    # Flip one frozen expectation and restamp the fingerprint, so the
+    # pair is format-valid but the decode must now disagree with it.
+    name = "bluetooth_clean"
+    capture = read_capture(tampered, name)
+    meta = dict(capture.meta)
+    meta["expect"] = dict(meta["expect"],
+                          bit_errors=meta["expect"]["bit_errors"] + 1)
+    meta["fingerprint"] = iq_fingerprint(meta, capture.samples)
+    (tampered / f"{name}.json").write_text(json.dumps(meta))
+    report_path = tmp_path / "diff.json"
+    assert main(["corpus", "replay", "--dir", str(tampered),
+                 "--report", str(report_path)]) == 6
+    report = json.loads(report_path.read_text())
+    assert not report["ok"]
+    assert any(d["name"] == name and d["field"] == "bit_errors"
+               for d in report["diffs"])

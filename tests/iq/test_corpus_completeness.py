@@ -1,0 +1,74 @@
+"""Corpus-completeness meta-test (satellite 3).
+
+Parametrized over the live session registry: every registered radio
+must declare its reachable forensics stages in ``SESSION_STAGES``, have
+generation config and an impairment grid, and the committed corpus must
+hold at least one capture per reachable stage.  Registering a new radio
+without corpus coverage fails here, by construction.
+"""
+
+import pytest
+
+from repro.core.registry import registered_radios
+from repro.iq.corpus import (
+    RADIO_CONFIGS,
+    SESSION_STAGES,
+    default_corpus_dir,
+    grid_names,
+)
+from repro.iq.format import iter_captures
+from repro.obs import forensics
+
+RADIOS = registered_radios()
+
+
+def _stages_by_radio():
+    found = {}
+    for capture in iter_captures(default_corpus_dir()):
+        found.setdefault(capture.radio, set()).add(
+            capture.expect["stage"])
+    return found
+
+
+FOUND = _stages_by_radio()
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_radio_declares_reachable_stages(radio):
+    assert radio in SESSION_STAGES, (
+        f"radio {radio!r} is registered but has no SESSION_STAGES "
+        f"entry in repro.iq.corpus — declare which forensics stages "
+        f"its session can reach")
+    stages = SESSION_STAGES[radio]
+    assert stages, "a radio must reach at least one stage"
+    assert set(stages) <= set(forensics.STAGES)
+    assert forensics.OK in stages, "every radio must be decodable"
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_radio_has_generation_grid(radio):
+    assert radio in RADIO_CONFIGS, (
+        f"radio {radio!r} has no corpus generation config")
+    assert grid_names(radio), (
+        f"radio {radio!r} has no impairment grid")
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_corpus_covers_every_reachable_stage(radio):
+    committed = FOUND.get(radio, set())
+    assert committed, (
+        f"no committed captures for {radio!r}; run "
+        f"`python -m repro corpus generate`")
+    missing = set(SESSION_STAGES[radio]) - committed
+    assert not missing, (
+        f"{radio!r} corpus lacks captures for stages {sorted(missing)}")
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_corpus_has_no_unreachable_stages(radio):
+    """The frozen corpus cannot claim a stage the session's decode path
+    cannot produce — that would mean SESSION_STAGES is stale."""
+    extra = FOUND.get(radio, set()) - set(SESSION_STAGES[radio])
+    assert not extra, (
+        f"{radio!r} captures landed on undeclared stages "
+        f"{sorted(extra)}; update SESSION_STAGES")

@@ -1,0 +1,92 @@
+"""Replay the committed corpus: frozen-expectation conformance plus the
+batched-vs-scalar differential sweep over on-disk inputs (satellite 2,
+extending the PR 7 bit-identity tests to frozen waveforms)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.iq.corpus import default_corpus_dir
+from repro.iq.format import capture_names, iter_captures, read_capture
+from repro.iq.replay import (
+    MODES,
+    _excitation_for,
+    _session_for,
+    replay_corpus,
+)
+from repro.utils.bits import as_bits
+
+CORPUS = default_corpus_dir()
+NAMES = capture_names(CORPUS)
+
+
+def test_committed_corpus_exists():
+    assert NAMES, (
+        f"no committed corpus at {CORPUS}; regenerate with "
+        f"`python -m repro corpus generate`")
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_full_corpus_replays_bit_identically(mode):
+    report = replay_corpus(CORPUS, modes=(mode,))
+    assert report.entries == len(NAMES)
+    assert report.ok, "\n".join(
+        f"{d.name} [{d.mode}] {d.field}: expected {d.expected!r}, "
+        f"got {d.actual!r}" for d in report.diffs)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_scalar_batched_differential(name):
+    """Per-capture differential: identical result fields, identical
+    stage/packets counters, identical generator state."""
+    capture = read_capture(CORPUS, name)
+    cache = {}
+    session = _session_for(capture, cache)
+    exc = _excitation_for(capture, session)
+    bits = as_bits(capture.meta["tag_bits"])
+    state0 = session._rng.bit_generator.state
+    outcomes = {}
+    for mode in MODES:
+        with obs.collect() as reg:
+            result = session.decode_iq(
+                capture.samples, exc, bits,
+                noise_var=float(capture.meta["noise_var"]),
+                snr_db=float(capture.meta["snr_db"]),
+                batched=(mode == "batched"))
+        outcomes[mode] = (
+            (result.delivered, result.tag_bits_sent,
+             result.tag_bit_errors),
+            reg.snapshot()["counters"],
+        )
+        assert session._rng.bit_generator.state == state0
+    scalar_fields, scalar_counters = outcomes["scalar"]
+    batched_fields, batched_counters = outcomes["batched"]
+    assert scalar_fields == batched_fields
+    assert scalar_counters == batched_counters
+
+
+def test_replay_uses_frozen_rounding():
+    """Expectations were frozen against the stored complex64 samples —
+    replaying them must not need the original complex128 waveform."""
+    for capture in iter_captures(CORPUS):
+        assert capture.samples.dtype == np.complex64
+
+
+def test_gated_captures_have_no_samples():
+    gated = [c for c in iter_captures(CORPUS) if c.meta["gated"]]
+    assert gated, "corpus must include envelope-gated captures"
+    for capture in gated:
+        assert capture.samples.size == 0
+        assert capture.expect["stage"] == "sync_fail"
+
+
+def test_expectations_carry_full_outcome():
+    from repro.obs.forensics import STAGES
+
+    for capture in iter_captures(CORPUS):
+        expect = capture.expect
+        assert set(expect) == {"stage", "delivered", "bits_sent",
+                               "bit_errors"}
+        assert 0 <= expect["bit_errors"] <= expect["bits_sent"]
+        # Stage vocabulary is closed over the forensics taxonomy.
+        assert expect["stage"] in STAGES

@@ -1,0 +1,123 @@
+"""The ``decode_iq`` seam: draw/channel bypass, RNG purity, stage
+accounting, and scalar/batched bit-identity on raw waveforms."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.registry import create_session
+from repro.iq.corpus import RADIO_CONFIGS, observed_stage
+from repro.obs import forensics
+
+RADIOS = sorted(RADIO_CONFIGS)
+
+
+def _session(radio):
+    return create_session(radio, seed=7, **RADIO_CONFIGS[radio])
+
+
+def _drawn_packet(session, radio, snr_db=20.0):
+    gen = np.random.default_rng(0xC0FFEE)
+    exc = session.make_excitation(rng=gen)
+    capacity = session.tag.capacity_bits(exc.info)
+    if radio == "wifi-quaternary":
+        capacity -= capacity % 2
+    bits = gen.integers(0, 2, size=capacity).astype(np.uint8)
+    draw = session.draw_packet(snr_db, tag_bits=bits, rng=gen,
+                               excitation=exc)
+    assert draw.result is None, "sync gate fired; pick another seed"
+    return exc, bits, draw
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_scalar_and_batched_agree(radio):
+    session = _session(radio)
+    exc, bits, draw = _drawn_packet(session, radio)
+    scalar = session.decode_iq(draw.noisy, exc, bits,
+                               noise_var=draw.noise_var, snr_db=20.0)
+    batched = session.decode_iq(draw.noisy, exc, bits,
+                                noise_var=draw.noise_var, snr_db=20.0,
+                                batched=True)
+    assert (scalar.delivered, scalar.tag_bits_sent,
+            scalar.tag_bit_errors) == (batched.delivered,
+                                       batched.tag_bits_sent,
+                                       batched.tag_bit_errors)
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_no_rng_draws(radio):
+    session = _session(radio)
+    exc, bits, draw = _drawn_packet(session, radio)
+    before = session._rng.bit_generator.state
+    session.decode_iq(draw.noisy, exc, bits, noise_var=draw.noise_var)
+    session.decode_iq(draw.noisy, exc, bits, noise_var=draw.noise_var,
+                      batched=True)
+    session.decode_iq(np.empty(0, np.complex64), exc, bits)
+    assert session._rng.bit_generator.state == before
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_empty_samples_is_gated_sync_fail(radio):
+    session = _session(radio)
+    exc, bits, _ = _drawn_packet(session, radio)
+    with obs.collect() as reg:
+        result = session.decode_iq(np.empty(0, np.complex64), exc, bits)
+    prefix, stage = observed_stage(reg)
+    assert stage == forensics.SYNC_FAIL
+    assert not result.delivered
+    assert result.tag_bit_errors == result.tag_bits_sent == bits.size
+    assert reg.counter(f"{prefix}.packets") == 1
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_packet_and_stage_accounting(radio):
+    session = _session(radio)
+    exc, bits, draw = _drawn_packet(session, radio)
+    with obs.collect() as reg:
+        session.decode_iq(draw.noisy, exc, bits,
+                          noise_var=draw.noise_var)
+    prefix, stage = observed_stage(reg)
+    assert stage in forensics.STAGES
+    assert reg.counter(f"{prefix}.packets") == 1
+    total = sum(reg.counter(forensics.stage_counter(prefix, s))
+                for s in forensics.STAGES)
+    assert total == 1
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_overlong_tag_bits_truncated_to_capacity(radio):
+    session = _session(radio)
+    exc, bits, draw = _drawn_packet(session, radio)
+    capacity = session.tag.capacity_bits(exc.info)
+    overlong = np.concatenate([bits, np.ones(3 * capacity, np.uint8)])
+    result = session.decode_iq(draw.noisy, exc, overlong,
+                               noise_var=draw.noise_var)
+    assert result.tag_bits_sent == capacity
+
+
+@pytest.mark.parametrize("radio", RADIOS)
+def test_excitation_from_payload_matches_make_excitation(radio):
+    session = _session(radio)
+    gen = np.random.default_rng(0xBEEF)
+    exc = session.make_excitation(rng=gen)
+    if radio in ("wifi", "wifi-quaternary"):
+        # Recover the draw make_excitation performed.
+        gen2 = np.random.default_rng(0xBEEF)
+        payload = bytes(int(b) for b in gen2.integers(
+            0, 256, size=session.payload_bytes))
+        seed = int(gen2.integers(1, 128))
+        rebuilt = session.excitation_from_payload(payload,
+                                                  scrambler_seed=seed)
+    else:
+        gen2 = np.random.default_rng(0xBEEF)
+        payload = bytes(int(b) for b in gen2.integers(
+            0, 256, size=session.payload_bytes))
+        rebuilt = session.excitation_from_payload(payload)
+    assert np.array_equal(rebuilt.frame.samples, exc.frame.samples)
+    assert rebuilt.info == exc.info
+
+
+def test_scrambler_seed_rejected_off_wifi():
+    session = _session("zigbee")
+    with pytest.raises(ValueError):
+        session.excitation_from_payload(b"\x00" * 12, scrambler_seed=5)

@@ -1,0 +1,167 @@
+"""Property-based round-trip and typed-error tests for ``repro.iq/1``.
+
+Satellite 1 of the IQ-corpus issue: seeded random waveforms plus
+metadata survive export → import bit-exactly, and every way a capture
+pair can be torn, truncated, or edited raises a *typed* error — never
+silent garbage samples.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iq.format import (
+    FORMAT_VERSION,
+    IQCapture,
+    IQFingerprintMismatch,
+    IQFormatError,
+    capture_names,
+    iq_fingerprint,
+    iter_captures,
+    read_capture,
+    write_capture,
+)
+
+meta_values = st.one_of(
+    st.integers(-2**31, 2**31), st.booleans(), st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20))
+meta_dicts = st.dictionaries(
+    st.text(st.characters(categories=("Ll",)), min_size=1, max_size=12),
+    meta_values, max_size=6)
+
+
+def _samples(seed: int, n: int) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return (gen.standard_normal(n)
+            + 1j * gen.standard_normal(n)).astype(np.complex64)
+
+
+def _write_one(tmp_path, name="cap", seed=0, n=64, meta=None):
+    meta = dict(meta or {})
+    meta.setdefault("radio", "wifi")
+    meta.setdefault("expect", {"stage": "ok"})
+    capture = IQCapture(name=name, samples=_samples(seed, n), meta=meta)
+    return write_capture(tmp_path, capture)
+
+
+class TestRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 512),
+           meta=meta_dicts)
+    def test_export_import_bit_exact(self, tmp_path_factory, seed, n,
+                                     meta):
+        tmp_path = tmp_path_factory.mktemp("iq")
+        meta = dict(meta)
+        meta["radio"] = "wifi"
+        samples = _samples(seed, n)
+        write_capture(tmp_path, IQCapture("cap", samples, meta))
+        loaded = read_capture(tmp_path, "cap")
+        assert loaded.samples.dtype == np.complex64
+        assert loaded.samples.tobytes() == samples.tobytes()
+        for key, value in meta.items():
+            got = loaded.meta[key]
+            if isinstance(value, float):
+                assert got == pytest.approx(value, nan_ok=False)
+            else:
+                assert got == value
+        assert loaded.meta["format"] == FORMAT_VERSION
+        assert loaded.meta["n_samples"] == n
+
+    def test_fingerprint_covers_meta_and_samples(self):
+        meta = {"radio": "wifi", "x": 1}
+        samples = _samples(3, 32)
+        stamp = iq_fingerprint(meta, samples)
+        assert stamp != iq_fingerprint({"radio": "wifi", "x": 2}, samples)
+        assert stamp != iq_fingerprint(meta, _samples(4, 32))
+        # The stamp key itself is excluded, so stamping is stable.
+        assert stamp == iq_fingerprint({**meta, "fingerprint": "zz"},
+                                       samples)
+
+    def test_iteration_order_is_sorted(self, tmp_path):
+        for name in ("b_cap", "a_cap", "c_cap"):
+            _write_one(tmp_path, name=name, seed=1)
+        assert [c.name for c in iter_captures(tmp_path)] == \
+            ["a_cap", "b_cap", "c_cap"]
+        assert capture_names(tmp_path) == ["a_cap", "b_cap", "c_cap"]
+
+
+class TestTypedErrors:
+    def test_missing_directory_lists_nothing(self, tmp_path):
+        assert capture_names(tmp_path / "absent") == []
+
+    def test_missing_sidecar(self, tmp_path):
+        npz, sidecar = _write_one(tmp_path)
+        sidecar.unlink()
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+        # ...and the torn pair is still *listed*, not skipped.
+        assert capture_names(tmp_path) == ["cap"]
+
+    def test_missing_npz(self, tmp_path):
+        npz, _ = _write_one(tmp_path)
+        npz.unlink()
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+
+    @pytest.mark.parametrize("keep", [0, 10, 60])
+    def test_truncated_npz(self, tmp_path, keep):
+        npz, _ = _write_one(tmp_path, n=256)
+        npz.write_bytes(npz.read_bytes()[:keep])
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+
+    def test_corrupt_sidecar_json(self, tmp_path):
+        _, sidecar = _write_one(tmp_path)
+        sidecar.write_text("{not json")
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+
+    def test_wrong_format_tag(self, tmp_path):
+        _, sidecar = _write_one(tmp_path)
+        meta = json.loads(sidecar.read_text())
+        meta["format"] = "repro.iq/999"
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+
+    def test_edited_sidecar_mismatches_fingerprint(self, tmp_path):
+        _, sidecar = _write_one(tmp_path)
+        meta = json.loads(sidecar.read_text())
+        meta["expect"] = {"stage": "crc_fail"}
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(IQFingerprintMismatch):
+            read_capture(tmp_path, "cap")
+
+    def test_swapped_samples_mismatch_fingerprint(self, tmp_path):
+        npz, _ = _write_one(tmp_path, seed=0, n=64)
+        np.savez_compressed(npz, samples=_samples(9, 64))
+        with pytest.raises(IQFingerprintMismatch):
+            read_capture(tmp_path, "cap")
+
+    def test_wrong_dtype_rejected(self, tmp_path):
+        npz, sidecar = _write_one(tmp_path, n=16)
+        np.savez_compressed(npz, samples=np.zeros(16, dtype=complex))
+        with pytest.raises(IQFormatError) as excinfo:
+            read_capture(tmp_path, "cap")
+        assert not isinstance(excinfo.value, IQFingerprintMismatch)
+
+    def test_sample_count_mismatch(self, tmp_path):
+        npz, sidecar = _write_one(tmp_path, n=64)
+        meta = json.loads(sidecar.read_text())
+        samples = _samples(0, 32)
+        meta["n_samples"] = 64
+        meta["fingerprint"] = iq_fingerprint(meta, samples)
+        np.savez_compressed(npz, samples=samples)
+        sidecar.write_text(json.dumps(meta))
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")
+
+    def test_non_object_sidecar(self, tmp_path):
+        _, sidecar = _write_one(tmp_path)
+        sidecar.write_text("[1, 2, 3]")
+        with pytest.raises(IQFormatError):
+            read_capture(tmp_path, "cap")

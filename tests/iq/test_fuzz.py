@@ -1,0 +1,62 @@
+"""The mutation fuzzer and its crash-free classification contract."""
+
+import numpy as np
+import pytest
+
+from repro.iq.corpus import default_corpus_dir
+from repro.iq.fuzz import MUTATIONS, FuzzViolation, _check_one, fuzz_corpus
+
+CORPUS = default_corpus_dir()
+
+
+def test_smoke_fuzz_is_clean():
+    report = fuzz_corpus(CORPUS, iterations=20, seed=3)
+    assert report.ok, [v.to_dict() for v in report.violations]
+    assert set(report.iterations.values()) == {20}
+
+
+def test_fuzz_is_deterministic():
+    one = fuzz_corpus(CORPUS, iterations=10, seed=11,
+                      radios=["bluetooth"])
+    two = fuzz_corpus(CORPUS, iterations=10, seed=11,
+                      radios=["bluetooth"])
+    assert one.to_dict() == two.to_dict()
+
+
+def test_radio_filter():
+    report = fuzz_corpus(CORPUS, iterations=5, seed=1, radios=["dsss"])
+    assert list(report.iterations) == ["dsss"]
+
+
+@pytest.mark.parametrize("name", sorted(MUTATIONS))
+def test_mutations_keep_waveforms_finite(name):
+    gen = np.random.default_rng(5)
+    samples = (gen.standard_normal(256)
+               + 1j * gen.standard_normal(256)).astype(np.complex64)
+    for trial in range(10):
+        mutated = MUTATIONS[name](samples, gen)
+        assert mutated.dtype == np.complex64
+        assert np.all(np.isfinite(mutated))
+
+
+class _ExplodingSession:
+    """A session whose decode seam violates the contract."""
+
+    def decode_iq(self, samples, exc, bits, batched=False, **kw):
+        raise RuntimeError("receiver exploded")
+
+
+def test_check_one_reports_exceptions_as_violations():
+    error = _check_one(_ExplodingSession(), np.zeros(8, np.complex64),
+                       None, np.zeros(4, np.uint8), batched=False)
+    assert error is not None
+    assert "RuntimeError" in error
+
+
+def test_violation_recipe_is_json_serializable():
+    import json
+
+    violation = FuzzViolation(radio="wifi", base="wifi_clean",
+                              iteration=3, mode="scalar",
+                              mutations=["truncate"], error="boom")
+    assert json.loads(json.dumps(violation.to_dict()))["iteration"] == 3

@@ -1,0 +1,56 @@
+"""Golden-vector drift guard (satellite 4 of the IQ-corpus issue).
+
+``tests/phy/golden/generate.py`` freezes the bit-level PHY kernels'
+outputs into committed JSON.  Before this test, a kernel change plus a
+forgotten regeneration left the goldens silently stale — the
+conformance tests kept passing against old vectors while the committed
+JSON no longer matched what the generator would produce.  Here every
+fixture is rebuilt in-process and diffed against the committed file,
+so staleness is a test failure with a precise "regenerate" hint.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location(
+        "golden_generate", GOLDEN_DIR / "generate.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+GENERATOR = _load_generator()
+
+
+def test_every_fixture_is_committed():
+    missing = [name for name in GENERATOR.FIXTURES
+               if not (GOLDEN_DIR / name).is_file()]
+    assert not missing, (
+        f"golden fixtures missing from the repo: {missing}; run "
+        f"PYTHONPATH=src python tests/phy/golden/generate.py")
+
+
+def test_no_orphan_golden_files():
+    orphans = [p.name for p in GOLDEN_DIR.glob("*.json")
+               if p.name not in GENERATOR.FIXTURES]
+    assert not orphans, (
+        f"committed golden files with no generator entry: {orphans}")
+
+
+@pytest.mark.parametrize("name", sorted(GENERATOR.FIXTURES))
+def test_committed_golden_matches_regeneration(name):
+    committed = json.loads((GOLDEN_DIR / name).read_text())
+    regenerated = GENERATOR.FIXTURES[name]()
+    assert committed == regenerated, (
+        f"{name} is stale: the committed golden no longer matches what "
+        f"generate.py produces. If the kernel change is an intentional "
+        f"spec-conformance fix, regenerate with "
+        f"PYTHONPATH=src python tests/phy/golden/generate.py and say "
+        f"so in the commit message; otherwise the kernel regressed.")
