@@ -494,6 +494,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--wait", action="store_true",
                         help="poll until the job finishes, then print "
                              "the result")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream live progress rows while the job "
+                             "runs, then print the result (implies "
+                             "--wait)")
     submit.add_argument("--timeout", type=float, default=300.0,
                         metavar="SECONDS",
                         help="--wait budget (default: %(default)s)")
@@ -504,6 +508,17 @@ def build_parser() -> argparse.ArgumentParser:
                 help="with --wait: write the fetched result's metrics "
                      "record as JSON ('-' for stdout), exactly like "
                      "run's --metrics-json")
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a running sweep service "
+                    "(queue, jobs, progress bars, latency percentiles)")
+    _add_url_option(top)
+    top.add_argument("--once", action="store_true",
+                     help="render one frame and exit (no screen "
+                          "clearing; what tests and CI capture)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh period (default: %(default)s)")
 
     status = sub.add_parser(
         "status", help="show one job's state (or list all jobs)")
@@ -762,6 +777,31 @@ def _print_job(job: Dict[str, Any]) -> None:
     print(line)
 
 
+def _render_progress_row(row: Dict[str, Any]) -> str:
+    """One human line per progress-journal row (submit --follow)."""
+    kind = row.get("kind")
+    if kind == "run_start":
+        line = (f"run started: {row.get('n_tasks', '?')} tasks, "
+                f"n_jobs={row.get('n_jobs', '?')}")
+        if row.get("n_resumed"):
+            line += f", {row['n_resumed']} resumed from checkpoint"
+        return line
+    if kind == "task":
+        line = (f"  [{row.get('tasks_done', '?')}/{row.get('n_tasks', '?')}]"
+                f" task {row.get('index', '?')}: {row.get('status', '?')}")
+        duration = row.get("duration_s")
+        if duration is not None:
+            line += f" ({float(duration) * 1e3:.1f} ms)"
+        if row.get("resumed"):
+            line += " [resumed]"
+        return line
+    if kind == "run_end":
+        return (f"run finished: {row.get('tasks_done', '?')}/"
+                f"{row.get('n_tasks', '?')} tasks, "
+                f"{'ok' if row.get('ok') else 'FAILED'}")
+    return f"  {row}"
+
+
 def _cmd_submit(args) -> int:
     import json
 
@@ -770,13 +810,21 @@ def _cmd_submit(args) -> int:
     spec = _spec_from_args(args)
     client = ServiceClient(args.url)
     job = client.submit(spec)
-    if not args.wait:
+    if not (args.wait or args.follow):
         if args.json:
             print(json.dumps(job, indent=2, sort_keys=True))
         else:
             _print_job(job)
         return 0
-    status = client.wait(job["job_id"], timeout_s=args.timeout)
+    if args.follow:
+        if job.get("cached"):
+            print("cache hit: no progress stream (the job never ran)")
+        else:
+            for row in client.follow(job["job_id"], timeout_s=args.timeout):
+                print(_render_progress_row(row), flush=True)
+        status = client.status(job["job_id"])
+    else:
+        status = client.wait(job["job_id"], timeout_s=args.timeout)
     if status["state"] != "done":
         _print_job(status)
         return 2
@@ -790,6 +838,12 @@ def _cmd_submit(args) -> int:
     _print_result_table(result, f"job {job['job_id']} "
                                 f"(spec {job['fingerprint']})")
     return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.service.top import run_top
+
+    return run_top(args.url, once=args.once, interval_s=args.interval)
 
 
 def _cmd_status(args) -> int:
@@ -919,6 +973,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "top": _cmd_top,
     "status": _cmd_status,
     "fetch": _cmd_fetch,
     "corpus": _cmd_corpus,

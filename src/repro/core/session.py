@@ -77,7 +77,8 @@ class _FrameCache:
     def get_or_build(self, key: Any, build: Callable[[], Any]) -> Any:
         frame = self._entries.get(key)
         if frame is None:
-            with obs.timed(self._prefix + ".encode"):
+            with obs.timed(self._prefix + ".encode",
+                           hist=self._prefix + ".encode.seconds"):
                 frame = build()
             self._entries[key] = frame
             while len(self._entries) > self._max:
@@ -231,7 +232,8 @@ class _BatchPacketMixin:
             return PacketDraw(excitation, int(send.size), None, result,
                               snr_db=snr_db)
 
-        with obs.timed(self._obs + ".channel"):
+        with obs.timed(self._obs + ".channel",
+                       hist=self._obs + ".channel.seconds"):
             n = info.total_samples
             z_re, z_im = gen.standard_normal(n), gen.standard_normal(n)
         return PacketDraw(excitation, int(send.size), send, None,
@@ -253,7 +255,8 @@ class _BatchPacketMixin:
         pending = [d for d in draws if d.result is None and d.noisy is None]
         if not pending:
             return list(draws)
-        with obs.timed(self._obs + ".channel"):
+        with obs.timed(self._obs + ".channel",
+                       hist=self._obs + ".channel.seconds"):
             by_exc: "OrderedDict[int, List[PacketDraw]]" = OrderedDict()
             for d in pending:
                 by_exc.setdefault(id(d.excitation), []).append(d)
@@ -329,7 +332,8 @@ class _BatchPacketMixin:
                                 rng=rng, excitation=excitation)
         if draw.result is not None:
             return draw.result
-        with obs.timed(self._obs + ".decode"):
+        with obs.timed(self._obs + ".decode",
+                       hist=self._obs + ".decode.seconds"):
             decoded = self._decode_scalar(draw)
         return self._finish_packet(draw, decoded)
 
@@ -345,7 +349,8 @@ class _BatchPacketMixin:
             if d.result is None:
                 groups.setdefault(self._batch_key(d), []).append(i)
         for members in groups.values():
-            with obs.timed(self._obs + ".decode"):
+            with obs.timed(self._obs + ".decode",
+                           hist=self._obs + ".decode.seconds"):
                 decoded = self._decode_batch([draws[i] for i in members])
             for i, dec in zip(members, decoded):
                 decodes[i] = dec
@@ -476,7 +481,8 @@ class _BatchPacketMixin:
                           noisy=wave, noise_var=noise_var, snr_db=snr_db)
         if batched:
             return self.finish_packets([draw])[0]
-        with obs.timed(self._obs + ".decode"):
+        with obs.timed(self._obs + ".decode",
+                       hist=self._obs + ".decode.seconds"):
             decoded = self._decode_scalar(draw)
         return self._finish_packet(draw, decoded)
 

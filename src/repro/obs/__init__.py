@@ -20,28 +20,38 @@ multi-threaded writer in the repo — the sweep service
 """
 
 from repro.obs import forensics
-from repro.obs.export import prometheus_text
+from repro.obs.export import parse_prometheus_text, prometheus_text
 from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Gauge,
+    Histogram,
     MetricsRegistry,
     TimerStat,
     TraceConfig,
+    add_gauge,
     collect,
     collect_into,
     event,
     global_registry,
     inc,
     observe,
+    observe_hist,
     packet_event,
     registry,
+    set_gauge,
     span,
     timed,
     tracing_active,
 )
+from repro.obs.progress import ProgressJournal, monotonic_s, read_progress
 from repro.obs.report import render_report
 from repro.obs.trace import TraceSink, read_trace
 
-__all__ = ["MetricsRegistry", "TimerStat", "TraceConfig", "TraceSink",
-           "collect", "collect_into", "event", "forensics",
-           "global_registry", "inc", "observe", "packet_event",
-           "prometheus_text", "read_trace", "registry", "render_report",
-           "span", "timed", "tracing_active"]
+__all__ = ["DEFAULT_LATENCY_BUCKETS", "Gauge", "Histogram",
+           "MetricsRegistry", "ProgressJournal", "TimerStat",
+           "TraceConfig", "TraceSink", "add_gauge", "collect",
+           "collect_into", "event", "forensics", "global_registry",
+           "inc", "monotonic_s", "observe", "observe_hist",
+           "packet_event", "parse_prometheus_text", "prometheus_text",
+           "read_progress", "read_trace", "registry", "render_report",
+           "set_gauge", "span", "timed", "tracing_active"]

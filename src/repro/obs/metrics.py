@@ -43,15 +43,18 @@ from __future__ import annotations
 
 import math
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.obs import forensics
 
-__all__ = ["TimerStat", "TraceConfig", "MetricsRegistry", "registry",
+__all__ = ["TimerStat", "Gauge", "Histogram", "DEFAULT_LATENCY_BUCKETS",
+           "TraceConfig", "MetricsRegistry", "registry",
            "global_registry", "collect", "collect_into", "tracing_active",
-           "timed", "inc", "observe", "span", "event", "packet_event"]
+           "timed", "inc", "observe", "observe_hist", "set_gauge",
+           "add_gauge", "span", "event", "packet_event"]
 
 
 @dataclass
@@ -101,6 +104,130 @@ class TimerStat:
         else:
             stat.min_s = math.inf
         return stat
+
+
+class Gauge:
+    """A point-in-time value: ``set`` to the latest reading, ``add`` a
+    delta.  Unlike counters, merging is last-write-wins — a gauge is a
+    *local* observation (queue depth, oldest-job age), so whichever
+    snapshot merged last is the freshest view, not a sum."""
+
+    __slots__ = ("value",)
+
+    value: float
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = float(value)
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+    def merge(self, other: "Gauge") -> None:
+        self.value = other.value
+
+
+#: Default latency buckets: a 1/2.5/5 log grid from 100 µs to 60 s.
+#: Every histogram shares these bounds unless constructed otherwise, so
+#: snapshots from any worker split merge bucket-for-bucket.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with exact ``sum`` / ``count``.
+
+    ``buckets`` holds ascending upper bounds (``le`` semantics: an
+    observation lands in the first bucket whose bound is >= the value);
+    ``counts`` has one extra overflow slot for values past the last
+    bound.  Because the bounds are fixed at construction, merging
+    worker snapshots is invariant to how observations were partitioned:
+    any grouping of the same observations produces identical buckets,
+    ``sum`` and ``count``.  ``quantile`` interpolates linearly inside
+    the containing bucket, which is the standard Prometheus estimate.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    buckets: Tuple[float, ...]
+    counts: List[int]
+    sum: float
+    count: int
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                 ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"bucket bounds must be finite: {bounds}")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must ascend: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} != {other.buckets}")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.sum += other.sum
+        self.count += other.count
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated value at quantile *q* (0..1); ``None`` when empty.
+
+        Interpolates within the containing bucket; observations in the
+        overflow bucket clamp to the last finite bound.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.buckets):
+            previous = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= target and self.counts[i]:
+                frac = (target - previous) / self.counts[i]
+                return lower + (bound - lower) * min(max(frac, 0.0), 1.0)
+            lower = bound
+        return self.buckets[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "sum": self.sum, "count": self.count}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Histogram":
+        hist = cls(tuple(float(b) for b in data["buckets"]))
+        counts = [int(n) for n in data["counts"]]
+        if len(counts) != len(hist.buckets) + 1:
+            raise ValueError(
+                f"expected {len(hist.buckets) + 1} bucket counts, "
+                f"got {len(counts)}")
+        hist.counts = counts
+        hist.sum = float(data.get("sum", 0.0))
+        hist.count = int(data.get("count", 0))
+        return hist
 
 
 @dataclass(frozen=True)
@@ -201,6 +328,8 @@ class MetricsRegistry:
     def __init__(self, trace: Optional[TraceConfig] = None) -> None:
         self._counters: Dict[str, int] = {}
         self._timers: Dict[str, TimerStat] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
         self._trace = trace
         self._spans: Dict[str, TimerStat] = {}
         self._span_stack: List[str] = []
@@ -223,13 +352,37 @@ class MetricsRegistry:
             stat = self._timers[name] = TimerStat()
         stat.observe(seconds)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.set(value)
+
+    def add_gauge(self, name: str, delta: float) -> None:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.add(delta)
+
+    def observe_hist(self, name: str, value: float,
+                     buckets: Optional[Sequence[float]] = None) -> None:
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(
+                buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        hist.observe(value)
+
     @contextmanager
-    def timed(self, name: str) -> Iterator[None]:
+    def timed(self, name: str,
+              hist: Optional[str] = None) -> Iterator[None]:
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.observe(name, time.perf_counter() - start)
+            dur = time.perf_counter() - start
+            self.observe(name, dur)
+            if hist is not None:
+                self.observe_hist(hist, dur)
 
     def span(self, name: str, **attrs: Any) -> _SpanBase:
         """Open a hierarchical span; a shared no-op when not tracing."""
@@ -277,6 +430,16 @@ class MetricsRegistry:
     def timer(self, name: str) -> Optional[TimerStat]:
         return self._timers.get(name)
 
+    def gauge(self, name: str) -> Optional[Gauge]:
+        return self._gauges.get(name)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else default
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self._histograms.get(name)
+
     def span_stat(self, path: str) -> Optional[TimerStat]:
         """Aggregated stats for one span path ("parent/child")."""
         return self._spans.get(path)
@@ -293,13 +456,19 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Any]:
         """Plain-dict view (JSON-serializable, picklable).
 
-        ``spans`` / ``events`` keys appear only when non-empty, so
-        untraced snapshots keep the historical two-key shape.
+        ``gauges`` / ``histograms`` / ``spans`` / ``events`` keys appear
+        only when non-empty, so plain counter/timer snapshots keep the
+        historical two-key shape.
         """
         snap: Dict[str, Any] = {
             "counters": dict(self._counters),
             "timers": {k: v.to_dict() for k, v in self._timers.items()},
         }
+        if self._gauges:
+            snap["gauges"] = {k: v.value for k, v in self._gauges.items()}
+        if self._histograms:
+            snap["histograms"] = {
+                k: v.to_dict() for k, v in self._histograms.items()}
         if self._spans:
             snap["spans"] = {k: v.to_dict() for k, v in self._spans.items()}
         if self._events:
@@ -327,6 +496,16 @@ class MetricsRegistry:
                 self._timers[name] = TimerStat.from_dict(data)
             else:
                 stat.merge(TimerStat.from_dict(data))
+        # Gauges are last-write-wins: the incoming snapshot is the
+        # fresher local observation.
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, float(value))
+        for name, data in snapshot.get("histograms", {}).items():
+            hist = self._histograms.get(name)
+            if hist is None:
+                self._histograms[name] = Histogram.from_dict(data)
+            else:
+                hist.merge(Histogram.from_dict(data))
         for name, data in snapshot.get("spans", {}).items():
             path = f"{span_prefix}/{name}" if span_prefix else name
             stat = self._spans.get(path)
@@ -343,6 +522,8 @@ class MetricsRegistry:
     def reset(self) -> None:
         self._counters.clear()
         self._timers.clear()
+        self._gauges.clear()
+        self._histograms.clear()
         self._spans.clear()
         self._span_stack.clear()
         self._events.clear()
@@ -407,31 +588,39 @@ def tracing_active() -> bool:
     return registry().trace is not None
 
 
-def timed(name: str) -> "_ActiveTimer":
+def timed(name: str, hist: Optional[str] = None) -> "_ActiveTimer":
     """Context manager timing a block into the active registry.
 
     The registry is resolved when the block *exits*, so a ``timed``
     entered just before a :func:`collect` block still records into the
-    registry active at completion time.
+    registry active at completion time.  *hist*, when given, also feeds
+    the same duration into a latency histogram of that name — one clock
+    read pair serves both aggregates.
     """
-    return _ActiveTimer(name)
+    return _ActiveTimer(name, hist)
 
 
 class _ActiveTimer:
-    __slots__ = ("_name", "_start")
+    __slots__ = ("_name", "_hist", "_start")
 
     _name: str
+    _hist: Optional[str]
     _start: float
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, hist: Optional[str] = None) -> None:
         self._name = name
+        self._hist = hist
 
     def __enter__(self) -> "_ActiveTimer":
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc: object) -> None:
-        registry().observe(self._name, time.perf_counter() - self._start)
+        dur = time.perf_counter() - self._start
+        reg = registry()
+        reg.observe(self._name, dur)
+        if self._hist is not None:
+            reg.observe_hist(self._hist, dur)
 
 
 def inc(name: str, n: int = 1) -> None:
@@ -442,6 +631,22 @@ def inc(name: str, n: int = 1) -> None:
 def observe(name: str, seconds: float) -> None:
     """Record one timer observation on the active registry."""
     registry().observe(name, seconds)
+
+
+def observe_hist(name: str, value: float,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+    """Record one histogram observation on the active registry."""
+    registry().observe_hist(name, value, buckets)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry to *value*."""
+    registry().set_gauge(name, value)
+
+
+def add_gauge(name: str, delta: float) -> None:
+    """Add *delta* to a gauge on the active registry."""
+    registry().add_gauge(name, delta)
 
 
 def span(name: str, **attrs: Any) -> _SpanBase:

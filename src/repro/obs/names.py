@@ -23,8 +23,8 @@ from typing import Dict, Tuple
 
 from repro.obs.forensics import STAGES
 
-__all__ = ["COUNTERS", "TIMERS", "SPANS", "PATTERNS_BY_KIND",
-           "literal_matches", "template_matches"]
+__all__ = ["COUNTERS", "GAUGES", "TIMERS", "HISTOGRAMS", "SPANS",
+           "PATTERNS_BY_KIND", "literal_matches", "template_matches"]
 
 #: ``phy.<radio>.stage.<stage>`` decode-forensics counters; the stage
 #: segment is closed over the taxonomy, the radio segment is open.
@@ -36,6 +36,7 @@ COUNTERS: Tuple[str, ...] = (
     "engine.batch.points",
     "engine.pool.submit_errors",
     "engine.pool.terminate_errors",
+    "engine.progress.errors",
     "engine.retries",
     "engine.tasks.*",          # resumed/raised/requeued + task statuses
     "iq.corpus.entries",
@@ -59,9 +60,16 @@ COUNTERS: Tuple[str, ...] = (
     "service.jobs.failed",
     "service.jobs.recovered",
     "service.jobs.submitted",
-    "service.queue.*",         # synthesized per-state gauges
     "trace.events.dropped",
 ) + _STAGE_COUNTERS
+
+#: Point-in-time values (last-write-wins); the sweep service
+#: synthesizes the queue/job gauges into every snapshot it serves.
+GAUGES: Tuple[str, ...] = (
+    "service.job.age_seconds",
+    "service.jobs.running",
+    "service.queue.*",         # depth + per-state counts
+)
 
 TIMERS: Tuple[str, ...] = (
     "bench.*",
@@ -70,6 +78,17 @@ TIMERS: Tuple[str, ...] = (
     "phy.*.decode",
     "phy.*.encode",
     "service.job",
+)
+
+#: Latency histograms.  By convention named ``<timer>.seconds``: the
+#: exposition layer lets the histogram supersede the timer's summary
+#: family, so both can record from one ``timed(..., hist=...)`` site.
+HISTOGRAMS: Tuple[str, ...] = (
+    "engine.task.seconds",
+    "phy.*.channel.seconds",
+    "phy.*.decode.seconds",
+    "phy.*.encode.seconds",
+    "service.job.seconds",
 )
 
 SPANS: Tuple[str, ...] = (
@@ -82,7 +101,9 @@ SPANS: Tuple[str, ...] = (
 
 PATTERNS_BY_KIND: Dict[str, Tuple[str, ...]] = {
     "counter": COUNTERS,
+    "gauge": GAUGES,
     "timer": TIMERS,
+    "histogram": HISTOGRAMS,
     "span": SPANS,
 }
 

@@ -1,0 +1,121 @@
+"""Live progress journals: cursor-addressed JSONL for running sweeps.
+
+The engine emits one row per finished task (plus run start/end
+markers); the journal stamps each row with a monotonically increasing
+``seq`` so readers can poll incrementally — "give me everything after
+cursor N" — without re-reading or re-sending history.  The sweep
+service keeps one journal per job and serves it over
+``GET /jobs/<id>/events?cursor=N``.
+
+Design rules, inherited from the checkpoint journal and trace sink:
+
+* **Append-only, flushed per line.**  A killed process leaves at most
+  one torn tail line, which :func:`read_progress` skips.
+* **Restart-safe cursors.**  Opening an existing journal scans it for
+  the highest ``seq`` and continues from there, so a job that resumes
+  from a checkpoint keeps a single monotone cursor space.
+* **Telemetry, not results.**  Rows carry an ``elapsed_s`` stamped from
+  a monotonic clock — which is why this module lives under
+  ``repro.obs`` (reprolint R008 confines wall clocks here).  Progress
+  files are never part of a result payload or a spec fingerprint, so
+  the cache-hit path still serves bit-identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Type
+
+__all__ = ["ProgressJournal", "read_progress", "last_seq", "monotonic_s"]
+
+
+def monotonic_s() -> float:
+    """A monotonic timestamp in seconds, for *ages and rates only*.
+
+    This is the one sanctioned clock for code outside ``repro.obs``
+    (R008): callers difference two readings to get a duration or an
+    age; the absolute value is meaningless and must never be persisted
+    into results, fingerprints, or checkpoints.
+    """
+    return time.monotonic()
+
+
+class ProgressJournal:
+    """Append-only JSONL writer assigning each row a monotone ``seq``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._seq = last_seq(path)
+        self._t0 = time.monotonic()
+        self._fh = open(path, "a")
+
+    @property
+    def seq(self) -> int:
+        """The last sequence number written (0 when empty)."""
+        return self._seq
+
+    def append(self, row: Dict[str, Any]) -> int:
+        """Write one row, stamped with the next ``seq`` and the seconds
+        elapsed since this journal was opened; returns the ``seq``."""
+        self._seq += 1
+        stamped: Dict[str, Any] = {
+            "seq": self._seq,
+            "elapsed_s": time.monotonic() - self._t0,
+        }
+        stamped.update(row)
+        self._fh.write(json.dumps(stamped, sort_keys=True) + "\n")
+        self._fh.flush()
+        return self._seq
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "ProgressJournal":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+
+def _iter_rows(path: str) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return rows
+    with open(path) as fh:
+        for raw in fh:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn tail line from a killed writer
+            if not isinstance(record, dict) or "seq" not in record:
+                continue
+            rows.append(record)
+    return rows
+
+
+def read_progress(path: str, after: int = 0) -> List[Dict[str, Any]]:
+    """Rows with ``seq > after``, in seq order; tolerates torn lines.
+
+    A stale cursor (past the end of the journal) simply yields an empty
+    list — polling readers treat that as "no news yet".
+    """
+    rows = [r for r in _iter_rows(path) if int(r.get("seq", 0)) > after]
+    rows.sort(key=lambda r: int(r["seq"]))
+    return rows
+
+
+def last_seq(path: str) -> int:
+    """The highest ``seq`` present in the journal (0 when absent)."""
+    rows = _iter_rows(path)
+    return max((int(r.get("seq", 0)) for r in rows), default=0)

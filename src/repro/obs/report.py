@@ -242,6 +242,49 @@ def _engine_section(record: Mapping[str, Any],
     return lines
 
 
+def _gauges_section(record: Mapping[str, Any], fmt: str) -> List[str]:
+    metrics = record.get("metrics")
+    gauges = metrics.get("gauges") if isinstance(metrics, Mapping) else None
+    if not isinstance(gauges, Mapping) or not gauges:
+        return []
+    lines = _heading("Gauges", fmt)
+    for name in sorted(gauges):
+        lines.append(f"- {name}: {_fmt_cell(float(gauges[name]))}")
+    lines.append("")
+    return lines
+
+
+def _histograms_section(record: Mapping[str, Any], fmt: str) -> List[str]:
+    """Latency percentiles from the merged histogram snapshots."""
+    from repro.obs.metrics import Histogram
+
+    metrics = record.get("metrics")
+    raw = (metrics.get("histograms")
+           if isinstance(metrics, Mapping) else None)
+    if not isinstance(raw, Mapping) or not raw:
+        return []
+    rows: List[List[Any]] = []
+    for name in sorted(raw):
+        data = raw[name]
+        if not isinstance(data, Mapping):
+            continue
+        try:
+            hist = Histogram.from_dict(dict(data))
+        except (ValueError, TypeError, KeyError):
+            continue  # foreign or torn snapshot entry; skip, don't die
+        if hist.count == 0:
+            continue
+        rows.append([name, hist.count, hist.mean,
+                     *(hist.quantile(q) or 0.0 for q in (0.5, 0.9, 0.99))])
+    if not rows:
+        return []
+    lines = _heading("Latency histograms", fmt)
+    lines += _render_table(
+        ["histogram", "count", "mean (s)", "p50", "p90", "p99"], rows, fmt)
+    lines.append("")
+    return lines
+
+
 def _spans_section(record: Mapping[str, Any],
                    trace: Sequence[Mapping[str, Any]],
                    fmt: str, top: int) -> List[str]:
@@ -336,6 +379,8 @@ def render_report(record: Optional[Mapping[str, Any]] = None,
             task_rows = [t for t in tasks if isinstance(t, Mapping)]
             lines += _per_point_section(task_rows, fmt, "task records")
     lines += _engine_section(record, trace, fmt)
+    lines += _gauges_section(record, fmt)
+    lines += _histograms_section(record, fmt)
     lines += _packet_trace_section(trace, fmt)
     lines += _spans_section(record, trace, fmt, top)
     if len(lines) <= 2:

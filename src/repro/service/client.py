@@ -15,7 +15,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.sim.engine import (
     ExperimentSpec,
@@ -122,11 +122,53 @@ class ServiceClient:
         """The ``/metrics`` endpoint's Prometheus text."""
         return self._request("GET", "/metrics").decode("utf-8")
 
+    def healthz(self) -> Dict[str, Any]:
+        """The ``/healthz`` payload: ``ok`` plus queue saturation
+        (``depth`` and jobs-by-state counts)."""
+        return self._request_json("GET", "/healthz")
+
     def health(self) -> bool:
         try:
-            return bool(self._request_json("GET", "/healthz").get("ok"))
+            return bool(self.healthz().get("ok"))
         except (ServiceClientError, urllib.error.URLError, OSError):
             return False
+
+    def events(self, job_id: str, cursor: int = 0) -> Dict[str, Any]:
+        """One page of the job's progress stream, after *cursor*.
+
+        Returns the server payload: ``events`` (journal rows with
+        ``seq`` > *cursor*), ``cursor`` (pass it back to resume),
+        ``state`` and ``cached``.  A stale cursor yields no events and
+        echoes itself; a cached job has no stream (it never ran).
+        """
+        return self._request_json(
+            "GET", f"/jobs/{job_id}/events?cursor={int(cursor)}")
+
+    def follow(self, job_id: str, timeout_s: float = 120.0,
+               poll_s: float = 0.2) -> Iterator[Dict[str, Any]]:
+        """Yield progress rows until the job leaves pending/running.
+
+        The server reads job state *before* the journal, so a page
+        reporting a settled state provably carries the final rows —
+        the generator drains that page, then stops.  Bounded by
+        attempt count like :meth:`wait`; raises :class:`TimeoutError`
+        if the job is still live when the budget runs out.
+        """
+        attempts = max(1, int(timeout_s / poll_s) + 1)
+        cursor = 0
+        state = ""
+        for attempt in range(attempts):
+            page = self.events(job_id, cursor=cursor)
+            cursor = int(page.get("cursor", cursor))
+            state = str(page.get("state", ""))
+            for row in page.get("events", []):
+                yield dict(row)
+            if state not in ("pending", "running"):
+                return
+            if attempt + 1 < attempts:
+                time.sleep(poll_s)
+        raise TimeoutError(
+            f"job {job_id} still {state} after ~{timeout_s}s")
 
     def wait(self, job_id: str, timeout_s: float = 120.0,
              poll_s: float = 0.2) -> Dict[str, Any]:

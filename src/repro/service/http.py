@@ -27,11 +27,19 @@ Routes
     The stored result record, served as the exact bytes the store
     holds (bit-identical across cache hits).  ``409`` while the job is
     pending/running or after it failed.
+``GET /jobs/<id>/events?cursor=N``
+    Incremental progress stream: ``{"events": [...], "cursor": M,
+    "state": ..., "cached": ...}`` with every journal row whose ``seq``
+    exceeds ``N``; poll again with ``cursor=M``.  A stale cursor (past
+    the end) returns no events; a cached job streams nothing (it never
+    ran).  ``400`` on a non-integer cursor, ``404`` for unknown ids.
 ``GET /metrics``
     Prometheus text exposition of the service registry (service
-    counters + folded engine/PHY metrics + live queue gauges).
+    counters + folded engine/PHY metrics + live queue/job gauges and
+    latency histograms).
 ``GET /healthz``
-    ``{"ok": true}`` — liveness for process supervisors.
+    Liveness *and* saturation: ``{"ok": true, "queue": {"depth": ...,
+    "pending": ..., "running": ..., "done": ..., "failed": ...}}``.
 """
 
 from __future__ import annotations
@@ -40,7 +48,9 @@ import json
 import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
+from urllib.parse import parse_qs, urlparse
 
+from repro.service.queue import JOB_STATES
 from repro.service.service import ServiceError, SweepService, UnknownJobError
 
 __all__ = ["ServiceHTTPServer", "serve"]
@@ -116,9 +126,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802  (stdlib handler contract)
         self._count("get")
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
         if path == "/healthz":
-            self._send_json(200, {"ok": True})
+            counts = self.service.queue.counts()
+            by_state = {state: counts.get(state, 0) for state in JOB_STATES}
+            self._send_json(200, {
+                "ok": True,
+                "queue": dict(depth=counts.get("pending", 0), **by_state),
+            })
             return
         if path == "/metrics":
             self._send(200, self.service.metrics_text().encode("utf-8"),
@@ -135,6 +151,18 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(200, self.service.status(job_id))
                 elif len(parts) == 3 and parts[2] == "result":
                     self._send(200, self.service.raw_result(job_id))
+                elif len(parts) == 3 and parts[2] == "events":
+                    raw_cursor = parse_qs(parsed.query).get("cursor",
+                                                            ["0"])[-1]
+                    try:
+                        cursor = int(raw_cursor)
+                    except ValueError:
+                        self._send_error_json(
+                            400, f"cursor must be an integer, "
+                                 f"got {raw_cursor!r}")
+                        return
+                    self._send_json(200,
+                                    self.service.events(job_id, cursor))
                 else:
                     self._send_error_json(
                         404, f"no such route: GET {self.path}")

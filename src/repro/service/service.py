@@ -23,11 +23,17 @@ warm, cache-aware compute tier:
   *queued* together dedup at claim time — the second job finds the
   store already populated and becomes a cache hit without computing.
 * **Observability** folds every run's engine metrics (task counters,
-  PHY stage timers, forensics stage counts) into one service-wide
-  :class:`~repro.obs.MetricsRegistry` next to the service's own
-  counters (``service.jobs.*``, ``service.cache.*``), rendered by
+  PHY stage timers, latency histograms, forensics stage counts) into
+  one service-wide :class:`~repro.obs.MetricsRegistry` next to the
+  service's own counters (``service.jobs.*``, ``service.cache.*``),
+  live queue gauges (``service.queue.<state>``, ``service.queue.depth``,
+  ``service.jobs.running``, ``service.job.age_seconds``) and the
+  ``service.job.seconds`` histogram, rendered by
   :meth:`SweepService.metrics_text` in Prometheus text exposition for
-  the HTTP ``/metrics`` endpoint.
+  the HTTP ``/metrics`` endpoint.  Each running job additionally
+  narrates itself into a cursor-addressed progress journal under
+  ``progress/`` (:meth:`SweepService.events` serves it) — telemetry
+  keyed by job id, never part of result bytes or dedup.
 
 Only completed, fully-ok runs are cached: a failed or degraded run
 marks the job ``failed`` and leaves the store untouched, so a later
@@ -43,6 +49,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 from repro.obs import MetricsRegistry, TraceConfig, prometheus_text
+from repro.obs.progress import monotonic_s, read_progress
 from repro.service.queue import JobQueue, JobRecord
 from repro.service.store import ResultStore
 from repro.sim.engine import (
@@ -120,8 +127,16 @@ class SweepService:
         self._metrics_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
+        self.progress_dir = self.root / "progress"
+        # Monotonic first-seen stamps for active jobs, feeding the
+        # service.job.age_seconds gauge.  In-memory only (never
+        # persisted): after a restart, ages restart from recovery time.
+        self._active_since: Dict[str, float] = {}  # guarded-by: _metrics_lock
         for _ in self.queue.recover():
             self._inc("service.jobs.recovered")
+        for job in self.queue.jobs():
+            if job.active:
+                self._note_active(job.job_id)
 
     # -- metrics (thread-safe wrappers) ------------------------------------
     # MetricsRegistry is deliberately lock-free (process-local, single
@@ -136,13 +151,38 @@ class SweepService:
         with self._metrics_lock:
             return self.metrics.counter(name)
 
+    def _note_active(self, job_id: str) -> None:
+        with self._metrics_lock:
+            self._active_since.setdefault(job_id, monotonic_s())
+
+    def _note_settled(self, job_id: str) -> None:
+        with self._metrics_lock:
+            self._active_since.pop(job_id, None)
+
+    def _oldest_age_s(self) -> float:  # reprolint: holds(_metrics_lock)
+        if not self._active_since:
+            return 0.0
+        return monotonic_s() - min(self._active_since.values())
+
     def metrics_snapshot(self) -> Dict[str, Any]:
-        """Service + folded engine metrics as a plain dict."""
+        """Service + folded engine metrics as a plain dict.
+
+        Queue state rides in as gauges, synthesized fresh per snapshot:
+        ``service.queue.<state>`` per-state counts, ``service.queue.depth``
+        (pending jobs), ``service.jobs.running``, and
+        ``service.job.age_seconds`` (age of the oldest still-active job,
+        0 when idle).
+        """
         with self._metrics_lock:
             snap = self.metrics.snapshot()
+            age = self._oldest_age_s()
         counts = self.queue.counts()
+        gauges = snap.setdefault("gauges", {})
         for state, n in sorted(counts.items()):
-            snap["counters"][f"service.queue.{state}"] = n
+            gauges[f"service.queue.{state}"] = float(n)
+        gauges["service.queue.depth"] = float(counts.get("pending", 0))
+        gauges["service.jobs.running"] = float(counts.get("running", 0))
+        gauges["service.job.age_seconds"] = age
         return snap
 
     def metrics_text(self) -> str:
@@ -171,6 +211,7 @@ class SweepService:
             self._inc("service.cache.hits")
             return self.queue.set_state(job.job_id, "done", cached=True)
         self._inc("service.cache.misses")
+        self._note_active(job.job_id)
         return job
 
     def submit_record(self, payload: Union[Spec, Mapping[str, Any]]
@@ -210,6 +251,12 @@ class SweepService:
     def checkpoint_path(self, fingerprint: str) -> Path:
         return self.checkpoint_dir / f"{fingerprint}.jsonl"
 
+    def progress_path(self, job_id: str) -> Path:
+        """Per-job progress journal.  Lives outside ``results/`` and is
+        keyed by job id (not fingerprint), so it never participates in
+        dedup or bit-identical result serving."""
+        return self.progress_dir / f"{job_id}.jsonl"
+
     def step(self) -> bool:
         """Claim and run at most one pending job; True if one ran.
 
@@ -231,13 +278,15 @@ class SweepService:
             # finished: serve it from the store, run nothing.
             self._inc("service.cache.hits")
             self.queue.set_state(job.job_id, "done", cached=True)
+            self._note_settled(job.job_id)
             return
         try:
             spec = load_spec(job.envelope, warn_legacy=False)
             options = RunOptions(
                 n_jobs=self.n_jobs, failure_policy=self.failure_policy,
                 checkpoint=str(self.checkpoint_path(job.fingerprint)),
-                expect_fingerprint=job.fingerprint)
+                expect_fingerprint=job.fingerprint,
+                progress_path=str(self.progress_path(job.job_id)))
             result = execute_run(spec, options)
         except (EngineError, ValueError, OSError) as exc:
             # EngineError: the job's sweep failed (fail-fast task
@@ -247,12 +296,16 @@ class SweepService:
             self._inc("service.jobs.failed")
             self.queue.set_state(job.job_id, "failed",
                                  error=f"{type(exc).__name__}: {exc}")
+            self._note_settled(job.job_id)
             return
         with self._metrics_lock:
             self.metrics.merge_snapshot(result.metrics)
-            # The job-level timer rides the run's own measured wall
-            # time (no ad-hoc clock reads; obs owns the clock).
+            # The job-level timer and latency histogram ride the run's
+            # own measured wall time (no ad-hoc clock reads; obs owns
+            # the clock).
             self.metrics.observe("service.job", result.wall_time_s)
+            self.metrics.observe_hist("service.job.seconds",
+                                      result.wall_time_s)
             self.metrics.event("service.job", job=job.job_id,
                                spec=job.fingerprint,
                                dur_s=result.wall_time_s)
@@ -264,11 +317,13 @@ class SweepService:
                 job.job_id, "failed",
                 error=f"{result.n_failed}/{result.n_tasks} tasks failed "
                       f"({result.failed_tasks[0].error})")
+            self._note_settled(job.job_id)
             return
         self.store.put(result)
         self._inc("service.cache.stores")
         self._inc("service.jobs.completed")
         self.queue.set_state(job.job_id, "done")
+        self._note_settled(job.job_id)
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
@@ -340,6 +395,26 @@ class SweepService:
     def jobs(self) -> List[Dict[str, Any]]:
         """Every job's bare record, oldest first."""
         return [job.to_dict() for job in self.queue.jobs()]
+
+    def events(self, job_id: str, cursor: int = 0) -> Dict[str, Any]:
+        """Progress rows for *job_id* with ``seq > cursor``, plus the
+        next cursor to poll with.
+
+        The job state is read *before* the journal, so a response
+        saying ``done`` is guaranteed to already include the run's
+        final rows — a follower can stop on it without losing the tail.
+        Stale cursors (past the end) just return no events and echo the
+        cursor back; cached jobs never ran, so they have no journal and
+        stream nothing.
+        """
+        job = self._job(job_id)
+        state = job.state
+        rows = read_progress(str(self.progress_path(job_id)),
+                             after=int(cursor))
+        next_cursor = max([int(cursor)]
+                          + [int(r.get("seq", 0)) for r in rows])
+        return {"job_id": job_id, "state": state, "cached": job.cached,
+                "cursor": next_cursor, "events": rows}
 
     def result(self, job_id: str) -> RunResult:
         """The completed result for *job_id*.

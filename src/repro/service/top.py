@@ -1,0 +1,218 @@
+"""``repro top`` — a polling text dashboard for a running sweep service.
+
+Built entirely from the service's public HTTP surface so it exercises
+the same endpoints operators script against: ``/healthz`` for queue
+saturation, ``/jobs`` for the job table, ``/metrics`` (through the
+strict :func:`~repro.obs.export.parse_prometheus_text` parser, so a
+malformed exposition fails loudly here before an external scraper
+trips on it) for cache hit rate and latency percentiles, and
+``/jobs/<id>/events`` for live per-job progress bars.
+
+The dashboard keeps one events cursor per job between polls, so each
+refresh transfers only new journal rows.  ``--once`` renders a single
+frame without clearing the screen — what tests and the CI smoke job
+capture as an artifact.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs.export import ExpositionError, parse_prometheus_text
+from repro.service.client import ServiceClient
+from repro.sim.results import format_table
+
+__all__ = ["Dashboard", "run_top"]
+
+#: ANSI: clear screen, cursor home.  Only emitted between live frames.
+_CLEAR = "\x1b[2J\x1b[H"
+
+#: Jobs shown in the table (most recent; older ones scroll off).
+_MAX_JOBS = 10
+
+#: Histogram families surfaced in the latency table, in display order.
+#: Anything else histogram-typed in the exposition is appended after.
+_PREFERRED_FAMILIES = (
+    "repro_engine_task_seconds",
+    "repro_service_job_seconds",
+)
+
+
+def _bar(done: int, total: int, width: int = 20) -> str:
+    if total <= 0:
+        return "[" + "-" * width + "]"
+    filled = int(round(width * min(1.0, done / total)))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _pct(numerator: float, denominator: float) -> str:
+    if denominator <= 0:
+        return "n/a"
+    return f"{100.0 * numerator / denominator:.1f}%"
+
+
+class Dashboard:
+    """Stateful frame renderer: remembers events cursors and the last
+    reported progress per job across polls."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+        #: job_id -> last consumed events cursor.
+        self._cursors: Dict[str, int] = {}
+        #: job_id -> latest {"tasks_done", "n_tasks"} seen on the stream.
+        self._progress: Dict[str, Dict[str, int]] = {}
+
+    # -- data gathering ----------------------------------------------------
+
+    def _poll_events(self, job: Dict[str, Any]) -> None:
+        """Drain new progress rows for one live job into ``_progress``."""
+        job_id = str(job["job_id"])
+        page = self.client.events(job_id, self._cursors.get(job_id, 0))
+        self._cursors[job_id] = int(page.get("cursor", 0))
+        for row in page.get("events", []):
+            if "n_tasks" in row:
+                self._progress[job_id] = {
+                    "tasks_done": int(row.get("tasks_done", 0)),
+                    "n_tasks": int(row.get("n_tasks", 0)),
+                }
+
+    def gather(self) -> Dict[str, Any]:
+        """One poll of every endpoint the frame needs."""
+        health = self.client.healthz()
+        jobs = self.client.jobs()
+        for job in jobs:
+            live = job.get("state") in ("pending", "running")
+            # Live jobs poll every frame; settled non-cached jobs are
+            # drained once so their final progress still renders.
+            if live or (not job.get("cached")
+                        and str(job["job_id"]) not in self._cursors):
+                self._poll_events(job)
+        metrics_error: Optional[str] = None
+        exposition = None
+        try:
+            exposition = parse_prometheus_text(self.client.metrics())
+        except ExpositionError as exc:
+            # Surface a broken exposition on the frame instead of dying:
+            # the dashboard doubles as a format canary.
+            metrics_error = str(exc)
+        return {"health": health, "jobs": jobs, "exposition": exposition,
+                "metrics_error": metrics_error}
+
+    # -- rendering ---------------------------------------------------------
+
+    def _queue_line(self, data: Dict[str, Any]) -> str:
+        queue = dict(data["health"].get("queue", {}))
+        states = " ".join(f"{s}={queue.get(s, 0)}"
+                          for s in ("pending", "running", "done", "failed"))
+        line = f"queue: depth={queue.get('depth', 0)} {states}"
+        exposition = data["exposition"]
+        if exposition is not None:
+            hits = exposition.value("repro_service_cache_hits_total") or 0.0
+            misses = (exposition.value("repro_service_cache_misses_total")
+                      or 0.0)
+            line += (f"   cache: {int(hits)}/{int(hits + misses)} hits "
+                     f"({_pct(hits, hits + misses)})")
+            age = exposition.value("repro_service_job_age_seconds")
+            if age:
+                line += f"   oldest active: {age:.1f}s"
+        return line
+
+    def _job_rows(self, data: Dict[str, Any]) -> List[List[Any]]:
+        rows: List[List[Any]] = []
+        for job in data["jobs"][-_MAX_JOBS:]:
+            job_id = str(job["job_id"])
+            progress = self._progress.get(job_id)
+            if job.get("cached"):
+                detail = "cache hit"
+            elif progress is not None:
+                done, total = progress["tasks_done"], progress["n_tasks"]
+                detail = f"{_bar(done, total)} {done}/{total} tasks"
+            elif job.get("state") == "done":
+                detail = "done"
+            else:
+                detail = ""
+            if job.get("error"):
+                detail = (detail + " " if detail else "") + \
+                    f"error: {job['error']}"
+            rows.append([job_id[:12], job["state"],
+                         str(job.get("fingerprint", ""))[:16], detail])
+        return rows
+
+    def _latency_rows(self, data: Dict[str, Any]) -> List[List[Any]]:
+        exposition = data["exposition"]
+        if exposition is None:
+            return []
+        families = [f for f, t in exposition.families.items()
+                    if t == "histogram"]
+        ordered = [f for f in _PREFERRED_FAMILIES if f in families]
+        ordered += sorted(f for f in families if f not in ordered)
+        rows: List[List[Any]] = []
+        for family in ordered:
+            hist = exposition.histogram(family)
+            if hist.count == 0:
+                continue
+            label = family[len("repro_"):] if family.startswith("repro_") \
+                else family
+            rows.append([
+                label, hist.count, f"{hist.mean:.4f}",
+                *(f"{hist.quantile(q) or 0.0:.4f}" for q in (0.5, 0.9, 0.99)),
+            ])
+        return rows
+
+    def render(self, data: Dict[str, Any]) -> str:
+        """One complete frame as text (no ANSI control codes)."""
+        parts = [f"repro top — {self.client.base_url}",
+                 self._queue_line(data), ""]
+        job_rows = self._job_rows(data)
+        if job_rows:
+            parts.append(format_table(
+                ["job", "state", "spec", "progress"], job_rows,
+                title=f"jobs (last {_MAX_JOBS})"))
+        else:
+            parts.append("no jobs submitted yet")
+        latency_rows = self._latency_rows(data)
+        if latency_rows:
+            parts.append("")
+            parts.append(format_table(
+                ["histogram", "count", "mean", "p50", "p90", "p99"],
+                latency_rows, title="latency (seconds)"))
+        if data["metrics_error"]:
+            parts.append("")
+            parts.append(f"WARNING: /metrics failed strict parsing: "
+                         f"{data['metrics_error']}")
+        return "\n".join(parts) + "\n"
+
+    def frame(self) -> str:
+        return self.render(self.gather())
+
+
+def run_top(url: str, once: bool = False, interval_s: float = 1.0,
+            out: Optional[TextIO] = None, max_frames: Optional[int] = None
+            ) -> int:
+    """Drive the dashboard; returns a process exit code.
+
+    ``once`` renders a single frame with no screen clearing.
+    ``max_frames`` bounds the live loop (tests); operators interrupt
+    with Ctrl-C instead.
+    """
+    import sys
+
+    stream = out if out is not None else sys.stdout
+    dashboard = Dashboard(ServiceClient(url))
+    frames = 0
+    try:
+        while True:
+            text = dashboard.frame()
+            if once:
+                stream.write(text)
+                return 0
+            stream.write(_CLEAR + text)
+            stream.flush()
+            frames += 1
+            if max_frames is not None and frames >= max_frames:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        stream.write("\n")
+        return 0

@@ -88,7 +88,8 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import (Any, Callable, Dict, List, Mapping, Optional, Tuple,
+                    Union)
 
 import numpy as np
 
@@ -465,6 +466,48 @@ class TaskRecord:
         )
 
 
+class _ProgressTracker:
+    """Per-run progress fan-out: counts finished tasks and forwards one
+    row per event to the caller's callback (a
+    :class:`repro.obs.ProgressJournal` in the service, anything callable
+    in tests).
+
+    A broken callback must never kill the run it is narrating: emit
+    errors are swallowed and surfaced as the ``engine.progress.errors``
+    counter instead.  Rows carry task bookkeeping only — durations and
+    stage-count deltas, never wall-clock timestamps — so everything
+    deterministic stays deterministic and the journal stays out of
+    results and fingerprints.
+    """
+
+    def __init__(self, callback: Optional[Callable[[Dict[str, Any]], None]],
+                 metrics: "MetricsRegistry", n_tasks: int) -> None:
+        self._callback = callback
+        self._metrics = metrics
+        self.n_tasks = n_tasks
+        self.done = 0
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        if self._callback is None:
+            return
+        row: Dict[str, Any] = {"kind": kind}
+        row.update(fields)
+        try:
+            self._callback(row)
+        except (OSError, ValueError, TypeError):
+            self._metrics.inc("engine.progress.errors")
+
+    def task_done(self, record: "TaskRecord") -> None:
+        self.done += 1
+        if self._callback is None:
+            return
+        self.emit("task", index=record.index, task=record.task,
+                  status=record.status, attempts=record.attempts,
+                  resumed=record.resumed, duration_s=record.duration_s,
+                  tasks_done=self.done, n_tasks=self.n_tasks,
+                  stage_counts=dict(record.stage_counts))
+
+
 def _stage_counts_from(snapshot: Optional[Dict[str, Any]]) -> Dict[str, int]:
     """Extract one task's per-stage packet breakdown from its metrics
     snapshot (the ``phy.<radio>.stage.<stage>`` counters)."""
@@ -810,7 +853,8 @@ class ExperimentEngine:
     def run(self, spec: Spec,
             checkpoint: Optional[Union[str, os.PathLike]] = None,
             trace_path: Optional[Union[str, os.PathLike]] = None,
-            expect_fingerprint: Optional[str] = None
+            expect_fingerprint: Optional[str] = None,
+            progress: Optional[Callable[[Dict[str, Any]], None]] = None
             ) -> RunResult:
         """Execute one spec and return its points plus metadata.
 
@@ -824,7 +868,10 @@ class ExperimentEngine:
         *expect_fingerprint* (a caller that tracked the spec by its
         fingerprint, e.g. a resumed service job), a spec whose
         fingerprint differs raises :class:`FingerprintMismatch` before
-        any work runs.
+        any work runs.  With *progress*, one row per run event — a
+        ``run_start`` marker, every finished task (including resumed
+        ones), a ``run_end`` marker — is passed to the callback as it
+        happens; a raising callback is counted, not fatal.
         """
         if isinstance(spec, ExperimentSpec):
             tasks = spec.distances_m
@@ -863,6 +910,15 @@ class ExperimentEngine:
             metrics.inc("engine.tasks.resumed")
         pending = [i for i in range(len(tasks)) if records[i] is None]
 
+        tracker = _ProgressTracker(progress, metrics, len(tasks))
+        tracker.emit("run_start", spec=fingerprint, n_tasks=len(tasks),
+                     n_resumed=len(tasks) - len(pending),
+                     n_jobs=self.n_jobs)
+        for i in sorted(set(range(len(tasks))) - set(pending)):
+            record = records[i]
+            if record is not None:
+                tracker.task_done(record)
+
         start = time.perf_counter()
         try:
             with metrics.span("engine.run", spec=fingerprint,
@@ -870,11 +926,16 @@ class ExperimentEngine:
                 if pending:
                     if self.n_jobs == 1 or len(pending) == 1:
                         self._run_inline(spec, tasks, children, pending,
-                                         points, records, journal, metrics)
+                                         points, records, journal, metrics,
+                                         tracker)
                     else:
                         self._run_pool(spec, tasks, children, pending,
-                                       points, records, journal, metrics)
+                                       points, records, journal, metrics,
+                                       tracker)
         finally:
+            tracker.emit("run_end", spec=fingerprint,
+                         tasks_done=tracker.done, n_tasks=len(tasks),
+                         ok=all(r is not None and r.ok for r in records))
             # Even an aborted (fail_fast) run leaves its forensics behind.
             if trace_path is not None:
                 with TraceSink(os.fspath(trace_path), fingerprint) as sink:
@@ -895,7 +956,8 @@ class ExperimentEngine:
                      snapshot: Optional[Dict[str, Any]],
                      points: List[Any], records: List[Optional[TaskRecord]],
                      journal: Optional[CheckpointJournal],
-                     metrics: MetricsRegistry) -> None:
+                     metrics: MetricsRegistry,
+                     tracker: Optional[_ProgressTracker] = None) -> None:
         """Record one task's final outcome (after all its attempts)."""
         points[record.index] = point
         records[record.index] = record
@@ -909,8 +971,13 @@ class ExperimentEngine:
         metrics.merge_snapshot(snapshot, span_prefix="engine.run")
         metrics.inc(f"engine.tasks.{record.status}")
         metrics.observe("engine.task", record.duration_s)
+        metrics.observe_hist("engine.task.seconds", record.duration_s)
         if journal is not None:
             journal.append(record, point)
+        if tracker is not None:
+            # Emit before a fail_fast abort below, so followers see the
+            # failing task's row, not a silently truncated stream.
+            tracker.task_done(record)
         if not record.ok and self.failure_policy.fail_fast:
             raise TaskFailure(
                 f"task {record.index} (task value {record.task!r}) "
@@ -928,14 +995,14 @@ class ExperimentEngine:
     # -- inline execution -------------------------------------------------
 
     def _run_inline(self, spec, tasks, children, pending,
-                    points, records, journal, metrics) -> None:
+                    points, records, journal, metrics, tracker) -> None:
         if (isinstance(spec, ExperimentSpec)
                 and self.fault_injector is None
                 and metrics.trace is None
                 and self.failure_policy.timeout_s is None
                 and self._run_inline_batched(spec, tasks, children, pending,
                                              points, records, journal,
-                                             metrics)):
+                                             metrics, tracker)):
             return
         policy = self.failure_policy
         for i in pending:
@@ -978,10 +1045,11 @@ class ExperimentEngine:
                                 attempts=attempt, duration_s=dur, error=error,
                                 spawn_key=tuple(children[i].spawn_key))
             self._finish_task(record, point, snap, points, records,
-                              journal, metrics)
+                              journal, metrics, tracker)
 
     def _run_inline_batched(self, spec, tasks, children, pending,
-                            points, records, journal, metrics) -> bool:
+                            points, records, journal, metrics,
+                            tracker) -> bool:
         """Cross-task fast path for inline link sweeps.
 
         All pending points run through
@@ -1030,13 +1098,13 @@ class ExperimentEngine:
                                 attempts=1, duration_s=per_task,
                                 spawn_key=tuple(children[i].spawn_key))
             self._finish_task(record, results[k], regs[i].snapshot(),
-                              points, records, journal, metrics)
+                              points, records, journal, metrics, tracker)
         return True
 
     # -- pool execution ---------------------------------------------------
 
     def _run_pool(self, spec, tasks, children, pending,
-                  points, records, journal, metrics) -> None:
+                  points, records, journal, metrics, tracker) -> None:
         policy = self.failure_policy
         workers = min(self.n_jobs, len(pending))
 
@@ -1136,7 +1204,7 @@ class ExperimentEngine:
                                 error=error,
                                 spawn_key=tuple(children[i].spawn_key))
             self._finish_task(record, None, None, points, records,
-                              journal, metrics)
+                              journal, metrics, tracker)
 
         try:
             while ready or inflight:
@@ -1219,7 +1287,7 @@ class ExperimentEngine:
                         attempts=attempt, duration_s=dur,
                         spawn_key=tuple(children[i].spawn_key))
                     self._finish_task(record, point, snap, points,
-                                      records, journal, metrics)
+                                      records, journal, metrics, tracker)
         finally:
             for p in list(live):
                 shutdown_pool(p)
@@ -1263,6 +1331,11 @@ class RunOptions:
     checkpoint: Optional[str] = None
     trace_path: Optional[str] = None
     expect_fingerprint: Optional[str] = None
+    #: When set, every progress row (run_start / per-task / run_end) is
+    #: appended to this cursor-addressed JSONL journal — the live feed
+    #: behind the service's ``/jobs/<id>/events`` endpoint.  The journal
+    #: is telemetry: never part of results or fingerprints.
+    progress_path: Optional[str] = None
 
     def replace(self, **changes: Any) -> "RunOptions":
         return dataclasses.replace(self, **changes)
@@ -1272,11 +1345,28 @@ def execute_run(spec: Spec, options: Optional[RunOptions] = None,
                 fault_injector: Optional[FaultInjector] = None) -> RunResult:
     """Execute *spec* under *options*: the shared entry point behind the
     CLI's one-shot commands and the sweep service's workers."""
+    from repro.obs.progress import ProgressJournal
+
     options = options or RunOptions()
     engine = ExperimentEngine(n_jobs=options.n_jobs,
                               failure_policy=options.failure_policy,
                               fault_injector=fault_injector,
                               trace=options.trace)
-    return engine.run(spec, checkpoint=options.checkpoint,
-                      trace_path=options.trace_path,
-                      expect_fingerprint=options.expect_fingerprint)
+    journal: Optional[ProgressJournal] = None
+    progress: Optional[Callable[[Dict[str, Any]], None]] = None
+    if options.progress_path is not None:
+        journal = ProgressJournal(options.progress_path)
+
+        def _emit(row: Dict[str, Any], _journal: ProgressJournal = journal
+                  ) -> None:
+            _journal.append(row)
+
+        progress = _emit
+    try:
+        return engine.run(spec, checkpoint=options.checkpoint,
+                          trace_path=options.trace_path,
+                          expect_fingerprint=options.expect_fingerprint,
+                          progress=progress)
+    finally:
+        if journal is not None:
+            journal.close()

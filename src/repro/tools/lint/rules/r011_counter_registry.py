@@ -24,12 +24,21 @@ from repro.obs import names as obs_names
 from repro.tools.lint.model import Rule
 from repro.tools.lint.rules.base import AstLintRule, dotted_name
 
-#: method-name -> metric kind.  ``_inc`` is the service's locked
-#: wrapper; ``timer`` is the registry accessor benches use.
+#: method-name -> metric kind.  ``_inc`` / ``_set_gauge`` are the
+#: service's locked wrappers; ``timer`` is the registry accessor
+#: benches use.
 _SINKS = {
     "inc": "counter", "_inc": "counter",
     "observe": "timer", "timed": "timer", "timer": "timer",
+    "set_gauge": "gauge", "add_gauge": "gauge", "_set_gauge": "gauge",
+    "observe_hist": "histogram",
     "span": "span",
+}
+
+#: keyword-argument sinks: ``timed(name, hist=...)`` routes its second
+#: name into a histogram.
+_KWARG_SINKS = {
+    "timed": {"hist": "histogram"},
 }
 
 
@@ -105,11 +114,18 @@ class CounterRegistryRule(AstLintRule):
 
     def visit_Call(self, node: ast.Call) -> None:
         callee = dotted_name(node.func)
-        kind = _SINKS.get(callee.rpartition(".")[2]) if callee else None
+        method = callee.rpartition(".")[2] if callee else ""
+        kind = _SINKS.get(method)
         if kind is not None and node.args:
             resolved = _name_template(node.args[0])
             if resolved is not None:
                 self._check_name(node, kind, *resolved)
+        for keyword in node.keywords:
+            kw_kind = _KWARG_SINKS.get(method, {}).get(keyword.arg or "")
+            if kw_kind is not None:
+                resolved = _name_template(keyword.value)
+                if resolved is not None:
+                    self._check_name(node, kw_kind, *resolved)
         self.generic_visit(node)
 
     def _check_name(self, node: ast.Call, kind: str, text: str,

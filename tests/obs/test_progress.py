@@ -1,0 +1,67 @@
+"""Progress journal: cursor-addressed JSONL, torn tails, resume."""
+
+import json
+
+from repro.obs import ProgressJournal, read_progress
+from repro.obs.progress import last_seq
+
+
+class TestProgressJournal:
+    def test_rows_get_monotone_seq(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        with ProgressJournal(path) as journal:
+            assert journal.append({"kind": "run_start"}) == 1
+            assert journal.append({"kind": "task"}) == 2
+        rows = read_progress(path)
+        assert [r["seq"] for r in rows] == [1, 2]
+        assert rows[0]["kind"] == "run_start"
+        assert rows[0]["elapsed_s"] >= 0.0
+
+    def test_reopen_resumes_the_cursor_space(self, tmp_path):
+        # A resumed job appends to the same journal; cursors held by
+        # followers must stay valid, so seq keeps counting up.
+        path = str(tmp_path / "progress.jsonl")
+        with ProgressJournal(path) as journal:
+            journal.append({"kind": "task"})
+        with ProgressJournal(path) as journal:
+            assert journal.append({"kind": "task"}) == 2
+        assert last_seq(path) == 2
+
+    def test_cursor_filters_already_seen_rows(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        with ProgressJournal(path) as journal:
+            for _ in range(4):
+                journal.append({"kind": "task"})
+        assert [r["seq"] for r in read_progress(path, after=2)] == [3, 4]
+
+    def test_stale_cursor_yields_nothing(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        with ProgressJournal(path) as journal:
+            journal.append({"kind": "task"})
+        assert read_progress(path, after=999) == []
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_progress(str(tmp_path / "nope.jsonl")) == []
+        assert last_seq(str(tmp_path / "nope.jsonl")) == 0
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = str(tmp_path / "progress.jsonl")
+        with ProgressJournal(path) as journal:
+            journal.append({"kind": "task"})
+            journal.append({"kind": "task"})
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "kind": "tor')  # killed mid-write
+        rows = read_progress(path)
+        assert [r["seq"] for r in rows] == [1, 2]
+        # And a journal reopened over the torn file keeps going safely.
+        with ProgressJournal(path) as journal:
+            assert journal.append({"kind": "run_end"}) == 3
+
+    def test_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "progress.jsonl"
+        path.write_text("not json\n"
+                        + json.dumps({"no_seq": True}) + "\n"
+                        + json.dumps({"seq": 5, "kind": "task"}) + "\n"
+                        + json.dumps([1, 2]) + "\n")
+        rows = read_progress(str(path))
+        assert [r["seq"] for r in rows] == [5]

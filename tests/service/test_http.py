@@ -125,7 +125,115 @@ class TestErrorMapping:
     def test_health_never_requires_state(self, server):
         with urllib.request.urlopen(server.url + "/healthz",
                                     timeout=10) as response:
-            assert json.loads(response.read()) == {"ok": True}
+            payload = json.loads(response.read())
+        assert payload["ok"] is True
+        # Saturation counts are always present, zero-filled.
+        assert payload["queue"] == {"depth": 0, "pending": 0, "running": 0,
+                                    "done": 0, "failed": 0}
+
+
+class TestEventsEndpoint:
+    def test_events_round_trip(self, client, link_spec):
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        page = client.events(job["job_id"])
+        kinds = [r["kind"] for r in page["events"]]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert page["state"] == "done"
+        assert page["cursor"] == page["events"][-1]["seq"]
+
+    def test_stale_cursor_returns_empty_page(self, client, link_spec):
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        page = client.events(job["job_id"], cursor=10_000)
+        assert page["events"] == [] and page["cursor"] == 10_000
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceClientError) as excinfo:
+            client.events("job-999999")
+        assert excinfo.value.status == 404
+
+    def test_non_integer_cursor_is_400(self, server, client, link_spec):
+        job = client.submit(link_spec)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                server.url + f"/jobs/{job['job_id']}/events?cursor=nope",
+                timeout=10)
+        assert excinfo.value.code == 400
+        assert "cursor" in json.loads(excinfo.value.read())["error"]
+
+    def test_follow_streams_every_row_exactly_once(self, client, link_spec):
+        job = client.submit(link_spec)
+        rows = list(client.follow(job["job_id"], timeout_s=60))
+        kinds = [r["kind"] for r in rows]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        seqs = [r["seq"] for r in rows]
+        assert seqs == sorted(set(seqs))  # monotone, no duplicates
+        tasks = [r for r in rows if r["kind"] == "task"]
+        assert [r["tasks_done"] for r in tasks] == [1, 2]
+
+    def test_follow_on_cached_job_terminates_immediately(self, client,
+                                                         link_spec):
+        first = client.submit(link_spec)
+        client.wait(first["job_id"], timeout_s=60)
+        dup = client.submit(link_spec)
+        assert dup["cached"]
+        assert list(client.follow(dup["job_id"], timeout_s=10)) == []
+
+
+class TestLiveScrape:
+    def test_metrics_scrape_passes_strict_parser(self, client, link_spec):
+        from repro.obs import parse_prometheus_text
+
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        exposition = parse_prometheus_text(client.metrics())
+        assert exposition.value("repro_service_jobs_submitted_total") == 1.0
+        hist = exposition.histogram("repro_service_job_seconds")
+        assert hist.count == 1
+
+    def test_healthz_counts_update(self, client, link_spec):
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        queue = client.healthz()["queue"]
+        assert queue["done"] == 1 and queue["depth"] == 0
+
+
+class TestTopDashboard:
+    def test_single_frame_renders_jobs_and_latency(self, client, link_spec):
+        from repro.service.top import Dashboard
+
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        frame = Dashboard(client).frame()
+        assert "queue: depth=0" in frame
+        assert job["job_id"] in frame
+        assert "engine_task_seconds" in frame
+        assert "p99" in frame
+        assert "WARNING" not in frame  # exposition parsed cleanly
+
+    def test_run_top_once_writes_one_frame(self, client, link_spec):
+        import io
+
+        from repro.service.top import run_top
+
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        out = io.StringIO()
+        assert run_top(client.base_url, once=True, out=out) == 0
+        text = out.getvalue()
+        assert text.count("repro top") == 1
+        assert "\x1b[" not in text  # --once never clears the screen
+
+    def test_progress_bar_for_tracked_job(self, client, link_spec):
+        from repro.service.top import Dashboard
+
+        dashboard = Dashboard(client)
+        job = client.submit(link_spec)
+        client.wait(job["job_id"], timeout_s=60)
+        frame = dashboard.frame()  # cursors drained post-completion
+        assert "2/2 tasks" in frame
+        assert "[####################]" in frame
 
 
 class TestRestartOverHTTP:

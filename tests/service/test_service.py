@@ -250,10 +250,95 @@ class TestMetricsEndpointData:
         svc.submit(other_link_spec)
         svc.step()
         snap = svc.metrics_snapshot()
-        assert snap["counters"]["service.queue.done"] == 1
-        assert snap["counters"]["service.queue.pending"] == 1
+        assert snap["gauges"]["service.queue.done"] == 1.0
+        assert snap["gauges"]["service.queue.pending"] == 1.0
+        assert snap["gauges"]["service.queue.depth"] == 1.0
+        assert snap["gauges"]["service.jobs.running"] == 0.0
         assert snap["counters"]["service.jobs.submitted"] == 2
         assert snap["timers"]["service.job"]["count"] == 1
+        assert snap["histograms"]["service.job.seconds"]["count"] == 1
         text = svc.metrics_text()
         assert "repro_service_jobs_submitted_total 2" in text
         assert "repro_service_queue_pending" in text
+
+    def test_job_age_gauge_tracks_oldest_active(self, tmp_path, link_spec):
+        svc = SweepService(tmp_path / "svc")
+        assert svc.metrics_snapshot()["gauges"][
+            "service.job.age_seconds"] == 0.0
+        svc.submit(link_spec)
+        assert svc.metrics_snapshot()["gauges"][
+            "service.job.age_seconds"] >= 0.0
+        svc.step()
+        # Settled: nothing active, age falls back to zero.
+        assert svc.metrics_snapshot()["gauges"][
+            "service.job.age_seconds"] == 0.0
+
+    def test_exposition_passes_the_strict_parser(self, tmp_path, link_spec):
+        from repro.obs import parse_prometheus_text
+
+        svc = SweepService(tmp_path / "svc")
+        svc.submit(link_spec)
+        svc.step()
+        svc.submit(link_spec)  # cache hit
+        exposition = parse_prometheus_text(svc.metrics_text())
+        assert exposition.value("repro_service_cache_hits_total") == 1.0
+        assert exposition.value("repro_service_queue_done") == 2.0
+        hist = exposition.histogram("repro_engine_task_seconds")
+        assert hist.count == 2  # two distances in link_spec
+        assert sum(hist.counts) == hist.count
+
+
+class TestProgressEvents:
+    def test_events_stream_with_cursor(self, tmp_path, link_spec):
+        svc = SweepService(tmp_path / "svc")
+        job = svc.submit(link_spec)
+        before = svc.events(job.job_id)
+        assert before["state"] == "pending" and before["events"] == []
+        assert before["cursor"] == 0
+        svc.step()
+        page = svc.events(job.job_id)
+        kinds = [r["kind"] for r in page["events"]]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("task") == 2
+        assert page["state"] == "done"
+        assert page["cursor"] == page["events"][-1]["seq"]
+        # Resuming from the final cursor yields nothing new.
+        resumed = svc.events(job.job_id, cursor=page["cursor"])
+        assert resumed["events"] == []
+        assert resumed["cursor"] == page["cursor"]
+
+    def test_stale_cursor_is_safe(self, tmp_path, link_spec):
+        svc = SweepService(tmp_path / "svc")
+        job = svc.submit(link_spec)
+        svc.step()
+        page = svc.events(job.job_id, cursor=10_000)
+        assert page["events"] == [] and page["cursor"] == 10_000
+
+    def test_unknown_job_raises(self, tmp_path):
+        svc = SweepService(tmp_path / "svc")
+        with pytest.raises(UnknownJobError):
+            svc.events("job-424242")
+
+    def test_cached_job_has_no_stream(self, tmp_path, link_spec):
+        svc = SweepService(tmp_path / "svc")
+        first = svc.submit(link_spec)
+        svc.step()
+        dup = svc.submit(link_spec)
+        page = svc.events(dup.job_id)
+        assert page["cached"] is True and page["events"] == []
+        assert svc.events(first.job_id)["events"]  # the original ran
+
+    def test_progress_artifacts_live_outside_results(self, tmp_path,
+                                                     link_spec):
+        # The journal is keyed by job id under progress/, never inside
+        # the content-addressed result store — so the dedup path cannot
+        # serve (or hash) progress telemetry.
+        svc = SweepService(tmp_path / "svc")
+        job = svc.submit(link_spec)
+        svc.step()
+        assert svc.progress_path(job.job_id).exists()
+        results_dir = tmp_path / "svc" / "results"
+        assert not list(results_dir.glob("**/*progress*"))
+        raw_before = svc.raw_result(job.job_id)
+        dup = svc.submit(link_spec)
+        assert svc.raw_result(dup.job_id) == raw_before

@@ -457,3 +457,42 @@ class TestServiceRoundTripViaCli:
                      "-o", str(out_path)]) == 0
         record = json.loads(out_path.read_text())
         assert record["fingerprint"] == job["fingerprint"]
+
+    def test_submit_follow_streams_progress(self, server, capsys):
+        argv = ["submit", "--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "11", "--url", server.url,
+                "--follow", "--timeout", "60"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "run started: 2 tasks" in out
+        assert "[1/2] task 0: ok" in out
+        assert "[2/2] task 1: ok" in out
+        assert "run finished: 2/2 tasks, ok" in out
+        assert "throughput" in out  # result table after the stream
+
+    def test_submit_follow_cache_hit_has_no_stream(self, server, capsys):
+        argv = ["--radio", "zigbee", "--distances", "2,6",
+                "--packets", "2", "--seed", "12", "--url", server.url]
+        assert main(["submit"] + argv + ["--wait", "--timeout", "60"]) == 0
+        capsys.readouterr()
+        assert main(["submit"] + argv + ["--follow",
+                                         "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "cache hit: no progress stream" in out
+        assert "run started" not in out
+        assert "throughput" in out
+
+    def test_top_once_renders_dashboard(self, server, capsys):
+        assert main(["submit", "--radio", "zigbee", "--distances", "2,6",
+                     "--packets", "2", "--seed", "13", "--url", server.url,
+                     "--wait", "--timeout", "60"]) == 0
+        capsys.readouterr()
+        assert main(["top", "--once", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "queue: depth=0" in out
+        assert "engine_task_seconds" in out
+
+    def test_top_unreachable_service_exits_5(self, capsys):
+        assert main(["top", "--once", "--url", "http://127.0.0.1:9"]) == 5
+        assert "repro serve" in capsys.readouterr().err

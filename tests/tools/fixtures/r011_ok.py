@@ -7,5 +7,9 @@ from repro import obs
 def record(prefix, stage):
     obs.inc("mac.rounds")
     obs.inc(f"{prefix}.stage.{stage}")
+    obs.set_gauge("service.queue.depth", 3)
+    obs.observe_hist("engine.task.seconds", 0.1)
     with obs.timed("bench.fixture"):
+        pass
+    with obs.timed(prefix + ".decode", hist=prefix + ".decode.seconds"):
         pass
